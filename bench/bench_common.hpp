@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses. Each bench binary prints the
+// rows/series for one paper artifact (Table 1 row, figure, or lemma) in a
+// form directly comparable to EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace dcs::bench {
+
+/// Rounds up to the nearest even integer (random_regular needs even nΔ and
+/// even n; all our sweeps use even n and even Δ).
+inline std::size_t even(double x) {
+  auto v = static_cast<std::size_t>(std::llround(x));
+  return v + (v % 2);
+}
+
+/// Δ ≈ n^{exponent}, even.
+inline std::size_t degree_for(std::size_t n, double exponent) {
+  return even(std::pow(static_cast<double>(n), exponent));
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& claim) {
+  std::cout << "\n=== " << title << " ===\n" << claim << "\n\n";
+}
+
+/// Prints the fitted log-log growth exponent of y against x.
+inline void print_exponent(const std::string& label,
+                           const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           double expected) {
+  std::cout << label << ": fitted exponent " << loglog_slope(x, y)
+            << " (paper: " << expected << ")\n";
+}
+
+}  // namespace dcs::bench

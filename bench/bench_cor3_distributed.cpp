@@ -1,0 +1,48 @@
+// Corollary 3: the LOCAL-model implementation of Algorithm 1 runs in O(1)
+// rounds regardless of n, produces exactly the sequential output, and its
+// message volume scales with the 3-hop neighborhood knowledge it floods.
+
+#include "bench_common.hpp"
+
+#include "core/regular_spanner.hpp"
+#include "core/verifier.hpp"
+#include "dist/dist_spanner.hpp"
+#include "dist/dist_verify.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Corollary 3 — distributed Algorithm 1 in the LOCAL model",
+      "claim: O(1) rounds on any Δ-regular graph with Δ ≥ n^{2/3}; output "
+      "identical to the sequential construction");
+
+  const std::uint64_t seed = 31;
+  Table t({"n", "Δ", "rounds", "messages", "words", "identical to seq",
+           "stretch", "dist-verify", "sim s"});
+  for (std::size_t n : {32, 48, 64, 96, 128}) {
+    const std::size_t delta = degree_for(n, 2.0 / 3.0);
+    const Graph g = random_regular(n, delta, seed + n);
+    RegularSpannerOptions options;
+    options.seed = seed;
+
+    Timer timer;
+    const auto dist = build_regular_spanner_local(g, options);
+    const double sim_s = timer.seconds();
+    const auto seq = build_regular_spanner(g, options);
+    const auto stretch = measure_distance_stretch(g, dist.h);
+
+    const auto verify = verify_spanner_local(g, dist.h);
+    t.add(n, delta, dist.stats.rounds, dist.stats.total_messages,
+          dist.stats.total_words,
+          std::string(dist.h == seq.spanner.h ? "yes" : "NO"),
+          stretch.max_stretch,
+          std::string(verify.ok ? "accepts" : "REJECTS"), sim_s);
+  }
+  t.print(std::cout);
+  std::cout << "round count is constant (3 flood rounds) across all n — the "
+               "defining property of an O(1)-round LOCAL algorithm.\n";
+  return 0;
+}

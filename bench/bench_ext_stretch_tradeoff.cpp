@@ -1,0 +1,59 @@
+// Extension / open problem #2 of the paper's conclusion: "increase the
+// distance stretches for the spectral expanders and regular graphs; this
+// may give better congestion bounds."
+//
+// We probe the question empirically with the generalized sampling spanner:
+// for α = 3, 5, 7 (k = 2, 3, 4) the sampler targets the classical
+// Θ(n^{1+1/k}) density, repairs uncovered edges, and we measure spanner
+// size, exact stretch, and matching congestion of the randomized
+// shortest-path router. The observable tradeoff: every step of α sheds a
+// large fraction of the edges while congestion degrades only mildly —
+// consistent with the conjecture that higher stretch buys better
+// size/congestion frontiers.
+
+#include "bench_common.hpp"
+
+#include "core/general_spanner.hpp"
+#include "core/router.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "routing/workloads.hpp"
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Extension — stretch/size/congestion tradeoff (open problem #2)",
+      "generalized sampling spanner at α = 2k−1; density target "
+      "Θ(n^{1+1/k}); congestion of the randomized shortest-path router on "
+      "matching workloads");
+
+  const std::uint64_t seed = 51;
+  for (std::size_t n : {300, 600}) {
+    const std::size_t delta = degree_for(n, 0.75);
+    const Graph g = random_regular(n, delta, seed + n);
+    std::cout << "\nn = " << n << ", Δ = " << delta << ", |E(G)| = "
+              << g.num_edges() << "\n";
+    Table t({"α", "|E(H)|", "compression", "repaired", "max stretch",
+             "match C_H", "edge C_H"});
+    for (Dist alpha : {3u, 5u, 7u}) {
+      StretchSpannerOptions o;
+      o.seed = seed;
+      o.alpha = alpha;
+      const auto result = build_stretch_spanner(g, o);
+      const auto stretch =
+          measure_distance_stretch(g, result.spanner.h, alpha + 2);
+      ShortestPathPairRouter router(result.spanner.h);
+      const auto matching = random_matching_problem(g, seed + 1);
+      const Routing routed =
+          route_problem(router, matching, seed + 2);
+      t.add(alpha, result.spanner.h.num_edges(),
+            result.spanner.stats.compression(), result.repaired_edges,
+            stretch.max_stretch,
+            node_congestion(routed, n), edge_congestion(routed));
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

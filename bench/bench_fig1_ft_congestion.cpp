@@ -1,0 +1,95 @@
+// Figure 1: a fault-tolerant-spanner-style sparsification that keeps only
+// |M| = ⌈n^{1/3}⌉ + 1 of the clique–clique matching edges forces congestion
+// Ω(n^{2/3}) on the perfect-matching routing problem, even though the
+// distance stretch stays 3. This is the paper's argument for why f-VFT
+// spanners of comparable size do not control congestion.
+
+#include "bench_common.hpp"
+
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "routing/workloads.hpp"
+
+namespace {
+
+// Keep cliques intact and the first kept_matching matching edges.
+dcs::Graph ft_style_spanner(std::size_t n, std::size_t kept_matching) {
+  using namespace dcs;
+  const std::size_t half = n / 2;
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < half; ++u) {
+    for (Vertex v = u + 1; v < half; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(static_cast<Vertex>(half + u),
+                 static_cast<Vertex>(half + v));
+    }
+  }
+  for (Vertex i = 0; i < kept_matching; ++i) {
+    b.add_edge(i, static_cast<Vertex>(half + i));
+  }
+  return b.build();
+}
+
+// Canonical 3-stretch substitute: pair (a_i, b_i) with a removed matching
+// edge routes a_i → a_j → b_j → b_i over kept matching edge j, assigned
+// round-robin (this is load-optimal up to rounding: every valid ≤3 path
+// must cross one of the kept matching edges).
+dcs::Routing round_robin_routing(std::size_t n, std::size_t kept_matching) {
+  using namespace dcs;
+  const std::size_t half = n / 2;
+  Routing r;
+  for (std::size_t i = 0; i < half; ++i) {
+    const auto a = static_cast<Vertex>(i);
+    const auto b = static_cast<Vertex>(half + i);
+    if (i < kept_matching) {
+      r.paths.push_back(Path{a, b});
+      continue;
+    }
+    const auto j = static_cast<Vertex>(i % kept_matching);
+    r.paths.push_back(
+        Path{a, j, static_cast<Vertex>(half + j), b});
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Figure 1 — fault-tolerant-style sparsification vs congestion",
+      "claim: keeping ⌈n^{1/3}⌉+1 matching edges preserves distance stretch "
+      "3 but forces congestion ≥ (n/2)/|M| = Ω(n^{2/3}) on the "
+      "perfect-matching workload");
+
+  Table t({"n", "|M| kept", "stretch", "C_G", "C_H (round-robin)",
+           "lower bound (n/2)/|M|", "n^{2/3}"});
+  std::vector<double> ns, congestion;
+  for (std::size_t n : {64, 128, 256, 512, 1024}) {
+    const auto kept = static_cast<std::size_t>(
+        std::ceil(std::pow(static_cast<double>(n), 1.0 / 3.0))) + 1;
+    const Graph g = clique_matching_graph(n);
+    const Graph h = ft_style_spanner(n, kept);
+    const auto stretch = measure_distance_stretch(g, h);
+
+    const auto problem = clique_matching_pairs(n);
+    const Routing direct = Routing::direct_edges(problem);
+    const Routing sub = round_robin_routing(n, kept);
+    if (!routing_is_valid(h, problem, sub)) {
+      std::cout << "INTERNAL ERROR: substitute routing invalid\n";
+      return 1;
+    }
+    const std::size_t cg = node_congestion(direct, n);
+    const std::size_t ch = node_congestion(sub, n);
+    t.add(n, kept, stretch.max_stretch, cg, ch,
+          static_cast<double>(n / 2) / static_cast<double>(kept),
+          std::pow(static_cast<double>(n), 2.0 / 3.0));
+    ns.push_back(static_cast<double>(n));
+    congestion.push_back(static_cast<double>(ch));
+  }
+  t.print(std::cout);
+  print_exponent("forced congestion growth", ns, congestion, 2.0 / 3.0);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 2 / Lemma 4: on a Δ-regular graph with spectral expansion λ, the
+// neighborhoods of any two vertices u, v admit a matching of size at least
+// Δ(1 − λn/Δ²). We measure maximum N(u)–N(v) matchings over random vertex
+// pairs and compare with the bound computed from the *measured* λ.
+
+#include "bench_common.hpp"
+
+#include "graph/generators.hpp"
+#include "routing/matching.hpp"
+#include "spectral/expansion.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Figure 2 / Lemma 4 — neighborhood matchings on expanders",
+      "claim: max matching between N(u) and N(v) has size ≥ Δ(1 − λn/Δ²)");
+
+  const std::uint64_t seed = 17;
+  Table t({"n", "Δ", "λ", "bound Δ(1−λn/Δ²)", "min |M|", "mean |M|",
+           "bound holds"});
+  for (std::size_t n : {200, 400, 800}) {
+    for (double exp_delta : {0.75, 0.85}) {
+      const std::size_t delta = degree_for(n, exp_delta);
+      const Graph g = random_regular(n, delta, seed + n + delta);
+      const auto expansion = estimate_expansion(g);
+      const double d = static_cast<double>(delta);
+      const double bound =
+          d * (1.0 - expansion.lambda * static_cast<double>(n) / (d * d));
+
+      Rng rng(seed);
+      std::vector<double> sizes;
+      for (int trial = 0; trial < 30; ++trial) {
+        const auto u = static_cast<Vertex>(rng.uniform(n));
+        auto v = static_cast<Vertex>(rng.uniform(n));
+        if (u == v) continue;
+        std::vector<Vertex> nu(g.neighbors(u).begin(),
+                               g.neighbors(u).end());
+        std::vector<Vertex> nv(g.neighbors(v).begin(),
+                               g.neighbors(v).end());
+        const auto m = maximum_bipartite_matching(g, nu, nv);
+        sizes.push_back(static_cast<double>(m.size()));
+      }
+      const auto s = summarize(sizes);
+      t.add(n, delta, expansion.lambda, bound, s.min, s.mean,
+            std::string(s.min >= bound - 1e-9 ? "yes" : "NO"));
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(a negative bound means the mixing-lemma guarantee is "
+               "vacuous at that density — the measured matchings show the "
+               "construction still works there)\n";
+  return 0;
+}

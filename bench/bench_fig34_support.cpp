@@ -1,0 +1,88 @@
+// Figures 3–4: the detour/support structure of Section 4. We measure, on
+// random Δ-regular graphs at the Theorem 3 density (Δ ≈ n^{2/3}):
+//
+//  * the distribution of base supports |N(u)∩N(z)| against the Δ²/n
+//    expectation,
+//  * how many extensions of a typical edge are a-supported at the
+//    algorithm's threshold a ≈ Δ'/4,
+//  * the fraction of edges that pass the (a,b)-support test (these never
+//    need reinsertion by rule 1),
+//  * how many 3-detours of a removed edge survive the ρ = 1/Δ' sampling
+//    (the quantity that decides reinsertion rule 2).
+
+#include "bench_common.hpp"
+
+#include "core/regular_spanner.hpp"
+#include "core/support.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Figures 3–4 — 2-detours, supported extensions, surviving 3-detours",
+      "expectations on random Δ-regular graphs: base support ≈ Δ²/n; at "
+      "Δ = n^{2/3} the typical edge is (Θ(Δ'), Θ(Δ))-supported and a "
+      "removed edge keeps Θ(1)–Θ(log n) surviving 3-detours");
+
+  const std::uint64_t seed = 23;
+  Table t({"n", "Δ", "Δ²/n", "base support mean", "a=Δ'/4",
+           "a-supported ext mean", "(a,b)-supported %",
+           "surviving 3-detours (mean/min)"});
+  for (std::size_t n : {216, 512, 1000}) {
+    const std::size_t delta = degree_for(n, 2.0 / 3.0);
+    const Graph g = random_regular(n, delta, seed + n);
+    RegularSpannerOptions options;
+    options.seed = seed;
+    const auto params = compute_regular_spanner_params(delta, options);
+    const auto built = build_regular_spanner(g, options);
+
+    Rng rng(seed + 1);
+    // base supports over random node pairs at distance 2-ish
+    std::vector<double> supports;
+    for (int trial = 0; trial < 300; ++trial) {
+      const auto u = static_cast<Vertex>(rng.uniform(n));
+      auto z = static_cast<Vertex>(rng.uniform(n));
+      if (u == z) continue;
+      supports.push_back(static_cast<double>(base_support(g, u, z)));
+    }
+
+    // supported extensions + (a,b)-support over random edges
+    const auto edges = g.edges();
+    std::vector<double> ext_counts;
+    std::size_t ab_supported = 0;
+    const std::size_t edge_trials = 200;
+    for (std::size_t trial = 0; trial < edge_trials; ++trial) {
+      const Edge e = edges[rng.uniform(edges.size())];
+      ext_counts.push_back(static_cast<double>(
+          count_supported_extensions(g, e.u, e.v, params.support_a)));
+      if (is_ab_supported(g, e, params.support_a, params.support_b)) {
+        ++ab_supported;
+      }
+    }
+
+    // surviving 3-detours of removed edges in G'
+    std::vector<double> survivors;
+    for (std::size_t trial = 0; trial < 200; ++trial) {
+      const Edge e = edges[rng.uniform(edges.size())];
+      if (built.sampled.has_edge(e.u, e.v)) continue;
+      survivors.push_back(static_cast<double>(
+          find_3detours(built.sampled, e.u, e.v).size()));
+    }
+
+    const auto s_sup = summarize(supports);
+    const auto s_ext = summarize(ext_counts);
+    const auto s_sur = summarize(survivors);
+    t.add(n, delta,
+          static_cast<double>(delta) * static_cast<double>(delta) /
+              static_cast<double>(n),
+          s_sup.mean, params.support_a, s_ext.mean,
+          100.0 * static_cast<double>(ab_supported) /
+              static_cast<double>(edge_trials),
+          format_cell(s_sur.mean) + "/" + format_cell(s_sur.min));
+  }
+  t.print(std::cout);
+  return 0;
+}

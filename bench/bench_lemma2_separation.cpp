@@ -1,0 +1,63 @@
+// Lemma 2: distance stretch + congestion stretch (separately) do not imply
+// the DC property. On the lemma's family we measure all three quantities:
+// the spanner keeps distance stretch 3 and routes the matching with
+// congestion ≤ 2 when paths may use the private length-(α+1) detours, yet
+// any routing within the DC length budget (3·1 hops) funnels every pair
+// through the single kept matching edge — congestion stretch = #pairs.
+
+#include "bench_common.hpp"
+
+#include "core/lower_bound.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+dcs::Graph lemma2_spanner(const dcs::Lemma2Graph& lg) {
+  using namespace dcs;
+  EdgeSet keep;
+  for (Edge e : lg.g.edges()) keep.insert(e);
+  for (std::size_t i = 1; i < lg.a.size(); ++i) {
+    keep.erase(canonical(lg.a[i], lg.b[i]));
+  }
+  const auto kept = keep.to_vector();
+  return Graph::from_edges(lg.g.num_vertices(), kept);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Lemma 2 — distance+congestion spanner that is not a DC-spanner",
+      "claim: H is a 3-distance spanner and (with relaxed path budgets) a "
+      "2-congestion spanner, but the DC substitute of the matching has "
+      "congestion stretch n (linear blow-up)");
+
+  Table t({"pairs", "|V|", "stretch", "relaxed C_H (budget 4)",
+           "DC C_H (budget 3)", "DC stretch"});
+  std::vector<double> xs, ys;
+  for (std::size_t pairs : {4, 8, 16, 32, 64}) {
+    const Lemma2Graph lg = lemma2_graph(pairs, 4);  // detour length 4 > α·1
+    const Graph h = lemma2_spanner(lg);
+    const auto stretch = measure_distance_stretch(lg.g, h);
+
+    RoutingProblem matching;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      matching.pairs.emplace_back(lg.a[i], lg.b[i]);
+    }
+    const Routing relaxed = min_congestion_short_routing(h, matching, 4);
+    const Routing strict = min_congestion_short_routing(h, matching, 3);
+    const std::size_t c_relaxed = node_congestion(relaxed, h.num_vertices());
+    const std::size_t c_strict = node_congestion(strict, h.num_vertices());
+    t.add(pairs, lg.g.num_vertices(), stretch.max_stretch, c_relaxed,
+          c_strict, static_cast<double>(c_strict));
+    xs.push_back(static_cast<double>(pairs));
+    ys.push_back(static_cast<double>(c_strict));
+  }
+  t.print(std::cout);
+  print_exponent("DC-budget congestion growth vs pairs", xs, ys, 1.0);
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Microbenchmarks of the library's hot kernels (google-benchmark): BFS,
+// spanner constructions, edge coloring, bipartite matching, spectral
+// estimation, and the decomposition pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/expander_spanner.hpp"
+#include "core/matching_decomposition.hpp"
+#include "core/regular_spanner.hpp"
+#include "core/router.hpp"
+#include "core/support.hpp"
+#include "graph/bfs.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted_graph.hpp"
+#include "routing/edge_coloring.hpp"
+#include "routing/matching.hpp"
+#include "routing/mwu_routing.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/tables.hpp"
+#include "routing/workloads.hpp"
+#include "spectral/expansion.hpp"
+
+namespace {
+
+using namespace dcs;
+
+const Graph& shared_graph(std::size_t n, std::size_t delta) {
+  static std::map<std::pair<std::size_t, std::size_t>, Graph> cache;
+  auto [it, inserted] = cache.try_emplace({n, delta});
+  if (inserted) it->second = random_regular(n, delta, 12345);
+  return it->second;
+}
+
+void BM_BfsDistances(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  Vertex source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, source));
+    source = static_cast<Vertex>((source + 1) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsDistances)->Arg(1024)->Arg(4096);
+
+void BM_RegularSpannerBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto delta = static_cast<std::size_t>(
+      std::llround(std::pow(static_cast<double>(n), 2.0 / 3.0)));
+  const Graph& g = shared_graph(n, delta + delta % 2);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RegularSpannerOptions o;
+    o.seed = ++seed;
+    benchmark::DoNotOptimize(build_regular_spanner(g, o));
+  }
+}
+BENCHMARK(BM_RegularSpannerBuild)->Arg(256)->Arg(512);
+
+void BM_ExpanderSpannerBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 64);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ExpanderSpannerOptions o;
+    o.seed = ++seed;
+    benchmark::DoNotOptimize(build_expander_spanner(g, o));
+  }
+}
+BENCHMARK(BM_ExpanderSpannerBuild)->Arg(512);
+
+void BM_MisraGries(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(misra_gries_edge_coloring(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_MisraGries)->Arg(512)->Arg(1024);
+
+void BM_HopcroftKarpNeighborhoods(benchmark::State& state) {
+  const Graph& g = shared_graph(1024, 96);
+  Vertex u = 0;
+  for (auto _ : state) {
+    const Vertex v = g.neighbors(u)[0];
+    std::vector<Vertex> nu(g.neighbors(u).begin(), g.neighbors(u).end());
+    std::vector<Vertex> nv(g.neighbors(v).begin(), g.neighbors(v).end());
+    benchmark::DoNotOptimize(maximum_bipartite_matching(g, nu, nv));
+    u = static_cast<Vertex>((u + 1) % g.num_vertices());
+  }
+}
+BENCHMARK(BM_HopcroftKarpNeighborhoods);
+
+void BM_ExpansionEstimate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_expansion(g, 60, ++seed));
+  }
+}
+BENCHMARK(BM_ExpansionEstimate)->Arg(1024);
+
+void BM_SupportTest(benchmark::State& state) {
+  const Graph& g = shared_graph(512, 64);
+  const auto edges = g.edges();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Edge e = edges[i++ % edges.size()];
+    benchmark::DoNotOptimize(is_ab_supported(g, e, 2, 16));
+  }
+}
+BENCHMARK(BM_SupportTest);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const WeightedGraph g =
+      WeightedGraph::from_unweighted(shared_graph(n, 16));
+  Vertex source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra_distances(g, source));
+    source = static_cast<Vertex>((source + 1) % n);
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(1024)->Arg(4096);
+
+void BM_MwuRound(benchmark::State& state) {
+  const Graph& g = shared_graph(256, 16);
+  const auto problem = random_pairs_problem(256, 200, 3);
+  MwuOptions o;
+  o.rounds = 1;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    o.seed = ++seed;
+    benchmark::DoNotOptimize(mwu_min_congestion(g, problem, o));
+  }
+}
+BENCHMARK(BM_MwuRound);
+
+void BM_PacketSim(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  const auto problem = random_permutation_problem(n, 5);
+  const Routing p = shortest_path_routing(g, problem, 7);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_store_and_forward(g, p, {.seed = ++seed}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(problem.size()));
+}
+BENCHMARK(BM_PacketSim)->Arg(1024);
+
+void BM_RoutingTables(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoutingTables::build(g, ++seed));
+  }
+}
+BENCHMARK(BM_RoutingTables)->Arg(512);
+
+void BM_DecompositionPipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  const auto problem = random_pairs_problem(n, n / 2, 7);
+  const Routing p = shortest_path_routing(g, problem, 9);
+  DetourRouter router(g, g);
+  const auto fn = matching_route_fn(router);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        substitute_routing_via_matchings(n, p, fn, ++seed));
+  }
+}
+BENCHMARK(BM_DecompositionPipeline)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Table 1, row "Theorem 3": Δ-regular graphs with Δ ≥ n^{2/3} admit a
+// (3, O(√Δ·log n))-DC-spanner with O(n^{5/3} log² n) edges.
+//
+// Sweep 1 (n grows, Δ = n^{2/3}): edge count growth exponent ≈ 5/3 (up to
+// polylog), distance stretch exactly ≤ 3, matching congestion vs the √Δ
+// envelope, and general-routing congestion vs the √Δ·log n envelope.
+// Sweep 2 (n fixed, Δ grows): congestion tracks √Δ.
+
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "core/regular_spanner.hpp"
+#include "core/router.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/workloads.hpp"
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header("Table 1 / Theorem 3 — DC-spanner for Δ-regular graphs",
+               "claim: edges = O(n^{5/3} log² n), distance stretch 3, "
+               "congestion stretch O(√Δ·log n) for Δ ≥ n^{2/3}");
+
+  const std::uint64_t seed = 42;
+
+  // ---- Sweep 1: n grows, Δ ≈ n^{2/3} ---------------------------------
+  Table t1({"n", "Δ", "|E(G)|", "|E(H)|", "stretch", "match C_H",
+            "√Δ", "general C_H/C_G", "√Δ·log₂n", "build s"});
+  std::unique_ptr<CsvWriter> csv;
+  if (const auto path = csv_output_path("table1_regular")) {
+    csv = std::make_unique<CsvWriter>(
+        *path, std::vector<std::string>{"n", "delta", "edges_g", "edges_h",
+                                        "stretch", "match_congestion",
+                                        "general_stretch"});
+  }
+  std::vector<double> ns, edges;
+  for (std::size_t n : {100, 160, 250, 400, 640, 1000}) {
+    const std::size_t delta = degree_for(n, 2.0 / 3.0);
+    const Graph g = random_regular(n, delta, seed + n);
+    Timer timer;
+    const auto built = build_regular_spanner(g, {.seed = seed});
+    const double build_s = timer.seconds();
+    const auto stretch = measure_distance_stretch(g, built.spanner.h);
+
+    DetourRouter router(built.spanner.h, built.sampled);
+    const auto matching = random_matching_problem(g, seed + 1);
+    const auto mc = measure_matching_congestion(g, built.spanner.h,
+                                                matching, router, seed + 2);
+
+    const auto pairs = random_pairs_problem(n, n, seed + 3);
+    const Routing p = shortest_path_routing(g, pairs, seed + 4);
+    const auto gc = measure_general_congestion(g, built.spanner.h, p,
+                                               router, seed + 5);
+
+    t1.add(n, delta, g.num_edges(), built.spanner.h.num_edges(),
+           stretch.max_stretch, mc.spanner_congestion,
+           std::sqrt(static_cast<double>(delta)), gc.congestion_stretch(),
+           std::sqrt(static_cast<double>(delta)) *
+               std::log2(static_cast<double>(n)),
+           build_s);
+    if (csv) {
+      csv->add(n, delta, g.num_edges(), built.spanner.h.num_edges(),
+               stretch.max_stretch, mc.spanner_congestion,
+               gc.congestion_stretch());
+    }
+    ns.push_back(static_cast<double>(n));
+    edges.push_back(static_cast<double>(built.spanner.h.num_edges()));
+  }
+  t1.print(std::cout);
+  print_exponent("|E(H)| growth", ns, edges, 5.0 / 3.0);
+
+  // ---- Sweep 2: n fixed, Δ grows --------------------------------------
+  const std::size_t n = 500;
+  Table t2({"Δ", "|E(H)|", "compression", "stretch", "match C_H", "√Δ"});
+  std::vector<double> deltas, congestions;
+  for (std::size_t delta : {64, 100, 144, 196, 250}) {
+    const Graph g = random_regular(n, delta, seed + delta);
+    const auto built = build_regular_spanner(g, {.seed = seed});
+    const auto stretch = measure_distance_stretch(g, built.spanner.h);
+    DetourRouter router(built.spanner.h, built.sampled);
+    const auto matching = random_matching_problem(g, seed + 7);
+    const auto mc = measure_matching_congestion(g, built.spanner.h,
+                                                matching, router, seed + 8);
+    t2.add(delta, built.spanner.h.num_edges(),
+           built.spanner.stats.compression(), stretch.max_stretch,
+           mc.spanner_congestion, std::sqrt(static_cast<double>(delta)));
+    deltas.push_back(static_cast<double>(delta));
+    congestions.push_back(static_cast<double>(
+        std::max<std::size_t>(1, mc.spanner_congestion)));
+  }
+  t2.print(std::cout);
+  print_exponent("matching congestion vs Δ", deltas, congestions, 0.5);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 1, rows "[5]" and "[16]": prior-work expander sparsification.
+//
+//  [5]  (Becchetti et al.):  dense expander (Δ = Ω(n)) → O(n)-edge
+//       expander; O(log n) distance stretch, O(log³ n) congestion.
+//  [16] (Koutis–Xu):         any expander → O(n log n)-edge expander;
+//       O(log n) distance stretch, O(log⁴ n) congestion.
+//
+// Mechanism reproduced here: uniform sampling to the target degree, spectral
+// gap verified on the output, distance stretch measured exactly, and
+// permutation routing realized with Valiant-style random-intermediate
+// routing (the Scheideler-style permutation-routing role).
+
+#include "bench_common.hpp"
+
+#include "core/sparsify.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "graph/ramanujan.hpp"
+#include "routing/valiant.hpp"
+#include "routing/workloads.hpp"
+#include "spectral/expansion.hpp"
+
+namespace {
+
+struct RowSpec {
+  std::string name;
+  double target_degree_factor;  // multiplies log2(n); 0 → constant degree
+  double constant_degree;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  print_header(
+      "Table 1 / rows [5] and [16] — expander sparsification baselines",
+      "claims: [5] O(n) edges + O(log n) stretch + O(log³ n) congestion on "
+      "dense expanders; [16] O(n log n) edges + O(log n) stretch + "
+      "O(log⁴ n) congestion on any expander");
+
+  const std::uint64_t seed = 11;
+  const std::vector<RowSpec> rows{
+      {"[5]  constant-degree", 0.0, 6.0},
+      {"[16] log-degree", 1.5, 0.0},
+  };
+
+  for (const auto& row : rows) {
+    std::cout << "\n--- " << row.name << " ---\n";
+    Table t({"n", "Δ_in", "|E(H)|", "|E(H)|/n", "λ/Δ out", "stretch",
+             "log₂n", "perm C_H", "log₂³n"});
+    std::vector<double> ns, edges;
+    for (std::size_t n : {128, 256, 512, 1024}) {
+      const std::size_t delta = n / 4;  // dense: Δ = Ω(n)
+      const Graph g = random_regular(n, delta, seed + n);
+
+      SparsifyOptions o;
+      o.seed = seed;
+      const double log_n = std::log2(static_cast<double>(n));
+      o.target_degree = row.constant_degree > 0
+                            ? row.constant_degree
+                            : row.target_degree_factor * log_n;
+      const auto result = uniform_sparsify(g, o);
+      const Graph& h = result.spanner.h;
+
+      const auto expansion = estimate_expansion(h);
+      const auto stretch = measure_distance_stretch(g, h, 64);
+
+      const auto perm = random_permutation_problem(n, seed + 1);
+      const Routing p = valiant_routing(h, perm, {.seed = seed + 2});
+      const std::size_t cong = node_congestion(p, n);
+
+      t.add(n, delta, h.num_edges(),
+            static_cast<double>(h.num_edges()) / static_cast<double>(n),
+            expansion.normalized(), stretch.max_stretch, log_n, cong,
+            log_n * log_n * log_n);
+      ns.push_back(static_cast<double>(n));
+      edges.push_back(static_cast<double>(h.num_edges()));
+    }
+    t.print(std::cout);
+    print_exponent("|E(H)| growth", ns, edges,
+                   row.constant_degree > 0 ? 1.0 : 1.0);
+    std::cout << "(the [16] row carries an extra log n factor on top of the "
+                 "linear growth)\n";
+  }
+
+  // The [16] row on a *true* Ramanujan input (not just a random regular
+  // graph): LPS X^{5,29}, degree 6, 12180 vertices — already sparse, so we
+  // route permutation traffic on it directly and report the polylog
+  // congestion that makes these graphs "highly suitable for routing".
+  std::cout << "\n--- explicit Ramanujan input (LPS X^{5,29}) ---\n";
+  {
+    const LpsGraph lps = lps_ramanujan_graph(5, 29);
+    const auto expansion = estimate_expansion(lps.graph, 100, seed);
+    const std::size_t n = lps.graph.num_vertices();
+    const auto perm = random_permutation_problem(n, seed + 5);
+    const Routing p = valiant_routing(lps.graph, perm, {.seed = seed + 6});
+    const double log_n = std::log2(static_cast<double>(n));
+    Table t({"n", "degree", "λ", "2√p", "perm C_H", "log₂³n"});
+    t.add(n, lps.graph.min_degree(), expansion.lambda,
+          2.0 * std::sqrt(5.0), node_congestion(p, n),
+          log_n * log_n * log_n);
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Corollary 3: Algorithm 1 as an O(1)-round distributed algorithm in the
+// LOCAL model. Runs the message-passing simulation, reports round/message
+// statistics, and confirms the distributed output is bit-identical to the
+// sequential construction.
+//
+//   ./distributed_spanner [n] [delta] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/regular_spanner.hpp"
+#include "core/verifier.hpp"
+#include "dist/dist_spanner.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80;
+  const std::size_t delta =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+
+  const Graph g = random_regular(n, delta, seed);
+  RegularSpannerOptions options;
+  options.seed = seed;
+
+  std::cout << "running distributed Algorithm 1 on a " << delta
+            << "-regular graph with " << n << " nodes...\n\n";
+  const auto dist = build_regular_spanner_local(g, options);
+  const auto seq = build_regular_spanner(g, options);
+
+  Table table({"quantity", "value"});
+  table.add("LOCAL rounds", dist.stats.rounds);
+  table.add("messages delivered", dist.stats.total_messages);
+  table.add("64-bit words exchanged", dist.stats.total_words);
+  table.add("spanner edges (distributed)", dist.h.num_edges());
+  table.add("spanner edges (sequential)", seq.spanner.h.num_edges());
+  table.add("outputs identical",
+            std::string(dist.h == seq.spanner.h ? "yes" : "NO (bug!)"));
+  table.print(std::cout);
+
+  const auto stretch = measure_distance_stretch(g, dist.h);
+  std::cout << "\ndistance stretch of the distributed spanner: "
+            << stretch.max_stretch
+            << (stretch.satisfies(3.0) ? " (3-spanner ✓)" : " (violation!)")
+            << "\n"
+            << "\nthe round count is independent of n: every decision needs\n"
+               "only 3-hop neighborhood knowledge (support test + detour\n"
+               "survival), gathered in 3 flooding rounds.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Weighted distance-spanner baselines: the classical constructions the
+// paper builds on, run on a weighted random graph. Compares the greedy
+// (2k−1)-spanner and Baswana–Sen across k on size and exact stretch.
+//
+//   ./weighted_baselines [n] [edge_prob_percent] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/weighted_spanners.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const double p =
+      (argc > 2 ? std::strtod(argv[2], nullptr) : 20.0) / 100.0;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  // random weighted graph: ER topology, weights uniform in [1, 10]
+  const Graph base = erdos_renyi(n, p, seed);
+  Rng rng(seed + 1);
+  std::vector<WeightedEdge> edges;
+  for (Edge e : base.edges()) {
+    edges.push_back(WeightedEdge{e.u, e.v, 1.0 + 9.0 * rng.uniform_double()});
+  }
+  const auto g = WeightedGraph::from_edges(n, edges);
+  std::cout << "weighted G(" << n << ", " << p << "): " << g.num_edges()
+            << " edges, total weight " << g.total_weight() << "\n\n";
+
+  Table t({"construction", "k", "stretch bound 2k-1", "edges",
+           "total weight", "measured stretch"});
+  for (std::size_t k : {2, 3, 4}) {
+    const double alpha = static_cast<double>(2 * k - 1);
+    const auto greedy = weighted_greedy_spanner(g, alpha);
+    t.add("greedy", k, alpha, greedy.num_edges(), greedy.total_weight(),
+          weighted_edge_stretch(g, greedy));
+    const auto bs = weighted_baswana_sen_spanner(g, k, seed + k);
+    t.add("baswana-sen", k, alpha, bs.num_edges(), bs.total_weight(),
+          weighted_edge_stretch(g, bs));
+  }
+  t.print(std::cout);
+  std::cout << "\nnote: these are distance-only spanners — the paper's point "
+               "is that none of them\ncontrols congestion; the DC "
+               "constructions (unweighted) add that guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "core/baseline_spanners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+Spanner baswana_sen_3_spanner(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(n >= 1, "empty graph");
+  Rng rng(seed);
+  const double p = 1.0 / std::sqrt(static_cast<double>(n));
+
+  std::vector<Vertex> cluster(n, kInvalidVertex);
+  std::vector<bool> is_center(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    if (rng.bernoulli(p)) {
+      is_center[v] = true;
+      cluster[v] = v;
+    }
+  }
+
+  EdgeSet spanner_edges;
+
+  // Phase 1: join a cluster through a sampled neighbor, or keep everything.
+  for (Vertex v = 0; v < n; ++v) {
+    if (is_center[v]) continue;
+    std::vector<Vertex> centers;
+    for (Vertex u : g.neighbors(v)) {
+      if (is_center[u]) centers.push_back(u);
+    }
+    if (centers.empty()) {
+      for (Vertex u : g.neighbors(v)) spanner_edges.insert(v, u);
+    } else {
+      const Vertex c = rng.pick(centers);
+      cluster[v] = c;
+      spanner_edges.insert(v, c);
+    }
+  }
+
+  // Phase 2: one edge per adjacent cluster.
+  std::unordered_map<Vertex, Vertex> pick;  // cluster center -> neighbor
+  for (Vertex v = 0; v < n; ++v) {
+    pick.clear();
+    for (Vertex u : g.neighbors(v)) {
+      const Vertex c = cluster[u];
+      if (c == kInvalidVertex || c == cluster[v]) continue;
+      pick.emplace(c, u);  // keeps the first edge into each cluster
+    }
+    for (const auto& [c, u] : pick) spanner_edges.insert(v, u);
+  }
+
+  Spanner out;
+  const auto list = spanner_edges.to_vector();
+  out.h = Graph::from_edges(n, list);
+  out.stats.input_edges = g.num_edges();
+  out.stats.spanner_edges = out.h.num_edges();
+  out.stats.sample_probability = p;
+  return out;
+}
+
+Spanner baswana_sen_spanner(const Graph& g, std::size_t k,
+                            std::uint64_t seed) {
+  DCS_REQUIRE(k >= 1, "stretch parameter k must be at least 1");
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(n >= 1, "empty graph");
+  if (k == 1) {  // a 1-spanner is the graph itself
+    Spanner out;
+    out.h = g;
+    out.stats.input_edges = g.num_edges();
+    out.stats.spanner_edges = g.num_edges();
+    return out;
+  }
+
+  Rng rng(seed);
+  const double sample_p =
+      std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
+
+  // cluster[v] = center id of v's current cluster; kInvalidVertex once v
+  // has retired (kept one edge per adjacent cluster and left the game).
+  std::vector<Vertex> cluster(n);
+  for (Vertex v = 0; v < n; ++v) cluster[v] = v;
+
+  // E_work: edges still awaiting coverage. Edges leave the working set when
+  // their coverage is certified (by a same-cluster join or a retirement).
+  EdgeSet work(std::span<const Edge>(g.edges()));
+  EdgeSet spanner_edges;
+
+  // One edge per adjacent cluster for vertex v, over the current working
+  // edges; removes all of v's working edges afterwards.
+  auto retire = [&](Vertex v) {
+    std::unordered_map<Vertex, Vertex> pick;  // cluster center -> neighbor
+    for (Vertex u : g.neighbors(v)) {
+      if (!work.contains(v, u)) continue;
+      const Vertex c = cluster[u];
+      if (c == kInvalidVertex) continue;
+      pick.emplace(c, u);
+    }
+    for (const auto& [c, u] : pick) spanner_edges.insert(v, u);
+    for (Vertex u : g.neighbors(v)) work.erase(canonical(v, u));
+    cluster[v] = kInvalidVertex;
+  };
+
+  for (std::size_t phase = 1; phase < k; ++phase) {
+    // Sample the surviving clusters of the previous phase.
+    std::vector<bool> sampled(n, false);
+    for (Vertex c = 0; c < n; ++c) {
+      sampled[c] = rng.bernoulli(sample_p);
+    }
+    std::vector<Vertex> next_cluster(n, kInvalidVertex);
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[v] == kInvalidVertex) continue;
+      if (sampled[cluster[v]]) {
+        next_cluster[v] = cluster[v];  // cluster survives wholesale
+        continue;
+      }
+      // Look for a neighbor in a sampled cluster (through working edges).
+      Vertex join_via = kInvalidVertex;
+      for (Vertex u : g.neighbors(v)) {
+        if (!work.contains(v, u)) continue;
+        const Vertex c = cluster[u];
+        if (c != kInvalidVertex && sampled[c]) {
+          join_via = u;
+          break;
+        }
+      }
+      if (join_via == kInvalidVertex) {
+        retire(v);
+        continue;
+      }
+      const Vertex joined = cluster[join_via];
+      spanner_edges.insert(v, join_via);
+      next_cluster[v] = joined;
+      // Edges from v into the joined cluster are now covered through the
+      // join edge plus the cluster's bounded radius.
+      for (Vertex u : g.neighbors(v)) {
+        if (work.contains(v, u) && cluster[u] == joined) {
+          work.erase(canonical(v, u));
+        }
+      }
+    }
+    cluster = next_cluster;
+  }
+
+  // Final phase: every surviving vertex keeps one edge per adjacent
+  // cluster among the remaining working edges.
+  for (Vertex v = 0; v < n; ++v) {
+    if (cluster[v] == kInvalidVertex) continue;
+    std::unordered_map<Vertex, Vertex> pick;
+    for (Vertex u : g.neighbors(v)) {
+      if (!work.contains(v, u)) continue;
+      const Vertex c = cluster[u];
+      if (c == kInvalidVertex || c == cluster[v]) continue;
+      pick.emplace(c, u);
+    }
+    for (const auto& [c, u] : pick) spanner_edges.insert(v, u);
+    // Same-cluster working edges are covered via the cluster tree (radius
+    // ≤ k−1 on spanner edges), but only if the two endpoints connect to
+    // the center through spanner edges — which they do by construction.
+  }
+
+  Spanner out;
+  const auto list = spanner_edges.to_vector();
+  out.h = Graph::from_edges(n, list);
+  out.stats.input_edges = g.num_edges();
+  out.stats.spanner_edges = out.h.num_edges();
+  out.stats.sample_probability = sample_p;
+  return out;
+}
+
+namespace {
+
+// Dynamic adjacency with depth-bounded BFS used by the greedy spanner.
+class IncrementalGraph {
+ public:
+  explicit IncrementalGraph(std::size_t n)
+      : adj_(n), stamp_(n, 0), dist_(n, 0), current_stamp_(0) {}
+
+  void add_edge(Vertex u, Vertex v) {
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+  }
+
+  /// True iff dist(u, v) <= bound in the current spanner.
+  bool within_distance(Vertex u, Vertex v, Dist bound) {
+    if (u == v) return true;
+    ++current_stamp_;
+    frontier_.clear();
+    frontier_.push_back(u);
+    stamp_[u] = current_stamp_;
+    dist_[u] = 0;
+    std::size_t head = 0;
+    while (head < frontier_.size()) {
+      const Vertex x = frontier_[head++];
+      if (dist_[x] >= bound) continue;
+      for (Vertex y : adj_[x]) {
+        if (stamp_[y] == current_stamp_) continue;
+        if (y == v) return true;
+        stamp_[y] = current_stamp_;
+        dist_[y] = dist_[x] + 1;
+        frontier_.push_back(y);
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<Dist> dist_;
+  std::uint64_t current_stamp_;
+  std::vector<Vertex> frontier_;
+};
+
+}  // namespace
+
+Spanner greedy_spanner(const Graph& g, Dist alpha, std::uint64_t seed) {
+  DCS_REQUIRE(alpha >= 1, "stretch must be at least 1");
+  auto edges = g.edges();
+  Rng rng(seed);
+  rng.shuffle(edges);
+
+  IncrementalGraph partial(g.num_vertices());
+  std::vector<Edge> kept;
+  for (Edge e : edges) {
+    if (!partial.within_distance(e.u, e.v, alpha)) {
+      partial.add_edge(e.u, e.v);
+      kept.push_back(e);
+    }
+  }
+
+  Spanner out;
+  out.h = Graph::from_edges(g.num_vertices(), kept);
+  out.stats.input_edges = g.num_edges();
+  out.stats.spanner_edges = out.h.num_edges();
+  return out;
+}
+
+}  // namespace dcs

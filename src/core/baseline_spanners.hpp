@@ -1,0 +1,36 @@
+#pragma once
+
+// Classical distance-spanner baselines. The paper's point of comparison:
+// classic sparsification achieves the same distance stretch and size, but
+// gives no handle on congestion (Section 5 proves some 3-spanners *must*
+// incur Ω(n^{1/6}) congestion stretch). These baselines let the experiments
+// measure that gap.
+
+#include "core/dc_spanner.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+/// Baswana–Sen (2k−1)-spanner for unweighted graphs, specialized to k = 2
+/// (a 3-distance spanner with O(n^{3/2}) expected edges): sample cluster
+/// centers with probability n^{-1/2}; unclustered vertices keep all their
+/// edges, clustered vertices keep one edge into their own cluster and one
+/// edge into every adjacent cluster.
+Spanner baswana_sen_3_spanner(const Graph& g, std::uint64_t seed);
+
+/// General Baswana–Sen (2k−1)-spanner for unweighted graphs, k ≥ 1:
+/// k−1 cluster-sampling phases (survival probability n^{-1/k} each) grow
+/// clusters of radius i at phase i; a vertex with no sampled neighbor
+/// cluster keeps one edge per adjacent cluster and retires; the final
+/// phase connects every surviving vertex to each adjacent cluster.
+/// Expected size O(k·n^{1+1/k}).
+Spanner baswana_sen_spanner(const Graph& g, std::size_t k,
+                            std::uint64_t seed);
+
+/// Greedy α-spanner (Althöfer et al.): scan edges, keep (u,v) iff the
+/// current spanner distance d_H(u,v) exceeds α. Produces the sparsest
+/// simple guarantee but with no congestion control. O(m · bounded-BFS).
+Spanner greedy_spanner(const Graph& g, Dist alpha, std::uint64_t seed = 0);
+
+}  // namespace dcs

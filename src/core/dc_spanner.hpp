@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared types for DC-spanner constructions (Definitions 1–4 of the paper).
+//
+// A spanner construction returns the subgraph H together with build
+// statistics; the stretch guarantees of Definition 3 are checked empirically
+// by core/verifier.hpp rather than assumed.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct SpannerStats {
+  std::size_t input_edges = 0;      ///< |E(G)|
+  std::size_t sampled_edges = 0;    ///< edges kept by random sampling (E')
+  std::size_t reinserted_edges = 0; ///< edges reinserted for support (E'')
+  std::size_t spanner_edges = 0;    ///< |E(H)|
+  double sample_probability = 0.0;  ///< ρ used by the sampling step
+
+  double compression() const {
+    return input_edges == 0
+               ? 1.0
+               : static_cast<double>(spanner_edges) /
+                     static_cast<double>(input_edges);
+  }
+};
+
+struct Spanner {
+  Graph h;  ///< spanner graph: same vertex set, subset of edges
+  SpannerStats stats;
+};
+
+/// Deterministic per-edge coin flip shared by the sequential and the
+/// distributed (LOCAL-model) constructions, so both produce identical
+/// spanners from the same seed: edge e is kept iff hash(seed, e) < ρ.
+inline bool edge_sampled(Edge e, double rho, std::uint64_t seed);
+
+}  // namespace dcs
+
+#include "util/rng.hpp"
+
+namespace dcs {
+
+inline bool edge_sampled(Edge e, double rho, std::uint64_t seed) {
+  const std::uint64_t h = mix64(seed, edge_key(canonical(e)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rho;
+}
+
+}  // namespace dcs

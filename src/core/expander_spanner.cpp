@@ -1,0 +1,68 @@
+#include "core/expander_spanner.hpp"
+
+#include <cmath>
+
+#include "core/support.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+ExpanderSpannerResult build_expander_spanner(
+    const Graph& g, const ExpanderSpannerOptions& options) {
+  DCS_REQUIRE(g.num_vertices() >= 2, "spanner input too small");
+  DCS_REQUIRE(g.is_regular(), "Theorem 2 requires a Δ-regular expander");
+  const auto n = static_cast<double>(g.num_vertices());
+  const auto delta = static_cast<double>(g.min_degree());
+
+  double p;
+  if (options.epsilon >= 0.0) {
+    p = std::pow(n, -options.epsilon);
+  } else {
+    p = std::pow(n, 2.0 / 3.0) / delta;
+  }
+  p = std::min(1.0, p);
+
+  const auto all_edges = g.edges();
+  std::vector<Edge> kept;
+  std::vector<Edge> dropped;
+  for (Edge e : all_edges) {
+    if (edge_sampled(e, p, options.seed)) {
+      kept.push_back(e);
+    } else {
+      dropped.push_back(e);
+    }
+  }
+  Graph s = Graph::from_edges(g.num_vertices(), kept);
+
+  ExpanderSpannerResult result;
+  result.sample_probability = p;
+
+  if (options.repair_uncovered) {
+    std::vector<std::uint8_t> need(dropped.size(), 0);
+    parallel_for(0, dropped.size(), [&](std::size_t i) {
+      const Edge e = dropped[i];
+      if (!has_short_replacement(s, e.u, e.v)) need[i] = 1;
+    });
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+      if (need[i] != 0) {
+        kept.push_back(dropped[i]);
+        ++result.repaired_edges;
+      }
+    }
+    if (result.repaired_edges > 0) {
+      s = Graph::from_edges(g.num_vertices(), kept);
+    }
+  }
+
+  result.spanner.h = std::move(s);
+  auto& stats = result.spanner.stats;
+  stats.input_edges = g.num_edges();
+  stats.sampled_edges = kept.size() - result.repaired_edges;
+  stats.reinserted_edges = result.repaired_edges;
+  stats.spanner_edges = result.spanner.h.num_edges();
+  stats.sample_probability = p;
+  return result;
+}
+
+}  // namespace dcs

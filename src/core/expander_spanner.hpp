@@ -1,0 +1,45 @@
+#pragma once
+
+// Theorem 2 construction (Section 3): DC-spanner for regular spectral
+// expanders with Δ = n^{2/3+ε}.
+//
+// Every edge is sampled independently with probability p = n^{-ε} (i.e. the
+// expected spanner degree is n^{2/3}); a routed edge {u,v} absent from the
+// spanner is replaced by a uniformly random 3-hop path u–x–y–v whose middle
+// edge (x,y) belongs to a maximum matching between the spanner-neighborhoods
+// of u and v (Lemma 4 guarantees this matching is large on expanders via the
+// expander mixing lemma).
+//
+// The paper's distance guarantee is w.h.p.; `repair_uncovered` (default on)
+// reinserts the (rare, finite-n) edges with no replacement of length ≤ 3 so
+// the resulting spanner is deterministically a 3-distance spanner.
+
+#include "core/dc_spanner.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct ExpanderSpannerOptions {
+  std::uint64_t seed = 1;
+
+  /// Sampling exponent: keep probability p = n^{-epsilon}. If negative, the
+  /// probability is derived from the target degree n^{2/3}: p = n^{2/3}/Δ.
+  double epsilon = -1.0;
+
+  /// Reinsert edges that end up with no replacement path of length ≤ 3.
+  bool repair_uncovered = true;
+};
+
+struct ExpanderSpannerResult {
+  Spanner spanner;
+  double sample_probability = 0.0;
+  std::size_t repaired_edges = 0;  ///< edges reinserted by the repair pass
+};
+
+/// Runs the Theorem 2 sampling construction. Requires a regular input; the
+/// expansion premise is verified by experiments (spectral/expansion.hpp),
+/// not assumed here.
+ExpanderSpannerResult build_expander_spanner(
+    const Graph& g, const ExpanderSpannerOptions& options = {});
+
+}  // namespace dcs

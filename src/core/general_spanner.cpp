@@ -1,0 +1,86 @@
+#include "core/general_spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+double stretch_sample_probability(std::size_t n, double avg_degree,
+                                  Dist alpha) {
+  DCS_REQUIRE(alpha >= 1, "stretch must be at least 1");
+  DCS_REQUIRE(avg_degree > 0.0, "average degree must be positive");
+  const double k = (static_cast<double>(alpha) + 1.0) / 2.0;
+  const double target_degree =
+      2.0 * std::pow(static_cast<double>(n), 1.0 / k);
+  return std::min(1.0, target_degree / avg_degree);
+}
+
+StretchSpannerResult build_stretch_spanner(
+    const Graph& g, const StretchSpannerOptions& options) {
+  DCS_REQUIRE(g.num_vertices() >= 2, "spanner input too small");
+  DCS_REQUIRE(g.num_edges() >= 1, "spanner input has no edges");
+  const std::size_t n = g.num_vertices();
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(n);
+
+  double p = options.sample_probability;
+  if (p <= 0.0) {
+    p = stretch_sample_probability(n, avg_degree, options.alpha);
+  }
+  p = std::min(1.0, p);
+
+  std::vector<Edge> kept;
+  std::vector<Edge> dropped;
+  for (Edge e : g.edges()) {
+    if (edge_sampled(e, p, options.seed)) {
+      kept.push_back(e);
+    } else {
+      dropped.push_back(e);
+    }
+  }
+  Graph sampled = Graph::from_edges(n, kept);
+
+  StretchSpannerResult result;
+  result.sample_probability = p;
+
+  if (options.repair && !dropped.empty()) {
+    // One bounded BFS per vertex that lost an edge suffices: reinserting
+    // edges only shrinks distances, so checking against G' is conservative.
+    std::vector<std::vector<Edge>> missing_per(dropped.size());
+    // Group dropped edges by smaller endpoint to batch BFS runs.
+    std::vector<std::vector<std::size_t>> by_source(n);
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+      by_source[dropped[i].u].push_back(i);
+    }
+    std::vector<std::uint8_t> need(dropped.size(), 0);
+    parallel_for(0, n, [&](std::size_t ui) {
+      if (by_source[ui].empty()) return;
+      const auto dist = bfs_distances_bounded(
+          sampled, static_cast<Vertex>(ui), options.alpha);
+      for (std::size_t i : by_source[ui]) {
+        if (dist[dropped[i].v] == kUnreachable) need[i] = 1;
+      }
+    });
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+      if (need[i] != 0) {
+        kept.push_back(dropped[i]);
+        ++result.repaired_edges;
+      }
+    }
+  }
+
+  result.spanner.h = Graph::from_edges(n, kept);
+  auto& stats = result.spanner.stats;
+  stats.input_edges = g.num_edges();
+  stats.sampled_edges = kept.size() - result.repaired_edges;
+  stats.reinserted_edges = result.repaired_edges;
+  stats.spanner_edges = result.spanner.h.num_edges();
+  stats.sample_probability = p;
+  return result;
+}
+
+}  // namespace dcs

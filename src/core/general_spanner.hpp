@@ -1,0 +1,43 @@
+#pragma once
+
+// Generalized-stretch sampling spanner — an empirical probe of the paper's
+// open problem #2 ("increase the distance stretches for the spectral
+// expanders and regular graphs; this may give better congestion bounds").
+//
+// For odd α = 2k−1, sample every edge independently with probability
+// p ≈ c·n^{1/k}/Δ (targeting the classical Θ(n^{1+1/k}) spanner density)
+// and reinsert every edge whose endpoints end up further than α apart in
+// the sampled graph. The result is deterministically an α-distance spanner;
+// replacement paths are randomized shortest paths, so the congestion
+// behaviour under growing α can be measured directly
+// (bench_ext_stretch_tradeoff).
+
+#include "core/dc_spanner.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct StretchSpannerOptions {
+  std::uint64_t seed = 1;
+  Dist alpha = 3;  ///< target distance stretch (α ≥ 1)
+  /// Edge sampling probability; ≤ 0 derives c·n^{1/k}/Δ̄ with k = (α+1)/2
+  /// and c = 2 from the average degree Δ̄.
+  double sample_probability = -1.0;
+  bool repair = true;  ///< reinsert edges with d_{G'}(u,v) > α
+};
+
+struct StretchSpannerResult {
+  Spanner spanner;
+  double sample_probability = 0.0;
+  std::size_t repaired_edges = 0;
+};
+
+/// The sampling probability rule described above (exposed for tests).
+double stretch_sample_probability(std::size_t n, double avg_degree,
+                                  Dist alpha);
+
+StretchSpannerResult build_stretch_spanner(
+    const Graph& g, const StretchSpannerOptions& options = {});
+
+}  // namespace dcs

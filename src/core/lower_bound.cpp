@@ -1,0 +1,235 @@
+#include "core/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+FanSpanner fan_optimal_spanner(const FanGadget& fan) {
+  FanSpanner out;
+  EdgeSet keep(std::span<const Edge>{});
+  for (Edge e : fan.g.edges()) keep.insert(e);
+  // Face f_i (1-based) consists of hub rays to line[2i-2], line[2i] and the
+  // two line edges between them; removing the first line edge of every face
+  // keeps a 3-detour line[2i-2] – hub – line[2i] – line[2i-1].
+  out.removed.reserve(fan.k);
+  for (std::size_t i = 0; i < fan.k; ++i) {
+    const Edge e = canonical(fan.line[2 * i], fan.line[2 * i + 1]);
+    DCS_CHECK(keep.erase(e), "face line edge missing from gadget");
+    out.removed.push_back(e);
+  }
+  const auto kept = keep.to_vector();
+  out.h = Graph::from_edges(fan.g.num_vertices(), kept);
+  return out;
+}
+
+RoutingProblem fan_adversarial_problem(const FanSpanner& spanner) {
+  return RoutingProblem::from_edges(spanner.removed);
+}
+
+LowerBoundGraph build_lower_bound_graph(std::size_t n, std::uint64_t seed,
+                                        std::size_t k_override) {
+  DCS_REQUIRE(n >= 4, "lower-bound graph needs n >= 4");
+  LowerBoundGraph out;
+  out.pool_size = n;
+  if (k_override > 0) {
+    out.k = k_override;
+  } else {
+    const double two_k =
+        std::pow(static_cast<double>(n) / 17.0, 1.0 / 6.0);
+    out.k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(two_k / 2.0)));
+  }
+  const std::size_t line_len = 2 * out.k + 1;
+  DCS_REQUIRE(line_len <= n,
+              "instance line length exceeds the pool; lower k or raise n");
+
+  Rng rng(seed);
+  GraphBuilder builder(n + n);  // pool nodes then one hub per instance
+
+  // membership[v] = instances that contain pool node v; used to enforce the
+  // pairwise-intersection-≤-1 condition of Lemma 19 by rejection.
+  std::vector<std::vector<std::size_t>> membership(n);
+  out.instances.reserve(n);
+
+  std::vector<Vertex> pool(n);
+  for (std::size_t v = 0; v < n; ++v) pool[v] = static_cast<Vertex>(v);
+
+  for (std::size_t inst = 0; inst < n; ++inst) {
+    const std::size_t max_tries = 50;
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < max_tries && !placed;
+         ++attempt) {
+      // Greedy node-by-node selection: a node is acceptable iff none of the
+      // instances it already belongs to has been touched by this instance
+      // (that would create a ≥2-node overlap). Shuffling the pool keeps the
+      // construction random, scanning keeps it complete.
+      rng.shuffle(pool);
+      std::vector<Vertex> chosen;
+      std::unordered_set<std::size_t> touched;  // instances sharing 1 node
+      for (Vertex v : pool) {
+        bool conflict = false;
+        for (std::size_t other : membership[v]) {
+          if (touched.count(other) > 0) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) continue;
+        chosen.push_back(v);
+        for (std::size_t other : membership[v]) touched.insert(other);
+        if (chosen.size() == line_len) break;
+      }
+      if (chosen.size() < line_len) continue;
+      LowerBoundInstance instance;
+      instance.hub = static_cast<Vertex>(n + inst);
+      instance.line = std::move(chosen);
+      for (Vertex v : instance.line) membership[v].push_back(inst);
+      // line edges
+      for (std::size_t i = 0; i + 1 < line_len; ++i) {
+        builder.add_edge(instance.line[i], instance.line[i + 1]);
+      }
+      // rays to odd-indexed line positions (0-based even indices)
+      for (std::size_t i = 0; i < line_len; i += 2) {
+        builder.add_edge(instance.hub, instance.line[i]);
+      }
+      out.instances.push_back(std::move(instance));
+      placed = true;
+    }
+    DCS_REQUIRE(placed,
+                "could not place an instance with pairwise intersection <= 1;"
+                " n is too small for this k");
+  }
+
+  out.g = builder.build();
+  DCS_CHECK(out.g.num_edges() == n * (3 * out.k + 1),
+            "lower-bound graph edge count mismatch (instances overlapped)");
+  return out;
+}
+
+LowerBoundSpanner lower_bound_optimal_spanner(const LowerBoundGraph& g) {
+  LowerBoundSpanner out;
+  EdgeSet keep(std::span<const Edge>{});
+  for (Edge e : g.g.edges()) keep.insert(e);
+  out.removed_per_instance.resize(g.instances.size());
+  for (std::size_t inst = 0; inst < g.instances.size(); ++inst) {
+    const auto& instance = g.instances[inst];
+    for (std::size_t i = 0; i < g.k; ++i) {
+      const Edge e =
+          canonical(instance.line[2 * i], instance.line[2 * i + 1]);
+      DCS_CHECK(keep.erase(e), "instance line edge missing");
+      out.removed_per_instance[inst].push_back(e);
+      ++out.total_removed;
+    }
+  }
+  const auto kept = keep.to_vector();
+  out.h = Graph::from_edges(g.g.num_vertices(), kept);
+  return out;
+}
+
+RoutingProblem lower_bound_adversarial_problem(
+    const LowerBoundSpanner& spanner, std::size_t instance) {
+  DCS_REQUIRE(instance < spanner.removed_per_instance.size(),
+              "instance index out of range");
+  return RoutingProblem::from_edges(
+      spanner.removed_per_instance[instance]);
+}
+
+Routing lower_bound_hub_routing(const LowerBoundGraph& g,
+                                std::size_t instance) {
+  DCS_REQUIRE(instance < g.instances.size(), "instance index out of range");
+  const auto& inst = g.instances[instance];
+  Routing routing;
+  routing.paths.reserve(g.k);
+  for (std::size_t i = 0; i < g.k; ++i) {
+    Path p{inst.line[2 * i], inst.hub, inst.line[2 * i + 2],
+           inst.line[2 * i + 1]};
+    // Orient to match the canonical source of the adversarial problem.
+    if (canonical(inst.line[2 * i], inst.line[2 * i + 1]).u != p.front()) {
+      std::reverse(p.begin(), p.end());
+    }
+    routing.paths.push_back(std::move(p));
+  }
+  return routing;
+}
+
+std::vector<Path> all_paths_up_to(const Graph& g, Vertex s, Vertex t,
+                                  std::size_t max_len) {
+  std::vector<Path> out;
+  Path current{s};
+  std::vector<bool> on_path(g.num_vertices(), false);
+  on_path[s] = true;
+
+  // Iterative DFS with explicit neighbor cursors.
+  std::vector<std::size_t> cursor{0};
+  while (!current.empty()) {
+    const Vertex u = current.back();
+    const auto nbrs = g.neighbors(u);
+    bool advanced = false;
+    while (cursor.back() < nbrs.size()) {
+      const Vertex v = nbrs[cursor.back()++];
+      if (v == t) {
+        Path found = current;
+        found.push_back(t);
+        out.push_back(std::move(found));
+        continue;
+      }
+      if (on_path[v] || current.size() >= max_len) continue;
+      current.push_back(v);
+      on_path[v] = true;
+      cursor.push_back(0);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      on_path[u] = false;
+      current.pop_back();
+      cursor.pop_back();
+    }
+  }
+  return out;
+}
+
+Routing min_congestion_short_routing(const Graph& g,
+                                     const RoutingProblem& problem,
+                                     std::size_t max_len) {
+  std::vector<std::size_t> load(g.num_vertices(), 0);
+  Routing routing;
+  routing.paths.reserve(problem.size());
+  for (auto [s, t] : problem.pairs) {
+    auto candidates = all_paths_up_to(g, s, t, max_len);
+    DCS_REQUIRE(!candidates.empty(),
+                "pair has no path within the stretch bound");
+    // Pick the candidate minimizing (resulting max load, total load, length)
+    // lexicographically — the secondary criteria spread ties across
+    // parallel detours instead of piling onto the first one found.
+    std::size_t best_idx = 0;
+    auto cost_of = [&load](const Path& path) {
+      std::size_t max_load = 0, sum_load = 0;
+      for (Vertex v : path) {
+        max_load = std::max(max_load, load[v] + 1);
+        sum_load += load[v];
+      }
+      return std::tuple(max_load, sum_load, path.size());
+    };
+    auto best_cost = cost_of(candidates[0]);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const auto cost = cost_of(candidates[i]);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_idx = i;
+      }
+    }
+    for (Vertex v : candidates[best_idx]) ++load[v];
+    routing.paths.push_back(std::move(candidates[best_idx]));
+  }
+  return routing;
+}
+
+}  // namespace dcs

@@ -1,0 +1,109 @@
+#pragma once
+
+// Section 5: distance spanners with inherently large congestion stretch.
+//
+//  * Lemma 18 — the "fan" gadget (graph/generators.hpp) admits an optimal
+//    3-distance spanner obtained by deleting one line edge per face; every
+//    length-≤3 substitute for a deleted line edge is forced through the hub,
+//    so the deleted-edge routing problem has congestion k on the spanner
+//    versus ≤ 2 on the gadget.
+//  * Lemma 19 / Theorem 4 — n fan instances over a shared pool of n line
+//    nodes, any two instances sharing at most one node (enforced by
+//    rejection sampling), give a graph whose optimal-size 3-spanners are
+//    (3, Ω(n^{1/6}))-DC-spanners.
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+// ---------------------------------------------------------------------------
+// Lemma 18: single gadget
+// ---------------------------------------------------------------------------
+
+struct FanSpanner {
+  Graph h;
+  std::vector<Edge> removed;  ///< the k removed line edges, one per face
+};
+
+/// The optimal-size 3-distance spanner of a fan gadget: remove the first
+/// line edge of every face, keep all rays. |E(H)| = |E(G)| − k.
+FanSpanner fan_optimal_spanner(const FanGadget& fan);
+
+/// The adversarial routing problem of Lemma 18: one pair per removed line
+/// edge. Its optimal congestion on the gadget is 1 (disjoint edges); every
+/// valid (3,·)-substitute routing on the spanner has congestion ≥ k at the
+/// hub.
+RoutingProblem fan_adversarial_problem(const FanSpanner& spanner);
+
+// ---------------------------------------------------------------------------
+// Theorem 4: composed graph
+// ---------------------------------------------------------------------------
+
+struct LowerBoundInstance {
+  Vertex hub = kInvalidVertex;
+  std::vector<Vertex> line;  ///< 2k+1 pool nodes in this instance's order
+};
+
+struct LowerBoundGraph {
+  Graph g;
+  std::size_t k = 0;          ///< per-instance fan parameter
+  std::size_t pool_size = 0;  ///< line-node pool: vertex ids [0, pool_size)
+  std::vector<LowerBoundInstance> instances;  ///< hubs follow the pool ids
+};
+
+/// Builds the Theorem 4 graph with `n` instances over a pool of `n` line
+/// nodes; k defaults to max(1, ⌊(n/17)^{1/6}/2⌋) per the paper and can be
+/// overridden (0 = default). Instance node sets pairwise share ≤ 1 node
+/// (Lemma 19(ii)), making instances edge-disjoint.
+LowerBoundGraph build_lower_bound_graph(std::size_t n, std::uint64_t seed,
+                                        std::size_t k_override = 0);
+
+struct LowerBoundSpanner {
+  Graph h;
+  /// removed[i] = the k line edges removed from instance i.
+  std::vector<std::vector<Edge>> removed_per_instance;
+  std::size_t total_removed = 0;
+};
+
+/// Optimal-size 3-spanner: applies the Lemma 18 removal to every instance.
+LowerBoundSpanner lower_bound_optimal_spanner(const LowerBoundGraph& g);
+
+/// The adversarial routing problem restricted to one instance (the paper's
+/// per-instance argument: C_G = 1, every 3-stretch substitute on H funnels
+/// through that instance's hub, so C_H ≥ k).
+RoutingProblem lower_bound_adversarial_problem(
+    const LowerBoundSpanner& spanner, std::size_t instance);
+
+/// The canonical within-instance substitute routing for the adversarial
+/// problem: removed edge (line[2i], line[2i+1]) routes over
+/// line[2i] – hub – line[2i+2] – line[2i+1]. All k paths share the hub, so
+/// its congestion is exactly k — the Lemma 18 lower-bound witness.
+/// (At finite n the composed graph can contain additional cross-instance
+/// 3-hop shortcuts, so a min-congestion router may do slightly better; the
+/// asymptotic argument makes those shortcuts vanish as deg³/n → 0.)
+Routing lower_bound_hub_routing(const LowerBoundGraph& g,
+                                std::size_t instance);
+
+// ---------------------------------------------------------------------------
+// Stretch-constrained routing (used to measure C_H(R) under Definition 3's
+// 3-stretch requirement)
+// ---------------------------------------------------------------------------
+
+/// All simple paths from s to t of length ≤ max_len (depth-limited DFS; only
+/// suitable for bounded-degree neighborhoods / small max_len).
+std::vector<Path> all_paths_up_to(const Graph& g, Vertex s, Vertex t,
+                                  std::size_t max_len);
+
+/// Greedy minimum-congestion routing where every pair must be routed within
+/// `max_len` hops: pairs are routed sequentially, each picking the candidate
+/// path that minimizes the resulting maximum node load. Throws if some pair
+/// has no path within the bound.
+Routing min_congestion_short_routing(const Graph& g,
+                                     const RoutingProblem& problem,
+                                     std::size_t max_len);
+
+}  // namespace dcs

@@ -1,0 +1,120 @@
+#include "core/matching_decomposition.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "routing/edge_coloring.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Orients `sub` so that it runs from `from` to `to`; the substitute routing
+// stored one path per canonical pair.
+Path oriented(const Path& sub, Vertex from, Vertex to) {
+  DCS_CHECK(!sub.empty(), "empty substitute path");
+  if (sub.front() == from && sub.back() == to) return sub;
+  DCS_CHECK(sub.front() == to && sub.back() == from,
+            "substitute path endpoints do not match the edge");
+  Path rev(sub.rbegin(), sub.rend());
+  return rev;
+}
+
+}  // namespace
+
+SubstituteRouting substitute_routing_via_matchings(
+    std::size_t n, const Routing& p, const MatchingRouteFn& route_matching,
+    std::uint64_t seed) {
+  SubstituteRouting out;
+
+  // --- Level assignment -------------------------------------------------
+  // For every edge e, the list of paths whose A_p contains e (each path
+  // contributes e once even if it traverses it twice). The i-th path in the
+  // list has level i for that edge, matching Algorithm 2's peeling loop.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> users;
+  for (std::size_t pi = 0; pi < p.paths.size(); ++pi) {
+    const Path& path = p.paths[pi];
+    // Deduplicate within the path: A_p is a set.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(path.size());
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      keys.push_back(edge_key(canonical(path[j], path[j + 1])));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (std::uint64_t k : keys) users[k].push_back(pi);
+  }
+
+  std::size_t levels = 0;
+  for (const auto& [key, paths] : users) {
+    levels = std::max(levels, paths.size());
+  }
+  out.stats.levels = levels;
+
+  // level_of[(edge, path)] — resolved by position in users[edge].
+  auto level_of = [&users](Vertex a, Vertex b, std::size_t pi) {
+    const auto& list = users.at(edge_key(canonical(a, b)));
+    const auto it = std::find(list.begin(), list.end(), pi);
+    DCS_CHECK(it != list.end(), "path/edge pair missing from level index");
+    return static_cast<std::size_t>(it - list.begin());
+  };
+
+  // --- Per-level coloring and matching routing --------------------------
+  // substitutes[level][edge_key] = routed path for that edge at that level.
+  std::vector<std::unordered_map<std::uint64_t, Path>> substitutes(levels);
+  std::uint64_t matching_counter = 0;
+  for (std::size_t k = 0; k < levels; ++k) {
+    std::vector<Edge> level_edges;
+    for (const auto& [key, paths] : users) {
+      if (paths.size() > k) {
+        level_edges.push_back(Edge{static_cast<Vertex>(key >> 32),
+                                   static_cast<Vertex>(key & 0xffffffffu)});
+      }
+    }
+    if (level_edges.empty()) continue;
+    const Graph gk = Graph::from_edges(n, level_edges);
+    out.stats.sum_degree_plus_one += gk.max_degree() + 1;
+    out.stats.max_level_degree =
+        std::max(out.stats.max_level_degree, gk.max_degree());
+
+    const EdgeColoring coloring = misra_gries_edge_coloring(gk);
+    for (const auto& matching : coloring.matchings()) {
+      ++out.stats.total_matchings;
+      const RoutingProblem problem = RoutingProblem::from_edges(matching);
+      const Routing routed =
+          route_matching(problem, mix64(seed, ++matching_counter));
+      DCS_CHECK(routed.paths.size() == matching.size(),
+                "matching router returned wrong path count");
+      for (std::size_t i = 0; i < matching.size(); ++i) {
+        substitutes[k][edge_key(matching[i])] = routed.paths[i];
+      }
+    }
+  }
+
+  // --- Reassembly --------------------------------------------------------
+  out.routing.paths.resize(p.paths.size());
+  for (std::size_t pi = 0; pi < p.paths.size(); ++pi) {
+    const Path& path = p.paths[pi];
+    Path& sub = out.routing.paths[pi];
+    if (path.size() <= 1) {
+      sub = path;
+      continue;
+    }
+    sub.push_back(path.front());
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      const Vertex a = path[j];
+      const Vertex b = path[j + 1];
+      const std::size_t k = level_of(a, b, pi);
+      const auto& level_map = substitutes[k];
+      const auto it = level_map.find(edge_key(canonical(a, b)));
+      DCS_CHECK(it != level_map.end(), "no substitute path for edge level");
+      const Path seg = oriented(it->second, a, b);
+      sub.insert(sub.end(), seg.begin() + 1, seg.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace dcs

@@ -1,0 +1,49 @@
+#pragma once
+
+// Algorithm 2 / Theorem 1 (Section 6): converting an arbitrary routing P on
+// G into a substitute routing P' on a spanner H by decomposing the edges of
+// P into matchings.
+//
+//  * Level assignment: repeatedly peel one (path, edge) pair per edge; the
+//    level-k subgraph G_k contains the edges still present after k peels,
+//    so r = max edge multiplicity ≤ C(P).
+//  * Each G_k is edge-colored (Misra–Gries, m_k ≤ d_k + 1 colors); each
+//    color class is a matching, routed on H by a caller-supplied routine.
+//  * Each path of P is reassembled by splicing in the substitute path of
+//    each of its edges at that edge's level.
+//
+// Lemma 21/22 bound the resulting congestion by 12·β'·C(P)·log₂ n; Lemma 23
+// bounds the number of distinct matchings by O(n³).
+
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+/// Routes a matching routing problem on the spanner; `seed` derives the
+/// replacement-path randomness. Must return one path per pair, in order.
+using MatchingRouteFn =
+    std::function<Routing(const RoutingProblem&, std::uint64_t seed)>;
+
+struct DecompositionStats {
+  std::size_t levels = 0;               ///< r — number of level subgraphs
+  std::size_t total_matchings = 0;      ///< Σ_k m_k (Lemma 23's count)
+  std::size_t sum_degree_plus_one = 0;  ///< Σ_k (d_k + 1) (Lemma 21's bound)
+  std::size_t max_level_degree = 0;     ///< d_1
+};
+
+struct SubstituteRouting {
+  Routing routing;  ///< P' — one walk per path of P, same endpoints
+  DecompositionStats stats;
+};
+
+/// Runs Algorithm 2 on routing `p` over a vertex set of size n. Substitute
+/// paths for each matching come from `route_matching`. Every returned walk
+/// starts and ends where the corresponding path of `p` does.
+SubstituteRouting substitute_routing_via_matchings(
+    std::size_t n, const Routing& p, const MatchingRouteFn& route_matching,
+    std::uint64_t seed);
+
+}  // namespace dcs

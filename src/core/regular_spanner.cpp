@@ -1,0 +1,124 @@
+#include "core/regular_spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/support.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+RegularSpannerParams compute_regular_spanner_params(
+    std::size_t delta, const RegularSpannerOptions& options) {
+  DCS_REQUIRE(delta >= 1, "degree must be positive");
+  RegularSpannerParams params;
+  params.delta = delta;
+  params.delta_prime = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             options.delta_prime_factor *
+             std::sqrt(static_cast<double>(delta)))));
+  params.rho =
+      std::min(1.0, static_cast<double>(params.delta_prime) /
+                        static_cast<double>(delta));
+  params.support_a = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             options.support_a_factor *
+             static_cast<double>(params.delta_prime))));
+  params.support_b = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             options.support_b_factor * static_cast<double>(delta))));
+  return params;
+}
+
+RegularSpannerResult build_regular_spanner(
+    const Graph& g, const RegularSpannerOptions& options) {
+  DCS_REQUIRE(g.num_vertices() >= 2, "spanner input too small");
+  DCS_REQUIRE(g.min_degree() >= 1, "input graph has isolated vertices");
+  std::size_t delta;
+  if (options.max_degree_ratio <= 1.0) {
+    DCS_REQUIRE(g.is_regular(),
+                "Algorithm 1 requires a Δ-regular input (set "
+                "max_degree_ratio > 1 for near-regular graphs)");
+    delta = g.min_degree();
+  } else {
+    // Footnote 1: degrees within a constant factor of each other.
+    DCS_REQUIRE(static_cast<double>(g.max_degree()) <=
+                    options.max_degree_ratio *
+                        static_cast<double>(g.min_degree()),
+                "input degrees exceed the allowed near-regular ratio");
+    delta = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               2.0 * static_cast<double>(g.num_edges()) /
+               static_cast<double>(g.num_vertices()))));
+  }
+
+  const RegularSpannerParams params =
+      compute_regular_spanner_params(delta, options);
+
+  RegularSpannerResult result;
+  result.delta = delta;
+  result.delta_prime = params.delta_prime;
+  const double rho = params.rho;
+  result.support_a = params.support_a;
+  result.support_b = params.support_b;
+
+  const auto all_edges = g.edges();
+
+  // Step 1: independent sampling with the shared per-edge coin, so the
+  // distributed construction (dist/dist_spanner) reproduces G' exactly.
+  std::vector<Edge> sampled;
+  std::vector<Edge> removed;
+  sampled.reserve(static_cast<std::size_t>(
+      rho * static_cast<double>(all_edges.size()) * 1.2) + 16);
+  for (Edge e : all_edges) {
+    if (edge_sampled(e, rho, options.seed)) {
+      sampled.push_back(e);
+    } else {
+      removed.push_back(e);
+    }
+  }
+  result.sampled = Graph::from_edges(g.num_vertices(), sampled);
+
+  // Steps 2+3: decide per removed edge whether it must be reinserted.
+  // 0 = keep removed, 1 = unsupported, 2 = supported but undetoured.
+  std::vector<std::uint8_t> verdict(removed.size(), 0);
+  const Graph& gp = result.sampled;
+  const std::size_t a = result.support_a;
+  const std::size_t b = result.support_b;
+  parallel_for(0, removed.size(), [&](std::size_t i) {
+    const Edge e = removed[i];
+    const bool supported = is_ab_supported(g, e, a, b);
+    if (!supported) {
+      if (options.reinsert_unsupported) verdict[i] = 1;
+      return;
+    }
+    if (options.reinsert_undetoured &&
+        !has_short_replacement(gp, e.u, e.v)) {
+      verdict[i] = 2;
+    }
+  });
+
+  std::vector<Edge> spanner_edges = sampled;
+  for (std::size_t i = 0; i < removed.size(); ++i) {
+    if (verdict[i] == 1) {
+      spanner_edges.push_back(removed[i]);
+      ++result.reinserted_unsupported;
+    } else if (verdict[i] == 2) {
+      spanner_edges.push_back(removed[i]);
+      ++result.reinserted_undetoured;
+    }
+  }
+
+  result.spanner.h = Graph::from_edges(g.num_vertices(), spanner_edges);
+  auto& stats = result.spanner.stats;
+  stats.input_edges = g.num_edges();
+  stats.sampled_edges = sampled.size();
+  stats.reinserted_edges =
+      result.reinserted_unsupported + result.reinserted_undetoured;
+  stats.spanner_edges = result.spanner.h.num_edges();
+  stats.sample_probability = rho;
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,89 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "core/verifier.hpp"
+#include "graph/connectivity.hpp"
+#include "routing/tables.hpp"
+#include "routing/workloads.hpp"
+#include "spectral/expansion.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace dcs {
+
+SpannerReport make_spanner_report(const Graph& g, const Graph& h,
+                                  const PairRouter& router,
+                                  const SpannerReportOptions& options) {
+  DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
+              "spanner must share the vertex set");
+  DCS_REQUIRE(g.contains_subgraph(h), "H must be a subgraph of G");
+
+  SpannerReport report;
+  report.input_edges = g.num_edges();
+  report.spanner_edges = h.num_edges();
+  report.compression =
+      g.num_edges() == 0
+          ? 1.0
+          : static_cast<double>(h.num_edges()) /
+                static_cast<double>(g.num_edges());
+  report.connected = is_connected(h);
+
+  const auto stretch = measure_distance_stretch(g, h);
+  report.max_stretch = stretch.max_stretch;
+  report.mean_stretch = stretch.mean_stretch;
+
+  if (options.measure_expansion && g.num_vertices() >= 2 &&
+      g.num_edges() > 0 && h.num_edges() > 0) {
+    report.input_expansion = estimate_expansion(g).normalized();
+    report.spanner_expansion = estimate_expansion(h).normalized();
+  }
+
+  double congestion_sum = 0.0;
+  for (std::size_t trial = 0; trial < options.matching_trials; ++trial) {
+    const auto matching =
+        random_matching_problem(g, options.seed + trial);
+    if (matching.empty()) continue;
+    const auto mc = measure_matching_congestion(
+        g, h, matching, router, options.seed + 100 + trial);
+    report.worst_matching_congestion =
+        std::max(report.worst_matching_congestion, mc.spanner_congestion);
+    congestion_sum += static_cast<double>(mc.spanner_congestion);
+  }
+  if (options.matching_trials > 0) {
+    report.mean_matching_congestion =
+        congestion_sum / static_cast<double>(options.matching_trials);
+  }
+
+  if (options.measure_tables) {
+    report.input_table_bits = RoutingTables::build(g, options.seed)
+                                  .total_bits();
+    report.spanner_table_bits = RoutingTables::build(h, options.seed)
+                                    .total_bits();
+  }
+  return report;
+}
+
+std::string SpannerReport::to_string() const {
+  Table t({"metric", "value"});
+  t.add("input edges", input_edges);
+  t.add("spanner edges", spanner_edges);
+  t.add("compression", compression);
+  t.add("connected", std::string(connected ? "yes" : "NO"));
+  t.add("max distance stretch", max_stretch);
+  t.add("mean distance stretch", mean_stretch);
+  if (input_expansion > 0.0) {
+    t.add("normalized expansion (G)", input_expansion);
+    t.add("normalized expansion (H)", spanner_expansion);
+  }
+  t.add("worst matching congestion", worst_matching_congestion);
+  t.add("mean matching congestion", mean_matching_congestion);
+  if (input_table_bits > 0) {
+    t.add("routing-table bits (G)", static_cast<double>(input_table_bits));
+    t.add("routing-table bits (H)",
+          static_cast<double>(spanner_table_bits));
+  }
+  return t.to_string();
+}
+
+}  // namespace dcs

@@ -1,0 +1,52 @@
+#pragma once
+
+// One-call spanner quality report: everything a user needs to judge a
+// spanner of their graph — size, exact distance stretch, expansion before
+// and after, congestion statistics over matching workloads, routing-table
+// memory — rendered as a table or consumed programmatically.
+
+#include <string>
+
+#include "core/router.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct SpannerReportOptions {
+  std::uint64_t seed = 1;
+  std::size_t matching_trials = 5;  ///< workloads for the congestion stats
+  bool measure_expansion = true;    ///< Lanczos on both graphs (costlier)
+  bool measure_tables = true;       ///< next-hop table memory (n BFS each)
+};
+
+struct SpannerReport {
+  // size
+  std::size_t input_edges = 0;
+  std::size_t spanner_edges = 0;
+  double compression = 1.0;
+  // distance
+  double max_stretch = 0.0;
+  double mean_stretch = 0.0;
+  bool connected = false;
+  // expansion (normalized λ/λ₁; lower = better expander)
+  double input_expansion = 0.0;
+  double spanner_expansion = 0.0;
+  // congestion over matching workloads (C_G = 1 by construction)
+  std::size_t worst_matching_congestion = 0;
+  double mean_matching_congestion = 0.0;
+  // routing-table memory (bits)
+  std::uint64_t input_table_bits = 0;
+  std::uint64_t spanner_table_bits = 0;
+
+  /// Human-readable two-column rendering.
+  std::string to_string() const;
+};
+
+/// Measures `h` against `g` using `router` for the congestion workloads
+/// (pass a DetourRouter/ExpanderMatchingRouter for the paper's
+/// constructions, or a ShortestPathPairRouter for arbitrary spanners).
+SpannerReport make_spanner_report(const Graph& g, const Graph& h,
+                                  const PairRouter& router,
+                                  const SpannerReportOptions& options = {});
+
+}  // namespace dcs

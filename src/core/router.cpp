@@ -1,0 +1,107 @@
+#include "core/router.hpp"
+
+#include <atomic>
+
+#include "core/support.hpp"
+#include "graph/bfs.hpp"
+#include "routing/matching.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+DetourRouter::DetourRouter(const Graph& h, const Graph& detour_graph)
+    : h_(h), detours_(detour_graph) {
+  DCS_REQUIRE(h.num_vertices() == detour_graph.num_vertices(),
+              "spanner and detour graph must share the vertex set");
+}
+
+Path DetourRouter::route(Vertex s, Vertex t, Rng& rng) const {
+  if (h_.has_edge(s, t)) return {s, t};
+  Path p = random_short_replacement(detours_, s, t, rng);
+  if (!p.empty()) return p;
+  return bfs_shortest_path(h_, s, t, &rng);
+}
+
+ExpanderMatchingRouter::ExpanderMatchingRouter(const Graph& h,
+                                               const Graph* full_graph)
+    : h_(h), g_(full_graph) {
+  DCS_REQUIRE(full_graph == nullptr ||
+                  full_graph->num_vertices() == h.num_vertices(),
+              "original graph must share the spanner's vertex set");
+}
+
+Path ExpanderMatchingRouter::route(Vertex s, Vertex t, Rng& rng) const {
+  if (h_.has_edge(s, t)) return {s, t};
+  // Neighborhoods come from the full graph in paper-literal mode, from the
+  // spanner otherwise; the matching is computed over that graph's edges.
+  const Graph& nbhd = g_ != nullptr ? *g_ : h_;
+  std::vector<Vertex> left;
+  for (Vertex x : nbhd.neighbors(s)) {
+    if (x != t) left.push_back(x);
+  }
+  std::vector<Vertex> right;
+  for (Vertex y : nbhd.neighbors(t)) {
+    if (y != s) right.push_back(y);
+  }
+  auto matching = maximum_bipartite_matching(nbhd, left, right);
+  if (g_ != nullptr) {
+    // M^S_{u,v}: keep matched edges whose full 3-hop path survived in H.
+    std::vector<Edge> surviving;
+    for (Edge e : matching) {
+      if (!h_.has_edge(e.u, e.v)) continue;
+      if ((h_.has_edge(s, e.u) && h_.has_edge(e.v, t)) ||
+          (h_.has_edge(s, e.v) && h_.has_edge(e.u, t))) {
+        surviving.push_back(e);
+      }
+    }
+    matching = std::move(surviving);
+  }
+  if (!matching.empty()) {
+    const Edge e = rng.pick(matching);
+    // Matched edges are canonical; figure out which endpoint neighbors s.
+    if (h_.has_edge(s, e.u) && h_.has_edge(e.v, t)) {
+      return {s, e.u, e.v, t};
+    }
+    DCS_CHECK(h_.has_edge(s, e.v) && h_.has_edge(e.u, t),
+              "matched edge does not span the neighborhoods");
+    return {s, e.v, e.u, t};
+  }
+  // Degenerate fallbacks: 2-hop via a common neighbor, then BFS.
+  auto routers = common_neighbors(h_, s, t);
+  if (!routers.empty()) return {s, rng.pick(routers), t};
+  return bfs_shortest_path(h_, s, t, &rng);
+}
+
+ShortestPathPairRouter::ShortestPathPairRouter(const Graph& h) : h_(h) {}
+
+Path ShortestPathPairRouter::route(Vertex s, Vertex t, Rng& rng) const {
+  return bfs_shortest_path(h_, s, t, &rng);
+}
+
+Routing route_problem(const PairRouter& router, const RoutingProblem& problem,
+                      std::uint64_t seed) {
+  Routing routing;
+  routing.paths.resize(problem.size());
+  std::atomic<bool> failed{false};
+  parallel_for(0, problem.size(), [&](std::size_t i) {
+    const auto [s, t] = problem.pairs[i];
+    Rng rng(mix64(seed, i));
+    Path p = router.route(s, t, rng);
+    if (p.empty()) {
+      failed.store(true, std::memory_order_relaxed);
+    } else {
+      routing.paths[i] = std::move(p);
+    }
+  });
+  DCS_REQUIRE(!failed.load(), "router failed on a pair (spanner disconnected?)");
+  return routing;
+}
+
+MatchingRouteFn matching_route_fn(const PairRouter& router) {
+  return [&router](const RoutingProblem& problem, std::uint64_t seed) {
+    return route_problem(router, problem, seed);
+  };
+}
+
+}  // namespace dcs

@@ -1,0 +1,89 @@
+#pragma once
+
+// Pair routers: strategies for realizing a single source/destination pair on
+// a spanner H. These are the "substitute routing" building blocks the
+// paper's congestion arguments are about — the choice of replacement path
+// (random among available 3-detours) is exactly what controls congestion in
+// Theorems 2 and 3.
+
+#include <memory>
+
+#include "core/matching_decomposition.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+class PairRouter {
+ public:
+  virtual ~PairRouter() = default;
+
+  /// Routes s → t on the router's spanner. The returned path includes both
+  /// endpoints; an empty path means unroutable (disconnected spanner).
+  virtual Path route(Vertex s, Vertex t, Rng& rng) const = 0;
+};
+
+/// Routes pairs that are edges of the original graph: directly if the edge
+/// survived in H, otherwise along a uniformly random replacement path of
+/// length ≤ 3 drawn from `detour_graph` (Algorithm 1 routes over G', the
+/// sampled subgraph, so reinserted edges never attract detour traffic), with
+/// a randomized-BFS fallback on H for pairs with no short replacement.
+class DetourRouter final : public PairRouter {
+ public:
+  /// `h` and `detour_graph` must outlive the router; pass the same graph
+  /// twice to draw detours from the full spanner.
+  DetourRouter(const Graph& h, const Graph& detour_graph);
+
+  Path route(Vertex s, Vertex t, Rng& rng) const override;
+
+ private:
+  const Graph& h_;
+  const Graph& detours_;
+};
+
+/// Theorem 2 router: a non-spanner pair routes over a random 3-hop path
+/// whose middle edge lies in a maximum matching between the neighborhoods
+/// of the endpoints (Lemma 4 / Figure 2).
+///
+/// Two modes:
+///  * spanner-neighborhood mode (default): the matching is computed between
+///    the *spanner* neighborhoods N_H(u), N_H(v) using edges of H — every
+///    matched edge immediately yields a valid 3-hop path;
+///  * paper-literal mode (pass the original graph): the matching M_{u,v} is
+///    computed between the *full* neighborhoods N_G(u), N_G(v) in G, and
+///    the candidate set is M^S_{u,v} — the matched edges that survived in H
+///    together with surviving connector edges (the construction analyzed in
+///    Lemmas 5–7).
+class ExpanderMatchingRouter final : public PairRouter {
+ public:
+  explicit ExpanderMatchingRouter(const Graph& h,
+                                  const Graph* full_graph = nullptr);
+
+  Path route(Vertex s, Vertex t, Rng& rng) const override;
+
+ private:
+  const Graph& h_;
+  const Graph* g_ = nullptr;  // non-null → paper-literal mode
+};
+
+/// Baseline: randomized shortest path on H.
+class ShortestPathPairRouter final : public PairRouter {
+ public:
+  explicit ShortestPathPairRouter(const Graph& h);
+
+  Path route(Vertex s, Vertex t, Rng& rng) const override;
+
+ private:
+  const Graph& h_;
+};
+
+/// Routes a whole problem with independent per-pair randomness (parallel).
+/// Throws if any pair is unroutable.
+Routing route_problem(const PairRouter& router, const RoutingProblem& problem,
+                      std::uint64_t seed);
+
+/// Adapter: a MatchingRouteFn (for Algorithm 2) backed by a PairRouter.
+MatchingRouteFn matching_route_fn(const PairRouter& router);
+
+}  // namespace dcs

@@ -1,0 +1,67 @@
+#include "core/sparsify.hpp"
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+SparsifyResult uniform_sparsify(const Graph& g,
+                                const SparsifyOptions& options) {
+  DCS_REQUIRE(g.num_vertices() >= 2, "sparsify input too small");
+  DCS_REQUIRE(options.target_degree > 0.0, "target degree must be positive");
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_vertices());
+  const double p = std::min(1.0, options.target_degree / avg_degree);
+
+  std::vector<Edge> kept;
+  for (Edge e : g.edges()) {
+    if (edge_sampled(e, p, options.seed)) kept.push_back(e);
+  }
+
+  SparsifyResult result;
+  result.spanner.stats.input_edges = g.num_edges();
+  result.spanner.stats.sample_probability = p;
+
+  Graph h = Graph::from_edges(g.num_vertices(), kept);
+
+  if (options.repair_connectivity) {
+    // Attach every stranded component to the component of vertex 0 through
+    // one original edge; repeat until connected (components can only merge).
+    for (;;) {
+      const auto comp = connected_components(h);
+      const std::size_t comps =
+          *std::max_element(comp.begin(), comp.end()) + 1;
+      if (comps == 1) break;
+      const std::size_t main_comp = comp[0];
+      // For each non-main component, find one G-edge leaving it.
+      std::vector<bool> fixed(comps, false);
+      fixed[main_comp] = true;
+      bool progress = false;
+      for (Vertex u = 0; u < g.num_vertices() && !progress; ++u) {
+        if (fixed[comp[u]]) continue;
+        for (Vertex v : g.neighbors(u)) {
+          if (comp[v] != comp[u]) {
+            kept.push_back(canonical(u, v));
+            ++result.repair_edges;
+            progress = true;
+            break;
+          }
+        }
+      }
+      DCS_REQUIRE(progress,
+                  "input graph is disconnected; cannot repair sparsifier");
+      h = Graph::from_edges(g.num_vertices(), kept);
+    }
+  }
+
+  result.spanner.h = std::move(h);
+  result.spanner.stats.sampled_edges = kept.size() - result.repair_edges;
+  result.spanner.stats.reinserted_edges = result.repair_edges;
+  result.spanner.stats.spanner_edges = result.spanner.h.num_edges();
+  return result;
+}
+
+}  // namespace dcs

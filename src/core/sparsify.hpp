@@ -1,0 +1,39 @@
+#pragma once
+
+// Expander sparsification — the mechanism behind Table 1's rows for [16]
+// (Koutis–Xu: O(n log n)-edge expander from any expander) and [5]
+// (Becchetti et al.: O(n)-edge expander inside a dense one).
+//
+// On a regular expander, keeping each edge independently with probability
+// p = target_degree/Δ preserves the (normalized) spectral gap w.h.p. once
+// the target degree is Ω(log n); the experiments verify the gap of the
+// output with spectral/expansion.hpp rather than assuming it. Distance
+// stretch degrades from 1 to O(log n) (the sparsifier's diameter) and
+// congestion is handled by Valiant-style routing — reproducing the shape of
+// those two rows.
+
+#include "core/dc_spanner.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct SparsifyOptions {
+  std::uint64_t seed = 1;
+  /// Expected degree of the output; Θ(log n) reproduces [16]'s row, a
+  /// constant (≥ 3) reproduces [5]'s row on dense inputs.
+  double target_degree = 0.0;
+  /// Reinsert one incident edge for isolated vertices and re-connect
+  /// stranded components through one original edge each, so the output is
+  /// usable for routing (the cited constructions guarantee connectivity
+  /// w.h.p.; at finite n we repair the exceptions and report the count).
+  bool repair_connectivity = true;
+};
+
+struct SparsifyResult {
+  Spanner spanner;
+  std::size_t repair_edges = 0;  ///< edges added by the connectivity repair
+};
+
+SparsifyResult uniform_sparsify(const Graph& g, const SparsifyOptions& options);
+
+}  // namespace dcs

@@ -1,0 +1,107 @@
+#include "core/support.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+std::vector<Vertex> common_neighbors(const Graph& h, Vertex u, Vertex v) {
+  auto nu = h.neighbors(u);
+  auto nv = h.neighbors(v);
+  std::vector<Vertex> out;
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::size_t base_support(const Graph& g, Vertex u, Vertex z) {
+  auto nu = g.neighbors(u);
+  auto nz = g.neighbors(z);
+  // Counted merge over the sorted adjacency lists.
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nz.size()) {
+    if (nu[i] < nz[j]) {
+      ++i;
+    } else if (nu[i] > nz[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::size_t count_supported_extensions(const Graph& g, Vertex u, Vertex v,
+                                       std::size_t a) {
+  std::size_t count = 0;
+  for (Vertex z : g.neighbors(v)) {
+    if (z == u) continue;
+    // The extension (v,z) is a-supported iff base {u,z} is (a+1)-supported.
+    if (base_support(g, u, z) >= a + 1) ++count;
+  }
+  return count;
+}
+
+bool is_ab_supported_toward(const Graph& g, Vertex u, Vertex v,
+                            std::size_t a, std::size_t b) {
+  // Early-exit variant of count_supported_extensions.
+  std::size_t count = 0;
+  for (Vertex z : g.neighbors(v)) {
+    if (z == u) continue;
+    if (base_support(g, u, z) >= a + 1) {
+      if (++count >= b) return true;
+    }
+  }
+  return false;
+}
+
+bool is_ab_supported(const Graph& g, Edge e, std::size_t a, std::size_t b) {
+  return is_ab_supported_toward(g, e.u, e.v, a, b) ||
+         is_ab_supported_toward(g, e.v, e.u, a, b);
+}
+
+std::vector<Detour3> find_3detours(const Graph& h, Vertex u, Vertex v,
+                                   std::size_t limit) {
+  std::vector<Detour3> out;
+  // Enumerate z ∈ N(v), then routers x ∈ N(u) ∩ N(z); interior nodes must
+  // avoid the endpoints. x == z is impossible (no self-loops).
+  for (Vertex z : h.neighbors(v)) {
+    if (z == u || z == v) continue;
+    for (Vertex x : common_neighbors(h, u, z)) {
+      if (x == v || x == u) continue;
+      out.push_back(Detour3{x, z});
+      if (limit != 0 && out.size() >= limit) return out;
+    }
+  }
+  return out;
+}
+
+bool has_short_replacement(const Graph& h, Vertex u, Vertex v) {
+  if (h.has_edge(u, v)) return true;
+  if (!common_neighbors(h, u, v).empty()) return true;
+  return !find_3detours(h, u, v, /*limit=*/1).empty();
+}
+
+std::vector<Vertex> random_short_replacement(const Graph& h, Vertex u,
+                                             Vertex v, Rng& rng,
+                                             bool prefer_3detour) {
+  DCS_REQUIRE(u != v, "replacement endpoints must differ");
+  if (!prefer_3detour && h.has_edge(u, v)) return {u, v};
+  auto detours = find_3detours(h, u, v);
+  if (!detours.empty()) {
+    const auto& d = rng.pick(detours);
+    return {u, d.x, d.z, v};
+  }
+  auto routers = common_neighbors(h, u, v);
+  if (!routers.empty()) {
+    return {u, rng.pick(routers), v};
+  }
+  if (h.has_edge(u, v)) return {u, v};
+  return {};
+}
+
+}  // namespace dcs

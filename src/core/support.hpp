@@ -1,0 +1,64 @@
+#pragma once
+
+// The detour/support machinery of Section 4 (Figures 3 and 4):
+//
+//  * a 2-detour with base {u,z} and router x is the edge pair (u,x),(x,z);
+//  * a base {u,z} is a-supported if it has ≥ a distinct routers, i.e.
+//    |N(u) ∩ N(z)| ≥ a;
+//  * an extension (v,z) of edge (u,v) toward v is a-supported if the base
+//    {u,z} is (a+1)-supported (one of its 2-detours goes through v);
+//  * edge e=(u,v) is (a,b)-supported toward v if ≥ b of its extensions
+//    toward v are a-supported;
+//  * a 3-detour of e=(u,v) toward v is a path u–x–z–v where (v,z) is an
+//    extension and x ≠ v is a router of base {u,z}.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+/// Number of routers of base {u,z}: |N(u) ∩ N(z)|.
+std::size_t base_support(const Graph& g, Vertex u, Vertex z);
+
+/// Number of a-supported extensions of (u,v) toward v, i.e. the number of
+/// z ∈ N(v)\{u} with |N(u) ∩ N(z)| ≥ a + 1 (counting the router v itself).
+std::size_t count_supported_extensions(const Graph& g, Vertex u, Vertex v,
+                                       std::size_t a);
+
+/// (a,b)-supported toward v: at least b a-supported extensions toward v.
+bool is_ab_supported_toward(const Graph& g, Vertex u, Vertex v,
+                            std::size_t a, std::size_t b);
+
+/// (a,b)-supported in at least one direction (the Ê test of Algorithm 1).
+bool is_ab_supported(const Graph& g, Edge e, std::size_t a, std::size_t b);
+
+/// A 3-detour u–x–z–v (stored as its two interior nodes {x, z}).
+struct Detour3 {
+  Vertex x = kInvalidVertex;  ///< neighbor of u
+  Vertex z = kInvalidVertex;  ///< neighbor of v
+};
+
+/// All 3-detours of (u,v) present in `h` (both directions), up to `limit`
+/// (0 = unlimited). Interior nodes exclude u and v themselves.
+std::vector<Detour3> find_3detours(const Graph& h, Vertex u, Vertex v,
+                                   std::size_t limit = 0);
+
+/// True iff (u,v) has at least one path of length ≤ 3 in `h` between its
+/// endpoints (direct edge, common neighbor, or 3-detour).
+bool has_short_replacement(const Graph& h, Vertex u, Vertex v);
+
+/// Common neighbors of u and v in h (the 2-detour routers).
+std::vector<Vertex> common_neighbors(const Graph& h, Vertex u, Vertex v);
+
+/// Picks one replacement path for (u,v) in h uniformly at random among the
+/// available 3-detours; falls back to a random common neighbor (2-detour)
+/// and finally to the direct edge if present. Returns the full path
+/// including endpoints, or an empty path if no replacement of length ≤ 3
+/// exists.
+std::vector<Vertex> random_short_replacement(const Graph& h, Vertex u,
+                                             Vertex v, Rng& rng,
+                                             bool prefer_3detour = true);
+
+}  // namespace dcs

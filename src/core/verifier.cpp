@@ -1,0 +1,160 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+DistanceStretchReport measure_distance_stretch(const Graph& g,
+                                               const Graph& h, Dist cap) {
+  DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
+              "spanner must share the vertex set");
+  const std::size_t n = g.num_vertices();
+
+  std::mutex merge_mutex;
+  DistanceStretchReport report;
+  double total = 0.0;
+
+  parallel_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    double local_total = 0.0;
+    double local_max = 0.0;
+    std::size_t local_checked = 0;
+    std::size_t local_unreachable = 0;
+    for (std::size_t ui = lo; ui < hi; ++ui) {
+      const auto u = static_cast<Vertex>(ui);
+      // Only canonical directions to count each edge once.
+      bool any = false;
+      for (Vertex v : g.neighbors(u)) {
+        if (v > u) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      const auto dist = bfs_distances_bounded(h, u, cap);
+      for (Vertex v : g.neighbors(u)) {
+        if (v <= u) continue;
+        ++local_checked;
+        if (dist[v] == kUnreachable) {
+          ++local_unreachable;
+        } else {
+          local_total += dist[v];
+          local_max = std::max(local_max, static_cast<double>(dist[v]));
+        }
+      }
+    }
+    std::lock_guard lock(merge_mutex);
+    total += local_total;
+    report.max_stretch = std::max(report.max_stretch, local_max);
+    report.checked_edges += local_checked;
+    report.unreachable += local_unreachable;
+  });
+
+  const std::size_t reached = report.checked_edges - report.unreachable;
+  report.mean_stretch =
+      reached == 0 ? 0.0 : total / static_cast<double>(reached);
+  return report;
+}
+
+double exact_pairwise_stretch(const Graph& g, const Graph& h) {
+  DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
+              "spanner must share the vertex set");
+  const std::size_t n = g.num_vertices();
+  std::atomic<std::uint64_t> worst_bits{0};
+  auto update_max = [&worst_bits](double value) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    std::uint64_t cur = worst_bits.load(std::memory_order_relaxed);
+    double cur_val;
+    std::memcpy(&cur_val, &cur, sizeof(cur_val));
+    while (value > cur_val &&
+           !worst_bits.compare_exchange_weak(cur, bits)) {
+      std::memcpy(&cur_val, &cur, sizeof(cur_val));
+    }
+  };
+
+  parallel_for(0, n, [&](std::size_t ui) {
+    const auto u = static_cast<Vertex>(ui);
+    const auto dg = bfs_distances(g, u);
+    const auto dh = bfs_distances(h, u);
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (dg[v] == kUnreachable || dg[v] == 0) continue;
+      DCS_CHECK(dh[v] != kUnreachable || dg[v] == kUnreachable,
+                "spanner disconnected a pair connected in G");
+      update_max(static_cast<double>(dh[v]) / static_cast<double>(dg[v]));
+    }
+  });
+
+  std::uint64_t bits = worst_bits.load();
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+CongestionReport measure_matching_congestion(const Graph& g, const Graph& h,
+                                             const RoutingProblem& matching,
+                                             const PairRouter& router,
+                                             std::uint64_t seed) {
+  DCS_REQUIRE(matching.is_matching(),
+              "measure_matching_congestion requires a matching problem");
+  for (auto [u, v] : matching.pairs) {
+    DCS_REQUIRE(g.has_edge(u, v),
+                "matching pairs must be edges of G so that C_G = 1");
+  }
+  const Routing base = Routing::direct_edges(matching);
+  const Routing sub = route_problem(router, matching, seed);
+  DCS_REQUIRE(routing_is_valid(h, matching, sub),
+              "substitute routing is invalid on H");
+
+  CongestionReport report;
+  report.base_congestion = node_congestion(base, g.num_vertices());
+  report.spanner_congestion = node_congestion(sub, h.num_vertices());
+  for (std::size_t i = 0; i < sub.paths.size(); ++i) {
+    report.max_length_ratio =
+        std::max(report.max_length_ratio,
+                 static_cast<double>(path_length(sub.paths[i])));
+  }
+  return report;
+}
+
+CongestionReport measure_general_congestion(const Graph& g, const Graph& h,
+                                            const Routing& p_on_g,
+                                            const PairRouter& router,
+                                            std::uint64_t seed) {
+  // Implied problem: each path's endpoints.
+  RoutingProblem problem;
+  problem.pairs.reserve(p_on_g.paths.size());
+  for (const auto& path : p_on_g.paths) {
+    DCS_REQUIRE(path.size() >= 2, "paths must have at least one edge");
+    problem.pairs.emplace_back(path.front(), path.back());
+  }
+  DCS_REQUIRE(routing_is_valid(g, problem, p_on_g),
+              "input routing is invalid on G");
+
+  const SubstituteRouting sub = substitute_routing_via_matchings(
+      g.num_vertices(), p_on_g, matching_route_fn(router), seed);
+  DCS_REQUIRE(routing_is_valid(h, problem, sub.routing),
+              "substitute routing is invalid on H");
+
+  CongestionReport report;
+  report.base_congestion = node_congestion(p_on_g, g.num_vertices());
+  report.spanner_congestion = node_congestion(sub.routing, h.num_vertices());
+  report.decomposition = sub.stats;
+  for (std::size_t i = 0; i < sub.routing.paths.size(); ++i) {
+    const double lp = static_cast<double>(path_length(p_on_g.paths[i]));
+    const double lq = static_cast<double>(path_length(sub.routing.paths[i]));
+    if (lp > 0) {
+      report.max_length_ratio = std::max(report.max_length_ratio, lq / lp);
+    }
+  }
+  return report;
+}
+
+}  // namespace dcs

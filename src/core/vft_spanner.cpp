@@ -1,0 +1,88 @@
+#include "core/vft_spanner.hpp"
+
+#include <cmath>
+
+#include "core/baseline_spanners.hpp"
+#include "graph/bfs.hpp"
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+VftSpannerResult build_vft_spanner(const Graph& g,
+                                   const VftSpannerOptions& options) {
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(n >= 2, "vft spanner input too small");
+  DCS_REQUIRE(options.faults >= 1, "faults must be at least 1");
+  DCS_REQUIRE(options.stretch_k >= 1, "stretch parameter must be >= 1");
+
+  const auto f = static_cast<double>(options.faults);
+  std::size_t rounds = options.rounds;
+  if (rounds == 0) {
+    rounds = static_cast<std::size_t>(std::ceil(
+        (f + 1.0) * (f + 1.0) * std::log(static_cast<double>(n))));
+  }
+
+  Rng rng(options.seed);
+  EdgeSet union_edges;
+  const double keep_p = f / (f + 1.0);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<bool> keep(n);
+    for (std::size_t v = 0; v < n; ++v) keep[v] = rng.bernoulli(keep_p);
+    const InducedSubgraph sub = induced_subgraph(g, keep);
+    if (sub.graph.num_vertices() < 2) continue;
+    const Spanner round_spanner =
+        baswana_sen_spanner(sub.graph, options.stretch_k, rng());
+    for (Edge e : round_spanner.h.edges()) {
+      union_edges.insert(sub.host_edge(e));
+    }
+  }
+
+  VftSpannerResult result;
+  result.rounds = rounds;
+  const auto list = union_edges.to_vector();
+  result.spanner.h = Graph::from_edges(n, list);
+  result.spanner.stats.input_edges = g.num_edges();
+  result.spanner.stats.spanner_edges = result.spanner.h.num_edges();
+  return result;
+}
+
+std::size_t count_vft_violations(const Graph& g, const Graph& h,
+                                 std::size_t f, double alpha,
+                                 std::size_t trials, std::uint64_t seed) {
+  DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
+              "spanner must share the vertex set");
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint8_t> failed(trials, 0);
+  parallel_for(0, trials, [&](std::size_t trial) {
+    Rng rng(mix64(seed, trial));
+    // random fault set of size exactly f (≤ f is implied by monotonicity)
+    std::vector<Vertex> faults;
+    while (faults.size() < f) {
+      const auto v = static_cast<Vertex>(rng.uniform(n));
+      bool dup = false;
+      for (Vertex u : faults) dup |= (u == v);
+      if (!dup) faults.push_back(v);
+    }
+    const Graph rg = remove_vertices(g, faults);
+    const Graph rh = remove_vertices(h, faults);
+    // stretch over surviving pairs: it suffices to check the edges of
+    // G∖F (worst-case stretch of an unweighted spanner is on edges).
+    for (Edge e : rg.edges()) {
+      const Dist dh = bfs_distance(rh, e.u, e.v);
+      if (dh == kUnreachable ||
+          static_cast<double>(dh) > alpha + 1e-9) {
+        failed[trial] = 1;
+        return;
+      }
+    }
+  });
+  std::size_t violations = 0;
+  for (auto v : failed) violations += v;
+  return violations;
+}
+
+}  // namespace dcs

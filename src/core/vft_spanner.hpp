@@ -1,0 +1,48 @@
+#pragma once
+
+// Vertex fault-tolerant spanners — the related-work comparator of the
+// paper's Figure 1 discussion ([8] Chechik et al., [22] Parter). An f-VFT
+// α-spanner H keeps d_{H∖F}(u,v) ≤ α·d_{G∖F}(u,v) for every fault set F of
+// at most f vertices.
+//
+// Construction: the Dinitz–Krauthgamer random-subgraph scheme — build an
+// α-spanner of many random induced subgraphs (each vertex kept with
+// probability f/(f+1)) and take the union. For any fault set F and any
+// pair still connected in G∖F, some round w.h.p. keeps the pair's
+// replacement path and drops all of F, so the union inherits the stretch.
+// Tests validate the property by fault injection rather than relying on
+// the constants.
+//
+// The point of including this baseline: even a correct f-VFT spanner gives
+// *no* congestion control — bench_fig1_ft_congestion measures the Ω(n^{2/3})
+// blow-up on the clique–matching graph.
+
+#include "core/dc_spanner.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct VftSpannerOptions {
+  std::uint64_t seed = 1;
+  std::size_t faults = 1;     ///< f — number of tolerated vertex faults
+  std::size_t stretch_k = 2;  ///< spanner parameter: stretch 2k−1 per round
+  /// Number of random-subgraph rounds; 0 derives c·(f+1)²·ln n.
+  std::size_t rounds = 0;
+};
+
+struct VftSpannerResult {
+  Spanner spanner;
+  std::size_t rounds = 0;
+};
+
+VftSpannerResult build_vft_spanner(const Graph& g,
+                                   const VftSpannerOptions& options = {});
+
+/// Fault-injection check: for `trials` random fault sets of size ≤ f,
+/// verifies that every pair connected in G∖F keeps stretch ≤ alpha in
+/// H∖F. Returns the number of failing trials (0 = property held).
+std::size_t count_vft_violations(const Graph& g, const Graph& h,
+                                 std::size_t f, double alpha,
+                                 std::size_t trials, std::uint64_t seed);
+
+}  // namespace dcs

@@ -1,0 +1,227 @@
+#include "core/weighted_spanners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+
+#include "graph/dijkstra.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Incremental weighted adjacency with a limit-pruned Dijkstra, for the
+// greedy spanner's "is there already a path of weight ≤ limit?" queries.
+class IncrementalWeighted {
+ public:
+  explicit IncrementalWeighted(std::size_t n)
+      : adj_(n), dist_(n, kInfDistance), stamp_(n, 0), current_stamp_(0) {}
+
+  void add_edge(Vertex u, Vertex v, double w) {
+    adj_[u].emplace_back(v, w);
+    adj_[v].emplace_back(u, w);
+  }
+
+  bool within_distance(Vertex u, Vertex v, double limit) {
+    if (u == v) return true;
+    ++current_stamp_;
+    using Entry = std::pair<double, Vertex>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    set_dist(u, 0.0);
+    heap.emplace(0.0, u);
+    while (!heap.empty()) {
+      const auto [d, x] = heap.top();
+      heap.pop();
+      if (d > get_dist(x) || d > limit) continue;
+      if (x == v) return true;
+      for (const auto& [y, w] : adj_[x]) {
+        const double nd = d + w;
+        if (nd <= limit && nd < get_dist(y)) {
+          set_dist(y, nd);
+          heap.emplace(nd, y);
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  double get_dist(Vertex v) const {
+    return stamp_[v] == current_stamp_ ? dist_[v] : kInfDistance;
+  }
+  void set_dist(Vertex v, double d) {
+    stamp_[v] = current_stamp_;
+    dist_[v] = d;
+  }
+
+  std::vector<std::vector<std::pair<Vertex, double>>> adj_;
+  std::vector<double> dist_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t current_stamp_;
+};
+
+}  // namespace
+
+WeightedGraph weighted_greedy_spanner(const WeightedGraph& g, double alpha) {
+  DCS_REQUIRE(alpha >= 1.0, "stretch must be at least 1");
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.w < b.w;
+            });
+  IncrementalWeighted partial(g.num_vertices());
+  std::vector<WeightedEdge> kept;
+  for (const auto& e : edges) {
+    // strict comparison with a tiny slack keeps exact-α detours admissible
+    if (!partial.within_distance(e.u, e.v, alpha * e.w * (1.0 + 1e-12))) {
+      partial.add_edge(e.u, e.v, e.w);
+      kept.push_back(e);
+    }
+  }
+  return WeightedGraph::from_edges(g.num_vertices(), kept);
+}
+
+WeightedGraph weighted_baswana_sen_spanner(const WeightedGraph& g,
+                                           std::size_t k,
+                                           std::uint64_t seed) {
+  DCS_REQUIRE(k >= 1, "stretch parameter k must be at least 1");
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(n >= 1, "empty graph");
+  if (k == 1) return g;
+
+  Rng rng(seed);
+  const double sample_p =
+      std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
+
+  std::vector<Vertex> cluster(n);
+  for (Vertex v = 0; v < n; ++v) cluster[v] = v;
+
+  EdgeSet work;
+  for (const auto& e : g.edges()) work.insert(e.u, e.v);
+  std::vector<WeightedEdge> spanner_edges;
+
+  auto add_edge = [&](Vertex u, Vertex v) {
+    spanner_edges.push_back(WeightedEdge{u, v, g.weight(u, v)});
+  };
+
+  // lightest working edge from v into each adjacent cluster
+  auto lightest_per_cluster = [&](Vertex v) {
+    std::unordered_map<Vertex, std::pair<Vertex, double>> best;
+    const auto nb = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const Vertex u = nb[i];
+      if (!work.contains(v, u)) continue;
+      const Vertex c = cluster[u];
+      if (c == kInvalidVertex) continue;
+      const auto [it, inserted] = best.emplace(c, std::pair{u, ws[i]});
+      if (!inserted && ws[i] < it->second.second) {
+        it->second = {u, ws[i]};
+      }
+    }
+    return best;
+  };
+
+  auto retire = [&](Vertex v) {
+    for (const auto& [c, pick] : lightest_per_cluster(v)) {
+      add_edge(v, pick.first);
+    }
+    for (Vertex u : g.neighbors(v)) work.erase(dcs::canonical(v, u));
+    cluster[v] = kInvalidVertex;
+  };
+
+  for (std::size_t phase = 1; phase < k; ++phase) {
+    std::vector<bool> sampled(n, false);
+    for (Vertex c = 0; c < n; ++c) sampled[c] = rng.bernoulli(sample_p);
+
+    std::vector<Vertex> next_cluster(n, kInvalidVertex);
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[v] == kInvalidVertex) continue;
+      if (sampled[cluster[v]]) {
+        next_cluster[v] = cluster[v];
+        continue;
+      }
+      const auto best = lightest_per_cluster(v);
+      // lightest edge into a *sampled* cluster
+      Vertex join_cluster = kInvalidVertex;
+      Vertex join_via = kInvalidVertex;
+      double join_w = kInfDistance;
+      for (const auto& [c, pick] : best) {
+        if (sampled[c] && pick.second < join_w) {
+          join_cluster = c;
+          join_via = pick.first;
+          join_w = pick.second;
+        }
+      }
+      if (join_cluster == kInvalidVertex) {
+        retire(v);
+        continue;
+      }
+      add_edge(v, join_via);
+      next_cluster[v] = join_cluster;
+      // keep every strictly lighter inter-cluster edge; drop the covered
+      // clusters' edges from the working set
+      for (const auto& [c, pick] : best) {
+        const bool covered = (c == join_cluster) || (pick.second < join_w);
+        if (c != join_cluster && pick.second < join_w) {
+          add_edge(v, pick.first);
+        }
+        if (covered) {
+          for (Vertex u : g.neighbors(v)) {
+            if (work.contains(v, u) && cluster[u] == c) {
+              work.erase(dcs::canonical(v, u));
+            }
+          }
+        }
+      }
+    }
+    cluster = next_cluster;
+  }
+
+  // final phase: lightest edge into every adjacent foreign cluster
+  for (Vertex v = 0; v < n; ++v) {
+    if (cluster[v] == kInvalidVertex) continue;
+    for (const auto& [c, pick] : lightest_per_cluster(v)) {
+      if (c != cluster[v]) add_edge(v, pick.first);
+    }
+  }
+
+  return WeightedGraph::from_edges(n, spanner_edges);
+}
+
+double weighted_edge_stretch(const WeightedGraph& g,
+                             const WeightedGraph& h) {
+  DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
+              "spanner must share the vertex set");
+  std::mutex merge;
+  double worst = 0.0;
+  parallel_for(0, g.num_vertices(), [&](std::size_t ui) {
+    const auto u = static_cast<Vertex>(ui);
+    bool any = false;
+    for (Vertex v : g.neighbors(u)) {
+      if (v > u) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+    const auto dist = dijkstra_distances(h, u);
+    double local = 0.0;
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] <= u) continue;
+      local = std::max(local, dist[nb[i]] / ws[i]);
+    }
+    std::lock_guard lock(merge);
+    worst = std::max(worst, local);
+  });
+  return worst;
+}
+
+}  // namespace dcs

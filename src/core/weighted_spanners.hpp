@@ -1,0 +1,30 @@
+#pragma once
+
+// Weighted distance spanners — the classical constructions the paper
+// builds on ([4] Baswana–Sen; Althöfer et al.'s greedy spanner). These are
+// distance-only baselines: the DC constructions (Sections 3–4) are defined
+// for unweighted graphs.
+
+#include "graph/weighted_graph.hpp"
+
+namespace dcs {
+
+/// Greedy (2k−1)-spanner (Althöfer et al.): scan edges by increasing
+/// weight; keep (u,v) iff the current spanner distance exceeds α·w(u,v).
+/// Exact stretch guarantee α, size O(n^{1+1/k}) for α = 2k−1.
+WeightedGraph weighted_greedy_spanner(const WeightedGraph& g, double alpha);
+
+/// Baswana–Sen (2k−1)-spanner for weighted graphs: the full two-rule
+/// clustering algorithm of [4] — per phase, a vertex adjacent to a sampled
+/// cluster joins through its lightest such edge and keeps every strictly
+/// lighter inter-cluster edge; otherwise it keeps its lightest edge into
+/// every adjacent cluster and retires. Expected size O(k·n^{1+1/k}).
+WeightedGraph weighted_baswana_sen_spanner(const WeightedGraph& g,
+                                           std::size_t k,
+                                           std::uint64_t seed);
+
+/// Exact maximum stretch of h w.r.t. g over the *edges* of g (on weighted
+/// graphs the worst pairwise stretch is attained on an edge).
+double weighted_edge_stretch(const WeightedGraph& g, const WeightedGraph& h);
+
+}  // namespace dcs

@@ -1,0 +1,67 @@
+#pragma once
+
+// Umbrella header: the full public API of the dcspanner library.
+//
+// Fine-grained headers remain the recommended includes for library users;
+// this header exists for quick experiments and the examples.
+
+// utilities
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+// graphs
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/ramanujan.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/weighted_graph.hpp"
+
+// spectral
+#include "spectral/cheeger.hpp"
+#include "spectral/dense.hpp"
+#include "spectral/expansion.hpp"
+#include "spectral/lanczos.hpp"
+
+// routing
+#include "routing/edge_coloring.hpp"
+#include "routing/matching.hpp"
+#include "routing/mwu_routing.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/rerouting.hpp"
+#include "routing/routing.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/tables.hpp"
+#include "routing/valiant.hpp"
+#include "routing/workloads.hpp"
+
+// the paper's constructions and baselines
+#include "core/baseline_spanners.hpp"
+#include "core/dc_spanner.hpp"
+#include "core/expander_spanner.hpp"
+#include "core/general_spanner.hpp"
+#include "core/lower_bound.hpp"
+#include "core/matching_decomposition.hpp"
+#include "core/regular_spanner.hpp"
+#include "core/report.hpp"
+#include "core/router.hpp"
+#include "core/sparsify.hpp"
+#include "core/support.hpp"
+#include "core/verifier.hpp"
+#include "core/vft_spanner.hpp"
+#include "core/weighted_spanners.hpp"
+
+// distributed (LOCAL model)
+#include "dist/dist_expander.hpp"
+#include "dist/dist_spanner.hpp"
+#include "dist/dist_verify.hpp"
+#include "dist/local_model.hpp"

@@ -1,0 +1,119 @@
+#include "dist/dist_expander.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/support.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+class ExpanderNode final : public LocalAlgorithm {
+ public:
+  ExpanderNode(std::size_t n, double p, const ExpanderSpannerOptions& options)
+      : n_(n), p_(p), options_(options) {}
+
+  void init(Vertex self, std::span<const Vertex> neighbors) override {
+    self_ = self;
+    neighbors_.assign(neighbors.begin(), neighbors.end());
+    for (Vertex v : neighbors_) {
+      const Edge e = canonical(self_, v);
+      knowledge_[edge_key(e)] =
+          edge_sampled(e, p_, options_.seed) ? std::uint64_t{1}
+                                             : std::uint64_t{0};
+    }
+  }
+
+  std::vector<std::uint64_t> broadcast(std::size_t round) override {
+    if (round >= kFloodRounds) return {};
+    std::vector<std::uint64_t> payload;
+    payload.reserve(2 * knowledge_.size());
+    for (const auto& [key, bit] : knowledge_) {
+      payload.push_back(key);
+      payload.push_back(bit);
+    }
+    return payload;
+  }
+
+  void receive(std::size_t /*round*/, Vertex /*from*/,
+               std::span<const std::uint64_t> payload) override {
+    DCS_CHECK(payload.size() % 2 == 0, "malformed knowledge payload");
+    for (std::size_t i = 0; i < payload.size(); i += 2) {
+      knowledge_.emplace(payload[i], payload[i + 1]);
+    }
+  }
+
+  bool done(std::size_t rounds_elapsed) const override {
+    return rounds_elapsed >= kFloodRounds;
+  }
+
+  void harvest(GraphBuilder& builder) const {
+    std::vector<Edge> sampled_edges;
+    for (const auto& [key, bit] : knowledge_) {
+      if (bit != 0) {
+        sampled_edges.push_back(Edge{static_cast<Vertex>(key >> 32),
+                                     static_cast<Vertex>(key & 0xffffffffu)});
+      }
+    }
+    const Graph local_sampled = Graph::from_edges(n_, sampled_edges);
+    for (Vertex v : neighbors_) {
+      if (v < self_) continue;  // canonical owner emits the edge
+      const Edge e = canonical(self_, v);
+      if (knowledge_.at(edge_key(e)) != 0) {
+        builder.add_edge(e.u, e.v);
+        continue;
+      }
+      if (options_.repair_uncovered &&
+          !has_short_replacement(local_sampled, e.u, e.v)) {
+        builder.add_edge(e.u, e.v);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kFloodRounds = 3;
+
+  std::size_t n_;
+  double p_;
+  ExpanderSpannerOptions options_;
+  Vertex self_ = kInvalidVertex;
+  std::vector<Vertex> neighbors_;
+  std::unordered_map<std::uint64_t, std::uint64_t> knowledge_;
+};
+
+}  // namespace
+
+DistExpanderResult build_expander_spanner_local(
+    const Graph& g, const ExpanderSpannerOptions& options) {
+  DCS_REQUIRE(g.is_regular(), "Theorem 2 requires a Δ-regular expander");
+  const auto n = static_cast<double>(g.num_vertices());
+  const auto delta = static_cast<double>(g.min_degree());
+  double p;
+  if (options.epsilon >= 0.0) {
+    p = std::pow(n, -options.epsilon);
+  } else {
+    p = std::pow(n, 2.0 / 3.0) / delta;
+  }
+  p = std::min(1.0, p);
+
+  std::vector<std::unique_ptr<LocalAlgorithm>> nodes;
+  nodes.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    nodes.push_back(
+        std::make_unique<ExpanderNode>(g.num_vertices(), p, options));
+  }
+
+  DistExpanderResult result;
+  result.stats = run_local(g, nodes, /*max_rounds=*/8);
+
+  GraphBuilder builder(g.num_vertices());
+  for (const auto& node : nodes) {
+    static_cast<const ExpanderNode*>(node.get())->harvest(builder);
+  }
+  result.h = builder.build();
+  return result;
+}
+
+}  // namespace dcs

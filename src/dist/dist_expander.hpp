@@ -1,0 +1,28 @@
+#pragma once
+
+// Distributed (LOCAL-model) version of the Theorem 2 expander spanner.
+//
+// The construction is inherently local: edge sampling uses the shared
+// deterministic coin (both endpoints agree without communication), and the
+// repair test — "does a removed edge still have a replacement of length
+// ≤ 3 in the sampled graph?" — reads only the 3-hop neighborhood. Three
+// knowledge-flooding rounds therefore suffice, mirroring Corollary 3's
+// scheme for Algorithm 1.
+
+#include "core/expander_spanner.hpp"
+#include "dist/local_model.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct DistExpanderResult {
+  Graph h;
+  LocalRunStats stats;
+};
+
+/// Runs the distributed Theorem 2 construction; output is bit-identical to
+/// build_expander_spanner with the same options.
+DistExpanderResult build_expander_spanner_local(
+    const Graph& g, const ExpanderSpannerOptions& options = {});
+
+}  // namespace dcs

@@ -1,0 +1,133 @@
+#include "dist/dist_spanner.hpp"
+
+#include <unordered_map>
+
+#include "core/support.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+// One node of the distributed Algorithm 1. Knowledge is a map from edge key
+// to the edge's sampled bit; three flood rounds give every node all edges
+// incident to its distance-3 neighborhood (the paper's "forward all
+// information about G and G' for the next 3 rounds").
+class SpannerNode final : public LocalAlgorithm {
+ public:
+  SpannerNode(std::size_t n, const RegularSpannerParams& params,
+              const RegularSpannerOptions& options)
+      : n_(n), params_(params), options_(options) {}
+
+  void init(Vertex self, std::span<const Vertex> neighbors) override {
+    self_ = self;
+    neighbors_.assign(neighbors.begin(), neighbors.end());
+    for (Vertex v : neighbors_) {
+      const Edge e = canonical(self_, v);
+      // Both endpoints evaluate the same deterministic coin, so the sampled
+      // status needs no agreement message.
+      knowledge_[edge_key(e)] = edge_sampled(e, params_.rho, options_.seed)
+                                    ? std::uint64_t{1}
+                                    : std::uint64_t{0};
+    }
+  }
+
+  std::vector<std::uint64_t> broadcast(std::size_t round) override {
+    if (round >= kFloodRounds) return {};
+    std::vector<std::uint64_t> payload;
+    payload.reserve(2 * knowledge_.size());
+    for (const auto& [key, bit] : knowledge_) {
+      payload.push_back(key);
+      payload.push_back(bit);
+    }
+    return payload;
+  }
+
+  void receive(std::size_t /*round*/, Vertex /*from*/,
+               std::span<const std::uint64_t> payload) override {
+    DCS_CHECK(payload.size() % 2 == 0, "malformed knowledge payload");
+    for (std::size_t i = 0; i < payload.size(); i += 2) {
+      knowledge_.emplace(payload[i], payload[i + 1]);
+    }
+  }
+
+  bool done(std::size_t rounds_elapsed) const override {
+    return rounds_elapsed >= kFloodRounds;
+  }
+
+  /// After the run: contributes this node's incident spanner edges (only in
+  /// the canonical direction to avoid duplicates). Decisions are symmetric —
+  /// both endpoints hold a superset of the distance-2 information the tests
+  /// read — so no decision-exchange round is required.
+  void harvest(GraphBuilder& builder) const {
+    // Materialize the local views of G and G' from knowledge.
+    std::vector<Edge> g_edges;
+    std::vector<Edge> gp_edges;
+    g_edges.reserve(knowledge_.size());
+    for (const auto& [key, bit] : knowledge_) {
+      const Edge e{static_cast<Vertex>(key >> 32),
+                   static_cast<Vertex>(key & 0xffffffffu)};
+      g_edges.push_back(e);
+      if (bit != 0) gp_edges.push_back(e);
+    }
+    const Graph local_g = Graph::from_edges(n_, g_edges);
+    const Graph local_gp = Graph::from_edges(n_, gp_edges);
+
+    for (Vertex v : neighbors_) {
+      if (v < self_) continue;  // canonical owner emits the edge
+      const Edge e = canonical(self_, v);
+      if (knowledge_.at(edge_key(e)) != 0) {
+        builder.add_edge(e.u, e.v);  // sampled: in G'
+        continue;
+      }
+      const bool supported =
+          is_ab_supported(local_g, e, params_.support_a, params_.support_b);
+      if (!supported) {
+        if (options_.reinsert_unsupported) builder.add_edge(e.u, e.v);
+        continue;
+      }
+      if (options_.reinsert_undetoured &&
+          !has_short_replacement(local_gp, e.u, e.v)) {
+        builder.add_edge(e.u, e.v);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kFloodRounds = 3;
+
+  std::size_t n_;
+  RegularSpannerParams params_;
+  RegularSpannerOptions options_;
+  Vertex self_ = kInvalidVertex;
+  std::vector<Vertex> neighbors_;
+  std::unordered_map<std::uint64_t, std::uint64_t> knowledge_;
+};
+
+}  // namespace
+
+DistSpannerResult build_regular_spanner_local(
+    const Graph& g, const RegularSpannerOptions& options) {
+  DCS_REQUIRE(g.is_regular(), "Algorithm 1 requires a Δ-regular input");
+  const RegularSpannerParams params =
+      compute_regular_spanner_params(g.min_degree(), options);
+
+  std::vector<std::unique_ptr<LocalAlgorithm>> nodes;
+  nodes.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    nodes.push_back(
+        std::make_unique<SpannerNode>(g.num_vertices(), params, options));
+  }
+
+  DistSpannerResult result;
+  result.stats = run_local(g, nodes, /*max_rounds=*/8);
+
+  GraphBuilder builder(g.num_vertices());
+  for (const auto& node : nodes) {
+    static_cast<const SpannerNode*>(node.get())->harvest(builder);
+  }
+  result.h = builder.build();
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,33 @@
+#pragma once
+
+// Section 7 / Corollary 3: the O(1)-round LOCAL implementation of
+// Algorithm 1.
+//
+// Each node flips the shared per-edge coin for its incident edges (both
+// endpoints compute the same deterministic hash, so no agreement message is
+// needed), then floods its accumulated edge knowledge for three rounds.
+// After the flood every node knows all edges — with their sampled bits —
+// incident to nodes within distance 3, which is exactly the information
+// needed to evaluate the (a,b)-support test and the 3-detour-survival test
+// for its incident edges. One final round announces reinsertion decisions.
+//
+// The output is bit-identical to the sequential build_regular_spanner run
+// with the same seed and thresholds (verified by tests/test_dist).
+
+#include "core/regular_spanner.hpp"
+#include "dist/local_model.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct DistSpannerResult {
+  Graph h;              ///< the distributed spanner
+  LocalRunStats stats;  ///< rounds (constant) and message volume
+};
+
+/// Runs the distributed Algorithm 1 on g in the LOCAL simulator. `options`
+/// is interpreted exactly as by build_regular_spanner.
+DistSpannerResult build_regular_spanner_local(
+    const Graph& g, const RegularSpannerOptions& options = {});
+
+}  // namespace dcs

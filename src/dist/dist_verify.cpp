@@ -1,0 +1,95 @@
+#include "dist/dist_verify.hpp"
+
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+class VerifyNode final : public LocalAlgorithm {
+ public:
+  VerifyNode(std::size_t n, const Graph& g, const Graph& h, Dist alpha)
+      : n_(n), g_(g), h_(h), alpha_(alpha) {}
+
+  void init(Vertex self, std::span<const Vertex> /*neighbors*/) override {
+    self_ = self;
+    // Seed knowledge with the node's incident H-edges. (The simulator's
+    // neighbor lists come from G — verification floods over G links, which
+    // is legitimate: LOCAL communication uses the network G itself.)
+    for (Vertex v : h_.neighbors(self_)) {
+      knowledge_.insert(edge_key(canonical(self_, v)));
+    }
+  }
+
+  std::vector<std::uint64_t> broadcast(std::size_t round) override {
+    if (round >= alpha_) return {};
+    return {knowledge_.begin(), knowledge_.end()};
+  }
+
+  void receive(std::size_t /*round*/, Vertex /*from*/,
+               std::span<const std::uint64_t> payload) override {
+    knowledge_.insert(payload.begin(), payload.end());
+  }
+
+  bool done(std::size_t rounds_elapsed) const override {
+    return rounds_elapsed >= alpha_;
+  }
+
+  /// After the flood: accept iff every owned incident G-edge has a ≤α-hop
+  /// path in the known fragment of H.
+  bool accepts() const {
+    std::vector<Edge> local_edges;
+    local_edges.reserve(knowledge_.size());
+    for (std::uint64_t key : knowledge_) {
+      local_edges.push_back(Edge{static_cast<Vertex>(key >> 32),
+                                 static_cast<Vertex>(key & 0xffffffffu)});
+    }
+    const Graph local_h = Graph::from_edges(n_, local_edges);
+    const auto dist = bfs_distances_bounded(local_h, self_, alpha_);
+    for (Vertex v : g_.neighbors(self_)) {
+      if (v < self_) continue;  // canonical owner checks the edge
+      if (dist[v] == kUnreachable) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t n_;
+  const Graph& g_;
+  const Graph& h_;
+  Dist alpha_;
+  Vertex self_ = kInvalidVertex;
+  std::unordered_set<std::uint64_t> knowledge_;
+};
+
+}  // namespace
+
+DistVerifyResult verify_spanner_local(const Graph& g, const Graph& h,
+                                      Dist alpha) {
+  DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
+              "spanner must share the vertex set");
+  DCS_REQUIRE(g.contains_subgraph(h), "H must be a subgraph of G");
+  DCS_REQUIRE(alpha >= 1, "stretch must be at least 1");
+
+  std::vector<std::unique_ptr<LocalAlgorithm>> nodes;
+  nodes.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    nodes.push_back(
+        std::make_unique<VerifyNode>(g.num_vertices(), g, h, alpha));
+  }
+
+  DistVerifyResult result;
+  result.stats = run_local(g, nodes, alpha + 2);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!static_cast<const VerifyNode*>(nodes[v].get())->accepts()) {
+      result.violating.push_back(v);
+    }
+  }
+  result.ok = result.violating.empty();
+  return result;
+}
+
+}  // namespace dcs

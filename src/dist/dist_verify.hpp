@@ -1,0 +1,27 @@
+#pragma once
+
+// Distributed spanner verification in the LOCAL model: each node checks
+// that every incident edge of G it owns has a replacement of length ≤ α in
+// the spanner H, using only α-hop knowledge of H (flooded in α rounds).
+// A companion to Corollary 3 — construction *and* verification of the
+// 3-distance property are O(1)-round local tasks.
+
+#include "dist/local_model.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct DistVerifyResult {
+  bool ok = false;                     ///< all nodes accepted
+  std::vector<Vertex> violating;      ///< nodes that rejected
+  LocalRunStats stats;
+};
+
+/// Verifies that H is an α-distance spanner of G, distributed: node u
+/// checks d_H(u,v) ≤ α for each incident G-edge (u,v) with u < v.
+/// H must be a subgraph of G on the same vertex set.
+DistVerifyResult verify_spanner_local(const Graph& g, const Graph& h,
+                                      Dist alpha = 3);
+
+}  // namespace dcs

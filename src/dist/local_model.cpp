@@ -1,0 +1,57 @@
+#include "dist/local_model.hpp"
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+LocalRunStats run_local(
+    const Graph& g,
+    std::span<const std::unique_ptr<LocalAlgorithm>> nodes,
+    std::size_t max_rounds) {
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(nodes.size() == n, "one algorithm instance per vertex");
+
+  for (Vertex v = 0; v < n; ++v) {
+    nodes[v]->init(v, g.neighbors(v));
+  }
+
+  LocalRunStats stats;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool all_done = true;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!nodes[v]->done(round)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      stats.rounds = round;
+      return stats;
+    }
+
+    // Collect all outgoing messages before delivering any: rounds are
+    // synchronous, so this round's messages must not influence this round's
+    // broadcasts.
+    std::vector<std::vector<std::uint64_t>> outbox(n);
+    for (Vertex v = 0; v < n; ++v) {
+      outbox[v] = nodes[v]->broadcast(round);
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      for (Vertex nb : g.neighbors(v)) {
+        nodes[nb]->receive(round, v, outbox[v]);
+        ++stats.total_messages;
+        stats.total_words += outbox[v].size();
+      }
+    }
+  }
+
+  // Final check after the last allowed round.
+  for (Vertex v = 0; v < n; ++v) {
+    DCS_REQUIRE(nodes[v]->done(max_rounds),
+                "LOCAL simulation exceeded the round limit");
+  }
+  stats.rounds = max_rounds;
+  return stats;
+}
+
+}  // namespace dcs

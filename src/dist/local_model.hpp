@@ -1,0 +1,49 @@
+#pragma once
+
+// A round-based simulator of the LOCAL model of distributed computing:
+// synchronous rounds, unbounded local computation, and per-round message
+// exchange restricted to graph neighbors. Locality is enforced by
+// construction — a node's only input channel is its neighbors' messages.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+/// One node's algorithm. The simulator drives:
+///   init → [broadcast → deliver receive()s] per round → done?
+class LocalAlgorithm {
+ public:
+  virtual ~LocalAlgorithm() = default;
+
+  virtual void init(Vertex self, std::span<const Vertex> neighbors) = 0;
+
+  /// Payload broadcast to every neighbor this round (LOCAL allows distinct
+  /// per-neighbor messages; broadcast suffices for our algorithms).
+  virtual std::vector<std::uint64_t> broadcast(std::size_t round) = 0;
+
+  virtual void receive(std::size_t round, Vertex from,
+                       std::span<const std::uint64_t> payload) = 0;
+
+  /// Once every node reports done, the simulation stops.
+  virtual bool done(std::size_t rounds_elapsed) const = 0;
+};
+
+struct LocalRunStats {
+  std::size_t rounds = 0;
+  std::size_t total_messages = 0;
+  std::size_t total_words = 0;  ///< sum of payload lengths (64-bit words)
+};
+
+/// Runs one algorithm instance per vertex for at most `max_rounds` rounds.
+/// Returns the statistics of the run; throws if the round limit is hit
+/// before every node is done.
+LocalRunStats run_local(const Graph& g,
+                        std::span<const std::unique_ptr<LocalAlgorithm>> nodes,
+                        std::size_t max_rounds);
+
+}  // namespace dcs

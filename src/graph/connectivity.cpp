@@ -1,0 +1,59 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace dcs {
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp(g.num_vertices(), kUnassigned);
+  std::size_t next_id = 0;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (comp[start] != kUnassigned) continue;
+    comp[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (Vertex v : g.neighbors(u)) {
+        if (comp[v] == kUnassigned) {
+          comp[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+std::size_t num_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  if (comp.empty()) return 0;
+  return *std::max_element(comp.begin(), comp.end()) + 1;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() == 0 || num_components(g) == 1;
+}
+
+std::size_t diameter_lower_bound(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto dist = bfs_distances(g, 0);
+  Vertex far = 0;
+  Dist best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] == kUnreachable) return kUnreachable;
+    if (dist[v] > best) {
+      best = dist[v];
+      far = v;
+    }
+  }
+  const Dist ecc = eccentricity(g, far);
+  return ecc == kUnreachable ? kUnreachable : ecc;
+}
+
+}  // namespace dcs

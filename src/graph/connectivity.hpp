@@ -1,0 +1,22 @@
+#pragma once
+
+// Connected components and diameter estimation.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+/// Component id per vertex, ids are dense starting from 0.
+std::vector<std::size_t> connected_components(const Graph& g);
+
+std::size_t num_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Lower bound on the diameter via a double BFS sweep (exact on trees, a
+/// good estimate in general); kUnreachable if disconnected.
+std::size_t diameter_lower_bound(const Graph& g);
+
+}  // namespace dcs

@@ -1,0 +1,84 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+using HeapEntry = std::pair<double, Vertex>;  // (distance, vertex)
+using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                    std::greater<>>;
+
+std::vector<double> run_dijkstra(const WeightedGraph& g, Vertex source,
+                                 Vertex target,
+                                 std::vector<Vertex>* parent) {
+  DCS_REQUIRE(source < g.num_vertices(), "source out of range");
+  std::vector<double> dist(g.num_vertices(), kInfDistance);
+  if (parent != nullptr) {
+    parent->assign(g.num_vertices(), kInvalidVertex);
+  }
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (u == target) break;
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const double nd = d + ws[i];
+      if (nd < dist[nb[i]]) {
+        dist[nb[i]] = nd;
+        if (parent != nullptr) (*parent)[nb[i]] = u;
+        heap.emplace(nd, nb[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<double> dijkstra_distances(const WeightedGraph& g,
+                                       Vertex source) {
+  return run_dijkstra(g, source, kInvalidVertex, nullptr);
+}
+
+double dijkstra_distance(const WeightedGraph& g, Vertex source,
+                         Vertex target) {
+  DCS_REQUIRE(target < g.num_vertices(), "target out of range");
+  const auto dist = run_dijkstra(g, source, target, nullptr);
+  return dist[target];
+}
+
+Path dijkstra_path(const WeightedGraph& g, Vertex source, Vertex target) {
+  DCS_REQUIRE(target < g.num_vertices(), "target out of range");
+  std::vector<Vertex> parent;
+  const auto dist = run_dijkstra(g, source, target, &parent);
+  if (dist[target] == kInfDistance) return {};
+  Path path{target};
+  Vertex cur = target;
+  while (cur != source) {
+    cur = parent[cur];
+    DCS_CHECK(cur != kInvalidVertex, "parent chain broken");
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double path_weight(const WeightedGraph& g, const Path& p) {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    total += g.weight(p[i], p[i + 1]);
+  }
+  return total;
+}
+
+}  // namespace dcs

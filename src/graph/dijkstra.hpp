@@ -1,0 +1,31 @@
+#pragma once
+
+// Dijkstra shortest paths on weighted graphs (binary-heap implementation),
+// with a bounded variant used by the weighted greedy spanner.
+
+#include <limits>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+inline constexpr double kInfDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Distances from `source` to every vertex (kInfDistance if unreachable).
+std::vector<double> dijkstra_distances(const WeightedGraph& g,
+                                       Vertex source);
+
+/// Distance between a pair with early exit.
+double dijkstra_distance(const WeightedGraph& g, Vertex source,
+                         Vertex target);
+
+/// One shortest path (empty if unreachable), endpoints included.
+Path dijkstra_path(const WeightedGraph& g, Vertex source, Vertex target);
+
+/// Weight of a path under g (sum of edge weights); throws on non-edges.
+double path_weight(const WeightedGraph& g, const Path& p);
+
+}  // namespace dcs

@@ -1,0 +1,13 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace dcs {
+
+void canonicalize_edge_list(std::vector<Edge>& edges) {
+  for (auto& e : edges) e = canonical(e);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+}  // namespace dcs

@@ -1,0 +1,81 @@
+#pragma once
+
+// Canonical undirected edge representation and hashed edge sets.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace dcs {
+
+using Vertex = std::uint32_t;
+inline constexpr Vertex kInvalidVertex = static_cast<Vertex>(-1);
+
+/// An undirected edge stored in canonical orientation (u <= v after
+/// canonicalize). Equality and hashing are orientation-insensitive only if
+/// edges are canonical, so library code always canonicalizes on creation.
+struct Edge {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+
+  bool operator==(const Edge&) const = default;
+  auto operator<=>(const Edge&) const = default;
+};
+
+/// Returns the canonical orientation (min endpoint first).
+constexpr Edge canonical(Vertex u, Vertex v) {
+  return u <= v ? Edge{u, v} : Edge{v, u};
+}
+
+constexpr Edge canonical(Edge e) { return canonical(e.u, e.v); }
+
+/// Packs a canonical edge into a 64-bit key (useful as a hash-map key).
+constexpr std::uint64_t edge_key(Edge e) {
+  return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+}
+
+struct EdgeHash {
+  std::size_t operator()(Edge e) const {
+    // splitmix-style avalanche of the packed key
+    std::uint64_t z = edge_key(e) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+/// Hash set of canonical edges.
+class EdgeSet {
+ public:
+  EdgeSet() = default;
+  explicit EdgeSet(std::span<const Edge> edges) {
+    for (Edge e : edges) insert(e);
+  }
+
+  bool insert(Edge e) { return set_.insert(canonical(e)).second; }
+  bool insert(Vertex u, Vertex v) { return insert(canonical(u, v)); }
+  bool erase(Edge e) { return set_.erase(canonical(e)) > 0; }
+  bool contains(Edge e) const { return set_.count(canonical(e)) > 0; }
+  bool contains(Vertex u, Vertex v) const {
+    return contains(canonical(u, v));
+  }
+  std::size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  std::vector<Edge> to_vector() const {
+    return {set_.begin(), set_.end()};
+  }
+
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
+
+ private:
+  std::unordered_set<Edge, EdgeHash> set_;
+};
+
+/// Sorts and deduplicates an edge list in place (canonicalizing first).
+void canonicalize_edge_list(std::vector<Edge>& edges);
+
+}  // namespace dcs

@@ -1,0 +1,84 @@
+#pragma once
+
+// Graph families used throughout the paper and its evaluation:
+//
+//  * random Δ-regular graphs (union of random perfect matchings with edge
+//    repair) — near-Ramanujan expanders w.h.p., the input class of
+//    Theorems 2 and 3;
+//  * the explicit Gabber–Galil / Margulis-style 8-regular expander;
+//  * the clique–matching graph of Figure 1 (fault-tolerant-spanner
+//    counterexample);
+//  * the Lemma 2 separation family (cliques + matching + detour paths);
+//  * the Lemma 18 "fan" gadget (line + hub with rays to odd positions);
+//  * standard topologies (complete, cycle, path, hypercube, torus,
+//    Erdős–Rényi) used by tests and examples.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+Graph complete_graph(std::size_t n);
+Graph cycle_graph(std::size_t n);
+Graph path_graph(std::size_t n);
+
+/// d-dimensional hypercube on 2^d vertices.
+Graph hypercube(std::size_t dim);
+
+/// rows x cols torus (wrap-around grid); degenerate dimensions (< 3) produce
+/// paths/cycles without duplicate edges.
+Graph torus_2d(std::size_t rows, std::size_t cols);
+
+/// G(n, p) random graph.
+Graph erdos_renyi(std::size_t n, double p, std::uint64_t seed);
+
+/// Random Δ-regular simple graph on an even number of vertices, built as the
+/// union of Δ random perfect matchings with local repair of duplicate edges.
+/// Such graphs are expanders with λ close to 2√(Δ-1) w.h.p.
+Graph random_regular(std::size_t n, std::size_t delta, std::uint64_t seed);
+
+/// Explicit expander in the Gabber–Galil / Margulis style on m² vertices,
+/// degree ≤ 8 (slightly irregular near fixed points after deduplication).
+Graph margulis_expander(std::size_t m);
+
+/// Ring of cliques: `num_cliques` cliques of `clique_size` vertices, where
+/// vertex j of clique i is also matched to vertex j of clique i+1 (mod).
+/// The result is (clique_size+1)-regular. Cross edges have no common
+/// neighbors, so they are never (a,b)-supported — the canonical input where
+/// Algorithm 1's support-based reinsertion rule is load-bearing.
+Graph ring_of_cliques(std::size_t num_cliques, std::size_t clique_size);
+
+/// Figure 1 graph: two cliques of size n/2 inter-connected by a perfect
+/// matching; vertex i of clique A is matched to vertex i of clique B.
+/// n must be even. Clique A occupies vertices [0, n/2), B occupies [n/2, n).
+Graph clique_matching_graph(std::size_t n);
+
+/// Lemma 2 separation family.
+struct Lemma2Graph {
+  Graph g;
+  std::size_t alpha = 0;           ///< distance-stretch parameter (≥ 2)
+  std::vector<Vertex> a;           ///< clique A nodes a_1..a_n
+  std::vector<Vertex> b;           ///< clique B nodes b_1..b_n
+  std::vector<std::vector<Vertex>> detours;  ///< detours[i] = d_{i,1..α-1}
+};
+
+/// Builds the Lemma 2 graph with `pairs` matched pairs and parameter alpha:
+/// cliques on A and B, perfect matching (a_i, b_i), and per-pair detour path
+/// a_i – d_{i,1} – … – d_{i,α-1} – b_i of length α.
+Lemma2Graph lemma2_graph(std::size_t pairs, std::size_t alpha);
+
+/// Lemma 18 "fan" gadget: line a_1..a_{2k+1} plus hub s with rays to every
+/// odd-indexed line node; |V| = 2k+2, |E| = 3k+1.
+struct FanGadget {
+  Graph g;
+  std::size_t k = 0;
+  Vertex hub = kInvalidVertex;
+  std::vector<Vertex> line;  ///< a_1..a_{2k+1} in line order
+};
+
+FanGadget fan_gadget(std::size_t k);
+
+}  // namespace dcs

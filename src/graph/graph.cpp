@@ -1,0 +1,103 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+Graph::Graph(std::size_t n) : offsets_(n + 1, 0) {}
+
+Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges) {
+  std::vector<Edge> canon(edges.begin(), edges.end());
+  for (const auto& e : canon) {
+    DCS_REQUIRE(e.u != e.v, "self-loops are not allowed");
+    DCS_REQUIRE(e.u < n && e.v < n, "edge endpoint out of range");
+  }
+  canonicalize_edge_list(canon);
+
+  Graph g(n);
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& e : canon) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(2 * canon.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : canon) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Canonical edge order already emits each adjacency list in increasing
+  // order for the second endpoint but not the first; sort to guarantee it.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  DCS_REQUIRE(u < num_vertices() && v < num_vertices(),
+              "vertex out of range");
+  if (u == v) return false;
+  auto nb = neighbors(u);
+  if (degree(v) < nb.size()) {
+    nb = neighbors(v);
+    std::swap(u, v);
+  }
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (Vertex v : neighbors(u)) {
+      if (u < v) out.push_back(Edge{u, v});
+    }
+  }
+  return out;
+}
+
+std::size_t Graph::min_degree() const {
+  std::size_t best = num_vertices() == 0 ? 0 : degree(0);
+  for (Vertex v = 1; v < num_vertices(); ++v) {
+    best = std::min(best, degree(v));
+  }
+  return best;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+bool Graph::contains_subgraph(const Graph& other) const {
+  if (other.num_vertices() != num_vertices()) return false;
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (Vertex v : other.neighbors(u)) {
+      if (u < v && !has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  DCS_REQUIRE(u != v, "self-loops are not allowed");
+  DCS_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  edges_.push_back(canonical(u, v));
+}
+
+void GraphBuilder::add_edges(std::span<const Edge> edges) {
+  for (Edge e : edges) add_edge(e.u, e.v);
+}
+
+}  // namespace dcs

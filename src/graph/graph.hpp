@@ -1,0 +1,78 @@
+#pragma once
+
+// Immutable CSR (compressed sparse row) undirected graph.
+//
+// All algorithms in this library work on simple undirected graphs. The CSR
+// layout keeps each adjacency list contiguous and sorted, which makes
+// neighborhood scans cache-friendly and `has_edge` a binary search — both
+// matter because spanner verification scans every adjacency of every vertex.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace dcs {
+
+class Graph {
+ public:
+  /// Empty graph on n vertices.
+  explicit Graph(std::size_t n = 0);
+
+  /// Builds from an arbitrary edge list: self-loops are rejected, duplicate
+  /// edges are collapsed.
+  static Graph from_edges(std::size_t n, std::span<const Edge> edges);
+
+  std::size_t num_vertices() const { return offsets_.size() - 1; }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// O(log degree) membership test on the sorted adjacency list.
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Canonical (u < v) edge list in lexicographic order.
+  std::vector<Edge> edges() const;
+
+  std::size_t min_degree() const;
+  std::size_t max_degree() const;
+  bool is_regular() const { return min_degree() == max_degree(); }
+
+  /// True if `other` has the same vertex set and a subset of the edges.
+  bool contains_subgraph(const Graph& other) const;
+
+  bool operator==(const Graph& other) const = default;
+
+ private:
+  // offsets_[v]..offsets_[v+1] delimit v's neighbors in adjacency_.
+  std::vector<std::size_t> offsets_;
+  std::vector<Vertex> adjacency_;
+};
+
+/// Incremental construction helper. Accepts duplicates (collapsed on build)
+/// and rejects self-loops at insertion time.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t n) : n_(n) {}
+
+  void add_edge(Vertex u, Vertex v);
+  void add_edges(std::span<const Edge> edges);
+  std::size_t num_vertices() const { return n_; }
+  std::size_t pending_edges() const { return edges_.size(); }
+
+  Graph build() const { return Graph::from_edges(n_, edges_); }
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dcs

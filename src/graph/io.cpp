@@ -1,0 +1,156 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge e : g.edges()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void write_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  DCS_REQUIRE(os.good(), "cannot open graph file for writing: " + path);
+  write_graph(os, g);
+  DCS_REQUIRE(os.good(), "write failed: " + path);
+}
+
+namespace {
+
+// Fetches the next content line (skipping blanks and comments); returns
+// false at EOF.
+bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_graph(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  DCS_REQUIRE(next_line(is, line, lineno), "empty graph file");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  DCS_REQUIRE(static_cast<bool>(header >> n >> m),
+              "malformed header at line " + std::to_string(lineno));
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  EdgeSet seen;
+  for (std::size_t i = 0; i < m; ++i) {
+    DCS_REQUIRE(next_line(is, line, lineno),
+                "expected " + std::to_string(m) + " edges, got " +
+                    std::to_string(i));
+    std::istringstream row(line);
+    std::uint64_t u = 0, v = 0;
+    DCS_REQUIRE(static_cast<bool>(row >> u >> v),
+                "malformed edge at line " + std::to_string(lineno));
+    DCS_REQUIRE(u < n && v < n,
+                "endpoint out of range at line " + std::to_string(lineno));
+    DCS_REQUIRE(u != v, "self-loop at line " + std::to_string(lineno));
+    const Edge e = canonical(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    DCS_REQUIRE(seen.insert(e),
+                "duplicate edge at line " + std::to_string(lineno));
+    edges.push_back(e);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_graph_file(const std::string& path) {
+  std::ifstream is(path);
+  DCS_REQUIRE(is.good(), "cannot open graph file: " + path);
+  return read_graph(is);
+}
+
+void write_metis(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << (nb[i] + 1);  // METIS is 1-indexed
+    }
+    os << '\n';
+  }
+}
+
+void write_metis_file(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  DCS_REQUIRE(os.good(), "cannot open METIS file for writing: " + path);
+  write_metis(os, g);
+  DCS_REQUIRE(os.good(), "write failed: " + path);
+}
+
+namespace {
+
+bool next_metis_line(std::istream& is, std::string& line,
+                     std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first != std::string::npos && line[first] == '%') continue;
+    return true;  // blank lines are significant (isolated vertices)
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_metis(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  DCS_REQUIRE(next_metis_line(is, line, lineno), "empty METIS file");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  DCS_REQUIRE(static_cast<bool>(header >> n >> m),
+              "malformed METIS header at line " + std::to_string(lineno));
+  std::size_t fmt = 0;
+  if (header >> fmt) {
+    DCS_REQUIRE(fmt == 0, "only the plain unweighted METIS format (fmt=0) "
+                          "is supported");
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    DCS_REQUIRE(next_metis_line(is, line, lineno),
+                "METIS file ends before vertex " + std::to_string(v + 1));
+    std::istringstream row(line);
+    std::uint64_t nb = 0;
+    while (row >> nb) {
+      DCS_REQUIRE(nb >= 1 && nb <= n,
+                  "neighbor out of range at line " + std::to_string(lineno));
+      const auto u = static_cast<Vertex>(v);
+      const auto w = static_cast<Vertex>(nb - 1);
+      DCS_REQUIRE(u != w, "self-loop at line " + std::to_string(lineno));
+      if (u < w) edges.push_back(Edge{u, w});  // each edge listed twice
+    }
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  DCS_REQUIRE(g.num_edges() == m,
+              "METIS edge count mismatch: header says " + std::to_string(m) +
+                  ", adjacency lists contain " +
+                  std::to_string(g.num_edges()));
+  return g;
+}
+
+Graph read_metis_file(const std::string& path) {
+  std::ifstream is(path);
+  DCS_REQUIRE(is.good(), "cannot open METIS file: " + path);
+  return read_metis(is);
+}
+
+}  // namespace dcs

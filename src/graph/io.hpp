@@ -1,0 +1,38 @@
+#pragma once
+
+// Plain-text graph serialization.
+//
+// Format (one graph per file):
+//   line 1:  "n m"            — vertex count, edge count
+//   lines 2..m+1:  "u v"      — one canonical edge per line, 0-indexed
+//   '#' begins a comment line; blank lines are ignored.
+//
+// The reader validates ranges, rejects self-loops/duplicates, and reports
+// the offending line on error.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+void write_graph(std::ostream& os, const Graph& g);
+void write_graph_file(const std::string& path, const Graph& g);
+
+Graph read_graph(std::istream& is);
+Graph read_graph_file(const std::string& path);
+
+// METIS graph format (interop with partitioners and other graph tools):
+//   line 1:  "n m"          — vertex count, edge count
+//   line i+1: the neighbors of vertex i, 1-indexed, space-separated.
+// '%' begins a comment line. Only the plain unweighted variant is
+// supported; format flags other than 0 are rejected.
+
+void write_metis(std::ostream& os, const Graph& g);
+void write_metis_file(const std::string& path, const Graph& g);
+
+Graph read_metis(std::istream& is);
+Graph read_metis_file(const std::string& path);
+
+}  // namespace dcs

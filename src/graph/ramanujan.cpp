@@ -1,0 +1,181 @@
+#include "graph/ramanujan.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+using Mat = std::array<std::uint64_t, 4>;  // [[a b],[c d]] row-major, mod q
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t mod) {
+  std::uint64_t result = 1 % mod;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = result * base % mod;
+    base = base * base % mod;
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t mod_inverse(std::uint64_t a, std::uint64_t q) {
+  // q prime → a^{q−2}
+  return mod_pow(a % q, q - 2, q);
+}
+
+/// A square root of −1 mod q (exists since q ≡ 1 mod 4): for a
+/// non-residue n, x = n^{(q−1)/4}.
+std::uint64_t sqrt_minus_one(std::uint64_t q) {
+  for (std::uint64_t n = 2; n < q; ++n) {
+    if (mod_pow(n, (q - 1) / 2, q) == q - 1) {
+      return mod_pow(n, (q - 1) / 4, q);
+    }
+  }
+  throw std::logic_error("no quadratic non-residue found (q not prime?)");
+}
+
+/// Canonical projective representative: scale so the first nonzero entry
+/// (row-major) equals 1. Two matrices represent the same PGL element iff
+/// their canonical forms match.
+Mat projective_canonical(Mat m, std::uint64_t q) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (m[i] % q != 0) {
+      const std::uint64_t inv = mod_inverse(m[i], q);
+      for (auto& x : m) x = x % q * inv % q;
+      return m;
+    }
+  }
+  throw std::logic_error("zero matrix is not a group element");
+}
+
+Mat multiply(const Mat& x, const Mat& y, std::uint64_t q) {
+  return Mat{(x[0] * y[0] + x[1] * y[2]) % q,
+             (x[0] * y[1] + x[1] * y[3]) % q,
+             (x[2] * y[0] + x[3] * y[2]) % q,
+             (x[2] * y[1] + x[3] * y[3]) % q};
+}
+
+std::uint64_t mat_key(const Mat& m, std::uint64_t q) {
+  return ((m[0] * q + m[1]) * q + m[2]) * q + m[3];
+}
+
+}  // namespace
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::size_t legendre_symbol(std::size_t a, std::size_t q) {
+  DCS_REQUIRE(q > 2 && is_prime(q), "q must be an odd prime");
+  return static_cast<std::size_t>(mod_pow(a % q, (q - 1) / 2, q));
+}
+
+LpsGraph lps_ramanujan_graph(std::size_t p, std::size_t q) {
+  DCS_REQUIRE(is_prime(p) && p % 4 == 1, "p must be a prime ≡ 1 (mod 4)");
+  DCS_REQUIRE(is_prime(q) && q % 4 == 1, "q must be a prime ≡ 1 (mod 4)");
+  DCS_REQUIRE(p != q, "p and q must be distinct");
+  DCS_REQUIRE(static_cast<double>(q) > 2.0 * std::sqrt(static_cast<double>(p)),
+              "q must exceed 2√p for a simple graph");
+
+  LpsGraph out;
+  out.p = p;
+  out.q = q;
+  out.is_psl = legendre_symbol(p, q) == 1;
+
+  // Enumerate the p+1 quaternions a0 + a1 i + a2 j + a3 k of norm p with
+  // a0 odd positive and a1, a2, a3 even (Jacobi: exactly p+1 of them).
+  const auto bound = static_cast<std::int64_t>(
+      std::floor(std::sqrt(static_cast<double>(p))));
+  const std::int64_t even_bound = bound - (bound % 2);  // largest even ≤ bound
+  std::vector<std::array<std::int64_t, 4>> quaternions;
+  for (std::int64_t a0 = 1; a0 <= bound; a0 += 2) {
+    for (std::int64_t a1 = -even_bound; a1 <= even_bound; a1 += 2) {
+      for (std::int64_t a2 = -even_bound; a2 <= even_bound; a2 += 2) {
+        for (std::int64_t a3 = -even_bound; a3 <= even_bound; a3 += 2) {
+          if (a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3 ==
+              static_cast<std::int64_t>(p)) {
+            quaternions.push_back({a0, a1, a2, a3});
+          }
+        }
+      }
+    }
+  }
+  DCS_CHECK(quaternions.size() == p + 1,
+            "expected exactly p+1 norm-p quaternions");
+
+  // Map each quaternion to the matrix [[a0+i·a1, a2+i·a3],
+  //                                    [−a2+i·a3, a0−i·a1]] mod q.
+  const std::uint64_t i_mod = sqrt_minus_one(q);
+  auto to_modq = [&](std::int64_t v) {
+    const auto qi = static_cast<std::int64_t>(q);
+    return static_cast<std::uint64_t>(((v % qi) + qi) % qi);
+  };
+  std::vector<Mat> generators;
+  generators.reserve(quaternions.size());
+  for (const auto& [a0, a1, a2, a3] : quaternions) {
+    const Mat m{(to_modq(a0) + i_mod * to_modq(a1)) % q,
+                (to_modq(a2) + i_mod * to_modq(a3)) % q,
+                (to_modq(-a2) + i_mod * to_modq(a3)) % q,
+                (to_modq(a0) + (q - i_mod % q) * to_modq(a1) % q) % q};
+    generators.push_back(projective_canonical(m, q));
+  }
+
+  // BFS closure of the generated subgroup from the identity; the Cayley
+  // graph is connected by construction. The generator set is closed under
+  // inverses (conjugate quaternions), so edges are undirected.
+  std::unordered_map<std::uint64_t, Vertex> index;
+  std::vector<Mat> elements;
+  const Mat identity{1, 0, 0, 1};
+  index.emplace(mat_key(identity, q), 0);
+  elements.push_back(identity);
+  std::queue<Vertex> frontier;
+  frontier.push(0);
+  std::size_t self_loop_arcs = 0;
+  EdgeSet seen;
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop();
+    const Mat current = elements[v];
+    for (const Mat& s : generators) {
+      const Mat next = projective_canonical(multiply(current, s, q), q);
+      const std::uint64_t key = mat_key(next, q);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        const auto id = static_cast<Vertex>(elements.size());
+        index.emplace(key, id);
+        elements.push_back(next);
+        frontier.push(id);
+        it = index.find(key);
+      }
+      const Vertex u = it->second;
+      if (u == v) {
+        ++self_loop_arcs;
+      } else {
+        seen.insert(v, u);
+      }
+    }
+  }
+  // Arc accounting: every vertex emits p+1 arcs; the generator set is
+  // inverse-closed, so non-loop arcs pair up into undirected edges.
+  const std::size_t total_arcs = elements.size() * (p + 1);
+  const std::size_t undirected = (total_arcs - self_loop_arcs) / 2;
+  out.self_loops = self_loop_arcs / 2;
+  out.multi_edges = undirected - seen.size();
+  const auto edge_list = seen.to_vector();
+  out.graph = Graph::from_edges(elements.size(), edge_list);
+  return out;
+}
+
+}  // namespace dcs

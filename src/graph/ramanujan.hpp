@@ -1,0 +1,38 @@
+#pragma once
+
+// Lubotzky–Phillips–Sarnak Ramanujan graphs X^{p,q} — the explicit
+// near-optimal expanders the paper cites ([19], [20]) as instances
+// attaining λ ≤ 2√(Δ−1).
+//
+// For primes p, q ≡ 1 (mod 4), p ≠ q, the construction is the Cayley graph
+// of PGL(2, F_q) (or its index-2 subgroup PSL(2, F_q) when p is a
+// quadratic residue mod q) with respect to the p+1 generators arising from
+// the integer quaternions of norm p. The result is a (p+1)-regular graph
+// on q(q²−1) / {1 or 2} vertices whose adjacency spectrum satisfies the
+// Ramanujan bound λ ≤ 2√p.
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct LpsGraph {
+  Graph graph;
+  std::size_t p = 0;           ///< degree − 1
+  std::size_t q = 0;           ///< field size
+  bool is_psl = false;         ///< true → PSL(2,q) (p is a QR mod q)
+  std::size_t self_loops = 0;  ///< dropped during simplification
+  std::size_t multi_edges = 0; ///< collapsed during simplification
+};
+
+/// Builds X^{p,q}. Requires p, q distinct primes ≡ 1 (mod 4) with q > 2√p
+/// (which keeps the graph simple). Vertices are the group elements
+/// reachable from the identity under the generators (the full PGL or PSL).
+LpsGraph lps_ramanujan_graph(std::size_t p, std::size_t q);
+
+/// True iff n is prime (trial division; inputs here are small).
+bool is_prime(std::size_t n);
+
+/// Legendre symbol (a|q) for odd prime q: 1, q−1 (≡ −1), or 0.
+std::size_t legendre_symbol(std::size_t a, std::size_t q);
+
+}  // namespace dcs

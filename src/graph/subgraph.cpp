@@ -1,0 +1,48 @@
+#include "graph/subgraph.hpp"
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<bool>& keep) {
+  DCS_REQUIRE(keep.size() == g.num_vertices(),
+              "keep mask size must match vertex count");
+  InducedSubgraph out;
+  out.from_host.assign(g.num_vertices(), kInvalidVertex);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (keep[v]) {
+      out.from_host[v] = static_cast<Vertex>(out.to_host.size());
+      out.to_host.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!keep[u]) continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v && keep[v]) {
+        edges.push_back(Edge{out.from_host[u], out.from_host[v]});
+      }
+    }
+  }
+  out.graph = Graph::from_edges(out.to_host.size(), edges);
+  return out;
+}
+
+Graph remove_vertices(const Graph& g, std::span<const Vertex> faults) {
+  std::vector<bool> faulty(g.num_vertices(), false);
+  for (Vertex v : faults) {
+    DCS_REQUIRE(v < g.num_vertices(), "fault vertex out of range");
+    faulty[v] = true;
+  }
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (faulty[u]) continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v && !faulty[v]) edges.push_back(Edge{u, v});
+    }
+  }
+  return Graph::from_edges(g.num_vertices(), edges);
+}
+
+}  // namespace dcs

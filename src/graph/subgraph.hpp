@@ -1,0 +1,34 @@
+#pragma once
+
+// Induced subgraphs with vertex re-indexing, plus helpers to map edges back
+// to the host graph. Used by the fault-tolerant spanner construction
+// (spanners of random induced subgraphs) and by fault-injection tests
+// (residual graphs G ∖ F).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct InducedSubgraph {
+  Graph graph;                     ///< the induced subgraph, re-indexed
+  std::vector<Vertex> to_host;     ///< sub-vertex → host-vertex
+  std::vector<Vertex> from_host;   ///< host-vertex → sub-vertex (kInvalidVertex if absent)
+
+  /// Maps an edge of `graph` back to host-vertex ids.
+  Edge host_edge(Edge e) const {
+    return canonical(to_host[e.u], to_host[e.v]);
+  }
+};
+
+/// Subgraph induced by the vertices with keep[v] == true.
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<bool>& keep);
+
+/// Residual graph G ∖ F on the same vertex set: removes all edges incident
+/// to the faulty vertices (the paper's fault-tolerant-spanner setting
+/// measures distances in this graph).
+Graph remove_vertices(const Graph& g, std::span<const Vertex> faults);
+
+}  // namespace dcs

@@ -1,0 +1,123 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+WeightedGraph::WeightedGraph(std::size_t n) : offsets_(n + 1, 0) {}
+
+WeightedGraph WeightedGraph::from_edges(
+    std::size_t n, std::span<const WeightedEdge> edges) {
+  std::unordered_map<std::uint64_t, double> best;
+  best.reserve(edges.size());
+  for (const auto& e : edges) {
+    DCS_REQUIRE(e.u != e.v, "self-loops are not allowed");
+    DCS_REQUIRE(e.u < n && e.v < n, "edge endpoint out of range");
+    DCS_REQUIRE(e.w > 0.0 && std::isfinite(e.w),
+                "edge weights must be positive and finite");
+    const auto key = edge_key(dcs::canonical(e.u, e.v));
+    const auto [it, inserted] = best.emplace(key, e.w);
+    if (!inserted) it->second = std::min(it->second, e.w);
+  }
+
+  std::vector<WeightedEdge> canon;
+  canon.reserve(best.size());
+  for (const auto& [key, w] : best) {
+    canon.push_back(WeightedEdge{static_cast<Vertex>(key >> 32),
+                                 static_cast<Vertex>(key & 0xffffffffu), w});
+  }
+  std::sort(canon.begin(), canon.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+            });
+
+  WeightedGraph g(n);
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& e : canon) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(2 * canon.size());
+  g.weights_.resize(2 * canon.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : canon) {
+    g.adjacency_[cursor[e.u]] = e.v;
+    g.weights_[cursor[e.u]++] = e.w;
+    g.adjacency_[cursor[e.v]] = e.u;
+    g.weights_[cursor[e.v]++] = e.w;
+  }
+  // sort each adjacency list (with parallel weights) by neighbor id
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+    std::vector<std::pair<Vertex, double>> row;
+    row.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      row.emplace_back(g.adjacency_[i], g.weights_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      g.adjacency_[i] = row[i - lo].first;
+      g.weights_[i] = row[i - lo].second;
+    }
+  }
+  return g;
+}
+
+WeightedGraph WeightedGraph::from_unweighted(const Graph& g, double w) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  for (Edge e : g.edges()) edges.push_back(WeightedEdge{e.u, e.v, w});
+  return from_edges(g.num_vertices(), edges);
+}
+
+bool WeightedGraph::has_edge(Vertex u, Vertex v) const {
+  DCS_REQUIRE(u < num_vertices() && v < num_vertices(),
+              "vertex out of range");
+  if (u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+double WeightedGraph::weight(Vertex u, Vertex v) const {
+  DCS_REQUIRE(u < num_vertices() && v < num_vertices(),
+              "vertex out of range");
+  const auto nb = neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  DCS_REQUIRE(it != nb.end() && *it == v, "edge not present");
+  return weights(u)[static_cast<std::size_t>(it - nb.begin())];
+}
+
+std::vector<WeightedEdge> WeightedGraph::edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    const auto nb = neighbors(u);
+    const auto ws = weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (u < nb[i]) out.push_back(WeightedEdge{u, nb[i], ws[i]});
+    }
+  }
+  return out;
+}
+
+double WeightedGraph::total_weight() const {
+  double total = 0.0;
+  for (const auto& e : edges()) total += e.w;
+  return total;
+}
+
+Graph WeightedGraph::unweighted() const {
+  std::vector<Edge> plain;
+  plain.reserve(num_edges());
+  for (const auto& e : edges()) plain.push_back(Edge{e.u, e.v});
+  return Graph::from_edges(num_vertices(), plain);
+}
+
+}  // namespace dcs

@@ -1,0 +1,81 @@
+#pragma once
+
+// Weighted undirected graphs in CSR form.
+//
+// The DC-spanner theory of the paper is unweighted; the weighted layer
+// exists for the classical spanner baselines it cites (Baswana–Sen and the
+// greedy spanner are stated for weighted graphs) and for users who want
+// weighted distance spanners alongside the unweighted DC constructions.
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct WeightedEdge {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  double w = 1.0;
+
+  bool operator==(const WeightedEdge&) const = default;
+};
+
+/// Canonical orientation (min endpoint first), weight preserved.
+constexpr WeightedEdge canonical(WeightedEdge e) {
+  return e.u <= e.v ? e : WeightedEdge{e.v, e.u, e.w};
+}
+
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::size_t n = 0);
+
+  /// Builds from an edge list; duplicate edges keep the smallest weight.
+  /// Weights must be positive and finite.
+  static WeightedGraph from_edges(std::size_t n,
+                                  std::span<const WeightedEdge> edges);
+
+  /// Lifts an unweighted graph (every edge gets weight `w`).
+  static WeightedGraph from_unweighted(const Graph& g, double w = 1.0);
+
+  std::size_t num_vertices() const { return offsets_.size() - 1; }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  std::span<const double> weights(Vertex v) const {
+    return {weights_.data() + offsets_[v],
+            weights_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Weight of edge (u,v); throws if absent.
+  double weight(Vertex u, Vertex v) const;
+
+  /// Canonical weighted edge list.
+  std::vector<WeightedEdge> edges() const;
+
+  /// Sum of all edge weights.
+  double total_weight() const;
+
+  /// Forgets the weights.
+  Graph unweighted() const;
+
+  bool operator==(const WeightedGraph&) const = default;
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<Vertex> adjacency_;
+  std::vector<double> weights_;  // parallel to adjacency_
+};
+
+}  // namespace dcs

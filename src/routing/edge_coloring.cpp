@@ -1,0 +1,205 @@
+#include "routing/edge_coloring.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+constexpr int kUncolored = -1;
+
+// Working state for Misra–Gries: at_[v][c] is the neighbor reached from v by
+// the c-colored edge (kInvalidVertex if color c is free at v).
+class Colorer {
+ public:
+  explicit Colorer(const Graph& g)
+      : g_(g),
+        palette_(static_cast<int>(g.max_degree()) + 1),
+        at_(g.num_vertices(),
+            std::vector<Vertex>(palette_, kInvalidVertex)) {}
+
+  void run() {
+    for (Edge e : g_.edges()) color_edge(e.u, e.v);
+  }
+
+  int color_of(Vertex u, Vertex v) const {
+    const auto it = color_.find(edge_key(canonical(u, v)));
+    return it == color_.end() ? kUncolored : it->second;
+  }
+
+  int palette() const { return palette_; }
+
+ private:
+  bool is_free(Vertex v, int c) const { return at_[v][c] == kInvalidVertex; }
+
+  int free_color(Vertex v) const {
+    for (int c = 0; c < palette_; ++c) {
+      if (is_free(v, c)) return c;
+    }
+    throw std::logic_error("misra-gries: no free color (degree > palette)");
+  }
+
+  void set_color(Vertex u, Vertex v, int c) {
+    DCS_CHECK(is_free(u, c) && is_free(v, c),
+              "assigning a non-free color");
+    at_[u][c] = v;
+    at_[v][c] = u;
+    color_[edge_key(canonical(u, v))] = c;
+  }
+
+  void uncolor(Vertex u, Vertex v) {
+    const auto it = color_.find(edge_key(canonical(u, v)));
+    DCS_CHECK(it != color_.end(), "uncoloring an uncolored edge");
+    const int c = it->second;
+    at_[u][c] = kInvalidVertex;
+    at_[v][c] = kInvalidVertex;
+    color_.erase(it);
+  }
+
+  // The maximal fan of u starting at v: f_{i+1} is an uncolored-fan
+  // extension — a neighbor of u whose (u, f_{i+1}) color is free on f_i.
+  std::vector<Vertex> build_fan(Vertex u, Vertex v) const {
+    std::vector<Vertex> fan{v};
+    for (;;) {
+      bool extended = false;
+      const Vertex back = fan.back();
+      for (Vertex z : g_.neighbors(u)) {
+        const int c = color_of(u, z);
+        if (c == kUncolored) continue;
+        if (std::find(fan.begin(), fan.end(), z) != fan.end()) continue;
+        if (is_free(back, c)) {
+          fan.push_back(z);
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) return fan;
+    }
+  }
+
+  // Flips the colors of the maximal path starting at u whose edges alternate
+  // d, c, d, ... After inversion, d is free at u.
+  void invert_cd_path(Vertex u, int c, int d) {
+    std::vector<Vertex> path{u};
+    int want = d;
+    Vertex cur = u;
+    for (;;) {
+      const Vertex next = at_[cur][want];
+      if (next == kInvalidVertex) break;
+      path.push_back(next);
+      cur = next;
+      want = (want == d) ? c : d;
+    }
+    // Uncolor all path edges, then reassign with swapped colors.
+    std::vector<int> old_colors(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      old_colors[i] = color_of(path[i], path[i + 1]);
+      uncolor(path[i], path[i + 1]);
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      set_color(path[i], path[i + 1], old_colors[i] == d ? c : d);
+    }
+  }
+
+  void color_edge(Vertex u, Vertex v) {
+    std::vector<Vertex> fan = build_fan(u, v);
+    const int c = free_color(u);
+    const int d = free_color(fan.back());
+    if (c != d) invert_cd_path(u, c, d);
+    // After inversion d is free on u. Find w = fan[j] such that the prefix
+    // fan[0..j] is still a fan and d is free on fan[j]; the Misra–Gries
+    // invariant guarantees such j exists. We re-validate the fan property
+    // incrementally because the inversion may have recolored a fan edge.
+    std::size_t w = fan.size();  // sentinel: not found
+    for (std::size_t j = 0; j < fan.size(); ++j) {
+      if (j > 0) {
+        const int cj = color_of(u, fan[j]);
+        // prefix breaks if (u, fan[j]) lost its color or it is no longer
+        // free on fan[j-1]
+        if (cj == kUncolored || !is_free(fan[j - 1], cj)) break;
+      }
+      if (is_free(fan[j], d)) {
+        w = j;
+        break;
+      }
+    }
+    DCS_CHECK(w != fan.size(), "misra-gries: no rotatable fan vertex found");
+    // Rotate the fan prefix: shift each (u, fan[i+1])'s color onto
+    // (u, fan[i]), leaving (u, fan[w]) uncolored, then give it d.
+    for (std::size_t i = 0; i < w; ++i) {
+      const int shift = color_of(u, fan[i + 1]);
+      uncolor(u, fan[i + 1]);
+      if (i == 0) {
+        // (u, fan[0]) is the yet-uncolored edge being inserted
+        set_color(u, fan[0], shift);
+      } else {
+        set_color(u, fan[i], shift);
+      }
+    }
+    DCS_CHECK(is_free(u, d) && is_free(fan[w], d),
+              "misra-gries: color d not free after rotation");
+    set_color(u, fan[w], d);
+  }
+
+  const Graph& g_;
+  int palette_;
+  std::vector<std::vector<Vertex>> at_;
+  std::unordered_map<std::uint64_t, int> color_;
+};
+
+}  // namespace
+
+std::vector<std::vector<Edge>> EdgeColoring::matchings() const {
+  std::vector<std::vector<Edge>> groups(num_colors);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    groups[static_cast<std::size_t>(colors[i])].push_back(edges[i]);
+  }
+  // Drop empty color classes (possible when max degree < palette size).
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& m) { return m.empty(); }),
+               groups.end());
+  return groups;
+}
+
+EdgeColoring misra_gries_edge_coloring(const Graph& g) {
+  EdgeColoring out;
+  out.edges = g.edges();
+  if (out.edges.empty()) return out;
+
+  Colorer colorer(g);
+  colorer.run();
+
+  out.colors.resize(out.edges.size());
+  int max_color = 0;
+  for (std::size_t i = 0; i < out.edges.size(); ++i) {
+    const int c = colorer.color_of(out.edges[i].u, out.edges[i].v);
+    DCS_CHECK(c != kUncolored, "edge left uncolored");
+    out.colors[i] = c;
+    max_color = std::max(max_color, c);
+  }
+  out.num_colors = max_color + 1;
+  return out;
+}
+
+bool edge_coloring_is_proper(const Graph& g, const EdgeColoring& coloring) {
+  if (coloring.edges.size() != g.num_edges()) return false;
+  std::unordered_map<std::uint64_t, int> seen;  // (vertex, color) -> count
+  for (std::size_t i = 0; i < coloring.edges.size(); ++i) {
+    const Edge e = coloring.edges[i];
+    if (!g.has_edge(e.u, e.v)) return false;
+    const int c = coloring.colors[i];
+    if (c < 0 || c >= coloring.num_colors) return false;
+    for (Vertex v : {e.u, e.v}) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(v) << 32) |
+          static_cast<std::uint32_t>(c);
+      if (++seen[key] > 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dcs

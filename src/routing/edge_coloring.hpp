@@ -1,0 +1,30 @@
+#pragma once
+
+// Proper edge coloring. Algorithm 2 of the paper partitions each level
+// subgraph G_k into m_k ≤ d_k + 1 matchings via edge coloring; Misra–Gries
+// achieves exactly the (Δ+1)-color Vizing bound in O(nm) time.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct EdgeColoring {
+  std::vector<Edge> edges;    ///< canonical edge list of the colored graph
+  std::vector<int> colors;    ///< colors[i] colors edges[i]; values in [0, num_colors)
+  int num_colors = 0;
+
+  /// Groups edges by color; each group is a matching.
+  std::vector<std::vector<Edge>> matchings() const;
+};
+
+/// Misra–Gries (Δ+1)-edge-coloring of g.
+EdgeColoring misra_gries_edge_coloring(const Graph& g);
+
+/// Checks properness: no two edges of the same color share a vertex, and the
+/// coloring covers exactly the edges of g.
+bool edge_coloring_is_proper(const Graph& g, const EdgeColoring& coloring);
+
+}  // namespace dcs

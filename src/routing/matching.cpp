@@ -1,0 +1,152 @@
+#include "routing/matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Hopcroft–Karp on the bipartite graph (left copies, right copies). Indices
+// are positions into the left/right vectors.
+class HopcroftKarp {
+ public:
+  HopcroftKarp(std::size_t n_left, std::size_t n_right)
+      : adj_(n_left),
+        match_left_(n_left, kFree),
+        match_right_(n_right, kFree),
+        dist_(n_left) {}
+
+  void add_edge(std::size_t l, std::size_t r) { adj_[l].push_back(r); }
+
+  std::size_t solve() {
+    std::size_t matched = 0;
+    while (bfs()) {
+      for (std::size_t l = 0; l < adj_.size(); ++l) {
+        if (match_left_[l] == kFree && dfs(l)) ++matched;
+      }
+    }
+    return matched;
+  }
+
+  std::size_t match_of_left(std::size_t l) const { return match_left_[l]; }
+
+  static constexpr std::size_t kFree = std::numeric_limits<std::size_t>::max();
+
+ private:
+  bool bfs() {
+    std::queue<std::size_t> q;
+    bool reachable_free = false;
+    for (std::size_t l = 0; l < adj_.size(); ++l) {
+      if (match_left_[l] == kFree) {
+        dist_[l] = 0;
+        q.push(l);
+      } else {
+        dist_[l] = kFree;
+      }
+    }
+    while (!q.empty()) {
+      const std::size_t l = q.front();
+      q.pop();
+      for (std::size_t r : adj_[l]) {
+        const std::size_t l2 = match_right_[r];
+        if (l2 == kFree) {
+          reachable_free = true;
+        } else if (dist_[l2] == kFree) {
+          dist_[l2] = dist_[l] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return reachable_free;
+  }
+
+  bool dfs(std::size_t l) {
+    for (std::size_t r : adj_[l]) {
+      const std::size_t l2 = match_right_[r];
+      if (l2 == kFree || (dist_[l2] == dist_[l] + 1 && dfs(l2))) {
+        match_left_[l] = r;
+        match_right_[r] = l;
+        return true;
+      }
+    }
+    dist_[l] = kFree;
+    return false;
+  }
+
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> match_left_;
+  std::vector<std::size_t> match_right_;
+  std::vector<std::size_t> dist_;
+};
+
+}  // namespace
+
+std::vector<Edge> maximum_bipartite_matching(const Graph& g,
+                                             std::span<const Vertex> left,
+                                             std::span<const Vertex> right) {
+  std::unordered_map<Vertex, std::size_t> right_index;
+  right_index.reserve(right.size());
+  for (std::size_t i = 0; i < right.size(); ++i) right_index[right[i]] = i;
+
+  HopcroftKarp hk(left.size(), right.size());
+  for (std::size_t li = 0; li < left.size(); ++li) {
+    for (Vertex nb : g.neighbors(left[li])) {
+      const auto it = right_index.find(nb);
+      if (it != right_index.end() && nb != left[li]) {
+        hk.add_edge(li, it->second);
+      }
+    }
+  }
+  hk.solve();
+
+  // Collect matched pairs, dropping overlap conflicts so each graph vertex
+  // participates in at most one matched edge.
+  std::vector<Edge> result;
+  std::unordered_set<Vertex> used;
+  for (std::size_t li = 0; li < left.size(); ++li) {
+    const std::size_t ri = hk.match_of_left(li);
+    if (ri == HopcroftKarp::kFree) continue;
+    const Vertex x = left[li];
+    const Vertex y = right[ri];
+    if (used.count(x) > 0 || used.count(y) > 0) continue;
+    used.insert(x);
+    used.insert(y);
+    result.push_back(canonical(x, y));
+  }
+  return result;
+}
+
+std::vector<Edge> greedy_maximal_matching(const Graph& g,
+                                          std::uint64_t seed) {
+  auto edges = g.edges();
+  Rng rng(seed);
+  rng.shuffle(edges);
+  std::vector<bool> used(g.num_vertices(), false);
+  std::vector<Edge> matching;
+  for (Edge e : edges) {
+    if (!used[e.u] && !used[e.v]) {
+      used[e.u] = used[e.v] = true;
+      matching.push_back(e);
+    }
+  }
+  return matching;
+}
+
+bool is_matching_in_graph(const Graph& g, std::span<const Edge> matching) {
+  std::unordered_set<Vertex> used;
+  for (Edge e : matching) {
+    if (!g.has_edge(e.u, e.v)) return false;
+    if (!used.insert(e.u).second) return false;
+    if (!used.insert(e.v).second) return false;
+  }
+  return true;
+}
+
+}  // namespace dcs

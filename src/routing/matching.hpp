@@ -1,0 +1,34 @@
+#pragma once
+
+// Maximum bipartite matching (Hopcroft–Karp) between two vertex sets inside
+// a host graph. This realizes the neighborhood matchings M_{u,v} of Lemma 4:
+// a maximum matching between N(u) and N(v) using only edges of the host.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+/// Maximum matching between `left` and `right` using edges of `g` with one
+/// endpoint in each set. The two sets may overlap: a shared vertex is
+/// treated as a single entity and is used by at most one matched edge in the
+/// result (overlap conflicts are resolved by dropping the later pair, which
+/// costs at most |left ∩ right| edges off the optimum — negligible for the
+/// neighborhood matchings of expanders where |N_u ∩ N_v| ≈ Δ²/n ≪ Δ).
+///
+/// Returned edges are canonical and are edges of g.
+std::vector<Edge> maximum_bipartite_matching(const Graph& g,
+                                             std::span<const Vertex> left,
+                                             std::span<const Vertex> right);
+
+/// Greedy maximal matching over the whole graph, scanning edges in the given
+/// seed-shuffled order. Used to generate matching routing problems.
+std::vector<Edge> greedy_maximal_matching(const Graph& g,
+                                          std::uint64_t seed = 0);
+
+/// Checks that `matching` is a node-disjoint set of edges of g.
+bool is_matching_in_graph(const Graph& g, std::span<const Edge> matching);
+
+}  // namespace dcs

@@ -1,0 +1,138 @@
+#include "routing/mwu_routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+Path node_cost_shortest_path(const Graph& g, Vertex s, Vertex t,
+                             std::span<const double> cost) {
+  DCS_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
+              "endpoint out of range");
+  DCS_REQUIRE(cost.size() == g.num_vertices(),
+              "cost vector size must match vertex count");
+  if (s == t) return {s};
+
+  // Dijkstra over (node-cost sum, hops) lexicographic distances.
+  using Key = std::pair<double, std::size_t>;  // (cost, hops)
+  const Key inf{std::numeric_limits<double>::infinity(), 0};
+  std::vector<Key> dist(g.num_vertices(), inf);
+  std::vector<Vertex> parent(g.num_vertices(), kInvalidVertex);
+  using Entry = std::pair<Key, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[s] = {cost[s], 0};
+  heap.emplace(dist[s], s);
+  while (!heap.empty()) {
+    const auto [key, u] = heap.top();
+    heap.pop();
+    if (key > dist[u]) continue;
+    if (u == t) break;
+    for (Vertex v : g.neighbors(u)) {
+      const Key nk{key.first + cost[v], key.second + 1};
+      if (nk < dist[v]) {
+        dist[v] = nk;
+        parent[v] = u;
+        heap.emplace(nk, v);
+      }
+    }
+  }
+  if (dist[t].first == std::numeric_limits<double>::infinity()) return {};
+  Path path{t};
+  Vertex cur = t;
+  while (cur != s) {
+    cur = parent[cur];
+    DCS_CHECK(cur != kInvalidVertex, "parent chain broken");
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+MwuResult mwu_min_congestion(const Graph& g, const RoutingProblem& problem,
+                             const MwuOptions& options) {
+  const std::size_t n = g.num_vertices();
+  MwuResult result;
+  if (problem.empty()) return result;
+
+  const double eta =
+      options.eta > 0.0
+          ? options.eta
+          : std::log(static_cast<double>(std::max<std::size_t>(2, n))) + 1.0;
+
+  // Length budgets.
+  std::vector<std::size_t> budget(problem.size(), 0);
+  if (options.stretch_budget > 0.0) {
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const auto [s, t] = problem.pairs[i];
+      const Dist d = bfs_distance(g, s, t);
+      DCS_REQUIRE(d != kUnreachable, "disconnected pair");
+      budget[i] = static_cast<std::size_t>(
+          options.stretch_budget * static_cast<double>(d) + 1e-9);
+    }
+  }
+
+  // Initial randomized shortest-path routing.
+  Routing routing;
+  routing.paths.resize(problem.size());
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const auto [s, t] = problem.pairs[i];
+    Rng local(mix64(options.seed, i));
+    routing.paths[i] = bfs_shortest_path(g, s, t, &local);
+    DCS_REQUIRE(!routing.paths[i].empty(), "disconnected pair");
+  }
+  auto loads = node_loads(routing, n);
+  auto congestion_of = [](const std::vector<std::size_t>& l) {
+    return l.empty() ? std::size_t{0}
+                     : *std::max_element(l.begin(), l.end());
+  };
+  result.initial_congestion = congestion_of(loads);
+
+  Routing best = routing;
+  std::size_t best_congestion = result.initial_congestion;
+
+  std::vector<double> cost(n);
+  Rng rng(options.seed ^ 0xfeedULL);
+  std::vector<std::size_t> order(problem.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    ++result.rounds_used;
+    const double scale =
+        std::max<double>(1.0, static_cast<double>(best_congestion));
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      Path& p = routing.paths[i];
+      // remove current contribution
+      for (Vertex v : p) --loads[v];
+      for (Vertex v = 0; v < n; ++v) {
+        cost[v] =
+            std::exp(eta * static_cast<double>(loads[v]) / scale);
+      }
+      const auto [s, t] = problem.pairs[i];
+      Path candidate = node_cost_shortest_path(g, s, t, cost);
+      const bool fits =
+          !candidate.empty() &&
+          (budget[i] == 0 || path_length(candidate) <= budget[i]);
+      if (fits) p = std::move(candidate);
+      for (Vertex v : p) ++loads[v];
+    }
+    const std::size_t c = congestion_of(loads);
+    if (c < best_congestion) {
+      best_congestion = c;
+      best = routing;
+    }
+  }
+
+  DCS_CHECK(routing_is_valid(g, problem, best), "MWU routing invalid");
+  result.routing = std::move(best);
+  result.final_congestion = best_congestion;
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,46 @@
+#pragma once
+
+// Multiplicative-weights min-congestion routing.
+//
+// A stronger C_G(R) estimator than the local search in rerouting.hpp: the
+// classic soft-max scheme for minimizing maximum node load. Each round
+// reroutes every pair along a node-cost shortest path where a node's cost
+// grows exponentially with its current load, c_v = exp(η·load_v / C̃);
+// heavily loaded nodes become expensive and traffic spreads. The best
+// routing seen across rounds is returned. With η = Θ(log n) this is the
+// standard O(log n / log log n)-style approximation heuristic for
+// congestion minimization.
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+struct MwuOptions {
+  std::uint64_t seed = 0;
+  std::size_t rounds = 12;
+  /// Soft-max temperature; ≤ 0 derives ln(n)+1.
+  double eta = -1.0;
+  /// Optional per-pair length budget as a multiple of d_G(s,t) (the
+  /// α-constraint of Definition 3); 0 disables it. Budgeted reroutes that
+  /// would exceed the length bound keep their previous path.
+  double stretch_budget = 0.0;
+};
+
+struct MwuResult {
+  Routing routing;                     ///< best routing found
+  std::size_t initial_congestion = 0;  ///< randomized shortest paths
+  std::size_t final_congestion = 0;    ///< congestion of `routing`
+  std::size_t rounds_used = 0;
+};
+
+MwuResult mwu_min_congestion(const Graph& g, const RoutingProblem& problem,
+                             const MwuOptions& options = {});
+
+/// Building block (exposed for tests): shortest path under additive node
+/// costs (cost of a path = Σ cost[v] over its vertices). Ties broken
+/// towards fewer hops. Returns an empty path if unreachable.
+Path node_cost_shortest_path(const Graph& g, Vertex s, Vertex t,
+                             std::span<const double> cost);
+
+}  // namespace dcs

@@ -1,0 +1,92 @@
+#include "routing/packet_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+PacketSimResult simulate_store_and_forward(const Graph& g,
+                                           const Routing& routing,
+                                           const PacketSimOptions& options) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t packets = routing.paths.size();
+
+  PacketSimResult result;
+  result.latency.assign(packets, 0);
+  if (packets == 0) return result;
+
+  // Validate paths and compute dilation.
+  for (const auto& p : routing.paths) {
+    DCS_REQUIRE(!p.empty(), "packet with an empty path");
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      DCS_REQUIRE(g.has_edge(p[j], p[j + 1]),
+                  "packet path uses a non-edge");
+    }
+    result.dilation = std::max(result.dilation, path_length(p));
+  }
+
+  // progress[i] = index into paths[i] of the packet's current node.
+  std::vector<std::size_t> progress(packets, 0);
+  std::vector<std::deque<std::size_t>> queue(n);
+
+  // Inject in a seeded random order so FIFO ties are unbiased.
+  std::vector<std::size_t> order(packets);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(options.seed);
+  rng.shuffle(order);
+  std::size_t remaining = 0;
+  for (std::size_t i : order) {
+    if (routing.paths[i].size() <= 1) {
+      result.latency[i] = 0;  // already at destination
+    } else {
+      queue[routing.paths[i].front()].push_back(i);
+      ++remaining;
+    }
+  }
+
+  for (auto& q : queue) {
+    result.max_queue = std::max(result.max_queue, q.size());
+  }
+
+  std::size_t round = 0;
+  std::vector<std::pair<Vertex, std::size_t>> arrivals;  // (node, packet)
+  while (remaining > 0) {
+    DCS_REQUIRE(++round <= options.max_rounds,
+                "packet simulation exceeded the round limit");
+    arrivals.clear();
+    // Each node forwards the head of its queue one hop.
+    for (Vertex v = 0; v < n; ++v) {
+      if (queue[v].empty()) continue;
+      const std::size_t packet = queue[v].front();
+      queue[v].pop_front();
+      const auto& path = routing.paths[packet];
+      const Vertex next = path[progress[packet] + 1];
+      ++progress[packet];
+      if (progress[packet] + 1 == path.size()) {
+        result.latency[packet] = round;
+        --remaining;
+      } else {
+        // Buffer arrivals so a packet moves at most one hop per round.
+        arrivals.emplace_back(next, packet);
+      }
+    }
+    for (const auto& [node, packet] : arrivals) {
+      queue[node].push_back(packet);
+    }
+    for (const auto& [node, packet] : arrivals) {
+      result.max_queue = std::max(result.max_queue, queue[node].size());
+    }
+  }
+
+  result.makespan = round;
+  double total = 0.0;
+  for (std::size_t l : result.latency) total += static_cast<double>(l);
+  result.mean_latency = total / static_cast<double>(packets);
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,49 @@
+#pragma once
+
+// Store-and-forward packet simulation under node capacity 1 — the model
+// behind the paper's motivation that "routing paths with smaller congestion
+// result in lower packet latency and queue sizes" (Section 1.1, wireless
+// networks: at most one packet can be received and forwarded by a node at
+// a time).
+//
+// One packet per routing path. In every synchronous round each node
+// forwards at most one queued packet one hop along its assigned path
+// (FIFO, with a seeded random shuffle of simultaneous injections). The
+// classical bounds apply: makespan is at least max(C−1, D) for node
+// congestion C and dilation D, and FIFO delivers within O(C·D).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+struct PacketSimOptions {
+  std::uint64_t seed = 0;
+  std::size_t max_rounds = 1u << 20;  ///< safety valve; throws if exceeded
+};
+
+struct PacketSimResult {
+  std::size_t makespan = 0;      ///< rounds until the last delivery
+  double mean_latency = 0.0;     ///< average delivery round
+  std::size_t max_queue = 0;     ///< largest queue observed at any node
+  std::size_t dilation = 0;      ///< max path length (D)
+  std::vector<std::size_t> latency;  ///< per-packet delivery round
+
+  /// max(C−1, D) is a universal lower bound for node-capacitated
+  /// store-and-forward scheduling of these paths.
+  static std::size_t lower_bound(std::size_t congestion,
+                                 std::size_t dilation) {
+    return std::max(congestion > 0 ? congestion - 1 : 0, dilation);
+  }
+};
+
+/// Simulates the routing on g. Paths must be valid walks on g (validated);
+/// zero-length paths (source == destination) deliver at round 0.
+PacketSimResult simulate_store_and_forward(
+    const Graph& g, const Routing& routing,
+    const PacketSimOptions& options = {});
+
+}  // namespace dcs

@@ -1,0 +1,140 @@
+#include "routing/rerouting.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+Path load_avoiding_path(const Graph& g, Vertex s, Vertex t,
+                        const std::vector<std::size_t>& load,
+                        std::size_t threshold, Rng& rng) {
+  DCS_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
+              "endpoint out of range");
+  if (s == t) return {s};
+  auto blocked = [&](Vertex v) {
+    return v != s && v != t && load[v] >= threshold;
+  };
+  // BFS from t over non-blocked vertices so that walking parents from s
+  // yields the forward path (mirrors bfs_shortest_path).
+  std::vector<Dist> dist(g.num_vertices(), kUnreachable);
+  std::vector<Vertex> frontier{t};
+  std::vector<Vertex> next;
+  dist[t] = 0;
+  while (!frontier.empty() && dist[s] == kUnreachable) {
+    next.clear();
+    for (Vertex u : frontier) {
+      for (Vertex v : g.neighbors(u)) {
+        if (dist[v] != kUnreachable || blocked(v)) continue;
+        dist[v] = dist[u] + 1;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (dist[s] == kUnreachable) return {};
+
+  Path path{s};
+  Vertex cur = s;
+  while (cur != t) {
+    const Dist want = dist[cur] - 1;
+    Vertex chosen = kInvalidVertex;
+    std::size_t count = 0;
+    for (Vertex v : g.neighbors(cur)) {
+      if (dist[v] == want) {
+        ++count;
+        if (rng.uniform(count) == 0) chosen = v;
+      }
+    }
+    DCS_CHECK(chosen != kInvalidVertex, "parent chain broken");
+    path.push_back(chosen);
+    cur = chosen;
+  }
+  return path;
+}
+
+MinimizeCongestionResult minimize_congestion(
+    const Graph& g, const RoutingProblem& problem,
+    const MinimizeCongestionOptions& options) {
+  MinimizeCongestionResult result;
+  Rng rng(options.seed);
+
+  // Length budgets (if requested): α · d_G(s,t) per pair.
+  std::vector<std::size_t> budget(problem.size(), 0);
+  if (options.stretch_budget > 0.0) {
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const auto [s, t] = problem.pairs[i];
+      const Dist d = bfs_distance(g, s, t);
+      DCS_REQUIRE(d != kUnreachable, "disconnected pair");
+      budget[i] = static_cast<std::size_t>(
+          options.stretch_budget * static_cast<double>(d) + 1e-9);
+    }
+  }
+
+  // Start from a randomized shortest-path routing.
+  Routing routing;
+  routing.paths.resize(problem.size());
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const auto [s, t] = problem.pairs[i];
+    Rng local(mix64(options.seed, i));
+    routing.paths[i] = bfs_shortest_path(g, s, t, &local);
+    DCS_REQUIRE(!routing.paths[i].empty(), "disconnected pair");
+  }
+
+  auto loads = node_loads(routing, g.num_vertices());
+  auto congestion = [&loads] {
+    return loads.empty() ? std::size_t{0}
+                         : *std::max_element(loads.begin(), loads.end());
+  };
+  result.initial_congestion = congestion();
+
+  auto remove_path = [&](const Path& p) {
+    for (Vertex v : p) --loads[v];
+  };
+  auto add_path = [&](const Path& p) {
+    for (Vertex v : p) ++loads[v];
+  };
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    const std::size_t cmax = congestion();
+    if (cmax <= 1) break;
+    bool improved = false;
+    // Visit paths in a random order; try to reroute every path that
+    // currently touches a maximally loaded node.
+    std::vector<std::size_t> order(problem.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      Path& p = routing.paths[i];
+      const bool hot =
+          std::any_of(p.begin(), p.end(),
+                      [&](Vertex v) { return loads[v] >= cmax; });
+      if (!hot) continue;
+      remove_path(p);
+      // Avoid everything at or above cmax−1 so the replacement strictly
+      // improves the path's bottleneck.
+      Path candidate = load_avoiding_path(g, p.front(), p.back(), loads,
+                                          cmax - 1, rng);
+      const bool fits =
+          !candidate.empty() &&
+          (budget[i] == 0 || path_length(candidate) <= budget[i]);
+      if (fits) {
+        p = std::move(candidate);
+        ++result.reroutes;
+        improved = true;
+      }
+      add_path(p);
+    }
+    if (!improved) break;
+  }
+
+  result.final_congestion = congestion();
+  result.routing = std::move(routing);
+  DCS_CHECK(routing_is_valid(g, problem, result.routing),
+            "rerouted paths became invalid");
+  return result;
+}
+
+}  // namespace dcs

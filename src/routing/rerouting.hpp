@@ -1,0 +1,45 @@
+#pragma once
+
+// Local-search congestion minimization.
+//
+// The paper's congestion stretch is defined against C_G(R) — the *optimal*
+// congestion of the routing problem on G — which is NP-hard in general.
+// This module provides the practical baseline the experiments divide by
+// when the optimum is not known analytically: start from a (randomized)
+// shortest-path routing and iteratively reroute paths away from the most
+// loaded nodes, optionally within a per-pair length budget.
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+struct MinimizeCongestionOptions {
+  std::uint64_t seed = 0;
+  std::size_t max_rounds = 30;  ///< local-search sweeps over hot paths
+  /// Per-pair length budget as a multiple of the shortest-path distance
+  /// (Definition 3's α); 0 disables the length constraint.
+  double stretch_budget = 0.0;
+};
+
+struct MinimizeCongestionResult {
+  Routing routing;
+  std::size_t initial_congestion = 0;
+  std::size_t final_congestion = 0;
+  std::size_t reroutes = 0;  ///< accepted path replacements
+};
+
+/// Approximates a minimum-congestion routing for `problem` on g.
+MinimizeCongestionResult minimize_congestion(
+    const Graph& g, const RoutingProblem& problem,
+    const MinimizeCongestionOptions& options = {});
+
+/// One building block, exposed for reuse and tests: a shortest path from s
+/// to t that avoids (where possible) vertices whose load is ≥ `threshold`
+/// (endpoints exempt). Returns an empty path if no such path exists.
+Path load_avoiding_path(const Graph& g, Vertex s, Vertex t,
+                        const std::vector<std::size_t>& load,
+                        std::size_t threshold, Rng& rng);
+
+}  // namespace dcs

@@ -1,0 +1,110 @@
+#include "routing/routing.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+RoutingProblem RoutingProblem::from_edges(std::span<const Edge> edges) {
+  RoutingProblem r;
+  r.pairs.reserve(edges.size());
+  for (Edge e : edges) {
+    DCS_REQUIRE(e.u != e.v, "routing pair endpoints must differ");
+    r.pairs.emplace_back(e.u, e.v);
+  }
+  return r;
+}
+
+bool RoutingProblem::is_matching() const {
+  std::unordered_set<Vertex> seen;
+  for (auto [u, v] : pairs) {
+    if (!seen.insert(u).second) return false;
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+Routing Routing::direct_edges(const RoutingProblem& problem) {
+  Routing r;
+  r.paths.reserve(problem.size());
+  for (auto [u, v] : problem.pairs) {
+    r.paths.push_back(Path{u, v});
+  }
+  return r;
+}
+
+std::vector<std::size_t> node_loads(const Routing& routing, std::size_t n) {
+  std::vector<std::size_t> load(n, 0);
+  std::vector<bool> seen(n, false);
+  std::vector<Vertex> touched;
+  for (const auto& p : routing.paths) {
+    touched.clear();
+    for (Vertex v : p) {
+      DCS_REQUIRE(v < n, "path vertex out of range");
+      if (!seen[v]) {
+        seen[v] = true;
+        touched.push_back(v);
+        ++load[v];
+      }
+    }
+    for (Vertex v : touched) seen[v] = false;
+  }
+  return load;
+}
+
+std::size_t node_congestion(const Routing& routing, std::size_t n) {
+  const auto load = node_loads(routing, n);
+  return load.empty() ? 0
+                      : *std::max_element(load.begin(), load.end());
+}
+
+std::unordered_map<std::uint64_t, std::size_t> edge_loads(
+    const Routing& routing) {
+  std::unordered_map<std::uint64_t, std::size_t> load;
+  std::vector<std::uint64_t> touched;
+  for (const auto& p : routing.paths) {
+    touched.clear();
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      touched.push_back(edge_key(canonical(p[j], p[j + 1])));
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (std::uint64_t k : touched) ++load[k];
+  }
+  return load;
+}
+
+std::size_t edge_congestion(const Routing& routing) {
+  std::size_t best = 0;
+  for (const auto& [key, count] : edge_loads(routing)) {
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+std::size_t max_path_length(const Routing& routing) {
+  std::size_t best = 0;
+  for (const auto& p : routing.paths) {
+    best = std::max(best, path_length(p));
+  }
+  return best;
+}
+
+bool routing_is_valid(const Graph& g, const RoutingProblem& problem,
+                      const Routing& routing) {
+  if (routing.paths.size() != problem.pairs.size()) return false;
+  for (std::size_t i = 0; i < routing.paths.size(); ++i) {
+    const auto& p = routing.paths[i];
+    const auto [s, t] = problem.pairs[i];
+    if (p.empty() || p.front() != s || p.back() != t) return false;
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      if (!g.has_edge(p[j], p[j + 1])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dcs

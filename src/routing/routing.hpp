@@ -1,0 +1,78 @@
+#pragma once
+
+// Routing problems and routings (Section 2 of the paper).
+//
+// A routing problem R is a set of source/destination pairs; a routing P is a
+// set of paths realizing those pairs. The central quantity is *node
+// congestion*: the maximum number of paths that use any single node
+// (Definition of C(P) in the paper).
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+using Path = std::vector<Vertex>;
+
+/// Number of edges of a path (paper's l(p)).
+inline std::size_t path_length(const Path& p) {
+  return p.empty() ? 0 : p.size() - 1;
+}
+
+struct RoutingProblem {
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+
+  std::size_t size() const { return pairs.size(); }
+  bool empty() const { return pairs.empty(); }
+
+  /// Routing problem whose pairs are the endpoints of the given edges
+  /// (paper's R_M for a matching M, and the all-edges problem of Lemma 1).
+  static RoutingProblem from_edges(std::span<const Edge> edges);
+
+  /// True if no vertex occurs more than once across all pairs — i.e. the
+  /// problem is a (partial) matching.
+  bool is_matching() const;
+};
+
+struct Routing {
+  std::vector<Path> paths;
+
+  std::size_t size() const { return paths.size(); }
+
+  /// The trivial routing of an edge-induced problem: each pair routed over
+  /// its own single edge.
+  static Routing direct_edges(const RoutingProblem& problem);
+};
+
+/// Per-vertex load: number of paths that visit each vertex. A path visiting
+/// a vertex multiple times (which valid simple paths never do) counts once.
+std::vector<std::size_t> node_loads(const Routing& routing, std::size_t n);
+
+/// C(P): maximum node load.
+std::size_t node_congestion(const Routing& routing, std::size_t n);
+
+/// Per-edge load: number of paths traversing each (canonical) edge; a path
+/// traversing an edge twice counts once. The paper's main quantity is node
+/// congestion; edge congestion is the companion metric used when relating
+/// to permutation-routing results ([25] / Section 1's discussion).
+std::unordered_map<std::uint64_t, std::size_t> edge_loads(
+    const Routing& routing);
+
+/// Maximum edge load.
+std::size_t edge_congestion(const Routing& routing);
+
+/// Maximum path length in the routing.
+std::size_t max_path_length(const Routing& routing);
+
+/// Validates that `routing` solves `problem` on `g`: path i starts at the
+/// i-th source, ends at the i-th destination, and every hop is an edge of g.
+/// Returns false (rather than throwing) so verifiers can report failures.
+bool routing_is_valid(const Graph& g, const RoutingProblem& problem,
+                      const Routing& routing);
+
+}  // namespace dcs

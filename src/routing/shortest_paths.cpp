@@ -1,0 +1,47 @@
+#include "routing/shortest_paths.hpp"
+
+#include <atomic>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+Routing shortest_path_routing(const Graph& g, const RoutingProblem& problem,
+                              std::uint64_t seed, bool randomize) {
+  Routing routing;
+  routing.paths.resize(problem.size());
+  std::atomic<bool> disconnected{false};
+  parallel_for(0, problem.size(), [&](std::size_t i) {
+    const auto [s, t] = problem.pairs[i];
+    Rng rng(mix64(seed, i));
+    auto path = bfs_shortest_path(g, s, t, randomize ? &rng : nullptr);
+    if (path.empty()) {
+      disconnected.store(true, std::memory_order_relaxed);
+    } else {
+      routing.paths[i] = std::move(path);
+    }
+  });
+  DCS_REQUIRE(!disconnected.load(),
+              "routing problem contains a disconnected pair");
+  return routing;
+}
+
+std::size_t total_distance(const Graph& g, const RoutingProblem& problem) {
+  std::atomic<std::size_t> total{0};
+  std::atomic<bool> disconnected{false};
+  parallel_for(0, problem.size(), [&](std::size_t i) {
+    const auto [s, t] = problem.pairs[i];
+    const Dist d = bfs_distance(g, s, t);
+    if (d == kUnreachable) {
+      disconnected.store(true, std::memory_order_relaxed);
+    } else {
+      total.fetch_add(d, std::memory_order_relaxed);
+    }
+  });
+  DCS_REQUIRE(!disconnected.load(), "pair is disconnected");
+  return total.load();
+}
+
+}  // namespace dcs

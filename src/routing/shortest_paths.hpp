@@ -1,0 +1,23 @@
+#pragma once
+
+// Shortest-path routings: the canonical way to realize a routing problem on a
+// graph. Random tie-breaking among equal-length paths spreads load, which is
+// what the paper's replacement-path arguments rely on.
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+/// Routes every pair along a shortest path. With `randomize` set, parent
+/// choices are randomized per pair (deterministically derived from `seed`),
+/// so repeated calls with different seeds sample different shortest-path
+/// routings. Throws if some pair is disconnected.
+Routing shortest_path_routing(const Graph& g, const RoutingProblem& problem,
+                              std::uint64_t seed = 0, bool randomize = true);
+
+/// Sum over pairs of d_G(s, t) — used to sanity-check distance stretch.
+std::size_t total_distance(const Graph& g, const RoutingProblem& problem);
+
+}  // namespace dcs

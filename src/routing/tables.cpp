@@ -1,0 +1,85 @@
+#include "routing/tables.hpp"
+
+#include <bit>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+RoutingTables RoutingTables::build(const Graph& g, std::uint64_t seed) {
+  RoutingTables t;
+  t.n_ = g.num_vertices();
+  t.next_.assign(t.n_ * t.n_, kInvalidVertex);
+
+  parallel_for(0, t.n_, [&](std::size_t dest_i) {
+    const auto dest = static_cast<Vertex>(dest_i);
+    const auto dist = bfs_distances(g, dest);
+    Rng rng(mix64(seed, dest_i));
+    Vertex* row = t.next_.data() + dest_i * t.n_;
+    for (Vertex v = 0; v < t.n_; ++v) {
+      if (v == dest || dist[v] == kUnreachable) continue;
+      // pick a random neighbor one step closer to dest
+      std::size_t count = 0;
+      Vertex chosen = kInvalidVertex;
+      for (Vertex u : g.neighbors(v)) {
+        if (dist[u] + 1 == dist[v]) {
+          ++count;
+          if (rng.uniform(count) == 0) chosen = u;
+        }
+      }
+      DCS_CHECK(chosen != kInvalidVertex, "BFS tree chain broken");
+      row[v] = chosen;
+    }
+  });
+
+  // Memory accounting: each node stores n−1 entries of ⌈log₂ deg⌉ bits.
+  t.total_bits_ = 0;
+  for (Vertex v = 0; v < t.n_; ++v) {
+    const std::size_t deg = g.degree(v);
+    const std::uint64_t entry_bits =
+        deg <= 1 ? 1 : static_cast<std::uint64_t>(std::bit_width(deg - 1));
+    t.total_bits_ +=
+        entry_bits * static_cast<std::uint64_t>(t.n_ > 0 ? t.n_ - 1 : 0);
+  }
+  return t;
+}
+
+Vertex RoutingTables::next_hop(Vertex from, Vertex destination) const {
+  DCS_REQUIRE(from < n_ && destination < n_, "vertex out of range");
+  if (from == destination) return kInvalidVertex;
+  return next_[static_cast<std::size_t>(destination) * n_ + from];
+}
+
+Path RoutingTables::route(Vertex from, Vertex destination) const {
+  DCS_REQUIRE(from < n_ && destination < n_, "vertex out of range");
+  Path path{from};
+  Vertex cur = from;
+  while (cur != destination) {
+    const Vertex hop = next_hop(cur, destination);
+    if (hop == kInvalidVertex) return {};  // unreachable
+    path.push_back(hop);
+    cur = hop;
+    DCS_CHECK(path.size() <= n_, "routing table cycle detected");
+  }
+  return path;
+}
+
+std::size_t RoutingTables::route_length(Vertex from,
+                                        Vertex destination) const {
+  const Path p = route(from, destination);
+  if (p.empty() && from != destination) {
+    return static_cast<std::size_t>(-1);
+  }
+  return path_length(p);
+}
+
+double RoutingTables::bits_per_entry() const {
+  const auto entries =
+      static_cast<double>(n_) * static_cast<double>(n_ > 0 ? n_ - 1 : 0);
+  return entries == 0.0 ? 0.0 : static_cast<double>(total_bits_) / entries;
+}
+
+}  // namespace dcs

@@ -1,0 +1,51 @@
+#pragma once
+
+// Next-hop routing tables with memory accounting — the introduction's other
+// application: sparsifying with a DC-spanner "allows to reduce the
+// total/average size of routing tables (due to sparsity of the used spanner
+// H), while maintaining similar quality of considered routing requests".
+//
+// A table stores, per (node, destination), the next hop along a shortest
+// path of the host graph. Entry width is ⌈log₂ degree⌉ bits — a next hop is
+// an index into the node's (sorted) adjacency list — so sparser graphs pay
+// fewer bits per entry; total memory = Σ_v (n−1)·⌈log₂ deg(v)⌉ bits.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+class RoutingTables {
+ public:
+  /// Builds all-destination shortest-path tables for g (parallel BFS per
+  /// destination). Randomized tie-breaking is seeded per destination.
+  static RoutingTables build(const Graph& g, std::uint64_t seed = 0);
+
+  /// The next hop from `from` toward `destination`; kInvalidVertex if
+  /// unreachable or already there.
+  Vertex next_hop(Vertex from, Vertex destination) const;
+
+  /// Extracts the full path from → destination; empty if unreachable.
+  Path route(Vertex from, Vertex destination) const;
+
+  /// Hop count of the stored route; kUnreachable semantics via max value.
+  std::size_t route_length(Vertex from, Vertex destination) const;
+
+  /// Per-entry width is ⌈log₂ deg(v)⌉ bits (≥ 1); total over all n·(n−1)
+  /// entries. This is the quantity that shrinks on a sparse spanner.
+  std::uint64_t total_bits() const { return total_bits_; }
+  double bits_per_entry() const;
+
+  std::size_t num_vertices() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  // next_[dest * n + v] = neighbor of v toward dest.
+  std::vector<Vertex> next_;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace dcs

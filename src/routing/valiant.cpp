@@ -1,0 +1,65 @@
+#include "routing/valiant.hpp"
+
+#include <atomic>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+Routing valiant_routing(const Graph& g, const RoutingProblem& problem,
+                        const ValiantOptions& options) {
+  Routing routing;
+  routing.paths.resize(problem.size());
+  std::atomic<bool> disconnected{false};
+  parallel_for(0, problem.size(), [&](std::size_t i) {
+    const auto [s, t] = problem.pairs[i];
+    Rng rng(mix64(options.seed, i));
+    Path path;
+    if (options.use_intermediate) {
+      const auto mid =
+          static_cast<Vertex>(rng.uniform(g.num_vertices()));
+      Path leg1 = bfs_shortest_path(g, s, mid, &rng);
+      Path leg2 = bfs_shortest_path(g, mid, t, &rng);
+      if (leg1.empty() || leg2.empty()) {
+        disconnected.store(true, std::memory_order_relaxed);
+        return;
+      }
+      path = std::move(leg1);
+      path.insert(path.end(), leg2.begin() + 1, leg2.end());
+      // Shortcut any revisited vertex so the final path is simple: keep the
+      // first occurrence and splice to the last occurrence.
+      // (Two shortest legs can intersect; congestion accounting expects each
+      // node at most once per path.)
+      {
+        Path simple;
+        std::vector<std::int64_t> pos(g.num_vertices(), -1);
+        for (Vertex v : path) {
+          if (pos[v] >= 0) {
+            // unwind back to the previous occurrence of v
+            while (static_cast<std::int64_t>(simple.size()) > pos[v] + 1) {
+              pos[simple.back()] = -1;
+              simple.pop_back();
+            }
+          } else {
+            pos[v] = static_cast<std::int64_t>(simple.size());
+            simple.push_back(v);
+          }
+        }
+        path = std::move(simple);
+      }
+    } else {
+      path = bfs_shortest_path(g, s, t, &rng);
+      if (path.empty()) {
+        disconnected.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    routing.paths[i] = std::move(path);
+  });
+  DCS_REQUIRE(!disconnected.load(), "valiant routing on a disconnected pair");
+  return routing;
+}
+
+}  // namespace dcs

@@ -1,0 +1,28 @@
+#pragma once
+
+// Valiant-style two-phase randomized routing: each pair routes to a uniformly
+// random intermediate vertex and then to its destination, both legs along
+// (randomized) shortest paths. On expanders this spreads load and achieves
+// polylogarithmic node congestion for permutation routing — the mechanism
+// behind the Table 1 rows derived from [16] and [5] (Scheideler-style
+// permutation routing).
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+struct ValiantOptions {
+  std::uint64_t seed = 0;
+  /// When false, routes directly along one randomized shortest path (used as
+  /// the comparison arm in the ablation experiments).
+  bool use_intermediate = true;
+};
+
+/// Routes `problem` on g with two-phase random-intermediate routing.
+/// Throws if g is disconnected.
+Routing valiant_routing(const Graph& g, const RoutingProblem& problem,
+                        const ValiantOptions& options = {});
+
+}  // namespace dcs

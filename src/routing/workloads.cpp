@@ -1,0 +1,97 @@
+#include "routing/workloads.hpp"
+
+#include <numeric>
+
+#include "routing/matching.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+RoutingProblem random_permutation_problem(std::size_t n,
+                                          std::uint64_t seed) {
+  DCS_REQUIRE(n >= 2, "permutation workload needs n >= 2");
+  Rng rng(seed);
+  std::vector<Vertex> pi(n);
+  std::iota(pi.begin(), pi.end(), Vertex{0});
+  rng.shuffle(pi);
+  RoutingProblem r;
+  r.pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pi[i] != i) r.pairs.emplace_back(static_cast<Vertex>(i), pi[i]);
+  }
+  return r;
+}
+
+RoutingProblem random_pairs_problem(std::size_t n, std::size_t k,
+                                    std::uint64_t seed) {
+  DCS_REQUIRE(n >= 2, "pairs workload needs n >= 2");
+  Rng rng(seed);
+  RoutingProblem r;
+  r.pairs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto s = static_cast<Vertex>(rng.uniform(n));
+    Vertex t = s;
+    while (t == s) t = static_cast<Vertex>(rng.uniform(n));
+    r.pairs.emplace_back(s, t);
+  }
+  return r;
+}
+
+RoutingProblem random_matching_problem(const Graph& g, std::uint64_t seed) {
+  const auto matching = greedy_maximal_matching(g, seed);
+  return RoutingProblem::from_edges(matching);
+}
+
+RoutingProblem all_edges_problem(const Graph& g) {
+  const auto edges = g.edges();
+  return RoutingProblem::from_edges(edges);
+}
+
+RoutingProblem bit_reversal_problem(std::size_t dim) {
+  DCS_REQUIRE(dim >= 1 && dim < 30, "dimension out of range");
+  const std::size_t n = std::size_t{1} << dim;
+  RoutingProblem r;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < dim; ++b) {
+      if ((i >> b) & 1u) rev |= std::size_t{1} << (dim - 1 - b);
+    }
+    if (rev != i) {
+      r.pairs.emplace_back(static_cast<Vertex>(i),
+                           static_cast<Vertex>(rev));
+    }
+  }
+  return r;
+}
+
+RoutingProblem transpose_problem(std::size_t dim) {
+  DCS_REQUIRE(dim >= 2 && dim % 2 == 0 && dim < 30,
+              "transpose needs an even dimension");
+  const std::size_t n = std::size_t{1} << dim;
+  const std::size_t half = dim / 2;
+  const std::size_t mask = (std::size_t{1} << half) - 1;
+  RoutingProblem r;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t swapped = ((i & mask) << half) | (i >> half);
+    if (swapped != i) {
+      r.pairs.emplace_back(static_cast<Vertex>(i),
+                           static_cast<Vertex>(swapped));
+    }
+  }
+  return r;
+}
+
+RoutingProblem clique_matching_pairs(std::size_t n) {
+  DCS_REQUIRE(n >= 4 && n % 2 == 0, "needs even n >= 4");
+  RoutingProblem r;
+  const std::size_t half = n / 2;
+  r.pairs.reserve(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    r.pairs.emplace_back(static_cast<Vertex>(i),
+                         static_cast<Vertex>(half + i));
+  }
+  return r;
+}
+
+}  // namespace dcs

@@ -1,0 +1,38 @@
+#pragma once
+
+// Workload generators: the routing problems the experiments are run on.
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+/// Random permutation routing: vertex i sends to π(i) for a uniformly random
+/// permutation π with no fixed points removed (pairs with π(i)==i dropped).
+RoutingProblem random_permutation_problem(std::size_t n, std::uint64_t seed);
+
+/// k uniformly random (source ≠ destination) pairs; vertices may repeat.
+RoutingProblem random_pairs_problem(std::size_t n, std::size_t k,
+                                    std::uint64_t seed);
+
+/// A random maximal-matching routing problem on g (congestion-1 optimum:
+/// route each pair over its own edge).
+RoutingProblem random_matching_problem(const Graph& g, std::uint64_t seed);
+
+/// All-edges problem of Lemma 1: one pair per edge of g.
+RoutingProblem all_edges_problem(const Graph& g);
+
+/// The perfect-matching problem across the clique_matching_graph of Fig. 1:
+/// pair (i, n/2 + i) for each i.
+RoutingProblem clique_matching_pairs(std::size_t n);
+
+/// Bit-reversal permutation on 2^dim vertices: i → reverse of i's dim-bit
+/// representation. A classic adversarial permutation for deterministic
+/// oblivious routing on hypercube-like networks.
+RoutingProblem bit_reversal_problem(std::size_t dim);
+
+/// Transpose permutation on 2^dim vertices, dim even: swap the high and
+/// low dim/2-bit halves of the address.
+RoutingProblem transpose_problem(std::size_t dim);
+
+}  // namespace dcs

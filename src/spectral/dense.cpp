@@ -1,0 +1,82 @@
+#include "spectral/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+DenseMatrix adjacency_matrix(const Graph& g) {
+  DenseMatrix m;
+  m.n = g.num_vertices();
+  m.a.assign(m.n * m.n, 0.0);
+  for (Vertex u = 0; u < m.n; ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      m.at(u, v) = 1.0;
+    }
+  }
+  return m;
+}
+
+std::vector<double> dense_symmetric_eigenvalues(DenseMatrix m,
+                                                double tolerance,
+                                                std::size_t max_sweeps) {
+  const std::size_t n = m.n;
+  DCS_REQUIRE(m.a.size() == n * n, "matrix storage size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      DCS_REQUIRE(std::abs(m.at(i, j) - m.at(j, i)) < 1e-9,
+                  "matrix is not symmetric");
+    }
+  }
+  if (n == 0) return {};
+
+  auto off_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        s += m.at(i, j) * m.at(i, j);
+      }
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tolerance) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m.at(p, q);
+        if (std::abs(apq) < tolerance * 1e-3) continue;
+        const double app = m.at(p, p);
+        const double aqq = m.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)),
+            theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // rotate rows/columns p and q
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = m.at(i, p);
+          const double aiq = m.at(i, q);
+          m.at(i, p) = c * aip - s * aiq;
+          m.at(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = m.at(p, i);
+          const double aqi = m.at(q, i);
+          m.at(p, i) = c * api - s * aqi;
+          m.at(q, i) = s * api + c * aqi;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = m.at(i, i);
+  std::sort(eigenvalues.begin(), eigenvalues.end());
+  return eigenvalues;
+}
+
+}  // namespace dcs

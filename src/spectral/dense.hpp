@@ -1,0 +1,30 @@
+#pragma once
+
+// Dense symmetric eigenvalue solver (cyclic Jacobi rotations). O(n³) per
+// sweep — intended for small matrices: cross-validation of the Lanczos
+// path and exact spectra of the gadget graphs in tests and experiments.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+/// Symmetric dense matrix in row-major order.
+struct DenseMatrix {
+  std::size_t n = 0;
+  std::vector<double> a;  ///< n*n entries
+
+  double& at(std::size_t i, std::size_t j) { return a[i * n + j]; }
+  double at(std::size_t i, std::size_t j) const { return a[i * n + j]; }
+};
+
+/// The adjacency matrix of g.
+DenseMatrix adjacency_matrix(const Graph& g);
+
+/// All eigenvalues, ascending (cyclic Jacobi; the input must be symmetric).
+std::vector<double> dense_symmetric_eigenvalues(DenseMatrix m,
+                                                double tolerance = 1e-12,
+                                                std::size_t max_sweeps = 64);
+
+}  // namespace dcs

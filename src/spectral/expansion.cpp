@@ -1,0 +1,83 @@
+#include "spectral/expansion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "spectral/lanczos.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+
+namespace {
+
+MatVec adjacency_operator(const Graph& g) {
+  return [&g](std::span<const double> x, std::span<double> y) {
+    parallel_for(0, g.num_vertices(), [&](std::size_t u) {
+      double acc = 0.0;
+      for (Vertex v : g.neighbors(static_cast<Vertex>(u))) acc += x[v];
+      y[u] = acc;
+    });
+  };
+}
+
+}  // namespace
+
+ExpansionEstimate estimate_expansion(const Graph& g,
+                                     std::size_t lanczos_steps,
+                                     std::uint64_t seed) {
+  DCS_REQUIRE(g.num_vertices() >= 2, "expansion needs at least two vertices");
+  const auto apply = adjacency_operator(g);
+  const std::size_t n = g.num_vertices();
+
+  ExpansionEstimate est;
+  std::vector<double> top;
+  if (g.is_regular()) {
+    est.lambda1 = static_cast<double>(g.min_degree());
+    top.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  } else {
+    est.lambda1 = power_iteration(apply, n, 300, seed, &top);
+  }
+
+  const std::vector<std::vector<double>> deflate{top};
+  LanczosOptions options;
+  options.max_steps = lanczos_steps;
+  options.seed = seed + 0x9e37;
+  const auto ritz =
+      lanczos_eigenvalues(apply, n, options, deflate);
+  DCS_CHECK(!ritz.empty(), "lanczos produced no ritz values");
+  est.lambda = std::max(std::abs(ritz.front()), std::abs(ritz.back()));
+  return est;
+}
+
+std::size_t edges_between(const Graph& g, std::span<const Vertex> s,
+                          std::span<const Vertex> t) {
+  std::unordered_set<Vertex> t_set(t.begin(), t.end());
+  std::size_t count = 0;
+  for (Vertex u : s) {
+    for (Vertex v : g.neighbors(u)) {
+      if (t_set.count(v) > 0) ++count;
+    }
+  }
+  return count;
+}
+
+MixingCheck mixing_lemma_check(const Graph& g, double lambda,
+                               std::span<const Vertex> s,
+                               std::span<const Vertex> t) {
+  DCS_REQUIRE(g.is_regular(), "mixing lemma stated for regular graphs");
+  const double delta = static_cast<double>(g.min_degree());
+  const double n = static_cast<double>(g.num_vertices());
+  const double expected =
+      delta / n * static_cast<double>(s.size()) *
+      static_cast<double>(t.size());
+  MixingCheck check;
+  check.observed_deviation =
+      std::abs(static_cast<double>(edges_between(g, s, t)) - expected);
+  check.bound = lambda * std::sqrt(static_cast<double>(s.size()) *
+                                   static_cast<double>(t.size()));
+  return check;
+}
+
+}  // namespace dcs

@@ -1,0 +1,44 @@
+#pragma once
+
+// Spectral expansion of a graph's adjacency matrix and the expander mixing
+// lemma (Lemma 3 of the paper), which drives the neighborhood-matching bound
+// of Lemma 4.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+struct ExpansionEstimate {
+  double lambda1 = 0.0;  ///< largest adjacency eigenvalue (= Δ when regular)
+  double lambda = 0.0;   ///< max(|λ₂|, |λ_n|)
+  /// λ / λ₁ — the normalized expansion; < 1 means the graph expands.
+  double normalized() const { return lambda1 > 0 ? lambda / lambda1 : 0.0; }
+};
+
+/// Measures expansion by deflated Lanczos on the adjacency operator. For
+/// regular graphs the top eigenvector (all-ones) is deflated exactly;
+/// otherwise the dominant eigenvector from power iteration is used.
+ExpansionEstimate estimate_expansion(const Graph& g,
+                                     std::size_t lanczos_steps = 80,
+                                     std::uint64_t seed = 1);
+
+/// Number of (ordered-pair) edges between S and T as in the mixing lemma:
+/// e(S,T) = |{(u,v) : u ∈ S, v ∈ T, (u,v) ∈ E}| (pairs in S∩T count twice).
+std::size_t edges_between(const Graph& g, std::span<const Vertex> s,
+                          std::span<const Vertex> t);
+
+struct MixingCheck {
+  double observed_deviation = 0.0;  ///< |e(S,T) − Δ|S||T|/n|
+  double bound = 0.0;               ///< λ·sqrt(|S||T|)
+  bool holds() const { return observed_deviation <= bound + 1e-9; }
+};
+
+/// Evaluates Lemma 3 for a Δ-regular graph with given expansion λ.
+MixingCheck mixing_lemma_check(const Graph& g, double lambda,
+                               std::span<const Vertex> s,
+                               std::span<const Vertex> t);
+
+}  // namespace dcs

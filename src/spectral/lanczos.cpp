@@ -1,0 +1,152 @@
+#include "spectral/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// Removes the projections of x onto each vector in basis (assumed unit).
+void orthogonalize(std::span<double> x,
+                   std::span<const std::vector<double>> basis) {
+  for (const auto& b : basis) {
+    axpy(-dot(x, b), b, x);
+  }
+}
+
+}  // namespace
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diag,
+                                            std::vector<double> off) {
+  const std::size_t n = diag.size();
+  DCS_REQUIRE(n >= 1, "empty tridiagonal matrix");
+  DCS_REQUIRE(off.size() + 1 == n, "sub-diagonal size must be n-1");
+  if (n == 1) return diag;
+  // Implicit-shift QL (Numerical-Recipes-style tqli without eigenvectors).
+  std::vector<double>& d = diag;
+  std::vector<double> e(n, 0.0);
+  std::copy(off.begin(), off.end(), e.begin());  // e[0..n-2], e[n-1] = 0
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iterations = 0;
+    for (;;) {
+      std::size_t m = l;
+      for (; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-14 * dd) break;
+      }
+      if (m == l) break;
+      DCS_CHECK(++iterations <= 50, "tridiagonal QL failed to converge");
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0, c = 1.0, p = 0.0;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+std::vector<double> lanczos_eigenvalues(
+    const MatVec& apply, std::size_t n, const LanczosOptions& options,
+    std::span<const std::vector<double>> deflate) {
+  DCS_REQUIRE(n >= 1, "operator dimension must be positive");
+  const std::size_t steps = std::min(options.max_steps, n);
+
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> basis;
+  basis.reserve(steps);
+  std::vector<double> alpha_coeffs;
+  std::vector<double> beta_coeffs;
+
+  std::vector<double> q(n);
+  for (auto& x : q) x = rng.uniform_double() - 0.5;
+  orthogonalize(q, deflate);
+  {
+    const double nq = norm(q);
+    DCS_REQUIRE(nq > 1e-12, "lanczos start vector vanished after deflation");
+    scale(q, 1.0 / nq);
+  }
+
+  std::vector<double> w(n);
+  for (std::size_t step = 0; step < steps; ++step) {
+    basis.push_back(q);
+    apply(q, w);
+    const double alpha = dot(w, q);
+    alpha_coeffs.push_back(alpha);
+    // w ← w − α·q − β·q_prev, then full reorthogonalization for stability.
+    axpy(-alpha, q, w);
+    if (step > 0) axpy(-beta_coeffs.back(), basis[step - 1], w);
+    orthogonalize(w, deflate);
+    orthogonalize(w, basis);
+    const double beta = norm(w);
+    if (beta < 1e-10 || step + 1 == steps) break;
+    beta_coeffs.push_back(beta);
+    for (std::size_t i = 0; i < n; ++i) q[i] = w[i] / beta;
+  }
+
+  return tridiagonal_eigenvalues(alpha_coeffs, beta_coeffs);
+}
+
+double power_iteration(const MatVec& apply, std::size_t n,
+                       std::size_t iterations, std::uint64_t seed,
+                       std::vector<double>* out_vector) {
+  DCS_REQUIRE(n >= 1, "operator dimension must be positive");
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform_double() + 0.1;
+  scale(x, 1.0 / norm(x));
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    apply(x, y);
+    lambda = dot(x, y);
+    const double ny = norm(y);
+    if (ny < 1e-14) break;
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / ny;
+  }
+  if (out_vector != nullptr) *out_vector = x;
+  return lambda;
+}
+
+}  // namespace dcs

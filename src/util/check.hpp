@@ -1,0 +1,44 @@
+#pragma once
+
+// Lightweight precondition / invariant checking used across the library.
+//
+// DCS_REQUIRE is for public API preconditions: it throws std::invalid_argument
+// so callers can recover and tests can assert on misuse.
+// DCS_CHECK is for internal invariants: failure indicates a library bug and
+// aborts via std::logic_error.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcs::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dcs::detail
+
+#define DCS_REQUIRE(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::dcs::detail::throw_require(#expr, __FILE__, __LINE__, msg);  \
+  } while (false)
+
+#define DCS_CHECK(expr, msg)                                         \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::dcs::detail::throw_check(#expr, __FILE__, __LINE__, msg);    \
+  } while (false)

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : os_(path), arity_(header.size()) {
+  DCS_REQUIRE(os_.good(), "cannot open CSV file for writing: " + path);
+  DCS_REQUIRE(arity_ >= 1, "CSV needs at least one column");
+  add_row(header);
+  rows_ = 0;  // the header does not count as a data row
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  DCS_REQUIRE(row.size() == arity_, "CSV row arity mismatch");
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(row[i]);
+  }
+  os_ << '\n';
+  DCS_REQUIRE(os_.good(), "CSV write failed");
+  ++rows_;
+}
+
+std::optional<std::string> csv_output_path(const std::string& name) {
+  const char* dir = std::getenv("DCS_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir) + "/" + name + ".csv";
+}
+
+}  // namespace dcs

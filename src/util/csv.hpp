@@ -1,0 +1,51 @@
+#pragma once
+
+// Minimal CSV writing for the experiment harnesses: when the environment
+// variable DCS_CSV_DIR is set, each bench additionally records its rows as
+// machine-readable CSV next to the human-readable tables, so sweeps can be
+// post-processed (plots, regression tracking) without re-running.
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row (arity-checked; fields are quoted when needed).
+  void add_row(const std::vector<std::string>& row);
+
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  std::size_t rows() const { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string cell_to_string(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  static std::string escape(const std::string& field);
+
+  std::ofstream os_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// If DCS_CSV_DIR is set, returns "<dir>/<name>.csv"; otherwise nullopt.
+/// Benches use this to decide whether to record CSV.
+std::optional<std::string> csv_output_path(const std::string& name);
+
+}  // namespace dcs

@@ -1,0 +1,121 @@
+#pragma once
+
+// Deterministic, splittable pseudo-random generation.
+//
+// Every randomized algorithm in this library takes an explicit seed so that
+// experiments are reproducible bit-for-bit. The core generator is
+// xoshiro256** seeded through SplitMix64, which is both fast and of high
+// statistical quality; `Rng::split` derives independent child streams so
+// parallel workers never share a generator.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+/// SplitMix64 step: used for seeding and for stateless hashing of indices.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two values; handy for per-item deterministic
+/// randomness in parallel loops.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream (e.g. one per thread or per trial).
+  Rng split() { return Rng(mix64((*this)(), (*this)())); }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform(std::uint64_t bound) {
+    DCS_REQUIRE(bound > 0, "uniform bound must be positive");
+    unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    auto low = static_cast<std::uint64_t>(product);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        product = static_cast<unsigned __int128>((*this)()) * bound;
+        low = static_cast<std::uint64_t>(product);
+      }
+    }
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    DCS_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = uniform(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Pick a uniformly random element of a non-empty container.
+  template <typename Container>
+  auto& pick(Container& c) {
+    DCS_REQUIRE(!c.empty(), "pick from empty container");
+    return c[uniform(c.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dcs

@@ -1,0 +1,162 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+double percentile(std::span<const double> values, double q) {
+  DCS_REQUIRE(!values.empty(), "percentile of empty sample");
+  DCS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  DCS_REQUIRE(!values.empty(), "summarize of empty sample");
+  Summary s;
+  s.count = values.size();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                 : 0.0;
+  s.median = percentile(sorted, 0.5);
+  s.p90 = percentile(sorted, 0.9);
+  s.p99 = percentile(sorted, 0.99);
+  return s;
+}
+
+double linear_slope(std::span<const double> x, std::span<const double> y) {
+  DCS_REQUIRE(x.size() == y.size(), "slope inputs must have equal length");
+  DCS_REQUIRE(x.size() >= 2, "slope needs at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  DCS_REQUIRE(denom != 0.0, "slope undefined: x values are all equal");
+  return (n * sxy - sx * sy) / denom;
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  DCS_REQUIRE(x.size() == y.size(), "slope inputs must have equal length");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DCS_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "loglog_slope needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_slope(lx, ly);
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  DCS_REQUIRE(x.size() == y.size() && x.size() >= 2,
+              "correlation needs two equal-length samples");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  DCS_REQUIRE(sxx > 0.0 && syy > 0.0, "correlation undefined: zero variance");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::string format_with_exponent(double value, double n, double exponent) {
+  std::ostringstream os;
+  os << value << " (~ n^" << exponent << " at n=" << n << ")";
+  return os.str();
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins) {
+  DCS_REQUIRE(!values.empty(), "histogram of empty sample");
+  DCS_REQUIRE(bins >= 1, "histogram needs at least one bin");
+  Histogram h;
+  h.lo = *std::min_element(values.begin(), values.end());
+  h.hi = *std::max_element(values.begin(), values.end());
+  h.bins.assign(bins, 0);
+  const double width = h.hi - h.lo;
+  for (double v : values) {
+    std::size_t idx =
+        width <= 0.0
+            ? 0
+            : static_cast<std::size_t>((v - h.lo) / width *
+                                       static_cast<double>(bins));
+    if (idx >= bins) idx = bins - 1;  // v == hi lands in the last bin
+    ++h.bins[idx];
+  }
+  return h;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  const std::size_t peak =
+      bins.empty() ? 0 : *std::max_element(bins.begin(), bins.end());
+  std::ostringstream os;
+  const double width =
+      bins.empty() ? 0.0 : (hi - lo) / static_cast<double>(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double b_lo = lo + width * static_cast<double>(i);
+    const double b_hi = b_lo + width;
+    const std::size_t bar =
+        peak == 0 ? 0 : bins[i] * max_width / peak;
+    os << "[" << b_lo << ", " << b_hi << ") " << std::string(bar, '#')
+       << " " << bins[i] << '\n';
+  }
+  return os.str();
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> values, double level,
+                              std::size_t resamples, std::uint64_t seed) {
+  DCS_REQUIRE(!values.empty(), "bootstrap of empty sample");
+  DCS_REQUIRE(level > 0.0 && level < 1.0, "confidence level in (0,1)");
+  DCS_REQUIRE(resamples >= 10, "too few bootstrap resamples");
+  Rng rng(seed);
+  const auto n = values.size();
+  std::vector<double> means(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += values[rng.uniform(n)];
+    }
+    means[r] = sum / static_cast<double>(n);
+  }
+  BootstrapCi ci;
+  double total = 0.0;
+  for (double v : values) total += v;
+  ci.mean = total / static_cast<double>(n);
+  const double tail = (1.0 - level) / 2.0;
+  ci.lower = percentile(means, tail);
+  ci.upper = percentile(means, 1.0 - tail);
+  return ci;
+}
+
+}  // namespace dcs

@@ -1,0 +1,72 @@
+#pragma once
+
+// Summary statistics and growth-exponent fitting for experiment output.
+//
+// The experiments validate asymptotic claims ("the spanner has O(n^{5/3})
+// edges") by fitting the slope of log(metric) against log(n) across a sweep;
+// `loglog_slope` performs that least-squares fit.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Full summary of a sample; values are copied and sorted internally.
+Summary summarize(std::span<const double> values);
+
+/// Percentile in [0, 1] by linear interpolation on the sorted sample.
+double percentile(std::span<const double> values, double q);
+
+/// Least-squares slope of y against x.
+double linear_slope(std::span<const double> x, std::span<const double> y);
+
+/// Least-squares slope of log(y) against log(x); the empirical growth
+/// exponent of y as a function of x. All inputs must be positive.
+double loglog_slope(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/// Human-readable "1234567 (n^1.67)" style annotation used in bench output.
+std::string format_with_exponent(double value, double n, double exponent);
+
+/// Fixed-width histogram over [min, max] of the sample.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> bins;
+
+  /// ASCII rendering, one line per bin ("[lo, hi) ####").
+  std::string render(std::size_t max_width = 40) const;
+};
+
+Histogram histogram(std::span<const double> values, std::size_t bins);
+
+/// Bootstrap confidence interval for the mean: percentile interval at
+/// confidence `level` (e.g. 0.95) over `resamples` resamples.
+struct BootstrapCi {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> values,
+                              double level = 0.95,
+                              std::size_t resamples = 2000,
+                              std::uint64_t seed = 1);
+
+}  // namespace dcs

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DCS_REQUIRE(!header_.empty(), "table must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  DCS_REQUIRE(row.size() == header_.size(),
+              "row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_cell(double value) {
+  std::ostringstream os;
+  if (std::abs(value - std::round(value)) < 1e-9 && std::abs(value) < 1e15) {
+    os << static_cast<long long>(std::llround(value));
+  } else {
+    os << std::fixed << std::setprecision(3) << value;
+  }
+  return os.str();
+}
+
+std::string format_cell(std::size_t value) { return std::to_string(value); }
+std::string format_cell(int value) { return std::to_string(value); }
+std::string format_cell(long value) { return std::to_string(value); }
+std::string format_cell(unsigned value) { return std::to_string(value); }
+
+}  // namespace dcs

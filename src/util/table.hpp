@@ -1,0 +1,54 @@
+#pragma once
+
+// Plain-text aligned table printer used by the benchmark harnesses to emit
+// the rows/series the paper's Table 1 reports.
+
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dcs {
+
+/// Formats a number with sensible precision (integer values render without
+/// a fractional part).
+std::string format_cell(double value);
+std::string format_cell(std::size_t value);
+std::string format_cell(int value);
+std::string format_cell(long value);
+std::string format_cell(unsigned value);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary streamable cells.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return format_cell(value);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baseline_spanners.hpp"
+#include "core/verifier.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(BaswanaSen, ProducesThreeSpanner) {
+  const Graph g = random_regular(150, 40, 3);
+  const auto spanner = baswana_sen_3_spanner(g, 7);
+  EXPECT_TRUE(g.contains_subgraph(spanner.h));
+  const auto report = measure_distance_stretch(g, spanner.h);
+  EXPECT_TRUE(report.satisfies(3.0))
+      << "max stretch " << report.max_stretch;
+}
+
+TEST(BaswanaSen, SparsifiesDenseGraphs) {
+  const std::size_t n = 200;
+  const Graph g = complete_graph(n);
+  const auto spanner = baswana_sen_3_spanner(g, 9);
+  // expected O(n^{3/2}) edges ≪ n²/2
+  EXPECT_LT(spanner.h.num_edges(), g.num_edges() / 3);
+  const auto report = measure_distance_stretch(g, spanner.h);
+  EXPECT_TRUE(report.satisfies(3.0));
+}
+
+TEST(BaswanaSen, WorksOnIrregularGraphs) {
+  const Graph g = erdos_renyi(150, 0.2, 5);
+  const auto spanner = baswana_sen_3_spanner(g, 11);
+  const auto report = measure_distance_stretch(g, spanner.h);
+  EXPECT_TRUE(report.satisfies(3.0));
+}
+
+TEST(BaswanaSen, StatsFilled) {
+  const Graph g = random_regular(100, 20, 13);
+  const auto spanner = baswana_sen_3_spanner(g, 1);
+  EXPECT_EQ(spanner.stats.input_edges, g.num_edges());
+  EXPECT_EQ(spanner.stats.spanner_edges, spanner.h.num_edges());
+  EXPECT_NEAR(spanner.stats.sample_probability, 0.1, 1e-12);
+}
+
+TEST(GreedySpanner, ExactStretchGuarantee) {
+  for (Dist alpha : {1u, 3u, 5u}) {
+    const Graph g = erdos_renyi(80, 0.15, 17);
+    const auto spanner = greedy_spanner(g, alpha, 3);
+    EXPECT_TRUE(g.contains_subgraph(spanner.h));
+    const auto report = measure_distance_stretch(g, spanner.h, alpha + 1);
+    EXPECT_TRUE(report.satisfies(static_cast<double>(alpha)))
+        << "alpha=" << alpha << " max=" << report.max_stretch;
+  }
+}
+
+TEST(GreedySpanner, StretchOneKeepsEverything) {
+  const Graph g = random_regular(40, 6, 19);
+  const auto spanner = greedy_spanner(g, 1, 1);
+  EXPECT_EQ(spanner.h, g);
+}
+
+TEST(GreedySpanner, GirthProperty) {
+  // A greedy α-spanner has girth > α+1: adding edge (u,v) requires
+  // d_H(u,v) > α, so no cycle of length ≤ α+1 can close.
+  const Graph g = complete_graph(30);
+  const auto spanner = greedy_spanner(g, 3, 5);
+  // girth > 4 means no triangles and no 4-cycles: count via common
+  // neighbors — any edge with a common neighbor closes a triangle; any two
+  // common neighbors of non-adjacent vertices close a 4-cycle.
+  const Graph& h = spanner.h;
+  for (Edge e : h.edges()) {
+    std::size_t common = 0;
+    for (Vertex x : h.neighbors(e.u)) {
+      if (h.has_edge(x, e.v)) ++common;
+    }
+    EXPECT_EQ(common, 0u) << "triangle through edge";
+  }
+}
+
+TEST(GreedySpanner, SparserThanVizingBoundOnDenseInput) {
+  const std::size_t n = 60;
+  const Graph g = complete_graph(n);
+  const auto spanner = greedy_spanner(g, 3, 7);
+  // girth-5 graphs have O(n^{3/2}) edges (Moore bound)
+  const double moore =
+      0.5 * (1.0 + std::sqrt(4.0 * static_cast<double>(n) - 3.0)) *
+      static_cast<double>(n) / 2.0 * 1.2;
+  EXPECT_LT(static_cast<double>(spanner.h.num_edges()), moore);
+  EXPECT_TRUE(is_connected(spanner.h));
+}
+
+TEST(GreedySpanner, DeterministicPerSeed) {
+  const Graph g = erdos_renyi(50, 0.3, 21);
+  EXPECT_EQ(greedy_spanner(g, 3, 4).h, greedy_spanner(g, 3, 4).h);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace dcs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/dcs_csv_test.csv";
+  {
+    CsvWriter csv(path, {"n", "edges", "stretch"});
+    csv.add(100, 250, 3.0);
+    csv.add_row({"200", "990", "3"});
+    EXPECT_EQ(csv.rows(), 2u);
+  }
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("n,edges,stretch\n"), std::string::npos);
+  EXPECT_NE(content.find("200,990,3\n"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/dcs_csv_escape.csv";
+  {
+    CsvWriter csv(path, {"name", "note"});
+    csv.add_row({"a,b", "say \"hi\"\nthere"});
+  }
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\nthere\""), std::string::npos);
+}
+
+TEST(Csv, ArityEnforced) {
+  const std::string path = ::testing::TempDir() + "/dcs_csv_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv", {"a"}),
+               std::invalid_argument);
+}
+
+TEST(Csv, OutputPathFollowsEnvironment) {
+  unsetenv("DCS_CSV_DIR");
+  EXPECT_FALSE(csv_output_path("exp").has_value());
+  setenv("DCS_CSV_DIR", "/tmp", 1);
+  const auto path = csv_output_path("exp");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tmp/exp.csv");
+  unsetenv("DCS_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/matching_decomposition.hpp"
+#include "core/router.hpp"
+#include "graph/generators.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/workloads.hpp"
+
+namespace dcs {
+namespace {
+
+// A matching router that routes every pair directly over its edge on the
+// given graph (valid whenever all routed edges exist in H) and records the
+// problems it is asked to solve.
+struct RecordingRouter {
+  std::vector<RoutingProblem>* log = nullptr;
+
+  Routing operator()(const RoutingProblem& problem, std::uint64_t) const {
+    if (log != nullptr) log->push_back(problem);
+    return Routing::direct_edges(problem);
+  }
+};
+
+TEST(Decomposition, EveryRoutedProblemIsAMatching) {
+  const Graph g = random_regular(60, 10, 3);
+  const auto problem = random_pairs_problem(60, 40, 5);
+  const Routing p = shortest_path_routing(g, problem, 7);
+
+  std::vector<RoutingProblem> log;
+  const auto sub = substitute_routing_via_matchings(
+      g.num_vertices(), p, RecordingRouter{&log}, 11);
+  EXPECT_FALSE(log.empty());
+  for (const auto& m : log) {
+    EXPECT_TRUE(m.is_matching());
+  }
+  EXPECT_EQ(sub.stats.total_matchings, log.size());
+}
+
+TEST(Decomposition, IdentityRouterReproducesEndpoints) {
+  const Graph g = random_regular(40, 8, 13);
+  const auto problem = random_pairs_problem(40, 30, 3);
+  const Routing p = shortest_path_routing(g, problem, 5);
+  const auto sub = substitute_routing_via_matchings(
+      g.num_vertices(), p, RecordingRouter{}, 1);
+  ASSERT_EQ(sub.routing.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(sub.routing.paths[i].front(), p.paths[i].front());
+    EXPECT_EQ(sub.routing.paths[i].back(), p.paths[i].back());
+    // With the identity (direct-edge) router, the reassembled walk equals
+    // the original path.
+    EXPECT_EQ(sub.routing.paths[i], p.paths[i]);
+  }
+  EXPECT_TRUE(routing_is_valid(g, problem, sub.routing));
+}
+
+TEST(Decomposition, LevelsBoundedByMaxEdgeMultiplicity) {
+  // Force 3 paths over the same edge: star paths through a bridge.
+  // Graph: bridge (0,1); 0 connects to 2,3,4; 1 connects to 5,6,7.
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  for (Vertex v = 2; v <= 4; ++v) b.add_edge(0, v);
+  for (Vertex v = 5; v <= 7; ++v) b.add_edge(1, v);
+  const Graph g = b.build();
+  Routing p;
+  p.paths = {{2, 0, 1, 5}, {3, 0, 1, 6}, {4, 0, 1, 7}};
+  const auto sub = substitute_routing_via_matchings(
+      g.num_vertices(), p, RecordingRouter{}, 2);
+  EXPECT_EQ(sub.stats.levels, 3u);  // edge (0,1) used by 3 paths
+}
+
+TEST(Decomposition, SumDegreeBoundLemma21) {
+  // Lemma 21: Σ (d_k + 1) ≤ 12 · C(P) · log₂ n.
+  const std::size_t n = 64;
+  const Graph g = random_regular(n, 12, 17);
+  const auto problem = random_pairs_problem(n, 80, 9);
+  const Routing p = shortest_path_routing(g, problem, 21);
+  const auto sub = substitute_routing_via_matchings(
+      n, p, RecordingRouter{}, 23);
+  const double bound = 12.0 *
+                       static_cast<double>(node_congestion(p, n)) *
+                       std::log2(static_cast<double>(n));
+  EXPECT_LE(static_cast<double>(sub.stats.sum_degree_plus_one), bound);
+}
+
+TEST(Decomposition, MatchingCountBoundLemma23) {
+  const std::size_t n = 50;
+  const Graph g = random_regular(n, 10, 19);
+  const auto problem = random_pairs_problem(n, 60, 10);
+  const Routing p = shortest_path_routing(g, problem, 25);
+  const auto sub = substitute_routing_via_matchings(
+      n, p, RecordingRouter{}, 27);
+  EXPECT_LE(sub.stats.total_matchings, n * n * (n + 1));  // O(n³)
+  EXPECT_GE(sub.stats.total_matchings, 1u);
+}
+
+TEST(Decomposition, CongestionOneUsesAtMostTwoMatchingsPerLevel) {
+  // The C(P)=1 case of Section 6: vertex-disjoint paths decompose into at
+  // most one level with ≤ d+1 = 3 matchings (degree ≤ 2 subgraph).
+  const Graph g = path_graph(12);
+  Routing p;
+  p.paths = {{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9, 10, 11}};
+  const auto sub = substitute_routing_via_matchings(
+      g.num_vertices(), p, RecordingRouter{}, 3);
+  EXPECT_EQ(sub.stats.levels, 1u);
+  EXPECT_LE(sub.stats.total_matchings, 3u);
+}
+
+TEST(Decomposition, SubstitutePathsSpliceDetours) {
+  // Spanner H = square 0-1-2-3-0; original path uses the chord (0,2) of G.
+  // The matching router replaces (0,2) with the 2-detour via 1.
+  Routing p;
+  p.paths = {{3, 0, 2}};
+  auto detour_router = [](const RoutingProblem& problem, std::uint64_t) {
+    Routing r;
+    for (auto [s, t] : problem.pairs) {
+      if ((s == 0 && t == 2) || (s == 2 && t == 0)) {
+        r.paths.push_back(s == 0 ? Path{0, 1, 2} : Path{2, 1, 0});
+      } else {
+        r.paths.push_back(Path{s, t});
+      }
+    }
+    return r;
+  };
+  const auto sub =
+      substitute_routing_via_matchings(4, p, detour_router, 5);
+  ASSERT_EQ(sub.routing.size(), 1u);
+  EXPECT_EQ(sub.routing.paths[0], (Path{3, 0, 1, 2}));
+}
+
+TEST(Decomposition, EmptyRoutingIsFine) {
+  Routing p;
+  const auto sub =
+      substitute_routing_via_matchings(10, p, RecordingRouter{}, 1);
+  EXPECT_TRUE(sub.routing.paths.empty());
+  EXPECT_EQ(sub.stats.levels, 0u);
+  EXPECT_EQ(sub.stats.total_matchings, 0u);
+}
+
+TEST(Decomposition, SingleVertexPathsPassThrough) {
+  Routing p;
+  p.paths = {{5}, {3}};
+  const auto sub =
+      substitute_routing_via_matchings(10, p, RecordingRouter{}, 1);
+  EXPECT_EQ(sub.routing.paths[0], (Path{5}));
+  EXPECT_EQ(sub.routing.paths[1], (Path{3}));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/expander_spanner.hpp"
+#include "core/regular_spanner.hpp"
+#include "dist/dist_expander.hpp"
+#include "dist/dist_spanner.hpp"
+#include "dist/local_model.hpp"
+#include "graph/generators.hpp"
+
+namespace dcs {
+namespace {
+
+// A trivial flooding algorithm used to validate the simulator itself: each
+// node learns the set of ids within distance r after r rounds.
+class FloodIds final : public LocalAlgorithm {
+ public:
+  explicit FloodIds(std::size_t rounds) : rounds_(rounds) {}
+
+  void init(Vertex self, std::span<const Vertex> neighbors) override {
+    self_ = self;
+    known_.insert(self);
+    (void)neighbors;
+  }
+
+  std::vector<std::uint64_t> broadcast(std::size_t) override {
+    return {known_.begin(), known_.end()};
+  }
+
+  void receive(std::size_t, Vertex,
+               std::span<const std::uint64_t> payload) override {
+    for (auto w : payload) known_.insert(static_cast<Vertex>(w));
+  }
+
+  bool done(std::size_t rounds_elapsed) const override {
+    return rounds_elapsed >= rounds_;
+  }
+
+  const std::set<Vertex>& known() const { return known_; }
+
+ private:
+  std::size_t rounds_;
+  Vertex self_ = kInvalidVertex;
+  std::set<Vertex> known_;
+};
+
+TEST(LocalModel, FloodingLearnsExactlyTheBall) {
+  const Graph g = cycle_graph(12);
+  std::vector<std::unique_ptr<LocalAlgorithm>> nodes;
+  for (Vertex v = 0; v < 12; ++v) {
+    nodes.push_back(std::make_unique<FloodIds>(3));
+  }
+  const auto stats = run_local(g, nodes, 10);
+  EXPECT_EQ(stats.rounds, 3u);
+  // On a cycle, after 3 rounds each node knows ids within distance 3.
+  const auto& known = static_cast<FloodIds*>(nodes[0].get())->known();
+  std::set<Vertex> expected{9, 10, 11, 0, 1, 2, 3};
+  EXPECT_EQ(known, expected);
+}
+
+TEST(LocalModel, RoundLimitEnforced) {
+  const Graph g = cycle_graph(6);
+  std::vector<std::unique_ptr<LocalAlgorithm>> nodes;
+  for (Vertex v = 0; v < 6; ++v) {
+    nodes.push_back(std::make_unique<FloodIds>(100));
+  }
+  EXPECT_THROW(run_local(g, nodes, 5), std::invalid_argument);
+}
+
+TEST(LocalModel, MessageAccountingCountsEdgesBothWays) {
+  const Graph g = complete_graph(5);
+  std::vector<std::unique_ptr<LocalAlgorithm>> nodes;
+  for (Vertex v = 0; v < 5; ++v) {
+    nodes.push_back(std::make_unique<FloodIds>(1));
+  }
+  const auto stats = run_local(g, nodes, 4);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.total_messages, 2 * g.num_edges());
+}
+
+TEST(DistSpanner, RunsInConstantRounds) {
+  const Graph g = random_regular(40, 12, 3);
+  const auto result = build_regular_spanner_local(g);
+  EXPECT_EQ(result.stats.rounds, 3u);
+}
+
+class DistEquivalenceTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(DistEquivalenceTest, MatchesSequentialAlgorithmExactly) {
+  const auto [n, delta] = GetParam();
+  const Graph g = random_regular(n, delta, 1000 + n);
+  RegularSpannerOptions options;
+  options.seed = 77;
+  const auto sequential = build_regular_spanner(g, options);
+  const auto distributed = build_regular_spanner_local(g, options);
+  EXPECT_EQ(distributed.h, sequential.spanner.h)
+      << "distributed decisions diverged from the sequential algorithm";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DistEquivalenceTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{20, 6},
+                      std::pair<std::size_t, std::size_t>{30, 10},
+                      std::pair<std::size_t, std::size_t>{40, 12},
+                      std::pair<std::size_t, std::size_t>{60, 16}));
+
+TEST(DistSpanner, EquivalenceAcrossAblations) {
+  const Graph g = random_regular(30, 8, 5);
+  for (bool unsupported : {false, true}) {
+    for (bool undetoured : {false, true}) {
+      RegularSpannerOptions options;
+      options.seed = 13;
+      options.reinsert_unsupported = unsupported;
+      options.reinsert_undetoured = undetoured;
+      const auto seq = build_regular_spanner(g, options);
+      const auto dist = build_regular_spanner_local(g, options);
+      EXPECT_EQ(dist.h, seq.spanner.h)
+          << "unsupported=" << unsupported << " undetoured=" << undetoured;
+    }
+  }
+}
+
+TEST(DistExpander, MatchesSequentialTheorem2Construction) {
+  for (std::uint64_t seed : {3, 7, 11}) {
+    const Graph g = random_regular(48, 14, 500 + seed);
+    ExpanderSpannerOptions options;
+    options.seed = seed;
+    const auto seq = build_expander_spanner(g, options);
+    const auto dist = build_expander_spanner_local(g, options);
+    EXPECT_EQ(dist.h, seq.spanner.h) << "seed " << seed;
+    EXPECT_EQ(dist.stats.rounds, 3u);
+  }
+}
+
+TEST(DistExpander, RepairOffAlsoMatches) {
+  const Graph g = random_regular(40, 10, 99);
+  ExpanderSpannerOptions options;
+  options.seed = 5;
+  options.repair_uncovered = false;
+  options.epsilon = 0.4;
+  const auto seq = build_expander_spanner(g, options);
+  const auto dist = build_expander_spanner_local(g, options);
+  EXPECT_EQ(dist.h, seq.spanner.h);
+}
+
+TEST(DistSpanner, MessageVolumeScalesWithNeighborhoodSize) {
+  const Graph small = random_regular(20, 4, 7);
+  const Graph dense = random_regular(20, 10, 7);
+  const auto a = build_regular_spanner_local(small);
+  const auto b = build_regular_spanner_local(dense);
+  EXPECT_LT(a.stats.total_words, b.stats.total_words);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+// Consolidated API edge cases: boundary inputs, error paths, and
+// degenerate instances across modules.
+
+#include <sstream>
+
+#include "core/expander_spanner.hpp"
+#include "core/lower_bound.hpp"
+#include "core/regular_spanner.hpp"
+#include "core/router.hpp"
+#include "core/support.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/weighted_graph.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/tables.hpp"
+#include "spectral/expansion.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(EdgeCases, GraphBuilderSpanInsertion) {
+  GraphBuilder b(5);
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  b.add_edges(edges);
+  EXPECT_EQ(b.build().num_edges(), 2u);
+  const std::vector<Edge> bad{{0, 0}};
+  EXPECT_THROW(b.add_edges(bad), std::invalid_argument);
+}
+
+TEST(EdgeCases, SpannerStatsCompressionOnEmptyGraph) {
+  SpannerStats stats;
+  EXPECT_DOUBLE_EQ(stats.compression(), 1.0);
+  stats.input_edges = 10;
+  stats.spanner_edges = 5;
+  EXPECT_DOUBLE_EQ(stats.compression(), 0.5);
+}
+
+TEST(EdgeCases, SupportOnDegreeOneVertices) {
+  const Graph g = path_graph(3);  // 0-1-2
+  EXPECT_EQ(count_supported_extensions(g, 0, 1, 1), 0u);
+  EXPECT_FALSE(is_ab_supported(g, Edge{0, 1}, 1, 1));
+  EXPECT_TRUE(find_3detours(g, 0, 1).empty());
+}
+
+TEST(EdgeCases, ExpanderSpannerProbabilityCapsAtOne) {
+  // Δ < n^{2/3} → derived p would exceed 1; must cap and keep everything.
+  const Graph g = random_regular(100, 4, 3);
+  const auto result = build_expander_spanner(g);
+  EXPECT_DOUBLE_EQ(result.sample_probability, 1.0);
+  EXPECT_EQ(result.spanner.h, g);
+}
+
+TEST(EdgeCases, RegularSpannerOnTinyGraphs) {
+  // Smallest legal inputs must not crash; K_2 is 1-regular.
+  const Graph k2 = complete_graph(2);
+  const auto r = build_regular_spanner(k2, {.seed = 1});
+  // ρ = 1 at Δ = 1: everything kept.
+  EXPECT_EQ(r.spanner.h, k2);
+}
+
+TEST(EdgeCases, LowerBoundKTooBigForPool) {
+  // line length 2k+1 must fit in the pool
+  EXPECT_THROW(build_lower_bound_graph(10, 1, 6), std::invalid_argument);
+}
+
+TEST(EdgeCases, PacketSimRoundLimit) {
+  const Graph g = path_graph(50);
+  Routing r;
+  Path long_path(50);
+  for (Vertex v = 0; v < 50; ++v) long_path[v] = v;
+  r.paths = {long_path};
+  PacketSimOptions o;
+  o.max_rounds = 10;  // needs 49
+  EXPECT_THROW(simulate_store_and_forward(g, r, o),
+               std::invalid_argument);
+}
+
+TEST(EdgeCases, TablesRouteLengthUnreachable) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  const auto tables = RoutingTables::build(g);
+  EXPECT_EQ(tables.route_length(0, 3), static_cast<std::size_t>(-1));
+  EXPECT_EQ(tables.route_length(0, 0), 0u);
+}
+
+TEST(EdgeCases, WeightedGraphMissingEdgeWeightThrows) {
+  const auto g = WeightedGraph::from_edges(
+      3, std::vector<WeightedEdge>{{0, 1, 1.0}});
+  EXPECT_THROW(g.weight(0, 2), std::invalid_argument);
+  Path bad{0, 2};
+  EXPECT_THROW(path_weight(g, bad), std::invalid_argument);
+}
+
+TEST(EdgeCases, DijkstraSourceEqualsTarget) {
+  const auto g = WeightedGraph::from_edges(
+      2, std::vector<WeightedEdge>{{0, 1, 2.0}});
+  EXPECT_DOUBLE_EQ(dijkstra_distance(g, 0, 0), 0.0);
+  EXPECT_EQ(dijkstra_path(g, 1, 1), (Path{1}));
+}
+
+TEST(EdgeCases, LanczosOnOneAndTwoVertices) {
+  // n = 1: only the deflated start vector vanishes — must throw cleanly.
+  const MatVec zero_op = [](std::span<const double> x,
+                            std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = 0.0;
+  };
+  const auto ev = lanczos_eigenvalues(zero_op, 2);
+  for (double v : ev) EXPECT_NEAR(v, 0.0, 1e-9);
+  EXPECT_THROW(estimate_expansion(Graph(1)), std::invalid_argument);
+}
+
+TEST(EdgeCases, ExpansionOfDisconnectedRegularGraph) {
+  // two disjoint triangles: 2-regular, λ₂ = λ₁ = 2 (two components)
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+  const Graph g = Graph::from_edges(6, edges);
+  const auto est = estimate_expansion(g);
+  EXPECT_NEAR(est.lambda, 2.0, 1e-6);  // no spectral gap
+  EXPECT_NEAR(est.normalized(), 1.0, 1e-6);
+}
+
+TEST(EdgeCases, IoZeroVertexGraph) {
+  std::stringstream buffer;
+  write_graph(buffer, Graph(0));
+  const Graph g = read_graph(buffer);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(EdgeCases, RoutingProblemFromEdgesRejectsSelfPair) {
+  const std::vector<Edge> bad{{2, 2}};
+  EXPECT_THROW(RoutingProblem::from_edges(bad), std::invalid_argument);
+}
+
+TEST(EdgeCases, FanGadgetMinimumK) {
+  const FanGadget fan = fan_gadget(1);
+  EXPECT_EQ(fan.g.num_vertices(), 4u);
+  EXPECT_EQ(fan.g.num_edges(), 4u);
+  const FanSpanner spanner = fan_optimal_spanner(fan);
+  EXPECT_EQ(spanner.removed.size(), 1u);
+  EXPECT_THROW(fan_gadget(0), std::invalid_argument);
+}
+
+TEST(EdgeCases, DetourRouterVertexSetMismatch) {
+  const Graph a = cycle_graph(4);
+  const Graph b = cycle_graph(6);
+  EXPECT_THROW(DetourRouter(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

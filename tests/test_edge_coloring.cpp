@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "routing/edge_coloring.hpp"
+#include "routing/matching.hpp"
+
+namespace dcs {
+namespace {
+
+void expect_vizing(const Graph& g) {
+  const EdgeColoring coloring = misra_gries_edge_coloring(g);
+  EXPECT_TRUE(edge_coloring_is_proper(g, coloring));
+  EXPECT_LE(coloring.num_colors,
+            static_cast<int>(g.max_degree()) + 1)
+      << "more than Δ+1 colors used";
+  // every color class is a matching
+  for (const auto& m : coloring.matchings()) {
+    EXPECT_TRUE(is_matching_in_graph(g, m));
+  }
+}
+
+TEST(EdgeColoring, EmptyGraph) {
+  const Graph g(5);
+  const EdgeColoring coloring = misra_gries_edge_coloring(g);
+  EXPECT_EQ(coloring.num_colors, 0);
+  EXPECT_TRUE(coloring.edges.empty());
+}
+
+TEST(EdgeColoring, SingleEdge) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  expect_vizing(g);
+}
+
+TEST(EdgeColoring, PathUsesTwoColors) {
+  const Graph g = path_graph(10);
+  const EdgeColoring coloring = misra_gries_edge_coloring(g);
+  EXPECT_TRUE(edge_coloring_is_proper(g, coloring));
+  EXPECT_LE(coloring.num_colors, 3);  // Vizing: Δ+1 = 3; optimal is 2
+}
+
+TEST(EdgeColoring, EvenCycle) { expect_vizing(cycle_graph(8)); }
+TEST(EdgeColoring, OddCycleNeedsThreeColors) {
+  const Graph g = cycle_graph(7);
+  const EdgeColoring coloring = misra_gries_edge_coloring(g);
+  EXPECT_TRUE(edge_coloring_is_proper(g, coloring));
+  EXPECT_EQ(coloring.num_colors, 3);  // class-2 graph
+}
+
+TEST(EdgeColoring, CompleteGraphs) {
+  expect_vizing(complete_graph(5));
+  expect_vizing(complete_graph(8));
+  expect_vizing(complete_graph(13));
+}
+
+TEST(EdgeColoring, Hypercube) { expect_vizing(hypercube(5)); }
+
+TEST(EdgeColoring, Star) {
+  // K_{1,8}: Δ = 8, needs exactly 8 colors.
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v <= 8; ++v) edges.push_back({0, v});
+  const Graph g = Graph::from_edges(9, edges);
+  const EdgeColoring coloring = misra_gries_edge_coloring(g);
+  EXPECT_TRUE(edge_coloring_is_proper(g, coloring));
+  EXPECT_EQ(coloring.num_colors, 8);
+}
+
+class EdgeColoringRandomTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(EdgeColoringRandomTest, VizingBoundOnRandomRegular) {
+  const auto [n, delta] = GetParam();
+  expect_vizing(random_regular(n, delta, 1000 + n + delta));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, EdgeColoringRandomTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{20, 3},
+                      std::pair<std::size_t, std::size_t>{30, 7},
+                      std::pair<std::size_t, std::size_t>{50, 12},
+                      std::pair<std::size_t, std::size_t>{60, 20},
+                      std::pair<std::size_t, std::size_t>{80, 31}));
+
+TEST(EdgeColoring, ErdosRenyiIrregular) {
+  expect_vizing(erdos_renyi(60, 0.15, 5));
+  expect_vizing(erdos_renyi(80, 0.05, 6));
+}
+
+TEST(EdgeColoring, MatchingsPartitionEdges) {
+  const Graph g = random_regular(40, 9, 8);
+  const EdgeColoring coloring = misra_gries_edge_coloring(g);
+  std::size_t total = 0;
+  for (const auto& m : coloring.matchings()) total += m.size();
+  EXPECT_EQ(total, g.num_edges());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/expander_spanner.hpp"
+#include "core/verifier.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/expansion.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(ExpanderSpanner, RequiresRegularInput) {
+  EXPECT_THROW(build_expander_spanner(path_graph(10)),
+               std::invalid_argument);
+}
+
+TEST(ExpanderSpanner, DerivedProbabilityTargetsDegree) {
+  // Δ = 60, n = 216 → n^{2/3} = 36 → p = 0.6.
+  const Graph g = random_regular(216, 60, 3);
+  const auto result = build_expander_spanner(g);
+  EXPECT_NEAR(result.sample_probability, 36.0 / 60.0, 1e-9);
+}
+
+TEST(ExpanderSpanner, ExplicitEpsilonUsed) {
+  const Graph g = random_regular(100, 40, 5);
+  ExpanderSpannerOptions o;
+  o.epsilon = 0.25;
+  const auto result = build_expander_spanner(g, o);
+  EXPECT_NEAR(result.sample_probability, std::pow(100.0, -0.25), 1e-9);
+}
+
+TEST(ExpanderSpanner, SubgraphAndStats) {
+  const Graph g = random_regular(150, 50, 7);
+  const auto result = build_expander_spanner(g);
+  EXPECT_TRUE(g.contains_subgraph(result.spanner.h));
+  const auto& s = result.spanner.stats;
+  EXPECT_EQ(s.input_edges, g.num_edges());
+  EXPECT_EQ(s.spanner_edges, result.spanner.h.num_edges());
+  EXPECT_EQ(s.spanner_edges, s.sampled_edges + s.reinserted_edges);
+}
+
+TEST(ExpanderSpanner, DistanceStretchThreeWithRepair) {
+  const Graph g = random_regular(200, 40, 9);
+  const auto result = build_expander_spanner(g);
+  const auto report = measure_distance_stretch(g, result.spanner.h);
+  EXPECT_TRUE(report.satisfies(3.0))
+      << "max stretch " << report.max_stretch;
+}
+
+TEST(ExpanderSpanner, RepairOffMayLeaveUncoveredEdges) {
+  const Graph g = random_regular(100, 30, 11);
+  ExpanderSpannerOptions off;
+  off.repair_uncovered = false;
+  off.epsilon = 0.5;  // aggressive sampling: p = 0.1
+  const auto result = build_expander_spanner(g, off);
+  EXPECT_EQ(result.repaired_edges, 0u);
+  EXPECT_EQ(result.spanner.stats.reinserted_edges, 0u);
+}
+
+TEST(ExpanderSpanner, SparsifiesDenseExpanders) {
+  // Δ = Θ(n): the spanner keeps ≈ n^{2/3}/Δ of the edges.
+  const std::size_t n = 240;
+  const Graph g = random_regular(n, 120, 13);
+  const auto result = build_expander_spanner(g);
+  const double expect = std::pow(static_cast<double>(n), 2.0 / 3.0) / 120.0;
+  EXPECT_NEAR(result.spanner.stats.compression(), expect, expect * 0.35);
+  EXPECT_TRUE(is_connected(result.spanner.h));
+}
+
+TEST(ExpanderSpanner, PreservesExpansionQualitatively) {
+  const Graph g = random_regular(300, 80, 15);
+  const auto result = build_expander_spanner(g);
+  const auto est = estimate_expansion(result.spanner.h);
+  // The sampled subgraph of an expander stays an expander (normalized gap
+  // bounded away from 1).
+  EXPECT_LT(est.normalized(), 0.8);
+}
+
+TEST(ExpanderSpanner, DeterministicPerSeed) {
+  const Graph g = random_regular(100, 30, 17);
+  ExpanderSpannerOptions a, b, c;
+  a.seed = b.seed = 4;
+  c.seed = 5;
+  EXPECT_EQ(build_expander_spanner(g, a).spanner.h,
+            build_expander_spanner(g, b).spanner.h);
+  EXPECT_NE(build_expander_spanner(g, a).spanner.h,
+            build_expander_spanner(g, c).spanner.h);
+}
+
+TEST(ExpanderSpanner, EdgeCountNearExpectation) {
+  const Graph g = random_regular(200, 50, 19);
+  const auto result = build_expander_spanner(g);
+  const double expected =
+      result.sample_probability * static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(result.spanner.stats.sampled_edges),
+              expected, 4.0 * std::sqrt(expected));
+}
+
+}  // namespace
+}  // namespace dcs

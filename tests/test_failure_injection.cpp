@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+// Failure injection: sabotage spanners, routings, and inputs, and confirm
+// the verifiers catch every corruption (no silent acceptance).
+
+#include "core/regular_spanner.hpp"
+#include "core/router.hpp"
+#include "core/verifier.hpp"
+#include "dist/dist_verify.hpp"
+#include "graph/generators.hpp"
+#include "routing/workloads.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+namespace {
+
+// Removes `count` random edges from h (never disconnecting by intent —
+// just random removals; the point is the verifier must notice when the
+// property breaks).
+Graph sabotage(const Graph& h, std::size_t count, std::uint64_t seed) {
+  auto edges = h.edges();
+  Rng rng(seed);
+  rng.shuffle(edges);
+  edges.resize(edges.size() > count ? edges.size() - count : 0);
+  return Graph::from_edges(h.num_vertices(), edges);
+}
+
+TEST(FailureInjection, VerifierCatchesSabotagedFanSpanner) {
+  // The fan spanner is tight: removing any additional edge breaks either
+  // the 3-stretch or connectivity.
+  const FanGadget fan = fan_gadget(6);
+  EdgeSet keep;
+  for (Edge e : fan.g.edges()) keep.insert(e);
+  for (std::size_t i = 0; i < fan.k; ++i) {
+    keep.erase(canonical(fan.line[2 * i], fan.line[2 * i + 1]));
+  }
+  const auto kept = keep.to_vector();
+  const Graph h = Graph::from_edges(fan.g.num_vertices(), kept);
+  ASSERT_TRUE(measure_distance_stretch(fan.g, h).satisfies(3.0));
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph bad = sabotage(h, 1, seed);
+    EXPECT_FALSE(measure_distance_stretch(fan.g, bad).satisfies(3.0))
+        << "seed " << seed;
+  }
+}
+
+TEST(FailureInjection, HeavySabotageAlwaysDetected) {
+  const Graph g = random_regular(80, 20, 3);
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  // removing a third of the spanner's edges must break stretch 3 (the
+  // spanner is within a small factor of minimal)
+  const Graph bad =
+      sabotage(built.spanner.h, built.spanner.h.num_edges() / 3, 7);
+  EXPECT_FALSE(measure_distance_stretch(g, bad).satisfies(3.0));
+}
+
+TEST(FailureInjection, DistributedVerifierAgreesWithSequential) {
+  const Graph g = random_regular(40, 12, 9);
+  const auto built = build_regular_spanner(g, {.seed = 11});
+  const auto good = verify_spanner_local(g, built.spanner.h);
+  EXPECT_TRUE(good.ok);
+  EXPECT_TRUE(good.violating.empty());
+  EXPECT_EQ(good.stats.rounds, 3u);
+
+  // Sabotage until the sequential verifier rejects, then the distributed
+  // verifier must reject too (and point at a real violation).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph bad =
+        sabotage(built.spanner.h, built.spanner.h.num_edges() / 3, seed);
+    const bool sequential_ok =
+        measure_distance_stretch(g, bad).satisfies(3.0);
+    const auto dist = verify_spanner_local(g, bad);
+    EXPECT_EQ(dist.ok, sequential_ok) << "seed " << seed;
+  }
+}
+
+TEST(FailureInjection, DistributedVerifierRejectsNonSubgraph) {
+  const Graph g = cycle_graph(6);
+  const Graph not_sub = complete_graph(6);
+  EXPECT_THROW(verify_spanner_local(g, not_sub), std::invalid_argument);
+}
+
+TEST(FailureInjection, CorruptedRoutingRejected) {
+  const Graph g = random_regular(40, 8, 13);
+  const auto matching = random_matching_problem(g, 15);
+  Routing r = Routing::direct_edges(matching);
+  ASSERT_TRUE(routing_is_valid(g, matching, r));
+
+  // endpoint swap
+  Routing swapped = r;
+  std::swap(swapped.paths[0], swapped.paths[1]);
+  EXPECT_FALSE(routing_is_valid(g, matching, swapped));
+
+  // truncated path
+  Routing truncated = r;
+  truncated.paths.pop_back();
+  EXPECT_FALSE(routing_is_valid(g, matching, truncated));
+
+  // teleporting hop
+  Routing teleport = r;
+  if (teleport.paths[0].size() == 2) {
+    Vertex far = teleport.paths[0][1];
+    // insert a vertex not adjacent to the source
+    for (Vertex v = 0; v < 40; ++v) {
+      if (!g.has_edge(teleport.paths[0][0], v) &&
+          v != teleport.paths[0][0]) {
+        far = v;
+        break;
+      }
+    }
+    teleport.paths[0].insert(teleport.paths[0].begin() + 1, far);
+    EXPECT_FALSE(routing_is_valid(g, matching, teleport));
+  }
+}
+
+TEST(FailureInjection, MatchingCongestionRejectsForeignPairs) {
+  const Graph g = random_regular(30, 6, 17);
+  const auto built = build_regular_spanner(g, {.seed = 19});
+  DetourRouter router(built.spanner.h, built.sampled);
+  RoutingProblem fake;
+  // a pair that is NOT an edge of g at distance ≥ 2
+  Vertex far = kInvalidVertex;
+  for (Vertex v = 1; v < 30; ++v) {
+    if (!g.has_edge(0, v)) {
+      far = v;
+      break;
+    }
+  }
+  ASSERT_NE(far, kInvalidVertex);
+  fake.pairs = {{0, far}};
+  EXPECT_THROW(
+      measure_matching_congestion(g, built.spanner.h, fake, router, 21),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

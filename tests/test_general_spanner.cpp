@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/general_spanner.hpp"
+#include "core/router.hpp"
+#include "core/verifier.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "routing/workloads.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(StretchSpanner, ProbabilityRuleMatchesDensityTarget) {
+  // α = 3 → k = 2 → target degree 2√n.
+  EXPECT_NEAR(stretch_sample_probability(400, 80.0, 3), 2.0 * 20.0 / 80.0,
+              1e-12);
+  // α = 5 → k = 3 → target degree 2·n^{1/3}.
+  EXPECT_NEAR(stretch_sample_probability(1000, 100.0, 5), 0.2, 1e-12);
+  // capped at 1
+  EXPECT_DOUBLE_EQ(stretch_sample_probability(100, 3.0, 3), 1.0);
+}
+
+class StretchSweep : public ::testing::TestWithParam<Dist> {};
+
+INSTANTIATE_TEST_SUITE_P(Alphas, StretchSweep,
+                         ::testing::Values(1, 3, 5, 7));
+
+TEST_P(StretchSweep, StretchGuaranteeHolds) {
+  const Dist alpha = GetParam();
+  const Graph g = random_regular(200, 40, 7 + alpha);
+  StretchSpannerOptions o;
+  o.seed = 3;
+  o.alpha = alpha;
+  const auto result = build_stretch_spanner(g, o);
+  EXPECT_TRUE(g.contains_subgraph(result.spanner.h));
+  const auto report =
+      measure_distance_stretch(g, result.spanner.h, alpha + 2);
+  EXPECT_TRUE(report.satisfies(static_cast<double>(alpha)))
+      << "alpha=" << alpha << " max=" << report.max_stretch;
+}
+
+TEST(StretchSpanner, HigherAlphaGivesSparserSpanners) {
+  const Graph g = random_regular(300, 100, 5);
+  std::size_t prev = g.num_edges() + 1;
+  for (Dist alpha : {3u, 5u, 7u}) {
+    StretchSpannerOptions o;
+    o.seed = 9;
+    o.alpha = alpha;
+    const auto result = build_stretch_spanner(g, o);
+    EXPECT_LT(result.spanner.h.num_edges(), prev)
+        << "alpha=" << alpha;
+    prev = result.spanner.h.num_edges();
+  }
+}
+
+TEST(StretchSpanner, RepairOffKeepsOnlySamples) {
+  const Graph g = random_regular(100, 20, 11);
+  StretchSpannerOptions o;
+  o.seed = 13;
+  o.alpha = 3;
+  o.repair = false;
+  const auto result = build_stretch_spanner(g, o);
+  EXPECT_EQ(result.repaired_edges, 0u);
+  EXPECT_EQ(result.spanner.stats.reinserted_edges, 0u);
+}
+
+TEST(StretchSpanner, ExplicitProbabilityUsed) {
+  const Graph g = random_regular(100, 20, 17);
+  StretchSpannerOptions o;
+  o.seed = 19;
+  o.alpha = 3;
+  o.sample_probability = 0.5;
+  const auto result = build_stretch_spanner(g, o);
+  EXPECT_DOUBLE_EQ(result.sample_probability, 0.5);
+}
+
+TEST(StretchSpanner, AlphaOneKeepsEverything) {
+  // No edge can be dropped at stretch 1: repair reinserts them all.
+  const Graph g = random_regular(60, 8, 23);
+  StretchSpannerOptions o;
+  o.seed = 29;
+  o.alpha = 1;
+  o.sample_probability = 0.3;
+  const auto result = build_stretch_spanner(g, o);
+  EXPECT_EQ(result.spanner.h, g);
+}
+
+TEST(StretchSpanner, ConnectedOutputOnConnectedInput) {
+  const Graph g = random_regular(200, 30, 31);
+  StretchSpannerOptions o;
+  o.seed = 37;
+  o.alpha = 5;
+  const auto result = build_stretch_spanner(g, o);
+  EXPECT_TRUE(is_connected(result.spanner.h));
+}
+
+TEST(StretchSpanner, CongestionMeasurableAcrossAlpha) {
+  // The open-problem probe end to end: measure matching congestion of the
+  // shortest-path router on spanners of growing stretch.
+  const Graph g = random_regular(150, 50, 41);
+  const auto matching = random_matching_problem(g, 43);
+  for (Dist alpha : {3u, 5u}) {
+    StretchSpannerOptions o;
+    o.seed = 47;
+    o.alpha = alpha;
+    const auto result = build_stretch_spanner(g, o);
+    ShortestPathPairRouter router(result.spanner.h);
+    const auto report = measure_matching_congestion(
+        g, result.spanner.h, matching, router, 53);
+    EXPECT_EQ(report.base_congestion, 1u);
+    EXPECT_LE(report.max_length_ratio, static_cast<double>(alpha));
+    EXPECT_GE(report.spanner_congestion, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(EdgeList, CanonicalOrientsMinFirst) {
+  EXPECT_EQ(canonical(3, 1), (Edge{1, 3}));
+  EXPECT_EQ(canonical(1, 3), (Edge{1, 3}));
+  EXPECT_EQ(canonical(Edge{5, 2}), (Edge{2, 5}));
+}
+
+TEST(EdgeList, EdgeKeyIsInjective) {
+  EXPECT_NE(edge_key(Edge{1, 2}), edge_key(Edge{2, 3}));
+  EXPECT_NE(edge_key(Edge{0, 1}), edge_key(Edge{1, 0x10000}));
+}
+
+TEST(EdgeList, EdgeSetOrientationInsensitive) {
+  EdgeSet set;
+  EXPECT_TRUE(set.insert(3, 1));
+  EXPECT_FALSE(set.insert(1, 3));
+  EXPECT_TRUE(set.contains(Edge{3, 1}));
+  EXPECT_TRUE(set.contains(1, 3));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.erase(Edge{1, 3}));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(EdgeList, CanonicalizeSortsAndDedups) {
+  std::vector<Edge> edges{{3, 1}, {1, 3}, {0, 2}, {2, 0}, {4, 5}};
+  canonicalize_edge_list(edges);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 2}));
+  EXPECT_EQ(edges[1], (Edge{1, 3}));
+  EXPECT_EQ(edges[2], (Edge{4, 5}));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, FromEdgesBasic) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndOutOfRange) {
+  const std::vector<Edge> loop{{1, 1}};
+  EXPECT_THROW(Graph::from_edges(3, loop), std::invalid_argument);
+  const std::vector<Edge> oob{{0, 3}};
+  EXPECT_THROW(Graph::from_edges(3, oob), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const std::vector<Edge> edges{{2, 0}, {2, 4}, {2, 1}, {2, 3}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}, {0, 4}};
+  canonicalize_edge_list(edges);
+  const Graph g = Graph::from_edges(5, edges);
+  EXPECT_EQ(g.edges(), edges);
+}
+
+TEST(Graph, MinMaxDegree) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}};
+  const Graph g = Graph::from_edges(5, edges);  // vertex 4 isolated
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Graph, ContainsSubgraph) {
+  const std::vector<Edge> big{{0, 1}, {1, 2}, {2, 0}};
+  const std::vector<Edge> small{{0, 1}, {1, 2}};
+  const std::vector<Edge> other{{0, 1}, {1, 3}};
+  const Graph g = Graph::from_edges(4, big);
+  EXPECT_TRUE(g.contains_subgraph(Graph::from_edges(4, small)));
+  EXPECT_FALSE(g.contains_subgraph(Graph::from_edges(4, other)));
+  EXPECT_FALSE(g.contains_subgraph(Graph::from_edges(5, small)));
+}
+
+TEST(GraphBuilder, BuildsAndValidates) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate, collapses
+  b.add_edge(2, 3);
+  EXPECT_EQ(b.pending_edges(), 3u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_THROW(b.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 4), std::invalid_argument);
+}
+
+TEST(Connectivity, SingleComponent) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Connectivity, MultipleComponents) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}};
+  const Graph g = Graph::from_edges(5, edges);  // {0,1}, {2,3}, {4}
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(num_components(g), 3u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(Connectivity, DiameterOfPath) {
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i + 1 < 10; ++i) edges.push_back({i, i + 1});
+  const Graph g = Graph::from_edges(10, edges);
+  EXPECT_EQ(diameter_lower_bound(g), 9u);
+}
+
+TEST(Connectivity, DiameterDisconnected) {
+  const Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  EXPECT_EQ(diameter_lower_bound(g), static_cast<std::size_t>(kUnreachable));
+}
+
+}  // namespace
+}  // namespace dcs

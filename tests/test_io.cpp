@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(GraphIo, RoundTripThroughStream) {
+  const Graph g = random_regular(40, 6, 3);
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  const Graph back = read_graph(buffer);
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphIo, RoundTripEmptyAndTrivialGraphs) {
+  for (const Graph& g :
+       {Graph(0), Graph(5),
+        Graph::from_edges(2, std::vector<Edge>{{0, 1}})}) {
+    std::stringstream buffer;
+    write_graph(buffer, g);
+    EXPECT_EQ(read_graph(buffer), g);
+  }
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a graph\n"
+      "\n"
+      "3 2\n"
+      "# edges follow\n"
+      "0 1\n"
+      "\n"
+      "1 2\n");
+  const Graph g = read_graph(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, NonCanonicalEdgesAccepted) {
+  std::stringstream in("3 1\n2 0\n");
+  const Graph g = read_graph(in);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("nonsense\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 2\n0 1\n");  // missing edge
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n0 5\n");  // out of range
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n1 1\n");  // self loop
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 2\n0 1\n1 0\n");  // duplicate
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = hypercube(4);
+  const std::string path =
+      ::testing::TempDir() + "/dcs_io_test.graph";
+  write_graph_file(path, g);
+  EXPECT_EQ(read_graph_file(path), g);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_graph_file("/nonexistent/definitely/missing.graph"),
+               std::invalid_argument);
+}
+
+TEST(MetisIo, RoundTrip) {
+  const Graph g = random_regular(30, 4, 7);
+  std::stringstream buffer;
+  write_metis(buffer, g);
+  EXPECT_EQ(read_metis(buffer), g);
+}
+
+TEST(MetisIo, IsolatedVerticesSurvive) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{1, 2}});
+  std::stringstream buffer;
+  write_metis(buffer, g);
+  const Graph back = read_metis(buffer);
+  EXPECT_EQ(back, g);
+  EXPECT_EQ(back.degree(0), 0u);
+  EXPECT_EQ(back.degree(3), 0u);
+}
+
+TEST(MetisIo, ParsesHandWrittenFile) {
+  // triangle in METIS form (1-indexed, each edge listed from both sides)
+  std::stringstream in(
+      "% a triangle\n"
+      "3 3\n"
+      "2 3\n"
+      "1 3\n"
+      "1 2\n");
+  const Graph g = read_metis(in);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(MetisIo, RejectsBadInput) {
+  {
+    std::stringstream in("3 3 1\n2 3\n1 3\n1 2\n");  // weighted fmt flag
+    EXPECT_THROW(read_metis(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 3\n2 3\n1 3\n");  // missing vertex line
+    EXPECT_THROW(read_metis(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 2\n2 3\n1 3\n1 2\n");  // wrong edge count
+    EXPECT_THROW(read_metis(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("2 1\n2\n1 5\n");  // neighbor out of range
+    EXPECT_THROW(read_metis(in), std::invalid_argument);
+  }
+}
+
+TEST(MetisIo, FileRoundTrip) {
+  const Graph g = cycle_graph(9);
+  const std::string path = ::testing::TempDir() + "/dcs_metis_test.graph";
+  write_metis_file(path, g);
+  EXPECT_EQ(read_metis_file(path), g);
+}
+
+}  // namespace
+}  // namespace dcs

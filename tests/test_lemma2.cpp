@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+// Lemma 2: a spanner can be simultaneously an α-distance-spanner and a
+// β-congestion-spanner while failing the joint DC property by a factor that
+// grows linearly in the number of matched pairs. These tests rebuild the
+// lemma's construction and measure all three quantities.
+
+#include "core/lower_bound.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+namespace {
+
+// Lemma 2's spanner H: remove every matching edge except (a_1, b_1).
+Graph lemma2_spanner(const Lemma2Graph& lg) {
+  EdgeSet keep;
+  for (Edge e : lg.g.edges()) keep.insert(e);
+  for (std::size_t i = 1; i < lg.a.size(); ++i) {
+    keep.erase(canonical(lg.a[i], lg.b[i]));
+  }
+  const auto kept = keep.to_vector();
+  return Graph::from_edges(lg.g.num_vertices(), kept);
+}
+
+TEST(Lemma2, SpannerHasThreeDistanceStretch) {
+  const Lemma2Graph lg = lemma2_graph(8, 3);
+  const Graph h = lemma2_spanner(lg);
+  const auto report = measure_distance_stretch(lg.g, h);
+  EXPECT_TRUE(report.satisfies(3.0)) << "max " << report.max_stretch;
+}
+
+TEST(Lemma2, CrossPairsRouteViaKeptMatchingEdge) {
+  const Lemma2Graph lg = lemma2_graph(6, 3);
+  const Graph h = lemma2_spanner(lg);
+  // a_i → b_j for i,j ≥ 2 has the 3-path a_i, a_1, b_1, b_j.
+  EXPECT_TRUE(h.has_edge(lg.a[2], lg.a[0]));
+  EXPECT_TRUE(h.has_edge(lg.a[0], lg.b[0]));
+  EXPECT_TRUE(h.has_edge(lg.b[0], lg.b[3]));
+}
+
+TEST(Lemma2, MatchingRoutingCongestionExplodes) {
+  // The DC failure: the perfect-matching problem has congestion 1 on G but
+  // any 3-stretch substitute on H must push every pair through (a_1, b_1).
+  const std::size_t pairs = 10;
+  const Lemma2Graph lg = lemma2_graph(pairs, 3);
+  const Graph h = lemma2_spanner(lg);
+
+  RoutingProblem matching;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    matching.pairs.emplace_back(lg.a[i], lg.b[i]);
+  }
+  const Routing on_g = Routing::direct_edges(matching);
+  EXPECT_EQ(node_congestion(on_g, lg.g.num_vertices()), 1u);
+
+  // 3-stretch substitutes: each removed pair (a_i, b_i) has exactly two
+  // length-3 options — via (a_1,b_1) or via its own detour path D_i; but
+  // the detour has length α = 3 as well, so min-congestion routing can in
+  // fact use the detours. The lemma's statement is about substitutes whose
+  // *length budget is α·l(p) = 3·1 = 3*: both options qualify. The failure
+  // appears when detours are excluded, i.e. for stretch budget < 3... the
+  // paper's construction uses detour length α+1 (> α·1), so detours do NOT
+  // qualify. Our builder uses detour length α; tighten the budget to 3 but
+  // lengthen detours by building with alpha+1.
+  const Lemma2Graph stretched = lemma2_graph(pairs, 4);  // detours length 4
+  const Graph h2 = lemma2_spanner(stretched);
+  RoutingProblem matching2;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    matching2.pairs.emplace_back(stretched.a[i], stretched.b[i]);
+  }
+  const Routing sub = min_congestion_short_routing(h2, matching2, 3);
+  EXPECT_TRUE(routing_is_valid(h2, matching2, sub));
+  // every substitute for i ≥ 2 goes through both a_1 and b_1
+  const auto loads = node_loads(sub, h2.num_vertices());
+  EXPECT_EQ(loads[stretched.a[0]], pairs);
+  EXPECT_EQ(loads[stretched.b[0]], pairs);
+  EXPECT_EQ(node_congestion(sub, h2.num_vertices()), pairs);
+}
+
+TEST(Lemma2, SeparateCongestionStretchStaysBounded) {
+  // H is still a decent congestion-spanner for *general* problems where
+  // paths may be longer: with the full length-4 detours available, the
+  // matching routes with congestion ≤ 2 (the lemma's 2-congestion claim).
+  const std::size_t pairs = 8;
+  const Lemma2Graph lg = lemma2_graph(pairs, 4);
+  const Graph h = lemma2_spanner(lg);
+  RoutingProblem matching;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    matching.pairs.emplace_back(lg.a[i], lg.b[i]);
+  }
+  // allow length 4: each pair can take its private detour
+  const Routing sub = min_congestion_short_routing(h, matching, 4);
+  EXPECT_LE(node_congestion(sub, h.num_vertices()), 2u);
+}
+
+TEST(Lemma2, DcFailureGrowsLinearly) {
+  for (std::size_t pairs : {4u, 8u, 16u}) {
+    const Lemma2Graph lg = lemma2_graph(pairs, 4);
+    const Graph h = lemma2_spanner(lg);
+    RoutingProblem matching;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      matching.pairs.emplace_back(lg.a[i], lg.b[i]);
+    }
+    const Routing sub = min_congestion_short_routing(h, matching, 3);
+    EXPECT_EQ(node_congestion(sub, h.num_vertices()), pairs);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/lower_bound.hpp"
+#include "core/verifier.hpp"
+#include "graph/connectivity.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(FanSpanner, RemovesOneLineEdgePerFace) {
+  const FanGadget fan = fan_gadget(4);
+  const FanSpanner spanner = fan_optimal_spanner(fan);
+  EXPECT_EQ(spanner.removed.size(), 4u);
+  EXPECT_EQ(spanner.h.num_edges(), fan.g.num_edges() - 4);
+  for (Edge e : spanner.removed) {
+    EXPECT_TRUE(fan.g.has_edge(e.u, e.v));
+    EXPECT_FALSE(spanner.h.has_edge(e.u, e.v));
+  }
+}
+
+TEST(FanSpanner, IsAThreeDistanceSpanner) {
+  for (std::size_t k : {1u, 3u, 6u, 10u}) {
+    const FanGadget fan = fan_gadget(k);
+    const FanSpanner spanner = fan_optimal_spanner(fan);
+    const auto report = measure_distance_stretch(fan.g, spanner.h);
+    EXPECT_TRUE(report.satisfies(3.0))
+        << "k=" << k << " max=" << report.max_stretch;
+  }
+}
+
+TEST(FanSpanner, AdversarialRoutingForcedThroughHub) {
+  const std::size_t k = 6;
+  const FanGadget fan = fan_gadget(k);
+  const FanSpanner spanner = fan_optimal_spanner(fan);
+  const auto problem = fan_adversarial_problem(spanner);
+  EXPECT_EQ(problem.size(), k);
+
+  // On G the removed edges are disjoint: congestion 1.
+  const Routing direct = Routing::direct_edges(problem);
+  EXPECT_EQ(node_congestion(direct, fan.g.num_vertices()), 1u);
+
+  // On H, any 3-stretch substitute routes every pair through the hub.
+  const Routing sub = min_congestion_short_routing(spanner.h, problem, 3);
+  EXPECT_TRUE(routing_is_valid(spanner.h, problem, sub));
+  const auto loads = node_loads(sub, spanner.h.num_vertices());
+  EXPECT_EQ(loads[fan.hub], k);
+  EXPECT_EQ(node_congestion(sub, spanner.h.num_vertices()), k);
+}
+
+TEST(FanSpanner, RemovingThreeConsecutiveRaysBreaksStretch) {
+  // Lemma 18's structural claim: with rays r_i, r_{i+1}, r_{i+2} gone, the
+  // middle ray's line neighbors lose every ≤3 substitute.
+  const FanGadget fan = fan_gadget(4);
+  EdgeSet keep;
+  for (Edge e : fan.g.edges()) keep.insert(e);
+  for (std::size_t i = 0; i < 3; ++i) {
+    keep.erase(canonical(fan.hub, fan.line[2 * i]));
+  }
+  const auto kept = keep.to_vector();
+  const Graph h = Graph::from_edges(fan.g.num_vertices(), kept);
+  const auto report = measure_distance_stretch(fan.g, h);
+  EXPECT_FALSE(report.satisfies(3.0));
+}
+
+TEST(LowerBoundGraph, MatchesTheorem4Counts) {
+  const std::size_t n = 200;
+  const LowerBoundGraph lb = build_lower_bound_graph(n, 3);
+  EXPECT_EQ(lb.instances.size(), n);
+  EXPECT_EQ(lb.g.num_vertices(), 2 * n);
+  EXPECT_EQ(lb.g.num_edges(), n * (3 * lb.k + 1));
+  // every line node comes from the pool, hubs are distinct and outside it
+  std::set<Vertex> hubs;
+  for (const auto& inst : lb.instances) {
+    EXPECT_GE(inst.hub, n);
+    EXPECT_TRUE(hubs.insert(inst.hub).second);
+    EXPECT_EQ(inst.line.size(), 2 * lb.k + 1);
+    for (Vertex v : inst.line) EXPECT_LT(v, n);
+  }
+}
+
+TEST(LowerBoundGraph, PairwiseInstanceIntersectionAtMostOne) {
+  const LowerBoundGraph lb = build_lower_bound_graph(150, 5);
+  for (std::size_t i = 0; i < lb.instances.size(); ++i) {
+    const std::set<Vertex> a(lb.instances[i].line.begin(),
+                             lb.instances[i].line.end());
+    for (std::size_t j = i + 1; j < lb.instances.size(); ++j) {
+      std::size_t shared = 0;
+      for (Vertex v : lb.instances[j].line) shared += a.count(v);
+      EXPECT_LE(shared, 1u) << "instances " << i << "," << j;
+    }
+  }
+}
+
+TEST(LowerBoundGraph, KOverrideRespected) {
+  const LowerBoundGraph lb = build_lower_bound_graph(300, 7, 3);
+  EXPECT_EQ(lb.k, 3u);
+  EXPECT_EQ(lb.g.num_edges(), 300 * 10);
+}
+
+TEST(LowerBoundSpanner, ThreeDistanceAndEdgeBudget) {
+  const LowerBoundGraph lb = build_lower_bound_graph(120, 9, 2);
+  const LowerBoundSpanner spanner = lower_bound_optimal_spanner(lb);
+  EXPECT_EQ(spanner.total_removed, 120 * lb.k);
+  EXPECT_EQ(spanner.h.num_edges(), lb.g.num_edges() - spanner.total_removed);
+  const auto report = measure_distance_stretch(lb.g, spanner.h);
+  EXPECT_TRUE(report.satisfies(3.0)) << "max " << report.max_stretch;
+}
+
+TEST(LowerBoundSpanner, HubRoutingWitnessesCongestionK) {
+  const LowerBoundGraph lb = build_lower_bound_graph(300, 11, 3);
+  const LowerBoundSpanner spanner = lower_bound_optimal_spanner(lb);
+  const auto problem = lower_bound_adversarial_problem(spanner, 0);
+  EXPECT_EQ(problem.size(), lb.k);
+  const Routing direct = Routing::direct_edges(problem);
+  EXPECT_EQ(node_congestion(direct, lb.g.num_vertices()), 1u);
+
+  // The canonical within-instance substitute: k paths through the hub.
+  const Routing hub = lower_bound_hub_routing(lb, 0);
+  EXPECT_TRUE(routing_is_valid(spanner.h, problem, hub));
+  EXPECT_LE(max_path_length(hub), 3u);
+  const auto loads = node_loads(hub, spanner.h.num_vertices());
+  EXPECT_EQ(loads[lb.instances[0].hub], lb.k);
+  EXPECT_EQ(node_congestion(hub, spanner.h.num_vertices()), lb.k);
+}
+
+TEST(LowerBoundSpanner, MinCongestionRoutingBoundedByHubRouting) {
+  // A min-congestion 3-stretch router can only improve on the hub routing
+  // (at finite n, rare cross-instance 3-hop shortcuts exist; asymptotically
+  // they vanish and the optimum is exactly k).
+  const LowerBoundGraph lb = build_lower_bound_graph(300, 11, 3);
+  const LowerBoundSpanner spanner = lower_bound_optimal_spanner(lb);
+  const auto problem = lower_bound_adversarial_problem(spanner, 0);
+  const Routing sub = min_congestion_short_routing(spanner.h, problem, 3);
+  EXPECT_TRUE(routing_is_valid(spanner.h, problem, sub));
+  const std::size_t c = node_congestion(sub, spanner.h.num_vertices());
+  EXPECT_GE(c, 1u);
+  EXPECT_LE(c, lb.k);
+}
+
+// Brute-force optimality of the Lemma 18 removal: enumerates all subsets
+// of removed edges and confirms (a) some k-subset keeps the 3-distance
+// property (the per-face removal), and (b) NO (k+1)-subset does — i.e. the
+// optimal 3-spanner of the fan gadget has exactly |E| − k edges.
+TEST(FanSpanner, Lemma18RemovalIsExactlyOptimal_BruteForce) {
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const FanGadget fan = fan_gadget(k);
+    const auto edges = fan.g.edges();
+    const std::size_t m = edges.size();
+    ASSERT_LE(m, 16u);
+
+    auto is_3_spanner = [&](std::uint32_t removed_mask) {
+      std::vector<Edge> kept;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!(removed_mask & (1u << i))) kept.push_back(edges[i]);
+      }
+      const Graph h = Graph::from_edges(fan.g.num_vertices(), kept);
+      return measure_distance_stretch(fan.g, h, 4).satisfies(3.0);
+    };
+
+    // max removable edge count over all subsets (m ≤ 16 → ≤ 65536 subsets,
+    // but prune: only iterate subsets of size ≤ k+1)
+    std::size_t best_removable = 0;
+    for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+      const auto bits =
+          static_cast<std::size_t>(__builtin_popcount(mask));
+      if (bits <= best_removable || bits > k + 1) continue;
+      if (is_3_spanner(mask)) best_removable = bits;
+    }
+    EXPECT_EQ(best_removable, k) << "k=" << k;
+  }
+}
+
+TEST(AllPathsUpTo, EnumeratesExactly) {
+  // square 0-1-2-3: paths 0→2 within 3 hops: via 1 and via 3 (length 2).
+  const Graph g = cycle_graph(4);
+  const auto paths = all_paths_up_to(g, 0, 2, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 2u);
+    EXPECT_LE(path_length(p), 3u);
+  }
+}
+
+TEST(AllPathsUpTo, RespectsLengthBound) {
+  const Graph g = cycle_graph(8);
+  EXPECT_TRUE(all_paths_up_to(g, 0, 4, 3).empty());
+  EXPECT_EQ(all_paths_up_to(g, 0, 4, 4).size(), 2u);
+  // direct neighbors: length-1 path plus the length-7 way around excluded
+  EXPECT_EQ(all_paths_up_to(g, 0, 1, 3).size(), 1u);
+}
+
+TEST(AllPathsUpTo, PathsAreSimple) {
+  const Graph g = complete_graph(5);
+  for (const auto& p : all_paths_up_to(g, 0, 4, 3)) {
+    std::set<Vertex> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), p.size());
+  }
+  // K_5: 0→4 paths: length1: 1, length2: 3, length3: 3·2=6 → 10 total.
+  EXPECT_EQ(all_paths_up_to(g, 0, 4, 3).size(), 10u);
+}
+
+TEST(MinCongestionShortRouting, ThrowsWhenNoShortPath) {
+  const Graph g = path_graph(6);
+  RoutingProblem problem;
+  problem.pairs = {{0, 5}};
+  EXPECT_THROW(min_congestion_short_routing(g, problem, 3),
+               std::invalid_argument);
+}
+
+TEST(MinCongestionShortRouting, BalancesAcrossDetours) {
+  // Two parallel 2-detours between 0 and 3 (via 1 and via 2) and two pairs
+  // demanding 0→3: the greedy routing should use both.
+  const Graph g =
+      Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  RoutingProblem problem;
+  problem.pairs = {{0, 3}, {0, 3}};
+  const Routing r = min_congestion_short_routing(g, problem, 2);
+  ASSERT_EQ(r.paths.size(), 2u);
+  EXPECT_NE(r.paths[0][1], r.paths[1][1]);
+}
+
+}  // namespace
+}  // namespace dcs

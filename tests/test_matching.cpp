@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "routing/matching.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(BipartiteMatching, PerfectMatchingOnBipartiteClique) {
+  // K_{3,3} embedded in 6 vertices: left {0,1,2}, right {3,4,5}.
+  std::vector<Edge> edges;
+  for (Vertex l = 0; l < 3; ++l) {
+    for (Vertex r = 3; r < 6; ++r) edges.push_back({l, r});
+  }
+  const Graph g = Graph::from_edges(6, edges);
+  const std::vector<Vertex> left{0, 1, 2};
+  const std::vector<Vertex> right{3, 4, 5};
+  const auto m = maximum_bipartite_matching(g, left, right);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(is_matching_in_graph(g, m));
+}
+
+TEST(BipartiteMatching, AugmentingPathRequired) {
+  // left 0,1 ; right 2,3 ; edges 0-2, 0-3, 1-2. Greedy picking 0-2 first
+  // must be undone via an augmenting path to reach size 2.
+  const std::vector<Edge> edges{{0, 2}, {0, 3}, {1, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  const std::vector<Vertex> left{0, 1};
+  const std::vector<Vertex> right{2, 3};
+  const auto m = maximum_bipartite_matching(g, left, right);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(is_matching_in_graph(g, m));
+}
+
+TEST(BipartiteMatching, NoEdgesMeansEmpty) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}});
+  const std::vector<Vertex> left{0};
+  const std::vector<Vertex> right{2, 3};
+  EXPECT_TRUE(maximum_bipartite_matching(g, left, right).empty());
+}
+
+TEST(BipartiteMatching, OverlappingSetsStayNodeDisjoint) {
+  // left and right share vertices; the result must still use each graph
+  // vertex at most once.
+  const Graph g = complete_graph(8);
+  const std::vector<Vertex> left{0, 1, 2, 3, 4};
+  const std::vector<Vertex> right{3, 4, 5, 6, 7};
+  const auto m = maximum_bipartite_matching(g, left, right);
+  EXPECT_TRUE(is_matching_in_graph(g, m));
+  std::set<Vertex> used;
+  for (Edge e : m) {
+    EXPECT_TRUE(used.insert(e.u).second);
+    EXPECT_TRUE(used.insert(e.v).second);
+  }
+  EXPECT_GE(m.size(), 3u);
+}
+
+TEST(BipartiteMatching, NeighborhoodMatchingOnExpander) {
+  // Lemma 4 setting: matching between N(u) and N(v) on a random regular
+  // graph is nearly perfect (size ≥ Δ(1 − λn/Δ²) — here just check it is
+  // a large fraction of Δ).
+  const std::size_t n = 200, delta = 40;
+  const Graph g = random_regular(n, delta, 17);
+  const Vertex u = 0;
+  const Vertex v = g.neighbors(0)[0];
+  std::vector<Vertex> nu(g.neighbors(u).begin(), g.neighbors(u).end());
+  std::vector<Vertex> nv(g.neighbors(v).begin(), g.neighbors(v).end());
+  const auto m = maximum_bipartite_matching(g, nu, nv);
+  EXPECT_TRUE(is_matching_in_graph(g, m));
+  EXPECT_GE(m.size(), delta / 2);
+}
+
+TEST(GreedyMaximalMatching, IsMaximalMatching) {
+  const Graph g = random_regular(80, 6, 4);
+  const auto m = greedy_maximal_matching(g, 9);
+  EXPECT_TRUE(is_matching_in_graph(g, m));
+  // Maximality: every edge of g touches a matched vertex.
+  std::set<Vertex> used;
+  for (Edge e : m) {
+    used.insert(e.u);
+    used.insert(e.v);
+  }
+  for (Edge e : g.edges()) {
+    EXPECT_TRUE(used.count(e.u) > 0 || used.count(e.v) > 0);
+  }
+}
+
+TEST(GreedyMaximalMatching, DeterministicPerSeed) {
+  const Graph g = random_regular(40, 5, 2);
+  EXPECT_EQ(greedy_maximal_matching(g, 7), greedy_maximal_matching(g, 7));
+}
+
+TEST(IsMatchingInGraph, DetectsViolations) {
+  const Graph g = path_graph(5);
+  EXPECT_TRUE(is_matching_in_graph(g, std::vector<Edge>{{0, 1}, {2, 3}}));
+  // shared vertex
+  EXPECT_FALSE(is_matching_in_graph(g, std::vector<Edge>{{0, 1}, {1, 2}}));
+  // non-edge
+  EXPECT_FALSE(is_matching_in_graph(g, std::vector<Edge>{{0, 2}}));
+}
+
+}  // namespace
+}  // namespace dcs

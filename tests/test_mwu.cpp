@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "routing/mwu_routing.hpp"
+#include "routing/rerouting.hpp"
+#include "routing/workloads.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(NodeCostPath, PrefersCheapNodes) {
+  // square 0-1-2-3; 0→2 via 1 (cheap) or 3 (expensive)
+  const Graph g = cycle_graph(4);
+  std::vector<double> cost{1.0, 1.0, 1.0, 100.0};
+  const Path p = node_cost_shortest_path(g, 0, 2, cost);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 1u);
+}
+
+TEST(NodeCostPath, TiesBrokenByHops) {
+  // path of uniform costs: must take the 1-hop direct edge, not detours
+  const Graph g = complete_graph(5);
+  std::vector<double> cost(5, 1.0);
+  EXPECT_EQ(node_cost_shortest_path(g, 0, 4, cost), (Path{0, 4}));
+}
+
+TEST(NodeCostPath, UnreachableEmpty) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  std::vector<double> cost(4, 1.0);
+  EXPECT_TRUE(node_cost_shortest_path(g, 0, 3, cost).empty());
+}
+
+TEST(NodeCostPath, ValidatesInput) {
+  const Graph g = path_graph(3);
+  std::vector<double> short_cost(2, 1.0);
+  EXPECT_THROW(node_cost_shortest_path(g, 0, 2, short_cost),
+               std::invalid_argument);
+}
+
+TEST(Mwu, SolvesTheParallelDetourInstanceOptimally) {
+  // cycle of 4: two 0→2 demands; optimum splits over 1 and 3.
+  const Graph g = cycle_graph(4);
+  RoutingProblem problem;
+  problem.pairs = {{0, 2}, {0, 2}};
+  const auto result = mwu_min_congestion(g, problem, {.seed = 3});
+  EXPECT_EQ(result.final_congestion, 2u);  // endpoints are always shared
+  EXPECT_NE(result.routing.paths[0][1], result.routing.paths[1][1]);
+}
+
+TEST(Mwu, NeverWorseThanInitialRouting) {
+  const Graph g = random_regular(100, 6, 5);
+  const auto problem = random_pairs_problem(100, 150, 7);
+  const auto result = mwu_min_congestion(g, problem, {.seed = 9});
+  EXPECT_LE(result.final_congestion, result.initial_congestion);
+  EXPECT_TRUE(routing_is_valid(g, problem, result.routing));
+  EXPECT_EQ(result.final_congestion,
+            node_congestion(result.routing, g.num_vertices()));
+}
+
+TEST(Mwu, ImprovesCongestedTorusWorkload) {
+  // On a sparse torus, many random demands collide under shortest paths;
+  // MWU should find a measurably better routing.
+  const Graph g = torus_2d(8, 8);
+  const auto problem = random_pairs_problem(64, 120, 11);
+  MwuOptions o;
+  o.seed = 13;
+  o.rounds = 15;
+  const auto result = mwu_min_congestion(g, problem, o);
+  EXPECT_LT(result.final_congestion, result.initial_congestion);
+}
+
+TEST(Mwu, StretchBudgetRespected) {
+  const Graph g = torus_2d(6, 6);
+  const auto problem = random_pairs_problem(36, 50, 17);
+  MwuOptions o;
+  o.seed = 19;
+  o.stretch_budget = 2.0;
+  const auto result = mwu_min_congestion(g, problem, o);
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const auto [s, t] = problem.pairs[i];
+    EXPECT_LE(path_length(result.routing.paths[i]),
+              2 * bfs_distance(g, s, t));
+  }
+}
+
+TEST(Mwu, ComparableOrBetterThanLocalSearch) {
+  const Graph g = torus_2d(8, 8);
+  const auto problem = random_pairs_problem(64, 150, 21);
+  const auto mwu = mwu_min_congestion(g, problem, {.seed = 23});
+  MinimizeCongestionOptions lo;
+  lo.seed = 23;
+  const auto local = minimize_congestion(g, problem, lo);
+  // MWU should be competitive (allow a small slack — both are heuristics).
+  EXPECT_LE(mwu.final_congestion, local.final_congestion + 2);
+}
+
+TEST(Mwu, EmptyProblem) {
+  const Graph g = path_graph(3);
+  const auto result = mwu_min_congestion(g, RoutingProblem{}, {});
+  EXPECT_EQ(result.final_congestion, 0u);
+  EXPECT_TRUE(result.routing.paths.empty());
+}
+
+TEST(Mwu, DisconnectedPairThrows) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  RoutingProblem problem;
+  problem.pairs = {{0, 3}};
+  EXPECT_THROW(mwu_min_congestion(g, problem, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/regular_spanner.hpp"
+#include "core/router.hpp"
+#include "graph/generators.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/workloads.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(PacketSim, EmptyRoutingDeliversImmediately) {
+  const Graph g = path_graph(3);
+  Routing r;
+  const auto result = simulate_store_and_forward(g, r);
+  EXPECT_EQ(result.makespan, 0u);
+  EXPECT_EQ(result.max_queue, 0u);
+}
+
+TEST(PacketSim, SinglePacketTakesDilationRounds) {
+  const Graph g = path_graph(6);
+  Routing r;
+  r.paths = {{0, 1, 2, 3, 4, 5}};
+  const auto result = simulate_store_and_forward(g, r);
+  EXPECT_EQ(result.makespan, 5u);
+  EXPECT_EQ(result.dilation, 5u);
+  EXPECT_EQ(result.latency[0], 5u);
+  EXPECT_EQ(result.max_queue, 1u);
+}
+
+TEST(PacketSim, ZeroLengthPathsDeliverAtRoundZero) {
+  const Graph g = path_graph(3);
+  Routing r;
+  r.paths = {{1}, {0, 1}};
+  const auto result = simulate_store_and_forward(g, r);
+  EXPECT_EQ(result.latency[0], 0u);
+  EXPECT_EQ(result.latency[1], 1u);
+}
+
+TEST(PacketSim, SharedRelaySerializesPackets) {
+  // Star: leaves 1..5 all send to leaf 5's... all packets must cross the
+  // hub 0, which forwards one per round.
+  GraphBuilder b(7);
+  for (Vertex v = 1; v <= 6; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  Routing r;
+  for (Vertex v = 1; v <= 5; ++v) {
+    r.paths.push_back(Path{v, 0, 6});
+  }
+  const auto result = simulate_store_and_forward(g, r);
+  // round 1: all arrive at hub; rounds 2..6: hub forwards one per round.
+  EXPECT_EQ(result.makespan, 6u);
+  EXPECT_GE(result.max_queue, 4u);  // hub queue after the first hop
+  EXPECT_GE(result.makespan,
+            PacketSimResult::lower_bound(5, result.dilation));
+}
+
+TEST(PacketSim, MakespanRespectsUniversalLowerBound) {
+  const Graph g = random_regular(80, 8, 3);
+  const auto problem = random_permutation_problem(80, 5);
+  const Routing p = shortest_path_routing(g, problem, 7);
+  const auto result = simulate_store_and_forward(g, p);
+  const std::size_t congestion = node_congestion(p, 80);
+  EXPECT_GE(result.makespan,
+            PacketSimResult::lower_bound(congestion, result.dilation));
+  // FIFO on shortest paths stays within C·D.
+  EXPECT_LE(result.makespan, congestion * (result.dilation + 1));
+}
+
+TEST(PacketSim, RejectsInvalidPaths) {
+  const Graph g = path_graph(4);
+  Routing r;
+  r.paths = {{0, 2}};  // non-edge
+  EXPECT_THROW(simulate_store_and_forward(g, r), std::invalid_argument);
+}
+
+TEST(PacketSim, DeterministicPerSeed) {
+  const Graph g = hypercube(5);
+  const auto problem = random_permutation_problem(32, 9);
+  const Routing p = shortest_path_routing(g, problem, 11);
+  PacketSimOptions o;
+  o.seed = 13;
+  const auto a = simulate_store_and_forward(g, p, o);
+  const auto b = simulate_store_and_forward(g, p, o);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.latency, b.latency);
+}
+
+TEST(PacketSim, LowerCongestionRoutingDeliversFaster) {
+  // The paper's motivating claim, end to end: same problem, two routings —
+  // one funneled through a single relay, one spread over detours — the
+  // spread routing has a smaller makespan.
+  GraphBuilder b(12);
+  // sources 0..3, sinks 8..11, relays 4..7, complete bipartite wiring
+  for (Vertex s = 0; s <= 3; ++s) {
+    for (Vertex relay = 4; relay <= 7; ++relay) {
+      b.add_edge(s, relay);
+      b.add_edge(relay, static_cast<Vertex>(s + 8));
+    }
+  }
+  const Graph g = b.build();
+  Routing funneled, spread;
+  for (Vertex s = 0; s <= 3; ++s) {
+    funneled.paths.push_back(Path{s, 4, static_cast<Vertex>(s + 8)});
+    spread.paths.push_back(
+        Path{s, static_cast<Vertex>(4 + s), static_cast<Vertex>(s + 8)});
+  }
+  const auto slow = simulate_store_and_forward(g, funneled);
+  const auto fast = simulate_store_and_forward(g, spread);
+  EXPECT_LT(fast.makespan, slow.makespan);
+  EXPECT_EQ(fast.makespan, 2u);  // fully parallel
+  EXPECT_LT(fast.max_queue, slow.max_queue);
+}
+
+TEST(PacketSim, SpannerRoutingLatencyTracksCongestion) {
+  const Graph g = random_regular(100, 26, 17);
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  DetourRouter router(built.spanner.h, built.sampled);
+  const auto matching = random_matching_problem(g, 19);
+  const Routing sub = route_problem(router, matching, 23);
+  const auto result = simulate_store_and_forward(built.spanner.h, sub);
+  const std::size_t congestion =
+      node_congestion(sub, built.spanner.h.num_vertices());
+  EXPECT_GE(result.makespan,
+            PacketSimResult::lower_bound(congestion, result.dilation));
+  EXPECT_LE(result.makespan, congestion * (result.dilation + 1));
+}
+
+}  // namespace
+}  // namespace dcs

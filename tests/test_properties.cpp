@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+// Property-based sweeps: the library's core invariants checked across many
+// randomly generated instances (parameterized over seeds and densities).
+
+#include <cmath>
+#include <set>
+
+#include <sstream>
+
+#include "core/expander_spanner.hpp"
+#include "core/matching_decomposition.hpp"
+#include "core/regular_spanner.hpp"
+#include "core/router.hpp"
+#include "core/support.hpp"
+#include "core/verifier.hpp"
+#include "core/weighted_spanners.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "routing/edge_coloring.hpp"
+#include "routing/matching.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/workloads.hpp"
+#include "spectral/cheeger.hpp"
+
+namespace dcs {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(SeedSweep, RegularSpannerInvariants) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(90, 24, seed);
+  const auto r = build_regular_spanner(g, {.seed = seed});
+  // (1) subgraph; (2) stretch ≤ 3; (3) stats consistent; (4) connected.
+  EXPECT_TRUE(g.contains_subgraph(r.spanner.h));
+  EXPECT_TRUE(measure_distance_stretch(g, r.spanner.h).satisfies(3.0));
+  EXPECT_EQ(r.spanner.stats.spanner_edges, r.spanner.h.num_edges());
+  EXPECT_TRUE(is_connected(r.spanner.h));
+}
+
+TEST_P(SeedSweep, ExpanderSpannerInvariants) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(120, 36, seed ^ 0xabc);
+  ExpanderSpannerOptions o;
+  o.seed = seed;
+  const auto r = build_expander_spanner(g, o);
+  EXPECT_TRUE(g.contains_subgraph(r.spanner.h));
+  EXPECT_TRUE(measure_distance_stretch(g, r.spanner.h).satisfies(3.0));
+}
+
+TEST_P(SeedSweep, SubstituteRoutingPreservesEndpointsAndValidity) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 80;
+  const Graph g = random_regular(n, 20, seed ^ 0x123);
+  const auto built = build_regular_spanner(g, {.seed = seed});
+  DetourRouter router(built.spanner.h, built.sampled);
+
+  const auto problem = random_pairs_problem(n, 50, seed);
+  const Routing p = shortest_path_routing(g, problem, seed + 1);
+  const auto report = measure_general_congestion(
+      g, built.spanner.h, p, router, seed + 2);
+  // measure_general_congestion already validates; also check the envelope
+  // l(p') ≤ 3·l(p) per path.
+  EXPECT_LE(report.max_length_ratio, 3.0 + 1e-9);
+}
+
+TEST_P(SeedSweep, MatchingCongestionBoundedByDetourDegree) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(100, 30, seed ^ 0x777);
+  const auto built = build_regular_spanner(g, {.seed = seed});
+  DetourRouter router(built.spanner.h, built.sampled);
+  const auto matching = random_matching_problem(g, seed);
+  const auto report = measure_matching_congestion(
+      g, built.spanner.h, matching, router, seed + 5);
+  // Lemma 17: ≤ 1 + max-degree(G') with the detour graph = G'.
+  EXPECT_LE(report.spanner_congestion,
+            1 + built.sampled.max_degree() + built.spanner.h.max_degree());
+}
+
+TEST_P(SeedSweep, EdgeColoringVizingAcrossDensities) {
+  const std::uint64_t seed = GetParam();
+  for (double p : {0.05, 0.2, 0.5}) {
+    const Graph g = erdos_renyi(40, p, seed * 31 + static_cast<int>(p * 10));
+    const auto coloring = misra_gries_edge_coloring(g);
+    EXPECT_TRUE(edge_coloring_is_proper(g, coloring));
+    EXPECT_LE(coloring.num_colors, static_cast<int>(g.max_degree()) + 1);
+  }
+}
+
+TEST_P(SeedSweep, HopcroftKarpMatchesGreedyLowerBound) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = erdos_renyi(60, 0.15, seed * 7);
+  // split vertices into two halves
+  std::vector<Vertex> left, right;
+  for (Vertex v = 0; v < 60; ++v) {
+    (v < 30 ? left : right).push_back(v);
+  }
+  const auto matching = maximum_bipartite_matching(g, left, right);
+  EXPECT_TRUE(is_matching_in_graph(g, matching));
+  // maximum matching ≥ any greedy matching restricted to cross edges
+  std::set<Vertex> used;
+  std::size_t greedy = 0;
+  for (Edge e : g.edges()) {
+    const bool cross = (e.u < 30) != (e.v < 30);
+    if (cross && used.count(e.u) == 0 && used.count(e.v) == 0) {
+      used.insert(e.u);
+      used.insert(e.v);
+      ++greedy;
+    }
+  }
+  EXPECT_GE(matching.size(), greedy / 1);  // HK is optimal, greedy ≥ 1/2 OPT
+  EXPECT_GE(2 * matching.size(), greedy);
+}
+
+TEST_P(SeedSweep, SupportMonotoneInThresholds) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(60, 16, seed ^ 0x9999);
+  Rng rng(seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto u = static_cast<Vertex>(rng.uniform(60));
+    const auto nb = g.neighbors(u);
+    const Vertex v = nb[rng.uniform(nb.size())];
+    // (a,b)-support is antitone in both a and b.
+    for (std::size_t a = 1; a <= 4; ++a) {
+      for (std::size_t b = 1; b <= 4; ++b) {
+        if (is_ab_supported_toward(g, u, v, a + 1, b)) {
+          EXPECT_TRUE(is_ab_supported_toward(g, u, v, a, b));
+        }
+        if (is_ab_supported_toward(g, u, v, a, b + 1)) {
+          EXPECT_TRUE(is_ab_supported_toward(g, u, v, a, b));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, ShortestPathRoutingAchievesExactDistances) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(70, 6, seed ^ 0x4242);
+  const auto problem = random_pairs_problem(70, 30, seed);
+  const Routing p = shortest_path_routing(g, problem, seed);
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const auto [s, t] = problem.pairs[i];
+    EXPECT_EQ(path_length(p.paths[i]), bfs_distance(g, s, t));
+  }
+}
+
+TEST_P(SeedSweep, NodeCongestionEqualsManualCount) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(50, 8, seed ^ 0x3131);
+  const auto problem = random_pairs_problem(50, 40, seed);
+  const Routing p = shortest_path_routing(g, problem, seed);
+  const auto loads = node_loads(p, 50);
+  std::vector<std::size_t> manual(50, 0);
+  for (const auto& path : p.paths) {
+    std::set<Vertex> once(path.begin(), path.end());
+    for (Vertex v : once) ++manual[v];
+  }
+  for (Vertex v = 0; v < 50; ++v) EXPECT_EQ(loads[v], manual[v]);
+}
+
+TEST_P(SeedSweep, IoRoundTripOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = erdos_renyi(50, 0.1 + 0.02 * static_cast<double>(seed % 5),
+                              seed * 17);
+  std::stringstream plain, metis;
+  write_graph(plain, g);
+  write_metis(metis, g);
+  EXPECT_EQ(read_graph(plain), g);
+  EXPECT_EQ(read_metis(metis), g);
+}
+
+TEST_P(SeedSweep, WeightedBsOnUnitWeightsMatchesUnweightedGuarantee) {
+  const std::uint64_t seed = GetParam();
+  const Graph base = random_regular(80, 10, seed ^ 0x1234);
+  const auto g = WeightedGraph::from_unweighted(base);
+  const auto h = weighted_baswana_sen_spanner(g, 2, seed);
+  EXPECT_LE(weighted_edge_stretch(g, h), 3.0 + 1e-9);
+  // and the unweighted view is a 3-spanner of the base graph
+  EXPECT_TRUE(measure_distance_stretch(base, h.unweighted()).satisfies(3.0));
+}
+
+TEST_P(SeedSweep, DecompositionHandlesWalksWithRepeatedEdges) {
+  // Substitute paths from routers can themselves be walks; Algorithm 2
+  // must cope with input paths that traverse an edge twice.
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(30, 6, seed ^ 0x4444);
+  Routing p;
+  // build out-and-back walks: s → x → s → y
+  Rng rng(seed);
+  for (int i = 0; i < 8; ++i) {
+    const auto s = static_cast<Vertex>(rng.uniform(30));
+    const auto nb = g.neighbors(s);
+    const Vertex x = nb[rng.uniform(nb.size())];
+    Vertex y = nb[rng.uniform(nb.size())];
+    if (y == x && nb.size() > 1) y = nb[(rng.uniform(nb.size() - 1) + 1) % nb.size()];
+    if (y == x) continue;
+    p.paths.push_back(Path{s, x, s, y});
+  }
+  auto identity = [](const RoutingProblem& problem, std::uint64_t) {
+    return Routing::direct_edges(problem);
+  };
+  const auto sub =
+      substitute_routing_via_matchings(30, p, identity, seed + 1);
+  ASSERT_EQ(sub.routing.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(sub.routing.paths[i].front(), p.paths[i].front());
+    EXPECT_EQ(sub.routing.paths[i].back(), p.paths[i].back());
+  }
+}
+
+TEST_P(SeedSweep, PacketSimLatencyDominatedByCongestionTimesDilation) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(60, 8, seed ^ 0x2468);
+  const auto problem = random_pairs_problem(60, 50, seed);
+  const Routing p = shortest_path_routing(g, problem, seed + 1);
+  const auto sim = simulate_store_and_forward(g, p, {.seed = seed + 2});
+  const std::size_t c = node_congestion(p, 60);
+  EXPECT_GE(sim.makespan, PacketSimResult::lower_bound(c, sim.dilation));
+  EXPECT_LE(sim.makespan, c * (sim.dilation + 1));
+}
+
+TEST_P(SeedSweep, SweepCutNeverBeatsExactCutsItContains) {
+  // the sweep-cut conductance is an upper bound on φ and must be
+  // reproducible via cut_conductance on its own cut side
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(80, 6, seed ^ 0x8642);
+  const auto sweep = sweep_cut_conductance(g, 200, seed);
+  ASSERT_FALSE(sweep.cut_side.empty());
+  EXPECT_NEAR(cut_conductance(g, sweep.cut_side), sweep.conductance, 1e-9);
+}
+
+TEST_P(SeedSweep, DetoursAreAlwaysRealPaths) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(60, 12, seed ^ 0x5150);
+  Rng rng(seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto u = static_cast<Vertex>(rng.uniform(60));
+    auto v = static_cast<Vertex>(rng.uniform(60));
+    if (u == v) continue;
+    for (const auto& d : find_3detours(g, u, v, 10)) {
+      EXPECT_TRUE(g.has_edge(u, d.x));
+      EXPECT_TRUE(g.has_edge(d.x, d.z));
+      EXPECT_TRUE(g.has_edge(d.z, v));
+      EXPECT_NE(d.x, v);
+      EXPECT_NE(d.z, u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/ramanujan.hpp"
+#include "spectral/expansion.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(NumberTheory, IsPrime) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(13));
+  EXPECT_FALSE(is_prime(15));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7·13
+}
+
+TEST(NumberTheory, LegendreSymbol) {
+  // squares mod 13: 1,4,9,3,12,10
+  EXPECT_EQ(legendre_symbol(4, 13), 1u);
+  EXPECT_EQ(legendre_symbol(3, 13), 1u);
+  EXPECT_EQ(legendre_symbol(2, 13), 12u);  // ≡ −1: non-residue
+  EXPECT_EQ(legendre_symbol(5, 13), 12u);
+}
+
+TEST(LpsGraph, ValidatesArguments) {
+  EXPECT_THROW(lps_ramanujan_graph(4, 13), std::invalid_argument);   // not prime
+  EXPECT_THROW(lps_ramanujan_graph(7, 13), std::invalid_argument);   // 7 ≡ 3 (4)
+  EXPECT_THROW(lps_ramanujan_graph(5, 7), std::invalid_argument);    // 7 ≡ 3 (4)
+  EXPECT_THROW(lps_ramanujan_graph(5, 5), std::invalid_argument);    // p == q
+  EXPECT_THROW(lps_ramanujan_graph(13, 5), std::invalid_argument);   // q ≤ 2√p
+}
+
+// BFS 2-coloring test for bipartiteness.
+bool is_bipartite(const Graph& g) {
+  std::vector<int> color(g.num_vertices(), -1);
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    std::vector<Vertex> stack{start};
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (Vertex v : g.neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = 1 - color[u];
+          stack.push_back(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(LpsGraph, X5_13IsTheBipartitePglGraph) {
+  // 5 is a non-residue mod 13, so X^{5,13} is the bipartite Cayley graph
+  // of the full PGL(2,13).
+  const LpsGraph lps = lps_ramanujan_graph(5, 13);
+  EXPECT_FALSE(lps.is_psl);
+  EXPECT_EQ(lps.graph.num_vertices(), 13u * (13 * 13 - 1));  // 2184
+  EXPECT_TRUE(lps.graph.is_regular());
+  EXPECT_EQ(lps.graph.min_degree(), 6u);  // p + 1
+  EXPECT_EQ(lps.self_loops, 0u);
+  EXPECT_EQ(lps.multi_edges, 0u);
+  EXPECT_TRUE(is_connected(lps.graph));
+  EXPECT_TRUE(is_bipartite(lps.graph));
+  // bipartite: λ_n = −(p+1), so the paper's expansion measure saturates
+  const auto est = estimate_expansion(lps.graph, 100, 3);
+  EXPECT_NEAR(est.lambda, 6.0, 0.01);
+}
+
+TEST(LpsGraph, RamanujanBoundHoldsOnPslInstance) {
+  // 5 is a QR mod 29 (11² ≡ 5), so X^{5,29} is the non-bipartite PSL graph
+  // and every non-principal eigenvalue obeys |λ| ≤ 2√p.
+  const LpsGraph lps = lps_ramanujan_graph(5, 29);
+  EXPECT_TRUE(lps.is_psl);
+  EXPECT_EQ(lps.graph.num_vertices(), 29u * (29 * 29 - 1) / 2);  // 12180
+  EXPECT_FALSE(is_bipartite(lps.graph));
+  const auto est = estimate_expansion(lps.graph, 120, 3);
+  const double bound = 2.0 * std::sqrt(5.0);
+  EXPECT_LE(est.lambda, bound + 0.05)
+      << "λ = " << est.lambda << " exceeds the Ramanujan bound " << bound;
+  EXPECT_NEAR(est.lambda1, 6.0, 1e-9);
+}
+
+TEST(LpsGraph, X13_17HasDegreeFourteen) {
+  const LpsGraph lps = lps_ramanujan_graph(13, 17);
+  EXPECT_TRUE(lps.graph.is_regular());
+  EXPECT_EQ(lps.graph.min_degree(), 14u);
+  EXPECT_TRUE(is_connected(lps.graph));
+  const std::size_t psl_order = 17 * (17 * 17 - 1) / 2;  // 2448
+  const std::size_t pgl_order = 17 * (17 * 17 - 1);
+  EXPECT_TRUE(lps.graph.num_vertices() == psl_order ||
+              lps.graph.num_vertices() == pgl_order);
+  const auto est = estimate_expansion(lps.graph, 100, 5);
+  EXPECT_LE(est.lambda, 2.0 * std::sqrt(13.0) + 0.1);
+}
+
+TEST(LpsGraph, PslVsPglMatchesLegendreSymbol) {
+  const LpsGraph lps = lps_ramanujan_graph(5, 13);
+  EXPECT_EQ(lps.is_psl, legendre_symbol(5, 13) == 1);
+}
+
+}  // namespace
+}  // namespace dcs

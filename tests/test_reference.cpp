@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+// Cross-checks of optimized implementations against naive reference
+// implementations on small random instances: Floyd–Warshall vs BFS,
+// brute-force matching vs Hopcroft–Karp, recursive path enumeration vs the
+// iterative DFS, dense Jacobi vs Lanczos, and manual congestion counting.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/lower_bound.hpp"
+#include "core/verifier.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "routing/matching.hpp"
+#include "spectral/dense.hpp"
+#include "spectral/expansion.hpp"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference implementations
+// ---------------------------------------------------------------------
+
+std::vector<std::vector<std::size_t>> floyd_warshall(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t inf = static_cast<std::size_t>(-1) / 4;
+  std::vector<std::vector<std::size_t>> d(n,
+                                          std::vector<std::size_t>(n, inf));
+  for (Vertex v = 0; v < n; ++v) d[v][v] = 0;
+  for (Edge e : g.edges()) d[e.u][e.v] = d[e.v][e.u] = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+// brute-force maximum bipartite matching by recursion over left vertices
+std::size_t brute_matching(
+    const std::vector<std::vector<std::size_t>>& adj, std::size_t left,
+    std::vector<bool>& right_used) {
+  if (left == adj.size()) return 0;
+  // skip this left vertex
+  std::size_t best = brute_matching(adj, left + 1, right_used);
+  for (std::size_t r : adj[left]) {
+    if (!right_used[r]) {
+      right_used[r] = true;
+      best = std::max(best,
+                      1 + brute_matching(adj, left + 1, right_used));
+      right_used[r] = false;
+    }
+  }
+  return best;
+}
+
+void collect_paths(const Graph& g, Vertex cur, Vertex t,
+                   std::size_t max_len, Path& current,
+                   std::vector<bool>& used, std::vector<Path>& out) {
+  if (cur == t) {
+    out.push_back(current);
+    return;
+  }
+  if (path_length(current) >= max_len) return;
+  for (Vertex nb : g.neighbors(cur)) {
+    if (used[nb]) continue;
+    used[nb] = true;
+    current.push_back(nb);
+    collect_paths(g, nb, t, max_len, current, used, out);
+    current.pop_back();
+    used[nb] = false;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cross-checks
+// ---------------------------------------------------------------------
+
+class ReferenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(ReferenceSweep, BfsMatchesFloydWarshall) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = erdos_renyi(40, 0.1, seed);
+  const auto fw = floyd_warshall(g);
+  for (Vertex s = 0; s < 40; ++s) {
+    const auto d = bfs_distances(g, s);
+    for (Vertex t = 0; t < 40; ++t) {
+      if (d[t] == kUnreachable) {
+        EXPECT_GT(fw[s][t], 1000u);
+      } else {
+        EXPECT_EQ(static_cast<std::size_t>(d[t]), fw[s][t]);
+      }
+    }
+  }
+}
+
+TEST_P(ReferenceSweep, HopcroftKarpIsMaximum) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = erdos_renyi(16, 0.3, seed ^ 0xa5);
+  const std::vector<Vertex> left{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<Vertex> right{8, 9, 10, 11, 12, 13, 14, 15};
+  const auto hk = maximum_bipartite_matching(g, left, right);
+
+  std::vector<std::vector<std::size_t>> adj(left.size());
+  for (std::size_t l = 0; l < left.size(); ++l) {
+    for (std::size_t r = 0; r < right.size(); ++r) {
+      if (g.has_edge(left[l], right[r])) adj[l].push_back(r);
+    }
+  }
+  std::vector<bool> right_used(right.size(), false);
+  const std::size_t optimum = brute_matching(adj, 0, right_used);
+  EXPECT_EQ(hk.size(), optimum);
+}
+
+TEST_P(ReferenceSweep, AllPathsMatchesRecursiveEnumeration) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = erdos_renyi(12, 0.35, seed ^ 0x77);
+  Rng rng(seed);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = static_cast<Vertex>(rng.uniform(12));
+    auto t = static_cast<Vertex>(rng.uniform(12));
+    if (s == t) continue;
+    const auto fast = all_paths_up_to(g, s, t, 4);
+    Path current{s};
+    std::vector<bool> used(12, false);
+    used[s] = true;
+    std::vector<Path> slow;
+    collect_paths(g, s, t, 4, current, used, slow);
+    auto norm = [](std::vector<Path> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(norm(fast), norm(slow));
+  }
+}
+
+TEST_P(ReferenceSweep, ExactPairwiseStretchMatchesFloydWarshall) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = erdos_renyi(25, 0.3, seed ^ 0x31);
+  // spanner: drop every third edge unless it disconnects pairs — simply
+  // use a greedy 3-spanner subgraph for a meaningful ratio.
+  std::vector<Edge> kept;
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i % 3 != 0) kept.push_back(edges[i]);
+  }
+  const Graph h = Graph::from_edges(25, kept);
+  const auto fg = floyd_warshall(g);
+  const auto fh = floyd_warshall(h);
+  double expected = 0.0;
+  bool disconnected = false;
+  for (Vertex u = 0; u < 25 && !disconnected; ++u) {
+    for (Vertex v = u + 1; v < 25; ++v) {
+      if (fg[u][v] > 1000u || fg[u][v] == 0) continue;
+      if (fh[u][v] > 1000u) {
+        disconnected = true;
+        break;
+      }
+      expected = std::max(expected, static_cast<double>(fh[u][v]) /
+                                        static_cast<double>(fg[u][v]));
+    }
+  }
+  if (disconnected) {
+    EXPECT_THROW(exact_pairwise_stretch(g, h), std::logic_error);
+  } else {
+    EXPECT_DOUBLE_EQ(exact_pairwise_stretch(g, h), expected);
+  }
+}
+
+TEST(DenseEigen, KnownSpectra) {
+  // K_4: eigenvalues {3, −1, −1, −1}
+  const auto ev = dense_symmetric_eigenvalues(adjacency_matrix(
+      complete_graph(4)));
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_NEAR(ev[3], 3.0, 1e-9);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ev[i], -1.0, 1e-9);
+
+  // C_4: eigenvalues {2, 0, 0, −2}
+  const auto cyc = dense_symmetric_eigenvalues(adjacency_matrix(
+      cycle_graph(4)));
+  EXPECT_NEAR(cyc[0], -2.0, 1e-9);
+  EXPECT_NEAR(cyc[1], 0.0, 1e-9);
+  EXPECT_NEAR(cyc[2], 0.0, 1e-9);
+  EXPECT_NEAR(cyc[3], 2.0, 1e-9);
+}
+
+TEST(DenseEigen, RejectsAsymmetric) {
+  DenseMatrix m;
+  m.n = 2;
+  m.a = {0.0, 1.0, 2.0, 0.0};
+  EXPECT_THROW(dense_symmetric_eigenvalues(m), std::invalid_argument);
+}
+
+TEST_P(ReferenceSweep, LanczosExpansionMatchesDenseSpectrum) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(40, 6, seed ^ 0x99);
+  const auto dense = dense_symmetric_eigenvalues(adjacency_matrix(g));
+  ASSERT_EQ(dense.size(), 40u);
+  // λ1 = 6 (regular); expansion λ = max(|λ2|, |λn|)
+  EXPECT_NEAR(dense.back(), 6.0, 1e-8);
+  const double lambda_ref =
+      std::max(std::abs(dense[dense.size() - 2]), std::abs(dense.front()));
+  const auto est = estimate_expansion(g);
+  EXPECT_NEAR(est.lambda, lambda_ref, 0.05);
+}
+
+TEST(DenseEigen, FanGadgetSpectrumSane) {
+  const FanGadget fan = fan_gadget(4);
+  const auto ev = dense_symmetric_eigenvalues(adjacency_matrix(fan.g));
+  EXPECT_EQ(ev.size(), fan.g.num_vertices());
+  // eigenvalue sum = trace = 0; sum of squares = 2|E|
+  double sum = 0.0, squares = 0.0;
+  for (double v : ev) {
+    sum += v;
+    squares += v * v;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-8);
+  EXPECT_NEAR(squares, 2.0 * static_cast<double>(fan.g.num_edges()), 1e-6);
+}
+
+}  // namespace
+}  // namespace dcs

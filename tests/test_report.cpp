@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/regular_spanner.hpp"
+#include "core/report.hpp"
+#include "graph/generators.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(SpannerReport, IdentitySpannerIsPerfect) {
+  const Graph g = random_regular(60, 12, 3);
+  DetourRouter router(g, g);
+  const auto report = make_spanner_report(g, g, router);
+  EXPECT_EQ(report.input_edges, report.spanner_edges);
+  EXPECT_DOUBLE_EQ(report.compression, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+  EXPECT_TRUE(report.connected);
+  EXPECT_LE(report.worst_matching_congestion, 2u);
+  EXPECT_EQ(report.input_table_bits, report.spanner_table_bits);
+  EXPECT_NEAR(report.input_expansion, report.spanner_expansion, 1e-6);
+}
+
+TEST(SpannerReport, Algorithm1SpannerNumbersConsistent) {
+  const Graph g = random_regular(100, 26, 5);
+  const auto built = build_regular_spanner(g, {.seed = 7});
+  DetourRouter router(built.spanner.h, built.sampled);
+  const auto report = make_spanner_report(g, built.spanner.h, router);
+  EXPECT_EQ(report.input_edges, g.num_edges());
+  EXPECT_EQ(report.spanner_edges, built.spanner.h.num_edges());
+  EXPECT_LT(report.compression, 1.0);
+  EXPECT_LE(report.max_stretch, 3.0);
+  EXPECT_GE(report.mean_stretch, 1.0);
+  EXPECT_LE(report.mean_stretch, report.max_stretch);
+  EXPECT_TRUE(report.connected);
+  EXPECT_GE(report.worst_matching_congestion, 1u);
+  EXPECT_LE(report.mean_matching_congestion,
+            static_cast<double>(report.worst_matching_congestion));
+  EXPECT_LT(report.spanner_table_bits, report.input_table_bits);
+}
+
+TEST(SpannerReport, OptionalMeasurementsSkippable) {
+  const Graph g = random_regular(40, 8, 9);
+  DetourRouter router(g, g);
+  SpannerReportOptions o;
+  o.measure_expansion = false;
+  o.measure_tables = false;
+  o.matching_trials = 0;
+  const auto report = make_spanner_report(g, g, router, o);
+  EXPECT_DOUBLE_EQ(report.input_expansion, 0.0);
+  EXPECT_EQ(report.input_table_bits, 0u);
+  EXPECT_EQ(report.worst_matching_congestion, 0u);
+}
+
+TEST(SpannerReport, RejectsNonSubgraph) {
+  const Graph g = cycle_graph(6);
+  const Graph h = complete_graph(6);
+  DetourRouter router(h, h);
+  EXPECT_THROW(make_spanner_report(g, h, router),
+               std::invalid_argument);
+}
+
+TEST(SpannerReport, RenderingContainsKeyMetrics) {
+  const Graph g = random_regular(40, 10, 11);
+  const auto built = build_regular_spanner(g, {.seed = 13});
+  DetourRouter router(built.spanner.h, built.sampled);
+  const auto report = make_spanner_report(g, built.spanner.h, router);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("compression"), std::string::npos);
+  EXPECT_NE(text.find("max distance stretch"), std::string::npos);
+  EXPECT_NE(text.find("worst matching congestion"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs

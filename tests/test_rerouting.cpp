@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "routing/rerouting.hpp"
+#include "routing/workloads.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(LoadAvoidingPath, AvoidsHotNodesWhenPossible) {
+  // square 0-1-2-3: route 0→2 with node 1 hot.
+  const Graph g = cycle_graph(4);
+  std::vector<std::size_t> load(4, 0);
+  load[1] = 5;
+  Rng rng(1);
+  const Path p = load_avoiding_path(g, 0, 2, load, 5, rng);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 3u);
+}
+
+TEST(LoadAvoidingPath, EndpointsExemptFromThreshold) {
+  const Graph g = path_graph(3);
+  std::vector<std::size_t> load{9, 0, 9};
+  Rng rng(2);
+  const Path p = load_avoiding_path(g, 0, 2, load, 1, rng);
+  EXPECT_EQ(p, (Path{0, 1, 2}));
+}
+
+TEST(LoadAvoidingPath, EmptyWhenFullyBlocked) {
+  const Graph g = path_graph(3);
+  std::vector<std::size_t> load{0, 7, 0};
+  Rng rng(3);
+  EXPECT_TRUE(load_avoiding_path(g, 0, 2, load, 7, rng).empty());
+}
+
+TEST(MinimizeCongestion, ImprovesHotSpotWorkload) {
+  // Complete graph, all pairs sharing one source-heavy pattern: shortest
+  // paths are direct edges (congestion small already) — use a different
+  // topology: a cycle with chords where naive shortest paths collide.
+  // Simplest decisive case: K4 minus nothing, many parallel demands 0→1;
+  // direct edge forces congestion = #demands at endpoints (unavoidable),
+  // so use distinct pairs instead: star-like demands across a 3x3 torus.
+  const Graph g = torus_2d(4, 4);
+  const auto problem = random_pairs_problem(16, 60, 5);
+  MinimizeCongestionOptions o;
+  o.seed = 7;
+  const auto result = minimize_congestion(g, problem, o);
+  EXPECT_TRUE(routing_is_valid(g, problem, result.routing));
+  EXPECT_LE(result.final_congestion, result.initial_congestion);
+  EXPECT_EQ(result.final_congestion,
+            node_congestion(result.routing, g.num_vertices()));
+}
+
+TEST(MinimizeCongestion, ActuallyReroutesOnContendedInstance) {
+  // Two disjoint 2-detours between opposite corners of a 4-cycle plus
+  // extra demands: initial randomized shortest paths can collide; the
+  // optimizer must end at the optimum (congestion 2: endpoints shared).
+  const Graph g = cycle_graph(4);
+  RoutingProblem problem;
+  problem.pairs = {{0, 2}, {0, 2}};
+  MinimizeCongestionOptions o;
+  o.seed = 3;
+  const auto result = minimize_congestion(g, problem, o);
+  // optimal: one via 1, one via 3 → congestion 2 at the shared endpoints
+  EXPECT_EQ(result.final_congestion, 2u);
+  EXPECT_NE(result.routing.paths[0][1], result.routing.paths[1][1]);
+}
+
+TEST(MinimizeCongestion, StretchBudgetRespected) {
+  const Graph g = random_regular(60, 6, 9);
+  const auto problem = random_pairs_problem(60, 40, 11);
+  MinimizeCongestionOptions o;
+  o.seed = 13;
+  o.stretch_budget = 2.0;
+  const auto result = minimize_congestion(g, problem, o);
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const auto [s, t] = problem.pairs[i];
+    EXPECT_LE(path_length(result.routing.paths[i]),
+              2 * bfs_distance(g, s, t));
+  }
+}
+
+TEST(MinimizeCongestion, MatchingAlreadyOptimal) {
+  const Graph g = random_regular(40, 8, 15);
+  const auto matching = random_matching_problem(g, 17);
+  const auto result = minimize_congestion(g, matching, {});
+  // shortest path for an adjacent pair is its own edge: congestion 1..2
+  EXPECT_LE(result.final_congestion, 2u);
+}
+
+TEST(MinimizeCongestion, DisconnectedPairThrows) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  RoutingProblem problem;
+  problem.pairs = {{0, 3}};
+  EXPECT_THROW(minimize_congestion(g, problem, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

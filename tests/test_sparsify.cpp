@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sparsify.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/expansion.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(Sparsify, TargetDegreeHit) {
+  const std::size_t n = 300;
+  const Graph g = random_regular(n, 60, 3);
+  SparsifyOptions o;
+  o.target_degree = 12.0;
+  const auto result = uniform_sparsify(g, o);
+  const double avg =
+      2.0 * static_cast<double>(result.spanner.h.num_edges()) /
+      static_cast<double>(n);
+  EXPECT_NEAR(avg, 12.0, 3.0);
+}
+
+TEST(Sparsify, OutputIsConnectedSubgraph) {
+  const Graph g = random_regular(200, 40, 5);
+  SparsifyOptions o;
+  o.target_degree = 8.0;
+  const auto result = uniform_sparsify(g, o);
+  EXPECT_TRUE(g.contains_subgraph(result.spanner.h));
+  EXPECT_TRUE(is_connected(result.spanner.h));
+}
+
+TEST(Sparsify, RepairCountsReported) {
+  // Aggressive sparsification of a sparse graph needs repairs.
+  const Graph g = random_regular(200, 6, 7);
+  SparsifyOptions o;
+  o.target_degree = 1.2;
+  const auto result = uniform_sparsify(g, o);
+  EXPECT_TRUE(is_connected(result.spanner.h));
+  EXPECT_EQ(result.spanner.stats.reinserted_edges, result.repair_edges);
+  EXPECT_GT(result.repair_edges, 0u);
+}
+
+TEST(Sparsify, PreservesExpansionAtLogDegree) {
+  // The [16]-row mechanism: an expander sparsified to Θ(log n) degree stays
+  // an expander (normalized gap bounded away from 1).
+  const std::size_t n = 400;
+  const Graph g = random_regular(n, 80, 9);
+  SparsifyOptions o;
+  o.target_degree = 2.0 * std::log2(static_cast<double>(n));  // ≈ 17
+  const auto result = uniform_sparsify(g, o);
+  const auto est = estimate_expansion(result.spanner.h);
+  EXPECT_LT(est.normalized(), 0.85);
+}
+
+TEST(Sparsify, LogDiameterOutput) {
+  const std::size_t n = 400;
+  const Graph g = random_regular(n, 100, 11);
+  SparsifyOptions o;
+  o.target_degree = 10.0;
+  const auto result = uniform_sparsify(g, o);
+  // O(log n) distance stretch comes from the sparsifier's diameter.
+  EXPECT_LE(diameter_lower_bound(result.spanner.h),
+            4 * static_cast<std::size_t>(std::log2(n)));
+}
+
+TEST(Sparsify, DeterministicPerSeed) {
+  const Graph g = random_regular(100, 20, 13);
+  SparsifyOptions a;
+  a.target_degree = 6.0;
+  a.seed = 42;
+  const auto r1 = uniform_sparsify(g, a);
+  const auto r2 = uniform_sparsify(g, a);
+  EXPECT_EQ(r1.spanner.h, r2.spanner.h);
+}
+
+TEST(Sparsify, RejectsBadArguments) {
+  const Graph g = random_regular(20, 4, 1);
+  SparsifyOptions o;  // target_degree = 0
+  EXPECT_THROW(uniform_sparsify(g, o), std::invalid_argument);
+}
+
+TEST(Sparsify, DisconnectedInputCannotBeRepaired) {
+  const Graph g = Graph::from_edges(
+      6, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  SparsifyOptions o;
+  o.target_degree = 0.5;
+  EXPECT_THROW(uniform_sparsify(g, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

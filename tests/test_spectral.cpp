@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "spectral/expansion.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(Tridiagonal, DiagonalMatrix) {
+  const auto ev = tridiagonal_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_NEAR(ev[0], 1.0, 1e-10);
+  EXPECT_NEAR(ev[1], 2.0, 1e-10);
+  EXPECT_NEAR(ev[2], 3.0, 1e-10);
+}
+
+TEST(Tridiagonal, TwoByTwoExact) {
+  // [[0,1],[1,0]] has eigenvalues ±1
+  const auto ev = tridiagonal_eigenvalues({0.0, 0.0}, {1.0});
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(ev[0], -1.0, 1e-10);
+  EXPECT_NEAR(ev[1], 1.0, 1e-10);
+}
+
+TEST(Tridiagonal, PathLaplacianSpectrumKnown) {
+  // Adjacency of the path P_n: eigenvalues 2cos(kπ/(n+1)), k = 1..n.
+  const std::size_t n = 12;
+  const auto ev =
+      tridiagonal_eigenvalues(std::vector<double>(n, 0.0),
+                              std::vector<double>(n - 1, 1.0));
+  ASSERT_EQ(ev.size(), n);
+  const double pi = std::acos(-1.0);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expect =
+        2.0 * std::cos(static_cast<double>(n + 1 - k) * pi /
+                       static_cast<double>(n + 1));
+    EXPECT_NEAR(ev[k - 1], expect, 1e-8) << "k=" << k;
+  }
+}
+
+namespace {
+MatVec graph_operator(const Graph& g) {
+  return [&g](std::span<const double> x, std::span<double> y) {
+    for (std::size_t u = 0; u < g.num_vertices(); ++u) {
+      double acc = 0.0;
+      for (Vertex v : g.neighbors(static_cast<Vertex>(u))) acc += x[v];
+      y[u] = acc;
+    }
+  };
+}
+}  // namespace
+
+TEST(Lanczos, CompleteGraphSpectrum) {
+  // K_n adjacency: λ₁ = n−1 (once), −1 (n−1 times).
+  const Graph g = complete_graph(10);
+  const auto ev = lanczos_eigenvalues(graph_operator(g), 10);
+  ASSERT_FALSE(ev.empty());
+  EXPECT_NEAR(ev.back(), 9.0, 1e-6);
+  EXPECT_NEAR(ev.front(), -1.0, 1e-6);
+}
+
+TEST(Lanczos, DeflationRemovesTopEigenvector) {
+  const Graph g = complete_graph(12);
+  const std::size_t n = 12;
+  std::vector<double> ones(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<std::vector<double>> deflate{ones};
+  const auto ev =
+      lanczos_eigenvalues(graph_operator(g), n, {}, deflate);
+  // Everything orthogonal to 1 has eigenvalue −1.
+  for (double v : ev) EXPECT_NEAR(v, -1.0, 1e-6);
+}
+
+TEST(Lanczos, PowerIterationFindsDominant) {
+  const Graph g = complete_graph(15);
+  std::vector<double> vec;
+  const double lambda = power_iteration(graph_operator(g), 15, 200, 3, &vec);
+  EXPECT_NEAR(lambda, 14.0, 1e-6);
+  // dominant eigenvector of K_n is all-ones
+  for (double x : vec) EXPECT_NEAR(x, vec[0], 1e-6);
+}
+
+TEST(Expansion, CompleteGraphIsPerfectExpander) {
+  const auto est = estimate_expansion(complete_graph(20));
+  EXPECT_NEAR(est.lambda1, 19.0, 1e-9);
+  EXPECT_NEAR(est.lambda, 1.0, 1e-6);
+  EXPECT_LT(est.normalized(), 0.1);
+}
+
+TEST(Expansion, CycleIsAPoorExpander) {
+  const auto est = estimate_expansion(cycle_graph(64));
+  EXPECT_NEAR(est.lambda1, 2.0, 1e-9);
+  // λ₂ of C_n adjacency is 2cos(2π/n) → 2 as n grows.
+  EXPECT_GT(est.lambda, 1.9);
+  EXPECT_GT(est.normalized(), 0.95);
+}
+
+TEST(Expansion, RandomRegularNearRamanujan) {
+  // Friedman: random Δ-regular graphs have λ ≤ 2√(Δ−1) + o(1) w.h.p.
+  const std::size_t delta = 8;
+  const Graph g = random_regular(300, delta, 5);
+  const auto est = estimate_expansion(g);
+  EXPECT_NEAR(est.lambda1, static_cast<double>(delta), 1e-9);
+  const double ramanujan = 2.0 * std::sqrt(static_cast<double>(delta - 1));
+  EXPECT_LT(est.lambda, ramanujan * 1.25);
+  EXPECT_GT(est.lambda, 1.0);
+}
+
+TEST(Expansion, MargulisExpanderHasGap) {
+  const Graph g = margulis_expander(14);  // 196 vertices
+  const auto est = estimate_expansion(g);
+  EXPECT_LT(est.normalized(), 0.95);
+}
+
+TEST(Expansion, BipartiteStructureShowsNegativeEigenvalue) {
+  // C_8 is bipartite: λ_n = −λ₁ = −2, so expansion λ = 2.
+  const auto est = estimate_expansion(cycle_graph(8));
+  EXPECT_NEAR(est.lambda, 2.0, 1e-6);
+}
+
+TEST(MixingLemma, EdgesBetweenCountsOrderedPairs) {
+  const Graph g = complete_graph(4);
+  const std::vector<Vertex> s{0, 1};
+  const std::vector<Vertex> t{2, 3};
+  EXPECT_EQ(edges_between(g, s, t), 4u);
+  // Overlapping sets double-count internal pairs.
+  const std::vector<Vertex> all{0, 1, 2, 3};
+  EXPECT_EQ(edges_between(g, all, all), 12u);  // 2·|E| ordered pairs
+}
+
+TEST(MixingLemma, HoldsOnRandomRegular) {
+  const std::size_t n = 200, delta = 20;
+  const Graph g = random_regular(n, delta, 11);
+  const auto est = estimate_expansion(g);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vertex> s, t;
+    for (Vertex v = 0; v < n; ++v) {
+      if (rng.bernoulli(0.3)) s.push_back(v);
+      if (rng.bernoulli(0.3)) t.push_back(v);
+    }
+    if (s.empty() || t.empty()) continue;
+    const auto check = mixing_lemma_check(g, est.lambda, s, t);
+    EXPECT_TRUE(check.holds())
+        << "deviation " << check.observed_deviation << " > bound "
+        << check.bound;
+  }
+}
+
+TEST(MixingLemma, RequiresRegularInput) {
+  const Graph g = path_graph(5);
+  const std::vector<Vertex> s{0};
+  EXPECT_THROW(mixing_lemma_check(g, 1.0, s, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(InducedSubgraph, BasicReindexing) {
+  // path 0-1-2-3-4, keep {0, 2, 3}
+  const Graph g = path_graph(5);
+  std::vector<bool> keep{true, false, true, true, false};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);  // only (2,3) survives
+  EXPECT_EQ(sub.to_host.size(), 3u);
+  EXPECT_EQ(sub.to_host[0], 0u);
+  EXPECT_EQ(sub.to_host[1], 2u);
+  EXPECT_EQ(sub.to_host[2], 3u);
+  EXPECT_EQ(sub.from_host[1], kInvalidVertex);
+  EXPECT_EQ(sub.from_host[2], 1u);
+  const Edge host = sub.host_edge(sub.graph.edges()[0]);
+  EXPECT_EQ(host, (Edge{2, 3}));
+}
+
+TEST(InducedSubgraph, KeepAllIsIdentity) {
+  const Graph g = random_regular(30, 4, 1);
+  const auto sub = induced_subgraph(g, std::vector<bool>(30, true));
+  EXPECT_EQ(sub.graph, g);
+}
+
+TEST(InducedSubgraph, KeepNoneIsEmpty) {
+  const Graph g = complete_graph(5);
+  const auto sub = induced_subgraph(g, std::vector<bool>(5, false));
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraph, MaskSizeValidated) {
+  const Graph g = complete_graph(4);
+  EXPECT_THROW(induced_subgraph(g, std::vector<bool>(3, true)),
+               std::invalid_argument);
+}
+
+TEST(InducedSubgraph, EdgeCountMatchesManualCount) {
+  const Graph g = erdos_renyi(50, 0.2, 7);
+  std::vector<bool> keep(50);
+  Rng rng(3);
+  for (std::size_t v = 0; v < 50; ++v) keep[v] = rng.bernoulli(0.6);
+  const auto sub = induced_subgraph(g, keep);
+  std::size_t manual = 0;
+  for (Edge e : g.edges()) {
+    if (keep[e.u] && keep[e.v]) ++manual;
+  }
+  EXPECT_EQ(sub.graph.num_edges(), manual);
+  // every sub edge maps back to a real host edge
+  for (Edge e : sub.graph.edges()) {
+    const Edge host = sub.host_edge(e);
+    EXPECT_TRUE(g.has_edge(host.u, host.v));
+  }
+}
+
+TEST(RemoveVertices, KeepsVertexSetDropsIncidentEdges) {
+  const Graph g = complete_graph(5);
+  const std::vector<Vertex> faults{0, 2};
+  const Graph r = remove_vertices(g, faults);
+  EXPECT_EQ(r.num_vertices(), 5u);
+  EXPECT_EQ(r.degree(0), 0u);
+  EXPECT_EQ(r.degree(2), 0u);
+  EXPECT_EQ(r.num_edges(), 3u);  // K3 on {1,3,4}
+  EXPECT_TRUE(r.has_edge(1, 3));
+  EXPECT_FALSE(r.has_edge(0, 1));
+}
+
+TEST(RemoveVertices, NoFaultsIsIdentity) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(remove_vertices(g, std::vector<Vertex>{}), g);
+}
+
+TEST(RemoveVertices, OutOfRangeFaultThrows) {
+  const Graph g = path_graph(3);
+  const std::vector<Vertex> faults{7};
+  EXPECT_THROW(remove_vertices(g, faults), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/support.hpp"
+#include "graph/generators.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+namespace {
+
+// The example of Figure 4(a): edge (u,v) that is (2,4)-supported toward v.
+// u=0, v=1; extensions r,y,w,z = 2..5; routers (gray) = 6..13, two per
+// extension base, plus v itself routes each base.
+Graph figure4a_graph() {
+  GraphBuilder b(14);
+  b.add_edge(0, 1);  // e = (u, v)
+  for (Vertex ext = 2; ext <= 5; ++ext) {
+    b.add_edge(1, ext);  // v's extensions
+  }
+  Vertex router = 6;
+  for (Vertex ext = 2; ext <= 5; ++ext) {
+    // two dedicated routers x with (u,x),(x,ext)
+    for (int i = 0; i < 2; ++i, ++router) {
+      b.add_edge(0, router);
+      b.add_edge(router, ext);
+    }
+  }
+  return b.build();
+}
+
+TEST(Support, BaseSupportIsCommonNeighborCount) {
+  const Graph g = complete_graph(6);
+  // In K_6 every pair has exactly 4 common neighbors.
+  EXPECT_EQ(base_support(g, 0, 1), 4u);
+  const Graph p = path_graph(4);
+  EXPECT_EQ(base_support(p, 0, 2), 1u);  // router 1
+  EXPECT_EQ(base_support(p, 0, 3), 0u);
+}
+
+TEST(Support, CommonNeighbors) {
+  const Graph g = complete_graph(5);
+  const auto cn = common_neighbors(g, 0, 1);
+  EXPECT_EQ(cn.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cn.begin(), cn.end()));
+}
+
+TEST(Support, Figure4aExtensionCounts) {
+  const Graph g = figure4a_graph();
+  // Each extension (v, ext) has base {u, ext} with routers {v, x1, x2}:
+  // 3-supported bases, so extensions are 2-supported.
+  EXPECT_EQ(count_supported_extensions(g, 0, 1, 2), 4u);
+  // but not 3-supported
+  EXPECT_EQ(count_supported_extensions(g, 0, 1, 3), 0u);
+}
+
+TEST(Support, Figure4aIsTwoFourSupported) {
+  const Graph g = figure4a_graph();
+  EXPECT_TRUE(is_ab_supported_toward(g, 0, 1, 2, 4));
+  EXPECT_FALSE(is_ab_supported_toward(g, 0, 1, 2, 5));
+  EXPECT_FALSE(is_ab_supported_toward(g, 0, 1, 3, 1));
+  // toward u there are no extensions at all (u's only other neighbors are
+  // the routers, whose bases {v, router} have routers' common neighbors
+  // with v: each router connects to one ext and u; ext connects to v).
+  EXPECT_TRUE(is_ab_supported(g, Edge{0, 1}, 2, 4));
+}
+
+TEST(Support, ThreeDetourEnumerationMatchesFigure3c) {
+  const Graph g = figure4a_graph();
+  // 3-detours of (u,v): u–x–ext–v for each extension and each of its two
+  // dedicated routers: 4·2 = 8 in total.
+  const auto detours = find_3detours(g, 0, 1);
+  EXPECT_EQ(detours.size(), 8u);
+  for (const auto& d : detours) {
+    EXPECT_TRUE(g.has_edge(0, d.x));
+    EXPECT_TRUE(g.has_edge(d.x, d.z));
+    EXPECT_TRUE(g.has_edge(d.z, 1));
+  }
+}
+
+TEST(Support, ThreeDetourLimit) {
+  const Graph g = figure4a_graph();
+  EXPECT_EQ(find_3detours(g, 0, 1, 3).size(), 3u);
+  EXPECT_EQ(find_3detours(g, 0, 1, 1).size(), 1u);
+}
+
+TEST(Support, DetourCountMatchesAxBFormula) {
+  // (a,b)-supported edge has ≥ a·b 3-detours through its b a-supported
+  // extensions (Section 4). Verify on complete graphs where every edge of
+  // K_n is (n-3, n-2)-supported: common neighbors of u and any z exclude
+  // u, v, z themselves.
+  const Graph g = complete_graph(7);
+  // extensions of (0,1) toward 1: z ∈ {2..6} (5 of them); base {0,z} has
+  // 5 routers; so the edge is (4, 5)-supported toward 1.
+  EXPECT_TRUE(is_ab_supported_toward(g, 0, 1, 4, 5));
+  const auto detours = find_3detours(g, 0, 1);
+  // z ∈ {2..6}, x ∈ common(0,z)\{0,1,z} = 4 choices → 20 detours.
+  EXPECT_EQ(detours.size(), 20u);
+}
+
+TEST(Support, HasShortReplacement) {
+  const Graph g = path_graph(5);
+  EXPECT_TRUE(has_short_replacement(g, 0, 1));   // direct edge
+  EXPECT_TRUE(has_short_replacement(g, 0, 2));   // 2-detour via 1
+  EXPECT_TRUE(has_short_replacement(g, 0, 3));   // 3-detour 0-1-2-3
+  EXPECT_FALSE(has_short_replacement(g, 0, 4));  // distance 4
+}
+
+TEST(Support, RandomReplacementIsValidPath) {
+  const Graph g = figure4a_graph();
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = random_short_replacement(g, 0, 1, rng);
+    ASSERT_GE(p.size(), 2u);
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 1u);
+    EXPECT_LE(path_length(p), 3u);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(p[i], p[i + 1]));
+    }
+  }
+}
+
+TEST(Support, RandomReplacementSpreadsOverDetours) {
+  const Graph g = figure4a_graph();
+  Rng rng(6);
+  std::set<Vertex> routers_seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto p = random_short_replacement(g, 0, 1, rng);
+    if (p.size() == 4) routers_seen.insert(p[1]);
+  }
+  EXPECT_GE(routers_seen.size(), 6u);  // most of the 8 routers get used
+}
+
+TEST(Support, ReplacementFallsBackToTwoDetourThenDirect) {
+  // triangle: removing nothing; (0,1) has one 2-detour via 2 and no
+  // 3-detours (no longer simple path of length 3 exists).
+  const Graph tri = cycle_graph(3);
+  Rng rng(2);
+  const auto p = random_short_replacement(tri, 0, 1, rng);
+  ASSERT_EQ(p.size(), 3u);  // 2-detour preferred over direct edge
+  EXPECT_EQ(p[1], 2u);
+
+  // single edge: only the direct edge remains
+  const Graph single = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  const auto q = random_short_replacement(single, 0, 1, rng);
+  EXPECT_EQ(q, (std::vector<Vertex>{0, 1}));
+
+  // disconnected: empty result
+  const Graph none(3);
+  EXPECT_TRUE(random_short_replacement(none, 0, 1, rng).empty());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/regular_spanner.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "routing/tables.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(RoutingTables, RoutesAreShortestPaths) {
+  const Graph g = hypercube(5);
+  const auto tables = RoutingTables::build(g, 3);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = static_cast<Vertex>(rng.uniform(32));
+    const auto t = static_cast<Vertex>(rng.uniform(32));
+    const Path p = tables.route(s, t);
+    if (s == t) {
+      EXPECT_EQ(p, (Path{s}));
+      continue;
+    }
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.front(), s);
+    EXPECT_EQ(p.back(), t);
+    EXPECT_EQ(path_length(p), bfs_distance(g, s, t));
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(p[j], p[j + 1]));
+    }
+  }
+}
+
+TEST(RoutingTables, NextHopSemantics) {
+  const Graph g = path_graph(4);
+  const auto tables = RoutingTables::build(g);
+  EXPECT_EQ(tables.next_hop(0, 3), 1u);
+  EXPECT_EQ(tables.next_hop(1, 3), 2u);
+  EXPECT_EQ(tables.next_hop(3, 3), kInvalidVertex);
+}
+
+TEST(RoutingTables, UnreachableDestination) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  const auto tables = RoutingTables::build(g);
+  EXPECT_EQ(tables.next_hop(0, 3), kInvalidVertex);
+  EXPECT_TRUE(tables.route(0, 3).empty());
+}
+
+TEST(RoutingTables, MemoryAccountingLogDegree) {
+  // 4-regular graph: ⌈log₂ 4⌉ = 2 bits per entry.
+  const Graph g = torus_2d(4, 4);
+  const auto tables = RoutingTables::build(g);
+  EXPECT_DOUBLE_EQ(tables.bits_per_entry(), 2.0);
+  EXPECT_EQ(tables.total_bits(), 16u * 15u * 2u);
+}
+
+TEST(RoutingTables, SparserSpannerNeedsFewerBits) {
+  // The introduction's claim: routing tables on the sparse DC-spanner are
+  // smaller than on the dense original (entry width scales with degree).
+  const Graph g = random_regular(150, 60, 7);
+  const auto built = build_regular_spanner(g, {.seed = 3});
+  const auto dense = RoutingTables::build(g, 5);
+  const auto sparse = RoutingTables::build(built.spanner.h, 5);
+  EXPECT_LT(sparse.total_bits(), dense.total_bits());
+  // but routes stretch by at most the spanner's distance stretch (3)
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s = static_cast<Vertex>(rng.uniform(150));
+    const auto t = static_cast<Vertex>(rng.uniform(150));
+    if (s == t) continue;
+    EXPECT_LE(sparse.route_length(s, t),
+              3 * dense.route_length(s, t));
+  }
+}
+
+TEST(RoutingTables, DeterministicPerSeed) {
+  const Graph g = random_regular(40, 6, 11);
+  const auto a = RoutingTables::build(g, 42);
+  const auto b = RoutingTables::build(g, 42);
+  for (Vertex s = 0; s < 40; ++s) {
+    for (Vertex t = 0; t < 40; ++t) {
+      EXPECT_EQ(a.next_hop(s, t), b.next_hop(s, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

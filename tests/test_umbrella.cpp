@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+// Compiles the umbrella header (a release sanity check: every public
+// header must be self-contained and mutually consistent) and runs one
+// cross-module smoke scenario through it.
+
+#include "dcs.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(Umbrella, CrossModuleSmoke) {
+  // generate → spanner → verify → route → simulate, all through dcs.hpp
+  const Graph g = random_regular(80, 20, 1);
+  const auto built = build_regular_spanner(g, {.seed = 2});
+  EXPECT_TRUE(measure_distance_stretch(g, built.spanner.h).satisfies(3.0));
+
+  DetourRouter router(built.spanner.h, built.sampled);
+  const auto matching = random_matching_problem(g, 3);
+  const Routing sub = route_problem(router, matching, 4);
+  const auto sim = simulate_store_and_forward(built.spanner.h, sub);
+  EXPECT_GE(sim.makespan, 1u);
+
+  const auto expansion = estimate_expansion(built.spanner.h);
+  EXPECT_GT(expansion.lambda1, 0.0);
+
+  const auto report =
+      make_spanner_report(g, built.spanner.h, router,
+                          {.seed = 5, .matching_trials = 1});
+  EXPECT_LT(report.compression, 1.0);
+}
+
+TEST(Umbrella, WeightedAndDistributedSurfaces) {
+  const Graph g = random_regular(30, 8, 7);
+  const auto wg = WeightedGraph::from_unweighted(g);
+  EXPECT_LE(weighted_edge_stretch(wg, weighted_greedy_spanner(wg, 3.0)),
+            3.0 + 1e-9);
+
+  const auto dist = build_regular_spanner_local(g, {.seed = 9});
+  EXPECT_TRUE(verify_spanner_local(g, dist.h).ok);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/workloads.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(DistanceStretch, IdenticalGraphsHaveStretchOne) {
+  const Graph g = random_regular(60, 8, 1);
+  const auto report = measure_distance_stretch(g, g);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_stretch, 1.0);
+  EXPECT_EQ(report.checked_edges, g.num_edges());
+  EXPECT_EQ(report.unreachable, 0u);
+  EXPECT_TRUE(report.satisfies(1.0));
+}
+
+TEST(DistanceStretch, RemovedChordMeasured) {
+  // C_5 plus chord (0,2); spanner = C_5. d_H(0,2) = 2.
+  auto edges = cycle_graph(5).edges();
+  auto with_chord = edges;
+  with_chord.push_back(canonical(0, 2));
+  const Graph g = Graph::from_edges(5, with_chord);
+  const Graph h = Graph::from_edges(5, edges);
+  const auto report = measure_distance_stretch(g, h);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 2.0);
+  EXPECT_TRUE(report.satisfies(2.0));
+  EXPECT_FALSE(report.satisfies(1.5));
+}
+
+TEST(DistanceStretch, UnreachableReported) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  const Graph h = Graph::from_edges(4, std::vector<Edge>{{0, 1}});
+  const auto report = measure_distance_stretch(g, h);
+  EXPECT_EQ(report.unreachable, 1u);
+  EXPECT_FALSE(report.satisfies(100.0));
+}
+
+TEST(DistanceStretch, CapLimitsSearchDepth) {
+  // G = path + long-way-around edge; with a small cap the far pair reads
+  // as unreachable instead of spending a full BFS.
+  const Graph g = cycle_graph(30);
+  std::vector<Edge> chordless;
+  for (Edge e : g.edges()) {
+    if (!(e.u == 0 && e.v == 29)) chordless.push_back(e);
+  }
+  const Graph h = Graph::from_edges(30, chordless);
+  const auto capped = measure_distance_stretch(g, h, /*cap=*/5);
+  EXPECT_EQ(capped.unreachable, 1u);
+  const auto full = measure_distance_stretch(g, h, /*cap=*/64);
+  EXPECT_EQ(full.unreachable, 0u);
+  EXPECT_DOUBLE_EQ(full.max_stretch, 29.0);
+}
+
+TEST(ExactPairwiseStretch, MatchesEdgeStretchOnUnitDistances) {
+  const Graph g = complete_graph(8);
+  // remove a perfect matching
+  std::vector<Edge> kept;
+  for (Edge e : g.edges()) {
+    if (!(e.v == e.u + 4 && e.u < 4)) kept.push_back(e);
+  }
+  const Graph h = Graph::from_edges(8, kept);
+  EXPECT_DOUBLE_EQ(exact_pairwise_stretch(g, h), 2.0);
+}
+
+TEST(ExactPairwiseStretch, SpannerEqualGraphIsOne) {
+  const Graph g = hypercube(4);
+  EXPECT_DOUBLE_EQ(exact_pairwise_stretch(g, g), 1.0);
+}
+
+TEST(MatchingCongestion, DirectRoutingOnFullGraphIsOne) {
+  const Graph g = random_regular(40, 6, 2);
+  const auto matching = random_matching_problem(g, 3);
+  DetourRouter router(g, g);  // H = G: all pairs routed directly
+  const auto report =
+      measure_matching_congestion(g, g, matching, router, 5);
+  EXPECT_EQ(report.base_congestion, 1u);
+  EXPECT_EQ(report.spanner_congestion, 1u);
+  EXPECT_DOUBLE_EQ(report.congestion_stretch(), 1.0);
+  EXPECT_DOUBLE_EQ(report.max_length_ratio, 1.0);
+}
+
+TEST(MatchingCongestion, RequiresMatchingOfEdges) {
+  const Graph g = cycle_graph(6);
+  DetourRouter router(g, g);
+  RoutingProblem not_matching;
+  not_matching.pairs = {{0, 1}, {1, 2}};
+  EXPECT_THROW(
+      measure_matching_congestion(g, g, not_matching, router, 1),
+      std::invalid_argument);
+  RoutingProblem non_edges;
+  non_edges.pairs = {{0, 3}};
+  EXPECT_THROW(measure_matching_congestion(g, g, non_edges, router, 1),
+               std::invalid_argument);
+}
+
+TEST(MatchingCongestion, DetoursRaiseCongestionBoundedByDegree) {
+  // Remove a matching from K_10; route the removed matching on the rest.
+  const Graph g = complete_graph(10);
+  std::vector<Edge> removed, kept;
+  for (Edge e : g.edges()) {
+    if (e.v == e.u + 5 && e.u < 5) {
+      removed.push_back(e);
+    } else {
+      kept.push_back(e);
+    }
+  }
+  const Graph h = Graph::from_edges(10, kept);
+  DetourRouter router(h, h);
+  const auto report = measure_matching_congestion(
+      g, h, RoutingProblem::from_edges(removed), router, 7);
+  EXPECT_EQ(report.base_congestion, 1u);
+  EXPECT_GE(report.spanner_congestion, 1u);
+  EXPECT_LE(report.spanner_congestion, 5u);
+  EXPECT_LE(report.max_length_ratio, 3.0);
+}
+
+TEST(GeneralCongestion, RunsThroughDecomposition) {
+  const Graph g = random_regular(50, 12, 9);
+  const auto problem = random_pairs_problem(50, 40, 11);
+  const Routing p = shortest_path_routing(g, problem, 13);
+  DetourRouter router(g, g);  // identity spanner
+  const auto report = measure_general_congestion(g, g, p, router, 15);
+  EXPECT_GE(report.base_congestion, 1u);
+  EXPECT_GE(report.spanner_congestion, report.base_congestion / 2);
+  EXPECT_GE(report.decomposition.levels, 1u);
+  EXPECT_GE(report.decomposition.total_matchings, 1u);
+  EXPECT_GE(report.max_length_ratio, 1.0);
+}
+
+TEST(GeneralCongestion, RejectsInvalidInputRouting) {
+  const Graph g = cycle_graph(6);
+  Routing bogus;
+  bogus.paths = {{0, 2, 4}};  // (0,2) not an edge
+  DetourRouter router(g, g);
+  EXPECT_THROW(measure_general_congestion(g, g, bogus, router, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline_spanners.hpp"
+#include "core/verifier.hpp"
+#include "core/vft_spanner.hpp"
+#include "graph/generators.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(BaswanaSenGeneralK, KOneIsIdentity) {
+  const Graph g = random_regular(40, 6, 1);
+  EXPECT_EQ(baswana_sen_spanner(g, 1, 3).h, g);
+}
+
+TEST(BaswanaSenGeneralK, KTwoIsAThreeSpanner) {
+  const Graph g = random_regular(150, 30, 3);
+  const auto spanner = baswana_sen_spanner(g, 2, 5);
+  EXPECT_TRUE(g.contains_subgraph(spanner.h));
+  EXPECT_TRUE(measure_distance_stretch(g, spanner.h, 8).satisfies(3.0));
+}
+
+class BsStretchTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(BsStretchTest, StretchBoundHolds) {
+  const auto [k, seed] = GetParam();
+  const Graph g = erdos_renyi(120, 0.25, seed);
+  const auto spanner = baswana_sen_spanner(g, k, seed + 1);
+  EXPECT_TRUE(g.contains_subgraph(spanner.h));
+  const auto report =
+      measure_distance_stretch(g, spanner.h, static_cast<Dist>(2 * k + 2));
+  EXPECT_TRUE(report.satisfies(static_cast<double>(2 * k - 1)))
+      << "k=" << k << " max stretch " << report.max_stretch
+      << " unreachable " << report.unreachable;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KsAndSeeds, BsStretchTest,
+    ::testing::Values(std::pair<std::size_t, std::uint64_t>{2, 11},
+                      std::pair<std::size_t, std::uint64_t>{3, 13},
+                      std::pair<std::size_t, std::uint64_t>{3, 17},
+                      std::pair<std::size_t, std::uint64_t>{4, 19},
+                      std::pair<std::size_t, std::uint64_t>{5, 23}));
+
+TEST(BaswanaSenGeneralK, HigherKIsSparserOnDenseInputs) {
+  const Graph g = complete_graph(150);
+  const auto k2 = baswana_sen_spanner(g, 2, 7);
+  const auto k3 = baswana_sen_spanner(g, 3, 7);
+  EXPECT_LT(k3.h.num_edges(), k2.h.num_edges());
+  EXPECT_LT(k2.h.num_edges(), g.num_edges());
+}
+
+TEST(BaswanaSenGeneralK, DeterministicPerSeed) {
+  const Graph g = erdos_renyi(80, 0.2, 29);
+  EXPECT_EQ(baswana_sen_spanner(g, 3, 5).h, baswana_sen_spanner(g, 3, 5).h);
+}
+
+TEST(VftSpanner, IsASubgraphSpanner) {
+  const Graph g = random_regular(80, 16, 31);
+  VftSpannerOptions o;
+  o.seed = 3;
+  o.faults = 1;
+  const auto result = build_vft_spanner(g, o);
+  EXPECT_TRUE(g.contains_subgraph(result.spanner.h));
+  // fault-free stretch must hold too (F = ∅ is a valid fault set)
+  EXPECT_TRUE(
+      measure_distance_stretch(g, result.spanner.h, 8).satisfies(3.0));
+}
+
+TEST(VftSpanner, SurvivesFaultInjection) {
+  const Graph g = random_regular(70, 16, 37);
+  VftSpannerOptions o;
+  o.seed = 5;
+  o.faults = 2;
+  const auto result = build_vft_spanner(g, o);
+  const std::size_t violations =
+      count_vft_violations(g, result.spanner.h, 2, 3.0, 25, 7);
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(VftSpanner, NonFaultTolerantSpannerFailsInjectionOnFragileGraph) {
+  // The fan gadget's optimal 3-spanner is NOT fault tolerant: deleting the
+  // hub's neighbor on a detour breaks the only replacement path.
+  const FanGadget fan = fan_gadget(6);
+  // spanner = remove one line edge per face (see core/lower_bound)
+  EdgeSet keep;
+  for (Edge e : fan.g.edges()) keep.insert(e);
+  for (std::size_t i = 0; i < fan.k; ++i) {
+    keep.erase(canonical(fan.line[2 * i], fan.line[2 * i + 1]));
+  }
+  const auto kept = keep.to_vector();
+  const Graph h = Graph::from_edges(fan.g.num_vertices(), kept);
+  const std::size_t violations =
+      count_vft_violations(fan.g, h, 1, 3.0, 40, 9);
+  EXPECT_GT(violations, 0u);
+}
+
+TEST(VftSpanner, RoundsDerivedFromFaults) {
+  const Graph g = random_regular(40, 8, 41);
+  VftSpannerOptions o;
+  o.faults = 2;
+  const auto result = build_vft_spanner(g, o);
+  EXPECT_GT(result.rounds, 20u);  // (f+1)²·ln n = 9·3.7 ≈ 33
+  VftSpannerOptions fixed;
+  fixed.rounds = 5;
+  EXPECT_EQ(build_vft_spanner(g, fixed).rounds, 5u);
+}
+
+TEST(VftSpanner, MoreFaultsMoreEdges) {
+  const Graph g = random_regular(60, 20, 43);
+  VftSpannerOptions f1;
+  f1.seed = 11;
+  f1.faults = 1;
+  VftSpannerOptions f3;
+  f3.seed = 11;
+  f3.faults = 3;
+  EXPECT_LE(build_vft_spanner(g, f1).spanner.h.num_edges(),
+            build_vft_spanner(g, f3).spanner.h.num_edges());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/weighted_spanners.hpp"
+#include "graph/bfs.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+namespace {
+
+WeightedGraph random_weighted(std::size_t n, double p, std::uint64_t seed,
+                              double max_w = 10.0) {
+  const Graph base = erdos_renyi(n, p, seed);
+  Rng rng(seed + 1);
+  std::vector<WeightedEdge> edges;
+  for (Edge e : base.edges()) {
+    edges.push_back(
+        WeightedEdge{e.u, e.v, 1.0 + rng.uniform_double() * (max_w - 1.0)});
+  }
+  return WeightedGraph::from_edges(n, edges);
+}
+
+TEST(WeightedGraph, BasicConstruction) {
+  const std::vector<WeightedEdge> edges{{0, 1, 2.5}, {1, 2, 1.0}};
+  const auto g = WeightedGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g.weight(2, 1), 1.0);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.5);
+}
+
+TEST(WeightedGraph, DuplicatesKeepLightest) {
+  const std::vector<WeightedEdge> edges{{0, 1, 5.0}, {1, 0, 2.0}};
+  const auto g = WeightedGraph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 2.0);
+}
+
+TEST(WeightedGraph, RejectsBadWeights) {
+  EXPECT_THROW(WeightedGraph::from_edges(
+                   2, std::vector<WeightedEdge>{{0, 1, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges(
+                   2, std::vector<WeightedEdge>{{0, 1, -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges(
+                   2, std::vector<WeightedEdge>{{0, 0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(WeightedGraph, UnweightedRoundTrip) {
+  const Graph base = hypercube(3);
+  const auto g = WeightedGraph::from_unweighted(base, 2.0);
+  EXPECT_EQ(g.unweighted(), base);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 2.0 * base.num_edges());
+}
+
+TEST(Dijkstra, MatchesManualDistances) {
+  // triangle with a shortcut: 0-1 (1.0), 1-2 (1.0), 0-2 (3.0)
+  const auto g = WeightedGraph::from_edges(
+      3, std::vector<WeightedEdge>{{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 3.0}});
+  const auto dist = dijkstra_distances(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);  // via 1, not the direct 3.0 edge
+  EXPECT_DOUBLE_EQ(dijkstra_distance(g, 0, 2), 2.0);
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  const auto g = WeightedGraph::from_edges(
+      3, std::vector<WeightedEdge>{{0, 1, 1.0}});
+  EXPECT_EQ(dijkstra_distance(g, 0, 2), kInfDistance);
+  EXPECT_TRUE(dijkstra_path(g, 0, 2).empty());
+}
+
+TEST(Dijkstra, PathIsConsistentWithDistance) {
+  const auto g = random_weighted(60, 0.15, 5);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = static_cast<Vertex>(rng.uniform(60));
+    const auto t = static_cast<Vertex>(rng.uniform(60));
+    const double d = dijkstra_distance(g, s, t);
+    const Path p = dijkstra_path(g, s, t);
+    if (d == kInfDistance) {
+      EXPECT_TRUE(p.empty() || s == t);
+      continue;
+    }
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.front(), s);
+    EXPECT_EQ(p.back(), t);
+    EXPECT_NEAR(path_weight(g, p), d, 1e-9);
+  }
+}
+
+TEST(Dijkstra, UnweightedAgreesWithBfs) {
+  const Graph base = random_regular(80, 6, 9);
+  const auto g = WeightedGraph::from_unweighted(base);
+  const auto wd = dijkstra_distances(g, 0);
+  const auto bd = bfs_distances(base, 0);
+  for (Vertex v = 0; v < 80; ++v) {
+    if (bd[v] == kUnreachable) {
+      EXPECT_EQ(wd[v], kInfDistance);
+    } else {
+      EXPECT_DOUBLE_EQ(wd[v], static_cast<double>(bd[v]));
+    }
+  }
+}
+
+class WeightedGreedyTest : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Alphas, WeightedGreedyTest,
+                         ::testing::Values(1.0, 3.0, 5.0));
+
+TEST_P(WeightedGreedyTest, StretchGuaranteeExact) {
+  const double alpha = GetParam();
+  const auto g = random_weighted(70, 0.2, 11);
+  const auto h = weighted_greedy_spanner(g, alpha);
+  EXPECT_LE(h.num_edges(), g.num_edges());
+  EXPECT_LE(weighted_edge_stretch(g, h), alpha + 1e-6);
+}
+
+TEST(WeightedGreedy, StretchOneKeepsShortestEdges) {
+  // alpha = 1: an edge is dropped only if an equally light path exists.
+  const auto g = random_weighted(40, 0.3, 13);
+  const auto h = weighted_greedy_spanner(g, 1.0);
+  EXPECT_LE(weighted_edge_stretch(g, h), 1.0 + 1e-9);
+}
+
+class WeightedBsTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint64_t>> {
+};
+INSTANTIATE_TEST_SUITE_P(
+    Ks, WeightedBsTest,
+    ::testing::Values(std::pair<std::size_t, std::uint64_t>{2, 3},
+                      std::pair<std::size_t, std::uint64_t>{3, 5},
+                      std::pair<std::size_t, std::uint64_t>{3, 7},
+                      std::pair<std::size_t, std::uint64_t>{4, 9}));
+
+TEST_P(WeightedBsTest, StretchBoundHolds) {
+  const auto [k, seed] = GetParam();
+  const auto g = random_weighted(90, 0.25, seed);
+  const auto h = weighted_baswana_sen_spanner(g, k, seed + 1);
+  EXPECT_LE(h.num_edges(), g.num_edges());
+  const double stretch = weighted_edge_stretch(g, h);
+  EXPECT_LE(stretch, static_cast<double>(2 * k - 1) + 1e-6)
+      << "k=" << k << " seed=" << seed;
+}
+
+TEST(WeightedBs, SparsifiesDenseGraphs) {
+  const auto g = random_weighted(120, 0.8, 17);
+  const auto h = weighted_baswana_sen_spanner(g, 3, 19);
+  EXPECT_LT(h.num_edges(), g.num_edges() / 2);
+}
+
+TEST(WeightedBs, KOneIsIdentity) {
+  const auto g = random_weighted(30, 0.3, 21);
+  EXPECT_EQ(weighted_baswana_sen_spanner(g, 1, 1), g);
+}
+
+}  // namespace
+}  // namespace dcs

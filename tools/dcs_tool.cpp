@@ -1,0 +1,312 @@
+// dcs_tool — command-line front end for the DC-spanner library.
+//
+//   dcs_tool gen <family> <out.graph> [args...]     generate a graph
+//       families:
+//         regular <n> <delta> [seed]
+//         expander <m>                      (Gabber–Galil on m² vertices)
+//         lps <p> <q>                       (LPS Ramanujan X^{p,q})
+//         ring <cliques> <size>
+//         hypercube <dim>
+//         clique-matching <n>
+//   dcs_tool spanner <algorithm> <in.graph> <out.graph> [seed]
+//       algorithms: regular | expander | baswana-sen | greedy3
+//   dcs_tool verify <in.graph> <spanner.graph> [alpha]
+//   dcs_tool route <in.graph> <spanner.graph> <workload> [seed]
+//       workloads: matching | permutation | all-edges
+//   dcs_tool info <in.graph>
+//
+// Exit code 0 on success; 1 on a failed verification; 2 on usage errors.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/baseline_spanners.hpp"
+#include "core/expander_spanner.hpp"
+#include "core/general_spanner.hpp"
+#include "core/regular_spanner.hpp"
+#include "core/report.hpp"
+#include "core/router.hpp"
+#include "core/sparsify.hpp"
+#include "core/verifier.hpp"
+#include "core/vft_spanner.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/ramanujan.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/shortest_paths.hpp"
+#include "routing/tables.hpp"
+#include "routing/workloads.hpp"
+#include "spectral/expansion.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dcs;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  dcs_tool gen <family> <out.graph> [args...]\n"
+      "  dcs_tool spanner "
+      "<regular|expander|baswana-sen|greedy3|vft|sparsify|stretchN> "
+      "<in> <out> [seed]\n"
+      "  dcs_tool verify <in.graph> <spanner.graph> [alpha]\n"
+      "  dcs_tool route <in.graph> <spanner.graph> "
+      "<matching|permutation|all-edges> [seed]\n"
+      "  dcs_tool report <in.graph> <spanner.graph> [seed]\n"
+      "  dcs_tool simulate <graph> <matching|permutation> [seed]\n"
+      "  dcs_tool tables <graph> [seed]\n"
+      "  dcs_tool info <in.graph>\n";
+  std::exit(2);
+}
+
+std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t i,
+                      std::uint64_t fallback) {
+  return i < args.size() ? std::strtoull(args[i].c_str(), nullptr, 10)
+                         : fallback;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("gen needs a family and an output path");
+  const std::string& family = args[0];
+  const std::string& out = args[1];
+  Graph g;
+  if (family == "regular") {
+    if (args.size() < 4) usage("regular needs <n> <delta>");
+    g = random_regular(arg_u64(args, 2, 0), arg_u64(args, 3, 0),
+                       arg_u64(args, 4, 1));
+  } else if (family == "expander") {
+    if (args.size() < 3) usage("expander needs <m>");
+    g = margulis_expander(arg_u64(args, 2, 0));
+  } else if (family == "lps") {
+    if (args.size() < 4) usage("lps needs <p> <q> (primes ≡ 1 mod 4)");
+    const LpsGraph lps =
+        lps_ramanujan_graph(arg_u64(args, 2, 0), arg_u64(args, 3, 0));
+    std::cout << "LPS X^{p,q}: " << (lps.is_psl ? "PSL" : "PGL")
+              << "(2," << lps.q << "), Ramanujan bound 2√p = "
+              << 2.0 * std::sqrt(static_cast<double>(lps.p)) << "\n";
+    g = lps.graph;
+  } else if (family == "ring") {
+    if (args.size() < 4) usage("ring needs <cliques> <size>");
+    g = ring_of_cliques(arg_u64(args, 2, 0), arg_u64(args, 3, 0));
+  } else if (family == "hypercube") {
+    if (args.size() < 3) usage("hypercube needs <dim>");
+    g = hypercube(arg_u64(args, 2, 0));
+  } else if (family == "clique-matching") {
+    if (args.size() < 3) usage("clique-matching needs <n>");
+    g = clique_matching_graph(arg_u64(args, 2, 0));
+  } else {
+    usage("unknown family: " + family);
+  }
+  write_graph_file(out, g);
+  std::cout << "wrote " << out << ": " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges\n";
+  return 0;
+}
+
+int cmd_spanner(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("spanner needs <algorithm> <in> <out>");
+  const std::string& algorithm = args[0];
+  const Graph g = read_graph_file(args[1]);
+  const std::uint64_t seed = arg_u64(args, 3, 1);
+
+  Spanner spanner;
+  if (algorithm == "regular") {
+    RegularSpannerOptions o;
+    o.seed = seed;
+    spanner = build_regular_spanner(g, o).spanner;
+  } else if (algorithm == "expander") {
+    ExpanderSpannerOptions o;
+    o.seed = seed;
+    spanner = build_expander_spanner(g, o).spanner;
+  } else if (algorithm == "baswana-sen") {
+    spanner = baswana_sen_3_spanner(g, seed);
+  } else if (algorithm == "greedy3") {
+    spanner = greedy_spanner(g, 3, seed);
+  } else if (algorithm == "vft") {
+    VftSpannerOptions o;
+    o.seed = seed;
+    o.faults = 1;
+    spanner = build_vft_spanner(g, o).spanner;
+  } else if (algorithm == "sparsify") {
+    SparsifyOptions o;
+    o.seed = seed;
+    o.target_degree =
+        2.0 * std::log2(static_cast<double>(g.num_vertices()));
+    spanner = uniform_sparsify(g, o).spanner;
+  } else if (algorithm.rfind("stretch", 0) == 0) {
+    // "stretchN": generalized sampling spanner with α = N
+    StretchSpannerOptions o;
+    o.seed = seed;
+    o.alpha = static_cast<Dist>(
+        std::strtoul(algorithm.c_str() + 7, nullptr, 10));
+    if (o.alpha == 0) usage("stretchN needs a numeric N, e.g. stretch5");
+    spanner = build_stretch_spanner(g, o).spanner;
+  } else {
+    usage("unknown algorithm: " + algorithm);
+  }
+  write_graph_file(args[2], spanner.h);
+
+  Table t({"quantity", "value"});
+  t.add("input edges", spanner.stats.input_edges);
+  t.add("spanner edges", spanner.h.num_edges());
+  t.add("compression",
+        static_cast<double>(spanner.h.num_edges()) /
+            static_cast<double>(g.num_edges()));
+  t.add("reinserted", spanner.stats.reinserted_edges);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("verify needs <in> <spanner>");
+  const Graph g = read_graph_file(args[0]);
+  const Graph h = read_graph_file(args[1]);
+  const double alpha =
+      args.size() > 2 ? std::strtod(args[2].c_str(), nullptr) : 3.0;
+  if (h.num_vertices() != g.num_vertices() || !g.contains_subgraph(h)) {
+    std::cout << "FAIL: spanner is not a subgraph of the input\n";
+    return 1;
+  }
+  const auto report = measure_distance_stretch(g, h, 64);
+  std::cout << "max stretch " << report.max_stretch << ", mean "
+            << report.mean_stretch << ", unreachable " << report.unreachable
+            << "\n";
+  if (!report.satisfies(alpha)) {
+    std::cout << "FAIL: stretch exceeds " << alpha << "\n";
+    return 1;
+  }
+  std::cout << "OK: " << alpha << "-distance spanner\n";
+  return 0;
+}
+
+int cmd_route(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("route needs <in> <spanner> <workload>");
+  const Graph g = read_graph_file(args[0]);
+  const Graph h = read_graph_file(args[1]);
+  const std::string& workload = args[2];
+  const std::uint64_t seed = arg_u64(args, 3, 1);
+
+  DetourRouter router(h, h);
+  if (workload == "matching") {
+    const auto matching = random_matching_problem(g, seed);
+    const auto report =
+        measure_matching_congestion(g, h, matching, router, seed + 1);
+    std::cout << "matching of " << matching.size() << " pairs: C_G = "
+              << report.base_congestion
+              << ", C_H = " << report.spanner_congestion
+              << ", max path length = " << report.max_length_ratio << "\n";
+  } else if (workload == "permutation" || workload == "all-edges") {
+    const auto problem = workload == "permutation"
+                             ? random_permutation_problem(g.num_vertices(),
+                                                          seed)
+                             : all_edges_problem(g);
+    const Routing p = shortest_path_routing(g, problem, seed + 1);
+    const auto report =
+        measure_general_congestion(g, h, p, router, seed + 2);
+    std::cout << workload << " (" << problem.size() << " pairs): C_G = "
+              << report.base_congestion
+              << ", C_H = " << report.spanner_congestion << " (stretch "
+              << report.congestion_stretch() << "), max length ratio "
+              << report.max_length_ratio << "\n";
+  } else {
+    usage("unknown workload: " + workload);
+  }
+  return 0;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("report needs <in.graph> <spanner.graph>");
+  const Graph g = read_graph_file(args[0]);
+  const Graph h = read_graph_file(args[1]);
+  SpannerReportOptions o;
+  o.seed = arg_u64(args, 2, 1);
+  DetourRouter router(h, h);
+  const auto report = make_spanner_report(g, h, router, o);
+  std::cout << report.to_string();
+  return report.connected && report.max_stretch > 0.0 ? 0 : 1;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("simulate needs <graph> <workload>");
+  const Graph g = read_graph_file(args[0]);
+  const std::string& workload = args[1];
+  const std::uint64_t seed = arg_u64(args, 2, 1);
+
+  RoutingProblem problem;
+  if (workload == "permutation") {
+    problem = random_permutation_problem(g.num_vertices(), seed);
+  } else if (workload == "matching") {
+    problem = random_matching_problem(g, seed);
+  } else {
+    usage("unknown workload: " + workload);
+  }
+  const Routing routing = shortest_path_routing(g, problem, seed + 1);
+  const auto sim =
+      simulate_store_and_forward(g, routing, {.seed = seed + 2});
+  const std::size_t c = node_congestion(routing, g.num_vertices());
+  std::cout << workload << " of " << problem.size()
+            << " packets: congestion " << c << ", dilation " << sim.dilation
+            << ", makespan " << sim.makespan << " (lower bound "
+            << PacketSimResult::lower_bound(c, sim.dilation)
+            << "), mean latency " << sim.mean_latency << ", max queue "
+            << sim.max_queue << "\n";
+  return 0;
+}
+
+int cmd_tables(const std::vector<std::string>& args) {
+  if (args.empty()) usage("tables needs <graph>");
+  const Graph g = read_graph_file(args[0]);
+  const auto tables = RoutingTables::build(g, arg_u64(args, 1, 0));
+  std::cout << "next-hop tables: " << tables.total_bits() << " bits total ("
+            << static_cast<double>(tables.total_bits()) / 8192.0
+            << " KiB), " << tables.bits_per_entry() << " bits/entry\n";
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) usage("info needs <in>");
+  const Graph g = read_graph_file(args[0]);
+  Table t({"quantity", "value"});
+  t.add("vertices", g.num_vertices());
+  t.add("edges", g.num_edges());
+  t.add("min degree", g.min_degree());
+  t.add("max degree", g.max_degree());
+  t.add("regular", std::string(g.is_regular() ? "yes" : "no"));
+  t.add("connected", std::string(is_connected(g) ? "yes" : "no"));
+  if (g.num_vertices() >= 2 && g.num_edges() >= 1) {
+    const auto expansion = estimate_expansion(g);
+    t.add("lambda1", expansion.lambda1);
+    t.add("lambda (expansion)", expansion.lambda);
+    t.add("normalized expansion", expansion.normalized());
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "spanner") return cmd_spanner(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "route") return cmd_route(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "tables") return cmd_tables(args);
+    if (command == "info") return cmd_info(args);
+    usage("unknown command: " + command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

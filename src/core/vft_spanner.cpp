@@ -56,12 +56,17 @@ std::size_t count_vft_violations(const Graph& g, const Graph& h,
   DCS_REQUIRE(g.num_vertices() == h.num_vertices(),
               "spanner must share the vertex set");
   const std::size_t n = g.num_vertices();
+  // f ≥ n kills every vertex: G∖F has no surviving pairs, so the property
+  // holds vacuously in every trial (and sampling f distinct vertices would
+  // never terminate).
+  const std::size_t f_eff = std::min(f, n);
   std::vector<std::uint8_t> failed(trials, 0);
   parallel_for(0, trials, [&](std::size_t trial) {
     Rng rng(mix64(seed, trial));
-    // random fault set of size exactly f (≤ f is implied by monotonicity)
+    // random fault set of size exactly min(f, n) (≤ f is implied by
+    // monotonicity)
     std::vector<Vertex> faults;
-    while (faults.size() < f) {
+    while (faults.size() < f_eff) {
       const auto v = static_cast<Vertex>(rng.uniform(n));
       bool dup = false;
       for (Vertex u : faults) dup |= (u == v);

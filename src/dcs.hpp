@@ -65,3 +65,10 @@
 #include "dist/dist_spanner.hpp"
 #include "dist/dist_verify.hpp"
 #include "dist/local_model.hpp"
+
+// resilience (fault injection, self-healing, degradation-aware routing)
+#include "resilience/failure_injector.hpp"
+#include "resilience/fault_state.hpp"
+#include "resilience/health_monitor.hpp"
+#include "resilience/resilient_router.hpp"
+#include "resilience/spanner_repair.hpp"

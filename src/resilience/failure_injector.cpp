@@ -1,0 +1,245 @@
+#include "resilience/failure_injector.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Within a wave recoveries are applied before crashes, so an element that
+// flaps back up can be crashed again in the same wave without the two
+// events cancelling in the wrong order.
+int kind_rank(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVertexUp:
+    case FaultKind::kEdgeUp:
+      return 0;
+    case FaultKind::kVertexDown:
+    case FaultKind::kEdgeDown:
+      return 1;
+  }
+  return 2;
+}
+
+bool event_order(const FaultEvent& a, const FaultEvent& b) {
+  if (a.wave != b.wave) return a.wave < b.wave;
+  const int ra = kind_rank(a.kind);
+  const int rb = kind_rank(b.kind);
+  if (ra != rb) return ra < rb;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+const char* kind_token(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVertexDown: return "v-";
+    case FaultKind::kVertexUp: return "v+";
+    case FaultKind::kEdgeDown: return "e-";
+    case FaultKind::kEdgeUp: return "e+";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t FailureSchedule::num_waves() const {
+  return events.empty() ? 0 : events.back().wave + 1;
+}
+
+std::span<const FaultEvent> FailureSchedule::wave(std::size_t w) const {
+  const auto lo = std::lower_bound(
+      events.begin(), events.end(), w,
+      [](const FaultEvent& e, std::size_t v) { return e.wave < v; });
+  const auto hi = std::upper_bound(
+      events.begin(), events.end(), w,
+      [](std::size_t v, const FaultEvent& e) { return v < e.wave; });
+  return {events.data() + (lo - events.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::size_t FailureSchedule::vertex_crashes() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [](const FaultEvent& e) {
+        return e.kind == FaultKind::kVertexDown;
+      }));
+}
+
+std::size_t FailureSchedule::edge_crashes() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [](const FaultEvent& e) {
+        return e.kind == FaultKind::kEdgeDown;
+      }));
+}
+
+void write_schedule(std::ostream& os, const FailureSchedule& schedule) {
+  for (const FaultEvent& e : schedule.events) {
+    os << e.wave << ' ' << kind_token(e.kind) << ' ' << e.u;
+    if (e.kind == FaultKind::kEdgeDown || e.kind == FaultKind::kEdgeUp) {
+      os << ' ' << e.v;
+    }
+    os << '\n';
+  }
+}
+
+FailureSchedule read_schedule(std::istream& is) {
+  FailureSchedule schedule;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::size_t wave = 0;
+    std::string token;
+    DCS_REQUIRE(static_cast<bool>(ls >> wave >> token),
+                "malformed schedule line: " + line);
+    FaultEvent event;
+    event.wave = wave;
+    if (token == "v-" || token == "v+") {
+      Vertex u = kInvalidVertex;
+      DCS_REQUIRE(static_cast<bool>(ls >> u), "missing vertex: " + line);
+      event = token == "v-" ? FaultEvent::vertex_down(wave, u)
+                            : FaultEvent::vertex_up(wave, u);
+    } else if (token == "e-" || token == "e+") {
+      Vertex u = kInvalidVertex;
+      Vertex v = kInvalidVertex;
+      DCS_REQUIRE(static_cast<bool>(ls >> u >> v), "missing edge: " + line);
+      event = token == "e-" ? FaultEvent::edge_down(wave, {u, v})
+                            : FaultEvent::edge_up(wave, {u, v});
+    } else {
+      DCS_REQUIRE(false, "unknown event kind: " + token);
+    }
+    schedule.events.push_back(event);
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(), event_order);
+  return schedule;
+}
+
+FailureInjector::FailureInjector(const Graph& g,
+                                 const FailureInjectorOptions& options)
+    : g_(g), options_(options) {
+  DCS_REQUIRE(options_.waves >= 1, "schedule needs at least one wave");
+  DCS_REQUIRE(options_.edge_fault_fraction >= 0.0 &&
+                  options_.edge_fault_fraction <= 1.0,
+              "edge fault fraction must be in [0, 1]");
+  DCS_REQUIRE(options_.flap_probability >= 0.0 &&
+                  options_.flap_probability <= 1.0,
+              "flap probability must be in [0, 1]");
+  DCS_REQUIRE(options_.flap_duration >= 1, "flap duration must be >= 1");
+}
+
+FailureSchedule FailureInjector::generate() const {
+  return generate_impl(nullptr);
+}
+
+FailureSchedule FailureInjector::generate_adversarial(
+    const Routing& routing) const {
+  const auto loads = node_loads(routing, g_.num_vertices());
+  return generate_impl(&loads);
+}
+
+FailureSchedule FailureInjector::generate_impl(
+    const std::vector<std::size_t>* loads) const {
+  const std::size_t n = g_.num_vertices();
+  FailureSchedule schedule;
+  FaultState state(n);
+  // Recoveries scheduled by earlier waves, keyed by the wave they fire in.
+  std::map<std::size_t, std::vector<FaultEvent>> pending_up;
+
+  for (std::size_t w = 0; w < options_.waves; ++w) {
+    Rng rng(mix64(options_.seed, w));
+
+    // Flapped elements recover before this wave's crashes land.
+    if (auto it = pending_up.find(w); it != pending_up.end()) {
+      for (const FaultEvent& up : it->second) {
+        state.apply(up);
+        schedule.events.push_back(up);
+      }
+      pending_up.erase(it);
+    }
+
+    auto emit = [&](FaultEvent down) {
+      state.apply(down);
+      schedule.events.push_back(down);
+      if (options_.flap_probability > 0.0 &&
+          rng.bernoulli(options_.flap_probability)) {
+        FaultEvent up = down;
+        up.wave = w + options_.flap_duration;
+        up.kind = down.kind == FaultKind::kVertexDown ? FaultKind::kVertexUp
+                                                      : FaultKind::kEdgeUp;
+        pending_up[up.wave].push_back(up);
+      }
+    };
+
+    // Vertex crashes.
+    if (options_.vertex_faults_per_wave > 0) {
+      std::vector<Vertex> alive;
+      alive.reserve(n);
+      for (Vertex v = 0; v < n; ++v) {
+        if (state.vertex_alive(v)) alive.push_back(v);
+      }
+      const std::size_t count =
+          std::min(options_.vertex_faults_per_wave, alive.size());
+      if (loads != nullptr) {
+        std::stable_sort(alive.begin(), alive.end(),
+                         [&](Vertex a, Vertex b) {
+                           if ((*loads)[a] != (*loads)[b]) {
+                             return (*loads)[a] > (*loads)[b];
+                           }
+                           return a < b;
+                         });
+      } else {
+        rng.shuffle(alive);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        emit(FaultEvent::vertex_down(w, alive[i]));
+      }
+    }
+
+    // Edge crashes among the edges still alive after this wave's vertex
+    // crashes (crashing an edge of a dead vertex would be a no-op).
+    std::vector<Edge> live;
+    live.reserve(g_.num_edges());
+    for (Edge e : g_.edges()) {
+      if (state.edge_alive(e)) live.push_back(e);
+    }
+    std::size_t edge_count =
+        static_cast<std::size_t>(options_.edge_fault_fraction *
+                                 static_cast<double>(live.size())) +
+        options_.edge_faults_per_wave;
+    edge_count = std::min(edge_count, live.size());
+    if (edge_count > 0) {
+      if (loads != nullptr) {
+        std::stable_sort(live.begin(), live.end(), [&](Edge a, Edge b) {
+          const std::size_t la = (*loads)[a.u] + (*loads)[a.v];
+          const std::size_t lb = (*loads)[b.u] + (*loads)[b.v];
+          if (la != lb) return la > lb;
+          return a < b;
+        });
+      } else {
+        rng.shuffle(live);
+      }
+      for (std::size_t i = 0; i < edge_count; ++i) {
+        emit(FaultEvent::edge_down(w, live[i]));
+      }
+    }
+  }
+
+  // Recoveries that fire after the last injection wave still belong to the
+  // log (the router observes them as late link recoveries).
+  for (auto& [wave, ups] : pending_up) {
+    for (const FaultEvent& up : ups) schedule.events.push_back(up);
+  }
+
+  std::sort(schedule.events.begin(), schedule.events.end(), event_order);
+  return schedule;
+}
+
+}  // namespace dcs

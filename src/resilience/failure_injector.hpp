@@ -1,0 +1,92 @@
+#pragma once
+
+// Deterministic, seeded failure schedules over a Graph.
+//
+// A schedule is a flat, wave-ordered event log — the ground truth of an
+// experiment. Everything downstream (health checks, repair, the resilient
+// router) consumes the log, so a run is replayable byte-for-byte: same
+// graph + same schedule ⇒ same outcome. Schedules round-trip through a
+// plain-text format (`write_schedule`/`read_schedule`) so they can be
+// archived next to bench output.
+//
+// Fault modes:
+//  * edge crash      — a seeded sample of the currently-live edges per wave;
+//  * vertex crash    — a seeded sample of the currently-live vertices;
+//  * flapping        — any generated fault is transient with probability
+//                      `flap_probability` and recovers `flap_duration`
+//                      waves later (modeling lossy links that come back);
+//  * adversarial     — instead of sampling, target the highest-load
+//                      vertices (and their hottest edges) reported by a
+//                      Routing's congestion profile: the worst case for a
+//                      congestion-aware spanner is losing its hubs.
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "resilience/fault_state.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+struct FailureSchedule {
+  /// Events sorted by (wave, kind, u, v); waves need not be contiguous.
+  std::vector<FaultEvent> events;
+
+  std::size_t num_waves() const;
+
+  /// The contiguous slice of events belonging to `wave` (possibly empty).
+  std::span<const FaultEvent> wave(std::size_t wave) const;
+
+  /// Counts of injected (down) events, for reporting.
+  std::size_t vertex_crashes() const;
+  std::size_t edge_crashes() const;
+
+  bool operator==(const FailureSchedule&) const = default;
+};
+
+/// Plain-text replayable log: one `wave kind u [v]` line per event.
+void write_schedule(std::ostream& os, const FailureSchedule& schedule);
+FailureSchedule read_schedule(std::istream& is);
+
+struct FailureInjectorOptions {
+  std::uint64_t seed = 0;
+  std::size_t waves = 1;
+
+  /// Per wave: crash this fraction of the currently-live edges …
+  double edge_fault_fraction = 0.0;
+  /// … plus this absolute number of live edges.
+  std::size_t edge_faults_per_wave = 0;
+  /// Per wave: crash this many currently-live vertices.
+  std::size_t vertex_faults_per_wave = 0;
+
+  /// Probability that a generated fault is transient (flapping).
+  double flap_probability = 0.0;
+  /// Waves until a transient fault recovers. Recovery events may land
+  /// beyond `waves`; apply the full schedule to observe them.
+  std::size_t flap_duration = 1;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(const Graph& g, const FailureInjectorOptions& options);
+
+  /// Seeded random schedule (edge/vertex crashes + flapping).
+  FailureSchedule generate() const;
+
+  /// Adversarial schedule: vertex crashes target the highest-load alive
+  /// vertices of `routing` (ties broken by vertex id), edge crashes the
+  /// live edges with the largest endpoint-load sums. Flapping applies as
+  /// in the random mode. `routing` is the congestion profile on the graph
+  /// under attack (typically the substitute routing on the spanner).
+  FailureSchedule generate_adversarial(const Routing& routing) const;
+
+ private:
+  FailureSchedule generate_impl(const std::vector<std::size_t>* loads) const;
+
+  const Graph& g_;
+  FailureInjectorOptions options_;
+};
+
+}  // namespace dcs

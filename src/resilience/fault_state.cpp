@@ -1,0 +1,56 @@
+#include "resilience/fault_state.hpp"
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+void FaultState::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kVertexDown: {
+      DCS_REQUIRE(event.u < num_vertices(), "fault event vertex out of range");
+      if (vertex_down_[event.u] == 0) {
+        vertex_down_[event.u] = 1;
+        ++failed_vertex_count_;
+      }
+      break;
+    }
+    case FaultKind::kVertexUp: {
+      DCS_REQUIRE(event.u < num_vertices(), "fault event vertex out of range");
+      if (vertex_down_[event.u] != 0) {
+        vertex_down_[event.u] = 0;
+        --failed_vertex_count_;
+      }
+      break;
+    }
+    case FaultKind::kEdgeDown: {
+      DCS_REQUIRE(event.u < num_vertices() && event.v < num_vertices(),
+                  "fault event edge out of range");
+      edge_down_.insert(event.u, event.v);
+      break;
+    }
+    case FaultKind::kEdgeUp: {
+      DCS_REQUIRE(event.u < num_vertices() && event.v < num_vertices(),
+                  "fault event edge out of range");
+      edge_down_.erase(canonical(event.u, event.v));
+      break;
+    }
+  }
+}
+
+void FaultState::apply(std::span<const FaultEvent> events) {
+  for (const FaultEvent& e : events) apply(e);
+}
+
+Graph FaultState::surviving(const Graph& g) const {
+  DCS_REQUIRE(g.num_vertices() == num_vertices(),
+              "fault state built for a different vertex set");
+  if (clean()) return g;
+  std::vector<Edge> kept;
+  kept.reserve(g.num_edges());
+  for (Edge e : g.edges()) {
+    if (edge_alive(e)) kept.push_back(e);
+  }
+  return Graph::from_edges(g.num_vertices(), kept);
+}
+
+}  // namespace dcs

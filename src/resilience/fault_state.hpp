@@ -1,0 +1,92 @@
+#pragma once
+
+// Runtime fault model: a mutable overlay of crashed vertices and edges on
+// top of the immutable CSR graphs used everywhere else.
+//
+// Faults apply to the *network* G; the spanner H ⊆ G inherits them, so one
+// FaultState filters both graphs consistently (`surviving`). Vertex and
+// edge failures are tracked independently: a vertex crash silences every
+// incident edge implicitly (they come back if the vertex recovers), while
+// an edge crash marks the single edge and persists across vertex recovery
+// until an explicit edge-up event.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace dcs {
+
+enum class FaultKind : std::uint8_t {
+  kVertexDown,
+  kVertexUp,
+  kEdgeDown,
+  kEdgeUp,
+};
+
+/// One entry of a replayable failure log. Vertex events store the vertex in
+/// `u` (v = kInvalidVertex); edge events store the canonical edge.
+struct FaultEvent {
+  std::size_t wave = 0;  ///< injection wave the event belongs to
+  FaultKind kind = FaultKind::kVertexDown;
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+
+  bool operator==(const FaultEvent&) const = default;
+
+  static FaultEvent vertex_down(std::size_t wave, Vertex w) {
+    return {wave, FaultKind::kVertexDown, w, kInvalidVertex};
+  }
+  static FaultEvent vertex_up(std::size_t wave, Vertex w) {
+    return {wave, FaultKind::kVertexUp, w, kInvalidVertex};
+  }
+  static FaultEvent edge_down(std::size_t wave, Edge e) {
+    e = canonical(e);
+    return {wave, FaultKind::kEdgeDown, e.u, e.v};
+  }
+  static FaultEvent edge_up(std::size_t wave, Edge e) {
+    e = canonical(e);
+    return {wave, FaultKind::kEdgeUp, e.u, e.v};
+  }
+};
+
+/// Live/dead bookkeeping for a graph on n vertices.
+class FaultState {
+ public:
+  explicit FaultState(std::size_t n) : vertex_down_(n, 0) {}
+
+  std::size_t num_vertices() const { return vertex_down_.size(); }
+
+  void apply(const FaultEvent& event);
+  void apply(std::span<const FaultEvent> events);
+
+  bool vertex_alive(Vertex v) const { return vertex_down_[v] == 0; }
+
+  /// An edge is alive iff both endpoints are alive and the edge itself has
+  /// not been individually crashed.
+  bool edge_alive(Vertex u, Vertex v) const {
+    return vertex_alive(u) && vertex_alive(v) &&
+           !edge_down_.contains(canonical(u, v));
+  }
+  bool edge_alive(Edge e) const { return edge_alive(e.u, e.v); }
+
+  std::size_t failed_vertices() const { return failed_vertex_count_; }
+  std::size_t failed_edges() const { return edge_down_.size(); }
+  bool clean() const { return failed_vertex_count_ == 0 && edge_down_.empty(); }
+
+  /// The surviving subgraph of `g` on the same vertex set: keeps exactly
+  /// the edges that are alive under this state. Dead vertices remain as
+  /// isolated vertices so vertex ids stay stable across the fleet of
+  /// graphs (G, H, sampled G', …).
+  Graph surviving(const Graph& g) const;
+
+ private:
+  std::vector<std::uint8_t> vertex_down_;
+  std::size_t failed_vertex_count_ = 0;
+  EdgeSet edge_down_;
+};
+
+}  // namespace dcs

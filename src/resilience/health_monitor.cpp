@@ -1,0 +1,99 @@
+#include "resilience/health_monitor.hpp"
+
+#include <sstream>
+
+#include "core/router.hpp"
+#include "routing/matching.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+const char* to_string(GuaranteeStatus status) {
+  switch (status) {
+    case GuaranteeStatus::kHeld: return "held";
+    case GuaranteeStatus::kDegraded: return "degraded";
+    case GuaranteeStatus::kLost: return "lost";
+  }
+  return "?";
+}
+
+std::string DegradationReport::summary() const {
+  std::ostringstream os;
+  os << "distance " << to_string(distance) << " (max stretch "
+     << stretch.max_stretch << ", certified alpha " << certified_alpha
+     << ", " << stretch.unreachable << " uncovered)";
+  os << ", faults: " << failed_vertices << "v/" << failed_edges << "e";
+  os << ", survivors: " << surviving_g_edges << " G-edges, "
+     << surviving_h_edges << " H-edges";
+  if (congestion_checked) {
+    os << ", congestion " << to_string(congestion_status) << " (C_H = "
+       << congestion.spanner_congestion << ", stretch "
+       << congestion.congestion_stretch() << ")";
+  }
+  return os.str();
+}
+
+HealthMonitor::HealthMonitor(const Graph& g, HealthMonitorOptions options)
+    : g_(g), options_(options) {
+  DCS_REQUIRE(options_.alpha >= 1.0, "alpha must be at least 1");
+  DCS_REQUIRE(options_.bfs_cap >= 1, "verification horizon must be positive");
+}
+
+DegradationReport HealthMonitor::check(const Graph& h,
+                                       const FaultState& state) const {
+  return check_surviving(state.surviving(g_), state.surviving(h), state);
+}
+
+DegradationReport HealthMonitor::check_surviving(const Graph& g_surviving,
+                                                 const Graph& h_surviving,
+                                                 const FaultState& state) const {
+  DCS_REQUIRE(g_surviving.num_vertices() == g_.num_vertices() &&
+                  h_surviving.num_vertices() == g_.num_vertices(),
+              "surviving graphs must share the host vertex set");
+  DCS_REQUIRE(g_surviving.contains_subgraph(h_surviving),
+              "spanner is not a subgraph of the surviving network");
+
+  DegradationReport report;
+  report.failed_vertices = state.failed_vertices();
+  report.failed_edges = state.failed_edges();
+  report.surviving_g_edges = g_surviving.num_edges();
+  report.surviving_h_edges = h_surviving.num_edges();
+
+  report.stretch =
+      measure_distance_stretch(g_surviving, h_surviving, options_.bfs_cap);
+  if (report.stretch.satisfies(options_.alpha)) {
+    report.distance = GuaranteeStatus::kHeld;
+    report.certified_alpha = options_.alpha;
+  } else if (report.stretch.unreachable == 0) {
+    report.distance = GuaranteeStatus::kDegraded;
+    report.certified_alpha = report.stretch.max_stretch;
+  } else {
+    report.distance = GuaranteeStatus::kLost;
+    report.certified_alpha = 0.0;  // no finite bound certifiable
+  }
+
+  // Congestion recertification only makes sense while every surviving pair
+  // is still routable on H∖F; with the distance guarantee lost the router
+  // would throw on the uncovered pairs.
+  if (options_.check_congestion &&
+      report.distance != GuaranteeStatus::kLost &&
+      g_surviving.num_edges() > 0) {
+    const auto matched = greedy_maximal_matching(g_surviving, options_.seed);
+    if (!matched.empty()) {
+      const auto problem = RoutingProblem::from_edges(matched);
+      DetourRouter router(h_surviving, h_surviving);
+      report.congestion = measure_matching_congestion(
+          g_surviving, h_surviving, problem, router, options_.seed + 1);
+      report.congestion_checked = true;
+      report.congestion_status =
+          options_.beta <= 0.0 ||
+                  report.congestion.congestion_stretch() <=
+                      options_.beta + 1e-9
+              ? GuaranteeStatus::kHeld
+              : GuaranteeStatus::kDegraded;
+    }
+  }
+  return report;
+}
+
+}  // namespace dcs

@@ -1,0 +1,83 @@
+#pragma once
+
+// Post-fault recertification of the (α, β) spanner guarantees.
+//
+// After each fault wave the monitor re-measures Definition 1 (distance
+// stretch) and, optionally, the matching congestion of Definition 2 on the
+// *surviving* subgraphs G∖F and H∖F, and classifies each guarantee:
+//
+//  * held               — the original bound still holds (stretch ≤ α);
+//  * degraded (bounded) — every surviving pair is still covered but the
+//                         worst-case bound grew; the report carries the
+//                         measured bound so routing can adapt;
+//  * lost               — some pair that is connected in G∖F is not
+//                         connected within the verification horizon in
+//                         H∖F: the spanner needs repair, not tolerance.
+
+#include <string>
+
+#include "core/verifier.hpp"
+#include "graph/graph.hpp"
+#include "resilience/fault_state.hpp"
+
+namespace dcs {
+
+enum class GuaranteeStatus : std::uint8_t {
+  kHeld,
+  kDegraded,
+  kLost,
+};
+
+const char* to_string(GuaranteeStatus status);
+
+struct HealthMonitorOptions {
+  double alpha = 3.0;  ///< distance-stretch bound to certify
+  Dist bfs_cap = 16;   ///< verification horizon (pairs beyond it = lost)
+  bool check_congestion = false;
+  /// Matching congestion-stretch bound to certify when checking congestion
+  /// (0 = measure and report, never degrade on congestion alone).
+  double beta = 0.0;
+  std::uint64_t seed = 0;  ///< seeds the congestion workload + routing
+};
+
+struct DegradationReport {
+  GuaranteeStatus distance = GuaranteeStatus::kHeld;
+  DistanceStretchReport stretch;   ///< measured on G∖F vs H∖F
+  double certified_alpha = 0.0;    ///< the bound that actually holds
+                                   ///< (= measured max stretch if degraded)
+  std::size_t surviving_g_edges = 0;
+  std::size_t surviving_h_edges = 0;
+  std::size_t failed_vertices = 0;
+  std::size_t failed_edges = 0;
+
+  bool congestion_checked = false;
+  GuaranteeStatus congestion_status = GuaranteeStatus::kHeld;
+  CongestionReport congestion;     ///< matching workload on the survivors
+
+  bool healthy() const { return distance == GuaranteeStatus::kHeld; }
+
+  /// One-line human-readable digest for logs and the CLI.
+  std::string summary() const;
+};
+
+class HealthMonitor {
+ public:
+  /// `g` is the fault-free network; it must outlive the monitor.
+  explicit HealthMonitor(const Graph& g, HealthMonitorOptions options = {});
+
+  /// Recertifies `h` (the current spanner, a subgraph of G) under `state`:
+  /// both graphs are filtered to their surviving subgraphs first.
+  DegradationReport check(const Graph& h, const FaultState& state) const;
+
+  /// Same, with the survivors already materialized (avoids refiltering when
+  /// the caller needs the surviving graphs anyway).
+  DegradationReport check_surviving(const Graph& g_surviving,
+                                    const Graph& h_surviving,
+                                    const FaultState& state) const;
+
+ private:
+  const Graph& g_;
+  HealthMonitorOptions options_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,304 @@
+#include "resilience/resilient_router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "routing/rerouting.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+const char* to_string(PacketFate fate) {
+  switch (fate) {
+    case PacketFate::kDelivered: return "delivered";
+    case PacketFate::kDroppedUnreachable: return "unreachable";
+    case PacketFate::kDroppedRetryLimit: return "retry-limit";
+    case PacketFate::kInFlight: return "in-flight";
+  }
+  return "?";
+}
+
+namespace {
+
+struct PacketState {
+  Path path;          // current plan; path[pos] is the packet's node
+  std::size_t pos = 0;
+  Vertex source = kInvalidVertex;
+  Vertex destination = kInvalidVertex;
+  std::size_t reroutes = 0;
+  bool parked = false;
+};
+
+}  // namespace
+
+ResilientSimResult simulate_resilient(const Graph& g, const Routing& routing,
+                                      const FailureSchedule& schedule,
+                                      const ResilientRouterOptions& options) {
+  DCS_REQUIRE(options.wave_interval >= 1, "wave interval must be positive");
+  DCS_REQUIRE(options.reroute_timeout >= 1, "reroute timeout must be positive");
+  DCS_REQUIRE(options.backoff_factor >= 1, "backoff factor must be >= 1");
+
+  const std::size_t n = g.num_vertices();
+  const std::size_t packets = routing.paths.size();
+
+  ResilientSimResult result;
+  result.fate.assign(packets, PacketFate::kInFlight);
+  result.latency.assign(packets, ResilientSimResult::kUndelivered);
+  if (packets == 0) {
+    result.status = SimStatus::kCompleted;
+    return result;
+  }
+
+  std::vector<PacketState> ps(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    const Path& p = routing.paths[i];
+    DCS_REQUIRE(!p.empty(), "packet with an empty path");
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      DCS_REQUIRE(g.has_edge(p[j], p[j + 1]), "packet path uses a non-edge");
+    }
+    ps[i].path = p;
+    ps[i].source = p.front();
+    ps[i].destination = p.back();
+  }
+
+  FaultState state(n);
+  Graph surviving = g;
+  bool surviving_dirty = false;
+  auto survivors = [&]() -> const Graph& {
+    if (surviving_dirty) {
+      surviving = state.surviving(g);
+      surviving_dirty = false;
+    }
+    return surviving;
+  };
+
+  std::vector<std::deque<std::size_t>> queue(n);
+  // Queued + parked packets per node: the buffer occupancy reroutes avoid.
+  std::vector<std::size_t> buffered(n, 0);
+  std::map<std::size_t, std::vector<std::size_t>> parked;  // deadline → ids
+  Rng rng(mix64(options.seed, 0x7e5111e27ULL));
+
+  std::size_t active = 0;
+  std::size_t round = 0;
+
+  auto backoff_wait = [&](std::size_t reroutes_so_far) {
+    std::size_t wait = options.reroute_timeout;
+    for (std::size_t k = 0; k < reroutes_so_far; ++k) {
+      if (wait > options.max_rounds / options.backoff_factor) break;
+      wait *= options.backoff_factor;
+    }
+    return wait;
+  };
+
+  auto finish = [&](std::size_t i, PacketFate fate) {
+    result.fate[i] = fate;
+    --active;
+    if (fate == PacketFate::kDelivered) {
+      result.latency[i] = round;
+      result.makespan = std::max(result.makespan, round);
+      ++result.delivered;
+    } else if (fate == PacketFate::kDroppedUnreachable) {
+      ++result.dropped_unreachable;
+    } else if (fate == PacketFate::kDroppedRetryLimit) {
+      ++result.dropped_retry_limit;
+    }
+  };
+
+  auto park = [&](std::size_t i) {
+    const std::size_t wait = backoff_wait(ps[i].reroutes);
+    ps[i].parked = true;
+    parked[round + wait].push_back(i);
+    result.wait_rounds += wait;
+    ++buffered[ps[i].path[ps[i].pos]];
+  };
+
+  // Final classification when the retry budget runs out: a packet whose
+  // destination is dead or disconnected from its position is unreachable —
+  // an explained drop any router would share.
+  auto drop_exhausted = [&](std::size_t i, const Graph& live) {
+    const Vertex cur = ps[i].path[ps[i].pos];
+    const bool reachable =
+        state.vertex_alive(cur) && state.vertex_alive(ps[i].destination) &&
+        bfs_distance(live, cur, ps[i].destination) != kUnreachable;
+    finish(i, reachable ? PacketFate::kDroppedRetryLimit
+                        : PacketFate::kDroppedUnreachable);
+  };
+
+  // A packet whose node crashed: lost in flight, retransmitted from the
+  // source after backoff (if the retry budget allows).
+  auto lose_to_crash = [&](std::size_t i) {
+    if (!state.vertex_alive(ps[i].source)) {
+      finish(i, PacketFate::kDroppedUnreachable);
+      return;
+    }
+    if (ps[i].reroutes >= options.max_reroutes) {
+      finish(i, PacketFate::kDroppedRetryLimit);
+      return;
+    }
+    ++ps[i].reroutes;
+    ++result.retransmits;
+    ps[i].path = {ps[i].source};
+    ps[i].pos = 0;
+    park(i);
+  };
+
+  // Plan a fresh route from the packet's current node on the survivors,
+  // steering around hot buffers. Empty result = no route right now.
+  auto plan_route = [&](std::size_t i) -> Path {
+    const Vertex cur = ps[i].path[ps[i].pos];
+    const Vertex dest = ps[i].destination;
+    if (!state.vertex_alive(dest) || !state.vertex_alive(cur)) return {};
+    const Graph& live = survivors();
+    const std::size_t max_buf =
+        *std::max_element(buffered.begin(), buffered.end());
+    const auto threshold = std::max<std::size_t>(
+        2, static_cast<std::size_t>(options.load_avoidance *
+                                    static_cast<double>(max_buf)) + 1);
+    Path p = load_avoiding_path(live, cur, dest, buffered, threshold, rng);
+    if (p.empty()) p = bfs_shortest_path(live, cur, dest, &rng);
+    return p;
+  };
+
+  // Seeded random injection order, as in simulate_store_and_forward.
+  std::vector<std::size_t> order(packets);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng inject_rng(options.seed);
+  inject_rng.shuffle(order);
+  active = packets;
+  for (std::size_t i : order) {
+    if (ps[i].path.size() <= 1) {
+      result.fate[i] = PacketFate::kDelivered;
+      result.latency[i] = 0;
+      ++result.delivered;
+      --active;
+    } else {
+      queue[ps[i].source].push_back(i);
+      ++buffered[ps[i].source];
+    }
+  }
+  for (const auto& b : buffered) result.max_queue = std::max(result.max_queue, b);
+
+  std::size_t next_wave = 0;
+  std::vector<std::pair<Vertex, std::size_t>> arrivals;
+
+  while (active > 0 && round < options.max_rounds) {
+    ++round;
+
+    // 1. Fault waves due this round.
+    while (next_wave < schedule.num_waves() &&
+           next_wave * options.wave_interval + 1 == round) {
+      const auto events = schedule.wave(next_wave);
+      state.apply(events);
+      if (!events.empty()) surviving_dirty = true;
+      ++next_wave;
+      // Packets buffered at freshly-dead nodes are lost in flight.
+      for (const FaultEvent& e : events) {
+        if (e.kind != FaultKind::kVertexDown) continue;
+        for (std::size_t i : queue[e.u]) {
+          buffered[e.u] = buffered[e.u] > 0 ? buffered[e.u] - 1 : 0;
+          lose_to_crash(i);
+        }
+        queue[e.u].clear();
+      }
+    }
+
+    // 2. Parked packets whose deadline arrived re-enter the network.
+    while (!parked.empty() && parked.begin()->first <= round) {
+      auto it = parked.begin();
+      std::vector<std::size_t> due = std::move(it->second);
+      parked.erase(it);
+      for (std::size_t i : due) {
+        ps[i].parked = false;
+        const Vertex cur = ps[i].path[ps[i].pos];
+        buffered[cur] = buffered[cur] > 0 ? buffered[cur] - 1 : 0;
+        if (!state.vertex_alive(cur)) {
+          // The node died while the packet was parked on it.
+          lose_to_crash(i);
+          continue;
+        }
+        const bool mid_path = ps[i].pos + 1 < ps[i].path.size();
+        if (mid_path &&
+            state.edge_alive(cur, ps[i].path[ps[i].pos + 1])) {
+          // The link flapped back: resume the original plan for free.
+          queue[cur].push_back(i);
+          ++buffered[cur];
+          continue;
+        }
+        if (ps[i].reroutes >= options.max_reroutes) {
+          drop_exhausted(i, survivors());
+          continue;
+        }
+        Path fresh = plan_route(i);
+        if (fresh.empty()) {
+          // No route right now; wait out another backoff window in case
+          // a transient fault recovers.
+          ++ps[i].reroutes;
+          park(i);
+          continue;
+        }
+        ++ps[i].reroutes;
+        ++result.reroutes;
+        ps[i].path = std::move(fresh);
+        ps[i].pos = 0;
+        if (ps[i].path.size() <= 1) {
+          finish(i, PacketFate::kDelivered);
+          continue;
+        }
+        queue[cur].push_back(i);
+        ++buffered[cur];
+      }
+    }
+
+    // 3. Forwarding: each alive node sends the first packet in its queue
+    // whose next hop is alive; stranded heads are parked, not blocking.
+    arrivals.clear();
+    for (Vertex v = 0; v < n; ++v) {
+      if (queue[v].empty() || !state.vertex_alive(v)) continue;
+      while (!queue[v].empty()) {
+        const std::size_t i = queue[v].front();
+        const Vertex next = ps[i].path[ps[i].pos + 1];
+        if (state.edge_alive(v, next)) {
+          queue[v].pop_front();
+          buffered[v] = buffered[v] > 0 ? buffered[v] - 1 : 0;
+          ++ps[i].pos;
+          if (ps[i].pos + 1 == ps[i].path.size()) {
+            finish(i, PacketFate::kDelivered);
+          } else {
+            arrivals.emplace_back(next, i);
+          }
+          break;  // node capacity 1: one forward per round
+        }
+        // Next hop dead: park and consider the next queued packet.
+        queue[v].pop_front();
+        buffered[v] = buffered[v] > 0 ? buffered[v] - 1 : 0;
+        park(i);
+      }
+    }
+    for (const auto& [node, i] : arrivals) {
+      queue[node].push_back(i);
+      ++buffered[node];
+      result.max_queue = std::max(result.max_queue, buffered[node]);
+    }
+  }
+
+  result.rounds = round;
+  result.status =
+      active == 0 ? SimStatus::kCompleted : SimStatus::kTimedOut;
+  double total = 0.0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    if (result.fate[i] == PacketFate::kDelivered) {
+      total += static_cast<double>(result.latency[i]);
+    }
+  }
+  result.mean_latency =
+      result.delivered == 0
+          ? 0.0
+          : total / static_cast<double>(result.delivered);
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,94 @@
+#pragma once
+
+// Degradation-aware packet routing: the store-and-forward model of
+// routing/packet_sim.hpp extended with a live failure schedule and
+// retry-with-backoff recovery.
+//
+// Semantics per synchronous round (all deterministic from the seed):
+//
+//  1. The failure schedule's wave for this round is applied. A packet
+//     queued at a crashing vertex is lost in flight; its source
+//     retransmits it after a backoff timeout (a *retry*).
+//  2. Each alive node forwards the head of its FIFO queue one hop. A head
+//     packet whose next hop is dead (crashed vertex or crashed edge) is
+//     parked: it waits `reroute_timeout · backoff_factor^k` rounds (k =
+//     reroutes so far) for the element to flap back, then re-routes from
+//     its current node via `load_avoiding_path` on the surviving graph,
+//     steering around the currently hottest queues.
+//  3. Parked packets whose deadline arrived re-enter their node's queue —
+//     on the old path if the element recovered, on a fresh path otherwise.
+//
+// Every undelivered packet ends with an explained fate: unreachable (its
+// destination is dead or disconnected from its position — no router could
+// deliver it) or retry-budget exhausted. The simulation never throws on
+// long runs; like packet_sim it reports kTimedOut with partial stats.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "resilience/failure_injector.hpp"
+#include "resilience/fault_state.hpp"
+#include "routing/packet_sim.hpp"
+#include "routing/routing.hpp"
+
+namespace dcs {
+
+enum class PacketFate : std::uint8_t {
+  kDelivered,
+  kDroppedUnreachable,  ///< destination dead/disconnected when last tried
+  kDroppedRetryLimit,   ///< reroute budget exhausted
+  kInFlight,            ///< still moving when the round limit hit
+};
+
+const char* to_string(PacketFate fate);
+
+struct ResilientRouterOptions {
+  std::uint64_t seed = 0;
+  std::size_t max_rounds = 1u << 20;
+
+  /// Rounds between schedule waves: wave w is applied at the start of
+  /// round w · wave_interval + 1.
+  std::size_t wave_interval = 1;
+
+  /// Base wait before a stranded packet re-routes (also the retransmit
+  /// delay for packets lost to a vertex crash).
+  std::size_t reroute_timeout = 2;
+  /// Exponential backoff multiplier per successive reroute of one packet.
+  std::size_t backoff_factor = 2;
+  /// Per-packet cap on reroutes + retransmits.
+  std::size_t max_reroutes = 16;
+
+  /// Steer reroutes around nodes whose queue is ≥ this fraction of the
+  /// current maximum queue (soft: falls back to any shortest path).
+  double load_avoidance = 0.75;
+};
+
+struct ResilientSimResult {
+  SimStatus status = SimStatus::kCompleted;
+  std::size_t rounds = 0;        ///< rounds executed
+  std::size_t makespan = 0;      ///< last delivery round
+  double mean_latency = 0.0;     ///< over delivered packets
+  std::size_t max_queue = 0;
+
+  std::size_t delivered = 0;
+  std::size_t dropped_unreachable = 0;
+  std::size_t dropped_retry_limit = 0;
+
+  std::size_t reroutes = 0;      ///< successful path replacements
+  std::size_t retransmits = 0;   ///< packets re-injected at their source
+  std::size_t wait_rounds = 0;   ///< total rounds packets spent parked
+
+  std::vector<PacketFate> fate;        ///< per-packet outcome
+  std::vector<std::size_t> latency;    ///< delivery round (kUndelivered else)
+
+  static constexpr std::size_t kUndelivered = static_cast<std::size_t>(-1);
+};
+
+/// Simulates `routing` on `g` while `schedule` plays out. Paths must be
+/// valid walks on the fault-free g; faults strike mid-flight.
+ResilientSimResult simulate_resilient(const Graph& g, const Routing& routing,
+                                      const FailureSchedule& schedule,
+                                      const ResilientRouterOptions& options = {});
+
+}  // namespace dcs

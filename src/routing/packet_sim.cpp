@@ -55,8 +55,20 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
   std::size_t round = 0;
   std::vector<std::pair<Vertex, std::size_t>> arrivals;  // (node, packet)
   while (remaining > 0) {
-    DCS_REQUIRE(++round <= options.max_rounds,
-                "packet simulation exceeded the round limit");
+    if (round >= options.max_rounds) {
+      DCS_REQUIRE(!options.throw_on_timeout,
+                  "packet simulation exceeded the round limit");
+      // Graceful degradation: report the partial run; packets still in
+      // flight keep kUndelivered latencies.
+      result.status = SimStatus::kTimedOut;
+      for (std::size_t i = 0; i < packets; ++i) {
+        if (progress[i] + 1 < routing.paths[i].size()) {
+          result.latency[i] = PacketSimResult::kUndelivered;
+        }
+      }
+      break;
+    }
+    ++round;
     arrivals.clear();
     // Each node forwards the head of its queue one hop.
     for (Vertex v = 0; v < n; ++v) {
@@ -84,8 +96,16 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
 
   result.makespan = round;
   double total = 0.0;
-  for (std::size_t l : result.latency) total += static_cast<double>(l);
-  result.mean_latency = total / static_cast<double>(packets);
+  for (std::size_t l : result.latency) {
+    if (l != PacketSimResult::kUndelivered) {
+      total += static_cast<double>(l);
+      ++result.delivered;
+    }
+  }
+  result.mean_latency =
+      result.delivered == 0
+          ? 0.0
+          : total / static_cast<double>(result.delivered);
   return result;
 }
 

@@ -20,17 +20,34 @@
 
 namespace dcs {
 
+/// How a simulation ended. A timed-out run is not an error: the result
+/// carries the partial statistics accumulated up to the round limit so
+/// benches can report degraded configurations instead of aborting.
+enum class SimStatus : std::uint8_t {
+  kCompleted,  ///< every packet delivered
+  kTimedOut,   ///< round limit hit with packets still in flight
+};
+
 struct PacketSimOptions {
   std::uint64_t seed = 0;
-  std::size_t max_rounds = 1u << 20;  ///< safety valve; throws if exceeded
+  std::size_t max_rounds = 1u << 20;  ///< safety valve
+  /// Strict mode (for tests): throw std::invalid_argument on the round
+  /// limit instead of returning a kTimedOut result.
+  bool throw_on_timeout = false;
 };
 
 struct PacketSimResult {
-  std::size_t makespan = 0;      ///< rounds until the last delivery
-  double mean_latency = 0.0;     ///< average delivery round
+  SimStatus status = SimStatus::kCompleted;
+  std::size_t makespan = 0;      ///< rounds until the last delivery (or the
+                                 ///< round limit on timeout)
+  double mean_latency = 0.0;     ///< average delivery round (delivered only)
   std::size_t max_queue = 0;     ///< largest queue observed at any node
   std::size_t dilation = 0;      ///< max path length (D)
-  std::vector<std::size_t> latency;  ///< per-packet delivery round
+  std::size_t delivered = 0;     ///< packets delivered within the limit
+  std::vector<std::size_t> latency;  ///< per-packet delivery round;
+                                     ///< kUndelivered if still in flight
+
+  static constexpr std::size_t kUndelivered = static_cast<std::size_t>(-1);
 
   /// max(C−1, D) is a universal lower bound for node-capacitated
   /// store-and-forward scheduling of these paths.

@@ -6,7 +6,25 @@
 // so callers can recover and tests can assert on misuse.
 // DCS_CHECK is for internal invariants: failure indicates a library bug and
 // aborts via std::logic_error.
+//
+// Stream-style variants (DCS_REQUIRE_MSG / DCS_CHECK_MSG) accept a
+// `<<`-chain so failure messages can carry runtime values without building
+// strings on the happy path:
+//
+//   DCS_CHECK_MSG(load <= cap, "load " << load << " exceeds cap " << cap);
+//
+// Exception safety in noexcept contexts: both throwing macros are
+// *deliberately not* safe to use inside `noexcept` functions or
+// destructors — a throw escaping a noexcept boundary calls
+// std::terminate, which turns a recoverable report into an abort with no
+// unwinding. In such contexts use DCS_CHECK_ABORT, which never throws: it
+// prints the diagnostic to stderr and calls std::abort() directly, so the
+// failure location survives into the core dump instead of being masked by
+// the terminate handler. (The library itself contains no bare `assert`
+// calls; this header is the single checking facility.)
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -29,6 +47,17 @@ namespace dcs::detail {
   throw std::logic_error(os.str());
 }
 
+[[noreturn]] inline void abort_check(const char* expr, const char* file,
+                                     int line,
+                                     const std::string& msg) noexcept {
+  // No allocation-free guarantee is attempted: if formatting itself fails
+  // we still reach std::abort via the noexcept boundary.
+  std::fprintf(stderr, "invariant violated: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
 }  // namespace dcs::detail
 
 #define DCS_REQUIRE(expr, msg)                                       \
@@ -41,4 +70,37 @@ namespace dcs::detail {
   do {                                                               \
     if (!(expr))                                                     \
       ::dcs::detail::throw_check(#expr, __FILE__, __LINE__, msg);    \
+  } while (false)
+
+/// Stream-style message: the chain is only evaluated on failure.
+#define DCS_REQUIRE_MSG(expr, stream_msg)                            \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream dcs_os_;                                    \
+      dcs_os_ << stream_msg;                                         \
+      ::dcs::detail::throw_require(#expr, __FILE__, __LINE__,        \
+                                   dcs_os_.str());                   \
+    }                                                                \
+  } while (false)
+
+#define DCS_CHECK_MSG(expr, stream_msg)                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream dcs_os_;                                    \
+      dcs_os_ << stream_msg;                                         \
+      ::dcs::detail::throw_check(#expr, __FILE__, __LINE__,          \
+                                 dcs_os_.str());                     \
+    }                                                                \
+  } while (false)
+
+/// Non-throwing invariant check for noexcept contexts (destructors, thread
+/// teardown): prints and aborts instead of throwing into std::terminate.
+#define DCS_CHECK_ABORT(expr, stream_msg)                            \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream dcs_os_;                                    \
+      dcs_os_ << stream_msg;                                         \
+      ::dcs::detail::abort_check(#expr, __FILE__, __LINE__,          \
+                                 dcs_os_.str());                     \
+    }                                                                \
   } while (false)

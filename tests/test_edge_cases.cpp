@@ -67,7 +67,7 @@ TEST(EdgeCases, LowerBoundKTooBigForPool) {
   EXPECT_THROW(build_lower_bound_graph(10, 1, 6), std::invalid_argument);
 }
 
-TEST(EdgeCases, PacketSimRoundLimit) {
+TEST(EdgeCases, PacketSimRoundLimitReportsTimeout) {
   const Graph g = path_graph(50);
   Routing r;
   Path long_path(50);
@@ -75,8 +75,41 @@ TEST(EdgeCases, PacketSimRoundLimit) {
   r.paths = {long_path};
   PacketSimOptions o;
   o.max_rounds = 10;  // needs 49
+  const auto result = simulate_store_and_forward(g, r, o);
+  EXPECT_EQ(result.status, SimStatus::kTimedOut);
+  EXPECT_EQ(result.makespan, 10u);
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_EQ(result.latency[0], PacketSimResult::kUndelivered);
+  EXPECT_EQ(result.mean_latency, 0.0);
+}
+
+TEST(EdgeCases, PacketSimRoundLimitStrictModeThrows) {
+  const Graph g = path_graph(50);
+  Routing r;
+  Path long_path(50);
+  for (Vertex v = 0; v < 50; ++v) long_path[v] = v;
+  r.paths = {long_path};
+  PacketSimOptions o;
+  o.max_rounds = 10;  // needs 49
+  o.throw_on_timeout = true;
   EXPECT_THROW(simulate_store_and_forward(g, r, o),
                std::invalid_argument);
+}
+
+TEST(EdgeCases, PacketSimTimeoutKeepsPartialDeliveries) {
+  const Graph g = path_graph(50);
+  Routing r;
+  Path long_path(50);
+  for (Vertex v = 0; v < 50; ++v) long_path[v] = v;
+  r.paths = {long_path, {0, 1}};  // the short packet completes in time
+  PacketSimOptions o;
+  o.max_rounds = 10;
+  const auto result = simulate_store_and_forward(g, r, o);
+  EXPECT_EQ(result.status, SimStatus::kTimedOut);
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_EQ(result.latency[0], PacketSimResult::kUndelivered);
+  EXPECT_NE(result.latency[1], PacketSimResult::kUndelivered);
+  EXPECT_GT(result.mean_latency, 0.0);
 }
 
 TEST(EdgeCases, TablesRouteLengthUnreachable) {

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/regular_spanner.hpp"
+#include "core/verifier.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "resilience/failure_injector.hpp"
+#include "resilience/fault_state.hpp"
+#include "resilience/health_monitor.hpp"
+#include "resilience/resilient_router.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------- FaultState
+
+TEST(FaultState, VertexCrashSilencesIncidentEdges) {
+  const Graph g = cycle_graph(5);
+  FaultState state(5);
+  state.apply(FaultEvent::vertex_down(0, 2));
+  EXPECT_FALSE(state.vertex_alive(2));
+  EXPECT_FALSE(state.edge_alive(1, 2));
+  EXPECT_FALSE(state.edge_alive(2, 3));
+  EXPECT_TRUE(state.edge_alive(0, 1));
+  EXPECT_EQ(state.failed_vertices(), 1u);
+  EXPECT_EQ(state.failed_edges(), 0u);
+
+  const Graph survivors = state.surviving(g);
+  EXPECT_EQ(survivors.num_vertices(), 5u);  // ids stay stable
+  EXPECT_EQ(survivors.num_edges(), 3u);
+  EXPECT_EQ(survivors.degree(2), 0u);
+}
+
+TEST(FaultState, EdgeCrashPersistsAcrossVertexRecovery) {
+  FaultState state(4);
+  state.apply(FaultEvent::edge_down(0, Edge{1, 2}));
+  state.apply(FaultEvent::vertex_down(0, 1));
+  EXPECT_FALSE(state.edge_alive(1, 2));
+  state.apply(FaultEvent::vertex_up(1, 1));
+  EXPECT_TRUE(state.vertex_alive(1));
+  // the individually-crashed edge stays down until its own recovery
+  EXPECT_FALSE(state.edge_alive(1, 2));
+  state.apply(FaultEvent::edge_up(2, Edge{2, 1}));  // orientation-insensitive
+  EXPECT_TRUE(state.edge_alive(1, 2));
+  EXPECT_TRUE(state.clean());
+}
+
+TEST(FaultState, CleanStateSurvivingIsIdentity) {
+  const Graph g = random_regular(20, 4, 3);
+  const FaultState state(20);
+  EXPECT_TRUE(state.clean());
+  EXPECT_EQ(state.surviving(g), g);
+}
+
+// ----------------------------------------------------------- FailureInjector
+
+TEST(FailureInjector, DeterministicPerSeed) {
+  const Graph g = random_regular(60, 8, 5);
+  FailureInjectorOptions o;
+  o.seed = 42;
+  o.waves = 3;
+  o.edge_fault_fraction = 0.1;
+  o.vertex_faults_per_wave = 2;
+  o.flap_probability = 0.3;
+  const FailureInjector injector(g, o);
+  EXPECT_EQ(injector.generate(), injector.generate());
+
+  FailureInjectorOptions other = o;
+  other.seed = 43;
+  EXPECT_NE(injector.generate(), FailureInjector(g, other).generate());
+}
+
+TEST(FailureInjector, EdgeFractionCrashesRequestedShare) {
+  const Graph g = random_regular(60, 8, 7);
+  FailureInjectorOptions o;
+  o.seed = 1;
+  o.edge_fault_fraction = 0.1;
+  const auto schedule = FailureInjector(g, o).generate();
+  EXPECT_EQ(schedule.edge_crashes(),
+            static_cast<std::size_t>(0.1 * static_cast<double>(g.num_edges())));
+  EXPECT_EQ(schedule.vertex_crashes(), 0u);
+  // all events land in wave 0 and apply cleanly
+  FaultState state(g.num_vertices());
+  state.apply(schedule.wave(0));
+  EXPECT_EQ(state.failed_edges(), schedule.edge_crashes());
+}
+
+TEST(FailureInjector, FlappingFaultsRecover) {
+  const Graph g = random_regular(40, 6, 9);
+  FailureInjectorOptions o;
+  o.seed = 11;
+  o.waves = 2;
+  o.edge_faults_per_wave = 3;
+  o.vertex_faults_per_wave = 2;
+  o.flap_probability = 1.0;  // every fault is transient
+  o.flap_duration = 1;
+  const auto schedule = FailureInjector(g, o).generate();
+  // after replaying the full log every element is back up
+  FaultState state(g.num_vertices());
+  state.apply(schedule.events);
+  EXPECT_TRUE(state.clean());
+  // but mid-schedule the faults are real
+  FaultState mid(g.num_vertices());
+  mid.apply(schedule.wave(0));
+  EXPECT_FALSE(mid.clean());
+}
+
+TEST(FailureInjector, ScheduleRoundTripsThroughText) {
+  const Graph g = random_regular(40, 6, 13);
+  FailureInjectorOptions o;
+  o.seed = 17;
+  o.waves = 3;
+  o.edge_fault_fraction = 0.05;
+  o.vertex_faults_per_wave = 1;
+  o.flap_probability = 0.5;
+  const auto schedule = FailureInjector(g, o).generate();
+  ASSERT_FALSE(schedule.events.empty());
+  std::stringstream ss;
+  write_schedule(ss, schedule);
+  EXPECT_EQ(read_schedule(ss), schedule);
+}
+
+TEST(FailureInjector, AdversarialModeTargetsTheHottestVertex) {
+  const Graph g = complete_graph(10);
+  // every path crosses vertex 0 → it carries the highest load
+  Routing routing;
+  for (Vertex v = 1; v + 1 < 10; ++v) {
+    routing.paths.push_back({v, 0, static_cast<Vertex>(v + 1)});
+  }
+  FailureInjectorOptions o;
+  o.seed = 19;
+  o.vertex_faults_per_wave = 1;
+  const auto schedule =
+      FailureInjector(g, o).generate_adversarial(routing);
+  ASSERT_EQ(schedule.events.size(), 1u);
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kVertexDown);
+  EXPECT_EQ(schedule.events[0].u, Vertex{0});
+}
+
+// -------------------------------------------------------------- HealthMonitor
+
+TEST(HealthMonitor, CertifiesAnIntactSpanner) {
+  const Graph g = random_regular(64, 16, 21);
+  const auto built = build_regular_spanner(g, {});
+  const HealthMonitor monitor(g);
+  const FaultState state(g.num_vertices());
+  const auto report = monitor.check(built.spanner.h, state);
+  EXPECT_EQ(report.distance, GuaranteeStatus::kHeld);
+  EXPECT_TRUE(report.healthy());
+  EXPECT_DOUBLE_EQ(report.certified_alpha, 3.0);
+  EXPECT_EQ(report.failed_vertices, 0u);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(HealthMonitor, ReportsDegradedWithTheMeasuredBound) {
+  // A star is a 2-spanner of K5; against α = 1 it degrades (still covers
+  // every pair) rather than fails.
+  const Graph g = complete_graph(5);
+  const Graph h = Graph::from_edges(
+      5, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  HealthMonitorOptions o;
+  o.alpha = 1.0;
+  const HealthMonitor monitor(g, o);
+  const auto report = monitor.check(h, FaultState(5));
+  EXPECT_EQ(report.distance, GuaranteeStatus::kDegraded);
+  EXPECT_DOUBLE_EQ(report.certified_alpha, 2.0);
+  EXPECT_FALSE(report.healthy());
+}
+
+TEST(HealthMonitor, ReportsLostWhenSurvivorsAreUncovered) {
+  // G = triangle, H = path 0-1-2. Crashing edge (1,2) leaves G-edge (0,2)
+  // alive but 0 and 2 disconnected in H∖F.
+  const Graph g = complete_graph(3);
+  const Graph h = Graph::from_edges(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  FaultState state(3);
+  state.apply(FaultEvent::edge_down(0, Edge{1, 2}));
+  const HealthMonitor monitor(g);
+  const auto report = monitor.check(h, state);
+  EXPECT_EQ(report.distance, GuaranteeStatus::kLost);
+  EXPECT_GT(report.stretch.unreachable, 0u);
+  EXPECT_EQ(report.failed_edges, 1u);
+}
+
+TEST(HealthMonitor, CongestionCheckRunsOnSurvivors) {
+  const Graph g = random_regular(64, 16, 23);
+  const auto built = build_regular_spanner(g, {});
+  HealthMonitorOptions o;
+  o.check_congestion = true;
+  o.seed = 3;
+  const HealthMonitor monitor(g, o);
+  const auto report = monitor.check(built.spanner.h, FaultState(64));
+  EXPECT_TRUE(report.congestion_checked);
+  EXPECT_GT(report.congestion.spanner_congestion, 0u);
+  // beta = 0 → report-only, never degrade on congestion alone
+  EXPECT_EQ(report.congestion_status, GuaranteeStatus::kHeld);
+}
+
+// ------------------------------------------------------------ ResilientRouter
+
+TEST(ResilientRouter, FaultFreeScheduleDeliversEverything) {
+  const Graph g = cycle_graph(8);
+  Routing routing;
+  routing.paths = {{0, 1, 2, 3}, {4, 5, 6}, {7, 0}};
+  const auto result =
+      simulate_resilient(g, routing, FailureSchedule{}, {});
+  EXPECT_EQ(result.status, SimStatus::kCompleted);
+  EXPECT_EQ(result.delivered, 3u);
+  EXPECT_EQ(result.dropped_unreachable + result.dropped_retry_limit, 0u);
+  EXPECT_EQ(result.reroutes, 0u);
+  for (PacketFate fate : result.fate) {
+    EXPECT_EQ(fate, PacketFate::kDelivered);
+  }
+}
+
+TEST(ResilientRouter, ReroutesAroundACrashedEdge) {
+  const Graph g = cycle_graph(8);
+  Routing routing;
+  routing.paths = {{0, 1, 2, 3, 4}};
+  FailureSchedule schedule;
+  schedule.events = {FaultEvent::edge_down(0, Edge{2, 3})};
+  ResilientRouterOptions o;
+  o.reroute_timeout = 1;
+  const auto result = simulate_resilient(g, routing, schedule, o);
+  EXPECT_EQ(result.status, SimStatus::kCompleted);
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_EQ(result.fate[0], PacketFate::kDelivered);
+  EXPECT_GE(result.reroutes, 1u);
+  // the detour the other way around the cycle is longer than the original
+  EXPECT_GT(result.latency[0], 4u);
+}
+
+TEST(ResilientRouter, WaitsOutAFlappingEdge) {
+  const Graph g = path_graph(5);  // no alternative path exists
+  Routing routing;
+  routing.paths = {{0, 1, 2, 3, 4}};
+  FailureSchedule schedule;
+  schedule.events = {FaultEvent::edge_down(0, Edge{2, 3}),
+                     FaultEvent::edge_up(3, Edge{2, 3})};
+  ResilientRouterOptions o;
+  o.reroute_timeout = 2;
+  const auto result = simulate_resilient(g, routing, schedule, o);
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_EQ(result.fate[0], PacketFate::kDelivered);
+  EXPECT_GT(result.wait_rounds, 0u);
+}
+
+TEST(ResilientRouter, DeadDestinationIsAnExplainedDrop) {
+  const Graph g = cycle_graph(6);
+  Routing routing;
+  routing.paths = {{0, 1, 2, 3}};
+  FailureSchedule schedule;
+  schedule.events = {FaultEvent::vertex_down(0, 3)};
+  ResilientRouterOptions o;
+  o.reroute_timeout = 1;
+  o.max_reroutes = 4;
+  const auto result = simulate_resilient(g, routing, schedule, o);
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_EQ(result.dropped_unreachable, 1u);
+  EXPECT_EQ(result.dropped_retry_limit, 0u);
+  EXPECT_EQ(result.fate[0], PacketFate::kDroppedUnreachable);
+  EXPECT_EQ(result.latency[0], ResilientSimResult::kUndelivered);
+}
+
+TEST(ResilientRouter, RetransmitsAfterAMidPathCrash) {
+  const Graph g = cycle_graph(8);
+  Routing routing;
+  routing.paths = {{0, 1, 2, 3, 4}};
+  FailureSchedule schedule;
+  // vertex 2 crashes at the start of round 3, when the packet sits on it
+  schedule.events = {FaultEvent::vertex_down(2, 2),
+                     FaultEvent::vertex_up(4, 2)};
+  ResilientRouterOptions o;
+  o.wave_interval = 1;
+  o.reroute_timeout = 1;
+  const auto result = simulate_resilient(g, routing, schedule, o);
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_GE(result.retransmits, 1u);
+}
+
+TEST(ResilientRouter, DeterministicUnderFaults) {
+  const Graph g = random_regular(80, 8, 29);
+  const auto built = build_regular_spanner(g, {});
+  Routing routing;
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    // random matching-ish demands routed on spanner shortest paths
+    const auto u = static_cast<Vertex>(rng.uniform(80));
+    const auto v = static_cast<Vertex>(rng.uniform(80));
+    if (u == v) continue;
+    const Path p = bfs_shortest_path(built.spanner.h, u, v);
+    if (!p.empty()) routing.paths.push_back(p);
+  }
+  FailureInjectorOptions fo;
+  fo.seed = 33;
+  fo.waves = 4;
+  fo.edge_fault_fraction = 0.05;
+  fo.flap_probability = 0.25;
+  const auto schedule = FailureInjector(built.spanner.h, fo).generate();
+  ResilientRouterOptions o;
+  o.seed = 35;
+  o.wave_interval = 2;
+  const auto a = simulate_resilient(built.spanner.h, routing, schedule, o);
+  const auto b = simulate_resilient(built.spanner.h, routing, schedule, o);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+  EXPECT_EQ(a.fate, b.fate);
+  EXPECT_EQ(a.latency, b.latency);
+  // every packet's fate is explained
+  EXPECT_EQ(a.delivered + a.dropped_unreachable + a.dropped_retry_limit,
+            routing.paths.size());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -28,6 +28,39 @@ TEST(Check, CheckThrowsLogicError) {
   EXPECT_NO_THROW(DCS_CHECK(true, "fine"));
 }
 
+TEST(Check, StreamVariantsFormatRuntimeValues) {
+  const int load = 7;
+  const int cap = 3;
+  try {
+    DCS_REQUIRE_MSG(load <= cap, "load " << load << " exceeds cap " << cap);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("load 7 exceeds cap 3"), std::string::npos);
+    EXPECT_NE(what.find("load <= cap"), std::string::npos);
+  }
+  EXPECT_THROW(DCS_CHECK_MSG(false, "value " << 42), std::logic_error);
+  EXPECT_NO_THROW(DCS_REQUIRE_MSG(true, "never built"));
+  EXPECT_NO_THROW(DCS_CHECK_MSG(true, "never built"));
+}
+
+TEST(Check, StreamMessageNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  const auto count = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  DCS_REQUIRE_MSG(true, count());
+  DCS_CHECK_MSG(true, count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, AbortVariantDiesWithDiagnostic) {
+  EXPECT_DEATH(DCS_CHECK_ABORT(1 == 2, "teardown " << 99),
+               "invariant violated.*1 == 2.*teardown 99");
+  EXPECT_NO_FATAL_FAILURE(DCS_CHECK_ABORT(true, "fine"));
+}
+
 TEST(Check, MessageIncludesExpressionAndContext) {
   try {
     DCS_REQUIRE(2 + 2 == 5, "arithmetic is broken");

@@ -108,6 +108,43 @@ TEST(VftSpanner, RoundsDerivedFromFaults) {
   EXPECT_EQ(build_vft_spanner(g, fixed).rounds, 5u);
 }
 
+TEST(VftViolations, FaultBudgetAtLeastNIsVacuous) {
+  // f ≥ n kills every vertex; no surviving pair can violate the stretch.
+  // (This used to spin forever trying to sample f distinct vertices.)
+  const Graph g = random_regular(12, 4, 51);
+  const Graph empty_h = Graph::from_edges(12, std::vector<Edge>{});
+  EXPECT_EQ(count_vft_violations(g, empty_h, 12, 3.0, 10, 3), 0u);
+  EXPECT_EQ(count_vft_violations(g, empty_h, 100, 3.0, 10, 3), 0u);
+}
+
+TEST(VftViolations, DisconnectedSurvivorsOnlyCheckSurvivingEdges) {
+  // Two triangles joined through a cut vertex 6. Killing it disconnects
+  // G∖F, but H = G still covers every surviving edge, so no violation —
+  // disconnection across components must not count against the spanner.
+  const Graph g = Graph::from_edges(
+      7, std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3},
+                           {0, 6}, {3, 6}});
+  EXPECT_EQ(count_vft_violations(g, g, 1, 3.0, 30, 5), 0u);
+}
+
+TEST(VftViolations, ZeroTrialsReportsZero) {
+  const Graph g = random_regular(12, 4, 53);
+  EXPECT_EQ(count_vft_violations(g, g, 2, 3.0, 0, 7), 0u);
+}
+
+TEST(VftViolations, DeterministicPerSeed) {
+  const FanGadget fan = fan_gadget(6);
+  EdgeSet keep;
+  for (Edge e : fan.g.edges()) keep.insert(e);
+  for (std::size_t i = 0; i < fan.k; ++i) {
+    keep.erase(canonical(fan.line[2 * i], fan.line[2 * i + 1]));
+  }
+  const Graph h = Graph::from_edges(fan.g.num_vertices(), keep.to_vector());
+  const auto a = count_vft_violations(fan.g, h, 1, 3.0, 40, 9);
+  const auto b = count_vft_violations(fan.g, h, 1, 3.0, 40, 9);
+  EXPECT_EQ(a, b);
+}
+
 TEST(VftSpanner, MoreFaultsMoreEdges) {
   const Graph g = random_regular(60, 20, 43);
   VftSpannerOptions f1;

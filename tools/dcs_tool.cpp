@@ -13,6 +13,8 @@
 //   dcs_tool verify <in.graph> <spanner.graph> [alpha]
 //   dcs_tool route <in.graph> <spanner.graph> <workload> [seed]
 //       workloads: matching | permutation | all-edges
+//   dcs_tool resilience <in.graph> <spanner.graph> [edge-fraction]
+//       [vertex-faults] [seed]     inject faults, recertify, self-heal
 //   dcs_tool info <in.graph>
 //
 // Exit code 0 on success; 1 on a failed verification; 2 on usage errors.
@@ -36,6 +38,10 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/ramanujan.hpp"
+#include "resilience/failure_injector.hpp"
+#include "resilience/fault_state.hpp"
+#include "resilience/health_monitor.hpp"
+#include "resilience/spanner_repair.hpp"
 #include "routing/packet_sim.hpp"
 #include "routing/shortest_paths.hpp"
 #include "routing/tables.hpp"
@@ -61,6 +67,8 @@ using namespace dcs;
       "  dcs_tool report <in.graph> <spanner.graph> [seed]\n"
       "  dcs_tool simulate <graph> <matching|permutation> [seed]\n"
       "  dcs_tool tables <graph> [seed]\n"
+      "  dcs_tool resilience <in.graph> <spanner.graph> "
+      "[edge-fraction] [vertex-faults] [seed]\n"
       "  dcs_tool info <in.graph>\n";
   std::exit(2);
 }
@@ -269,6 +277,51 @@ int cmd_tables(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_resilience(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("resilience needs <in.graph> <spanner.graph>");
+  const Graph g = read_graph_file(args[0]);
+  const Graph h = read_graph_file(args[1]);
+  const double edge_fraction =
+      args.size() > 2 ? std::strtod(args[2].c_str(), nullptr) : 0.1;
+  const std::size_t vertex_faults = arg_u64(args, 3, 2);
+  const std::uint64_t seed = arg_u64(args, 4, 1);
+  if (h.num_vertices() != g.num_vertices() || !g.contains_subgraph(h)) {
+    std::cout << "FAIL: spanner is not a subgraph of the input\n";
+    return 1;
+  }
+
+  FailureInjectorOptions fo;
+  fo.seed = seed;
+  fo.edge_fault_fraction = edge_fraction;
+  fo.vertex_faults_per_wave = vertex_faults;
+  const auto schedule = FailureInjector(g, fo).generate();
+  FaultState state(g.num_vertices());
+  state.apply(schedule.events);
+
+  const HealthMonitor monitor(g);
+  const auto before = monitor.check(h, state);
+  SpannerRepairOptions ro;
+  ro.seed = seed + 1;
+  const auto repaired = repair_spanner_after(g, h, state, schedule.events, ro);
+  const Graph g_surv = state.surviving(g);
+  const auto after = monitor.check_surviving(g_surv, repaired.h, state);
+  const auto rebuilt = rebuild_spanner(g_surv, ro);
+
+  Table t({"quantity", "value"});
+  t.add("edge faults", schedule.edge_crashes());
+  t.add("vertex faults", schedule.vertex_crashes());
+  t.add("health before", std::string(to_string(before.distance)));
+  t.add("repair outcome", std::string(to_string(repaired.outcome)));
+  t.add("candidate edges", repaired.candidate_edges);
+  t.add("reinserted edges", repaired.reinserted_edges);
+  t.add("health after", std::string(to_string(after.distance)));
+  t.add("repair [ms]", repaired.seconds * 1e3);
+  t.add("rebuild [ms]", rebuilt.seconds * 1e3);
+  t.print(std::cout);
+  std::cout << before.summary() << "\n" << after.summary() << "\n";
+  return after.distance == GuaranteeStatus::kHeld ? 0 : 1;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   if (args.empty()) usage("info needs <in>");
   const Graph g = read_graph_file(args[0]);
@@ -303,6 +356,7 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "tables") return cmd_tables(args);
+    if (command == "resilience") return cmd_resilience(args);
     if (command == "info") return cmd_info(args);
     usage("unknown command: " + command);
   } catch (const std::exception& e) {

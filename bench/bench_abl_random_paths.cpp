@@ -42,6 +42,7 @@ class FirstDetourRouter final : public dcs::PairRouter {
 }  // namespace
 
 int main() {
+  dcs::bench::PerfRecord perf_record("abl_random_paths");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("abl_reinsert");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -15,6 +15,7 @@
 #include "routing/workloads.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("baseline_spanners");
   using namespace dcs;
   using namespace dcs::bench;
 

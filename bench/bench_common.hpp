@@ -7,10 +7,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -43,5 +47,46 @@ inline void print_exponent(const std::string& label,
   std::cout << label << ": fitted exponent " << loglog_slope(x, y)
             << " (paper: " << expected << ")\n";
 }
+
+/// One per bench main(). Turns on metrics collection for the process and,
+/// on destruction, writes BENCH_<name>.json — total wall time plus the full
+/// metrics registry (library counters and any phase histograms) — into
+/// $DCS_BENCH_JSON_DIR (or the working directory), so every harness run
+/// leaves a machine-readable artifact next to its human-readable tables.
+class PerfRecord {
+ public:
+  explicit PerfRecord(std::string name) : name_(std::move(name)) {
+    obs::set_metrics_enabled(true);
+  }
+  PerfRecord(const PerfRecord&) = delete;
+  PerfRecord& operator=(const PerfRecord&) = delete;
+
+  /// Histogram sink for ScopedTimer: `ScopedTimer t(&rec.phase("build"));`
+  /// records the scope's milliseconds under bench.<name>.<phase>.ms.
+  obs::HistogramMetric& phase(const std::string& phase_name) {
+    return obs::MetricsRegistry::instance().histogram(
+        "bench." + name_ + "." + phase_name + ".ms");
+  }
+
+  ~PerfRecord() {
+    const char* dir = std::getenv("DCS_BENCH_JSON_DIR");
+    std::string path = dir != nullptr && *dir != '\0'
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\"bench\":" << obs::json_quote(name_)
+        << ",\"wall_s\":" << obs::json_number(wall_.seconds())
+        << ",\"metrics\":" << obs::MetricsRegistry::instance().to_json()
+        << "}\n";
+  }
+
+ private:
+  std::string name_;
+  Timer wall_;
+};
 
 }  // namespace dcs::bench

@@ -11,6 +11,7 @@
 #include "graph/generators.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("cor3_distributed");
   using namespace dcs;
   using namespace dcs::bench;
 
@@ -28,9 +29,11 @@ int main() {
     RegularSpannerOptions options;
     options.seed = seed;
 
-    Timer timer;
-    const auto dist = build_regular_spanner_local(g, options);
-    const double sim_s = timer.seconds();
+    double sim_s = 0.0;
+    const auto dist = [&] {
+      ScopedTimer timer(perf_record.phase("local_sim"), &sim_s);
+      return build_regular_spanner_local(g, options);
+    }();
     const auto seq = build_regular_spanner(g, options);
     const auto stretch = measure_distance_stretch(g, dist.h);
 

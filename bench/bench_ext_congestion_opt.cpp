@@ -22,6 +22,7 @@
 #include "routing/workloads.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("ext_congestion_opt");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -20,6 +20,7 @@
 #include "routing/workloads.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("ext_stretch_tradeoff");
   using namespace dcs;
   using namespace dcs::bench;
 

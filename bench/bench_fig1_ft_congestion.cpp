@@ -55,6 +55,7 @@ dcs::Routing round_robin_routing(std::size_t n, std::size_t kept_matching) {
 }  // namespace
 
 int main() {
+  dcs::bench::PerfRecord perf_record("fig1_ft_congestion");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -11,6 +11,7 @@
 #include "util/rng.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("fig2_neighborhood_matching");
   using namespace dcs;
   using namespace dcs::bench;
 

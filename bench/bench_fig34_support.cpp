@@ -18,6 +18,7 @@
 #include "util/rng.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("fig34_support");
   using namespace dcs;
   using namespace dcs::bench;
 

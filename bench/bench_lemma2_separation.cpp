@@ -27,6 +27,7 @@ dcs::Graph lemma2_spanner(const dcs::Lemma2Graph& lg) {
 }  // namespace
 
 int main() {
+  dcs::bench::PerfRecord perf_record("lemma2_separation");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -31,6 +31,7 @@
 #include "routing/workloads.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("resilience");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -18,6 +18,7 @@
 #include "spectral/expansion.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("table1_expander");
   using namespace dcs;
   using namespace dcs::bench;
 

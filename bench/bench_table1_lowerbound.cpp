@@ -14,6 +14,7 @@
 #include "core/verifier.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("table1_lowerbound");
   using namespace dcs;
   using namespace dcs::bench;
 

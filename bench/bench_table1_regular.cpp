@@ -18,6 +18,7 @@
 #include "routing/workloads.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("table1_regular");
   using namespace dcs;
   using namespace dcs::bench;
 
@@ -41,9 +42,11 @@ int main() {
   for (std::size_t n : {100, 160, 250, 400, 640, 1000}) {
     const std::size_t delta = degree_for(n, 2.0 / 3.0);
     const Graph g = random_regular(n, delta, seed + n);
-    Timer timer;
-    const auto built = build_regular_spanner(g, {.seed = seed});
-    const double build_s = timer.seconds();
+    double build_s = 0.0;
+    const auto built = [&] {
+      ScopedTimer timer(perf_record.phase("build"), &build_s);
+      return build_regular_spanner(g, {.seed = seed});
+    }();
     const auto stretch = measure_distance_stretch(g, built.spanner.h);
 
     DetourRouter router(built.spanner.h, built.sampled);

@@ -31,6 +31,7 @@ struct RowSpec {
 }  // namespace
 
 int main() {
+  dcs::bench::PerfRecord perf_record("table1_sparsify");
   using namespace dcs;
   using namespace dcs::bench;
 

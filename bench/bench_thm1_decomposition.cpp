@@ -20,6 +20,7 @@
 #include "routing/workloads.hpp"
 
 int main() {
+  dcs::bench::PerfRecord perf_record("thm1_decomposition");
   using namespace dcs;
   using namespace dcs::bench;
 

@@ -3,6 +3,10 @@
 #include <cmath>
 
 #include "core/support.hpp"
+#define DCS_LOG_COMPONENT "spanner"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,22 +27,27 @@ ExpanderSpannerResult build_expander_spanner(
   }
   p = std::min(1.0, p);
 
+  DCS_TRACE_SPAN("expander_spanner");
   const auto all_edges = g.edges();
   std::vector<Edge> kept;
   std::vector<Edge> dropped;
-  for (Edge e : all_edges) {
-    if (edge_sampled(e, p, options.seed)) {
-      kept.push_back(e);
-    } else {
-      dropped.push_back(e);
-    }
-  }
-  Graph s = Graph::from_edges(g.num_vertices(), kept);
-
   ExpanderSpannerResult result;
   result.sample_probability = p;
+  Graph s;
+  {
+    DCS_TRACE_SPAN("sample");
+    for (Edge e : all_edges) {
+      if (edge_sampled(e, p, options.seed)) {
+        kept.push_back(e);
+      } else {
+        dropped.push_back(e);
+      }
+    }
+    s = Graph::from_edges(g.num_vertices(), kept);
+  }
 
   if (options.repair_uncovered) {
+    DCS_TRACE_SPAN("repair_uncovered");
     std::vector<std::uint8_t> need(dropped.size(), 0);
     parallel_for(0, dropped.size(), [&](std::size_t i) {
       const Edge e = dropped[i];
@@ -54,6 +63,17 @@ ExpanderSpannerResult build_expander_spanner(
       s = Graph::from_edges(g.num_vertices(), kept);
     }
   }
+
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("spanner.expander.builds").inc();
+  reg.counter("spanner.expander.edges_sampled")
+      .inc(kept.size() - result.repaired_edges);
+  reg.counter("spanner.expander.cover_tests").inc(dropped.size());
+  reg.counter("spanner.expander.edges_repaired").inc(result.repaired_edges);
+  DCS_LOG(Debug) << "expander spanner: n=" << g.num_vertices() << " p=" << p
+                 << " kept " << kept.size() - result.repaired_edges << "/"
+                 << all_edges.size() << ", repaired "
+                 << result.repaired_edges;
 
   result.spanner.h = std::move(s);
   auto& stats = result.spanner.stats;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#define DCS_LOG_COMPONENT "decomposition"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/edge_coloring.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -27,6 +31,7 @@ Path oriented(const Path& sub, Vertex from, Vertex to) {
 SubstituteRouting substitute_routing_via_matchings(
     std::size_t n, const Routing& p, const MatchingRouteFn& route_matching,
     std::uint64_t seed) {
+  DCS_TRACE_SPAN("matching_decomposition");
   SubstituteRouting out;
 
   // --- Level assignment -------------------------------------------------
@@ -34,22 +39,25 @@ SubstituteRouting substitute_routing_via_matchings(
   // contributes e once even if it traverses it twice). The i-th path in the
   // list has level i for that edge, matching Algorithm 2's peeling loop.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> users;
-  for (std::size_t pi = 0; pi < p.paths.size(); ++pi) {
-    const Path& path = p.paths[pi];
-    // Deduplicate within the path: A_p is a set.
-    std::vector<std::uint64_t> keys;
-    keys.reserve(path.size());
-    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
-      keys.push_back(edge_key(canonical(path[j], path[j + 1])));
-    }
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    for (std::uint64_t k : keys) users[k].push_back(pi);
-  }
-
   std::size_t levels = 0;
-  for (const auto& [key, paths] : users) {
-    levels = std::max(levels, paths.size());
+  {
+    DCS_TRACE_SPAN("level_assignment");
+    for (std::size_t pi = 0; pi < p.paths.size(); ++pi) {
+      const Path& path = p.paths[pi];
+      // Deduplicate within the path: A_p is a set.
+      std::vector<std::uint64_t> keys;
+      keys.reserve(path.size());
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        keys.push_back(edge_key(canonical(path[j], path[j + 1])));
+      }
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      for (std::uint64_t k : keys) users[k].push_back(pi);
+    }
+
+    for (const auto& [key, paths] : users) {
+      levels = std::max(levels, paths.size());
+    }
   }
   out.stats.levels = levels;
 
@@ -65,7 +73,11 @@ SubstituteRouting substitute_routing_via_matchings(
   // substitutes[level][edge_key] = routed path for that edge at that level.
   std::vector<std::unordered_map<std::uint64_t, Path>> substitutes(levels);
   std::uint64_t matching_counter = 0;
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& level_degree_hist = reg.histogram("decomposition.level_degree");
+  auto& level_colors_hist = reg.histogram("decomposition.level_colors");
   for (std::size_t k = 0; k < levels; ++k) {
+    DCS_TRACE_SPAN("level_subgraph");
     std::vector<Edge> level_edges;
     for (const auto& [key, paths] : users) {
       if (paths.size() > k) {
@@ -78,8 +90,13 @@ SubstituteRouting substitute_routing_via_matchings(
     out.stats.sum_degree_plus_one += gk.max_degree() + 1;
     out.stats.max_level_degree =
         std::max(out.stats.max_level_degree, gk.max_degree());
+    level_degree_hist.record(static_cast<double>(gk.max_degree()));
 
     const EdgeColoring coloring = misra_gries_edge_coloring(gk);
+    level_colors_hist.record(
+        static_cast<double>(coloring.matchings().size()));
+    reg.counter("decomposition.colors_used")
+        .inc(coloring.matchings().size());
     for (const auto& matching : coloring.matchings()) {
       ++out.stats.total_matchings;
       const RoutingProblem problem = RoutingProblem::from_edges(matching);
@@ -94,26 +111,36 @@ SubstituteRouting substitute_routing_via_matchings(
   }
 
   // --- Reassembly --------------------------------------------------------
-  out.routing.paths.resize(p.paths.size());
-  for (std::size_t pi = 0; pi < p.paths.size(); ++pi) {
-    const Path& path = p.paths[pi];
-    Path& sub = out.routing.paths[pi];
-    if (path.size() <= 1) {
-      sub = path;
-      continue;
-    }
-    sub.push_back(path.front());
-    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
-      const Vertex a = path[j];
-      const Vertex b = path[j + 1];
-      const std::size_t k = level_of(a, b, pi);
-      const auto& level_map = substitutes[k];
-      const auto it = level_map.find(edge_key(canonical(a, b)));
-      DCS_CHECK(it != level_map.end(), "no substitute path for edge level");
-      const Path seg = oriented(it->second, a, b);
-      sub.insert(sub.end(), seg.begin() + 1, seg.end());
+  {
+    DCS_TRACE_SPAN("reassembly");
+    out.routing.paths.resize(p.paths.size());
+    for (std::size_t pi = 0; pi < p.paths.size(); ++pi) {
+      const Path& path = p.paths[pi];
+      Path& sub = out.routing.paths[pi];
+      if (path.size() <= 1) {
+        sub = path;
+        continue;
+      }
+      sub.push_back(path.front());
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        const Vertex a = path[j];
+        const Vertex b = path[j + 1];
+        const std::size_t k = level_of(a, b, pi);
+        const auto& level_map = substitutes[k];
+        const auto it = level_map.find(edge_key(canonical(a, b)));
+        DCS_CHECK(it != level_map.end(), "no substitute path for edge level");
+        const Path seg = oriented(it->second, a, b);
+        sub.insert(sub.end(), seg.begin() + 1, seg.end());
+      }
     }
   }
+
+  reg.counter("decomposition.runs").inc();
+  reg.counter("decomposition.levels_built").inc(levels);
+  reg.counter("decomposition.matchings_routed").inc(out.stats.total_matchings);
+  DCS_LOG(Debug) << "decomposition: " << p.paths.size() << " paths, "
+                 << levels << " levels, " << out.stats.total_matchings
+                 << " matchings, Σ(d_k+1)=" << out.stats.sum_degree_plus_one;
   return out;
 }
 

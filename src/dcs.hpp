@@ -5,6 +5,12 @@
 // Fine-grained headers remain the recommended includes for library users;
 // this header exists for quick experiments and the examples.
 
+// observability (structured logging, metrics, phase tracing)
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // utilities
 #include "util/check.hpp"
 #include "util/csv.hpp"

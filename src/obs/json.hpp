@@ -1,0 +1,76 @@
+#pragma once
+
+// Minimal JSON support for the observability layer.
+//
+// The logger's JSON-lines sink, the metrics exporter, and the Chrome-trace
+// writer all need correct string escaping; the tests and the CI smoke step
+// need to parse those artifacts back to assert their structure. Both live
+// here so the producers and the validators agree on one dialect (RFC 8259,
+// no extensions, objects with deterministic key order on output).
+//
+// This is not a general-purpose JSON library: numbers parse as double,
+// objects are std::map (sorted), and the parser favours clear error
+// messages over speed. Artifacts are written once per process, so neither
+// side is on a hot path.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dcs::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal. Quotes,
+/// backslashes, and control characters (U+0000–U+001F) become escape
+/// sequences; everything else passes through byte-for-byte (UTF-8 safe).
+/// The surrounding quotes are not added.
+std::string json_escape(std::string_view s);
+
+/// `"` + json_escape(s) + `"`.
+std::string json_quote(std::string_view s);
+
+/// Formats a double as a JSON number. Infinities and NaN are not valid
+/// JSON; they are emitted as null so exported artifacts always parse.
+std::string json_number(double v);
+
+/// A parsed JSON document. Access helpers throw std::invalid_argument on
+/// kind mismatch or missing key so test assertions read naturally.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(Storage v) : v_(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access; throws if not an object or the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool has(const std::string& key) const;
+
+ private:
+  Storage v_;
+};
+
+/// Parses a complete JSON document (trailing garbage rejected). Throws
+/// std::invalid_argument with an offset-annotated message on malformed
+/// input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace dcs::obs

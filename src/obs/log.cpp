@@ -1,0 +1,174 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dcs::obs {
+
+namespace {
+
+/// Microseconds on the steady clock since the first observability call in
+/// the process. Log records and trace events share this epoch so a trace
+/// and a JSON-lines log of the same run can be correlated.
+double monotonic_micros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + std::string(text) +
+                              "' (want trace|debug|info|warn|error|off)");
+}
+
+struct Logger::Impl {
+  mutable std::mutex mutex;
+  LogLevel default_level = LogLevel::kWarn;
+  std::map<std::string, LogLevel, std::less<>> component_levels;
+  Format format = Format::kText;
+  std::ostream* stream = &std::cerr;
+  std::unique_ptr<std::ofstream> file;
+};
+
+Logger::Logger()
+    : floor_(static_cast<int>(LogLevel::kWarn)), impl_(new Impl) {}
+
+Logger& Logger::instance() {
+  static Logger* logger = new Logger;  // leaked on purpose, see header
+  return *logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->default_level = level;
+  recompute_floor_locked();
+}
+
+void Logger::set_component_level(std::string_view component, LogLevel level) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->component_levels.insert_or_assign(std::string(component), level);
+  recompute_floor_locked();
+}
+
+void Logger::clear_component_levels() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->component_levels.clear();
+  recompute_floor_locked();
+}
+
+void Logger::configure(std::string_view spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(start, comma - start);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        set_level(parse_log_level(item));
+      } else {
+        const std::string_view component = item.substr(0, eq);
+        if (component.empty()) {
+          throw std::invalid_argument("empty component in log spec");
+        }
+        set_component_level(component, parse_log_level(item.substr(eq + 1)));
+      }
+    }
+    start = comma + 1;
+  }
+}
+
+void Logger::set_format(Format format) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->format = format;
+}
+
+void Logger::set_stream(std::ostream* os) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->file.reset();
+  impl_->stream = os != nullptr ? os : &std::cerr;
+}
+
+void Logger::open_file(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*file) {
+    throw std::invalid_argument("cannot open log file '" + path + "'");
+  }
+  std::lock_guard lock(impl_->mutex);
+  impl_->file = std::move(file);
+  impl_->stream = impl_->file.get();
+}
+
+void Logger::reset() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->default_level = LogLevel::kWarn;
+  impl_->component_levels.clear();
+  impl_->format = Format::kText;
+  impl_->file.reset();
+  impl_->stream = &std::cerr;
+  floor_.store(static_cast<int>(LogLevel::kWarn),
+               std::memory_order_relaxed);
+}
+
+void Logger::recompute_floor_locked() {
+  int floor = static_cast<int>(impl_->default_level);
+  for (const auto& [component, level] : impl_->component_levels) {
+    floor = std::min(floor, static_cast<int>(level));
+  }
+  floor_.store(floor, std::memory_order_relaxed);
+}
+
+bool Logger::enabled_slow(std::string_view component, LogLevel level) const {
+  std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->component_levels.find(component);
+  const LogLevel threshold =
+      it != impl_->component_levels.end() ? it->second
+                                          : impl_->default_level;
+  return level >= threshold;
+}
+
+void Logger::write(std::string_view component, LogLevel level,
+                   std::string_view message) {
+  const double ts = monotonic_micros();
+  std::lock_guard lock(impl_->mutex);
+  std::ostream& os = *impl_->stream;
+  if (impl_->format == Format::kJsonLines) {
+    os << "{\"ts_us\":" << json_number(ts) << ",\"level\":"
+       << json_quote(to_string(level)) << ",\"component\":"
+       << json_quote(component) << ",\"msg\":" << json_quote(message)
+       << "}\n";
+  } else {
+    os << to_string(level) << " [" << component << "] " << message << '\n';
+  }
+  os.flush();
+}
+
+}  // namespace dcs::obs

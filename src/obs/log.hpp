@@ -1,0 +1,152 @@
+#pragma once
+
+// Structured logging for the library.
+//
+//   DCS_LOG(Info) << "built spanner with " << edges << " edges";
+//
+// Key properties:
+//
+//  * Lazy formatting. The macro expands to a level check before the `<<`
+//    chain; when the record is filtered out, none of the operands are
+//    evaluated. The check is one relaxed atomic load and a comparison, so
+//    disabled logging is near-free on hot paths.
+//  * Per-component levels. Every record carries a component tag ("spanner",
+//    "packet_sim", ...). A translation unit sets its default tag by
+//    defining DCS_LOG_COMPONENT before including this header; DCS_LOG_C
+//    overrides it per call. Levels are configurable globally and per
+//    component ("info,spanner=debug").
+//  * Structured sinks. Text ("level component message") for humans,
+//    JSON-lines ({"ts_us":...,"level":...,"component":...,"msg":...}) for
+//    machines; either to stderr or to a file. Writes are serialized under a
+//    mutex, so records from thread_pool workers never interleave.
+//
+// The logger is process-global (like the metrics registry): library code
+// logs without plumbing a logger handle through every call, and the tool /
+// bench front ends configure it once in main().
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dcs::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,  ///< configuration-only: no record carries this level
+};
+
+const char* to_string(LogLevel level);
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off".
+/// Throws std::invalid_argument on anything else.
+LogLevel parse_log_level(std::string_view text);
+
+class Logger {
+ public:
+  enum class Format { kText, kJsonLines };
+
+  static Logger& instance();
+
+  /// Default level for components without an override. Starts at kWarn so
+  /// the library is quiet unless asked.
+  void set_level(LogLevel level);
+  void set_component_level(std::string_view component, LogLevel level);
+  void clear_component_levels();
+
+  /// Comma-separated spec: each item is either a bare level (sets the
+  /// default) or "component=level". E.g. "info,spanner=debug".
+  /// Throws std::invalid_argument on malformed specs.
+  void configure(std::string_view spec);
+
+  void set_format(Format format);
+
+  /// Redirects output to `os` (not owned; pass nullptr to restore stderr).
+  void set_stream(std::ostream* os);
+  /// Opens `path` for appending and logs there. Throws on I/O failure.
+  void open_file(const std::string& path);
+
+  /// Fast filter: false whenever a record at `level` for `component` would
+  /// be dropped. The common reject path is lock-free.
+  bool enabled(std::string_view component, LogLevel level) const {
+    return static_cast<int>(level) >=
+               floor_.load(std::memory_order_relaxed) &&
+           enabled_slow(component, level);
+  }
+
+  /// Emits one record (already filtered; DCS_LOG calls enabled() first).
+  void write(std::string_view component, LogLevel level,
+             std::string_view message);
+
+  /// Restores defaults: level kWarn, no overrides, text format, stderr.
+  /// Used by tests to isolate fixtures.
+  void reset();
+
+ private:
+  Logger();
+  bool enabled_slow(std::string_view component, LogLevel level) const;
+  void recompute_floor_locked();
+
+  // floor_ = min(default level, every component override): anything below
+  // it is rejected without taking the mutex.
+  std::atomic<int> floor_;
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: loggable code may run during static
+                // destruction (thread teardown), so the logger never dies
+};
+
+/// One in-flight record; the destructor hands the composed message to the
+/// logger. Created only when the level check passed.
+class LogRecord {
+ public:
+  LogRecord(std::string_view component, LogLevel level)
+      : component_(component), level_(level) {}
+  ~LogRecord() { Logger::instance().write(component_, level_, os_.str()); }
+
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  std::string_view component_;
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+namespace detail {
+/// Swallows the stream expression so the conditional operator in DCS_LOG
+/// has void type on both arms. operator& binds looser than operator<<, so
+/// the whole chain is evaluated first.
+struct LogVoidify {
+  void operator&(std::ostream&) const {}
+};
+}  // namespace detail
+
+}  // namespace dcs::obs
+
+/// Default component tag for a translation unit; define before including
+/// this header to override:
+///   #define DCS_LOG_COMPONENT "spanner"
+///   #include "obs/log.hpp"
+#ifndef DCS_LOG_COMPONENT
+#define DCS_LOG_COMPONENT "dcs"
+#endif
+
+/// Log with an explicit component: DCS_LOG_C("spanner", Debug) << ...;
+/// The operands after `<<` are evaluated only when the record is enabled.
+#define DCS_LOG_C(component, level)                                       \
+  (!::dcs::obs::Logger::instance().enabled(                               \
+       component, ::dcs::obs::LogLevel::k##level))                        \
+      ? (void)0                                                           \
+      : ::dcs::obs::detail::LogVoidify() &                                \
+            ::dcs::obs::LogRecord(component, ::dcs::obs::LogLevel::k##level) \
+                .stream()
+
+/// Log with the translation unit's DCS_LOG_COMPONENT tag:
+///   DCS_LOG(Info) << "value " << x;
+#define DCS_LOG(level) DCS_LOG_C(DCS_LOG_COMPONENT, level)

@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace dcs::obs {
+
+std::vector<double> HistogramMetric::default_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(31);
+  for (int e = -10; e <= 20; ++e) {
+    bounds.push_back(std::ldexp(1.0, e));
+  }
+  return bounds;
+}
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds,
+                                 std::uint64_t reservoir_seed)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1, 0),
+      rng_(reservoir_seed) {
+  DCS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly increasing");
+  samples_.reserve(std::min<std::size_t>(kReservoirSize, 64));
+}
+
+void HistogramMetric::record(double value) {
+  if (!metrics_enabled()) return;
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (seen_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++seen_;
+  // Reservoir sampling (Algorithm R): keeps a uniform sample of everything
+  // recorded so percentiles stay exact over a representative subset even
+  // for very long runs.
+  if (samples_.size() < kReservoirSize) {
+    samples_.push_back(value);
+  } else {
+    const std::uint64_t slot = rng_.uniform(seen_);
+    if (slot < kReservoirSize) samples_[slot] = value;
+  }
+}
+
+HistogramSnapshot HistogramMetric::snapshot() const {
+  std::lock_guard lock(mutex_);
+  HistogramSnapshot s;
+  s.count = seen_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.bounds = bounds_;
+  s.buckets = buckets_;
+  const auto qs =
+      exact_percentiles(samples_, std::vector<double>{0.5, 0.95, 0.99});
+  s.p50 = qs[0];
+  s.p95 = qs[1];
+  s.p99 = qs[2];
+  return s;
+}
+
+void HistogramMetric::reset() {
+  std::lock_guard lock(mutex_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  samples_.clear();
+  seen_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, Kind kind, std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  if (it != entries_.end() && it->first == name) {
+    DCS_REQUIRE(it->second.kind == kind,
+                "metric '" + std::string(name) +
+                    "' already registered with a different kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram: {
+      // Seed the reservoir from the metric name so runs are reproducible.
+      std::uint64_t h = 14695981039346656037ULL;
+      for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      entry.histogram = std::make_unique<HistogramMetric>(
+          bounds.empty() ? HistogramMetric::default_bounds()
+                         : std::vector<double>(bounds.begin(), bounds.end()),
+          h);
+      break;
+    }
+  }
+  return entries_.emplace(it, std::string(name), std::move(entry))->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *find_or_create(name, Kind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *find_or_create(name, Kind::kGauge, {}).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            std::span<const double> bounds) {
+  return *find_or_create(name, Kind::kHistogram, bounds).histogram;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kCounter) continue;
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << entry.counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kGauge) continue;
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << json_number(entry.gauge->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    if (!first) os << ',';
+    first = false;
+    const HistogramSnapshot s = entry.histogram->snapshot();
+    os << json_quote(name) << ":{\"count\":" << s.count
+       << ",\"sum\":" << json_number(s.sum)
+       << ",\"min\":" << json_number(s.min)
+       << ",\"max\":" << json_number(s.max)
+       << ",\"p50\":" << json_number(s.p50)
+       << ",\"p95\":" << json_number(s.p95)
+       << ",\"p99\":" << json_number(s.p99) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":"
+         << (i < s.bounds.size() ? json_number(s.bounds[i])
+                                 : std::string("null"))
+         << ",\"count\":" << s.buckets[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "name,type,value,count,sum,min,max,p50,p95,p99\n";
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << name << ",counter," << entry.counter->value()
+           << ",,,,,,,\n";
+        break;
+      case Kind::kGauge:
+        os << name << ",gauge," << entry.gauge->value() << ",,,,,,,\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot s = entry.histogram->snapshot();
+        os << name << ",histogram,," << s.count << ',' << s.sum << ','
+           << s.min << ',' << s.max << ',' << s.p50 << ',' << s.p95 << ','
+           << s.p99 << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write(const std::string& path) const {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream os(path);
+  DCS_REQUIRE(static_cast<bool>(os),
+              "cannot open metrics output '" + path + "'");
+  os << (csv ? to_csv() : to_json());
+  if (!csv) os << '\n';
+  DCS_REQUIRE(static_cast<bool>(os),
+              "failed writing metrics output '" + path + "'");
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace dcs::obs

@@ -1,0 +1,168 @@
+#pragma once
+
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, exportable as JSON or CSV.
+//
+// Recording is gated on a single global switch (set_metrics_enabled) that
+// defaults to OFF: a disabled counter increment is one relaxed atomic load
+// and a branch, so instrumented hot paths cost nothing in normal library
+// use. The dcs_tool front end enables metrics when --metrics-out is given;
+// benches enable them through bench::PerfRecord.
+//
+// Naming convention (see docs/observability.md):
+//   <subsystem>.<thing>[.<unit>]      e.g. spanner.regular.edges_sampled,
+//                                          packet_sim.round_max_queue,
+//                                          bench.table1_regular.build.ms
+// Units go in the trailing segment only when the value is not a plain
+// count (.ms, .bytes).
+//
+// Thread-safety: registration takes the registry mutex; returned references
+// stay valid for the process lifetime (reset() zeroes values but never
+// removes metrics, so cached references in hot loops survive). Counter and
+// Gauge updates are lock-free; histogram records serialize on a
+// per-histogram mutex (they are recorded at phase/round granularity, not
+// per element).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dcs::obs {
+
+namespace detail {
+inline std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    if (metrics_enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (metrics_enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (metrics_enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Upper bounds of the fixed buckets; buckets[i] counts values ≤
+  /// bounds[i], buckets.back() is the overflow bucket (> bounds.back()).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+class HistogramMetric {
+ public:
+  /// `bounds` are the strictly increasing bucket upper bounds. The default
+  /// covers 2^-10 … 2^20 in powers of two — wide enough for millisecond
+  /// timings, queue depths, and set sizes alike.
+  explicit HistogramMetric(std::vector<double> bounds = default_bounds(),
+                           std::uint64_t reservoir_seed = 1);
+
+  void record(double value);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  static std::vector<double> default_bounds();
+
+  /// Percentiles in the snapshot are exact over a bounded reservoir of the
+  /// recorded values (uniform sample once the reservoir overflows).
+  static constexpr std::size_t kReservoirSize = 4096;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow)
+  std::vector<double> samples_;
+  std::uint64_t seen_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  Rng rng_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Lookup-or-create by name; references remain valid forever. Creating
+  /// the same name with a different metric kind throws
+  /// std::invalid_argument.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name,
+                             std::span<const double> bounds = {});
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Flat CSV: name,type,value,count,sum,min,max,p50,p95,p99.
+  std::string to_csv() const;
+  /// Writes to_json / to_csv to `path`, chosen by extension (".csv" → CSV,
+  /// anything else → JSON). Throws on I/O failure.
+  void write(const std::string& path) const;
+
+  /// Zeroes every metric's value but keeps the metrics registered, so
+  /// references held by instrumented code stay valid. For tests and for
+  /// benches that record per-phase deltas.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, Kind kind,
+                        std::span<const double> bounds);
+
+  mutable std::mutex mutex_;
+  // Sorted map → deterministic export order.
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+}  // namespace dcs::obs

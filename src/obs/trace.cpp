@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace dcs::obs {
+
+std::atomic<bool> Trace::active_{false};
+
+namespace {
+
+std::mutex& trace_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<TraceEvent>& trace_events() {
+  static std::vector<TraceEvent>* events = new std::vector<TraceEvent>;
+  return *events;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint32_t& trace_depth() {
+  thread_local std::uint32_t depth = 0;
+  return depth;
+}
+
+}  // namespace detail
+
+double Trace::now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+std::uint32_t Trace::thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Trace::start() {
+  std::lock_guard lock(trace_mutex());
+  trace_events().clear();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Trace::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Trace::record(const TraceEvent& event) {
+  if (!active()) return;
+  std::lock_guard lock(trace_mutex());
+  trace_events().push_back(event);
+}
+
+std::vector<TraceEvent> Trace::events() {
+  std::lock_guard lock(trace_mutex());
+  return trace_events();
+}
+
+std::string Trace::to_json() {
+  std::lock_guard lock(trace_mutex());
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : trace_events()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":" << json_quote(e.name)
+       << ",\"cat\":\"dcs\",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
+       << ",\"dur\":" << json_number(e.dur_us)
+       << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":"
+       << e.depth << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Trace::write_json(const std::string& path) {
+  stop();
+  std::ofstream os(path);
+  DCS_REQUIRE(static_cast<bool>(os),
+              "cannot open trace output '" + path + "'");
+  os << to_json() << '\n';
+  DCS_REQUIRE(static_cast<bool>(os),
+              "failed writing trace output '" + path + "'");
+}
+
+}  // namespace dcs::obs

@@ -1,0 +1,115 @@
+#pragma once
+
+// Phase-scoped tracing with Chrome trace-event export.
+//
+//   Trace::start();
+//   { DCS_TRACE_SPAN("regular_spanner");
+//     { DCS_TRACE_SPAN("sample"); ... }
+//     { DCS_TRACE_SPAN("support_reinsert_loop"); ... } }
+//   Trace::write_json("build.trace.json");   // open in ui.perfetto.dev
+//
+// Spans are RAII: construction stamps the start, destruction records one
+// complete ("ph":"X") event with duration, thread id, and nesting depth.
+// Without an active session a span is two relaxed atomic loads — the
+// DCS_TRACE_SPAN macros sprinkled through construction, routing, and
+// resilience cost nothing in normal library use.
+//
+// Nesting is positional (Perfetto stacks events on the same thread by time
+// containment) and also explicit: every event carries its depth at record
+// time in args.depth, which is what the round-trip test asserts on.
+//
+// Span names must be string literals (or otherwise outlive the session):
+// the span stores the pointer, not a copy, to keep the armed path cheap.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcs::obs {
+
+struct TraceEvent {
+  const char* name;
+  double ts_us;    ///< start, microseconds on the shared monotonic epoch
+  double dur_us;   ///< duration in microseconds
+  std::uint32_t tid;    ///< small sequential id assigned per thread
+  std::uint32_t depth;  ///< span nesting depth on that thread (0 = root)
+};
+
+class Trace {
+ public:
+  /// True while a session is collecting. Spans check this on entry.
+  static bool active() {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Begins a session, clearing previously collected events.
+  static void start();
+  /// Stops collecting; collected events remain readable until the next
+  /// start(). Spans still open simply record after the stop and are
+  /// dropped.
+  static void stop();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}) of the collected
+  /// events; loadable in Perfetto / chrome://tracing.
+  static std::string to_json();
+  /// Stops the session (if active) and writes to_json() to `path`.
+  static void write_json(const std::string& path);
+
+  /// Snapshot of the collected events (test hook).
+  static std::vector<TraceEvent> events();
+
+  /// Appends one event if a session is active (called by TraceSpan).
+  static void record(const TraceEvent& event);
+
+  /// Microseconds since the shared observability epoch (same clock as the
+  /// logger's ts_us field).
+  static double now_us();
+
+  /// Small sequential id of the calling thread (assigned on first use).
+  static std::uint32_t thread_id();
+
+ private:
+  static std::atomic<bool> active_;
+};
+
+namespace detail {
+/// Per-thread span nesting depth.
+std::uint32_t& trace_depth();
+}  // namespace detail
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Trace::active()) return;
+    armed_ = true;
+    name_ = name;
+    depth_ = detail::trace_depth()++;
+    start_us_ = Trace::now_us();
+  }
+
+  ~TraceSpan() {
+    if (!armed_) return;
+    --detail::trace_depth();
+    Trace::record({name_, start_us_, Trace::now_us() - start_us_,
+                   Trace::thread_id(), depth_});
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_ = false;
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace dcs::obs
+
+#define DCS_OBS_CONCAT_INNER(a, b) a##b
+#define DCS_OBS_CONCAT(a, b) DCS_OBS_CONCAT_INNER(a, b)
+
+/// Opens an RAII span covering the rest of the enclosing scope.
+#define DCS_TRACE_SPAN(name) \
+  ::dcs::obs::TraceSpan DCS_OBS_CONCAT(dcs_trace_span_, __COUNTER__)(name)

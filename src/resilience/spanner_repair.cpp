@@ -5,6 +5,10 @@
 
 #include "core/support.hpp"
 #include "graph/subgraph.hpp"
+#define DCS_LOG_COMPONENT "repair"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/matching.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -188,7 +192,22 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
               "repair inputs must share the vertex set");
   DCS_REQUIRE(g_surviving.contains_subgraph(h_surviving),
               "spanner is not a subgraph of the surviving network");
+  DCS_TRACE_SPAN("spanner_repair");
   Timer timer;
+
+  auto& reg = obs::MetricsRegistry::instance();
+  const auto note = [&](const RepairResult& r, std::size_t broken_edges) {
+    reg.counter(std::string("repair.outcome.") + to_string(r.outcome)).inc();
+    reg.histogram("repair.candidate_edges")
+        .record(static_cast<double>(candidates.size()));
+    reg.histogram("repair.broken_edges")
+        .record(static_cast<double>(broken_edges));
+    reg.histogram("repair.patch_ms").record(r.seconds * 1e3);
+    DCS_LOG(Debug) << "repair: " << to_string(r.outcome) << ", "
+                   << candidates.size() << " endangered, " << broken_edges
+                   << " broken, +" << r.resampled_edges << " resampled +"
+                   << r.reinserted_edges << " reinserted";
+  };
 
   RepairResult result;
   result.frontier_vertices = frontier_vertices;
@@ -197,6 +216,7 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
     result.h = h_surviving;
     result.outcome = RepairOutcome::kNoop;
     result.seconds = timer.seconds();
+    note(result, 0);
     return result;
   }
 
@@ -206,13 +226,16 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
   // machinery re-run around them. The screen runs on the sparse H, so it is
   // far cheaper per edge than anything the rebuild does on G.
   std::vector<std::uint8_t> is_broken(candidates.size(), 0);
-  parallel_for(0, candidates.size(), [&](std::size_t i) {
-    const Edge e = candidates[i];
-    if (!h_surviving.has_edge(e.u, e.v) &&
-        !has_short_replacement(h_surviving, e.u, e.v)) {
-      is_broken[i] = 1;
-    }
-  });
+  {
+    DCS_TRACE_SPAN("screen");
+    parallel_for(0, candidates.size(), [&](std::size_t i) {
+      const Edge e = candidates[i];
+      if (!h_surviving.has_edge(e.u, e.v) &&
+          !has_short_replacement(h_surviving, e.u, e.v)) {
+        is_broken[i] = 1;
+      }
+    });
+  }
   std::vector<Edge> broken;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (is_broken[i]) broken.push_back(candidates[i]);
@@ -222,6 +245,7 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
     result.h = h_surviving;
     result.outcome = RepairOutcome::kNoop;
     result.seconds = timer.seconds();
+    note(result, 0);
     return result;
   }
 
@@ -233,6 +257,7 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
     RepairResult rebuilt = rebuild_spanner(g_surviving, options);
     rebuilt.frontier_vertices = frontier_vertices;
     rebuilt.candidate_edges = candidates.size();
+    note(rebuilt, broken.size());
     return rebuilt;
   }
 
@@ -248,6 +273,7 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
   const std::size_t base_edges = patched.size();
 
   if (options.strategy == RepairStrategy::kDetourPatch) {
+    DCS_TRACE_SPAN("detour_patch");
     // Step 1 analog: restore router capacity around the damage with the
     // construction's deterministic coin (salted, so the repair does not
     // replay the original sample that the faults just destroyed). Only the
@@ -287,6 +313,7 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
       }
     }
   } else {
+    DCS_TRACE_SPAN("matching_patch");
     // Theorem 2 repair: rebuild the neighborhood matching of every broken
     // edge and splice one matched 3-hop path back into the spanner.
     std::vector<std::vector<Edge>> additions(broken.size());
@@ -332,6 +359,7 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
   result.outcome = result.h.num_edges() == base_edges ? RepairOutcome::kNoop
                                                       : RepairOutcome::kPatched;
   result.seconds = timer.seconds();
+  note(result, broken.size());
   return result;
 }
 
@@ -348,6 +376,7 @@ RepairResult repair_spanner_after(const Graph& g, const Graph& h,
 
 RepairResult rebuild_spanner(const Graph& g_surviving,
                              const SpannerRepairOptions& options) {
+  DCS_TRACE_SPAN("rebuild");
   Timer timer;
   RepairResult result;
   result.outcome = RepairOutcome::kRebuilt;

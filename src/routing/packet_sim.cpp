@@ -4,6 +4,10 @@
 #include <deque>
 #include <numeric>
 
+#define DCS_LOG_COMPONENT "packet_sim"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -12,6 +16,7 @@ namespace dcs {
 PacketSimResult simulate_store_and_forward(const Graph& g,
                                            const Routing& routing,
                                            const PacketSimOptions& options) {
+  DCS_TRACE_SPAN("packet_sim");
   const std::size_t n = g.num_vertices();
   const std::size_t packets = routing.paths.size();
 
@@ -33,6 +38,43 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
   std::vector<std::size_t> progress(packets, 0);
   std::vector<std::deque<std::size_t>> queue(n);
 
+  // Incremental queue-depth tracking: depth_count[l] is the number of nodes
+  // whose queue currently holds l packets, cur_max the largest occupied
+  // depth. Every enqueue/dequeue updates both in O(1) amortized, so the
+  // per-round load observations below are O(1) instead of the O(n) scan a
+  // naive round-metrics hook would need — at production scale that scan
+  // dominates the simulation loop itself. Queue depths only peak
+  // immediately after an enqueue, so per-enqueue tracking of max_queue is
+  // exact.
+  std::vector<std::size_t> depth_count(1, n);
+  std::size_t cur_max = 0;
+  const auto note_enqueue = [&](std::size_t depth_after) {
+    if (depth_after >= depth_count.size()) {
+      depth_count.resize(depth_after + 1, 0);
+    }
+    --depth_count[depth_after - 1];
+    ++depth_count[depth_after];
+    cur_max = std::max(cur_max, depth_after);
+    result.max_queue = std::max(result.max_queue, depth_after);
+  };
+  const auto note_dequeue = [&](std::size_t depth_after) {
+    --depth_count[depth_after + 1];
+    ++depth_count[depth_after];
+    while (cur_max > 0 && depth_count[cur_max] == 0) --cur_max;
+  };
+
+  // Per-round load metrics (only when the process collects metrics).
+  auto* round_max_queue =
+      obs::metrics_enabled()
+          ? &obs::MetricsRegistry::instance().histogram(
+                "packet_sim.round_max_queue")
+          : nullptr;
+  auto* round_in_flight =
+      obs::metrics_enabled()
+          ? &obs::MetricsRegistry::instance().histogram(
+                "packet_sim.round_in_flight")
+          : nullptr;
+
   // Inject in a seeded random order so FIFO ties are unbiased.
   std::vector<std::size_t> order(packets);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -43,13 +85,15 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
     if (routing.paths[i].size() <= 1) {
       result.latency[i] = 0;  // already at destination
     } else {
-      queue[routing.paths[i].front()].push_back(i);
+      auto& q = queue[routing.paths[i].front()];
+      q.push_back(i);
+      note_enqueue(q.size());
       ++remaining;
     }
   }
-
-  for (auto& q : queue) {
-    result.max_queue = std::max(result.max_queue, q.size());
+  if (round_max_queue != nullptr) {
+    round_max_queue->record(static_cast<double>(cur_max));
+    round_in_flight->record(static_cast<double>(remaining));
   }
 
   std::size_t round = 0;
@@ -66,6 +110,9 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
           result.latency[i] = PacketSimResult::kUndelivered;
         }
       }
+      obs::MetricsRegistry::instance().counter("packet_sim.timeouts").inc();
+      DCS_LOG(Warn) << "simulation timed out after " << round
+                    << " rounds with " << remaining << " packets in flight";
       break;
     }
     ++round;
@@ -75,6 +122,7 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
       if (queue[v].empty()) continue;
       const std::size_t packet = queue[v].front();
       queue[v].pop_front();
+      note_dequeue(queue[v].size());
       const auto& path = routing.paths[packet];
       const Vertex next = path[progress[packet] + 1];
       ++progress[packet];
@@ -88,13 +136,21 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
     }
     for (const auto& [node, packet] : arrivals) {
       queue[node].push_back(packet);
+      note_enqueue(queue[node].size());
     }
-    for (const auto& [node, packet] : arrivals) {
-      result.max_queue = std::max(result.max_queue, queue[node].size());
+    if (round_max_queue != nullptr) {
+      round_max_queue->record(static_cast<double>(cur_max));
+      round_in_flight->record(static_cast<double>(remaining));
     }
   }
 
   result.makespan = round;
+  {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("packet_sim.runs").inc();
+    reg.counter("packet_sim.rounds").inc(round);
+    reg.counter("packet_sim.packets").inc(packets);
+  }
   double total = 0.0;
   for (std::size_t l : result.latency) {
     if (l != PacketSimResult::kUndelivered) {

@@ -22,6 +22,38 @@ double percentile(std::span<const double> values, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+namespace {
+
+/// Rank lookup on an already sorted sample with clamped q.
+double sorted_percentile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double exact_percentile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, q);
+}
+
+std::vector<double> exact_percentiles(std::span<const double> values,
+                                      std::span<const double> qs) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(sorted_percentile(sorted, q));
+  return out;
+}
+
 Summary summarize(std::span<const double> values) {
   DCS_REQUIRE(!values.empty(), "summarize of empty sample");
   Summary s;

@@ -31,6 +31,19 @@ Summary summarize(std::span<const double> values);
 /// Percentile in [0, 1] by linear interpolation on the sorted sample.
 double percentile(std::span<const double> values, double q);
 
+/// Exact percentile over an unsorted sample, with total edge-case
+/// handling: an empty sample yields 0.0 (never throws, unlike
+/// percentile()) and a single-element sample yields that element for
+/// every q. q outside [0, 1] is clamped. Used by the metrics layer, where
+/// an empty histogram is an expected state, not API misuse.
+double exact_percentile(std::span<const double> values, double q);
+
+/// Batch variant: sorts the sample once and evaluates every rank in `qs`
+/// (same edge-case behaviour as exact_percentile). Returns one value per
+/// entry of `qs`, in order.
+std::vector<double> exact_percentiles(std::span<const double> values,
+                                      std::span<const double> qs);
+
 /// Least-squares slope of y against x.
 double linear_slope(std::span<const double> x, std::span<const double> y);
 

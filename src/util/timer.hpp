@@ -24,4 +24,40 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// RAII timer that reports its elapsed time when the scope closes.
+///
+/// `Sink` is any type with record(double) taking *milliseconds* — in
+/// practice obs::HistogramMetric, so phase timings land in the metrics
+/// registry without the caller threading stopwatch code through every
+/// branch:
+///
+///   { ScopedTimer timer(registry.histogram("spanner.build.ms"));
+///     build(); }                       // records on scope exit
+///
+/// The optional `out_seconds` additionally receives the elapsed seconds,
+/// for call sites that also print the value (bench tables).
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink& sink, double* out_seconds = nullptr)
+      : sink_(&sink), out_seconds_(out_seconds) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double s = timer_.seconds();
+    if (out_seconds_ != nullptr) *out_seconds_ = s;
+    sink_->record(s * 1e3);
+  }
+
+  /// Elapsed seconds so far (the destructor reports the final value).
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  Timer timer_;
+  Sink* sink_;
+  double* out_seconds_;
+};
+
 }  // namespace dcs

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace dcs::obs {
+namespace {
+
+// ---------------------------------------------------------------- json ----
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(Json, NumbersRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(parse_json(json_number(0.1)).as_number(), 0.1);
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const auto v = parse_json(
+      R"({"a": [1, 2.5, true, null], "b": {"c": "x\ny"}, "d": -3e2})");
+  EXPECT_EQ(v.at("a").as_array().size(), 4u);
+  EXPECT_EQ(v.at("a").as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(v.at("a").as_array()[2].as_bool());
+  EXPECT_TRUE(v.at("a").as_array()[3].is_null());
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x\ny");
+  EXPECT_EQ(v.at("d").as_number(), -300.0);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("z"));
+}
+
+TEST(Json, EscapedStringsRoundTripThroughTheParser) {
+  const std::string original = "quote\" backslash\\ newline\n tab\t ctrl\x02";
+  const auto v = parse_json(json_quote(original));
+  EXPECT_EQ(v.as_string(), original);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,]"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"bad \\q escape\""), std::invalid_argument);
+  EXPECT_THROW(parse_json("truex"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- logging ----
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().reset();
+    Logger::instance().set_stream(&sink_);
+  }
+  void TearDown() override { Logger::instance().reset(); }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(sink_.str());
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggerTest, DefaultLevelFiltersBelowWarn) {
+  DCS_LOG_C("t", Info) << "hidden";
+  DCS_LOG_C("t", Warn) << "shown";
+  const auto out = lines();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].find("shown"), std::string::npos);
+  EXPECT_NE(out[0].find("warn"), std::string::npos);
+  EXPECT_NE(out[0].find("[t]"), std::string::npos);
+}
+
+TEST_F(LoggerTest, ComponentOverrideBeatsTheDefault) {
+  Logger::instance().configure("error,spanner=debug");
+  DCS_LOG_C("spanner", Debug) << "verbose spanner";
+  DCS_LOG_C("other", Warn) << "quiet other";
+  DCS_LOG_C("other", Error) << "loud other";
+  const auto out = lines();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].find("verbose spanner"), std::string::npos);
+  EXPECT_NE(out[1].find("loud other"), std::string::npos);
+}
+
+TEST_F(LoggerTest, FilteredRecordsDoNotEvaluateOperands) {
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  DCS_LOG_C("t", Debug) << "value " << expensive();  // filtered at kWarn
+  EXPECT_EQ(evaluations, 0);
+  Logger::instance().set_level(LogLevel::kDebug);
+  DCS_LOG_C("t", Debug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggerTest, JsonLinesRecordsParseBackWithEscapes) {
+  Logger::instance().set_format(Logger::Format::kJsonLines);
+  Logger::instance().set_level(LogLevel::kInfo);
+  DCS_LOG_C("io", Info) << "path \"a\\b\"\nline2";
+  const auto out = lines();
+  // The embedded \n is escaped, so the record stays a single line.
+  ASSERT_EQ(out.size(), 1u);
+  const auto v = parse_json(out[0]);
+  EXPECT_EQ(v.at("level").as_string(), "info");
+  EXPECT_EQ(v.at("component").as_string(), "io");
+  EXPECT_EQ(v.at("msg").as_string(), "path \"a\\b\"\nline2");
+  EXPECT_GE(v.at("ts_us").as_number(), 0.0);
+}
+
+TEST_F(LoggerTest, ConfigureRejectsMalformedSpecs) {
+  EXPECT_THROW(Logger::instance().configure("loud"), std::invalid_argument);
+  EXPECT_THROW(Logger::instance().configure("spanner="),
+               std::invalid_argument);
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+}
+
+TEST_F(LoggerTest, ClearComponentLevelsRestoresTheDefault) {
+  Logger::instance().configure("off,net=trace");
+  DCS_LOG_C("net", Trace) << "on";
+  Logger::instance().clear_component_levels();
+  DCS_LOG_C("net", Trace) << "off again";
+  EXPECT_EQ(lines().size(), 1u);
+}
+
+// -------------------------------------------------------------- metrics ----
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(MetricsTest, DisabledRecordingIsDropped) {
+  auto& c = MetricsRegistry::instance().counter("obs_test.gated");
+  auto& h = MetricsRegistry::instance().histogram("obs_test.gated_hist");
+  set_metrics_enabled(false);
+  c.inc(5);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  set_metrics_enabled(true);
+  c.inc(5);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferencesAndRejectsKindClash) {
+  auto& a = MetricsRegistry::instance().counter("obs_test.stable");
+  auto& b = MetricsRegistry::instance().counter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(MetricsRegistry::instance().gauge("obs_test.stable"),
+               std::invalid_argument);
+  a.inc(3);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(a.value(), 0u);  // reset zeroes, the reference stays valid
+  a.inc(2);
+  EXPECT_EQ(MetricsRegistry::instance().counter("obs_test.stable").value(),
+            2u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndExactPercentiles) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  auto& h = MetricsRegistry::instance().histogram("obs_test.buckets", bounds);
+  for (double v : {0.5, 1.5, 3.0, 100.0}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 0.5);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.sum, 105.0);
+  ASSERT_EQ(s.buckets.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+}
+
+TEST_F(MetricsTest, ConcurrentHammerFromPoolWorkersLosesNothing) {
+  // The container may report a single hardware thread; an explicit worker
+  // count keeps this an actual concurrency test.
+  ThreadPool pool(4);
+  auto& reg = MetricsRegistry::instance();
+  constexpr std::size_t kOpsPerIndex = 64;
+  constexpr std::size_t kIndices = 512;
+  pool.parallel_ranges(0, kIndices, [&](std::size_t begin, std::size_t end,
+                                        std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t k = 0; k < kOpsPerIndex; ++k) {
+        // Lookup by name on purpose: registration and update paths race
+        // against the other workers.
+        reg.counter("obs_test.hammer").inc();
+        reg.gauge("obs_test.hammer_gauge").add(1.0);
+        reg.histogram("obs_test.hammer_hist")
+            .record(static_cast<double>(i % 7));
+      }
+    }
+  });
+  EXPECT_EQ(reg.counter("obs_test.hammer").value(), kIndices * kOpsPerIndex);
+  EXPECT_DOUBLE_EQ(reg.gauge("obs_test.hammer_gauge").value(),
+                   static_cast<double>(kIndices * kOpsPerIndex));
+  EXPECT_EQ(reg.histogram("obs_test.hammer_hist").snapshot().count,
+            kIndices * kOpsPerIndex);
+}
+
+TEST_F(MetricsTest, JsonExportParsesBackWithAllSections) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("obs_test.export_counter").inc(7);
+  reg.gauge("obs_test.export_gauge").set(2.5);
+  reg.histogram("obs_test.export_hist").record(3.0);
+  const auto v = parse_json(reg.to_json());
+  EXPECT_EQ(v.at("counters").at("obs_test.export_counter").as_number(), 7.0);
+  EXPECT_EQ(v.at("gauges").at("obs_test.export_gauge").as_number(), 2.5);
+  const auto& h = v.at("histograms").at("obs_test.export_hist");
+  EXPECT_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_EQ(h.at("sum").as_number(), 3.0);
+  ASSERT_FALSE(h.at("buckets").as_array().empty());
+  // The overflow bucket serializes with "le": null.
+  EXPECT_TRUE(h.at("buckets").as_array().back().at("le").is_null());
+}
+
+TEST_F(MetricsTest, CsvExportHasHeaderAndOneRowPerMetric) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("obs_test.csv_counter").inc(1);
+  reg.histogram("obs_test.csv_hist").record(2.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.find("name,type,value,count,sum,min,max,p50,p95,p99"), 0u);
+  EXPECT_NE(csv.find("obs_test.csv_counter,counter,1"), std::string::npos);
+  EXPECT_NE(csv.find("obs_test.csv_hist,histogram"), std::string::npos);
+}
+
+// ------------------------------------------------------- scoped timing ----
+
+TEST_F(MetricsTest, ScopedTimerReportsIntoHistogramOnDestruction) {
+  auto& h = MetricsRegistry::instance().histogram("obs_test.scoped_ms");
+  double seconds = -1.0;
+  {
+    ScopedTimer timer(h, &seconds);
+    EXPECT_EQ(h.snapshot().count, 0u);  // nothing recorded until scope exit
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_GE(h.snapshot().sum, 0.0);
+}
+
+// -------------------------------------------------------------- tracing ----
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Trace::stop(); }
+};
+
+TEST_F(TraceTest, SpansAreDroppedWithoutAnActiveSession) {
+  Trace::stop();
+  { DCS_TRACE_SPAN("ignored"); }
+  EXPECT_TRUE(Trace::events().empty() ||
+              Trace::events().front().name != std::string("ignored"));
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  Trace::start();
+  {
+    DCS_TRACE_SPAN("outer");
+    {
+      DCS_TRACE_SPAN("middle");
+      { DCS_TRACE_SPAN("inner"); }
+    }
+  }
+  Trace::stop();
+  const auto events = Trace::events();
+  ASSERT_EQ(events.size(), 3u);
+  // Events are recorded at destruction: inner closes first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 0u);
+  // Same thread, and children contained in their parents' intervals.
+  EXPECT_EQ(events[0].tid, events[2].tid);
+  for (int child = 0; child < 2; ++child) {
+    const auto& c = events[child];
+    const auto& p = events[child + 1];
+    EXPECT_GE(c.ts_us, p.ts_us);
+    EXPECT_LE(c.ts_us + c.dur_us, p.ts_us + p.dur_us);
+  }
+}
+
+TEST_F(TraceTest, StartClearsThePreviousSession) {
+  Trace::start();
+  { DCS_TRACE_SPAN("first"); }
+  Trace::start();
+  { DCS_TRACE_SPAN("second"); }
+  Trace::stop();
+  const auto events = Trace::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "second");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonParsesBackWithNesting) {
+  Trace::start();
+  {
+    DCS_TRACE_SPAN("build");
+    { DCS_TRACE_SPAN("sample"); }
+  }
+  Trace::stop();
+  const auto v = parse_json(Trace::to_json());
+  const auto& events = v.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("pid").as_number(), 1.0);
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+  }
+  EXPECT_EQ(events[0].at("name").as_string(), "sample");
+  EXPECT_EQ(events[0].at("args").at("depth").as_number(), 1.0);
+  EXPECT_EQ(events[1].at("name").as_string(), "build");
+  EXPECT_EQ(events[1].at("args").at("depth").as_number(), 0.0);
+}
+
+TEST_F(TraceTest, SpansFromPoolWorkersCarryDistinctThreadIds) {
+  Trace::start();
+  ThreadPool pool(3);
+  pool.parallel_ranges(0, 3, [&](std::size_t, std::size_t, std::size_t) {
+    DCS_TRACE_SPAN("worker");
+  });
+  Trace::stop();
+  const auto events = Trace::events();
+  ASSERT_GE(events.size(), 1u);
+  for (const auto& e : events) {
+    EXPECT_STREQ(e.name, "worker");
+    EXPECT_EQ(e.depth, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dcs::obs

@@ -3,6 +3,7 @@
 #include "core/regular_spanner.hpp"
 #include "core/router.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "routing/packet_sim.hpp"
 #include "routing/shortest_paths.hpp"
 #include "routing/workloads.hpp"
@@ -111,6 +112,31 @@ TEST(PacketSim, LowerCongestionRoutingDeliversFaster) {
   EXPECT_LT(fast.makespan, slow.makespan);
   EXPECT_EQ(fast.makespan, 2u);  // fully parallel
   EXPECT_LT(fast.max_queue, slow.max_queue);
+}
+
+TEST(PacketSim, RoundMetricsAgreeWithIncrementalMaxQueue) {
+  // The per-round load histogram observes the incrementally-tracked maximum
+  // queue depth (one observation after injection, one per round). Its max
+  // must agree with result.max_queue, and the observation count with the
+  // makespan — this pins the incremental depth_count/cur_max bookkeeping to
+  // the per-round snapshot semantics it replaced.
+  obs::set_metrics_enabled(true);
+  auto& hist =
+      obs::MetricsRegistry::instance().histogram("packet_sim.round_max_queue");
+  hist.reset();
+
+  const Graph g = random_regular(80, 8, 3);
+  const auto problem = random_permutation_problem(80, 5);
+  const Routing p = shortest_path_routing(g, problem, 7);
+  const auto result = simulate_store_and_forward(g, p);
+  obs::set_metrics_enabled(false);
+
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, result.makespan + 1);
+  EXPECT_EQ(static_cast<std::size_t>(snap.max), result.max_queue);
+  // Every round has at least one occupied queue until delivery completes,
+  // so only the final observation may be 0.
+  EXPECT_GE(snap.max, 1.0);
 }
 
 TEST(PacketSim, SpannerRoutingLatencyTracksCongestion) {

@@ -257,6 +257,36 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
 }
 
+TEST(Stats, ExactPercentileHandlesDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(exact_percentile({}, 0.5), 0.0);  // empty → 0, no throw
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(exact_percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(exact_percentile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(exact_percentile(one, 1.0), 7.0);
+}
+
+TEST(Stats, ExactPercentileInterpolatesAndClamps) {
+  const std::vector<double> v{10, 0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(exact_percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(exact_percentile(v, -1.0), 0.0);  // q clamped to [0, 1]
+  EXPECT_DOUBLE_EQ(exact_percentile(v, 2.0), 10.0);
+}
+
+TEST(Stats, ExactPercentilesBatchMatchesSingleCalls) {
+  std::vector<double> v;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) v.push_back(rng.uniform_double() * 50.0);
+  const std::vector<double> qs{0.0, 0.25, 0.5, 0.95, 0.99, 1.0};
+  const auto batch = exact_percentiles(v, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], exact_percentile(v, qs[i]));
+    if (i > 0) {
+      EXPECT_GE(batch[i], batch[i - 1]);
+    }
+  }
+}
+
 TEST(Stats, LinearSlopeExact) {
   const std::vector<double> x{1, 2, 3, 4};
   const std::vector<double> y{3, 5, 7, 9};  // slope 2

@@ -15,7 +15,15 @@
 //       workloads: matching | permutation | all-edges
 //   dcs_tool resilience <in.graph> <spanner.graph> [edge-fraction]
 //       [vertex-faults] [seed]     inject faults, recertify, self-heal
+//   dcs_tool pipeline <n> [delta] [seed]
+//       end-to-end: generate, build Theorem 3 spanner, verify, simulate
 //   dcs_tool info <in.graph>
+//
+// Observability flags (valid before or after the subcommand):
+//   --log-level=SPEC     e.g. --log-level=debug or --log-level=info,spanner=trace
+//   --log-json           JSON-lines log records instead of text
+//   --metrics-out=PATH   enable metrics; write registry on exit (.csv or .json)
+//   --trace-out=PATH     record spans; write Chrome trace-event JSON on exit
 //
 // Exit code 0 on success; 1 on a failed verification; 2 on usage errors.
 
@@ -23,9 +31,13 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/baseline_spanners.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/expander_spanner.hpp"
 #include "core/general_spanner.hpp"
 #include "core/regular_spanner.hpp"
@@ -69,7 +81,10 @@ using namespace dcs;
       "  dcs_tool tables <graph> [seed]\n"
       "  dcs_tool resilience <in.graph> <spanner.graph> "
       "[edge-fraction] [vertex-faults] [seed]\n"
-      "  dcs_tool info <in.graph>\n";
+      "  dcs_tool pipeline <n> [delta] [seed]\n"
+      "  dcs_tool info <in.graph>\n"
+      "flags (any subcommand): --log-level=SPEC --log-json "
+      "--metrics-out=PATH --trace-out=PATH\n";
   std::exit(2);
 }
 
@@ -322,6 +337,48 @@ int cmd_resilience(const std::vector<std::string>& args) {
   return after.distance == GuaranteeStatus::kHeld ? 0 : 1;
 }
 
+// End-to-end driver: one invocation that exercises generation, the Theorem 3
+// construction, the verifier, and the packet simulator. With --trace-out /
+// --metrics-out this yields a trace covering every construction phase plus
+// the simulator's load histograms from a single process.
+int cmd_pipeline(const std::vector<std::string>& args) {
+  if (args.empty()) usage("pipeline needs <n>");
+  const std::size_t n = arg_u64(args, 0, 0);
+  if (n < 8) usage("pipeline needs n >= 8");
+  std::size_t delta = arg_u64(args, 1, 0);
+  if (delta == 0) {
+    delta = static_cast<std::size_t>(
+        std::llround(std::pow(static_cast<double>(n), 2.0 / 3.0)));
+  }
+  if (delta % 2 != 0) ++delta;  // keep n·Δ even for the regular generator
+  if (delta >= n) usage("pipeline needs delta < n");
+  const std::uint64_t seed = arg_u64(args, 2, 1);
+
+  const Graph g = random_regular(n, delta, seed);
+  RegularSpannerOptions o;
+  o.seed = seed + 1;
+  const auto built = build_regular_spanner(g, o);
+  const Graph& h = built.spanner.h;
+
+  const auto stretch = measure_distance_stretch(g, h, 64);
+  const auto problem = random_permutation_problem(n, seed + 2);
+  const Routing routing = shortest_path_routing(h, problem, seed + 3);
+  const auto sim = simulate_store_and_forward(h, routing, {.seed = seed + 4});
+
+  Table t({"quantity", "value"});
+  t.add("vertices", n);
+  t.add("degree", delta);
+  t.add("input edges", g.num_edges());
+  t.add("spanner edges", h.num_edges());
+  t.add("reinserted", built.spanner.stats.reinserted_edges);
+  t.add("max stretch", stretch.max_stretch);
+  t.add("unreachable", stretch.unreachable);
+  t.add("sim makespan", sim.makespan);
+  t.add("sim max queue", sim.max_queue);
+  t.print(std::cout);
+  return stretch.unreachable == 0 ? 0 : 1;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   if (args.empty()) usage("info needs <in>");
   const Graph g = read_graph_file(args[0]);
@@ -345,22 +402,66 @@ int cmd_info(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  // Observability flags are position-independent: strip them out first so
+  // every subcommand accepts them without having to parse them itself.
+  std::vector<std::string> words;
+  std::string log_spec;
+  std::string metrics_out;
+  std::string trace_out;
+  bool log_json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--log-level=", 0) == 0) {
+      log_spec = a.substr(12);
+    } else if (a == "--log-json") {
+      log_json = true;
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = a.substr(14);
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(12);
+    } else if (a.rfind("--", 0) == 0) {
+      usage("unknown flag: " + std::string(a));
+    } else {
+      words.emplace_back(a);
+    }
+  }
+  if (words.empty()) usage();
+
+  if (log_json) {
+    obs::Logger::instance().set_format(obs::Logger::Format::kJsonLines);
+  }
+  if (!log_spec.empty()) obs::Logger::instance().configure(log_spec);
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::Trace::start();
+  // Flush on every exit path (including errors) so a failed run still
+  // leaves its telemetry behind for diagnosis.
+  const auto flush_obs = [&] {
+    if (!trace_out.empty()) obs::Trace::write_json(trace_out);
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry::instance().write(metrics_out);
+    }
+  };
+
+  const std::string command = words.front();
+  const std::vector<std::string> args(words.begin() + 1, words.end());
+  int rc = 2;
   try {
-    if (command == "gen") return cmd_gen(args);
-    if (command == "spanner") return cmd_spanner(args);
-    if (command == "verify") return cmd_verify(args);
-    if (command == "route") return cmd_route(args);
-    if (command == "report") return cmd_report(args);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "tables") return cmd_tables(args);
-    if (command == "resilience") return cmd_resilience(args);
-    if (command == "info") return cmd_info(args);
-    usage("unknown command: " + command);
+    if (command == "gen") rc = cmd_gen(args);
+    else if (command == "spanner") rc = cmd_spanner(args);
+    else if (command == "verify") rc = cmd_verify(args);
+    else if (command == "route") rc = cmd_route(args);
+    else if (command == "report") rc = cmd_report(args);
+    else if (command == "simulate") rc = cmd_simulate(args);
+    else if (command == "tables") rc = cmd_tables(args);
+    else if (command == "resilience") rc = cmd_resilience(args);
+    else if (command == "pipeline") rc = cmd_pipeline(args);
+    else if (command == "info") rc = cmd_info(args);
+    else usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    flush_obs();
     return 2;
   }
+  flush_obs();
+  return rc;
 }

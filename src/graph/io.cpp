@@ -36,16 +36,33 @@ bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
   return false;
 }
 
+// True when only whitespace is left: "0 1 junk" is a malformed line, not
+// an edge with a trailing comment.
+bool fully_consumed(std::istream& is) {
+  is >> std::ws;
+  return is.eof();
+}
+
+// iostreams silently wrap "-1" into ULLONG_MAX for unsigned reads, so a
+// negative id must be rejected before extraction.
+bool has_minus(const std::string& line) {
+  return line.find('-') != std::string::npos;
+}
+
 }  // namespace
 
 Graph read_graph(std::istream& is) {
   std::string line;
   std::size_t lineno = 0;
   DCS_REQUIRE(next_line(is, line, lineno), "empty graph file");
+  DCS_REQUIRE(!has_minus(line),
+              "negative value at line " + std::to_string(lineno));
   std::istringstream header(line);
   std::size_t n = 0, m = 0;
   DCS_REQUIRE(static_cast<bool>(header >> n >> m),
               "malformed header at line " + std::to_string(lineno));
+  DCS_REQUIRE(fully_consumed(header),
+              "trailing garbage in header at line " + std::to_string(lineno));
 
   std::vector<Edge> edges;
   edges.reserve(m);
@@ -54,10 +71,14 @@ Graph read_graph(std::istream& is) {
     DCS_REQUIRE(next_line(is, line, lineno),
                 "expected " + std::to_string(m) + " edges, got " +
                     std::to_string(i));
+    DCS_REQUIRE(!has_minus(line),
+                "negative value at line " + std::to_string(lineno));
     std::istringstream row(line);
     std::uint64_t u = 0, v = 0;
     DCS_REQUIRE(static_cast<bool>(row >> u >> v),
                 "malformed edge at line " + std::to_string(lineno));
+    DCS_REQUIRE(fully_consumed(row),
+                "trailing garbage at line " + std::to_string(lineno));
     DCS_REQUIRE(u < n && v < n,
                 "endpoint out of range at line " + std::to_string(lineno));
     DCS_REQUIRE(u != v, "self-loop at line " + std::to_string(lineno));
@@ -66,6 +87,9 @@ Graph read_graph(std::istream& is) {
                 "duplicate edge at line " + std::to_string(lineno));
     edges.push_back(e);
   }
+  DCS_REQUIRE(!next_line(is, line, lineno),
+              "unexpected content after the declared " + std::to_string(m) +
+                  " edges at line " + std::to_string(lineno));
   return Graph::from_edges(n, edges);
 }
 
@@ -128,6 +152,8 @@ Graph read_metis(std::istream& is) {
   for (std::size_t v = 0; v < n; ++v) {
     DCS_REQUIRE(next_metis_line(is, line, lineno),
                 "METIS file ends before vertex " + std::to_string(v + 1));
+    DCS_REQUIRE(!has_minus(line),
+                "negative value at line " + std::to_string(lineno));
     std::istringstream row(line);
     std::uint64_t nb = 0;
     while (row >> nb) {
@@ -138,6 +164,9 @@ Graph read_metis(std::istream& is) {
       DCS_REQUIRE(u != w, "self-loop at line " + std::to_string(lineno));
       if (u < w) edges.push_back(Edge{u, w});  // each edge listed twice
     }
+    row.clear();
+    DCS_REQUIRE(fully_consumed(row),
+                "non-numeric neighbor at line " + std::to_string(lineno));
   }
   const Graph g = Graph::from_edges(n, edges);
   DCS_REQUIRE(g.num_edges() == m,

@@ -1,0 +1,233 @@
+#include "resilience/churn_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Mirrors failure_injector.cpp: recoveries sort before crashes within a
+// wave so a recovered element can be re-crashed in the same wave.
+int kind_rank(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVertexUp:
+    case FaultKind::kEdgeUp:
+      return 0;
+    case FaultKind::kVertexDown:
+    case FaultKind::kEdgeDown:
+      return 1;
+  }
+  return 2;
+}
+
+bool event_order(const FaultEvent& a, const FaultEvent& b) {
+  if (a.wave != b.wave) return a.wave < b.wave;
+  const int ra = kind_rank(a.kind);
+  const int rb = kind_rank(b.kind);
+  if (ra != rb) return ra < rb;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+}  // namespace
+
+ChurnEngine::ChurnEngine(const Graph& g, const ChurnEngineOptions& options)
+    : g_(g),
+      options_(options),
+      state_(g.num_vertices()),
+      vertex_flap_pending_(g.num_vertices(), 0) {
+  DCS_REQUIRE(options_.edge_churn_rate >= 0.0 &&
+                  options_.edge_churn_rate <= 1.0,
+              "edge churn rate must be in [0, 1]");
+  DCS_REQUIRE(options_.vertex_churn_rate >= 0.0 &&
+                  options_.vertex_churn_rate <= 1.0,
+              "vertex churn rate must be in [0, 1]");
+  DCS_REQUIRE(options_.recovery_rate >= 0.0 && options_.recovery_rate <= 1.0,
+              "recovery rate must be in [0, 1]");
+  DCS_REQUIRE(options_.flap_probability >= 0.0 &&
+                  options_.flap_probability <= 1.0,
+              "flap probability must be in [0, 1]");
+  DCS_REQUIRE(options_.flap_duration >= 1, "flap duration must be >= 1");
+  DCS_REQUIRE(options_.min_live_fraction >= 0.0 &&
+                  options_.min_live_fraction <= 1.0,
+              "min live fraction must be in [0, 1]");
+}
+
+void ChurnEngine::set_load_profile(std::vector<std::size_t> loads) {
+  DCS_REQUIRE(loads.empty() || loads.size() == g_.num_vertices(),
+              "load profile must cover every vertex");
+  loads_ = std::move(loads);
+}
+
+void ChurnEngine::emit(const FaultEvent& event, Rng& rng,
+                       std::vector<FaultEvent>& out) {
+  state_.apply(event);
+  out.push_back(event);
+  const bool is_vertex = event.kind == FaultKind::kVertexDown;
+  if (is_vertex) {
+    down_vertices_.push_back(event.u);
+  } else {
+    down_edges_.push_back(canonical(event.u, event.v));
+  }
+  if (options_.flap_probability > 0.0 &&
+      rng.bernoulli(options_.flap_probability)) {
+    FaultEvent up = event;
+    up.wave = wave_ + options_.flap_duration;
+    up.kind = is_vertex ? FaultKind::kVertexUp : FaultKind::kEdgeUp;
+    pending_up_.emplace_back(up.wave, up);
+    if (is_vertex) {
+      vertex_flap_pending_[event.u] = 1;
+    } else {
+      edge_flap_pending_.insert(event.u, event.v);
+    }
+  }
+}
+
+std::span<const FaultEvent> ChurnEngine::advance() {
+  const std::size_t w = wave_;
+  Rng rng(mix64(options_.seed, w));
+  current_wave_.clear();
+
+  // 1. Flap recoveries due this wave (deterministic, scheduled at crash
+  //    time). pending_up_ is scanned rather than indexed: flap durations
+  //    are small so the list stays short.
+  std::vector<FaultEvent> due;
+  for (auto& [fire_wave, up] : pending_up_) {
+    if (fire_wave == w) due.push_back(up);
+  }
+  std::erase_if(pending_up_,
+                [w](const auto& p) { return p.first == w; });
+  std::sort(due.begin(), due.end(), event_order);
+  for (FaultEvent up : due) {
+    up.wave = w;
+    state_.apply(up);
+    current_wave_.push_back(up);
+    if (up.kind == FaultKind::kVertexUp) {
+      vertex_flap_pending_[up.u] = 0;
+      std::erase(down_vertices_, up.u);
+    } else {
+      edge_flap_pending_.erase(canonical(up.u, up.v));
+      std::erase(down_edges_, canonical(up.u, up.v));
+    }
+  }
+
+  // 2. Slow recoveries: each individually-down element without a pending
+  //    flap recovers independently. Sweeps run in sorted order so the
+  //    draw sequence is a pure function of (seed, wave, state).
+  if (options_.recovery_rate > 0.0) {
+    std::sort(down_vertices_.begin(), down_vertices_.end());
+    std::vector<Vertex> recovered;
+    for (Vertex v : down_vertices_) {
+      if (vertex_flap_pending_[v] == 0 &&
+          rng.bernoulli(options_.recovery_rate)) {
+        recovered.push_back(v);
+      }
+    }
+    for (Vertex v : recovered) {
+      const FaultEvent up = FaultEvent::vertex_up(w, v);
+      state_.apply(up);
+      current_wave_.push_back(up);
+      std::erase(down_vertices_, v);
+    }
+    std::sort(down_edges_.begin(), down_edges_.end());
+    std::vector<Edge> recovered_edges;
+    for (Edge e : down_edges_) {
+      if (!edge_flap_pending_.contains(e) &&
+          rng.bernoulli(options_.recovery_rate)) {
+        recovered_edges.push_back(e);
+      }
+    }
+    for (Edge e : recovered_edges) {
+      const FaultEvent up = FaultEvent::edge_up(w, e);
+      state_.apply(up);
+      current_wave_.push_back(up);
+      std::erase(down_edges_, e);
+    }
+  }
+
+  const std::size_t n = g_.num_vertices();
+  const auto live_floor = [&](std::size_t total) {
+    return static_cast<std::size_t>(options_.min_live_fraction *
+                                    static_cast<double>(total));
+  };
+
+  // 3. Vertex crash arrivals.
+  if (options_.vertex_churn_rate > 0.0) {
+    std::vector<Vertex> alive;
+    alive.reserve(n);
+    for (Vertex v = 0; v < n; ++v) {
+      if (state_.vertex_alive(v)) alive.push_back(v);
+    }
+    std::size_t count = 0;
+    std::vector<Vertex> victims;
+    if (!loads_.empty()) {
+      // Adversarial: expected-count many of the highest-load live vertices.
+      count = static_cast<std::size_t>(options_.vertex_churn_rate *
+                                       static_cast<double>(alive.size()));
+      std::stable_sort(alive.begin(), alive.end(), [&](Vertex a, Vertex b) {
+        if (loads_[a] != loads_[b]) return loads_[a] > loads_[b];
+        return a < b;
+      });
+      victims.assign(alive.begin(),
+                     alive.begin() + std::min(count, alive.size()));
+    } else {
+      for (Vertex v : alive) {
+        if (rng.bernoulli(options_.vertex_churn_rate)) victims.push_back(v);
+      }
+    }
+    std::size_t live = alive.size();
+    const std::size_t floor_v = live_floor(n);
+    for (Vertex v : victims) {
+      if (live <= floor_v || live <= 1) break;
+      emit(FaultEvent::vertex_down(w, v), rng, current_wave_);
+      --live;
+    }
+  }
+
+  // 4. Edge crash arrivals among the edges still alive after this wave's
+  //    vertex crashes.
+  if (options_.edge_churn_rate > 0.0) {
+    std::vector<Edge> live;
+    live.reserve(g_.num_edges());
+    for (Edge e : g_.edges()) {
+      if (state_.edge_alive(e)) live.push_back(e);
+    }
+    std::vector<Edge> victims;
+    if (!loads_.empty()) {
+      const std::size_t count =
+          static_cast<std::size_t>(options_.edge_churn_rate *
+                                   static_cast<double>(live.size()));
+      std::stable_sort(live.begin(), live.end(), [&](Edge a, Edge b) {
+        const std::size_t la = loads_[a.u] + loads_[a.v];
+        const std::size_t lb = loads_[b.u] + loads_[b.v];
+        if (la != lb) return la > lb;
+        return a < b;
+      });
+      victims.assign(live.begin(),
+                     live.begin() + std::min(count, live.size()));
+    } else {
+      for (Edge e : live) {
+        if (rng.bernoulli(options_.edge_churn_rate)) victims.push_back(e);
+      }
+    }
+    std::size_t live_count = live.size();
+    const std::size_t floor_e = live_floor(g_.num_edges());
+    for (Edge e : victims) {
+      if (live_count <= floor_e) break;
+      emit(FaultEvent::edge_down(w, e), rng, current_wave_);
+      --live_count;
+    }
+  }
+
+  std::sort(current_wave_.begin(), current_wave_.end(), event_order);
+  history_.events.insert(history_.events.end(), current_wave_.begin(),
+                         current_wave_.end());
+  ++wave_;
+  return current_wave_;
+}
+
+}  // namespace dcs

@@ -1,0 +1,113 @@
+#pragma once
+
+// Open-ended continuous churn: the event-*stream* counterpart of
+// FailureInjector's fixed-wave schedules.
+//
+// A FailureInjector answers "what does one experiment look like?" — a finite,
+// pre-generated schedule. Under continuous operation the question inverts:
+// faults arrive forever and the system must keep up. ChurnEngine generates
+// that stream one wave at a time:
+//
+//  * crash arrivals   — every live edge (vertex) independently crashes with
+//    probability `edge_churn_rate` (`vertex_churn_rate`) per wave, a
+//    Poisson-like seeded arrival process;
+//  * flap recoveries  — a crash is transient with probability
+//    `flap_probability` and deterministically recovers `flap_duration`
+//    waves later (lossy links that come right back);
+//  * slow recoveries  — every other down element independently recovers
+//    with probability `recovery_rate` per wave (geometric repair times),
+//    so the live fraction reaches the equilibrium r/(r + p) instead of
+//    decaying to zero;
+//  * adversarial mode — with a load profile installed
+//    (`set_load_profile`), crashes target the highest-load live vertices
+//    and the live edges with the hottest endpoint sums instead of
+//    sampling, mirroring FailureInjector::generate_adversarial.
+//
+// Determinism: wave w draws from Rng(mix64(seed, w)) over state that is a
+// pure function of waves 0..w−1, so the stream is replayable byte-for-byte
+// and `history()` at any point is a valid FailureSchedule — the soak
+// harness archives it and the minimizer shrinks it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "resilience/failure_injector.hpp"
+#include "resilience/fault_state.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+struct ChurnEngineOptions {
+  std::uint64_t seed = 0;
+
+  /// Per-wave crash probability of each currently-live edge.
+  double edge_churn_rate = 0.0;
+  /// Per-wave crash probability of each currently-live vertex.
+  double vertex_churn_rate = 0.0;
+
+  /// Per-wave recovery probability of each individually-down element that
+  /// is not already scheduled to flap back. 0 means crashes are permanent
+  /// unless flapped — the stream then monotonically erodes the graph.
+  double recovery_rate = 0.0;
+
+  /// Probability that a crash is transient, recovering `flap_duration`
+  /// waves later regardless of `recovery_rate`.
+  double flap_probability = 0.0;
+  std::size_t flap_duration = 1;
+
+  /// Never crash a vertex (edge) when the live count would drop below this
+  /// fraction of the total — a guardrail so aggressive rates cannot erode
+  /// the network to nothing over a long soak.
+  double min_live_fraction = 0.25;
+};
+
+class ChurnEngine {
+ public:
+  /// `g` is the fault-free network; it must outlive the engine.
+  ChurnEngine(const Graph& g, const ChurnEngineOptions& options);
+
+  /// Generates, applies, and returns the events of the next wave. The
+  /// returned span stays valid until the next call. Waves may be empty —
+  /// quiet rounds are part of the stream.
+  std::span<const FaultEvent> advance();
+
+  /// Index of the next wave `advance()` will generate.
+  std::size_t next_wave() const { return wave_; }
+
+  /// Live/dead state after all generated waves.
+  const FaultState& fault_state() const { return state_; }
+
+  /// Every event emitted so far, as a replayable schedule.
+  const FailureSchedule& history() const { return history_; }
+
+  /// Installs (or clears, with an empty vector) a per-vertex load profile;
+  /// subsequent waves target the highest-load live elements instead of
+  /// sampling. Typically refreshed from the live routing's `node_loads`.
+  void set_load_profile(std::vector<std::size_t> loads);
+
+ private:
+  void emit(const FaultEvent& event, Rng& rng,
+            std::vector<FaultEvent>& out);
+
+  const Graph& g_;
+  ChurnEngineOptions options_;
+  std::size_t wave_ = 0;
+  FaultState state_;
+  FailureSchedule history_;
+  std::vector<FaultEvent> current_wave_;
+  std::vector<std::size_t> loads_;  ///< empty = random mode
+
+  // Individually-down elements (never those silenced by a vertex crash),
+  // kept sorted for deterministic recovery sweeps, plus the subset with a
+  // pending flap recovery (excluded from the slow-recovery draw).
+  std::vector<Vertex> down_vertices_;
+  std::vector<Edge> down_edges_;
+  std::vector<std::uint8_t> vertex_flap_pending_;
+  EdgeSet edge_flap_pending_;
+  // Flap recoveries keyed by the wave they fire in.
+  std::vector<std::pair<std::size_t, FaultEvent>> pending_up_;
+};
+
+}  // namespace dcs

@@ -93,31 +93,53 @@ void write_schedule(std::ostream& os, const FailureSchedule& schedule) {
 FailureSchedule read_schedule(std::istream& is) {
   FailureSchedule schedule;
   std::string line;
+  std::size_t lineno = 0;
+  std::size_t prev_wave = 0;
+  const auto at = [&] { return " at line " + std::to_string(lineno); };
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    // iostreams silently wrap "-1" into a huge unsigned id, so a negative
+    // token must be rejected up front. The kind tokens "v-"/"e-" carry the
+    // only legitimate '-'.
+    for (std::size_t i = first; i < line.size(); ++i) {
+      DCS_REQUIRE(line[i] != '-' ||
+                      (i > 0 && (line[i - 1] == 'v' || line[i - 1] == 'e')),
+                  "negative value" + at());
+    }
     std::istringstream ls(line);
     std::size_t wave = 0;
     std::string token;
     DCS_REQUIRE(static_cast<bool>(ls >> wave >> token),
-                "malformed schedule line: " + line);
+                "truncated schedule line" + at());
+    DCS_REQUIRE(schedule.events.empty() || wave >= prev_wave,
+                "non-monotone wave " + std::to_string(wave) + " after " +
+                    std::to_string(prev_wave) + at());
     FaultEvent event;
-    event.wave = wave;
     if (token == "v-" || token == "v+") {
       Vertex u = kInvalidVertex;
-      DCS_REQUIRE(static_cast<bool>(ls >> u), "missing vertex: " + line);
+      DCS_REQUIRE(static_cast<bool>(ls >> u), "missing vertex" + at());
       event = token == "v-" ? FaultEvent::vertex_down(wave, u)
                             : FaultEvent::vertex_up(wave, u);
     } else if (token == "e-" || token == "e+") {
       Vertex u = kInvalidVertex;
       Vertex v = kInvalidVertex;
-      DCS_REQUIRE(static_cast<bool>(ls >> u >> v), "missing edge: " + line);
+      DCS_REQUIRE(static_cast<bool>(ls >> u >> v),
+                  "missing edge endpoint" + at());
+      DCS_REQUIRE(u != v, "self-loop edge" + at());
       event = token == "e-" ? FaultEvent::edge_down(wave, {u, v})
                             : FaultEvent::edge_up(wave, {u, v});
     } else {
-      DCS_REQUIRE(false, "unknown event kind: " + token);
+      DCS_REQUIRE(false, "unknown event kind '" + token + "'" + at());
     }
+    ls >> std::ws;
+    DCS_REQUIRE(ls.eof(), "trailing garbage" + at());
     schedule.events.push_back(event);
+    prev_wave = wave;
   }
+  // Normalize within-wave order (recoveries before crashes); waves are
+  // already verified monotone, so this is canonicalization, not repair.
   std::sort(schedule.events.begin(), schedule.events.end(), event_order);
   return schedule;
 }

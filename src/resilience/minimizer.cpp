@@ -1,0 +1,112 @@
+#include "resilience/minimizer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#define DCS_LOG_COMPONENT "minimizer"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+FailureSchedule subset(const std::vector<FaultEvent>& events,
+                       const std::vector<std::size_t>& keep) {
+  FailureSchedule s;
+  s.events.reserve(keep.size());
+  for (std::size_t i : keep) s.events.push_back(events[i]);
+  return s;
+}
+
+}  // namespace
+
+MinimizeResult minimize_schedule(
+    const FailureSchedule& failing,
+    const std::function<bool(const FailureSchedule&)>& reproduces,
+    const MinimizerOptions& options) {
+  MinimizeResult result;
+  result.initial_events = failing.events.size();
+
+  auto test = [&](const FailureSchedule& s) {
+    ++result.evaluations;
+    return reproduces(s);
+  };
+  DCS_REQUIRE(test(failing),
+              "minimizer needs a reproducing schedule to start from");
+
+  // Working set: indices into failing.events, always in ascending order so
+  // candidate schedules preserve event order and wave numbers.
+  std::vector<std::size_t> current(failing.events.size());
+  for (std::size_t i = 0; i < current.size(); ++i) current[i] = i;
+
+  std::size_t granularity = 2;
+  bool budget_left = true;
+  while (current.size() >= 2 && budget_left) {
+    granularity = std::min(granularity, current.size());
+    const std::size_t chunk =
+        (current.size() + granularity - 1) / granularity;
+
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size() && !reduced;
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, current.size());
+
+      if (result.evaluations >= options.max_evaluations) {
+        budget_left = false;
+        break;
+      }
+      // Try the chunk alone …
+      std::vector<std::size_t> alone(current.begin() + start,
+                                     current.begin() + end);
+      if (alone.size() < current.size() &&
+          test(subset(failing.events, alone))) {
+        current = std::move(alone);
+        granularity = 2;
+        reduced = true;
+        break;
+      }
+      if (result.evaluations >= options.max_evaluations) {
+        budget_left = false;
+        break;
+      }
+      // … then its complement.
+      std::vector<std::size_t> complement;
+      complement.reserve(current.size() - (end - start));
+      complement.insert(complement.end(), current.begin(),
+                        current.begin() + start);
+      complement.insert(complement.end(), current.begin() + end,
+                        current.end());
+      if (!complement.empty() && complement.size() < current.size() &&
+          test(subset(failing.events, complement))) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+
+    if (!reduced) {
+      if (granularity >= current.size()) {
+        // Every single event is load-bearing: 1-minimal.
+        result.minimal = true;
+        break;
+      }
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  if (current.size() < 2 && budget_left) result.minimal = true;
+
+  result.schedule = subset(failing.events, current);
+  obs::MetricsRegistry::instance()
+      .counter("minimizer.evaluations")
+      .inc(result.evaluations);
+  DCS_LOG(Info) << "minimized " << result.initial_events << " events to "
+                << result.schedule.events.size() << " in "
+                << result.evaluations << " evaluations"
+                << (result.minimal ? " (1-minimal)" : " (budget)");
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,51 @@
+#pragma once
+
+// Delta-debugging minimization of failing FailureSchedules.
+//
+// A soak run that trips an invariant hands back a schedule with thousands
+// of events; almost none of them matter. `minimize_schedule` shrinks the
+// event list with Zeller's ddmin: split the current reproducer into k
+// chunks, try each chunk alone, then each complement, keep whichever
+// smaller schedule still reproduces, and refine the granularity until the
+// schedule is 1-minimal (removing any single event makes the failure
+// vanish) or the evaluation budget runs out.
+//
+// The predicate receives candidate schedules with events in their original
+// relative order and original wave numbers (waves need not be contiguous —
+// FailureSchedule::wave() handles gaps), so a replay of the minimized
+// schedule is a faithful sub-experiment of the original run.
+//
+// Orphaned recoveries are fine: an `up` event whose `down` was removed is
+// a no-op for FaultState, so ddmin can drop either half of a flap pair
+// independently.
+
+#include <cstddef>
+#include <functional>
+
+#include "resilience/failure_injector.hpp"
+
+namespace dcs {
+
+struct MinimizerOptions {
+  /// Hard cap on predicate evaluations (each one typically replays a
+  /// soak). The minimizer returns its best-so-far when the budget runs
+  /// out.
+  std::size_t max_evaluations = 2048;
+};
+
+struct MinimizeResult {
+  FailureSchedule schedule;     ///< smallest reproducer found
+  std::size_t initial_events = 0;
+  std::size_t evaluations = 0;  ///< predicate calls spent
+  bool minimal = false;         ///< true iff 1-minimality was proven
+};
+
+/// Shrinks `failing` while `reproduces` stays true. Requires
+/// `reproduces(failing)` — throws std::invalid_argument otherwise, since a
+/// non-reproducing starting point would "minimize" to noise.
+MinimizeResult minimize_schedule(
+    const FailureSchedule& failing,
+    const std::function<bool(const FailureSchedule&)>& reproduces,
+    const MinimizerOptions& options = {});
+
+}  // namespace dcs

@@ -1,0 +1,302 @@
+#include "resilience/soak.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#define DCS_LOG_COMPONENT "soak"
+#include "graph/bfs.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "routing/matching.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Domain-separation salts for the per-purpose seed streams.
+constexpr std::uint64_t kChurnSalt = 0x5eedc0ffee01ULL;
+constexpr std::uint64_t kTrafficSalt = 0x5eedc0ffee02ULL;
+
+/// A traffic burst at `wave`: a maximal matching of the surviving network
+/// routed over the live spanner. Pairs the spanner cannot currently reach
+/// (mid-repair damage) are skipped — the burst probes the data plane, not
+/// the certificate; the certificate has its own invariant.
+Routing burst_routing(const Graph& g_surv, const Graph& h_live,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  const auto matched = greedy_maximal_matching(g_surv, seed);
+  Routing routing;
+  routing.paths.reserve(matched.size());
+  for (Edge e : matched) {
+    auto path = bfs_shortest_path(h_live, e.u, e.v, &rng);
+    if (!path.empty()) routing.paths.push_back(std::move(path));
+  }
+  return routing;
+}
+
+struct SoakDriver {
+  const Graph& g;
+  const Graph& h0;
+  const SoakOptions& options;
+  const FailureSchedule* replay = nullptr;  ///< null = generate churn
+
+  SoakResult run() {
+    DCS_TRACE_SPAN("soak");
+    SoakResult result;
+    ChurnEngineOptions churn = options.churn;
+    churn.seed = mix64(options.seed, kChurnSalt);
+    ChurnEngine engine(g, churn);
+
+    SpannerSupervisor supervisor(g, h0, options.supervisor);
+    if (options.inject_repair_bug) supervisor.inject_repair_bug();
+
+    for (std::size_t w = 0; w < options.waves; ++w) {
+      std::span<const FaultEvent> events =
+          replay != nullptr ? replay->wave(w) : engine.advance();
+      const std::size_t prev_debt = supervisor.repair_debt();
+      const auto report = supervisor.step(events);
+
+      result.waves_run = w + 1;
+      result.max_debt = std::max(result.max_debt, report.debt);
+      result.worst_state = std::max(result.worst_state, report.state);
+      result.final_state = report.state;
+      if (report.checked) ++result.recertifications;
+
+      // Invariant: the ladder never bottoms out.
+      if (report.state == SupervisorState::kLost) {
+        result.violations.push_back(
+            {w, "supervisor-lost",
+             "degradation ladder reached kLost: " + report.summary()});
+        break;
+      }
+      // Invariant: a recertification with no outstanding debt certifies α —
+      // the repair engine's deterministic guarantee, observed end to end.
+      if (report.checked && report.debt == 0 &&
+          report.certificate != GuaranteeStatus::kHeld) {
+        result.violations.push_back(
+            {w, "certificate-after-repair",
+             "zero debt but certificate " +
+                 std::string(to_string(report.certificate)) + ": " +
+                 supervisor.last_check().summary()});
+        break;
+      }
+      // Invariant: debt only grows by this wave's endangered edges.
+      if (report.debt > prev_debt + report.new_candidates) {
+        std::ostringstream os;
+        os << "debt " << prev_debt << " -> " << report.debt << " with only "
+           << report.new_candidates << " new candidates";
+        result.violations.push_back({w, "repair-debt-monotone", os.str()});
+        break;
+      }
+
+      if (options.traffic_interval > 0 &&
+          (w + 1) % options.traffic_interval == 0) {
+        const Graph g_surv = supervisor.fault_state().surviving(g);
+        const std::uint64_t burst_seed =
+            mix64(mix64(options.seed, kTrafficSalt), w);
+        const Routing routing =
+            burst_routing(g_surv, supervisor.spanner(), burst_seed);
+        if (!routing.paths.empty()) {
+          PacketSimOptions sim = options.sim;
+          sim.seed = burst_seed + 1;
+          const auto sr =
+              simulate_store_and_forward(supervisor.spanner(), routing, sim);
+          ++result.sims_run;
+          result.packets_injected += routing.paths.size();
+          result.packets_delivered += sr.delivered;
+          result.packets_shed += sr.shed;
+          result.max_queue = std::max(result.max_queue, sr.max_queue);
+
+          // Invariant: no packet leaks — every injected packet is
+          // delivered, shed, or accounted as in flight.
+          const auto in_flight = sr.shed_for(PacketOutcome::kInFlight);
+          if (sr.delivered + sr.shed + in_flight != routing.paths.size()) {
+            std::ostringstream os;
+            os << sr.delivered << " delivered + " << sr.shed << " shed + "
+               << in_flight << " in flight != " << routing.paths.size()
+               << " injected";
+            result.violations.push_back({w, "packet-leak", os.str()});
+            break;
+          }
+        }
+      }
+    }
+
+    result.repairs = supervisor.repairs();
+    result.rebuilds = supervisor.rebuilds();
+    result.schedule =
+        replay != nullptr ? *replay : engine.history();
+    if (replay == nullptr) {
+      // Trim the archived schedule to the waves actually consumed, so the
+      // replay timeline matches the run that produced it.
+      std::erase_if(result.schedule.events, [&](const FaultEvent& e) {
+        return e.wave >= result.waves_run;
+      });
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+std::string SoakResult::summary() const {
+  std::ostringstream os;
+  os << waves_run << " waves, " << repairs << " repairs, " << rebuilds
+     << " rebuilds, " << recertifications << " recerts, max debt "
+     << max_debt << ", worst state " << to_string(worst_state);
+  if (sims_run > 0) {
+    os << "; traffic: " << sims_run << " bursts, " << packets_injected
+       << " injected, " << packets_delivered << " delivered, "
+       << packets_shed << " shed, max queue " << max_queue;
+  }
+  if (ok()) {
+    os << "; all invariants held";
+  } else {
+    os << "; VIOLATION at wave " << violations.front().wave << " ["
+       << violations.front().invariant << "] " << violations.front().detail;
+    if (minimized_available) {
+      os << "; minimized to " << minimized.events.size() << " events ("
+         << minimizer_evaluations << " evaluations"
+         << (minimized_is_minimal ? ", 1-minimal" : "") << ")";
+    }
+  }
+  return os.str();
+}
+
+SoakResult run_soak(const Graph& g, const Graph& h,
+                    const SoakOptions& options) {
+  SoakDriver driver{g, h, options};
+  SoakResult result = driver.run();
+
+  if (!result.ok() && options.minimize_on_violation &&
+      !result.schedule.events.empty()) {
+    DCS_LOG(Info) << "invariant [" << result.violations.front().invariant
+                  << "] violated at wave " << result.violations.front().wave
+                  << "; minimizing " << result.schedule.events.size()
+                  << " events";
+    const std::string& invariant = result.violations.front().invariant;
+    SoakOptions replay_options = options;
+    replay_options.waves = result.waves_run;
+    replay_options.minimize_on_violation = false;
+    replay_options.artifacts_dir.clear();
+    const auto reproduces = [&](const FailureSchedule& candidate) {
+      const auto r = replay_soak(g, h, candidate, replay_options);
+      return !r.ok() && r.violations.front().invariant == invariant;
+    };
+    const auto minimized =
+        minimize_schedule(result.schedule, reproduces, options.minimizer);
+    result.minimized_available = true;
+    result.minimized = minimized.schedule;
+    result.minimizer_evaluations = minimized.evaluations;
+    result.minimized_is_minimal = minimized.minimal;
+  }
+
+  if (!options.artifacts_dir.empty()) {
+    write_soak_artifacts(options.artifacts_dir, result);
+  }
+  return result;
+}
+
+SoakResult replay_soak(const Graph& g, const Graph& h,
+                       const FailureSchedule& schedule,
+                       const SoakOptions& options) {
+  SoakOptions replay_options = options;
+  if (replay_options.waves < schedule.num_waves()) {
+    replay_options.waves = schedule.num_waves();
+  }
+  SoakDriver driver{g, h, replay_options, &schedule};
+  SoakResult result = driver.run();
+
+  if (!result.ok() && options.minimize_on_violation &&
+      !schedule.events.empty()) {
+    const std::string& invariant = result.violations.front().invariant;
+    SoakOptions inner = replay_options;
+    inner.waves = result.waves_run;
+    inner.minimize_on_violation = false;
+    inner.artifacts_dir.clear();
+    const auto reproduces = [&](const FailureSchedule& candidate) {
+      const auto r = replay_soak(g, h, candidate, inner);
+      return !r.ok() && r.violations.front().invariant == invariant;
+    };
+    const auto minimized =
+        minimize_schedule(result.schedule, reproduces, options.minimizer);
+    result.minimized_available = true;
+    result.minimized = minimized.schedule;
+    result.minimizer_evaluations = minimized.evaluations;
+    result.minimized_is_minimal = minimized.minimal;
+  }
+
+  if (!options.artifacts_dir.empty()) {
+    write_soak_artifacts(options.artifacts_dir, result);
+  }
+  return result;
+}
+
+void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+
+  const auto write_text = [&](const std::string& name, const auto& fn) {
+    const std::string path = (fs::path(dir) / name).string();
+    std::ofstream os(path);
+    DCS_REQUIRE(os.good(), "cannot open artifact for writing: " + path);
+    fn(os);
+    DCS_REQUIRE(os.good(), "artifact write failed: " + path);
+  };
+
+  write_text("schedule.txt", [&](std::ostream& os) {
+    os << "# full soak schedule — replay with: dcs_tool soak ... "
+          "--replay=schedule.txt\n";
+    write_schedule(os, result.schedule);
+  });
+  if (result.minimized_available) {
+    write_text("minimized.txt", [&](std::ostream& os) {
+      os << "# minimal reproducer (" << result.minimized.events.size()
+         << " events) for invariant ["
+         << (result.violations.empty() ? "?"
+                                       : result.violations.front().invariant)
+         << "]\n";
+      write_schedule(os, result.minimized);
+    });
+  }
+  write_text("soak.json", [&](std::ostream& os) {
+    os << "{\n  \"waves_run\": " << result.waves_run
+       << ",\n  \"ok\": " << (result.ok() ? "true" : "false")
+       << ",\n  \"repairs\": " << result.repairs
+       << ",\n  \"rebuilds\": " << result.rebuilds
+       << ",\n  \"recertifications\": " << result.recertifications
+       << ",\n  \"max_debt\": " << result.max_debt << ",\n  \"worst_state\": "
+       << obs::json_quote(to_string(result.worst_state))
+       << ",\n  \"final_state\": "
+       << obs::json_quote(to_string(result.final_state))
+       << ",\n  \"traffic\": {\"bursts\": " << result.sims_run
+       << ", \"injected\": " << result.packets_injected
+       << ", \"delivered\": " << result.packets_delivered
+       << ", \"shed\": " << result.packets_shed
+       << ", \"max_queue\": " << result.max_queue << "}"
+       << ",\n  \"schedule_events\": " << result.schedule.events.size();
+    os << ",\n  \"violations\": [";
+    for (std::size_t i = 0; i < result.violations.size(); ++i) {
+      const auto& v = result.violations[i];
+      os << (i == 0 ? "" : ", ") << "{\"wave\": " << v.wave
+         << ", \"invariant\": " << obs::json_quote(v.invariant)
+         << ", \"detail\": " << obs::json_quote(v.detail) << "}";
+    }
+    os << "]";
+    if (result.minimized_available) {
+      os << ",\n  \"minimized\": {\"events\": "
+         << result.minimized.events.size()
+         << ", \"evaluations\": " << result.minimizer_evaluations
+         << ", \"minimal\": "
+         << (result.minimized_is_minimal ? "true" : "false") << "}";
+    }
+    os << "\n}\n";
+  });
+}
+
+}  // namespace dcs

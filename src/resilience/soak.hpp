@@ -1,0 +1,127 @@
+#pragma once
+
+// Chaos-soak harness: thousands of churn waves against a supervised
+// spanner, with every run checked against explicit invariants and every
+// violation automatically shrunk to a minimal replayable schedule.
+//
+// One soak iteration per wave:
+//
+//  1. the ChurnEngine emits the next wave of crashes/recoveries (or, in
+//     replay mode, the wave comes from a recorded FailureSchedule);
+//  2. the SpannerSupervisor lands the wave, pays repair debt, recertifies;
+//  3. every `traffic_interval` waves a store-and-forward traffic burst
+//     (a surviving-network matching routed over the live spanner, with
+//     the overload protections of packet_sim engaged) exercises the
+//     degraded data plane;
+//  4. the invariants are checked:
+//       * supervisor-lost        — the ladder never reaches kLost;
+//       * certificate-after-repair — a recertification with zero
+//         outstanding debt must certify α (the repair engine guarantees
+//         a 3-spanner of the survivors deterministically);
+//       * packet-leak            — delivered + shed + in-flight equals
+//         injected for every traffic burst;
+//       * repair-debt-monotone   — debt only grows by the wave's newly
+//         endangered edges; it never appears from nowhere.
+//
+// On the first violation the harness stops, re-runs the recorded schedule
+// through the delta-debugging minimizer (replays are deterministic, so
+// reproduction is exact), and — when an artifact directory is set —
+// writes the full schedule, the minimized schedule, and a JSON report
+// next to each other, ready for `dcs_tool soak --replay`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "resilience/churn_engine.hpp"
+#include "resilience/minimizer.hpp"
+#include "resilience/supervisor.hpp"
+#include "routing/packet_sim.hpp"
+
+namespace dcs {
+
+struct SoakOptions {
+  std::uint64_t seed = 1;
+  std::size_t waves = 1000;
+
+  ChurnEngineOptions churn;       ///< churn rates (seed is overridden)
+  SupervisorOptions supervisor;   ///< maintenance policy
+
+  /// Run a traffic burst every this many waves (0 = no traffic).
+  std::size_t traffic_interval = 10;
+  /// Overload protection for the traffic bursts (seed is overridden
+  /// per-burst so every burst is independently reproducible).
+  PacketSimOptions sim{.max_rounds = 1u << 12,
+                       .queue_capacity = 64,
+                       .deadline = 1u << 11};
+
+  /// Shrink the schedule with ddmin after a violation.
+  bool minimize_on_violation = true;
+  MinimizerOptions minimizer;
+
+  /// When non-empty: write schedule.txt, minimized.txt (on violation), and
+  /// soak.json into this directory (created if missing).
+  std::string artifacts_dir;
+
+  /// Harness self-test: enable SpannerSupervisor::inject_repair_bug() so a
+  /// deliberately broken maintenance loop proves the invariants and the
+  /// minimizer actually catch bugs.
+  bool inject_repair_bug = false;
+};
+
+struct SoakViolation {
+  std::size_t wave = 0;
+  std::string invariant;  ///< one of the names documented above
+  std::string detail;
+};
+
+struct SoakResult {
+  std::size_t waves_run = 0;
+  std::vector<SoakViolation> violations;
+  bool ok() const { return violations.empty(); }
+
+  // Supervisor aggregates.
+  std::size_t repairs = 0;
+  std::size_t rebuilds = 0;
+  std::size_t recertifications = 0;
+  std::size_t max_debt = 0;
+  SupervisorState worst_state = SupervisorState::kHealthy;
+  SupervisorState final_state = SupervisorState::kHealthy;
+
+  // Traffic aggregates.
+  std::size_t sims_run = 0;
+  std::size_t packets_injected = 0;
+  std::size_t packets_delivered = 0;
+  std::size_t packets_shed = 0;
+  std::size_t max_queue = 0;
+
+  /// Every event the run consumed — replaying it reproduces the run.
+  FailureSchedule schedule;
+
+  /// Filled when a violation was minimized.
+  bool minimized_available = false;
+  FailureSchedule minimized;
+  std::size_t minimizer_evaluations = 0;
+  bool minimized_is_minimal = false;
+
+  std::string summary() const;
+};
+
+/// Soaks `h` (a certified spanner of `g`) under freshly generated churn.
+SoakResult run_soak(const Graph& g, const Graph& h,
+                    const SoakOptions& options);
+
+/// Re-runs a recorded schedule instead of generating churn: wave w of the
+/// schedule is consumed at soak wave w, for `options.waves` waves (pass
+/// the original run's `waves_run` for an exact replay). Used by the
+/// minimizer's reproduction predicate and by `dcs_tool soak --replay`.
+SoakResult replay_soak(const Graph& g, const Graph& h,
+                       const FailureSchedule& schedule,
+                       const SoakOptions& options);
+
+/// Writes the artifact files for `result` into `dir` (created if
+/// missing): schedule.txt, minimized.txt (when available), soak.json.
+void write_soak_artifacts(const std::string& dir, const SoakResult& result);
+
+}  // namespace dcs

@@ -1,0 +1,224 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#define DCS_LOG_COMPONENT "supervisor"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace dcs {
+
+const char* to_string(SupervisorState state) {
+  switch (state) {
+    case SupervisorState::kHealthy: return "healthy";
+    case SupervisorState::kDegraded: return "degraded";
+    case SupervisorState::kRepairing: return "repairing";
+    case SupervisorState::kRebuilding: return "rebuilding";
+    case SupervisorState::kLost: return "lost";
+  }
+  return "?";
+}
+
+std::string SupervisorReport::summary() const {
+  std::ostringstream os;
+  os << "wave " << wave << ": " << to_string(state) << ", " << events_applied
+     << " events, +" << new_candidates << " endangered";
+  if (repaired) {
+    os << ", repair " << to_string(repair) << " (" << repaired_candidates
+       << " edges)";
+  }
+  if (checked) {
+    os << ", certificate " << to_string(certificate) << " (alpha "
+       << certified_alpha << ")";
+  }
+  os << ", debt " << debt;
+  return os.str();
+}
+
+SpannerSupervisor::SpannerSupervisor(const Graph& g, Graph h,
+                                     SupervisorOptions options)
+    : g_(g),
+      h_(std::move(h)),
+      options_(options),
+      state_(g.num_vertices()),
+      // The initial spanner arrives certified; start the ladder at healthy
+      // with a full hysteresis streak behind it.
+      held_streak_(options.hysteresis) {
+  DCS_REQUIRE(h_.num_vertices() == g_.num_vertices() &&
+                  g_.contains_subgraph(h_),
+              "initial spanner must be a subgraph of the network");
+  DCS_REQUIRE(options_.recheck_interval >= 1,
+              "recheck interval must be >= 1");
+  DCS_REQUIRE(options_.min_repair_batch >= 1,
+              "min repair batch must be >= 1");
+  last_check_.distance = GuaranteeStatus::kHeld;
+  last_check_.certified_alpha = options_.health.alpha;
+}
+
+void SpannerSupervisor::refresh_debt() {
+  // Later faults may have killed queued endangered edges; repairing a dead
+  // edge would splice dead endpoints back into the spanner.
+  std::deque<Edge> kept;
+  for (Edge e : debt_) {
+    if (state_.edge_alive(e) && g_.has_edge(e.u, e.v)) {
+      kept.push_back(e);
+    } else {
+      debt_set_.erase(e);
+    }
+  }
+  debt_.swap(kept);
+}
+
+void SpannerSupervisor::export_metrics(const SupervisorReport& report) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("supervisor.state")
+      .set(static_cast<double>(static_cast<std::uint8_t>(report.state)));
+  reg.gauge("supervisor.repair_debt")
+      .set(static_cast<double>(report.debt));
+  reg.gauge("supervisor.certified_alpha").set(report.certified_alpha);
+  reg.counter("supervisor.waves").inc();
+  reg.counter("supervisor.events").inc(report.events_applied);
+  if (report.repaired) {
+    reg.counter(report.repair == RepairOutcome::kRebuilt
+                    ? "supervisor.rebuilds"
+                    : "supervisor.repairs")
+        .inc();
+  }
+  if (report.checked) reg.counter("supervisor.recertifications").inc();
+  reg.histogram("supervisor.wave_candidates")
+      .record(static_cast<double>(report.new_candidates));
+  reg.histogram("supervisor.step_ms").record(report.seconds * 1e3);
+}
+
+SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
+  DCS_TRACE_SPAN("supervisor_step");
+  Timer timer;
+  SupervisorReport report;
+  report.wave = wave_;
+
+  // 1. Land the wave: update the overlay, drop dead spanner edges, and
+  //    queue the endangered edges as repair debt.
+  state_.apply(events);
+  report.events_applied = events.size();
+  const Graph g_surv = state_.surviving(g_);
+  h_ = state_.surviving(h_);
+
+  if (!events.empty()) {
+    const auto candidates = repair_candidates(g_, g_surv, events);
+    for (Edge e : candidates) {
+      if (debt_set_.insert(e)) {
+        if (debt_.empty()) debt_oldest_wave_ = wave_;
+        debt_.push_back(e);
+      }
+    }
+    report.new_candidates = candidates.size();
+  }
+  refresh_debt();
+
+  // 2. Pay the debt down — full rebuild past the debt ceiling (debounced),
+  //    budgeted incremental repair otherwise.
+  const bool over_ceiling =
+      options_.rebuild_debt > 0 && debt_.size() > options_.rebuild_debt;
+  const bool debounce_ok =
+      rebuilds_ == 0 ||
+      wave_ - last_rebuild_wave_ >= options_.rebuild_debounce;
+  if (emergency_rebuild_ || (over_ceiling && debounce_ok)) {
+    const auto rebuilt = rebuild_spanner(g_surv, options_.repair);
+    h_ = rebuilt.h;
+    debt_.clear();
+    debt_set_ = EdgeSet();
+    ++rebuilds_;
+    last_rebuild_wave_ = wave_;
+    emergency_rebuild_ = false;
+    report.repaired = true;
+    report.repair = RepairOutcome::kRebuilt;
+    DCS_LOG(Info) << "wave " << wave_ << ": full rebuild ("
+                  << (over_ceiling ? "debt ceiling" : "emergency") << ")";
+  } else if (!debt_.empty() &&
+             (debt_.size() >= options_.min_repair_batch ||
+              wave_ - debt_oldest_wave_ >= options_.max_defer_waves)) {
+    const std::size_t batch_size =
+        options_.repair_budget == 0
+            ? debt_.size()
+            : std::min(options_.repair_budget, debt_.size());
+    std::vector<Edge> batch(debt_.begin(), debt_.begin() + batch_size);
+    const auto repaired =
+        repair_spanner(g_surv, h_, std::span<const Edge>(batch),
+                       options_.repair);
+    h_ = repaired.h;
+    debt_.erase(debt_.begin(), debt_.begin() + batch_size);
+    for (Edge e : batch) debt_set_.erase(e);
+    if (!debt_.empty()) debt_oldest_wave_ = wave_;
+    ++repairs_;
+    report.repaired = true;
+    report.repair = repaired.outcome;
+    report.repaired_candidates = batch_size;
+
+    if (repair_bug_) {
+      // Harness self-test fault: silently lose one repaired edge. See
+      // inject_repair_bug().
+      for (Edge e : batch) {
+        if (h_.has_edge(e.u, e.v)) {
+          auto edges = h_.edges();
+          std::erase(edges, canonical(e));
+          h_ = Graph::from_edges(h_.num_vertices(), edges);
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Recertify: always after maintenance, at least every
+  //    recheck_interval waves otherwise.
+  const bool check_due =
+      report.repaired || wave_ - last_check_wave_ >= options_.recheck_interval;
+  if (check_due) {
+    const HealthMonitor monitor(g_, options_.health);
+    last_check_ = monitor.check_surviving(g_surv, h_, state_);
+    last_check_wave_ = wave_;
+    report.checked = true;
+    if (last_check_.distance == GuaranteeStatus::kHeld) {
+      ++held_streak_;
+    } else {
+      held_streak_ = 0;
+    }
+  }
+  report.certificate = last_check_.distance;
+  report.certified_alpha = last_check_.certified_alpha;
+
+  // 4. Advance the degradation ladder.
+  if (debt_.empty() && report.checked &&
+      last_check_.distance == GuaranteeStatus::kLost) {
+    // Nothing left to repair yet the certificate is gone: the maintenance
+    // loop failed. Schedule an emergency rebuild for the next step.
+    ladder_ = SupervisorState::kLost;
+    emergency_rebuild_ = true;
+    DCS_LOG(Error) << "wave " << wave_
+                   << ": certificate lost with zero repair debt";
+  } else if (report.repair == RepairOutcome::kRebuilt && report.repaired) {
+    ladder_ = SupervisorState::kRebuilding;
+  } else if (report.repaired || !debt_.empty()) {
+    ladder_ = SupervisorState::kRepairing;
+  } else if (last_check_.distance == GuaranteeStatus::kHeld &&
+             held_streak_ >= options_.hysteresis) {
+    ladder_ = SupervisorState::kHealthy;
+  } else {
+    ladder_ = SupervisorState::kDegraded;
+  }
+
+  report.state = ladder_;
+  report.debt = debt_.size();
+  report.seconds = timer.seconds();
+  export_metrics(report);
+  DCS_LOG(Debug) << report.summary();
+  ++wave_;
+  return report;
+}
+
+}  // namespace dcs

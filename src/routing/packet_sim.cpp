@@ -13,6 +13,22 @@
 
 namespace dcs {
 
+const char* to_string(PacketOutcome outcome) {
+  switch (outcome) {
+    case PacketOutcome::kDelivered: return "delivered";
+    case PacketOutcome::kInFlight: return "in-flight";
+    case PacketOutcome::kShedAdmission: return "shed-admission";
+    case PacketOutcome::kShedQueueFull: return "shed-queue-full";
+    case PacketOutcome::kShedDeadline: return "shed-deadline";
+  }
+  return "?";
+}
+
+std::size_t PacketSimResult::shed_for(PacketOutcome reason) const {
+  return static_cast<std::size_t>(
+      std::count(outcome.begin(), outcome.end(), reason));
+}
+
 PacketSimResult simulate_store_and_forward(const Graph& g,
                                            const Routing& routing,
                                            const PacketSimOptions& options) {
@@ -21,7 +37,8 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
   const std::size_t packets = routing.paths.size();
 
   PacketSimResult result;
-  result.latency.assign(packets, 0);
+  result.latency.assign(packets, PacketSimResult::kUndelivered);
+  result.outcome.assign(packets, PacketOutcome::kInFlight);
   if (packets == 0) return result;
 
   // Validate paths and compute dilation.
@@ -75,21 +92,36 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
                 "packet_sim.round_in_flight")
           : nullptr;
 
-  // Inject in a seeded random order so FIFO ties are unbiased.
+  const std::size_t capacity = options.queue_capacity;
+  std::size_t remaining = 0;
+  const auto shed = [&](std::size_t packet, PacketOutcome reason) {
+    result.outcome[packet] = reason;
+    ++result.shed;
+  };
+
+  // Inject in a seeded random order so FIFO ties are unbiased — and, with
+  // bounded queues, so admission is unbiased too.
   std::vector<std::size_t> order(packets);
   std::iota(order.begin(), order.end(), std::size_t{0});
   Rng rng(options.seed);
   rng.shuffle(order);
-  std::size_t remaining = 0;
   for (std::size_t i : order) {
     if (routing.paths[i].size() <= 1) {
       result.latency[i] = 0;  // already at destination
-    } else {
-      auto& q = queue[routing.paths[i].front()];
-      q.push_back(i);
-      note_enqueue(q.size());
-      ++remaining;
+      result.outcome[i] = PacketOutcome::kDelivered;
+      ++result.delivered;
+      continue;
     }
+    auto& q = queue[routing.paths[i].front()];
+    if (capacity > 0 && q.size() >= capacity) {
+      // Backpressure at the edge of the network: the source is already
+      // saturated, so the packet never enters it.
+      shed(i, PacketOutcome::kShedAdmission);
+      continue;
+    }
+    q.push_back(i);
+    note_enqueue(q.size());
+    ++remaining;
   }
   if (round_max_queue != nullptr) {
     round_max_queue->record(static_cast<double>(cur_max));
@@ -103,13 +135,8 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
       DCS_REQUIRE(!options.throw_on_timeout,
                   "packet simulation exceeded the round limit");
       // Graceful degradation: report the partial run; packets still in
-      // flight keep kUndelivered latencies.
+      // flight keep kUndelivered latencies and kInFlight outcomes.
       result.status = SimStatus::kTimedOut;
-      for (std::size_t i = 0; i < packets; ++i) {
-        if (progress[i] + 1 < routing.paths[i].size()) {
-          result.latency[i] = PacketSimResult::kUndelivered;
-        }
-      }
       obs::MetricsRegistry::instance().counter("packet_sim.timeouts").inc();
       DCS_LOG(Warn) << "simulation timed out after " << round
                     << " rounds with " << remaining << " packets in flight";
@@ -123,11 +150,20 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
       const std::size_t packet = queue[v].front();
       queue[v].pop_front();
       note_dequeue(queue[v].size());
+      if (options.deadline > 0 && round > options.deadline) {
+        // Past its deadline: delivering late helps nobody, so stop paying
+        // forwarding slots for it.
+        shed(packet, PacketOutcome::kShedDeadline);
+        --remaining;
+        continue;
+      }
       const auto& path = routing.paths[packet];
       const Vertex next = path[progress[packet] + 1];
       ++progress[packet];
       if (progress[packet] + 1 == path.size()) {
         result.latency[packet] = round;
+        result.outcome[packet] = PacketOutcome::kDelivered;
+        ++result.delivered;
         --remaining;
       } else {
         // Buffer arrivals so a packet moves at most one hop per round.
@@ -135,9 +171,19 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
       }
     }
     for (const auto& [node, packet] : arrivals) {
-      queue[node].push_back(packet);
-      note_enqueue(queue[node].size());
+      auto& q = queue[node];
+      if (capacity > 0 && q.size() >= capacity) {
+        shed(packet, PacketOutcome::kShedQueueFull);
+        --remaining;
+        continue;
+      }
+      q.push_back(packet);
+      note_enqueue(q.size());
     }
+    // Conservation: overload protection may shed packets but never lose
+    // them — every injected packet is delivered, shed, or still queued.
+    DCS_CHECK(result.delivered + result.shed + remaining == packets,
+              "packet leak: delivered + shed + in-flight != injected");
     if (round_max_queue != nullptr) {
       round_max_queue->record(static_cast<double>(cur_max));
       round_in_flight->record(static_cast<double>(remaining));
@@ -145,19 +191,32 @@ PacketSimResult simulate_store_and_forward(const Graph& g,
   }
 
   result.makespan = round;
+  if (result.status != SimStatus::kTimedOut && result.shed > 0) {
+    result.status = SimStatus::kShed;
+  }
   {
     auto& reg = obs::MetricsRegistry::instance();
     reg.counter("packet_sim.runs").inc();
     reg.counter("packet_sim.rounds").inc(round);
     reg.counter("packet_sim.packets").inc(packets);
-  }
-  double total = 0.0;
-  for (std::size_t l : result.latency) {
-    if (l != PacketSimResult::kUndelivered) {
-      total += static_cast<double>(l);
-      ++result.delivered;
+    if (result.shed > 0) {
+      reg.counter("packet_sim.shed").inc(result.shed);
+      reg.counter("packet_sim.shed.admission")
+          .inc(result.shed_for(PacketOutcome::kShedAdmission));
+      reg.counter("packet_sim.shed.queue_full")
+          .inc(result.shed_for(PacketOutcome::kShedQueueFull));
+      reg.counter("packet_sim.shed.deadline")
+          .inc(result.shed_for(PacketOutcome::kShedDeadline));
     }
   }
+  double total = 0.0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    if (result.outcome[i] == PacketOutcome::kDelivered) {
+      total += static_cast<double>(result.latency[i]);
+    }
+  }
+  // Delivered-only by contract (see the header): shed / in-flight packets
+  // have no delivery round to average.
   result.mean_latency =
       result.delivered == 0
           ? 0.0

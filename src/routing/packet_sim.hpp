@@ -11,6 +11,24 @@
 // (FIFO, with a seeded random shuffle of simultaneous injections). The
 // classical bounds apply: makespan is at least max(C−1, D) for node
 // congestion C and dilation D, and FIFO delivers within O(C·D).
+//
+// Overload protection (all opt-in; defaults reproduce the unbounded
+// classical model):
+//
+//  * bounded queues  — `queue_capacity` caps every node's queue; a packet
+//    arriving at a full queue is *shed* (kShedQueueFull) instead of
+//    growing the queue without bound;
+//  * admission control — with bounded queues, injection applies the same
+//    cap: a packet whose source queue is already full is refused at round
+//    0 (kShedAdmission), the backpressure signal that lets a degraded
+//    spanner shed load at the edge instead of absorbing it;
+//  * deadlines       — with `deadline = r`, a packet not delivered by
+//    round r is shed when next serviced (kShedDeadline) rather than
+//    limping on and congesting nodes it can no longer benefit from.
+//
+// Shedding keeps the simulation conservative: in every round
+// delivered + shed + in-flight equals the number of injected packets
+// (checked internally), so overload degrades throughput, never accounting.
 
 #include <cstdint>
 #include <vector>
@@ -20,13 +38,25 @@
 
 namespace dcs {
 
-/// How a simulation ended. A timed-out run is not an error: the result
-/// carries the partial statistics accumulated up to the round limit so
+/// How a simulation ended. Neither a timed-out nor a load-shedding run is
+/// an error: the result carries the statistics accumulated so far so
 /// benches can report degraded configurations instead of aborting.
 enum class SimStatus : std::uint8_t {
   kCompleted,  ///< every packet delivered
   kTimedOut,   ///< round limit hit with packets still in flight
+  kShed,       ///< drained, but overload protection shed some packets
 };
+
+/// Terminal state of one packet. kInFlight appears only in timed-out runs.
+enum class PacketOutcome : std::uint8_t {
+  kDelivered,
+  kInFlight,       ///< still moving when the round limit hit
+  kShedAdmission,  ///< refused at injection: source queue full
+  kShedQueueFull,  ///< dropped mid-flight: next hop's queue full
+  kShedDeadline,   ///< dropped: not delivered by the deadline round
+};
+
+const char* to_string(PacketOutcome outcome);
 
 struct PacketSimOptions {
   std::uint64_t seed = 0;
@@ -34,20 +64,38 @@ struct PacketSimOptions {
   /// Strict mode (for tests): throw std::invalid_argument on the round
   /// limit instead of returning a kTimedOut result.
   bool throw_on_timeout = false;
+
+  /// Per-node queue bound; 0 = unbounded (the classical model). Arrivals
+  /// beyond the bound are shed, and injection refuses packets whose
+  /// source queue is already full.
+  std::size_t queue_capacity = 0;
+  /// Latest delivery round; 0 = no deadline. A packet serviced after this
+  /// round is shed instead of forwarded.
+  std::size_t deadline = 0;
 };
 
 struct PacketSimResult {
   SimStatus status = SimStatus::kCompleted;
-  std::size_t makespan = 0;      ///< rounds until the last delivery (or the
-                                 ///< round limit on timeout)
-  double mean_latency = 0.0;     ///< average delivery round (delivered only)
+  std::size_t makespan = 0;      ///< rounds until the simulation drained
+                                 ///< (or the round limit on timeout)
+  /// Average delivery round over *delivered packets only*: shed and
+  /// in-flight packets carry no latency and are excluded, so comparing
+  /// mean_latency across configurations must always be read next to
+  /// `delivered` / `shed` (a sim that sheds its slowest packets reports a
+  /// lower mean over fewer deliveries).
+  double mean_latency = 0.0;
   std::size_t max_queue = 0;     ///< largest queue observed at any node
   std::size_t dilation = 0;      ///< max path length (D)
   std::size_t delivered = 0;     ///< packets delivered within the limit
+  std::size_t shed = 0;          ///< packets shed by overload protection
   std::vector<std::size_t> latency;  ///< per-packet delivery round;
-                                     ///< kUndelivered if still in flight
+                                     ///< kUndelivered unless delivered
+  std::vector<PacketOutcome> outcome;  ///< per-packet terminal state
 
   static constexpr std::size_t kUndelivered = static_cast<std::size_t>(-1);
+
+  /// Packets shed for the given reason.
+  std::size_t shed_for(PacketOutcome reason) const;
 
   /// max(C−1, D) is a universal lower bound for node-capacitated
   /// store-and-forward scheduling of these paths.

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/regular_spanner.hpp"
+#include "graph/generators.hpp"
+#include "resilience/churn_engine.hpp"
+#include "resilience/minimizer.hpp"
+#include "resilience/soak.hpp"
+#include "resilience/supervisor.hpp"
+
+namespace dcs {
+namespace {
+
+Graph test_network(std::uint64_t seed = 3) {
+  return random_regular(60, 12, seed);
+}
+
+// ---------------------------------------------------------------- ChurnEngine
+
+TEST(ChurnEngine, DeterministicStream) {
+  const Graph g = test_network();
+  ChurnEngineOptions o;
+  o.seed = 7;
+  o.edge_churn_rate = 0.05;
+  o.vertex_churn_rate = 0.02;
+  o.recovery_rate = 0.3;
+  o.flap_probability = 0.4;
+  ChurnEngine a(g, o);
+  ChurnEngine b(g, o);
+  for (int w = 0; w < 50; ++w) {
+    const auto ea = a.advance();
+    const auto eb = b.advance();
+    ASSERT_EQ(std::vector<FaultEvent>(ea.begin(), ea.end()),
+              std::vector<FaultEvent>(eb.begin(), eb.end()))
+        << "wave " << w;
+  }
+  EXPECT_EQ(a.history(), b.history());
+
+  ChurnEngineOptions other = o;
+  other.seed = 8;
+  ChurnEngine c(g, other);
+  bool diverged = false;
+  for (int w = 0; w < 50 && !diverged; ++w) c.advance();
+  diverged = !(c.history() == a.history());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ChurnEngine, HistoryReplaysToTheSameState) {
+  const Graph g = test_network();
+  ChurnEngineOptions o;
+  o.seed = 11;
+  o.edge_churn_rate = 0.08;
+  o.vertex_churn_rate = 0.03;
+  o.recovery_rate = 0.25;
+  o.flap_probability = 0.3;
+  o.flap_duration = 2;
+  ChurnEngine engine(g, o);
+  for (int w = 0; w < 60; ++w) engine.advance();
+
+  FaultState replayed(g.num_vertices());
+  for (std::size_t w = 0; w < engine.history().num_waves(); ++w) {
+    replayed.apply(engine.history().wave(w));
+  }
+  EXPECT_EQ(replayed.surviving(g), engine.fault_state().surviving(g));
+  EXPECT_EQ(replayed.failed_vertices(),
+            engine.fault_state().failed_vertices());
+  EXPECT_EQ(replayed.failed_edges(), engine.fault_state().failed_edges());
+}
+
+TEST(ChurnEngine, QuietWhenRatesAreZero) {
+  const Graph g = test_network();
+  ChurnEngine engine(g, {.seed = 1});
+  for (int w = 0; w < 10; ++w) {
+    EXPECT_TRUE(engine.advance().empty());
+  }
+  EXPECT_TRUE(engine.fault_state().clean());
+  EXPECT_TRUE(engine.history().events.empty());
+}
+
+TEST(ChurnEngine, LiveFractionGuardrailHolds) {
+  // Maximum churn, no recovery: without the guardrail the whole graph
+  // would be dead within a couple of waves.
+  const Graph g = test_network();
+  ChurnEngineOptions o;
+  o.seed = 5;
+  o.vertex_churn_rate = 1.0;
+  o.edge_churn_rate = 1.0;
+  o.recovery_rate = 0.0;
+  o.min_live_fraction = 0.5;
+  ChurnEngine engine(g, o);
+  for (int w = 0; w < 20; ++w) engine.advance();
+  const std::size_t n = g.num_vertices();
+  std::size_t alive = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (engine.fault_state().vertex_alive(v)) ++alive;
+  }
+  EXPECT_GE(alive, n / 2);
+}
+
+TEST(ChurnEngine, FlappedElementsComeBack) {
+  const Graph g = test_network();
+  ChurnEngineOptions o;
+  o.seed = 13;
+  o.edge_churn_rate = 0.05;
+  o.vertex_churn_rate = 0.02;
+  o.flap_probability = 1.0;  // every crash is transient
+  o.flap_duration = 1;
+  ChurnEngine engine(g, o);
+  const int waves = 40;
+  for (int w = 0; w < waves; ++w) engine.advance();
+
+  // Every crash before the tail has its recovery exactly flap_duration
+  // waves later.
+  const auto& events = engine.history().events;
+  for (const FaultEvent& e : events) {
+    if (e.kind != FaultKind::kVertexDown && e.kind != FaultKind::kEdgeDown) {
+      continue;
+    }
+    if (e.wave + o.flap_duration >= static_cast<std::size_t>(waves)) continue;
+    FaultEvent up = e;
+    up.wave = e.wave + o.flap_duration;
+    up.kind = e.kind == FaultKind::kVertexDown ? FaultKind::kVertexUp
+                                               : FaultKind::kEdgeUp;
+    EXPECT_NE(std::find(events.begin(), events.end(), up), events.end())
+        << "no recovery for crash at wave " << e.wave;
+  }
+}
+
+TEST(ChurnEngine, AdversarialModeTargetsTheHottestVertex) {
+  const Graph g = complete_graph(10);
+  ChurnEngineOptions o;
+  o.seed = 17;
+  o.vertex_churn_rate = 0.15;  // one targeted crash per wave
+  ChurnEngine engine(g, o);
+  std::vector<std::size_t> loads(10, 1);
+  loads[4] = 100;
+  engine.set_load_profile(loads);
+  engine.advance();
+  const auto& events = engine.history().events;
+  auto it = std::find_if(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.kind == FaultKind::kVertexDown;
+  });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->u, 4u);
+}
+
+// ----------------------------------------------------------- SpannerSupervisor
+
+TEST(SpannerSupervisor, QuietWavesStayHealthy) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SpannerSupervisor sup(g, built.spanner.h);
+  for (int w = 0; w < 3; ++w) {
+    const auto report = sup.step({});
+    EXPECT_EQ(report.state, SupervisorState::kHealthy);
+    EXPECT_EQ(report.certificate, GuaranteeStatus::kHeld);
+    EXPECT_FALSE(report.repaired);
+    EXPECT_EQ(report.debt, 0u);
+  }
+  EXPECT_EQ(sup.repairs(), 0u);
+}
+
+TEST(SpannerSupervisor, RepairsACrashedSpannerEdgeAndClimbsBack) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SpannerSupervisor sup(g, built.spanner.h);
+
+  const Edge victim = built.spanner.h.edges().front();
+  const FaultEvent crash[] = {FaultEvent::edge_down(0, victim)};
+  const auto report = sup.step(crash);
+  EXPECT_EQ(report.state, SupervisorState::kRepairing);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_TRUE(report.checked);  // a repair wave always recertifies
+  EXPECT_EQ(report.certificate, GuaranteeStatus::kHeld);
+  EXPECT_FALSE(sup.spanner().has_edge(victim.u, victim.v));
+
+  const auto quiet = sup.step({});
+  EXPECT_EQ(quiet.state, SupervisorState::kHealthy);
+}
+
+TEST(SpannerSupervisor, BudgetedRepairCarriesExplicitDebt) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SupervisorOptions o;
+  o.repair_budget = 1;
+  SpannerSupervisor sup(g, built.spanner.h, o);
+
+  std::vector<FaultEvent> crashes;
+  const auto h_edges = built.spanner.h.edges();
+  for (std::size_t i = 0; i < 5; ++i) {
+    crashes.push_back(FaultEvent::edge_down(0, h_edges[i * 7]));
+  }
+  auto report = sup.step(crashes);
+  ASSERT_GT(report.debt, 0u);
+  EXPECT_EQ(report.state, SupervisorState::kRepairing);
+  EXPECT_EQ(report.repaired_candidates, 1u);
+
+  // Quiet waves pay the debt down one edge at a time and the ladder climbs
+  // back to healthy.
+  std::size_t prev = report.debt;
+  for (int w = 0; w < 400 && sup.repair_debt() > 0; ++w) {
+    report = sup.step({});
+    EXPECT_LE(report.debt, prev);
+    prev = report.debt;
+  }
+  EXPECT_EQ(sup.repair_debt(), 0u);
+  sup.step({});
+  const auto final_report = sup.step({});
+  EXPECT_EQ(final_report.state, SupervisorState::kHealthy);
+  EXPECT_EQ(final_report.certificate, GuaranteeStatus::kHeld);
+}
+
+TEST(SpannerSupervisor, DebtCeilingTriggersDebouncedRebuild) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SupervisorOptions o;
+  o.rebuild_debt = 1;
+  o.rebuild_debounce = 8;
+  SpannerSupervisor sup(g, built.spanner.h, o);
+
+  const auto h_edges = built.spanner.h.edges();
+  std::vector<FaultEvent> crashes;
+  for (std::size_t i = 0; i < 6; ++i) {
+    crashes.push_back(FaultEvent::edge_down(0, h_edges[i * 5]));
+  }
+  const auto report = sup.step(crashes);
+  EXPECT_EQ(report.repair, RepairOutcome::kRebuilt);
+  EXPECT_EQ(report.state, SupervisorState::kRebuilding);
+  EXPECT_EQ(report.debt, 0u);
+  EXPECT_EQ(sup.rebuilds(), 1u);
+
+  // Another burst inside the debounce window must NOT rebuild again.
+  std::vector<FaultEvent> more;
+  const auto h2_edges = sup.spanner().edges();
+  for (std::size_t i = 0; i < 6 && i * 5 < h2_edges.size(); ++i) {
+    more.push_back(FaultEvent::edge_down(1, h2_edges[i * 5]));
+  }
+  const auto second = sup.step(more);
+  EXPECT_NE(second.repair, RepairOutcome::kRebuilt);
+  EXPECT_EQ(sup.rebuilds(), 1u);
+}
+
+TEST(SpannerSupervisor, RejectsNonSubgraphSpanner) {
+  const Graph g = cycle_graph(6);
+  EXPECT_THROW(SpannerSupervisor(g, complete_graph(6)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Minimizer
+
+TEST(Minimizer, ShrinksToTheFailureCore) {
+  // 30 events, but only the pair {u=3, u=17} triggers the "bug".
+  FailureSchedule s;
+  for (std::size_t w = 0; w < 30; ++w) {
+    s.events.push_back(FaultEvent::vertex_down(w, static_cast<Vertex>(w)));
+  }
+  const auto reproduces = [](const FailureSchedule& c) {
+    bool three = false, seventeen = false;
+    for (const auto& e : c.events) {
+      three |= e.u == 3;
+      seventeen |= e.u == 17;
+    }
+    return three && seventeen;
+  };
+  const auto result = minimize_schedule(s, reproduces);
+  EXPECT_EQ(result.initial_events, 30u);
+  ASSERT_EQ(result.schedule.events.size(), 2u);
+  EXPECT_EQ(result.schedule.events[0].u, 3u);
+  EXPECT_EQ(result.schedule.events[1].u, 17u);
+  EXPECT_TRUE(result.minimal);
+  EXPECT_TRUE(reproduces(result.schedule));
+}
+
+TEST(Minimizer, SingleEventCoreIsFound) {
+  FailureSchedule s;
+  for (std::size_t w = 0; w < 16; ++w) {
+    s.events.push_back(FaultEvent::edge_down(w, {0, static_cast<Vertex>(w + 1)}));
+  }
+  const auto reproduces = [](const FailureSchedule& c) {
+    for (const auto& e : c.events) {
+      if (e.v == 9) return true;
+    }
+    return false;
+  };
+  const auto result = minimize_schedule(s, reproduces);
+  ASSERT_EQ(result.schedule.events.size(), 1u);
+  EXPECT_EQ(result.schedule.events[0].v, 9u);
+  EXPECT_TRUE(result.minimal);
+}
+
+TEST(Minimizer, RequiresAReproducingInput) {
+  FailureSchedule s;
+  s.events.push_back(FaultEvent::vertex_down(0, 1));
+  EXPECT_THROW(
+      minimize_schedule(s, [](const FailureSchedule&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(Minimizer, RespectsTheEvaluationBudget) {
+  FailureSchedule s;
+  for (std::size_t w = 0; w < 64; ++w) {
+    s.events.push_back(FaultEvent::vertex_down(w, static_cast<Vertex>(w)));
+  }
+  const auto reproduces = [](const FailureSchedule& c) {
+    bool a = false, b = false;
+    for (const auto& e : c.events) {
+      a |= e.u == 5;
+      b |= e.u == 60;
+    }
+    return a && b;
+  };
+  MinimizerOptions o;
+  o.max_evaluations = 4;
+  const auto result = minimize_schedule(s, reproduces, o);
+  EXPECT_LE(result.evaluations, 5u);  // initial check + budget
+  EXPECT_FALSE(result.minimal);
+  EXPECT_TRUE(reproduces(result.schedule));  // best-so-far still fails
+}
+
+// ----------------------------------------------------------------------- Soak
+
+SoakOptions small_soak_options() {
+  SoakOptions o;
+  o.seed = 29;
+  o.waves = 60;
+  o.churn.edge_churn_rate = 0.05;
+  o.churn.vertex_churn_rate = 0.01;
+  o.churn.recovery_rate = 0.3;
+  o.churn.flap_probability = 0.25;
+  o.churn.flap_duration = 2;
+  o.traffic_interval = 10;
+  return o;
+}
+
+TEST(Soak, QuietRunStaysHealthyAndRoutesTraffic) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SoakOptions o;
+  o.waves = 20;
+  o.traffic_interval = 5;
+  const auto result = run_soak(g, built.spanner.h, o);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.waves_run, 20u);
+  EXPECT_EQ(result.repairs, 0u);
+  EXPECT_EQ(result.final_state, SupervisorState::kHealthy);
+  EXPECT_GT(result.packets_injected, 0u);
+  EXPECT_EQ(result.packets_delivered, result.packets_injected);
+}
+
+TEST(Soak, ChurnRunHoldsInvariantsDeterministically) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  const auto o = small_soak_options();
+  const auto a = run_soak(g, built.spanner.h, o);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_GT(a.repairs, 0u);
+  EXPECT_NE(a.worst_state, SupervisorState::kLost);
+
+  const auto b = run_soak(g, built.spanner.h, o);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.summary(), b.summary());
+
+  SoakOptions ro = o;
+  ro.waves = a.waves_run;
+  const auto replayed = replay_soak(g, built.spanner.h, a.schedule, ro);
+  EXPECT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.repairs, a.repairs);
+  EXPECT_EQ(replayed.packets_delivered, a.packets_delivered);
+}
+
+TEST(Soak, CatchesTheInjectedRepairBugAndMinimizes) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  auto o = small_soak_options();
+  o.inject_repair_bug = true;
+  const auto caught = run_soak(g, built.spanner.h, o);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.violations.front().invariant, "certificate-after-repair");
+  ASSERT_TRUE(caught.minimized_available);
+  EXPECT_LE(caught.minimized.events.size(), 10u);
+  EXPECT_GT(caught.minimizer_evaluations, 0u);
+
+  // The minimal schedule reproduces the same violation, deterministically.
+  SoakOptions rep = o;
+  rep.waves = caught.waves_run;
+  rep.minimize_on_violation = false;
+  for (int i = 0; i < 2; ++i) {
+    const auto again = replay_soak(g, built.spanner.h, caught.minimized, rep);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.violations.front().invariant,
+              caught.violations.front().invariant);
+  }
+}
+
+TEST(Soak, WritesArtifacts) {
+  namespace fs = std::filesystem;
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  const std::string dir = ::testing::TempDir() + "/dcs_soak_artifacts";
+  fs::remove_all(dir);
+
+  auto o = small_soak_options();
+  o.waves = 30;
+  o.inject_repair_bug = true;  // force a violation => minimized.txt too
+  o.artifacts_dir = dir;
+  const auto result = run_soak(g, built.spanner.h, o);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(fs::exists(dir + "/schedule.txt"));
+  EXPECT_TRUE(fs::exists(dir + "/minimized.txt"));
+  EXPECT_TRUE(fs::exists(dir + "/soak.json"));
+
+  // The archived schedule parses back and replays to the same violation.
+  std::ifstream is(dir + "/schedule.txt");
+  const auto schedule = read_schedule(is);
+  EXPECT_EQ(schedule, result.schedule);
+}
+
+}  // namespace
+}  // namespace dcs

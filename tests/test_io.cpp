@@ -73,6 +73,41 @@ TEST(GraphIo, RejectsMalformedInput) {
     std::stringstream in("3 2\n0 1\n1 0\n");  // duplicate
     EXPECT_THROW(read_graph(in), std::invalid_argument);
   }
+  {
+    std::stringstream in("3 1\n0 1 junk\n");  // trailing garbage
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1 extra\n0 1\n");  // garbage in header
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n0 -1\n");  // negative id wraps silently
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n0 1\n1 2\n");  // content past declared edges
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n0\n");  // truncated edge line
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+}
+
+TEST(GraphIo, ErrorsCarryLineNumbers) {
+  std::stringstream in(
+      "# comment\n"
+      "3 2\n"
+      "0 1\n"
+      "1 1\n");  // self-loop on line 4
+  try {
+    read_graph(in);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(GraphIo, FileRoundTrip) {
@@ -135,6 +170,14 @@ TEST(MetisIo, RejectsBadInput) {
   }
   {
     std::stringstream in("2 1\n2\n1 5\n");  // neighbor out of range
+    EXPECT_THROW(read_metis(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("2 1\n2 junk\n1\n");  // non-numeric neighbor
+    EXPECT_THROW(read_metis(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("2 1\n-2\n1\n");  // negative neighbor
     EXPECT_THROW(read_metis(in), std::invalid_argument);
   }
 }

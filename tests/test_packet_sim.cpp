@@ -139,6 +139,122 @@ TEST(PacketSim, RoundMetricsAgreeWithIncrementalMaxQueue) {
   EXPECT_GE(snap.max, 1.0);
 }
 
+TEST(PacketSimOverload, DefaultsReproduceClassicalModel) {
+  // queue_capacity = 0 and deadline = 0 must leave the classical unbounded
+  // model untouched: nothing shed, every packet delivered.
+  const Graph g = random_regular(80, 8, 3);
+  const auto problem = random_permutation_problem(80, 5);
+  const Routing p = shortest_path_routing(g, problem, 7);
+  const auto result = simulate_store_and_forward(g, p);
+  EXPECT_EQ(result.status, SimStatus::kCompleted);
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.delivered, p.paths.size());
+  for (const auto outcome : result.outcome) {
+    EXPECT_EQ(outcome, PacketOutcome::kDelivered);
+  }
+}
+
+TEST(PacketSimOverload, AdmissionControlRefusesAtFullSourceQueue) {
+  // Five packets injected at the same source with room for two: three are
+  // refused at the edge, and the refused ones never enter the network.
+  const Graph g = path_graph(3);
+  Routing r;
+  for (int i = 0; i < 5; ++i) r.paths.push_back(Path{0, 1, 2});
+  PacketSimOptions o;
+  o.queue_capacity = 2;
+  const auto result = simulate_store_and_forward(g, r, o);
+  EXPECT_EQ(result.status, SimStatus::kShed);
+  EXPECT_EQ(result.delivered, 2u);
+  EXPECT_EQ(result.shed, 3u);
+  EXPECT_EQ(result.shed_for(PacketOutcome::kShedAdmission), 3u);
+  EXPECT_EQ(result.shed_for(PacketOutcome::kShedQueueFull), 0u);
+  EXPECT_LE(result.max_queue, o.queue_capacity);
+  EXPECT_EQ(result.delivered + result.shed, r.paths.size());
+}
+
+TEST(PacketSimOverload, FullQueueShedsMidFlight) {
+  // Four leaves forward simultaneously into a hub with room for one: the
+  // first arrival is buffered, the other three are shed in flight.
+  GraphBuilder b(6);
+  for (Vertex v = 1; v <= 4; ++v) b.add_edge(0, v);
+  b.add_edge(0, 5);
+  const Graph g = b.build();
+  Routing r;
+  for (Vertex v = 1; v <= 4; ++v) r.paths.push_back(Path{v, 0, 5});
+  PacketSimOptions o;
+  o.queue_capacity = 1;
+  const auto result = simulate_store_and_forward(g, r, o);
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_EQ(result.shed_for(PacketOutcome::kShedQueueFull), 3u);
+  EXPECT_EQ(result.status, SimStatus::kShed);
+  EXPECT_EQ(result.max_queue, 1u);
+}
+
+TEST(PacketSimOverload, DeadlineShedsLatePackets) {
+  const Graph g = path_graph(6);
+  Routing r;
+  r.paths = {{0, 1, 2, 3, 4, 5}};
+  PacketSimOptions o;
+  o.deadline = 2;
+  const auto result = simulate_store_and_forward(g, r, o);
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_EQ(result.shed_for(PacketOutcome::kShedDeadline), 1u);
+  EXPECT_EQ(result.status, SimStatus::kShed);
+  EXPECT_EQ(result.latency[0], PacketSimResult::kUndelivered);
+}
+
+TEST(PacketSimOverload, MeanLatencyIsDeliveredOnly) {
+  // One packet delivers in 1 round; one is shed by its deadline after
+  // travelling further. The mean must average the delivered packet only —
+  // not treat the shed one as a free zero or an infinite latency.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  for (Vertex v = 2; v < 5; ++v) b.add_edge(v, v + 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  Routing r;
+  r.paths = {{0, 1}, {2, 3, 4, 5}};
+  PacketSimOptions o;
+  o.deadline = 1;
+  const auto result = simulate_store_and_forward(g, r, o);
+  ASSERT_EQ(result.delivered, 1u);
+  ASSERT_EQ(result.shed, 1u);
+  EXPECT_EQ(result.outcome[0], PacketOutcome::kDelivered);
+  EXPECT_EQ(result.outcome[1], PacketOutcome::kShedDeadline);
+  EXPECT_DOUBLE_EQ(result.mean_latency,
+                   static_cast<double>(result.latency[0]));
+}
+
+TEST(PacketSimOverload, TimedOutRunAccountsEveryPacket) {
+  // A run cut off by the round limit still conserves packets: delivered +
+  // shed + in-flight == injected, with the stragglers marked kInFlight.
+  GraphBuilder b(7);
+  for (Vertex v = 1; v <= 6; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  Routing r;
+  for (Vertex v = 1; v <= 5; ++v) r.paths.push_back(Path{v, 0, 6});
+  PacketSimOptions o;
+  o.max_rounds = 2;
+  const auto result = simulate_store_and_forward(g, r, o);
+  EXPECT_EQ(result.status, SimStatus::kTimedOut);
+  const auto in_flight = result.shed_for(PacketOutcome::kInFlight);
+  EXPECT_GT(in_flight, 0u);
+  EXPECT_EQ(result.delivered + result.shed + in_flight, r.paths.size());
+  for (std::size_t i = 0; i < r.paths.size(); ++i) {
+    if (result.outcome[i] != PacketOutcome::kDelivered) {
+      EXPECT_EQ(result.latency[i], PacketSimResult::kUndelivered);
+    }
+  }
+}
+
+TEST(PacketSimOverload, OutcomeToStringCoversAllStates) {
+  EXPECT_STREQ(to_string(PacketOutcome::kDelivered), "delivered");
+  EXPECT_STREQ(to_string(PacketOutcome::kInFlight), "in-flight");
+  EXPECT_STREQ(to_string(PacketOutcome::kShedAdmission), "shed-admission");
+  EXPECT_STREQ(to_string(PacketOutcome::kShedQueueFull), "shed-queue-full");
+  EXPECT_STREQ(to_string(PacketOutcome::kShedDeadline), "shed-deadline");
+}
+
 TEST(PacketSim, SpannerRoutingLatencyTracksCongestion) {
   const Graph g = random_regular(100, 26, 17);
   const auto built = build_regular_spanner(g, {.seed = 5});

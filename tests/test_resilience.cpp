@@ -124,6 +124,95 @@ TEST(FailureInjector, ScheduleRoundTripsThroughText) {
   EXPECT_EQ(read_schedule(ss), schedule);
 }
 
+TEST(FailureInjector, RoundTripPropertyOverSeededSchedules) {
+  // read(write(s)) == s for 100 generated schedules across the whole
+  // option space the engine can emit: multi-wave, flapping (so recoveries
+  // interleave with crashes), and adversarial targeting.
+  const Graph g = random_regular(40, 6, 21);
+  Routing routing;
+  for (Vertex v = 1; v + 1 < 40; ++v) {
+    routing.paths.push_back({v, 0, static_cast<Vertex>(v + 1)});
+  }
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    FailureInjectorOptions o;
+    o.seed = seed;
+    o.waves = 1 + seed % 5;
+    o.edge_fault_fraction = 0.02 * static_cast<double>(seed % 4);
+    o.edge_faults_per_wave = seed % 3;
+    o.vertex_faults_per_wave = seed % 2;
+    o.flap_probability = 0.25 * static_cast<double>(seed % 5);
+    o.flap_duration = 1 + seed % 3;
+    const FailureInjector injector(g, o);
+    const auto schedule = seed % 2 == 0
+                              ? injector.generate()
+                              : injector.generate_adversarial(routing);
+    std::stringstream ss;
+    write_schedule(ss, schedule);
+    EXPECT_EQ(read_schedule(ss), schedule) << "seed " << seed;
+  }
+}
+
+TEST(FailureSchedule, WaveLookupOnNonContiguousWaves) {
+  // Waves 2 and 7 hold events; everything between and beyond is empty.
+  FailureSchedule s;
+  s.events = {FaultEvent::vertex_down(2, 1), FaultEvent::edge_down(2, {0, 3}),
+              FaultEvent::vertex_up(7, 1)};
+  EXPECT_EQ(s.num_waves(), 8u);
+  EXPECT_TRUE(s.wave(0).empty());
+  EXPECT_TRUE(s.wave(1).empty());
+  ASSERT_EQ(s.wave(2).size(), 2u);
+  EXPECT_EQ(s.wave(2)[0].kind, FaultKind::kVertexDown);
+  EXPECT_TRUE(s.wave(3).empty());
+  EXPECT_TRUE(s.wave(6).empty());
+  ASSERT_EQ(s.wave(7).size(), 1u);
+  EXPECT_EQ(s.wave(7)[0].kind, FaultKind::kVertexUp);
+  EXPECT_TRUE(s.wave(8).empty());
+  EXPECT_TRUE(s.wave(1000).empty());
+}
+
+TEST(FailureSchedule, ReadRejectsMalformedInput) {
+  const auto reject = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_schedule(ss), std::invalid_argument) << text;
+  };
+  reject("0 v-\n");            // truncated: missing vertex
+  reject("0 e- 1\n");          // truncated: missing second endpoint
+  reject("0 x- 1\n");          // unknown kind
+  reject("0 v- 1 junk\n");     // trailing garbage
+  reject("0 e- 1 2 3\n");      // trailing garbage (extra endpoint)
+  reject("0 e- 2 2\n");        // self-loop edge
+  reject("0 v- -1\n");         // negative id
+  reject("5 v- 1\n3 v- 2\n");  // non-monotone waves
+  reject("nonsense\n");        // no wave number
+}
+
+TEST(FailureSchedule, ReadErrorsCarryLineNumbers) {
+  std::stringstream ss(
+      "# comment\n"
+      "0 v- 1\n"
+      "1 e- 2 2\n");
+  try {
+    read_schedule(ss);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FailureSchedule, ReadAcceptsCommentsAndNormalizesOrder) {
+  std::stringstream ss(
+      "# recoveries sort before crashes within a wave\n"
+      "  \n"
+      "0 v- 3\n"
+      "1 e- 0 1\n"
+      "1 v+ 3\n");
+  const auto s = read_schedule(ss);
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[1].kind, FaultKind::kVertexUp);  // up before down
+  EXPECT_EQ(s.events[2].kind, FaultKind::kEdgeDown);
+}
+
 TEST(FailureInjector, AdversarialModeTargetsTheHottestVertex) {
   const Graph g = complete_graph(10);
   // every path crosses vertex 0 → it carries the highest load

@@ -15,6 +15,12 @@
 //       workloads: matching | permutation | all-edges
 //   dcs_tool resilience <in.graph> <spanner.graph> [edge-fraction]
 //       [vertex-faults] [seed]     inject faults, recertify, self-heal
+//   dcs_tool soak <in.graph> <spanner.graph> [waves] [seed]
+//       continuous-churn soak: supervised repair + traffic bursts checked
+//       against invariants; violations are ddmin-minimized.
+//       soak flags: --replay=SCHEDULE (re-run a recorded schedule),
+//       --inject-repair-bug (harness self-test: the supervisor silently
+//       drops a repaired edge, the soak must catch it)
 //   dcs_tool pipeline <n> [delta] [seed]
 //       end-to-end: generate, build Theorem 3 spanner, verify, simulate
 //   dcs_tool info <in.graph>
@@ -24,11 +30,17 @@
 //   --log-json           JSON-lines log records instead of text
 //   --metrics-out=PATH   enable metrics; write registry on exit (.csv or .json)
 //   --trace-out=PATH     record spans; write Chrome trace-event JSON on exit
+//   --artifacts-dir=DIR  subcommands that produce artifacts (soak: schedule,
+//                        minimized reproducer, JSON report) write them here
 //
-// Exit code 0 on success; 1 on a failed verification; 2 on usage errors.
+// Exit codes are uniform across subcommands: 0 on success; 1 when a check
+// fails (verification, resilience recertification, soak invariant, pipeline
+// stretch/simulation); 2 on usage errors or malformed input.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -53,6 +65,7 @@
 #include "resilience/failure_injector.hpp"
 #include "resilience/fault_state.hpp"
 #include "resilience/health_monitor.hpp"
+#include "resilience/soak.hpp"
 #include "resilience/spanner_repair.hpp"
 #include "routing/packet_sim.hpp"
 #include "routing/shortest_paths.hpp"
@@ -64,6 +77,12 @@
 namespace {
 
 using namespace dcs;
+
+// Position-independent flags stripped by main() and consumed by the
+// subcommands that use them.
+std::string g_artifacts_dir;
+std::string g_replay_path;
+bool g_inject_repair_bug = false;
 
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
@@ -81,10 +100,12 @@ using namespace dcs;
       "  dcs_tool tables <graph> [seed]\n"
       "  dcs_tool resilience <in.graph> <spanner.graph> "
       "[edge-fraction] [vertex-faults] [seed]\n"
+      "  dcs_tool soak <in.graph> <spanner.graph> [waves] [seed] "
+      "[--replay=SCHEDULE] [--inject-repair-bug]\n"
       "  dcs_tool pipeline <n> [delta] [seed]\n"
       "  dcs_tool info <in.graph>\n"
       "flags (any subcommand): --log-level=SPEC --log-json "
-      "--metrics-out=PATH --trace-out=PATH\n";
+      "--metrics-out=PATH --trace-out=PATH --artifacts-dir=DIR\n";
   std::exit(2);
 }
 
@@ -337,6 +358,58 @@ int cmd_resilience(const std::vector<std::string>& args) {
   return after.distance == GuaranteeStatus::kHeld ? 0 : 1;
 }
 
+int cmd_soak(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("soak needs <in.graph> <spanner.graph>");
+  const Graph g = read_graph_file(args[0]);
+  const Graph h = read_graph_file(args[1]);
+  if (h.num_vertices() != g.num_vertices() || !g.contains_subgraph(h)) {
+    std::cout << "FAIL: spanner is not a subgraph of the input\n";
+    return 1;
+  }
+
+  SoakOptions o;
+  o.waves = arg_u64(args, 2, 1000);
+  o.seed = arg_u64(args, 3, 1);
+  o.churn.edge_churn_rate = 0.02;
+  o.churn.vertex_churn_rate = 0.004;
+  o.churn.recovery_rate = 0.25;
+  o.churn.flap_probability = 0.3;
+  o.churn.flap_duration = 2;
+  o.artifacts_dir = g_artifacts_dir;
+  o.inject_repair_bug = g_inject_repair_bug;
+
+  SoakResult result;
+  if (!g_replay_path.empty()) {
+    std::ifstream is(g_replay_path);
+    if (!is.good()) usage("cannot open replay schedule: " + g_replay_path);
+    const auto schedule = read_schedule(is);
+    o.waves = std::max(o.waves, schedule.num_waves());
+    result = replay_soak(g, h, schedule, o);
+  } else {
+    result = run_soak(g, h, o);
+  }
+
+  Table t({"quantity", "value"});
+  t.add("waves", result.waves_run);
+  t.add("events", result.schedule.events.size());
+  t.add("repairs", result.repairs);
+  t.add("rebuilds", result.rebuilds);
+  t.add("recertifications", result.recertifications);
+  t.add("max repair debt", result.max_debt);
+  t.add("worst state", std::string(to_string(result.worst_state)));
+  t.add("final state", std::string(to_string(result.final_state)));
+  t.add("traffic bursts", result.sims_run);
+  t.add("packets injected", result.packets_injected);
+  t.add("packets delivered", result.packets_delivered);
+  t.add("packets shed", result.packets_shed);
+  t.print(std::cout);
+  std::cout << result.summary() << "\n";
+  if (!g_artifacts_dir.empty()) {
+    std::cout << "artifacts written to " << g_artifacts_dir << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}
+
 // End-to-end driver: one invocation that exercises generation, the Theorem 3
 // construction, the verifier, and the packet simulator. With --trace-out /
 // --metrics-out this yields a trace covering every construction phase plus
@@ -376,7 +449,11 @@ int cmd_pipeline(const std::vector<std::string>& args) {
   t.add("sim makespan", sim.makespan);
   t.add("sim max queue", sim.max_queue);
   t.print(std::cout);
-  return stretch.unreachable == 0 ? 0 : 1;
+  // Uniform exit-code convention: any failed check is 1, not just the
+  // stretch measurement — a timed-out simulation is a failed check too.
+  return stretch.unreachable == 0 && sim.status == SimStatus::kCompleted
+             ? 0
+             : 1;
 }
 
 int cmd_info(const std::vector<std::string>& args) {
@@ -419,6 +496,12 @@ int main(int argc, char** argv) {
       metrics_out = a.substr(14);
     } else if (a.rfind("--trace-out=", 0) == 0) {
       trace_out = a.substr(12);
+    } else if (a.rfind("--artifacts-dir=", 0) == 0) {
+      g_artifacts_dir = a.substr(16);
+    } else if (a.rfind("--replay=", 0) == 0) {
+      g_replay_path = a.substr(9);
+    } else if (a == "--inject-repair-bug") {
+      g_inject_repair_bug = true;
     } else if (a.rfind("--", 0) == 0) {
       usage("unknown flag: " + std::string(a));
     } else {
@@ -454,6 +537,7 @@ int main(int argc, char** argv) {
     else if (command == "simulate") rc = cmd_simulate(args);
     else if (command == "tables") rc = cmd_tables(args);
     else if (command == "resilience") rc = cmd_resilience(args);
+    else if (command == "soak") rc = cmd_soak(args);
     else if (command == "pipeline") rc = cmd_pipeline(args);
     else if (command == "info") rc = cmd_info(args);
     else usage("unknown command: " + command);

@@ -1,12 +1,24 @@
-// Microbenchmarks of the library's hot kernels (google-benchmark): BFS,
-// spanner constructions, edge coloring, bipartite matching, spectral
-// estimation, and the decomposition pipeline.
+// Microbenchmarks of the library's hot kernels. Two sections:
+//
+//  * a kernel-comparison pass (runs first, always): times the scalar
+//    reference implementations against the batched traversal engine and
+//    the bitmap support oracle on identical inputs, checks the outputs
+//    are checksum-identical, and emits the timings and speedup ratios
+//    through PerfRecord so tools/bench_compare can diff runs against the
+//    committed baselines in bench/baselines/;
+//  * the google-benchmark suite (BFS, spanner constructions, edge
+//    coloring, bipartite matching, spectral estimation, decomposition).
+//    Pass --benchmark_filter=^$ to skip it (CI's perf-smoke job does).
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <map>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/expander_spanner.hpp"
 #include "core/matching_decomposition.hpp"
 #include "core/regular_spanner.hpp"
@@ -15,6 +27,7 @@
 #include "graph/bfs.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/generators.hpp"
+#include "graph/traversal.hpp"
 #include "graph/weighted_graph.hpp"
 #include "routing/edge_coloring.hpp"
 #include "routing/matching.hpp"
@@ -24,6 +37,8 @@
 #include "routing/tables.hpp"
 #include "routing/workloads.hpp"
 #include "spectral/expansion.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -185,6 +200,207 @@ void BM_DecompositionPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_DecompositionPipeline)->Arg(256);
 
+// ---------------------------------------------------------------------------
+// Kernel comparisons: scalar reference vs accelerated engine, same inputs,
+// checksum-verified outputs. Single-threaded so the ratios measure the
+// kernels, not the pool.
+
+/// Best-of-k wall time of `fn` in milliseconds; `fn` returns a checksum.
+template <typename Fn>
+double best_of(int k, std::uint64_t& checksum, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < k; ++rep) {
+    Timer t;
+    checksum = fn();
+    best = std::min(best, t.seconds() * 1e3);
+  }
+  return best;
+}
+
+void report_kernel(bench::PerfRecord&, const char* name, const char* gauge,
+                   double scalar_ms, double fast_ms) {
+  const double speedup = scalar_ms / fast_ms;
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge(std::string("bench.microbench.") + gauge + "_scalar_ms")
+      .set(scalar_ms);
+  reg.gauge(std::string("bench.microbench.") + gauge + "_fast_ms")
+      .set(fast_ms);
+  reg.gauge(std::string("bench.microbench.") + gauge + "_speedup")
+      .set(speedup);
+  std::printf("%-28s scalar %9.3f ms   engine %9.3f ms   speedup %5.2fx\n",
+              name, scalar_ms, fast_ms, speedup);
+}
+
+/// MS-BFS verification kernel: all-distances from a batch of sources, the
+/// shape of measure_distance_stretch / exact_pairwise_stretch.
+void kernel_msbfs(bench::PerfRecord& rec) {
+  const std::size_t n = 2048;
+  const Graph& g = shared_graph(n, 16);
+  constexpr std::size_t kSources = 192;  // 3 full batches
+
+  std::uint64_t scalar_sum = 0;
+  const double scalar_ms = best_of(3, scalar_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const auto dist = bfs_distances(g, static_cast<Vertex>(s));
+      for (Dist d : dist) sum += d;
+    }
+    return sum;
+  });
+
+  std::uint64_t ms_sum = 0;
+  const double ms_ms = best_of(3, ms_sum, [&] {
+    std::uint64_t sum = 0;
+    std::vector<Vertex> batch;
+    for (std::size_t lo = 0; lo < kSources; lo += kMsBfsBatch) {
+      batch.clear();
+      for (std::size_t s = lo; s < lo + kMsBfsBatch; ++s) {
+        batch.push_back(static_cast<Vertex>(s));
+      }
+      const MsBfsView view = multi_source_bfs(g, batch);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        for (Vertex v = 0; v < n; ++v) sum += view.at(i, v);
+      }
+    }
+    return sum;
+  });
+  DCS_CHECK(scalar_sum == ms_sum, "MS-BFS checksum mismatch");
+  report_kernel(rec, "batched BFS verify (n=2048)", "msbfs", scalar_ms,
+                ms_ms);
+}
+
+/// Direction-optimizing single-source BFS vs the scalar reference.
+void kernel_hybrid_bfs(bench::PerfRecord& rec) {
+  const std::size_t n = 2048;
+  const Graph& g = shared_graph(n, 16);
+  constexpr std::size_t kSources = 128;
+
+  std::uint64_t scalar_sum = 0;
+  const double scalar_ms = best_of(3, scalar_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      for (Dist d : bfs_distances(g, static_cast<Vertex>(s))) sum += d;
+    }
+    return sum;
+  });
+
+  std::uint64_t hybrid_sum = 0;
+  const double hybrid_ms = best_of(3, hybrid_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const SsBfsView view = bfs_hybrid(g, static_cast<Vertex>(s));
+      for (Vertex v = 0; v < n; ++v) sum += view.at(v);
+    }
+    return sum;
+  });
+  DCS_CHECK(scalar_sum == hybrid_sum, "hybrid BFS checksum mismatch");
+  report_kernel(rec, "dir-opt BFS (n=2048)", "hybrid_bfs", scalar_ms,
+                hybrid_ms);
+}
+
+/// Support counting in the paper's dense regime (Δ ≈ n^{2/3}): sorted-merge
+/// reference vs the bitmap oracle.
+void kernel_bitmap_support(bench::PerfRecord& rec) {
+  const std::size_t n = 2048;
+  const Graph& g = shared_graph(n, bench::degree_for(n, 2.0 / 3.0));
+  const auto edges = g.edges();
+  const std::size_t kEdges = std::min<std::size_t>(edges.size(), 2000);
+
+  std::uint64_t scalar_sum = 0;
+  const double scalar_ms = best_of(3, scalar_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kEdges; ++i) {
+      sum += count_supported_extensions(g, edges[i].u, edges[i].v, 2);
+    }
+    return sum;
+  });
+
+  const SupportOracle oracle(g);
+  DCS_CHECK(oracle.bitmapped(),
+            "dense benchmark graph should trigger the bitmap");
+  std::uint64_t bitmap_sum = 0;
+  const double bitmap_ms = best_of(3, bitmap_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kEdges; ++i) {
+      sum += oracle.count_supported_extensions(edges[i].u, edges[i].v, 2);
+    }
+    return sum;
+  });
+  DCS_CHECK(scalar_sum == bitmap_sum, "bitmap support checksum mismatch");
+  report_kernel(rec, "support counting (Δ=n^2/3)", "bitmap_support",
+                scalar_ms, bitmap_ms);
+}
+
+void run_kernel_comparisons() {
+  bench::PerfRecord rec("microbench");
+  bench::print_header("Traversal-engine kernel comparisons",
+                      "Scalar reference vs batched engine on identical "
+                      "inputs; outputs checksum-verified equal.");
+  {
+    ScopedTimer t(rec.phase("msbfs"));
+    kernel_msbfs(rec);
+  }
+  {
+    ScopedTimer t(rec.phase("hybrid_bfs"));
+    kernel_hybrid_bfs(rec);
+  }
+  {
+    ScopedTimer t(rec.phase("bitmap_support"));
+    kernel_bitmap_support(rec);
+  }
+}
+
+// google-benchmark entries for the same kernels, for interactive use.
+
+void BM_MultiSourceBfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  std::vector<Vertex> batch(kMsBfsBatch);
+  Vertex base = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kMsBfsBatch; ++i) {
+      batch[i] = static_cast<Vertex>((base + i) % n);
+    }
+    benchmark::DoNotOptimize(multi_source_bfs(g, batch));
+    base = static_cast<Vertex>((base + kMsBfsBatch) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMsBfsBatch));
+}
+BENCHMARK(BM_MultiSourceBfs)->Arg(1024)->Arg(4096);
+
+void BM_HybridBfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  Vertex source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_hybrid(g, source));
+    source = static_cast<Vertex>((source + 1) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_HybridBfs)->Arg(1024)->Arg(4096);
+
+void BM_BitmapSupportTest(benchmark::State& state) {
+  const Graph& g = shared_graph(512, 64);
+  static const SupportOracle oracle(g);
+  const auto edges = g.edges();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Edge e = edges[i++ % edges.size()];
+    benchmark::DoNotOptimize(oracle.is_ab_supported(e, 2, 16));
+  }
+}
+BENCHMARK(BM_BitmapSupportTest);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_kernel_comparisons();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,18 +38,18 @@ RegularSpannerParams compute_regular_spanner_params(
 RegularSpannerResult build_regular_spanner(
     const Graph& g, const RegularSpannerOptions& options) {
   DCS_REQUIRE(g.num_vertices() >= 2, "spanner input too small");
-  DCS_REQUIRE(g.min_degree() >= 1, "input graph has isolated vertices");
+  const auto [min_deg, max_deg] = g.degree_bounds();
+  DCS_REQUIRE(min_deg >= 1, "input graph has isolated vertices");
   std::size_t delta;
   if (options.max_degree_ratio <= 1.0) {
-    DCS_REQUIRE(g.is_regular(),
+    DCS_REQUIRE(min_deg == max_deg,
                 "Algorithm 1 requires a Δ-regular input (set "
                 "max_degree_ratio > 1 for near-regular graphs)");
-    delta = g.min_degree();
+    delta = min_deg;
   } else {
     // Footnote 1: degrees within a constant factor of each other.
-    DCS_REQUIRE(static_cast<double>(g.max_degree()) <=
-                    options.max_degree_ratio *
-                        static_cast<double>(g.min_degree()),
+    DCS_REQUIRE(static_cast<double>(max_deg) <=
+                    options.max_degree_ratio * static_cast<double>(min_deg),
                 "input degrees exceed the allowed near-regular ratio");
     delta = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::llround(
@@ -93,18 +93,21 @@ RegularSpannerResult build_regular_spanner(
   std::vector<std::uint8_t> verdict(removed.size(), 0);
   {
     DCS_TRACE_SPAN("support_reinsert_loop");
-    const Graph& gp = result.sampled;
+    // In the paper's Δ ≥ n^{2/3} regime both oracles go word-parallel via
+    // the dense adjacency bitmap; sparse inputs stay on the sorted merge.
+    const SupportOracle support(g);
+    const SupportOracle sampled_support(result.sampled);
     const std::size_t a = result.support_a;
     const std::size_t b = result.support_b;
     parallel_for(0, removed.size(), [&](std::size_t i) {
       const Edge e = removed[i];
-      const bool supported = is_ab_supported(g, e, a, b);
+      const bool supported = support.is_ab_supported(e, a, b);
       if (!supported) {
         if (options.reinsert_unsupported) verdict[i] = 1;
         return;
       }
       if (options.reinsert_undetoured &&
-          !has_short_replacement(gp, e.u, e.v)) {
+          !sampled_support.has_short_replacement(e.u, e.v)) {
         verdict[i] = 2;
       }
     });

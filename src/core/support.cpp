@@ -104,4 +104,60 @@ std::vector<Vertex> random_short_replacement(const Graph& h, Vertex u,
   return {};
 }
 
+std::size_t SupportOracle::base_support(Vertex u, Vertex z) const {
+  if (bitmap_.empty()) return dcs::base_support(g_, u, z);
+  return bitmap_.common_count(u, z);
+}
+
+std::size_t SupportOracle::count_supported_extensions(Vertex u, Vertex v,
+                                                      std::size_t a) const {
+  if (bitmap_.empty()) return dcs::count_supported_extensions(g_, u, v, a);
+  std::size_t count = 0;
+  for (Vertex z : g_.neighbors(v)) {
+    if (z == u) continue;
+    if (bitmap_.common_count(u, z) >= a + 1) ++count;
+  }
+  return count;
+}
+
+bool SupportOracle::is_ab_supported_toward(Vertex u, Vertex v, std::size_t a,
+                                           std::size_t b) const {
+  if (bitmap_.empty()) return dcs::is_ab_supported_toward(g_, u, v, a, b);
+  std::size_t count = 0;
+  for (Vertex z : g_.neighbors(v)) {
+    if (z == u) continue;
+    if (bitmap_.common_count(u, z) >= a + 1) {
+      if (++count >= b) return true;
+    }
+  }
+  return false;
+}
+
+bool SupportOracle::is_ab_supported(Edge e, std::size_t a,
+                                    std::size_t b) const {
+  return is_ab_supported_toward(e.u, e.v, a, b) ||
+         is_ab_supported_toward(e.v, e.u, a, b);
+}
+
+bool SupportOracle::has_short_replacement(Vertex u, Vertex v) const {
+  if (bitmap_.empty()) return dcs::has_short_replacement(g_, u, v);
+  if (bitmap_.test(u, v)) return true;
+  if (bitmap_.has_common(u, v)) return true;
+  // 3-detour u–x–z–v: since (u,v) ∉ E and x ∈ N(u), the router x can never
+  // be v here, so any common neighbor of u and z witnesses a detour.
+  for (Vertex z : g_.neighbors(v)) {
+    if (z == u) continue;
+    if (bitmap_.has_common(u, z)) return true;
+  }
+  return false;
+}
+
+std::vector<Vertex> SupportOracle::common_neighbors(Vertex u,
+                                                    Vertex v) const {
+  if (bitmap_.empty()) return dcs::common_neighbors(g_, u, v);
+  std::vector<Vertex> out;
+  bitmap_.common_into(u, v, out);
+  return out;
+}
+
 }  // namespace dcs

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "graph/adjacency_bitmap.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -60,5 +61,47 @@ std::vector<Vertex> common_neighbors(const Graph& h, Vertex u, Vertex v);
 std::vector<Vertex> random_short_replacement(const Graph& h, Vertex u,
                                              Vertex v, Rng& rng,
                                              bool prefer_3detour = true);
+
+/// Accelerated support queries over one graph. Construction builds the
+/// dense adjacency bitmap when the density justifies it (exactly the
+/// paper's Δ ≥ n^{2/3} regime, see AdjacencyBitmap::worthwhile); every
+/// query then runs as a word-parallel popcount loop, falling back to the
+/// scalar sorted-merge reference functions above on sparse graphs. The
+/// answers are identical either way (pinned by tests/test_traversal.cpp).
+///
+/// The oracle borrows `g`; it must outlive the oracle. Queries are const
+/// and safe to issue concurrently from many threads.
+class SupportOracle {
+ public:
+  explicit SupportOracle(const Graph& g)
+      : g_(g), bitmap_(AdjacencyBitmap::build_if_worthwhile(g)) {}
+
+  const Graph& graph() const { return g_; }
+  bool bitmapped() const { return !bitmap_.empty(); }
+
+  /// |N(u) ∩ N(z)|, cf. ::base_support.
+  std::size_t base_support(Vertex u, Vertex z) const;
+
+  /// cf. ::count_supported_extensions.
+  std::size_t count_supported_extensions(Vertex u, Vertex v,
+                                         std::size_t a) const;
+
+  /// cf. ::is_ab_supported_toward (early-exit at b).
+  bool is_ab_supported_toward(Vertex u, Vertex v, std::size_t a,
+                              std::size_t b) const;
+
+  /// cf. ::is_ab_supported (the Ê test of Algorithm 1).
+  bool is_ab_supported(Edge e, std::size_t a, std::size_t b) const;
+
+  /// cf. ::has_short_replacement (direct edge, 2-detour, or 3-detour).
+  bool has_short_replacement(Vertex u, Vertex v) const;
+
+  /// cf. ::common_neighbors.
+  std::vector<Vertex> common_neighbors(Vertex u, Vertex v) const;
+
+ private:
+  const Graph& g_;
+  AdjacencyBitmap bitmap_;
+};
 
 }  // namespace dcs

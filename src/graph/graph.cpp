@@ -64,20 +64,16 @@ std::vector<Edge> Graph::edges() const {
   return out;
 }
 
-std::size_t Graph::min_degree() const {
-  std::size_t best = num_vertices() == 0 ? 0 : degree(0);
+std::pair<std::size_t, std::size_t> Graph::degree_bounds() const {
+  if (num_vertices() == 0) return {0, 0};
+  std::size_t lo = degree(0);
+  std::size_t hi = lo;
   for (Vertex v = 1; v < num_vertices(); ++v) {
-    best = std::min(best, degree(v));
+    const std::size_t d = degree(v);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
   }
-  return best;
-}
-
-std::size_t Graph::max_degree() const {
-  std::size_t best = 0;
-  for (Vertex v = 0; v < num_vertices(); ++v) {
-    best = std::max(best, degree(v));
-  }
-  return best;
+  return {lo, hi};
 }
 
 bool Graph::contains_subgraph(const Graph& other) const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/edge_list.hpp"
@@ -42,9 +43,14 @@ class Graph {
   /// Canonical (u < v) edge list in lexicographic order.
   std::vector<Edge> edges() const;
 
-  std::size_t min_degree() const;
-  std::size_t max_degree() const;
-  bool is_regular() const { return min_degree() == max_degree(); }
+  /// {min, max} degree in a single scan; {0, 0} on the empty graph.
+  std::pair<std::size_t, std::size_t> degree_bounds() const;
+  std::size_t min_degree() const { return degree_bounds().first; }
+  std::size_t max_degree() const { return degree_bounds().second; }
+  bool is_regular() const {
+    const auto [lo, hi] = degree_bounds();
+    return lo == hi;
+  }
 
   /// True if `other` has the same vertex set and a subset of the edges.
   bool contains_subgraph(const Graph& other) const;

@@ -1,0 +1,297 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dcs {
+
+namespace {
+
+// Beamer's direction-optimization thresholds: go bottom-up when the
+// frontier's out-edges exceed 1/kBottomUpAlpha of the edges still
+// incident to unvisited vertices; return top-down when the frontier
+// shrinks below n/kTopDownBeta vertices.
+constexpr std::size_t kBottomUpAlpha = 14;
+constexpr std::size_t kTopDownBeta = 24;
+// Below this the bitmap machinery costs more than it saves.
+constexpr std::size_t kMinBottomUpVertices = 256;
+
+obs::Counter& bottom_up_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("traversal.bottom_up_switches");
+  return c;
+}
+
+obs::Counter& arena_reuse_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("traversal.arena_reuse_hits");
+  return c;
+}
+
+obs::Counter& ms_batch_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("traversal.ms_batches");
+  return c;
+}
+
+obs::Counter& ms_source_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("traversal.ms_sources");
+  return c;
+}
+
+}  // namespace
+
+struct TraversalScratch::Impl {
+  // --- single-source arena -------------------------------------------------
+  struct SsState {
+    std::size_t n = 0;
+    std::uint32_t epoch = 0;
+    std::vector<Dist> dist;
+    std::vector<std::uint32_t> stamp;  // dist[v] valid iff stamp[v] == epoch
+    std::vector<Vertex> frontier, next;
+    std::vector<std::uint64_t> visited_bits, frontier_bits;
+
+    std::uint32_t begin(std::size_t want_n) {
+      if (want_n != n) {
+        n = want_n;
+        dist.resize(n);
+        stamp.assign(n, 0);
+        epoch = 0;
+      } else {
+        arena_reuse_counter().inc();
+      }
+      if (++epoch == 0) {  // stamp wrap: old stamps become ambiguous
+        std::fill(stamp.begin(), stamp.end(), 0u);
+        epoch = 1;
+      }
+      return epoch;
+    }
+  } ss;
+
+  // --- multi-source arena --------------------------------------------------
+  struct MsState {
+    std::size_t n = 0;
+    std::uint32_t epoch = 0;
+    std::vector<Dist> dist;  // n * kMsBfsBatch, vertex-major
+    std::vector<std::uint64_t> seen;
+    std::vector<std::uint32_t> seen_stamp;
+    // Invariant between calls and between levels: cur_mask[v] != 0 only
+    // for v in `frontier`, nxt_mask[v] != 0 only for v in `next`.
+    std::vector<std::uint64_t> cur_mask, nxt_mask;
+    std::vector<Vertex> frontier, next;
+
+    std::uint32_t begin(std::size_t want_n) {
+      if (want_n != n) {
+        n = want_n;
+        dist.resize(n * kMsBfsBatch);
+        seen.resize(n);
+        seen_stamp.assign(n, 0);
+        cur_mask.assign(n, 0);
+        nxt_mask.assign(n, 0);
+        epoch = 0;
+      } else {
+        arena_reuse_counter().inc();
+      }
+      if (++epoch == 0) {
+        std::fill(seen_stamp.begin(), seen_stamp.end(), 0u);
+        epoch = 1;
+      }
+      return epoch;
+    }
+  } ms;
+};
+
+TraversalScratch::TraversalScratch() : impl_(std::make_unique<Impl>()) {}
+TraversalScratch::~TraversalScratch() = default;
+
+TraversalScratch& traversal_scratch() {
+  thread_local TraversalScratch scratch;
+  return scratch;
+}
+
+void SsBfsView::export_distances(std::vector<Dist>& out) const {
+  out.resize(dist.size());
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    out[v] = stamp[v] == epoch ? dist[v] : kUnreachable;
+  }
+}
+
+SsBfsView bfs_hybrid(const Graph& g, Vertex source, Dist max_depth,
+                     TraversalScratch* scratch) {
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(source < n, "BFS source out of range");
+  auto& s = (scratch != nullptr ? *scratch : traversal_scratch()).impl().ss;
+  const std::uint32_t epoch = s.begin(n);
+
+  s.dist[source] = 0;
+  s.stamp[source] = epoch;
+  s.frontier.clear();
+  s.frontier.push_back(source);
+  std::size_t frontier_edges = g.degree(source);
+  // Directed endpoints still incident to unvisited vertices.
+  std::size_t remaining_edges = 2 * g.num_edges() - frontier_edges;
+
+  const std::size_t words = (n + 63) / 64;
+  bool bottom_up = false;
+  std::uint64_t switches = 0;
+  Dist level = 0;
+
+  while (!s.frontier.empty() && level < max_depth) {
+    if (!bottom_up) {
+      if (n >= kMinBottomUpVertices &&
+          frontier_edges > remaining_edges / kBottomUpAlpha) {
+        bottom_up = true;
+        ++switches;
+        // Build the visited bitmap from the stamps once per switch; while
+        // bottom-up it is maintained incrementally.
+        s.visited_bits.assign(words, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+          if (s.stamp[v] == epoch) s.visited_bits[v >> 6] |= 1ull << (v & 63);
+        }
+      }
+    } else if (s.frontier.size() < n / kTopDownBeta) {
+      bottom_up = false;
+    }
+
+    s.next.clear();
+    std::size_t next_edges = 0;
+    if (!bottom_up) {
+      for (Vertex u : s.frontier) {
+        for (Vertex v : g.neighbors(u)) {
+          if (s.stamp[v] != epoch) {
+            s.stamp[v] = epoch;
+            s.dist[v] = level + 1;
+            s.next.push_back(v);
+            next_edges += g.degree(v);
+          }
+        }
+      }
+    } else {
+      // Frontier bitmap for membership tests, rebuilt per level (the
+      // bottom-up regime only triggers on frontiers worth Ω(m/α) edges,
+      // so the O(n/64) clear is noise).
+      s.frontier_bits.assign(words, 0);
+      for (Vertex u : s.frontier) {
+        s.frontier_bits[u >> 6] |= 1ull << (u & 63);
+      }
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t unvisited = ~s.visited_bits[w];
+        if (w == words - 1 && (n & 63) != 0) {
+          unvisited &= (1ull << (n & 63)) - 1;  // mask tail past n
+        }
+        while (unvisited != 0) {
+          const auto v = static_cast<Vertex>(
+              w * 64 + static_cast<std::size_t>(std::countr_zero(unvisited)));
+          unvisited &= unvisited - 1;
+          for (Vertex u : g.neighbors(v)) {
+            if ((s.frontier_bits[u >> 6] >> (u & 63)) & 1) {
+              s.stamp[v] = epoch;
+              s.dist[v] = level + 1;
+              s.visited_bits[w] |= 1ull << (v & 63);
+              s.next.push_back(v);
+              next_edges += g.degree(v);
+              break;
+            }
+          }
+        }
+      }
+    }
+    remaining_edges -= std::min(remaining_edges, next_edges);
+    frontier_edges = next_edges;
+    s.frontier.swap(s.next);
+    ++level;
+  }
+
+  if (switches != 0) bottom_up_counter().inc(switches);
+  return SsBfsView{std::span<const Dist>(s.dist.data(), n),
+                   std::span<const std::uint32_t>(s.stamp.data(), n), epoch};
+}
+
+std::vector<Dist> bfs_distances_hybrid(const Graph& g, Vertex source,
+                                       Dist max_depth) {
+  std::vector<Dist> out;
+  bfs_hybrid(g, source, max_depth).export_distances(out);
+  return out;
+}
+
+MsBfsView multi_source_bfs(const Graph& g, std::span<const Vertex> sources,
+                           Dist max_depth, TraversalScratch* scratch) {
+  const std::size_t n = g.num_vertices();
+  DCS_REQUIRE(sources.size() <= kMsBfsBatch,
+              "multi_source_bfs batch exceeds kMsBfsBatch sources");
+  for (Vertex src : sources) {
+    DCS_REQUIRE(src < n, "BFS source out of range");
+  }
+  auto& s = (scratch != nullptr ? *scratch : traversal_scratch()).impl().ms;
+  const std::uint32_t epoch = s.begin(n);
+  ms_batch_counter().inc();
+  ms_source_counter().inc(sources.size());
+
+  const auto seen_at = [&](Vertex v) -> std::uint64_t {
+    return s.seen_stamp[v] == epoch ? s.seen[v] : 0;
+  };
+  const auto mark_seen = [&](Vertex v, std::uint64_t bits) {
+    if (s.seen_stamp[v] == epoch) {
+      s.seen[v] |= bits;
+    } else {
+      s.seen[v] = bits;
+      s.seen_stamp[v] = epoch;
+    }
+  };
+
+  s.frontier.clear();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Vertex src = sources[i];
+    const std::uint64_t bit = 1ull << i;
+    if (s.cur_mask[src] == 0) s.frontier.push_back(src);
+    s.cur_mask[src] |= bit;
+    mark_seen(src, bit);
+    s.dist[src * kMsBfsBatch + i] = 0;
+  }
+
+  Dist level = 0;
+  while (!s.frontier.empty() && level < max_depth) {
+    s.next.clear();
+    for (Vertex v : s.frontier) {
+      const std::uint64_t fmask = s.cur_mask[v];
+      for (Vertex w : g.neighbors(v)) {
+        const std::uint64_t propagate = fmask & ~seen_at(w);
+        if (propagate != 0) {
+          if (s.nxt_mask[w] == 0) s.next.push_back(w);
+          s.nxt_mask[w] |= propagate;
+        }
+      }
+    }
+    // Settle the level: commit new mask bits and record first-arrival
+    // distances. `seen` is static during expansion, so nxt_mask already
+    // holds exactly the newly reached (source, vertex) pairs.
+    for (Vertex w : s.next) {
+      std::uint64_t newbits = s.nxt_mask[w];
+      mark_seen(w, newbits);
+      while (newbits != 0) {
+        const auto i =
+            static_cast<std::size_t>(std::countr_zero(newbits));
+        newbits &= newbits - 1;
+        s.dist[w * kMsBfsBatch + i] = level + 1;
+      }
+    }
+    // Restore the mask invariants before the role swap.
+    for (Vertex v : s.frontier) s.cur_mask[v] = 0;
+    s.frontier.swap(s.next);
+    s.cur_mask.swap(s.nxt_mask);
+    ++level;
+  }
+  // Depth-capped exit can leave a live frontier; re-zero its masks.
+  for (Vertex v : s.frontier) s.cur_mask[v] = 0;
+
+  return MsBfsView{
+      sources.size(), std::span<const Dist>(s.dist.data(), n * kMsBfsBatch),
+      std::span<const std::uint64_t>(s.seen.data(), n),
+      std::span<const std::uint32_t>(s.seen_stamp.data(), n), epoch};
+}
+
+}  // namespace dcs

@@ -224,14 +224,16 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
   // loses only its own share of the faults). Only the *broken* ones — not
   // in H∖F and without a surviving ≤3 replacement — need the construction
   // machinery re-run around them. The screen runs on the sparse H, so it is
-  // far cheaper per edge than anything the rebuild does on G.
+  // far cheaper per edge than anything the rebuild does on G; the oracle
+  // upgrades it to word-parallel bitmap probes when H is dense enough.
   std::vector<std::uint8_t> is_broken(candidates.size(), 0);
   {
     DCS_TRACE_SPAN("screen");
+    const SupportOracle h_support(h_surviving);
     parallel_for(0, candidates.size(), [&](std::size_t i) {
       const Edge e = candidates[i];
       if (!h_surviving.has_edge(e.u, e.v) &&
-          !has_short_replacement(h_surviving, e.u, e.v)) {
+          !h_support.has_short_replacement(e.u, e.v)) {
         is_broken[i] = 1;
       }
     });
@@ -296,13 +298,15 @@ RepairResult repair_with_candidates(const Graph& g_surviving,
     // Steps 2+3 analog: the Ê test and the undetoured-edge rule, applied
     // to the broken edges only. Verdicts are evaluated against the static
     // h1, so they are order-independent and parallel.
+    const SupportOracle g_support(g_surviving);
+    const SupportOracle h1_support(h1);
     std::vector<std::uint8_t> reinsert(broken.size(), 0);
     parallel_for(0, broken.size(), [&](std::size_t i) {
       const Edge e = broken[i];
       if (h1.has_edge(e.u, e.v)) return;
-      if (!is_ab_supported(g_surviving, e, params.support_a,
-                           params.support_b) ||
-          !has_short_replacement(h1, e.u, e.v)) {
+      if (!g_support.is_ab_supported(e, params.support_a,
+                                     params.support_b) ||
+          !h1_support.has_short_replacement(e.u, e.v)) {
         reinsert[i] = 1;
       }
     });
@@ -403,9 +407,10 @@ RepairResult rebuild_spanner(const Graph& g_surviving,
   // survivors' actual degree spread (footnote 1 of the paper).
   RegularSpannerOptions build = options.build;
   build.seed = options.seed;
-  const double ratio = static_cast<double>(sub.graph.max_degree()) /
-                       static_cast<double>(std::max<std::size_t>(
-                           1, sub.graph.min_degree()));
+  const auto [sub_min_deg, sub_max_deg] = sub.graph.degree_bounds();
+  const double ratio =
+      static_cast<double>(sub_max_deg) /
+      static_cast<double>(std::max<std::size_t>(1, sub_min_deg));
   build.max_degree_ratio = std::max(build.max_degree_ratio, ratio + 0.01);
 
   const auto rebuilt = build_regular_spanner(sub.graph, build);

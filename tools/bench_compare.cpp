@@ -1,0 +1,165 @@
+// Perf-regression gate: diffs a fresh DCS_BENCH_JSON_DIR run against the
+// committed baselines in bench/baselines/.
+//
+// For every BENCH_*.json in the baseline directory the fresh directory must
+// contain a file of the same name, and:
+//
+//  * wall_s may grow by at most --wall-tolerance (a loose multiplicative
+//    bound — wall time is machine-dependent, so this only catches order-of-
+//    magnitude blowups);
+//  * every gauge whose name contains "speedup" may shrink by at most
+//    --speedup-tolerance (speedups are ratios of two timings on the same
+//    machine, so they transfer across hardware and are the real gate).
+//
+// Exit codes: 0 = within tolerance, 1 = regression detected, 2 = usage or
+// I/O error. CI's perf-smoke job runs this after a fresh Release run of
+// bench_microbench (see .github/workflows/ci.yml and docs/performance.md).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string baseline_dir;
+  std::string fresh_dir;
+  double wall_tolerance = 4.0;     // fresh wall_s ≤ base * 4
+  double speedup_tolerance = 2.0;  // fresh speedup ≥ base / 2
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare <baseline_dir> <fresh_dir>\n"
+      "           [--wall-tolerance=X] [--speedup-tolerance=Y]\n"
+      "compares every BENCH_*.json in baseline_dir against fresh_dir\n");
+  return 2;
+}
+
+bool parse_double_flag(const std::string& arg, const std::string& name,
+                       double& out) {
+  const std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = std::stod(arg.substr(prefix.size()));
+  return true;
+}
+
+dcs::obs::JsonValue load_json(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return dcs::obs::parse_json(buf.str());
+}
+
+/// Compares one baseline/fresh artifact pair; returns the number of
+/// regressions found (also printed).
+int compare_artifact(const fs::path& base_path, const fs::path& fresh_path,
+                     const Options& opt) {
+  const auto base = load_json(base_path);
+  const auto fresh = load_json(fresh_path);
+  const std::string name = base.at("bench").as_string();
+  int regressions = 0;
+
+  const double base_wall = base.at("wall_s").as_number();
+  const double fresh_wall = fresh.at("wall_s").as_number();
+  if (fresh_wall > base_wall * opt.wall_tolerance) {
+    std::printf("REGRESSION %s: wall_s %.3f -> %.3f (limit %.3f)\n",
+                name.c_str(), base_wall, fresh_wall,
+                base_wall * opt.wall_tolerance);
+    ++regressions;
+  } else {
+    std::printf("ok %s: wall_s %.3f -> %.3f\n", name.c_str(), base_wall,
+                fresh_wall);
+  }
+
+  if (!base.at("metrics").has("gauges")) return regressions;
+  const auto& base_gauges = base.at("metrics").at("gauges").as_object();
+  const auto& fresh_metrics = fresh.at("metrics");
+  for (const auto& [gauge, value] : base_gauges) {
+    if (gauge.find("speedup") == std::string::npos) continue;
+    const double base_speedup = value.as_number();
+    if (!fresh_metrics.has("gauges") ||
+        !fresh_metrics.at("gauges").has(gauge)) {
+      std::printf("REGRESSION %s: gauge %s missing from fresh run\n",
+                  name.c_str(), gauge.c_str());
+      ++regressions;
+      continue;
+    }
+    const double fresh_speedup =
+        fresh_metrics.at("gauges").at(gauge).as_number();
+    const double floor = base_speedup / opt.speedup_tolerance;
+    if (fresh_speedup < floor) {
+      std::printf("REGRESSION %s: %s %.2fx -> %.2fx (floor %.2fx)\n",
+                  name.c_str(), gauge.c_str(), base_speedup, fresh_speedup,
+                  floor);
+      ++regressions;
+    } else {
+      std::printf("ok %s: %s %.2fx -> %.2fx\n", name.c_str(), gauge.c_str(),
+                  base_speedup, fresh_speedup);
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (parse_double_flag(arg, "--wall-tolerance", opt.wall_tolerance) ||
+          parse_double_flag(arg, "--speedup-tolerance",
+                            opt.speedup_tolerance)) {
+        continue;
+      }
+    } catch (const std::exception&) {
+      return usage();
+    }
+    if (arg.rfind("--", 0) == 0) return usage();
+    positional.push_back(arg);
+  }
+  if (positional.size() != 2) return usage();
+  opt.baseline_dir = positional[0];
+  opt.fresh_dir = positional[1];
+
+  int regressions = 0;
+  std::size_t compared = 0;
+  try {
+    for (const auto& entry : fs::directory_iterator(opt.baseline_dir)) {
+      const std::string fname = entry.path().filename().string();
+      if (fname.rfind("BENCH_", 0) != 0 ||
+          entry.path().extension() != ".json") {
+        continue;
+      }
+      const fs::path fresh_path = fs::path(opt.fresh_dir) / fname;
+      if (!fs::exists(fresh_path)) {
+        std::fprintf(stderr, "error: fresh run missing %s\n", fname.c_str());
+        return 2;
+      }
+      regressions += compare_artifact(entry.path(), fresh_path, opt);
+      ++compared;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "error: no BENCH_*.json artifacts in %s\n",
+                 opt.baseline_dir.c_str());
+    return 2;
+  }
+  std::printf("%zu artifact(s) compared, %d regression(s)\n", compared,
+              regressions);
+  return regressions == 0 ? 0 : 1;
+}

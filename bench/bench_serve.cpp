@@ -1,0 +1,272 @@
+// Closed-loop load generator for the query-serving engine (src/serve/).
+//
+// Three sections, each printed as a table and recorded through PerfRecord
+// into BENCH_serve.json (gated by tools/bench_compare against
+// bench/baselines/serve/):
+//
+//  1. Batched-vs-naive throughput on two serving substrates — a regular
+//     spanner and an expander spanner. The naive oracle runs one scalar
+//     bfs_distances per query; the engine coalesces the same queries into
+//     64-wide MS-BFS sweeps behind an LRU row cache. Answers must be
+//     checksum-identical and the batched path must clear a 3x speedup
+//     floor, otherwise this binary exits 1 (the CI serve-smoke job treats
+//     that as a failed gate).
+//
+//  2. A closed-loop client sweep (1/4/16 clients): offered load vs
+//     throughput and exact p50/p99 submit-to-completion latency.
+//
+//  3. An overload demonstration: an open-loop burst against a 64-deep
+//     admission queue, shedding accounted exactly (served + shed ==
+//     submitted or exit 1).
+//
+// Usage: bench_serve [--quick]    (--quick shrinks sizes for smoke runs)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/expander_spanner.hpp"
+#include "core/regular_spanner.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "serve/query_engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dcs;
+using serve::Query;
+using serve::QueryEngine;
+using serve::QueryKind;
+using serve::QueryOutcome;
+using serve::QueryResult;
+using serve::ServeOptions;
+
+constexpr double kSpeedupFloor = 3.0;
+
+/// Skewed point-query workload: half the queries hit a small hot set of
+/// sources (repeat traffic the row cache should absorb), half are uniform.
+std::vector<Query> skewed_queries(const Graph& g, std::size_t count,
+                                  std::size_t hot_sources,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.u = rng.bernoulli(0.5)
+              ? static_cast<Vertex>(rng.uniform(hot_sources))
+              : static_cast<Vertex>(rng.uniform(g.num_vertices()));
+    q.v = static_cast<Vertex>(rng.uniform(g.num_vertices()));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::uint64_t checksum_results(const std::vector<QueryResult>& results) {
+  std::uint64_t sum = 0;
+  for (const QueryResult& r : results) {
+    sum = sum * 1000003u + r.distance;
+  }
+  return sum;
+}
+
+/// Section 1: same queries through the scalar oracle and the batched
+/// engine; returns false if answers differ or the speedup floor is missed.
+bool compare_batched_vs_naive(bench::PerfRecord& rec, const char* name,
+                              const Graph& h, std::size_t num_queries,
+                              std::size_t window) {
+  const auto queries = skewed_queries(h, num_queries, 16, 271828);
+
+  // Both oracles fold their checksum per window so the streams compare
+  // byte-for-byte.
+  Timer naive_timer;
+  std::uint64_t naive_sum = 0;
+  for (std::size_t lo = 0; lo < queries.size(); lo += window) {
+    const std::size_t hi = std::min(queries.size(), lo + window);
+    std::uint64_t inner = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      inner = inner * 1000003u + bfs_distances(h, queries[i].u)[queries[i].v];
+    }
+    naive_sum = naive_sum * 1000003u + inner;
+  }
+  const double naive_ms = naive_timer.millis();
+
+  QueryEngine engine(h);
+  Timer batched_timer;
+  std::uint64_t batched_sum = 0;
+  for (std::size_t lo = 0; lo < queries.size(); lo += window) {
+    const std::size_t hi = std::min(queries.size(), lo + window);
+    const auto results = engine.serve_batch(
+        std::span(queries).subspan(lo, hi - lo));
+    batched_sum = batched_sum * 1000003u + checksum_results(results);
+  }
+  const double batched_ms = batched_timer.millis();
+  const double speedup = naive_ms / batched_ms;
+  const auto stats = engine.stats();
+
+  auto& reg = obs::MetricsRegistry::instance();
+  const std::string prefix = std::string("bench.serve.") + name;
+  reg.gauge(prefix + "_naive_ms").set(naive_ms);
+  reg.gauge(prefix + "_batched_ms").set(batched_ms);
+  reg.gauge(prefix + "_batched_speedup").set(speedup);
+
+  std::printf(
+      "%-10s %7zu queries   naive %9.2f ms   batched %8.2f ms   "
+      "speedup %6.2fx   sweeps over %" PRIu64 " sources, %" PRIu64
+      " cache hits\n",
+      name, queries.size(), naive_ms, batched_ms, speedup,
+      stats.coalesced_sources, stats.cache_hits);
+
+  if (batched_sum != naive_sum) {
+    std::printf("FAIL: %s batched checksum %016" PRIx64
+                " != naive %016" PRIx64 "\n",
+                name, batched_sum, naive_sum);
+    return false;
+  }
+  if (speedup < kSpeedupFloor) {
+    std::printf("FAIL: %s speedup %.2fx below the %.1fx floor\n", name,
+                speedup, kSpeedupFloor);
+    return false;
+  }
+  return true;
+}
+
+/// Section 2: closed-loop clients, each waiting for its answer before
+/// sending the next query. Reports throughput and exact latency tails.
+void closed_loop_sweep(const Graph& h, std::size_t per_client) {
+  std::printf("\nclosed-loop sweep (%zu queries/client):\n", per_client);
+  std::printf("  %-8s %12s %10s %10s %10s\n", "clients", "throughput/s",
+              "p50 us", "p99 us", "served");
+  for (std::size_t clients : {1u, 4u, 16u}) {
+    QueryEngine engine(h);
+    engine.start();
+    std::vector<std::vector<double>> latencies(clients);
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(31 * (c + 1));
+        latencies[c].reserve(per_client);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          Query q;
+          // 1-in-4 route queries keep the lazy next-hop tables hot too.
+          q.kind = rng.bernoulli(0.25) ? QueryKind::kRoute
+                                       : QueryKind::kDistance;
+          q.u = rng.bernoulli(0.5)
+                    ? static_cast<Vertex>(rng.uniform(16))
+                    : static_cast<Vertex>(rng.uniform(h.num_vertices()));
+          q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+          latencies[c].push_back(engine.submit(q).get().latency_us);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = wall.seconds();
+    engine.stop();
+
+    std::vector<double> all;
+    for (const auto& per : latencies) {
+      all.insert(all.end(), per.begin(), per.end());
+    }
+    const std::vector<double> qs{0.5, 0.99};
+    const auto tails = exact_percentiles(all, qs);
+    const double throughput = static_cast<double>(all.size()) / elapsed;
+    std::printf("  %-8zu %12.0f %10.1f %10.1f %10" PRIu64 "\n", clients,
+                throughput, tails[0], tails[1], engine.stats().served);
+    obs::MetricsRegistry::instance()
+        .gauge("bench.serve.closed_loop_" + std::to_string(clients) +
+               "_throughput")
+        .set(throughput);
+  }
+}
+
+/// Section 3: open-loop burst into a deliberately small admission queue.
+/// Returns false if the shed accounting does not conserve queries.
+bool overload_demo(const Graph& h, std::size_t burst) {
+  ServeOptions options;
+  options.cache_rows = 1;  // every batch pays BFS work
+  options.batch_window = 8;
+  options.admission.queue_capacity = 64;
+  QueryEngine engine(h, options);
+  engine.start();
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(burst);
+  Rng rng(99);
+  for (std::size_t i = 0; i < burst; ++i) {
+    Query q;
+    q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+    q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+    futures.push_back(engine.submit(q));
+  }
+  for (auto& f : futures) f.get();
+  engine.stop();
+  const auto s = engine.stats();
+  std::printf("\noverload burst (%zu queries, queue=64): served %" PRIu64
+              ", shed-admission %" PRIu64 ", shed-deadline %" PRIu64 "\n",
+              burst, s.served, s.shed_admission, s.shed_deadline);
+  if (s.served + s.shed_admission + s.shed_deadline != s.queries) {
+    std::printf("FAIL: shed accounting does not conserve queries\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  bench::PerfRecord rec("serve");
+  bench::print_header(
+      "Query serving: batched MS-BFS oracle vs one-BFS-per-query",
+      "Point queries coalesced into 64-wide sweeps behind an LRU row cache "
+      "must answer identically to the scalar oracle and clear a 3x "
+      "throughput floor.");
+
+  const std::size_t queries = quick ? 2048 : 8192;
+  const std::size_t per_client = quick ? 256 : 1024;
+
+  const Graph regular_g = random_regular(1024, 16, 42);
+  const Graph regular_h =
+      build_regular_spanner(regular_g, {.seed = 7}).spanner.h;
+  // Theorem 2's construction wants a Δ-regular expander with Δ ≳ n^{2/3};
+  // a dense random regular graph is one with overwhelming probability.
+  const Graph expander_g = random_regular(1024, bench::degree_for(1024, 2.0 / 3.0), 43);
+  const Graph expander_h =
+      build_expander_spanner(expander_g, {.seed = 7}).spanner.h;
+  std::printf("substrates: regular spanner %zu/%zu edges, expander spanner "
+              "%zu/%zu edges\n\n",
+              regular_h.num_edges(), regular_g.num_edges(),
+              expander_h.num_edges(), expander_g.num_edges());
+
+  bool ok = true;
+  {
+    ScopedTimer t(rec.phase("batched_vs_naive"));
+    ok &= compare_batched_vs_naive(rec, "regular", regular_h, queries, 1024);
+    ok &= compare_batched_vs_naive(rec, "expander", expander_h, queries, 1024);
+  }
+  {
+    ScopedTimer t(rec.phase("closed_loop"));
+    closed_loop_sweep(regular_h, per_client);
+  }
+  {
+    ScopedTimer t(rec.phase("overload"));
+    ok &= overload_demo(regular_h, quick ? 2000 : 8000);
+  }
+
+  if (!ok) {
+    std::printf("\nbench_serve: FAILED\n");
+    return 1;
+  }
+  std::printf("\nbench_serve: OK\n");
+  return 0;
+}

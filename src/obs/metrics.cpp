@@ -198,9 +198,19 @@ std::string MetricsRegistry::to_csv() const {
         break;
       case Kind::kHistogram: {
         const HistogramSnapshot s = entry.histogram->snapshot();
+        // Empty histograms have no order statistics (the percentiles are
+        // NaN); empty cells keep the CSV honest and parseable.
         os << name << ",histogram,," << s.count << ',' << s.sum << ','
-           << s.min << ',' << s.max << ',' << s.p50 << ',' << s.p95 << ','
-           << s.p99 << '\n';
+           << s.min << ',' << s.max << ',';
+        const auto cell = [&os](double v) {
+          if (!std::isnan(v)) os << v;
+        };
+        cell(s.p50);
+        os << ',';
+        cell(s.p95);
+        os << ',';
+        cell(s.p99);
+        os << '\n';
         break;
       }
     }

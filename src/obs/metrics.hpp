@@ -82,6 +82,9 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Percentiles are quiet NaN when count == 0 (exact_percentile's empty
+  /// contract): the JSON exporter emits null and the CSV exporter an empty
+  /// cell, so an empty histogram can never pose as a measured zero.
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;

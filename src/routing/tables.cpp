@@ -1,5 +1,6 @@
 #include "routing/tables.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "graph/bfs.hpp"
@@ -9,30 +10,40 @@
 
 namespace dcs {
 
+namespace detail {
+
+void fill_next_hop_row(const Graph& g, Vertex dest, std::uint64_t seed,
+                       Vertex* row) {
+  const std::size_t n = g.num_vertices();
+  const auto dist = bfs_distances(g, dest);
+  Rng rng(mix64(seed, dest));
+  for (Vertex v = 0; v < n; ++v) {
+    row[v] = kInvalidVertex;
+    if (v == dest || dist[v] == kUnreachable) continue;
+    // pick a random neighbor one step closer to dest
+    std::size_t count = 0;
+    Vertex chosen = kInvalidVertex;
+    for (Vertex u : g.neighbors(v)) {
+      if (dist[u] + 1 == dist[v]) {
+        ++count;
+        if (rng.uniform(count) == 0) chosen = u;
+      }
+    }
+    DCS_CHECK(chosen != kInvalidVertex, "BFS tree chain broken");
+    row[v] = chosen;
+  }
+}
+
+}  // namespace detail
+
 RoutingTables RoutingTables::build(const Graph& g, std::uint64_t seed) {
   RoutingTables t;
   t.n_ = g.num_vertices();
   t.next_.assign(t.n_ * t.n_, kInvalidVertex);
 
   parallel_for(0, t.n_, [&](std::size_t dest_i) {
-    const auto dest = static_cast<Vertex>(dest_i);
-    const auto dist = bfs_distances(g, dest);
-    Rng rng(mix64(seed, dest_i));
-    Vertex* row = t.next_.data() + dest_i * t.n_;
-    for (Vertex v = 0; v < t.n_; ++v) {
-      if (v == dest || dist[v] == kUnreachable) continue;
-      // pick a random neighbor one step closer to dest
-      std::size_t count = 0;
-      Vertex chosen = kInvalidVertex;
-      for (Vertex u : g.neighbors(v)) {
-        if (dist[u] + 1 == dist[v]) {
-          ++count;
-          if (rng.uniform(count) == 0) chosen = u;
-        }
-      }
-      DCS_CHECK(chosen != kInvalidVertex, "BFS tree chain broken");
-      row[v] = chosen;
-    }
+    detail::fill_next_hop_row(g, static_cast<Vertex>(dest_i), seed,
+                              t.next_.data() + dest_i * t.n_);
   });
 
   // Memory accounting: each node stores n−1 entries of ⌈log₂ deg⌉ bits.
@@ -74,6 +85,61 @@ std::size_t RoutingTables::route_length(Vertex from,
     return static_cast<std::size_t>(-1);
   }
   return path_length(p);
+}
+
+LazyRoutingTables::LazyRoutingTables(const Graph& g, std::uint64_t seed)
+    : g_(&g), seed_(seed), rows_(g.num_vertices()) {}
+
+const std::vector<Vertex>& LazyRoutingTables::row(Vertex destination) {
+  DCS_REQUIRE(destination < rows_.size(), "vertex out of range");
+  std::vector<Vertex>& r = rows_[destination];
+  if (r.empty() && !rows_.empty()) {
+    r.resize(rows_.size(), kInvalidVertex);
+    detail::fill_next_hop_row(*g_, destination, seed_, r.data());
+    ++filled_;
+  }
+  return r;
+}
+
+void LazyRoutingTables::fill_rows(std::span<const Vertex> dests) {
+  // Deduplicate down to the unfilled destinations so the parallel loop
+  // writes disjoint rows.
+  std::vector<Vertex> missing;
+  for (Vertex d : dests) {
+    DCS_REQUIRE(d < rows_.size(), "vertex out of range");
+    if (!has_row(d)) missing.push_back(d);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  const std::size_t n = rows_.size();
+  for (Vertex d : missing) rows_[d].resize(n, kInvalidVertex);
+  parallel_for(0, missing.size(), [&](std::size_t i) {
+    detail::fill_next_hop_row(*g_, missing[i], seed_, rows_[missing[i]].data());
+  });
+  filled_ += missing.size();
+}
+
+Vertex LazyRoutingTables::next_hop(Vertex from, Vertex destination) {
+  DCS_REQUIRE(from < rows_.size() && destination < rows_.size(),
+              "vertex out of range");
+  if (from == destination) return kInvalidVertex;
+  return row(destination)[from];
+}
+
+Path LazyRoutingTables::route(Vertex from, Vertex destination) {
+  DCS_REQUIRE(from < rows_.size() && destination < rows_.size(),
+              "vertex out of range");
+  const std::vector<Vertex>& next = row(destination);
+  Path path{from};
+  Vertex cur = from;
+  while (cur != destination) {
+    const Vertex hop = next[cur];
+    if (hop == kInvalidVertex) return {};  // unreachable
+    path.push_back(hop);
+    cur = hop;
+    DCS_CHECK(path.size() <= rows_.size(), "routing table cycle detected");
+  }
+  return path;
 }
 
 double RoutingTables::bits_per_entry() const {

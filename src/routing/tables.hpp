@@ -11,6 +11,7 @@
 // fewer bits per entry; total memory = Σ_v (n−1)·⌈log₂ deg(v)⌉ bits.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -46,6 +47,58 @@ class RoutingTables {
   // next_[dest * n + v] = neighbor of v toward dest.
   std::vector<Vertex> next_;
   std::uint64_t total_bits_ = 0;
+};
+
+namespace detail {
+/// Fills row[v] with v's next hop toward `dest` for every vertex of g
+/// (kInvalidVertex for dest itself and for vertices that cannot reach it),
+/// with seeded random tie-breaking among equal-progress neighbors. `row`
+/// must have g.num_vertices() entries. Shared by the eager all-destination
+/// build and the lazy per-destination fill.
+void fill_next_hop_row(const Graph& g, Vertex dest, std::uint64_t seed,
+                       Vertex* row);
+}  // namespace detail
+
+/// Lazily-filled next-hop tables: rows materialize one destination at a
+/// time, on first use, so a serving process pays one BFS per *queried*
+/// destination instead of n BFS runs up front. Memory grows with the set
+/// of filled rows only.
+///
+/// The graph is borrowed and must outlive the tables. Row fill produces
+/// exactly the same next hops as RoutingTables::build with the same seed.
+/// Not internally synchronized: concurrent use must be serialized by the
+/// caller (the query engine funnels all fills through its dispatch path);
+/// fill_rows() is the one exception — it parallelizes internally over
+/// *distinct* unfilled destinations.
+class LazyRoutingTables {
+ public:
+  explicit LazyRoutingTables(const Graph& g, std::uint64_t seed = 0);
+
+  /// The next hop from `from` toward `destination`, filling the
+  /// destination's row if needed; kInvalidVertex if unreachable or
+  /// already there.
+  Vertex next_hop(Vertex from, Vertex destination);
+
+  /// Extracts the full path from → destination; empty if unreachable.
+  Path route(Vertex from, Vertex destination);
+
+  /// Materializes the rows for every destination in `dests` that is not
+  /// filled yet (duplicates allowed), using the shared thread pool.
+  void fill_rows(std::span<const Vertex> dests);
+
+  bool has_row(Vertex destination) const {
+    return destination < rows_.size() && !rows_[destination].empty();
+  }
+  std::size_t rows_filled() const { return filled_; }
+  std::size_t num_vertices() const { return rows_.size(); }
+
+ private:
+  const std::vector<Vertex>& row(Vertex destination);
+
+  const Graph* g_;
+  std::uint64_t seed_;
+  std::size_t filled_ = 0;
+  std::vector<std::vector<Vertex>> rows_;  // [dest] → per-vertex next hop
 };
 
 }  // namespace dcs

@@ -1,0 +1,14 @@
+#include "serve/admission.hpp"
+
+namespace dcs::serve {
+
+const char* to_string(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kServed: return "served";
+    case QueryOutcome::kShedAdmission: return "shed-admission";
+    case QueryOutcome::kShedDeadline: return "shed-deadline";
+  }
+  return "?";
+}
+
+}  // namespace dcs::serve

@@ -1,0 +1,67 @@
+#pragma once
+
+// Admission control for the query-serving engine, reusing the overload
+// vocabulary established by routing/packet_sim: a bounded queue refuses
+// work at the edge (kShedAdmission) and a deadline sheds work that waited
+// too long to still be useful (kShedDeadline), so an overloaded engine
+// degrades predictably — bounded queue, bounded staleness — instead of
+// collapsing under unbounded backlog. As in the simulator, shedding is
+// conservative by accounting: served + shed always equals submitted.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcs::serve {
+
+/// Terminal state of one query. Mirrors packet_sim's PacketOutcome naming
+/// so dashboards read the same across the serving and simulation layers.
+enum class QueryOutcome : std::uint8_t {
+  kServed,         ///< answered (the answer may still be "unreachable")
+  kShedAdmission,  ///< refused at submit: pending queue full
+  kShedDeadline,   ///< dropped at dispatch: deadline passed while queued
+};
+
+const char* to_string(QueryOutcome outcome);
+
+struct AdmissionOptions {
+  /// Pending-queue bound; 0 = unbounded. A submit() past the bound is
+  /// refused immediately with kShedAdmission.
+  std::size_t queue_capacity = 4096;
+  /// Default per-query latency budget in microseconds; 0 = none. A query
+  /// still queued when its budget elapses is shed with kShedDeadline at
+  /// the next dispatch instead of consuming a BFS it can no longer use.
+  std::uint64_t default_deadline_us = 0;
+};
+
+/// Pure policy object: decides admission and deadline expiry from counts
+/// and clock readings the engine supplies. Keeping it stateless makes the
+/// shed paths trivially unit-testable.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  bool admit(std::size_t pending) const {
+    return options_.queue_capacity == 0 || pending < options_.queue_capacity;
+  }
+
+  /// Absolute deadline for a query submitted at `now_us` with per-query
+  /// budget `deadline_us` (0 = use the default; both 0 = no deadline).
+  std::uint64_t deadline_for(std::uint64_t now_us,
+                             std::uint64_t deadline_us) const {
+    const std::uint64_t budget =
+        deadline_us != 0 ? deadline_us : options_.default_deadline_us;
+    return budget == 0 ? 0 : now_us + budget;
+  }
+
+  static bool expired(std::uint64_t now_us, std::uint64_t deadline_us) {
+    return deadline_us != 0 && now_us > deadline_us;
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace dcs::serve

@@ -1,0 +1,84 @@
+#pragma once
+
+// Bounded LRU map for the query-serving engine.
+//
+// The engine caches materialized distance rows (one std::vector<Dist> per
+// BFS source) so repeat sources — the common case under skewed query
+// traffic — are answered without touching the graph at all. The cache is
+// the classic intrusive-list-over-hash-map design: find() promotes to MRU
+// in O(1), insert() evicts the LRU entry once the capacity is reached.
+//
+// Not thread-safe: the engine serializes all access through its dispatch
+// path and mirrors the hit/miss/eviction tallies into atomics for
+// concurrent stats readers.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dcs::serve {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    DCS_REQUIRE(capacity > 0, "LruCache capacity must be positive");
+  }
+
+  /// Pointer to the cached value (promoted to most-recently-used), or
+  /// nullptr on a miss. The pointer stays valid until the entry is evicted.
+  Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or overwrites) key → value as the most-recently-used entry,
+  /// evicting the least-recently-used one if the cache is full.
+  Value& insert(const Key& key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return it->second->second;
+    }
+    if (entries_.size() >= capacity_) {
+      ++evictions_;
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_.emplace(key, entries_.begin());
+    return entries_.front().second;
+  }
+
+  bool contains(const Key& key) const { return index_.count(key) > 0; }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dcs::serve

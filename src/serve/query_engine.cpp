@@ -1,0 +1,367 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace dcs::serve {
+
+namespace {
+
+/// Cached references into the process-wide registry (references stay valid
+/// for the process lifetime, so the hot path never re-hashes a name).
+struct ServeMetrics {
+  obs::Counter& queries =
+      obs::MetricsRegistry::instance().counter("serve.queries");
+  obs::Counter& distance_queries =
+      obs::MetricsRegistry::instance().counter("serve.distance_queries");
+  obs::Counter& route_queries =
+      obs::MetricsRegistry::instance().counter("serve.route_queries");
+  obs::Counter& batches =
+      obs::MetricsRegistry::instance().counter("serve.batches");
+  obs::Counter& coalesced_sources =
+      obs::MetricsRegistry::instance().counter("serve.coalesced_sources");
+  obs::Counter& cache_hits =
+      obs::MetricsRegistry::instance().counter("serve.cache.hits");
+  obs::Counter& cache_misses =
+      obs::MetricsRegistry::instance().counter("serve.cache.misses");
+  obs::Counter& cache_evictions =
+      obs::MetricsRegistry::instance().counter("serve.cache.evictions");
+  obs::Counter& route_rows_filled =
+      obs::MetricsRegistry::instance().counter("serve.route_rows_filled");
+  obs::Counter& shed_admission =
+      obs::MetricsRegistry::instance().counter("serve.shed.admission");
+  obs::Counter& shed_deadline =
+      obs::MetricsRegistry::instance().counter("serve.shed.deadline");
+  obs::Counter& unreachable =
+      obs::MetricsRegistry::instance().counter("serve.unreachable");
+  obs::HistogramMetric& batch_queries =
+      obs::MetricsRegistry::instance().histogram("serve.batch.queries");
+  obs::HistogramMetric& latency_us =
+      obs::MetricsRegistry::instance().histogram("serve.latency.us");
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
+    : h_(&h),
+      options_(options),
+      admission_(options.admission),
+      rows_(std::max<std::size_t>(1, options.cache_rows)),
+      tables_(h, options.seed) {}
+
+QueryEngine::~QueryEngine() { stop(); }
+
+QueryResult QueryEngine::serve_one(const Query& query) {
+  return serve_batch({&query, 1}).front();
+}
+
+std::vector<QueryResult> QueryEngine::serve_batch(
+    std::span<const Query> queries) {
+  std::size_t distance = 0;
+  for (const Query& q : queries) {
+    if (q.kind == QueryKind::kDistance) ++distance;
+  }
+  n_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  n_distance_.fetch_add(distance, std::memory_order_relaxed);
+  n_route_.fetch_add(queries.size() - distance, std::memory_order_relaxed);
+  metrics().queries.inc(queries.size());
+  metrics().distance_queries.inc(distance);
+  metrics().route_queries.inc(queries.size() - distance);
+  return execute(queries);
+}
+
+std::vector<QueryResult> QueryEngine::execute(
+    std::span<const Query> queries) {
+  std::lock_guard lock(serve_mutex_);
+  DCS_TRACE_SPAN("serve_batch");
+  Timer batch_timer;
+  ServeMetrics& m = metrics();
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  m.batches.inc();
+  m.batch_queries.record(static_cast<double>(queries.size()));
+
+  const std::size_t n = h_->num_vertices();
+  std::vector<QueryResult> results(queries.size());
+  std::uint64_t unreachable = 0;
+  const auto answer_distance = [&](QueryResult& r, Dist d) {
+    r.distance = d;
+    if (d == kUnreachable) ++unreachable;
+  };
+
+  // Phase 1: coalesce. Distance queries are keyed by their BFS source;
+  // cached rows answer immediately, misses group per distinct source.
+  // Route queries are keyed by destination (a next-hop row is per-dest).
+  std::unordered_map<Vertex, std::vector<std::size_t>> miss_by_source;
+  std::vector<Vertex> missing_sources;
+  std::vector<std::size_t> route_indices;
+  std::vector<Vertex> route_dests;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    DCS_REQUIRE(q.u < n && q.v < n, "query vertex out of range");
+    if (q.kind == QueryKind::kDistance) {
+      if (const std::vector<Dist>* row = rows_.find(q.u)) {
+        answer_distance(results[i], (*row)[q.v]);
+      } else {
+        const auto [it, fresh] = miss_by_source.try_emplace(q.u);
+        if (fresh) missing_sources.push_back(q.u);
+        it->second.push_back(i);
+      }
+    } else {
+      route_indices.push_back(i);
+      route_dests.push_back(q.v);
+    }
+  }
+
+  // Phase 2: one 64-wide MS-BFS sweep per chunk of distinct missing
+  // sources — a whole word of concurrent queries amortizes each pass over
+  // the adjacency of H. Chunks run on the shared pool; materialized rows
+  // land in locals first so eviction order cannot snatch a row before its
+  // queries are answered.
+  if (!missing_sources.empty()) {
+    n_sources_.fetch_add(missing_sources.size(), std::memory_order_relaxed);
+    m.coalesced_sources.inc(missing_sources.size());
+    const std::size_t num_chunks =
+        (missing_sources.size() + kMsBfsBatch - 1) / kMsBfsBatch;
+    std::vector<std::vector<Dist>> fresh_rows(missing_sources.size());
+    parallel_chunks(
+        0, num_chunks, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          auto& scratch = traversal_scratch();
+          for (std::size_t c = lo; c < hi; ++c) {
+            const std::size_t first = c * kMsBfsBatch;
+            const std::size_t count =
+                std::min(kMsBfsBatch, missing_sources.size() - first);
+            const std::span<const Vertex> sweep(
+                missing_sources.data() + first, count);
+            const MsBfsView view =
+                multi_source_bfs(*h_, sweep, kUnreachable, &scratch);
+            for (std::size_t i = 0; i < count; ++i) {
+              std::vector<Dist>& row = fresh_rows[first + i];
+              row.resize(n);
+              for (Vertex v = 0; v < n; ++v) row[v] = view.at(i, v);
+            }
+          }
+        });
+    for (std::size_t s = 0; s < missing_sources.size(); ++s) {
+      const Vertex u = missing_sources[s];
+      for (const std::size_t qi : miss_by_source[u]) {
+        answer_distance(results[qi], fresh_rows[s][queries[qi].v]);
+      }
+      rows_.insert(u, std::move(fresh_rows[s]));
+    }
+  }
+
+  // Phase 3: routes. Lazily fill the next-hop rows for this batch's
+  // distinct destinations (parallel, disjoint rows), then walk each path.
+  if (!route_indices.empty()) {
+    const std::size_t before = tables_.rows_filled();
+    tables_.fill_rows(route_dests);
+    const std::size_t filled = tables_.rows_filled() - before;
+    n_rows_filled_.fetch_add(filled, std::memory_order_relaxed);
+    m.route_rows_filled.inc(filled);
+    for (const std::size_t qi : route_indices) {
+      const Query& q = queries[qi];
+      QueryResult& r = results[qi];
+      r.path = tables_.route(q.u, q.v);
+      if (r.path.empty()) {
+        ++unreachable;
+        r.distance = kUnreachable;
+      } else {
+        r.distance = static_cast<Dist>(path_length(r.path));
+      }
+    }
+  }
+
+  n_unreachable_.fetch_add(unreachable, std::memory_order_relaxed);
+  m.unreachable.inc(unreachable);
+  n_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+
+  // Mirror the cache tallies (rows_ is only touched under serve_mutex_;
+  // the atomics make stats() safe from any thread).
+  m.cache_hits.inc(rows_.hits() - n_hits_.load(std::memory_order_relaxed));
+  m.cache_misses.inc(rows_.misses() -
+                     n_misses_.load(std::memory_order_relaxed));
+  m.cache_evictions.inc(rows_.evictions() -
+                        n_evictions_.load(std::memory_order_relaxed));
+  n_hits_.store(rows_.hits(), std::memory_order_relaxed);
+  n_misses_.store(rows_.misses(), std::memory_order_relaxed);
+  n_evictions_.store(rows_.evictions(), std::memory_order_relaxed);
+
+  const double elapsed_us = batch_timer.seconds() * 1e6;
+  for (QueryResult& r : results) r.latency_us = elapsed_us;
+  return results;
+}
+
+void QueryEngine::start() {
+  std::lock_guard lock(queue_mutex_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void QueryEngine::stop() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+  std::lock_guard lock(queue_mutex_);
+  running_ = false;
+  stopping_ = false;
+}
+
+std::future<QueryResult> QueryEngine::submit(const Query& query) {
+  DCS_REQUIRE(query.u < h_->num_vertices() && query.v < h_->num_vertices(),
+              "query vertex out of range");
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  const std::uint64_t now = now_us();
+  bool admitted = false;
+  {
+    std::lock_guard lock(queue_mutex_);
+    DCS_REQUIRE(running_ && !stopping_,
+                "submit() requires a started engine (call start())");
+    n_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (query.kind == QueryKind::kDistance) {
+      n_distance_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      n_route_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (admission_.admit(queue_.size())) {
+      Pending pending;
+      pending.query = query;
+      pending.enqueue_us = now;
+      pending.deadline_us = admission_.deadline_for(now, query.deadline_us);
+      pending.promise = std::move(promise);
+      queue_.push_back(std::move(pending));
+      admitted = true;
+    } else {
+      n_shed_admission_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ServeMetrics& m = metrics();
+  m.queries.inc();
+  if (query.kind == QueryKind::kDistance) {
+    m.distance_queries.inc();
+  } else {
+    m.route_queries.inc();
+  }
+  if (admitted) {
+    queue_cv_.notify_one();
+  } else {
+    m.shed_admission.inc();
+    QueryResult shed;
+    shed.outcome = QueryOutcome::kShedAdmission;
+    promise.set_value(std::move(shed));
+  }
+  return future;
+}
+
+void QueryEngine::dispatcher_loop() {
+  ServeMetrics& m = metrics();
+  std::vector<Pending> drained;
+  for (;;) {
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      const std::size_t window =
+          options_.batch_window == 0 ? queue_.size() : options_.batch_window;
+      const std::size_t take = std::min(queue_.size(), window);
+      drained.clear();
+      drained.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        drained.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    // Deadline shedding: a query whose budget elapsed while queued gets a
+    // terminal outcome now instead of consuming a sweep it cannot use.
+    const std::uint64_t drain_time = now_us();
+    std::vector<Query> live;
+    std::vector<std::size_t> live_index;
+    live.reserve(drained.size());
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+      if (AdmissionController::expired(drain_time, drained[i].deadline_us)) {
+        n_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        m.shed_deadline.inc();
+        QueryResult shed;
+        shed.outcome = QueryOutcome::kShedDeadline;
+        shed.latency_us =
+            static_cast<double>(drain_time - drained[i].enqueue_us);
+        drained[i].promise.set_value(std::move(shed));
+      } else {
+        live.push_back(drained[i].query);
+        live_index.push_back(i);
+      }
+    }
+    if (live.empty()) continue;
+
+    try {
+      std::vector<QueryResult> results = execute(live);
+      const std::uint64_t done = now_us();
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        Pending& pending = drained[live_index[j]];
+        results[j].latency_us =
+            static_cast<double>(done - pending.enqueue_us);
+        m.latency_us.record(results[j].latency_us);
+        pending.promise.set_value(std::move(results[j]));
+      }
+    } catch (...) {
+      // Defensive: queries are validated at submit(), but a failure here
+      // must reach the waiters, not kill the dispatcher.
+      for (const std::size_t idx : live_index) {
+        drained[idx].promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+ServeStats QueryEngine::stats() const {
+  ServeStats s;
+  s.queries = n_queries_.load(std::memory_order_relaxed);
+  s.distance_queries = n_distance_.load(std::memory_order_relaxed);
+  s.route_queries = n_route_.load(std::memory_order_relaxed);
+  s.served = n_served_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.coalesced_sources = n_sources_.load(std::memory_order_relaxed);
+  s.cache_hits = n_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = n_misses_.load(std::memory_order_relaxed);
+  s.cache_evictions = n_evictions_.load(std::memory_order_relaxed);
+  s.route_rows_filled = n_rows_filled_.load(std::memory_order_relaxed);
+  s.shed_admission = n_shed_admission_.load(std::memory_order_relaxed);
+  s.shed_deadline = n_shed_deadline_.load(std::memory_order_relaxed);
+  s.unreachable = n_unreachable_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t QueryEngine::cached_rows() const {
+  std::lock_guard lock(serve_mutex_);
+  return rows_.size();
+}
+
+}  // namespace dcs::serve

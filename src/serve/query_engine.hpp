@@ -1,0 +1,190 @@
+#pragma once
+
+// Concurrent query-serving engine: turns a built spanner into a long-lived
+// distance/route oracle.
+//
+// The paper's (α,β)-DC-spanner is a *serving substrate*: distances stretch
+// by at most α and congestion by at most β when live traffic is answered
+// over the sparse subgraph H instead of G. Everything upstream of this file
+// is batch-only; QueryEngine is the missing query path. Two ideas carry
+// the whole design:
+//
+//  * Coalescing.  Point queries are grouped by their BFS endpoint —
+//    Distance{u,v} by source u, Route{u,v} by destination v (a next-hop
+//    table row is per-destination) — and the distinct endpoints of a batch
+//    are advanced through one 64-wide multi_source_bfs sweep of H
+//    (graph/traversal's MS-BFS engine, previously used only by offline
+//    verification). One sweep of the adjacency serves a whole word of
+//    concurrent queries, which is where the ≥3× over one-BFS-per-query
+//    comes from.
+//
+//  * Bounded everything.  Materialized distance rows live in a bounded
+//    LRU cache (serve/lru_cache.hpp) so repeat sources are cache hits;
+//    route rows fill lazily (routing/tables LazyRoutingTables); admission
+//    control (serve/admission.hpp) bounds the pending queue and sheds
+//    deadline-expired queries with packet_sim-style terminal outcomes, so
+//    overload degrades throughput, never accounting: served + shed ==
+//    submitted, always.
+//
+// Instrumentation: a trace span per dispatched batch, serve.* counters
+// (queries, batches, coalesced sources, cache hits/misses/evictions,
+// sheds), and serve.latency.us / serve.batch.queries histograms — see
+// docs/serving.md and docs/observability.md.
+//
+// Thread model: submit()/wait is many-producer safe; one internal
+// dispatcher thread drains the queue and executes batches. serve_batch()
+// is the synchronous core (also used directly by benches and tests); it
+// serializes on an internal mutex, and its parallel phases run on the
+// shared thread pool, safely nesting if the caller is already inside a
+// parallel region (see ThreadPool::parallel_ranges).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "routing/tables.hpp"
+#include "serve/admission.hpp"
+#include "serve/lru_cache.hpp"
+
+namespace dcs::serve {
+
+enum class QueryKind : std::uint8_t {
+  kDistance,  ///< hop distance u → v on the spanner
+  kRoute,     ///< explicit next-hop path u → v on the spanner
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kDistance;
+  Vertex u = 0;
+  Vertex v = 0;
+  /// Per-query latency budget in microseconds; 0 = the engine default
+  /// (AdmissionOptions::default_deadline_us). Only the concurrent path
+  /// sheds on deadlines — a synchronous serve_batch() serves everything.
+  std::uint64_t deadline_us = 0;
+};
+
+struct QueryResult {
+  QueryOutcome outcome = QueryOutcome::kServed;
+  /// Hop distance u → v (route queries: the served path's length);
+  /// kUnreachable when no path exists or the query was shed.
+  Dist distance = kUnreachable;
+  /// Route queries only: the path, empty if unreachable or shed.
+  Path path;
+  /// Submit-to-completion latency (concurrent path) or batch-call latency
+  /// (synchronous path), microseconds.
+  double latency_us = 0.0;
+};
+
+struct ServeOptions {
+  /// Distance rows kept in the LRU cache.
+  std::size_t cache_rows = 256;
+  /// Queries drained per dispatch; larger windows coalesce better but add
+  /// queueing latency under saturation.
+  std::size_t batch_window = 4096;
+  AdmissionOptions admission;
+  /// Tie-break seed for lazily built route tables.
+  std::uint64_t seed = 1;
+};
+
+/// Monotonic tallies, readable concurrently with serving. Conservation:
+/// queries == served + shed_admission + shed_deadline once the engine is
+/// drained.
+struct ServeStats {
+  std::uint64_t queries = 0;
+  std::uint64_t distance_queries = 0;
+  std::uint64_t route_queries = 0;
+  std::uint64_t served = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_sources = 0;  ///< distinct BFS endpoints swept
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t route_rows_filled = 0;
+  std::uint64_t shed_admission = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t unreachable = 0;
+};
+
+class QueryEngine {
+ public:
+  /// Borrows `h` (typically a built spanner); it must outlive the engine.
+  explicit QueryEngine(const Graph& h, ServeOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // --- synchronous batched path ------------------------------------------
+  /// Serves every query (no admission control, no deadlines): coalesces by
+  /// BFS endpoint, sweeps cache misses through 64-wide MS-BFS batches,
+  /// fills route rows lazily, and returns results in input order. Safe to
+  /// call from any thread (internally serialized).
+  std::vector<QueryResult> serve_batch(std::span<const Query> queries);
+
+  /// One-query convenience wrapper over serve_batch.
+  QueryResult serve_one(const Query& query);
+
+  // --- concurrent path ----------------------------------------------------
+  /// Starts the dispatcher thread. Idempotent.
+  void start();
+  /// Drains the pending queue, then stops the dispatcher. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  /// Enqueues a query for batched dispatch. If the pending queue is full
+  /// the returned future is already resolved with kShedAdmission; if the
+  /// query's deadline passes before its batch is drained it resolves with
+  /// kShedDeadline. Requires start().
+  std::future<QueryResult> submit(const Query& query);
+
+  ServeStats stats() const;
+  const Graph& graph() const { return *h_; }
+  std::size_t cached_rows() const;
+
+ private:
+  struct Pending {
+    Query query;
+    std::uint64_t enqueue_us = 0;
+    std::uint64_t deadline_us = 0;  // absolute; 0 = none
+    std::promise<QueryResult> promise;
+  };
+
+  void dispatcher_loop();
+  /// The coalesced serving core (takes serve_mutex_); counts everything
+  /// except query intake, which submit()/serve_batch() tally.
+  std::vector<QueryResult> execute(std::span<const Query> queries);
+
+  const Graph* h_;
+  ServeOptions options_;
+  AdmissionController admission_;
+
+  // Serving state, guarded by serve_mutex_.
+  mutable std::mutex serve_mutex_;
+  LruCache<Vertex, std::vector<Dist>> rows_;
+  LazyRoutingTables tables_;
+
+  // Pending queue, guarded by queue_mutex_.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+
+  // Stats mirrors (relaxed atomics so stats() never takes serve_mutex_).
+  std::atomic<std::uint64_t> n_queries_{0}, n_distance_{0}, n_route_{0},
+      n_served_{0}, n_batches_{0}, n_sources_{0}, n_hits_{0}, n_misses_{0},
+      n_evictions_{0}, n_rows_filled_{0}, n_shed_admission_{0},
+      n_shed_deadline_{0}, n_unreachable_{0};
+};
+
+}  // namespace dcs::serve

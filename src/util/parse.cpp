@@ -1,0 +1,30 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+namespace dcs {
+
+std::optional<double> parse_double_strict(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64_strict(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace dcs

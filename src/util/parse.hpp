@@ -1,0 +1,28 @@
+#pragma once
+
+// Strict numeric parsing for command-line front ends.
+//
+// std::stod accepts trailing garbage ("1.5abc" parses as 1.5) and throws on
+// overflow, so flag parsing built on it either silently mis-reads values or
+// terminates with an uncaught exception instead of the documented usage
+// exit code. These helpers consume the whole string or fail, never throw,
+// and reject non-finite results, so callers can turn every malformed value
+// into a clean diagnostic.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dcs {
+
+/// Parses the entire string as a finite double. std::nullopt on empty
+/// input, leading/trailing garbage (including whitespace), values that
+/// overflow to ±inf or underflow out of range, and explicit "inf"/"nan"
+/// spellings.
+std::optional<double> parse_double_strict(std::string_view s);
+
+/// Parses the entire string as an unsigned 64-bit decimal integer;
+/// std::nullopt on garbage, sign characters, or overflow.
+std::optional<std::uint64_t> parse_u64_strict(std::string_view s);
+
+}  // namespace dcs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -24,9 +25,11 @@ double percentile(std::span<const double> values, double q) {
 
 namespace {
 
-/// Rank lookup on an already sorted sample with clamped q.
+/// Rank lookup on an already sorted sample with clamped q. An empty sample
+/// has no percentiles: NaN is the explicit "no data" signal (a silent 0.0
+/// here once exported misleading zero p99s from empty metric histograms).
 double sorted_percentile(std::span<const double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (sorted.size() == 1) return sorted.front();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);

@@ -32,10 +32,15 @@ Summary summarize(std::span<const double> values);
 double percentile(std::span<const double> values, double q);
 
 /// Exact percentile over an unsorted sample, with total edge-case
-/// handling: an empty sample yields 0.0 (never throws, unlike
-/// percentile()) and a single-element sample yields that element for
-/// every q. q outside [0, 1] is clamped. Used by the metrics layer, where
-/// an empty histogram is an expected state, not API misuse.
+/// handling (never throws, unlike percentile()). Contract:
+///  * empty sample     → quiet NaN — there is no percentile of no data,
+///    and a silent 0.0 would masquerade as a real measurement (the JSON
+///    exporter maps NaN to null, the CSV exporter to an empty cell);
+///  * one element      → that element, for every q;
+///  * q outside [0, 1] → clamped.
+/// Used by the metrics layer, where an empty histogram is an expected
+/// state, not API misuse. Callers that want a numeric placeholder must
+/// substitute it themselves after an std::isnan check.
 double exact_percentile(std::span<const double> values, double q);
 
 /// Batch variant: sorts the sample once and evaluates every rank in `qs`

@@ -32,6 +32,11 @@ class ThreadPool {
   /// Runs fn(begin, end, worker_index) on disjoint contiguous subranges of
   /// [begin, end), one per worker (including the calling thread), and blocks
   /// until all complete. worker_index is in [0, size()).
+  ///
+  /// Safe to call from inside a parallel region (including the pool's own
+  /// workers): nested calls degrade to serial execution of the whole range
+  /// instead of deadlocking on the pool's completion latch. Concurrent
+  /// top-level calls from different threads serialize on an internal mutex.
   void parallel_ranges(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
@@ -50,6 +55,7 @@ class ThreadPool {
   };
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // one batch in flight at a time
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

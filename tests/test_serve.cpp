@@ -1,0 +1,463 @@
+// Query-serving engine: batch-coalescing equivalence against the scalar
+// BFS ground truth, LRU capacity/eviction behaviour, shed-outcome
+// accounting under saturation, and a concurrency hammer (run under TSan in
+// CI alongside the obs suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "routing/tables.hpp"
+#include "serve/admission.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/query_engine.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dcs {
+namespace {
+
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::LruCache;
+using serve::Query;
+using serve::QueryEngine;
+using serve::QueryKind;
+using serve::QueryOutcome;
+using serve::QueryResult;
+using serve::ServeOptions;
+
+Graph test_graph(std::size_t n = 200, std::size_t delta = 8,
+                 std::uint64_t seed = 7) {
+  return random_regular(n, delta, seed);
+}
+
+std::vector<Query> random_queries(const Graph& g, std::size_t count,
+                                  std::uint64_t seed,
+                                  double route_fraction = 0.0,
+                                  std::size_t hot_sources = 0) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.kind = rng.uniform_double() < route_fraction ? QueryKind::kRoute
+                                                   : QueryKind::kDistance;
+    q.u = hot_sources > 0 && rng.bernoulli(0.5)
+              ? static_cast<Vertex>(rng.uniform(hot_sources))
+              : static_cast<Vertex>(rng.uniform(g.num_vertices()));
+    q.v = static_cast<Vertex>(rng.uniform(g.num_vertices()));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+// --- LRU cache -----------------------------------------------------------
+
+TEST(LruCache, EvictsLeastRecentlyUsedAtCapacity) {
+  LruCache<int, int> cache(2);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.find(1), nullptr);  // promotes 1 over 2
+  cache.insert(3, 30);                // evicts 2, the LRU entry
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(*cache.find(1), 10);
+  ASSERT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, InsertOverwritesAndPromotes) {
+  LruCache<int, int> cache(2);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  cache.insert(1, 11);  // overwrite, no eviction
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.insert(3, 30);  // 2 is now LRU
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_EQ(*cache.find(1), 11);
+}
+
+TEST(LruCache, CountsHitsAndMisses) {
+  LruCache<int, int> cache(4);
+  cache.insert(1, 1);
+  cache.find(1);
+  cache.find(1);
+  cache.find(2);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, NeverExceedsCapacityUnderChurn) {
+  LruCache<int, int> cache(8);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int key = static_cast<int>(rng.uniform(64));
+    if (cache.find(key) == nullptr) cache.insert(key, key);
+    ASSERT_LE(cache.size(), 8u);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+// --- admission policy ----------------------------------------------------
+
+TEST(Admission, BoundedQueueRefusesPastCapacity) {
+  AdmissionController ctl({.queue_capacity = 2, .default_deadline_us = 0});
+  EXPECT_TRUE(ctl.admit(0));
+  EXPECT_TRUE(ctl.admit(1));
+  EXPECT_FALSE(ctl.admit(2));
+  AdmissionController unbounded({.queue_capacity = 0});
+  EXPECT_TRUE(unbounded.admit(1u << 20));
+}
+
+TEST(Admission, DeadlineDefaultsAndExpiry) {
+  AdmissionController ctl({.queue_capacity = 0, .default_deadline_us = 100});
+  EXPECT_EQ(ctl.deadline_for(1000, 0), 1100u);   // default budget
+  EXPECT_EQ(ctl.deadline_for(1000, 50), 1050u);  // per-query override
+  AdmissionController none({.queue_capacity = 0, .default_deadline_us = 0});
+  EXPECT_EQ(none.deadline_for(1000, 0), 0u);  // no deadline at all
+  EXPECT_FALSE(AdmissionController::expired(500, 0));
+  EXPECT_FALSE(AdmissionController::expired(500, 500));
+  EXPECT_TRUE(AdmissionController::expired(501, 500));
+}
+
+TEST(Admission, OutcomeNamesAreStable) {
+  EXPECT_STREQ(to_string(QueryOutcome::kServed), "served");
+  EXPECT_STREQ(to_string(QueryOutcome::kShedAdmission), "shed-admission");
+  EXPECT_STREQ(to_string(QueryOutcome::kShedDeadline), "shed-deadline");
+}
+
+// --- batch-coalescing equivalence ----------------------------------------
+
+TEST(QueryEngine, BatchedDistancesMatchScalarBfs) {
+  const Graph h = test_graph();
+  QueryEngine engine(h);
+  const auto queries = random_queries(h, 500, 11, 0.0, 16);
+  const auto results = engine.serve_batch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto truth = bfs_distances(h, queries[i].u);
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kServed);
+    EXPECT_EQ(results[i].distance, truth[queries[i].v])
+        << "query " << i << ": " << queries[i].u << "->" << queries[i].v;
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 500u);
+  EXPECT_EQ(s.served, 500u);
+  EXPECT_GT(s.coalesced_sources, 0u);
+  // Coalescing means far fewer BFS endpoints than queries.
+  EXPECT_LT(s.coalesced_sources + s.cache_hits, 500u);
+}
+
+TEST(QueryEngine, RoutesAreValidShortestPathsOnH) {
+  const Graph h = test_graph(150, 6, 9);
+  QueryEngine engine(h);
+  const auto queries = random_queries(h, 200, 13, 1.0);
+  const auto results = engine.serve_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const QueryResult& r = results[i];
+    const Dist d = bfs_distances(h, q.u)[q.v];
+    if (d == kUnreachable) {
+      EXPECT_TRUE(r.path.empty());
+      EXPECT_EQ(r.distance, kUnreachable);
+      continue;
+    }
+    ASSERT_FALSE(r.path.empty());
+    EXPECT_EQ(r.path.front(), q.u);
+    EXPECT_EQ(r.path.back(), q.v);
+    // Next-hop tables route along shortest paths of H.
+    EXPECT_EQ(r.distance, d);
+    EXPECT_EQ(path_length(r.path), static_cast<std::size_t>(d));
+    for (std::size_t k = 0; k + 1 < r.path.size(); ++k) {
+      EXPECT_TRUE(h.has_edge(r.path[k], r.path[k + 1]));
+    }
+  }
+  EXPECT_GT(engine.stats().route_rows_filled, 0u);
+}
+
+TEST(QueryEngine, MixedBatchKeepsInputOrder) {
+  const Graph h = test_graph(100, 6, 21);
+  QueryEngine engine(h);
+  const auto queries = random_queries(h, 300, 17, 0.4, 8);
+  const auto results = engine.serve_batch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Dist d = bfs_distances(h, queries[i].u)[queries[i].v];
+    EXPECT_EQ(results[i].distance, d);
+    if (queries[i].kind == QueryKind::kRoute && d != kUnreachable) {
+      EXPECT_EQ(results[i].path.front(), queries[i].u);
+      EXPECT_EQ(results[i].path.back(), queries[i].v);
+    }
+  }
+}
+
+TEST(QueryEngine, ServesSelfAndEmptyBatches) {
+  const Graph h = test_graph(64, 4, 3);
+  QueryEngine engine(h);
+  EXPECT_TRUE(engine.serve_batch({}).empty());
+  const QueryResult self =
+      engine.serve_one({QueryKind::kDistance, 5, 5, 0});
+  EXPECT_EQ(self.distance, 0u);
+  const QueryResult self_route =
+      engine.serve_one({QueryKind::kRoute, 5, 5, 0});
+  EXPECT_EQ(self_route.distance, 0u);
+  ASSERT_EQ(self_route.path.size(), 1u);
+  EXPECT_EQ(self_route.path.front(), 5u);
+}
+
+TEST(QueryEngine, DisconnectedPairsReportUnreachable) {
+  // Two components: a triangle and an isolated edge.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  const Graph h = b.build();
+  QueryEngine engine(h);
+  const std::vector<Query> queries{{QueryKind::kDistance, 0, 3, 0},
+                                   {QueryKind::kRoute, 4, 1, 0}};
+  const auto results = engine.serve_batch(queries);
+  EXPECT_EQ(results[0].distance, kUnreachable);
+  EXPECT_EQ(results[1].distance, kUnreachable);
+  EXPECT_TRUE(results[1].path.empty());
+  EXPECT_EQ(engine.stats().unreachable, 2u);
+}
+
+// --- cache behaviour inside the engine -----------------------------------
+
+TEST(QueryEngine, RepeatSourcesHitTheRowCache) {
+  const Graph h = test_graph();
+  QueryEngine engine(h);
+  std::vector<Query> queries;
+  for (int round = 0; round < 3; ++round) {
+    for (Vertex u = 0; u < 8; ++u) {
+      queries.push_back({QueryKind::kDistance, u, 50, 0});
+    }
+  }
+  // First batch: 8 distinct sources, one MS-BFS sweep; repeats within the
+  // batch count as misses (the row materializes once for all of them).
+  const auto first = engine.serve_batch(queries);
+  const auto s1 = engine.stats();
+  EXPECT_EQ(s1.coalesced_sources, 8u);
+  // Second identical batch: pure cache hits, no new sweeps.
+  const auto second = engine.serve_batch(queries);
+  const auto s2 = engine.stats();
+  EXPECT_EQ(s2.coalesced_sources, 8u);
+  EXPECT_EQ(s2.cache_hits, s1.cache_hits + queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(first[i].distance, second[i].distance);
+  }
+}
+
+TEST(QueryEngine, TinyCacheEvictsButStaysCorrect) {
+  const Graph h = test_graph(120, 6, 5);
+  ServeOptions options;
+  options.cache_rows = 4;
+  QueryEngine engine(h, options);
+  const auto queries = random_queries(h, 400, 29);
+  const auto results = engine.serve_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i].distance,
+              bfs_distances(h, queries[i].u)[queries[i].v]);
+  }
+  EXPECT_LE(engine.cached_rows(), 4u);
+  EXPECT_GT(engine.stats().cache_evictions, 0u);
+}
+
+// --- concurrent path ------------------------------------------------------
+
+TEST(QueryEngine, ConcurrentSubmissionsMatchGroundTruth) {
+  const Graph h = test_graph(128, 6, 31);
+  // Precompute all ground-truth rows once.
+  std::vector<std::vector<Dist>> truth(h.num_vertices());
+  for (Vertex u = 0; u < h.num_vertices(); ++u) {
+    truth[u] = bfs_distances(h, u);
+  }
+  QueryEngine engine(h);
+  engine.start();
+  constexpr std::size_t kThreads = 8, kPerThread = 200;
+  std::atomic<std::size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        Query q;
+        q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        QueryResult r = engine.submit(q).get();
+        if (r.outcome != QueryOutcome::kServed ||
+            r.distance != truth[q.u][q.v]) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.stop();
+  EXPECT_EQ(wrong.load(), 0u);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, kThreads * kPerThread);
+  EXPECT_EQ(s.served, kThreads * kPerThread);
+  EXPECT_EQ(s.shed_admission + s.shed_deadline, 0u);
+  // Batching happened: strictly fewer dispatches than queries is not
+  // guaranteed in the limit, but some coalescing always occurs with eight
+  // producers hammering one dispatcher.
+  EXPECT_LE(s.batches, s.queries);
+}
+
+TEST(QueryEngine, SaturationShedsAtAdmissionWithExactAccounting) {
+  const Graph h = test_graph(512, 8, 41);
+  ServeOptions options;
+  options.cache_rows = 1;  // defeat the cache: every batch pays BFS work
+  options.admission.queue_capacity = 4;
+  options.batch_window = 4;
+  QueryEngine engine(h, options);
+  engine.start();
+  constexpr std::size_t kThreads = 4, kPerThread = 300;
+  std::atomic<std::uint64_t> served{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(99 + t);
+      // Fire the whole burst before waiting: open-loop producers are what
+      // actually overflow a 4-deep queue (a closed loop with four clients
+      // can never have more than four queries pending).
+      std::vector<std::future<QueryResult>> futures;
+      futures.reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        Query q;
+        q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        futures.push_back(engine.submit(q));
+      }
+      for (auto& f : futures) {
+        if (f.get().outcome == QueryOutcome::kServed) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.stop();
+  const auto s = engine.stats();
+  // Conservation: every submitted query has exactly one terminal outcome.
+  EXPECT_EQ(s.queries, kThreads * kPerThread);
+  EXPECT_EQ(s.served + s.shed_admission + s.shed_deadline,
+            kThreads * kPerThread);
+  EXPECT_EQ(served.load(), s.served);
+  EXPECT_EQ(shed.load(), s.shed_admission + s.shed_deadline);
+  // Four producers against a 4-deep queue and a deliberately slow engine:
+  // admission control must have refused work.
+  EXPECT_GT(s.shed_admission, 0u);
+}
+
+TEST(QueryEngine, ExpiredDeadlinesAreShedNotServed) {
+  const Graph h = test_graph(1024, 8, 43);
+  ServeOptions options;
+  options.cache_rows = 1;
+  options.admission.default_deadline_us = 20;  // far below one sweep's cost
+  options.batch_window = 8;
+  QueryEngine engine(h, options);
+  engine.start();
+  std::vector<std::future<QueryResult>> futures;
+  Rng rng(55);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    Query q;
+    q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+    q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+    futures.push_back(engine.submit(q));
+  }
+  std::size_t shed_deadline = 0;
+  for (auto& f : futures) {
+    if (f.get().outcome == QueryOutcome::kShedDeadline) ++shed_deadline;
+  }
+  engine.stop();
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 2000u);
+  EXPECT_EQ(s.served + s.shed_admission + s.shed_deadline, 2000u);
+  EXPECT_EQ(s.shed_deadline, shed_deadline);
+  EXPECT_GT(s.shed_deadline, 0u);
+}
+
+TEST(QueryEngine, StopDrainsThenRestartServes) {
+  const Graph h = test_graph(64, 4, 47);
+  QueryEngine engine(h);
+  engine.start();
+  auto f = engine.submit({QueryKind::kDistance, 1, 2, 0});
+  engine.stop();
+  EXPECT_EQ(f.get().outcome, QueryOutcome::kServed);
+  engine.start();
+  auto g2 = engine.submit({QueryKind::kDistance, 2, 3, 0});
+  EXPECT_EQ(g2.get().distance, bfs_distances(h, 2)[3]);
+  engine.stop();
+}
+
+TEST(QueryEngine, ServeBatchInsideParallelRegionStaysCorrect) {
+  // The engine's batch phases run on the shared pool; driving the engine
+  // from inside parallel_for exercises the nested parallel_ranges
+  // degrade-to-serial path end to end.
+  const Graph h = test_graph(96, 6, 51);
+  QueryEngine engine(h);
+  std::atomic<std::size_t> wrong{0};
+  parallel_for(0, 4096, [&](std::size_t i) {
+    if (i % 512 != 0) return;  // 8 calls, spread across workers
+    Query q;
+    q.u = static_cast<Vertex>(i % h.num_vertices());
+    q.v = static_cast<Vertex>((i / 7) % h.num_vertices());
+    const QueryResult r = engine.serve_one(q);
+    if (r.distance != bfs_distances(h, q.u)[q.v]) {
+      wrong.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0u);
+}
+
+// --- lazy routing tables --------------------------------------------------
+
+TEST(LazyRoutingTables, MatchesEagerBuildWithSameSeed) {
+  const Graph g = test_graph(80, 6, 61);
+  const auto eager = RoutingTables::build(g, 17);
+  LazyRoutingTables lazy(g, 17);
+  EXPECT_EQ(lazy.rows_filled(), 0u);
+  for (Vertex dest = 0; dest < g.num_vertices(); dest += 7) {
+    for (Vertex from = 0; from < g.num_vertices(); ++from) {
+      ASSERT_EQ(lazy.next_hop(from, dest), eager.next_hop(from, dest))
+          << from << " -> " << dest;
+    }
+  }
+  EXPECT_EQ(lazy.rows_filled(), (g.num_vertices() + 6) / 7);
+}
+
+TEST(LazyRoutingTables, FillRowsDeduplicatesAndParallelizes) {
+  const Graph g = test_graph(64, 4, 67);
+  LazyRoutingTables lazy(g, 5);
+  const std::vector<Vertex> dests{3, 9, 3, 9, 27, 3};
+  lazy.fill_rows(dests);
+  EXPECT_EQ(lazy.rows_filled(), 3u);
+  EXPECT_TRUE(lazy.has_row(3));
+  EXPECT_TRUE(lazy.has_row(27));
+  EXPECT_FALSE(lazy.has_row(4));
+  lazy.fill_rows(dests);  // idempotent
+  EXPECT_EQ(lazy.rows_filled(), 3u);
+  const auto path = lazy.route(0, 27);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 27u);
+  EXPECT_EQ(path_length(path), static_cast<std::size_t>(
+                                   bfs_distances(g, 0)[27]));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -6,9 +6,11 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -224,6 +226,85 @@ TEST(ThreadPool, NestedParallelForRunsSeriallyInsteadOfDeadlocking) {
   }
 }
 
+TEST(ThreadPool, ParallelRangesInsideParallelForDegradesToSerial) {
+  // Regression: parallel_ranges never checked in_parallel_region(), so a
+  // direct call from inside a worker (as the query engine's batch
+  // callbacks make) posted nested jobs to the busy pool and deadlocked on
+  // its completion latch.
+  const std::size_t outer = 4096, inner = 1000;
+  std::vector<std::atomic<std::size_t>> hits(outer);
+  parallel_for(0, outer, [&](std::size_t i) {
+    std::size_t covered = 0;
+    ThreadPool::shared().parallel_ranges(
+        0, inner, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+          // Serial fallback: one chunk, worker index 0.
+          EXPECT_EQ(w, 0u);
+          covered += hi - lo;
+        });
+    hits[i].store(covered, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < outer; ++i) {
+    ASSERT_EQ(hits[i].load(), inner);
+  }
+}
+
+TEST(ThreadPool, ParallelForInsideParallelRangesDegradesToSerial) {
+  const std::size_t outer = 1000, inner = 4096;
+  std::vector<std::atomic<std::size_t>> covered(outer);
+  ThreadPool::shared().parallel_ranges(
+      0, outer, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::size_t local = 0;
+          parallel_for(0, inner, [&](std::size_t) { ++local; });
+          covered[i].store(local, std::memory_order_relaxed);
+        }
+      });
+  for (std::size_t i = 0; i < outer; ++i) {
+    ASSERT_EQ(covered[i].load(), inner);
+  }
+}
+
+TEST(ThreadPool, ParallelRangesInsideParallelRangesDegradesToSerial) {
+  std::atomic<std::size_t> total{0};
+  ThreadPool::shared().parallel_ranges(
+      0, 64, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          ThreadPool::shared().parallel_ranges(
+              0, 100, [&](std::size_t ilo, std::size_t ihi, std::size_t) {
+                total.fetch_add(ihi - ilo, std::memory_order_relaxed);
+              });
+        }
+      });
+  EXPECT_EQ(total.load(), 64u * 100u);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersSerializeSafely) {
+  // Two non-worker threads driving the shared pool at once must not
+  // corrupt the single-batch job slots.
+  constexpr std::size_t kRange = 100000;
+  std::atomic<std::size_t> a{0}, b{0};
+  std::thread t1([&] {
+    for (int r = 0; r < 5; ++r) {
+      ThreadPool::shared().parallel_ranges(
+          0, kRange, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            a.fetch_add(hi - lo, std::memory_order_relaxed);
+          });
+    }
+  });
+  std::thread t2([&] {
+    for (int r = 0; r < 5; ++r) {
+      ThreadPool::shared().parallel_ranges(
+          0, kRange, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            b.fetch_add(hi - lo, std::memory_order_relaxed);
+          });
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 5u * kRange);
+  EXPECT_EQ(b.load(), 5u * kRange);
+}
+
 TEST(ThreadPool, ExceptionsPropagateToCaller) {
   EXPECT_THROW(
       parallel_for(0, 100000,
@@ -258,7 +339,15 @@ TEST(Stats, PercentileInterpolates) {
 }
 
 TEST(Stats, ExactPercentileHandlesDegenerateInputs) {
-  EXPECT_DOUBLE_EQ(exact_percentile({}, 0.5), 0.0);  // empty → 0, no throw
+  // An empty sample has no percentiles: NaN, never a fake 0.0 (which once
+  // exported misleading zero p99s from empty metric histograms).
+  EXPECT_TRUE(std::isnan(exact_percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(exact_percentile({}, 0.0)));
+  const auto empty_batch =
+      exact_percentiles({}, std::vector<double>{0.5, 0.99});
+  ASSERT_EQ(empty_batch.size(), 2u);
+  EXPECT_TRUE(std::isnan(empty_batch[0]));
+  EXPECT_TRUE(std::isnan(empty_batch[1]));
   const std::vector<double> one{7.0};
   EXPECT_DOUBLE_EQ(exact_percentile(one, 0.0), 7.0);
   EXPECT_DOUBLE_EQ(exact_percentile(one, 0.5), 7.0);
@@ -285,6 +374,34 @@ TEST(Stats, ExactPercentilesBatchMatchesSingleCalls) {
       EXPECT_GE(batch[i], batch[i - 1]);
     }
   }
+}
+
+TEST(Parse, DoubleStrictAcceptsOnlyCompleteFiniteNumbers) {
+  EXPECT_EQ(parse_double_strict("1.5"), 1.5);
+  EXPECT_EQ(parse_double_strict("-2"), -2.0);
+  EXPECT_EQ(parse_double_strict("1e3"), 1000.0);
+  EXPECT_EQ(parse_double_strict("0"), 0.0);
+  // std::stod would accept the first three of these (trailing garbage) and
+  // throw on the overflow — both wrong for flag parsing.
+  EXPECT_FALSE(parse_double_strict("1.5abc").has_value());
+  EXPECT_FALSE(parse_double_strict(" 1.5").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5 ").has_value());
+  EXPECT_FALSE(parse_double_strict("abc").has_value());
+  EXPECT_FALSE(parse_double_strict("").has_value());
+  EXPECT_FALSE(parse_double_strict("1e999").has_value());   // overflow
+  EXPECT_FALSE(parse_double_strict("inf").has_value());
+  EXPECT_FALSE(parse_double_strict("nan").has_value());
+}
+
+TEST(Parse, U64StrictRejectsSignsGarbageAndOverflow) {
+  EXPECT_EQ(parse_u64_strict("0"), 0u);
+  EXPECT_EQ(parse_u64_strict("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_u64_strict("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64_strict("-1").has_value());
+  EXPECT_FALSE(parse_u64_strict("+1").has_value());
+  EXPECT_FALSE(parse_u64_strict("12x").has_value());
+  EXPECT_FALSE(parse_u64_strict("").has_value());
 }
 
 TEST(Stats, LinearSlopeExact) {

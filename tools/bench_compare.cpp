@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/parse.hpp"
 
 namespace fs = std::filesystem;
 
@@ -44,20 +45,45 @@ int usage() {
   return 2;
 }
 
+/// Matches "--name=value" and strictly parses the value. Returns false if
+/// `arg` is some other flag; a matching flag with a malformed value (empty,
+/// trailing garbage, overflow, inf/nan) prints a diagnostic and reports
+/// usage via `bad` — std::stod here used to let "--wall-tolerance=abc"
+/// escape as an uncaught std::invalid_argument instead of exit code 2.
 bool parse_double_flag(const std::string& arg, const std::string& name,
-                       double& out) {
+                       double& out, bool& bad) {
   const std::string prefix = name + "=";
   if (arg.rfind(prefix, 0) != 0) return false;
-  out = std::stod(arg.substr(prefix.size()));
+  const std::string value = arg.substr(prefix.size());
+  const auto parsed = dcs::parse_double_strict(value);
+  if (!parsed.has_value() || *parsed <= 0.0) {
+    std::fprintf(stderr,
+                 "error: %s needs a finite positive number, got '%s'\n",
+                 name.c_str(), value.c_str());
+    bad = true;
+    return true;
+  }
+  out = *parsed;
   return true;
 }
 
+/// Loads one artifact; parse errors are rethrown with the file path so a
+/// corrupt BENCH_*.json reads as an I/O diagnostic (exit 2), not a bare
+/// character offset.
 dcs::obs::JsonValue load_json(const fs::path& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path.string());
   std::ostringstream buf;
   buf << in.rdbuf();
-  return dcs::obs::parse_json(buf.str());
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  try {
+    return dcs::obs::parse_json(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("malformed JSON in " + path.string() + ": " +
+                             e.what());
+  }
 }
 
 /// Compares one baseline/fresh artifact pair; returns the number of
@@ -117,14 +143,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    try {
-      if (parse_double_flag(arg, "--wall-tolerance", opt.wall_tolerance) ||
-          parse_double_flag(arg, "--speedup-tolerance",
-                            opt.speedup_tolerance)) {
-        continue;
-      }
-    } catch (const std::exception&) {
-      return usage();
+    bool bad = false;
+    if (parse_double_flag(arg, "--wall-tolerance", opt.wall_tolerance, bad) ||
+        parse_double_flag(arg, "--speedup-tolerance", opt.speedup_tolerance,
+                          bad)) {
+      if (bad) return usage();
+      continue;
     }
     if (arg.rfind("--", 0) == 0) return usage();
     positional.push_back(arg);
@@ -147,7 +171,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: fresh run missing %s\n", fname.c_str());
         return 2;
       }
-      regressions += compare_artifact(entry.path(), fresh_path, opt);
+      try {
+        regressions += compare_artifact(entry.path(), fresh_path, opt);
+      } catch (const std::exception& e) {
+        // Structural problems (missing keys, wrong kinds) point at the
+        // artifact pair being compared.
+        throw std::runtime_error("while comparing " + fname + ": " +
+                                 e.what());
+      }
       ++compared;
     }
   } catch (const std::exception& e) {

@@ -67,12 +67,16 @@
 #include "resilience/health_monitor.hpp"
 #include "resilience/soak.hpp"
 #include "resilience/spanner_repair.hpp"
+#include "graph/bfs.hpp"
 #include "routing/packet_sim.hpp"
+#include "serve/query_engine.hpp"
 #include "routing/shortest_paths.hpp"
 #include "routing/tables.hpp"
 #include "routing/workloads.hpp"
 #include "spectral/expansion.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -98,6 +102,7 @@ bool g_inject_repair_bug = false;
       "  dcs_tool report <in.graph> <spanner.graph> [seed]\n"
       "  dcs_tool simulate <graph> <matching|permutation> [seed]\n"
       "  dcs_tool tables <graph> [seed]\n"
+      "  dcs_tool serve-bench <spanner.graph> [queries] [seed]\n"
       "  dcs_tool resilience <in.graph> <spanner.graph> "
       "[edge-fraction] [vertex-faults] [seed]\n"
       "  dcs_tool soak <in.graph> <spanner.graph> [waves] [seed] "
@@ -310,6 +315,75 @@ int cmd_tables(const std::vector<std::string>& args) {
   std::cout << "next-hop tables: " << tables.total_bits() << " bits total ("
             << static_cast<double>(tables.total_bits()) / 8192.0
             << " KiB), " << tables.bits_per_entry() << " bits/entry\n";
+  return 0;
+}
+
+// Smoke-tests the query-serving engine on a stored (spanner) graph: serves
+// a skewed distance/route workload through the batched path, spot-checks a
+// sample of answers against scalar BFS ground truth, and prints the
+// engine's coalescing/cache tallies. Exit 0 when every spot-check matches,
+// 1 on any mismatch, 2 on usage errors (uniform with the other commands).
+int cmd_serve_bench(const std::vector<std::string>& args) {
+  if (args.empty()) usage("serve-bench needs <spanner.graph>");
+  const Graph h = read_graph_file(args[0]);
+  if (h.num_vertices() < 2) usage("serve-bench needs at least 2 vertices");
+  const std::size_t num_queries = arg_u64(args, 1, 4096);
+  const std::uint64_t seed = arg_u64(args, 2, 1);
+
+  Rng rng(mix64(seed, 0x5e12));
+  const std::size_t hot = std::max<std::size_t>(1, h.num_vertices() / 64);
+  std::vector<serve::Query> queries;
+  queries.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    serve::Query q;
+    q.kind = rng.bernoulli(0.25) ? serve::QueryKind::kRoute
+                                 : serve::QueryKind::kDistance;
+    q.u = rng.bernoulli(0.5)
+              ? static_cast<Vertex>(rng.uniform(hot))
+              : static_cast<Vertex>(rng.uniform(h.num_vertices()));
+    q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+    queries.push_back(q);
+  }
+
+  serve::QueryEngine engine(h);
+  Timer timer;
+  const auto results = engine.serve_batch(queries);
+  const double elapsed_ms = timer.millis();
+
+  // Spot-check a deterministic sample against the scalar oracle.
+  std::size_t mismatches = 0;
+  const std::size_t stride = std::max<std::size_t>(1, num_queries / 64);
+  for (std::size_t i = 0; i < queries.size(); i += stride) {
+    const auto truth = bfs_distances(h, queries[i].u);
+    if (results[i].distance != truth[queries[i].v]) ++mismatches;
+    if (queries[i].kind == serve::QueryKind::kRoute &&
+        results[i].distance != kUnreachable &&
+        path_length(results[i].path) != results[i].distance) {
+      ++mismatches;
+    }
+  }
+
+  const auto s = engine.stats();
+  Table t({"quantity", "value"});
+  t.add("queries", s.queries);
+  t.add("distance / route", std::to_string(s.distance_queries) + " / " +
+                                std::to_string(s.route_queries));
+  t.add("elapsed ms", elapsed_ms);
+  t.add("queries/s", static_cast<double>(s.queries) / (elapsed_ms / 1e3));
+  t.add("MS-BFS sources swept", s.coalesced_sources);
+  t.add("cache hits / misses / evictions",
+        std::to_string(s.cache_hits) + " / " + std::to_string(s.cache_misses) +
+            " / " + std::to_string(s.cache_evictions));
+  t.add("route rows filled", s.route_rows_filled);
+  t.add("unreachable answers", s.unreachable);
+  t.print(std::cout);
+
+  if (mismatches != 0) {
+    std::cout << "FAIL: " << mismatches
+              << " spot-checked answers disagree with scalar BFS\n";
+    return 1;
+  }
+  std::cout << "OK: all spot-checked answers match scalar BFS\n";
   return 0;
 }
 
@@ -536,6 +610,7 @@ int main(int argc, char** argv) {
     else if (command == "report") rc = cmd_report(args);
     else if (command == "simulate") rc = cmd_simulate(args);
     else if (command == "tables") rc = cmd_tables(args);
+    else if (command == "serve-bench") rc = cmd_serve_bench(args);
     else if (command == "resilience") rc = cmd_resilience(args);
     else if (command == "soak") rc = cmd_soak(args);
     else if (command == "pipeline") rc = cmd_pipeline(args);

@@ -111,18 +111,23 @@ bool compare_batched_vs_naive(bench::PerfRecord& rec, const char* name,
   const double speedup = naive_ms / batched_ms;
   const auto stats = engine.stats();
 
+  const double lookups =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  const double hit_ratio =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
   auto& reg = obs::MetricsRegistry::instance();
   const std::string prefix = std::string("bench.serve.") + name;
   reg.gauge(prefix + "_naive_ms").set(naive_ms);
   reg.gauge(prefix + "_batched_ms").set(batched_ms);
   reg.gauge(prefix + "_batched_speedup").set(speedup);
+  reg.gauge(prefix + "_cache_hit_ratio").set(hit_ratio);
 
   std::printf(
       "%-10s %7zu queries   naive %9.2f ms   batched %8.2f ms   "
-      "speedup %6.2fx   sweeps over %" PRIu64 " sources, %" PRIu64
-      " cache hits\n",
+      "speedup %6.2fx   sweeps over %" PRIu64 " sources, 2Q hit ratio "
+      "%.2f\n",
       name, queries.size(), naive_ms, batched_ms, speedup,
-      stats.coalesced_sources, stats.cache_hits);
+      stats.coalesced_sources, hit_ratio);
 
   if (batched_sum != naive_sum) {
     std::printf("FAIL: %s batched checksum %016" PRIx64
@@ -218,6 +223,89 @@ bool overload_demo(const Graph& h, std::size_t burst) {
   return true;
 }
 
+/// Section 4: the EDF regression gate. The same open-loop flood of
+/// no-deadline queries followed by a late burst of deadline-tagged ones,
+/// served once FIFO (edf_dispatch off) and once EDF. FIFO parks the tagged
+/// burst behind the whole flood and sheds it at dispatch; EDF pulls the
+/// deadline class forward. Returns false unless FIFO sheds some tagged
+/// queries and EDF sheds strictly fewer.
+bool deadline_burst_demo(const Graph& h, std::size_t flood_windows,
+                         std::size_t tagged_count) {
+  constexpr std::size_t kWindow = 32;
+
+  // Calibrate the deadline to this machine: one cold window's sweep cost.
+  double sweep_us = 0.0;
+  {
+    ServeOptions options;
+    options.cache_rows = 1;
+    QueryEngine probe(h, options);
+    std::vector<Query> window(kWindow);
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      window[i].u = static_cast<Vertex>(i);
+      window[i].v = 0;
+    }
+    Timer t;
+    probe.serve_batch(window);
+    sweep_us = t.seconds() * 1e6;
+  }
+  // EDF serves tagged queries within ~2 sweeps; FIFO makes them wait
+  // ~flood_windows sweeps. A 4-sweep budget separates the two cleanly.
+  const auto deadline_us = static_cast<std::uint64_t>(4.0 * sweep_us) + 100;
+
+  const std::size_t flood = flood_windows * kWindow;
+  std::printf("\ndeadline burst (%zu-query flood + %zu tagged @%.1f ms):\n",
+              flood, tagged_count, static_cast<double>(deadline_us) / 1e3);
+  std::uint64_t shed[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    ServeOptions options;
+    options.cache_rows = 1;  // every window pays a real sweep
+    options.batch_window = kWindow;
+    options.admission.queue_capacity = 0;  // shed only at deadlines
+    options.edf_dispatch = mode == 1;
+    QueryEngine engine(h, options);
+    engine.start();
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(flood + tagged_count);
+    Rng rng(777);
+    for (std::size_t i = 0; i < flood; ++i) {
+      Query q;
+      q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+      q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+      futures.push_back(engine.submit(q));
+    }
+    for (std::size_t i = 0; i < tagged_count; ++i) {
+      Query q;
+      q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+      q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+      q.deadline_us = deadline_us;
+      futures.push_back(engine.submit(q));
+    }
+    for (auto& f : futures) f.get();
+    engine.stop();
+    shed[mode] = engine.stats().shed_deadline;
+    std::printf("  %-6s shed-deadline %" PRIu64 " / %zu tagged\n",
+                mode == 0 ? "fifo" : "edf", shed[mode], tagged_count);
+  }
+
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("bench.serve.deadline_burst_fifo_shed")
+      .set(static_cast<double>(shed[0]));
+  reg.gauge("bench.serve.deadline_burst_edf_shed")
+      .set(static_cast<double>(shed[1]));
+
+  if (shed[0] == 0) {
+    std::printf("FAIL: the FIFO burst shed nothing — no overload reached\n");
+    return false;
+  }
+  if (shed[1] >= shed[0]) {
+    std::printf("FAIL: EDF shed %" PRIu64 " tagged queries, FIFO %" PRIu64
+                " — deadline-aware ordering bought nothing\n",
+                shed[1], shed[0]);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +349,12 @@ int main(int argc, char** argv) {
   {
     ScopedTimer t(rec.phase("overload"));
     ok &= overload_demo(regular_h, quick ? 2000 : 8000);
+  }
+  {
+    ScopedTimer t(rec.phase("deadline_burst"));
+    // A big sparse substrate so one window's sweep is a measurable plug.
+    const Graph burst_h = random_regular(30000, 8, 44);
+    ok &= deadline_burst_demo(burst_h, quick ? 32 : 64, 100);
   }
 
   if (!ok) {

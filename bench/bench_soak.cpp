@@ -1,22 +1,30 @@
 // Extension — chaos-soak acceptance for the continuous-churn stack:
 //
 //  1. Survival: a seeded 1000-wave soak at 10% per-wave edge churn plus 2%
-//     vertex churn with flapping links. The supervisor must keep the
-//     spanner certified the whole way — the degradation ladder never
-//     reaches kLost, every traffic burst conserves packets
-//     (delivered + shed + in-flight == injected), and repair debt only
-//     grows by the wave's newly endangered edges.
+//     vertex churn with flapping links — with closed-loop query traffic
+//     flowing the whole time through the snapshot-backed live oracle. The
+//     supervisor must keep the spanner certified the whole way: the
+//     degradation ladder never reaches kLost, every traffic burst
+//     conserves packets (delivered + shed + in-flight == injected),
+//     repair debt only grows by the wave's newly endangered edges, and
+//     every served query answer certifies inside the published (α,β)
+//     envelope or is shed with a structured reason (no stalled batches:
+//     served + shed == submitted every wave).
 //
 //  2. Replayability: the archived schedule replayed through the harness
-//     reproduces the run's aggregates exactly, and a second generated run
-//     from the same seed is identical — the property the minimizer's
-//     reproduction predicate stands on.
+//     reproduces the run's aggregates exactly — including the query-plane
+//     ones — and a second generated run from the same seed is identical;
+//     the property the minimizer's reproduction predicate stands on.
 //
 //  3. Self-test: with the supervisor's deliberate repair bug enabled
 //     (every repair silently loses one reinserted edge) the harness must
 //     catch the invariant violation and ddmin the schedule to a minimal
 //     reproducer of at most 10 events that deterministically re-triggers
 //     the same invariant.
+//
+//  4. Live-oracle self-test: with the engine's deliberate stale-cache bug
+//     enabled (distance rows survive epoch adoption) the query-certified
+//     invariant must catch the stale read and minimize it the same way.
 
 #include "bench_common.hpp"
 
@@ -52,10 +60,11 @@ int main() {
   o.churn.flap_probability = 0.3;
   o.churn.flap_duration = 2;
   o.traffic_interval = 25;
+  o.qps = 16;  // the live oracle serves every wave, mid-churn
 
   std::cout << "-- 1000-wave soak, n=" << n << " Δ=" << delta
             << " |E(G)|=" << g.num_edges() << " |E(H)|=" << h.num_edges()
-            << " --\n";
+            << ", " << o.qps << " queries/wave --\n";
   const auto soak = run_soak(g, h, o);
   Table t({"waves", "events", "repairs", "rebuilds", "recerts", "max debt",
            "worst state", "bursts", "injected", "delivered", "shed"});
@@ -64,6 +73,11 @@ int main() {
         to_string(soak.worst_state), soak.sims_run, soak.packets_injected,
         soak.packets_delivered, soak.packets_shed);
   t.print(std::cout);
+  Table tq({"query batches", "submitted", "served", "shed", "epochs pub",
+            "epochs adopted"});
+  tq.add(soak.query_batches, soak.queries_submitted, soak.queries_served,
+         soak.queries_shed, soak.epochs_published, soak.epochs_adopted);
+  tq.print(std::cout);
   std::cout << soak.summary() << "\n";
 
   if (!soak.ok()) {
@@ -85,6 +99,22 @@ int main() {
     std::cout << "FAIL: soak ran no traffic\n";
     all_ok = false;
   }
+  // Zero-downtime acceptance: queries flowed every wave, nothing stalled
+  // (conservation is the query-certified invariant, re-checked here), and
+  // churn actually exercised the epoch pipeline end to end.
+  if (soak.query_batches != soak.waves_run || soak.queries_served == 0) {
+    std::cout << "FAIL: the live oracle did not serve every wave\n";
+    all_ok = false;
+  }
+  if (soak.queries_served + soak.queries_shed != soak.queries_submitted) {
+    std::cout << "FAIL: query conservation broken (stalled batches)\n";
+    all_ok = false;
+  }
+  if (soak.epochs_published < 2 || soak.epochs_adopted < 2) {
+    std::cout << "FAIL: churn published no epochs through the snapshot "
+                 "store\n";
+    all_ok = false;
+  }
 
   // Replayability: same seed => identical run; archived schedule => same
   // aggregates through the replay path.
@@ -100,6 +130,8 @@ int main() {
       replayed.rebuilds != soak.rebuilds ||
       replayed.recertifications != soak.recertifications ||
       replayed.packets_delivered != soak.packets_delivered ||
+      replayed.queries_served != soak.queries_served ||
+      replayed.queries_shed != soak.queries_shed ||
       !replayed.ok()) {
     std::cout << "FAIL: schedule replay diverged from the recorded run\n";
     all_ok = false;
@@ -147,6 +179,57 @@ int main() {
           all_ok = false;
           break;
         }
+      }
+    }
+  }
+
+  // Live-oracle self-test: a distance-row cache that survives epoch
+  // adoption must be caught by the query-certified invariant and shrink
+  // to a tiny reproducer, exactly like the repair bug above.
+  std::cout << "\n-- injected stale-cache bug: catch and minimize --\n";
+  SoakOptions stale = o;
+  stale.waves = 120;
+  stale.inject_stale_cache_bug = true;
+  const auto stale_caught = run_soak(g, h, stale);
+  std::cout << stale_caught.summary() << "\n";
+  if (stale_caught.ok()) {
+    std::cout << "FAIL: injected stale-cache bug was not caught\n";
+    all_ok = false;
+  } else if (stale_caught.violations.front().invariant !=
+             "query-certified") {
+    std::cout << "FAIL: stale cache tripped ["
+              << stale_caught.violations.front().invariant
+              << "] instead of [query-certified]\n";
+    all_ok = false;
+  } else if (!stale_caught.minimized_available) {
+    std::cout << "FAIL: stale-cache violation was not minimized\n";
+    all_ok = false;
+  } else {
+    Table tm({"invariant", "wave", "events", "minimized", "evaluations",
+              "1-minimal"});
+    tm.add(stale_caught.violations.front().invariant,
+           stale_caught.violations.front().wave,
+           stale_caught.schedule.events.size(),
+           stale_caught.minimized.events.size(),
+           stale_caught.minimizer_evaluations,
+           std::string(stale_caught.minimized_is_minimal ? "yes" : "no"));
+    tm.print(std::cout);
+    if (stale_caught.minimized.events.size() > 10) {
+      std::cout << "FAIL: minimized schedule has "
+                << stale_caught.minimized.events.size() << " events (> 10)\n";
+      all_ok = false;
+    }
+    SoakOptions rep = stale;
+    rep.waves = stale_caught.waves_run;
+    rep.minimize_on_violation = false;
+    for (int i = 0; i < 2; ++i) {
+      const auto again = replay_soak(g, h, stale_caught.minimized, rep);
+      if (again.ok() ||
+          again.violations.front().invariant != "query-certified") {
+        std::cout << "FAIL: minimized schedule did not reproduce "
+                     "[query-certified]\n";
+        all_ok = false;
+        break;
       }
     }
   }

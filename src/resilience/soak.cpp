@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <span>
 #include <sstream>
 
 #define DCS_LOG_COMPONENT "soak"
@@ -11,6 +13,8 @@
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "routing/matching.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -21,6 +25,7 @@ namespace {
 // Domain-separation salts for the per-purpose seed streams.
 constexpr std::uint64_t kChurnSalt = 0x5eedc0ffee01ULL;
 constexpr std::uint64_t kTrafficSalt = 0x5eedc0ffee02ULL;
+constexpr std::uint64_t kQuerySalt = 0x5eedc0ffee03ULL;
 
 /// A traffic burst at `wave`: a maximal matching of the surviving network
 /// routed over the live spanner. Pairs the spanner cannot currently reach
@@ -39,6 +44,104 @@ Routing burst_routing(const Graph& g_surv, const Graph& h_live,
   return routing;
 }
 
+/// Wave `w`'s closed-loop query batch: `qps` skewed distance/route
+/// queries, a pure function of (seed, wave) so replays — including the
+/// minimizer's — submit the identical traffic.
+std::vector<serve::Query> wave_queries(std::uint64_t seed, std::size_t w,
+                                       std::size_t qps, std::size_t n) {
+  Rng rng(mix64(mix64(seed, kQuerySalt), w));
+  // Half the sources come from a small hot set: skewed traffic is the
+  // realistic case the 2Q cache exists for, and repeat sources are what
+  // give a stale distance row the chance to answer (which is exactly the
+  // read the query-certified invariant must catch).
+  const std::uint64_t hot = std::min<std::uint64_t>(8, n);
+  std::vector<serve::Query> batch(qps);
+  for (serve::Query& q : batch) {
+    q.kind = rng.uniform(4) == 0 ? serve::QueryKind::kRoute
+                                 : serve::QueryKind::kDistance;
+    q.u = static_cast<Vertex>(rng.uniform(2) == 0 ? rng.uniform(hot)
+                                                  : rng.uniform(n));
+    q.v = static_cast<Vertex>(rng.uniform(n));
+  }
+  return batch;
+}
+
+/// The query-certified invariant, one answer at a time. Returns a detail
+/// string on the first violated clause:
+///  * a served answer must carry the pinned epoch, be *exact* on that
+///    snapshot's spanner (a stale cache row fails here), and sit inside
+///    the published envelope d_H(u,v) ≤ α_cert·d_G(u,v) — sound for
+///    kHeld/kDegraded certificates because every surviving G-edge is
+///    measured, so the per-edge bound extends to pairs by subdividing a
+///    shortest G-path;
+///  * a shed answer must carry a structured reason the published
+///    certificate actually justifies.
+std::optional<std::string> check_query_answer(
+    const serve::ServeSnapshot& snap, const serve::Query& q,
+    const serve::QueryResult& r) {
+  std::ostringstream os;
+  os << (q.kind == serve::QueryKind::kDistance ? "distance" : "route") << " "
+     << q.u << "->" << q.v << ": ";
+  const serve::SpannerCertificate& cert = snap.certificate;
+
+  if (r.outcome == serve::QueryOutcome::kShedDegraded) {
+    const bool justified =
+        cert.status == GuaranteeStatus::kLost || !cert.fresh ||
+        cert.ladder >= SupervisorState::kRebuilding;
+    if (justified) return std::nullopt;
+    os << "shed-degraded without cause (certificate "
+       << to_string(cert.status) << ", " << (cert.fresh ? "fresh" : "stale")
+       << ", ladder " << to_string(cert.ladder) << ")";
+    return os.str();
+  }
+  if (r.outcome != serve::QueryOutcome::kServed) {
+    os << "unexpected outcome " << serve::to_string(r.outcome)
+       << " from the synchronous path";
+    return os.str();
+  }
+
+  if (r.epoch != snap.epoch) {
+    os << "answered under epoch " << r.epoch << " but epoch " << snap.epoch
+       << " is published";
+    return os.str();
+  }
+  const Dist want = bfs_distance(snap.spanner, q.u, q.v);
+  if (r.distance != want) {
+    os << "answer " << r.distance << " != " << want << " on the epoch-"
+       << snap.epoch << " spanner (stale read?)";
+    return os.str();
+  }
+  if (q.kind == serve::QueryKind::kRoute && want != kUnreachable) {
+    if (r.path.empty() || r.path.front() != q.u || r.path.back() != q.v) {
+      os << "served path does not connect the endpoints";
+      return os.str();
+    }
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      if (!snap.spanner.has_edge(r.path[i], r.path[i + 1])) {
+        os << "served path uses edge (" << r.path[i] << "," << r.path[i + 1]
+           << ") absent from the epoch-" << snap.epoch << " spanner";
+        return os.str();
+      }
+    }
+  }
+  const Dist d_g = bfs_distance(snap.graph, q.u, q.v);
+  if (want == kUnreachable) {
+    if (d_g != kUnreachable) {
+      os << "spanner cannot reach a pair at graph distance " << d_g;
+      return os.str();
+    }
+    return std::nullopt;
+  }
+  if (static_cast<double>(want) >
+      cert.alpha * static_cast<double>(d_g) + 1e-9) {
+    os << "stretch " << want << "/" << d_g
+       << " outside the published envelope alpha=" << cert.alpha
+       << " (certificate " << to_string(cert.status) << ")";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
 struct SoakDriver {
   const Graph& g;
   const Graph& h0;
@@ -54,6 +157,27 @@ struct SoakDriver {
 
     SpannerSupervisor supervisor(g, h0, options.supervisor);
     if (options.inject_repair_bug) supervisor.inject_repair_bug();
+
+    // Live-oracle wiring: the supervisor publishes epochs into the store,
+    // the engine serves from pinned snapshots under the strict policy
+    // (shed at kRebuilding, certificate must be fresh) so every answer it
+    // does serve is certifiable against its own epoch.
+    std::optional<serve::SnapshotStore> store;
+    std::optional<serve::QueryEngine> query_engine;
+    if (options.qps > 0) {
+      serve::SpannerCertificate cert;
+      cert.alpha = options.supervisor.health.alpha;
+      cert.beta = options.supervisor.health.beta;
+      store.emplace(g, h0, cert);
+      supervisor.attach_snapshots(&*store);
+      serve::ServeOptions serve_options;
+      serve_options.shed_at = SupervisorState::kRebuilding;
+      serve_options.require_fresh_certificate = true;
+      query_engine.emplace(*store, serve_options);
+      if (options.inject_stale_cache_bug) {
+        query_engine->inject_stale_cache_bug();
+      }
+    }
 
     for (std::size_t w = 0; w < options.waves; ++w) {
       std::span<const FaultEvent> events =
@@ -125,8 +249,52 @@ struct SoakDriver {
           }
         }
       }
+
+      // Closed-loop query traffic through the live oracle, checked answer
+      // by answer against the published snapshot.
+      if (query_engine) {
+        const std::vector<serve::Query> batch =
+            wave_queries(options.seed, w, options.qps, g.num_vertices());
+        const serve::SnapshotRef snap = store->pin();
+        const auto answers = query_engine->serve_batch(batch);
+        result.queries_submitted += batch.size();
+        ++result.query_batches;
+
+        std::optional<std::string> fail;
+        for (std::size_t i = 0; i < batch.size() && !fail; ++i) {
+          fail = check_query_answer(*snap, batch[i], answers[i]);
+        }
+        if (!fail) {
+          // Conservation across every epoch boundary so far: nothing
+          // submitted may vanish without a served answer or a structured
+          // shed (the synchronous path never sheds on admission/deadline).
+          const serve::ServeStats es = query_engine->stats();
+          const std::uint64_t shed =
+              es.shed_admission + es.shed_deadline + es.shed_degraded;
+          if (es.served + shed != es.queries) {
+            std::ostringstream os;
+            os << "conservation: " << es.served << " served + " << shed
+               << " shed != " << es.queries << " submitted";
+            fail = os.str();
+          }
+        }
+        if (fail) {
+          result.violations.push_back(
+              {w, "query-certified",
+               "epoch " + std::to_string(snap->epoch) + ": " + *fail});
+          break;
+        }
+      }
     }
 
+    if (query_engine) {
+      const serve::ServeStats es = query_engine->stats();
+      result.queries_served = es.served;
+      result.queries_shed =
+          es.shed_admission + es.shed_deadline + es.shed_degraded;
+      result.epochs_published = store->published();
+      result.epochs_adopted = es.epochs_adopted;
+    }
     result.repairs = supervisor.repairs();
     result.rebuilds = supervisor.rebuilds();
     result.schedule =
@@ -153,6 +321,12 @@ std::string SoakResult::summary() const {
     os << "; traffic: " << sims_run << " bursts, " << packets_injected
        << " injected, " << packets_delivered << " delivered, "
        << packets_shed << " shed, max queue " << max_queue;
+  }
+  if (query_batches > 0) {
+    os << "; queries: " << queries_submitted << " submitted, "
+       << queries_served << " served, " << queries_shed << " shed, "
+       << epochs_published << " epochs published, " << epochs_adopted
+       << " adopted";
   }
   if (ok()) {
     os << "; all invariants held";
@@ -279,6 +453,12 @@ void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
        << ", \"delivered\": " << result.packets_delivered
        << ", \"shed\": " << result.packets_shed
        << ", \"max_queue\": " << result.max_queue << "}"
+       << ",\n  \"queries\": {\"batches\": " << result.query_batches
+       << ", \"submitted\": " << result.queries_submitted
+       << ", \"served\": " << result.queries_served
+       << ", \"shed\": " << result.queries_shed
+       << ", \"epochs_published\": " << result.epochs_published
+       << ", \"epochs_adopted\": " << result.epochs_adopted << "}"
        << ",\n  \"schedule_events\": " << result.schedule.events.size();
     os << ",\n  \"violations\": [";
     for (std::size_t i = 0; i < result.violations.size(); ++i) {

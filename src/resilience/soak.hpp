@@ -13,7 +13,12 @@
 //     (a surviving-network matching routed over the live spanner, with
 //     the overload protections of packet_sim engaged) exercises the
 //     degraded data plane;
-//  4. the invariants are checked:
+//  4. when `qps` > 0, a closed-loop batch of skewed distance/route
+//     queries is served *during* the churn through a snapshot-backed
+//     QueryEngine (the live-oracle path: the supervisor publishes
+//     epochs, the engine pins them per batch and invalidates its caches
+//     on adoption);
+//  5. the invariants are checked:
 //       * supervisor-lost        — the ladder never reaches kLost;
 //       * certificate-after-repair — a recertification with zero
 //         outstanding debt must certify α (the repair engine guarantees
@@ -21,7 +26,12 @@
 //       * packet-leak            — delivered + shed + in-flight equals
 //         injected for every traffic burst;
 //       * repair-debt-monotone   — debt only grows by the wave's newly
-//         endangered edges; it never appears from nowhere.
+//         endangered edges; it never appears from nowhere;
+//       * query-certified        — every served answer is exact on the
+//         snapshot it was pinned to AND inside the published (α,β)
+//         envelope (d_H ≤ α_cert·d_G via per-edge subdivision), every
+//         shed carries a valid structured reason, and conservation
+//         (served + shed == submitted) holds across epoch boundaries.
 //
 // On the first violation the harness stops, re-runs the recorded schedule
 // through the delta-debugging minimizer (replays are deterministic, so
@@ -68,6 +78,18 @@ struct SoakOptions {
   /// deliberately broken maintenance loop proves the invariants and the
   /// minimizer actually catch bugs.
   bool inject_repair_bug = false;
+
+  /// Closed-loop query traffic: queries served per wave (0 = none)
+  /// through a snapshot-backed QueryEngine riding the supervisor's
+  /// published epochs. The engine's policy is the strict live-oracle one:
+  /// shed at kRebuilding and require a fresh certificate, so every served
+  /// answer stands on a certificate measured against its own epoch.
+  std::size_t qps = 0;
+
+  /// Harness self-test: enable QueryEngine::inject_stale_cache_bug() so a
+  /// distance-row cache that survives epoch swaps proves the
+  /// query-certified invariant catches stale reads (requires qps > 0).
+  bool inject_stale_cache_bug = false;
 };
 
 struct SoakViolation {
@@ -95,6 +117,15 @@ struct SoakResult {
   std::size_t packets_delivered = 0;
   std::size_t packets_shed = 0;
   std::size_t max_queue = 0;
+
+  // Query-serving aggregates (qps > 0). Conservation: submitted ==
+  // served + shed, checked every wave by the query-certified invariant.
+  std::size_t queries_submitted = 0;
+  std::size_t queries_served = 0;
+  std::size_t queries_shed = 0;      ///< structured kShedDegraded sheds
+  std::size_t query_batches = 0;     ///< one per wave with qps > 0
+  std::uint64_t epochs_published = 0;
+  std::uint64_t epochs_adopted = 0;
 
   /// Every event the run consumed — replaying it reproduces the run.
   FailureSchedule schedule;

@@ -8,6 +8,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +38,7 @@ std::string SupervisorReport::summary() const {
        << certified_alpha << ")";
   }
   os << ", debt " << debt;
+  if (epoch != 0) os << ", epoch " << epoch;
   return os.str();
 }
 
@@ -96,6 +98,27 @@ void SpannerSupervisor::export_metrics(const SupervisorReport& report) {
   reg.histogram("supervisor.step_ms").record(report.seconds * 1e3);
 }
 
+void SpannerSupervisor::attach_snapshots(serve::SnapshotStore* store) {
+  snapshots_ = store;
+  if (snapshots_ == nullptr) return;
+  DCS_REQUIRE(snapshots_->num_vertices() == g_.num_vertices(),
+              "snapshot store vertex count must match the network");
+  // Publish immediately: the serving plane must never read a view older
+  // than the supervisor's current one.
+  publish_snapshot(state_.surviving(g_));
+}
+
+std::uint64_t SpannerSupervisor::publish_snapshot(const Graph& g_surv) {
+  serve::SpannerCertificate cert;
+  cert.alpha = last_check_.certified_alpha;
+  cert.beta = options_.health.beta;
+  cert.status = last_check_.distance;
+  cert.ladder = ladder_;
+  cert.fresh = !cert_dirty_;
+  last_published_state_ = ladder_;
+  return snapshots_->publish(g_surv, h_, cert);
+}
+
 SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
   DCS_TRACE_SPAN("supervisor_step");
   Timer timer;
@@ -108,6 +131,7 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
   report.events_applied = events.size();
   const Graph g_surv = state_.surviving(g_);
   h_ = state_.surviving(h_);
+  if (!events.empty()) cert_dirty_ = true;
 
   if (!events.empty()) {
     const auto candidates = repair_candidates(g_, g_surv, events);
@@ -176,6 +200,7 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
 
   // 3. Recertify: always after maintenance, at least every
   //    recheck_interval waves otherwise.
+  if (report.repaired) cert_dirty_ = true;
   const bool check_due =
       report.repaired || wave_ - last_check_wave_ >= options_.recheck_interval;
   if (check_due) {
@@ -183,6 +208,9 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
     last_check_ = monitor.check_surviving(g_surv, h_, state_);
     last_check_wave_ = wave_;
     report.checked = true;
+    // The certificate now describes exactly this wave's post-maintenance
+    // topology — the next published snapshot is `fresh`.
+    cert_dirty_ = false;
     if (last_check_.distance == GuaranteeStatus::kHeld) {
       ++held_streak_;
     } else {
@@ -214,6 +242,17 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
 
   report.state = ladder_;
   report.debt = debt_.size();
+
+  // 5. Hand the wave to the serving plane: publish a new epoch whenever
+  //    anything serving-visible changed (topology, maintenance, or ladder
+  //    position). Quiet waves publish nothing — readers keep the epoch
+  //    they have, and the epoch counter stays meaningful.
+  if (snapshots_ != nullptr &&
+      (report.events_applied > 0 || report.repaired ||
+       ladder_ != last_published_state_)) {
+    report.epoch = publish_snapshot(g_surv);
+  }
+
   report.seconds = timer.seconds();
   export_metrics(report);
   DCS_LOG(Debug) << report.summary();

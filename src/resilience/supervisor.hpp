@@ -44,6 +44,10 @@
 #include "resilience/health_monitor.hpp"
 #include "resilience/spanner_repair.hpp"
 
+namespace dcs::serve {
+class SnapshotStore;  // serve/snapshot.hpp — serving-plane epoch store
+}  // namespace dcs::serve
+
 namespace dcs {
 
 /// Degradation ladder, ordered by severity (numeric value is exported as
@@ -101,6 +105,9 @@ struct SupervisorReport {
   std::size_t new_candidates = 0;   ///< endangered edges from this wave
   std::size_t repaired_candidates = 0;
   std::size_t debt = 0;             ///< outstanding debt after this wave
+  /// Snapshot epoch published this wave (0 = nothing published: either no
+  /// store is attached or nothing serving-visible changed).
+  std::uint64_t epoch = 0;
   double seconds = 0.0;             ///< wall-clock cost of this step
 
   std::string summary() const;
@@ -113,9 +120,18 @@ class SpannerSupervisor {
   SpannerSupervisor(const Graph& g, Graph h, SupervisorOptions options = {});
 
   /// Consumes one wave of fault events: applies them, accumulates repair
-  /// debt, repairs/rebuilds within budget, recertifies, and advances the
-  /// degradation ladder.
+  /// debt, repairs/rebuilds within budget, recertifies, advances the
+  /// degradation ladder, and — when a snapshot store is attached —
+  /// publishes the post-wave `{graph, spanner, certificate}` view as a
+  /// new serving epoch if anything serving-visible changed.
   SupervisorReport step(std::span<const FaultEvent> events);
+
+  /// Attaches the serving-plane epoch store (borrowed; may be nullptr to
+  /// detach). The current state is published immediately so the serving
+  /// plane never runs ahead of the maintenance plane; thereafter step()
+  /// publishes whenever events landed, maintenance ran, or the ladder
+  /// moved. The store's vertex count must match the network's.
+  void attach_snapshots(serve::SnapshotStore* store);
 
   /// The current spanner (a subgraph of the current surviving network).
   const Graph& spanner() const { return h_; }
@@ -140,6 +156,9 @@ class SpannerSupervisor {
  private:
   void refresh_debt();  ///< drop dead / already-covered-by-H entries
   void export_metrics(const SupervisorReport& report);
+  /// Publishes {g_surv, h_, certificate-from-last_check_} to the attached
+  /// store and returns the new epoch. Requires snapshots_ != nullptr.
+  std::uint64_t publish_snapshot(const Graph& g_surv);
 
   const Graph& g_;
   Graph h_;
@@ -155,6 +174,15 @@ class SpannerSupervisor {
   std::size_t held_streak_ = 0;
   bool emergency_rebuild_ = false;
   bool repair_bug_ = false;
+
+  // Serving-plane hand-off (tentpole of the live-oracle work): where new
+  // epochs go, the last ladder state the serving plane saw, and whether
+  // the certificate still describes the published topology.
+  serve::SnapshotStore* snapshots_ = nullptr;
+  SupervisorState last_published_state_ = SupervisorState::kHealthy;
+  /// Set when faults or maintenance touch the topology, cleared by
+  /// recertification: a published certificate is `fresh` iff clear.
+  bool cert_dirty_ = false;
 
   // Debt queue in arrival order plus a membership set for deduplication.
   std::deque<Edge> debt_;

@@ -90,6 +90,17 @@ std::size_t RoutingTables::route_length(Vertex from,
 LazyRoutingTables::LazyRoutingTables(const Graph& g, std::uint64_t seed)
     : g_(&g), seed_(seed), rows_(g.num_vertices()) {}
 
+void LazyRoutingTables::reset(const Graph& g) {
+  DCS_REQUIRE(g.num_vertices() == rows_.size(),
+              "LazyRoutingTables::reset: vertex count must not change");
+  g_ = &g;
+  filled_ = 0;
+  for (std::vector<Vertex>& r : rows_) {
+    r.clear();
+    r.shrink_to_fit();
+  }
+}
+
 const std::vector<Vertex>& LazyRoutingTables::row(Vertex destination) {
   DCS_REQUIRE(destination < rows_.size(), "vertex out of range");
   std::vector<Vertex>& r = rows_[destination];

@@ -86,6 +86,12 @@ class LazyRoutingTables {
   /// filled yet (duplicates allowed), using the shared thread pool.
   void fill_rows(std::span<const Vertex> dests);
 
+  /// Rebinds the tables to a new host graph (same vertex count) and drops
+  /// every materialized row: next hops computed against the old topology
+  /// are invalid the moment the serving snapshot advances an epoch. The
+  /// new graph is borrowed like the constructor's.
+  void reset(const Graph& g);
+
   bool has_row(Vertex destination) const {
     return destination < rows_.size() && !rows_[destination].empty();
   }

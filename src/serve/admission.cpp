@@ -7,6 +7,7 @@ const char* to_string(QueryOutcome outcome) {
     case QueryOutcome::kServed: return "served";
     case QueryOutcome::kShedAdmission: return "shed-admission";
     case QueryOutcome::kShedDeadline: return "shed-deadline";
+    case QueryOutcome::kShedDegraded: return "shed-degraded";
   }
   return "?";
 }

@@ -19,6 +19,11 @@ enum class QueryOutcome : std::uint8_t {
   kServed,         ///< answered (the answer may still be "unreachable")
   kShedAdmission,  ///< refused at submit: pending queue full
   kShedDeadline,   ///< dropped at dispatch: deadline passed while queued
+  kShedDegraded,   ///< refused at execute: published certificate too weak
+                   ///< (supervisor ladder past the shed threshold, stale
+                   ///< certificate, or guarantees lost) — the engine sheds
+                   ///< with this structured reason instead of serving an
+                   ///< answer it cannot certify
 };
 
 const char* to_string(QueryOutcome outcome);

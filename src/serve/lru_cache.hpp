@@ -1,12 +1,31 @@
 #pragma once
 
-// Bounded LRU map for the query-serving engine.
+// Scan-resistant 2Q cache for the query-serving engine.
 //
 // The engine caches materialized distance rows (one std::vector<Dist> per
 // BFS source) so repeat sources — the common case under skewed query
-// traffic — are answered without touching the graph at all. The cache is
-// the classic intrusive-list-over-hash-map design: find() promotes to MRU
-// in O(1), insert() evicts the LRU entry once the capacity is reached.
+// traffic — are answered without touching the graph at all. A plain LRU
+// has a failure mode that matters here: one sweep of distinct sources (a
+// scan, e.g. an all-pairs probe or a churn wave touching every vertex)
+// evicts the entire hot set even though none of the scanned rows will be
+// asked for again. The classic 2Q design (Johnson & Shasha, VLDB'94)
+// fixes that with three structures:
+//
+//   A1in  — small FIFO holding first-time entries (¼ of capacity);
+//   A1out — ghost queue of *keys only* remembering what recently left
+//           A1in (½ of capacity, no values, negligible memory);
+//   Am    — the main LRU, which a key enters only on its *second* miss,
+//           i.e. when it is re-requested after leaving A1in.
+//
+// A scan flows through A1in and out again without ever touching Am, so
+// the hot set survives; genuinely re-used keys get promoted via the ghost
+// queue. Hits in either resident queue count as hits; only evictions that
+// drop a resident value count as evictions.
+//
+// clear() drops everything including the ghosts — the engine calls it on
+// every epoch swap, because a row materialized under a pre-repair epoch
+// must never answer a post-repair query (and a ghost key must not fast-
+// promote a row recomputed under the new epoch on spurious grounds).
 //
 // Not thread-safe: the engine serializes all access through its dispatch
 // path and mirrors the hit/miss/eviction tallies into atomics for
@@ -23,62 +42,142 @@
 namespace dcs::serve {
 
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
-class LruCache {
+class TwoQCache {
  public:
-  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
-    DCS_REQUIRE(capacity > 0, "LruCache capacity must be positive");
+  explicit TwoQCache(std::size_t capacity)
+      : capacity_(capacity),
+        in_capacity_(capacity / 4 > 0 ? capacity / 4 : 1),
+        ghost_capacity_(capacity / 2 > 0 ? capacity / 2 : 1) {
+    DCS_REQUIRE(capacity > 0, "TwoQCache capacity must be positive");
   }
 
-  /// Pointer to the cached value (promoted to most-recently-used), or
-  /// nullptr on a miss. The pointer stays valid until the entry is evicted.
+  /// Pointer to the cached value, or nullptr on a miss. An Am hit
+  /// promotes to MRU; an A1in hit does not reorder (FIFO — that is what
+  /// makes a one-pass scan harmless). A ghost hit is still a miss (the
+  /// value is gone) but flags the key so the caller's re-insert lands in
+  /// Am. The pointer stays valid until the entry is evicted or cleared.
   Value* find(const Key& key) {
-    const auto it = index_.find(key);
-    if (it == index_.end()) {
-      ++misses_;
-      return nullptr;
+    if (const auto am = am_index_.find(key); am != am_index_.end()) {
+      ++hits_;
+      am_.splice(am_.begin(), am_, am->second);
+      return &am->second->second;
     }
-    ++hits_;
-    entries_.splice(entries_.begin(), entries_, it->second);
-    return &it->second->second;
+    if (const auto in = in_index_.find(key); in != in_index_.end()) {
+      ++hits_;
+      return &in->second->second;
+    }
+    ++misses_;
+    if (const auto ghost = ghost_index_.find(key); ghost != ghost_index_.end()) {
+      ++ghost_hits_;
+    }
+    return nullptr;
   }
 
-  /// Inserts (or overwrites) key → value as the most-recently-used entry,
-  /// evicting the least-recently-used one if the cache is full.
+  /// Inserts (or overwrites) key → value. First-seen keys enter the A1in
+  /// FIFO; keys remembered by the ghost queue enter Am directly. Resident
+  /// total never exceeds capacity().
   Value& insert(const Key& key, Value value) {
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->second = std::move(value);
-      entries_.splice(entries_.begin(), entries_, it->second);
-      return it->second->second;
+    if (const auto am = am_index_.find(key); am != am_index_.end()) {
+      am->second->second = std::move(value);
+      am_.splice(am_.begin(), am_, am->second);
+      return am->second->second;
     }
-    if (entries_.size() >= capacity_) {
-      ++evictions_;
-      index_.erase(entries_.back().first);
-      entries_.pop_back();
+    if (const auto in = in_index_.find(key); in != in_index_.end()) {
+      in->second->second = std::move(value);
+      return in->second->second;
     }
-    entries_.emplace_front(key, std::move(value));
-    index_.emplace(key, entries_.begin());
-    return entries_.front().second;
+    if (const auto ghost = ghost_index_.find(key);
+        ghost != ghost_index_.end()) {
+      ghost_.erase(ghost->second);
+      ghost_index_.erase(ghost);
+      if (am_capacity() > 0) return insert_am(key, std::move(value));
+    }
+    return insert_in(key, std::move(value));
   }
 
-  bool contains(const Key& key) const { return index_.count(key) > 0; }
+  bool contains(const Key& key) const {
+    return am_index_.count(key) > 0 || in_index_.count(key) > 0;
+  }
+  /// True when the key is remembered only as a ghost (value not resident).
+  bool remembers(const Key& key) const {
+    return ghost_index_.count(key) > 0;
+  }
 
-  std::size_t size() const { return entries_.size(); }
+  /// Drops all resident entries and ghost keys. Tallies survive — they
+  /// are lifetime totals, and epoch invalidation is not an eviction.
+  void clear() {
+    am_.clear();
+    am_index_.clear();
+    in_.clear();
+    in_index_.clear();
+    ghost_.clear();
+    ghost_index_.clear();
+  }
+
+  std::size_t size() const { return am_.size() + in_.size(); }
   std::size_t capacity() const { return capacity_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Misses whose key was remembered by A1out (subset of misses()).
+  std::uint64_t ghost_hits() const { return ghost_hits_; }
 
  private:
   using Entry = std::pair<Key, Value>;
+  using EntryList = std::list<Entry>;
+  template <typename It>
+  using Index = std::unordered_map<Key, It, Hash>;
+
+  std::size_t am_capacity() const { return capacity_ - in_capacity_; }
+
+  Value& insert_am(const Key& key, Value value) {
+    if (am_.size() >= am_capacity()) {
+      ++evictions_;
+      am_index_.erase(am_.back().first);
+      am_.pop_back();
+    }
+    am_.emplace_front(key, std::move(value));
+    am_index_.emplace(key, am_.begin());
+    return am_.front().second;
+  }
+
+  Value& insert_in(const Key& key, Value value) {
+    if (in_.size() >= in_capacity_) {
+      // Demote the FIFO tail: its value is evicted, its key becomes a
+      // ghost so a re-request promotes straight to Am.
+      ++evictions_;
+      remember(in_.back().first);
+      in_index_.erase(in_.back().first);
+      in_.pop_back();
+    }
+    in_.emplace_front(key, std::move(value));
+    in_index_.emplace(key, in_.begin());
+    return in_.front().second;
+  }
+
+  void remember(const Key& key) {
+    if (ghost_.size() >= ghost_capacity_) {
+      ghost_index_.erase(ghost_.back());
+      ghost_.pop_back();
+    }
+    ghost_.push_front(key);
+    ghost_index_.emplace(key, ghost_.begin());
+  }
 
   std::size_t capacity_;
-  std::list<Entry> entries_;  // front = most recently used
-  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::size_t in_capacity_;
+  std::size_t ghost_capacity_;
+  EntryList am_;  // main LRU, front = most recently used
+  EntryList in_;  // A1in FIFO, front = newest
+  std::list<Key> ghost_;  // A1out, keys only, front = newest
+  Index<typename EntryList::iterator> am_index_;
+  Index<typename EntryList::iterator> in_index_;
+  Index<typename std::list<Key>::iterator> ghost_index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t ghost_hits_ = 0;
 };
 
 }  // namespace dcs::serve

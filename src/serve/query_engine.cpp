@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -35,14 +36,22 @@ struct ServeMetrics {
       obs::MetricsRegistry::instance().counter("serve.cache.misses");
   obs::Counter& cache_evictions =
       obs::MetricsRegistry::instance().counter("serve.cache.evictions");
+  obs::Gauge& cache_hit_ratio =
+      obs::MetricsRegistry::instance().gauge("serve.cache.hit_ratio");
   obs::Counter& route_rows_filled =
       obs::MetricsRegistry::instance().counter("serve.route_rows_filled");
   obs::Counter& shed_admission =
       obs::MetricsRegistry::instance().counter("serve.shed.admission");
   obs::Counter& shed_deadline =
       obs::MetricsRegistry::instance().counter("serve.shed.deadline");
+  obs::Counter& shed_degraded =
+      obs::MetricsRegistry::instance().counter("serve.shed.degraded");
   obs::Counter& unreachable =
       obs::MetricsRegistry::instance().counter("serve.unreachable");
+  obs::Counter& epoch_invalidations =
+      obs::MetricsRegistry::instance().counter("serve.epoch.invalidations");
+  obs::Counter& epoch_rows_dropped =
+      obs::MetricsRegistry::instance().counter("serve.epoch.rows_dropped");
   obs::HistogramMetric& batch_queries =
       obs::MetricsRegistry::instance().histogram("serve.batch.queries");
   obs::HistogramMetric& latency_us =
@@ -63,12 +72,30 @@ std::uint64_t now_us() {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
-    : h_(&h),
+QueryEngine::QueryEngine(SnapshotStore& store, ServeOptions options)
+    : store_(&store),
       options_(options),
       admission_(options.admission),
+      n_(store.num_vertices()),
+      serving_(store.pin()),
       rows_(std::max<std::size_t>(1, options.cache_rows)),
-      tables_(h, options.seed) {}
+      tables_(serving_->spanner, options.seed) {
+  serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
+  n_epochs_adopted_.store(1, std::memory_order_relaxed);
+}
+
+QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
+    : owned_store_(std::make_unique<SnapshotStore>(h, h)),
+      store_(owned_store_.get()),
+      options_(options),
+      admission_(options.admission),
+      n_(h.num_vertices()),
+      serving_(store_->pin()),
+      rows_(std::max<std::size_t>(1, options.cache_rows)),
+      tables_(serving_->spanner, options.seed) {
+  serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
+  n_epochs_adopted_.store(1, std::memory_order_relaxed);
+}
 
 QueryEngine::~QueryEngine() { stop(); }
 
@@ -91,6 +118,31 @@ std::vector<QueryResult> QueryEngine::serve_batch(
   return execute(queries);
 }
 
+void QueryEngine::adopt_current_snapshot() {
+  SnapshotRef latest = store_->pin();
+  if (latest->epoch == serving_->epoch) return;
+  // The caches were materialized against the previous epoch's topology;
+  // none of their contents may answer queries on this one. (The injected
+  // stale-cache bug skips exactly this drop — the soak harness's
+  // query-certified invariant exists to catch it.)
+  const std::size_t dropped = rows_.size();
+  if (!stale_cache_bug_.load(std::memory_order_relaxed)) rows_.clear();
+  tables_.reset(latest->spanner);
+  serving_ = std::move(latest);
+  serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
+  n_epochs_adopted_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics& m = metrics();
+  m.epoch_invalidations.inc();
+  m.epoch_rows_dropped.inc(dropped);
+}
+
+bool QueryEngine::should_shed_degraded() const {
+  const SpannerCertificate& cert = serving_->certificate;
+  if (cert.status == GuaranteeStatus::kLost) return true;
+  if (options_.require_fresh_certificate && !cert.fresh) return true;
+  return static_cast<int>(cert.ladder) >= static_cast<int>(options_.shed_at);
+}
+
 std::vector<QueryResult> QueryEngine::execute(
     std::span<const Query> queries) {
   std::lock_guard lock(serve_mutex_);
@@ -101,8 +153,28 @@ std::vector<QueryResult> QueryEngine::execute(
   m.batches.inc();
   m.batch_queries.record(static_cast<double>(queries.size()));
 
-  const std::size_t n = h_->num_vertices();
+  adopt_current_snapshot();
+  const std::uint64_t epoch = serving_->epoch;
   std::vector<QueryResult> results(queries.size());
+
+  // Graceful degradation: the pinned certificate is below the serving
+  // policy, so the whole batch sheds with a structured reason instead of
+  // stalling behind the repair plane or serving uncertified answers.
+  if (should_shed_degraded()) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      DCS_REQUIRE(queries[i].u < n_ && queries[i].v < n_,
+                  "query vertex out of range");
+      results[i].outcome = QueryOutcome::kShedDegraded;
+      results[i].epoch = epoch;
+    }
+    n_shed_degraded_.fetch_add(queries.size(), std::memory_order_relaxed);
+    m.shed_degraded.inc(queries.size());
+    const double elapsed_us = batch_timer.seconds() * 1e6;
+    for (QueryResult& r : results) r.latency_us = elapsed_us;
+    return results;
+  }
+
+  const Graph& h = serving_->spanner;
   std::uint64_t unreachable = 0;
   const auto answer_distance = [&](QueryResult& r, Dist d) {
     r.distance = d;
@@ -118,7 +190,7 @@ std::vector<QueryResult> QueryEngine::execute(
   std::vector<Vertex> route_dests;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const Query& q = queries[i];
-    DCS_REQUIRE(q.u < n && q.v < n, "query vertex out of range");
+    DCS_REQUIRE(q.u < n_ && q.v < n_, "query vertex out of range");
     if (q.kind == QueryKind::kDistance) {
       if (const std::vector<Dist>* row = rows_.find(q.u)) {
         answer_distance(results[i], (*row)[q.v]);
@@ -154,11 +226,11 @@ std::vector<QueryResult> QueryEngine::execute(
             const std::span<const Vertex> sweep(
                 missing_sources.data() + first, count);
             const MsBfsView view =
-                multi_source_bfs(*h_, sweep, kUnreachable, &scratch);
+                multi_source_bfs(h, sweep, kUnreachable, &scratch);
             for (std::size_t i = 0; i < count; ++i) {
               std::vector<Dist>& row = fresh_rows[first + i];
-              row.resize(n);
-              for (Vertex v = 0; v < n; ++v) row[v] = view.at(i, v);
+              row.resize(n_);
+              for (Vertex v = 0; v < n_; ++v) row[v] = view.at(i, v);
             }
           }
         });
@@ -206,9 +278,17 @@ std::vector<QueryResult> QueryEngine::execute(
   n_hits_.store(rows_.hits(), std::memory_order_relaxed);
   n_misses_.store(rows_.misses(), std::memory_order_relaxed);
   n_evictions_.store(rows_.evictions(), std::memory_order_relaxed);
+  const std::uint64_t lookups = rows_.hits() + rows_.misses();
+  if (lookups > 0) {
+    m.cache_hit_ratio.set(static_cast<double>(rows_.hits()) /
+                          static_cast<double>(lookups));
+  }
 
   const double elapsed_us = batch_timer.seconds() * 1e6;
-  for (QueryResult& r : results) r.latency_us = elapsed_us;
+  for (QueryResult& r : results) {
+    r.epoch = epoch;
+    r.latency_us = elapsed_us;
+  }
   return results;
 }
 
@@ -234,8 +314,7 @@ void QueryEngine::stop() {
 }
 
 std::future<QueryResult> QueryEngine::submit(const Query& query) {
-  DCS_REQUIRE(query.u < h_->num_vertices() && query.v < h_->num_vertices(),
-              "query vertex out of range");
+  DCS_REQUIRE(query.u < n_ && query.v < n_, "query vertex out of range");
   std::promise<QueryResult> promise;
   std::future<QueryResult> future = promise.get_future();
   const std::uint64_t now = now_us();
@@ -291,6 +370,23 @@ void QueryEngine::dispatcher_loop() {
       const std::size_t window =
           options_.batch_window == 0 ? queue_.size() : options_.batch_window;
       const std::size_t take = std::min(queue_.size(), window);
+      // EDF: when the backlog exceeds one window, drain the most deadline-
+      // pressed queries first so they are not shed behind fresh arrivals
+      // that could afford to wait. No-deadline queries sort last; stable
+      // sort keeps FIFO order inside each deadline class.
+      if (options_.edf_dispatch && take < queue_.size()) {
+        std::stable_sort(
+            queue_.begin(), queue_.end(),
+            [](const Pending& a, const Pending& b) {
+              constexpr std::uint64_t kNone =
+                  std::numeric_limits<std::uint64_t>::max();
+              const std::uint64_t da = a.deadline_us == 0 ? kNone
+                                                          : a.deadline_us;
+              const std::uint64_t db = b.deadline_us == 0 ? kNone
+                                                          : b.deadline_us;
+              return da < db;
+            });
+      }
       drained.clear();
       drained.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
@@ -355,7 +451,9 @@ ServeStats QueryEngine::stats() const {
   s.route_rows_filled = n_rows_filled_.load(std::memory_order_relaxed);
   s.shed_admission = n_shed_admission_.load(std::memory_order_relaxed);
   s.shed_deadline = n_shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_degraded = n_shed_degraded_.load(std::memory_order_relaxed);
   s.unreachable = n_unreachable_.load(std::memory_order_relaxed);
+  s.epochs_adopted = n_epochs_adopted_.load(std::memory_order_relaxed);
   return s;
 }
 

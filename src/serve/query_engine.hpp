@@ -6,7 +6,7 @@
 // The paper's (α,β)-DC-spanner is a *serving substrate*: distances stretch
 // by at most α and congestion by at most β when live traffic is answered
 // over the sparse subgraph H instead of G. Everything upstream of this file
-// is batch-only; QueryEngine is the missing query path. Two ideas carry
+// is batch-only; QueryEngine is the missing query path. Three ideas carry
 // the whole design:
 //
 //  * Coalescing.  Point queries are grouped by their BFS endpoint —
@@ -19,16 +19,30 @@
 //    comes from.
 //
 //  * Bounded everything.  Materialized distance rows live in a bounded
-//    LRU cache (serve/lru_cache.hpp) so repeat sources are cache hits;
-//    route rows fill lazily (routing/tables LazyRoutingTables); admission
-//    control (serve/admission.hpp) bounds the pending queue and sheds
-//    deadline-expired queries with packet_sim-style terminal outcomes, so
-//    overload degrades throughput, never accounting: served + shed ==
-//    submitted, always.
+//    scan-resistant 2Q cache (serve/lru_cache.hpp) so repeat sources are
+//    cache hits; route rows fill lazily (routing/tables
+//    LazyRoutingTables); admission control (serve/admission.hpp) bounds
+//    the pending queue and sheds deadline-expired queries with
+//    packet_sim-style terminal outcomes, so overload degrades throughput,
+//    never accounting: served + shed == submitted, always.
+//
+//  * Epoch snapshots.  The engine never reads a mutable graph: it serves
+//    from immutable ServeSnapshots pinned per batch out of a
+//    SnapshotStore (serve/snapshot.hpp). When the maintenance plane (the
+//    SpannerSupervisor) publishes a new epoch, the first batch to pin it
+//    *adopts* it — dropping every cached distance row and lazy route row,
+//    because both were materialized against the previous topology — and
+//    in-flight batches finish on the epoch they pinned. Every result
+//    carries the epoch it was served under. When the published
+//    certificate is too weak to stand behind (ladder at/past
+//    ServeOptions::shed_at, guarantees lost, or stale when freshness is
+//    required), the batch is shed with the structured kShedDegraded
+//    outcome instead of stalling or serving uncertified answers.
 //
 // Instrumentation: a trace span per dispatched batch, serve.* counters
 // (queries, batches, coalesced sources, cache hits/misses/evictions,
-// sheds), and serve.latency.us / serve.batch.queries histograms — see
+// sheds, epoch adoptions/invalidations), the serve.cache.hit_ratio gauge,
+// and serve.latency.us / serve.batch.queries histograms — see
 // docs/serving.md and docs/observability.md.
 //
 // Thread model: submit()/wait is many-producer safe; one internal
@@ -43,6 +57,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -54,6 +69,7 @@
 #include "routing/tables.hpp"
 #include "serve/admission.hpp"
 #include "serve/lru_cache.hpp"
+#include "serve/snapshot.hpp"
 
 namespace dcs::serve {
 
@@ -79,13 +95,16 @@ struct QueryResult {
   Dist distance = kUnreachable;
   /// Route queries only: the path, empty if unreachable or shed.
   Path path;
+  /// Snapshot epoch the batch was pinned to. 0 only for queries shed
+  /// before reaching a snapshot (admission/deadline sheds).
+  std::uint64_t epoch = 0;
   /// Submit-to-completion latency (concurrent path) or batch-call latency
   /// (synchronous path), microseconds.
   double latency_us = 0.0;
 };
 
 struct ServeOptions {
-  /// Distance rows kept in the LRU cache.
+  /// Distance rows kept in the 2Q cache.
   std::size_t cache_rows = 256;
   /// Queries drained per dispatch; larger windows coalesce better but add
   /// queueing latency under saturation.
@@ -93,11 +112,24 @@ struct ServeOptions {
   AdmissionOptions admission;
   /// Tie-break seed for lazily built route tables.
   std::uint64_t seed = 1;
+  /// Drain the pending queue earliest-deadline-first, so near-deadline
+  /// queries are not shed behind fresh no-deadline arrivals when the
+  /// backlog exceeds one batch window.
+  bool edf_dispatch = true;
+  /// Ladder threshold for graceful degradation: a batch pinned to a
+  /// snapshot whose ladder state is >= this sheds with kShedDegraded.
+  /// The default sheds only at kLost (the certificate itself is gone);
+  /// harnesses that demand a certified envelope on every answer tighten
+  /// it (the chaos soak uses kRebuilding).
+  SupervisorState shed_at = SupervisorState::kLost;
+  /// Also shed when the published certificate was not re-measured against
+  /// the published topology (SpannerCertificate::fresh == false).
+  bool require_fresh_certificate = false;
 };
 
 /// Monotonic tallies, readable concurrently with serving. Conservation:
-/// queries == served + shed_admission + shed_deadline once the engine is
-/// drained.
+/// queries == served + shed_admission + shed_deadline + shed_degraded
+/// once the engine is drained.
 struct ServeStats {
   std::uint64_t queries = 0;
   std::uint64_t distance_queries = 0;
@@ -111,13 +143,23 @@ struct ServeStats {
   std::uint64_t route_rows_filled = 0;
   std::uint64_t shed_admission = 0;
   std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_degraded = 0;
   std::uint64_t unreachable = 0;
+  std::uint64_t epochs_adopted = 0;  ///< snapshot swaps observed (≥ 1)
 };
 
 class QueryEngine {
  public:
-  /// Borrows `h` (typically a built spanner); it must outlive the engine.
+  /// Serves from `store` (borrowed; must outlive the engine). Every batch
+  /// pins the store's current snapshot; epoch changes invalidate the
+  /// distance-row cache and lazy route tables.
+  explicit QueryEngine(SnapshotStore& store, ServeOptions options = {});
+
+  /// Static-substrate convenience: copies `h` into an internal single-
+  /// snapshot store (healthy certificate, epoch 1). Benches and tests
+  /// that never churn use this.
   explicit QueryEngine(const Graph& h, ServeOptions options = {});
+
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
@@ -127,7 +169,9 @@ class QueryEngine {
   /// Serves every query (no admission control, no deadlines): coalesces by
   /// BFS endpoint, sweeps cache misses through 64-wide MS-BFS batches,
   /// fills route rows lazily, and returns results in input order. Safe to
-  /// call from any thread (internally serialized).
+  /// call from any thread (internally serialized). Sheds the whole batch
+  /// with kShedDegraded when the pinned certificate is below the serving
+  /// policy (see ServeOptions::shed_at).
   std::vector<QueryResult> serve_batch(std::span<const Query> queries);
 
   /// One-query convenience wrapper over serve_batch.
@@ -147,8 +191,20 @@ class QueryEngine {
   std::future<QueryResult> submit(const Query& query);
 
   ServeStats stats() const;
-  const Graph& graph() const { return *h_; }
+  const SnapshotStore& snapshots() const { return *store_; }
+  /// Epoch of the currently adopted snapshot (a batch may adopt a newer
+  /// one the moment it executes).
+  std::uint64_t serving_epoch() const {
+    return serving_epoch_.load(std::memory_order_relaxed);
+  }
+  std::size_t num_vertices() const { return n_; }
   std::size_t cached_rows() const;
+
+  /// Fault injection for the chaos-soak harness: skip the distance-row
+  /// cache drop on epoch adoption, so rows materialized under a pre-
+  /// repair epoch keep answering post-repair queries. The soak's
+  /// query-certified invariant must catch and ddmin-minimize this.
+  void inject_stale_cache_bug() { stale_cache_bug_ = true; }
 
  private:
   struct Pending {
@@ -162,15 +218,24 @@ class QueryEngine {
   /// The coalesced serving core (takes serve_mutex_); counts everything
   /// except query intake, which submit()/serve_batch() tally.
   std::vector<QueryResult> execute(std::span<const Query> queries);
+  /// Pins the store's current snapshot and, on an epoch change, drops the
+  /// caches keyed to the previous epoch. Caller holds serve_mutex_.
+  void adopt_current_snapshot();
+  /// True when the pinned certificate is below the serving policy.
+  bool should_shed_degraded() const;
 
-  const Graph* h_;
+  std::unique_ptr<SnapshotStore> owned_store_;  ///< Graph-ctor compat only
+  SnapshotStore* store_;
   ServeOptions options_;
   AdmissionController admission_;
+  std::size_t n_;  ///< vertex count (fixed across epochs)
 
   // Serving state, guarded by serve_mutex_.
   mutable std::mutex serve_mutex_;
-  LruCache<Vertex, std::vector<Dist>> rows_;
+  SnapshotRef serving_;  ///< snapshot the caches are keyed to
+  TwoQCache<Vertex, std::vector<Dist>> rows_;
   LazyRoutingTables tables_;
+  std::atomic<bool> stale_cache_bug_{false};
 
   // Pending queue, guarded by queue_mutex_.
   std::mutex queue_mutex_;
@@ -184,7 +249,8 @@ class QueryEngine {
   std::atomic<std::uint64_t> n_queries_{0}, n_distance_{0}, n_route_{0},
       n_served_{0}, n_batches_{0}, n_sources_{0}, n_hits_{0}, n_misses_{0},
       n_evictions_{0}, n_rows_filled_{0}, n_shed_admission_{0},
-      n_shed_deadline_{0}, n_unreachable_{0};
+      n_shed_deadline_{0}, n_shed_degraded_{0}, n_unreachable_{0},
+      n_epochs_adopted_{0}, serving_epoch_{0};
 };
 
 }  // namespace dcs::serve

@@ -11,6 +11,7 @@
 #include "resilience/minimizer.hpp"
 #include "resilience/soak.hpp"
 #include "resilience/supervisor.hpp"
+#include "serve/snapshot.hpp"
 
 namespace dcs {
 namespace {
@@ -250,6 +251,77 @@ TEST(SpannerSupervisor, RejectsNonSubgraphSpanner) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------- supervisor → snapshot store
+
+TEST(SpannerSupervisor, AttachingSnapshotsPublishesTheCurrentView) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SpannerSupervisor sup(g, built.spanner.h);
+  serve::SnapshotStore store(g, built.spanner.h);  // seeds its own epoch 1
+
+  sup.attach_snapshots(&store);  // publishes immediately → epoch 2
+  EXPECT_EQ(store.current_epoch(), 2u);
+  const auto snap = store.pin();
+  EXPECT_EQ(snap->spanner, built.spanner.h);
+  EXPECT_EQ(snap->graph, g);
+  EXPECT_EQ(snap->certificate.status, GuaranteeStatus::kHeld);
+  EXPECT_EQ(snap->certificate.ladder, SupervisorState::kHealthy);
+  EXPECT_TRUE(snap->certificate.fresh);
+  EXPECT_DOUBLE_EQ(snap->certificate.alpha, 3.0);
+
+  // Quiet waves change nothing serving-visible: no new epoch.
+  const auto quiet = sup.step({});
+  EXPECT_EQ(quiet.epoch, 0u);
+  EXPECT_EQ(store.current_epoch(), 2u);
+}
+
+TEST(SpannerSupervisor, ChurnWavesPublishFreshRecertifiedEpochs) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SpannerSupervisor sup(g, built.spanner.h);
+  serve::SnapshotStore store(g, built.spanner.h);
+  sup.attach_snapshots(&store);
+
+  const Edge victim = built.spanner.h.edges().front();
+  const FaultEvent crash[] = {FaultEvent::edge_down(0, victim)};
+  const auto report = sup.step(crash);
+  EXPECT_EQ(report.epoch, 3u);  // store seed + attach + this wave
+  EXPECT_EQ(store.current_epoch(), 3u);
+
+  const auto snap = store.pin();
+  // The published view is the post-maintenance one, and the certificate
+  // was re-measured against it this same wave — so it is fresh.
+  EXPECT_EQ(snap->spanner, sup.spanner());
+  EXPECT_FALSE(snap->graph.has_edge(victim.u, victim.v));
+  EXPECT_TRUE(snap->certificate.fresh);
+  EXPECT_EQ(snap->certificate.ladder, SupervisorState::kRepairing);
+  EXPECT_EQ(snap->certificate.status, GuaranteeStatus::kHeld);
+}
+
+TEST(SpannerSupervisor, DeferredRecertificationPublishesStaleCertificates) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SupervisorOptions o;
+  o.recheck_interval = 100;   // no periodic recheck inside this test
+  o.min_repair_batch = 100;   // repair hysteresis holds every repair back
+  o.max_defer_waves = 100;
+  SpannerSupervisor sup(g, built.spanner.h, o);
+  serve::SnapshotStore store(g, built.spanner.h);
+  sup.attach_snapshots(&store);
+
+  const Edge victim = built.spanner.h.edges().front();
+  const FaultEvent crash[] = {FaultEvent::edge_down(0, victim)};
+  const auto report = sup.step(crash);
+  ASSERT_NE(report.epoch, 0u);  // events landed → the wave published
+  EXPECT_FALSE(report.checked);
+  const auto snap = store.pin();
+  // Topology moved but recertification was deferred: the published
+  // certificate no longer describes the published topology. A strict
+  // serving policy (require_fresh_certificate) sheds on exactly this.
+  EXPECT_FALSE(snap->certificate.fresh);
+  EXPECT_EQ(snap->certificate.ladder, SupervisorState::kRepairing);
+}
+
 // ------------------------------------------------------------------ Minimizer
 
 TEST(Minimizer, ShrinksToTheFailureCore) {
@@ -393,6 +465,60 @@ TEST(Soak, CatchesTheInjectedRepairBugAndMinimizes) {
     ASSERT_FALSE(again.ok());
     EXPECT_EQ(again.violations.front().invariant,
               caught.violations.front().invariant);
+  }
+}
+
+TEST(Soak, QueriesFlowDuringChurnAndStayCertified) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  auto o = small_soak_options();
+  o.qps = 8;
+  const auto a = run_soak(g, built.spanner.h, o);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_EQ(a.query_batches, a.waves_run);
+  EXPECT_EQ(a.queries_submitted, a.waves_run * o.qps);
+  // Conservation across every wave and epoch boundary.
+  EXPECT_EQ(a.queries_served + a.queries_shed, a.queries_submitted);
+  EXPECT_GT(a.queries_served, 0u);
+  // Churn landed, so the supervisor published and the engine adopted.
+  EXPECT_GT(a.epochs_published, 1u);
+  EXPECT_GT(a.epochs_adopted, 1u);
+
+  // The query plane is deterministic: same seed, same run.
+  const auto b = run_soak(g, built.spanner.h, o);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_EQ(a.queries_served, b.queries_served);
+
+  // A replay of the recorded schedule serves the same traffic.
+  SoakOptions ro = o;
+  ro.waves = a.waves_run;
+  const auto replayed = replay_soak(g, built.spanner.h, a.schedule, ro);
+  EXPECT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.queries_served, a.queries_served);
+  EXPECT_EQ(replayed.queries_shed, a.queries_shed);
+}
+
+TEST(Soak, CatchesTheInjectedStaleCacheBugAndMinimizes) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  auto o = small_soak_options();
+  o.qps = 8;
+  o.inject_stale_cache_bug = true;
+  const auto caught = run_soak(g, built.spanner.h, o);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.violations.front().invariant, "query-certified");
+  ASSERT_TRUE(caught.minimized_available);
+  EXPECT_LE(caught.minimized.events.size(), 10u);
+  EXPECT_GT(caught.minimizer_evaluations, 0u);
+
+  // The minimal schedule reproduces the stale read, deterministically.
+  SoakOptions rep = o;
+  rep.waves = caught.waves_run;
+  rep.minimize_on_violation = false;
+  for (int i = 0; i < 2; ++i) {
+    const auto again = replay_soak(g, built.spanner.h, caught.minimized, rep);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.violations.front().invariant, "query-certified");
   }
 }
 

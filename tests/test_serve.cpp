@@ -1,12 +1,16 @@
 // Query-serving engine: batch-coalescing equivalence against the scalar
-// BFS ground truth, LRU capacity/eviction behaviour, shed-outcome
-// accounting under saturation, and a concurrency hammer (run under TSan in
-// CI alongside the obs suite).
+// BFS ground truth, 2Q cache behaviour (scan resistance, ghost
+// promotion), epoch-snapshot lifecycle (publish/pin/retire, cache
+// invalidation on adoption, degraded shedding), shed-outcome accounting
+// under saturation, and concurrency hammers — including the snapshot-swap
+// hammer — run under TSan in CI alongside the obs suite.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "serve/admission.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/query_engine.hpp"
+#include "serve/snapshot.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,13 +30,17 @@ namespace {
 
 using serve::AdmissionController;
 using serve::AdmissionOptions;
-using serve::LruCache;
 using serve::Query;
 using serve::QueryEngine;
 using serve::QueryKind;
 using serve::QueryOutcome;
 using serve::QueryResult;
 using serve::ServeOptions;
+using serve::ServeSnapshot;
+using serve::SnapshotRef;
+using serve::SnapshotStore;
+using serve::SpannerCertificate;
+using serve::TwoQCache;
 
 Graph test_graph(std::size_t n = 200, std::size_t delta = 8,
                  std::uint64_t seed = 7) {
@@ -58,36 +67,70 @@ std::vector<Query> random_queries(const Graph& g, std::size_t count,
   return queries;
 }
 
-// --- LRU cache -----------------------------------------------------------
+// --- 2Q cache ------------------------------------------------------------
+// Capacity 8 splits into A1in = 2 (capacity/4), Am = 6, ghosts = 4.
 
-TEST(LruCache, EvictsLeastRecentlyUsedAtCapacity) {
-  LruCache<int, int> cache(2);
-  cache.insert(1, 10);
-  cache.insert(2, 20);
-  EXPECT_EQ(cache.size(), 2u);
-  ASSERT_NE(cache.find(1), nullptr);  // promotes 1 over 2
-  cache.insert(3, 30);                // evicts 2, the LRU entry
+TEST(TwoQCache, FirstTimersFlowThroughTheFifoAndGhost) {
+  TwoQCache<int, int> cache(8);
+  cache.insert(1, 10);  // A1in: [1]
+  cache.insert(2, 20);  // A1in: [2, 1]
+  cache.insert(3, 30);  // A1in full: 1 demoted to ghost
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.find(2), nullptr);
-  ASSERT_NE(cache.find(1), nullptr);
-  EXPECT_EQ(*cache.find(1), 10);
-  ASSERT_NE(cache.find(3), nullptr);
-  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.remembers(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
 }
 
-TEST(LruCache, InsertOverwritesAndPromotes) {
-  LruCache<int, int> cache(2);
+TEST(TwoQCache, GhostHitPromotesToMainQueue) {
+  TwoQCache<int, int> cache(8);
   cache.insert(1, 10);
   cache.insert(2, 20);
-  cache.insert(1, 11);  // overwrite, no eviction
-  EXPECT_EQ(cache.evictions(), 0u);
-  cache.insert(3, 30);  // 2 is now LRU
-  EXPECT_EQ(cache.find(2), nullptr);
+  cache.insert(3, 30);                 // 1 ghosted
+  EXPECT_EQ(cache.find(1), nullptr);   // miss, but a remembered one
+  EXPECT_EQ(cache.ghost_hits(), 1u);
+  cache.insert(1, 11);                 // second miss → straight into Am
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.remembers(1));
+  // A full A1in scan cannot evict an Am resident.
+  for (int k = 100; k < 200; ++k) cache.insert(k, k);
+  ASSERT_NE(cache.find(1), nullptr);
   EXPECT_EQ(*cache.find(1), 11);
+  EXPECT_LE(cache.size(), 8u);
 }
 
-TEST(LruCache, CountsHitsAndMisses) {
-  LruCache<int, int> cache(4);
+TEST(TwoQCache, ScanDoesNotPolluteTheMainQueue) {
+  TwoQCache<int, int> cache(8);
+  // Promote two hot keys into Am via their ghosts.
+  for (int hot : {1, 2}) cache.insert(hot, hot);
+  for (int k = 50; k < 54; ++k) cache.insert(k, k);  // push both to ghosts
+  for (int hot : {1, 2}) cache.insert(hot, hot * 10);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  // One pass over 1000 cold keys: hot set must survive untouched.
+  for (int k = 1000; k < 2000; ++k) cache.insert(k, k);
+  EXPECT_EQ(*cache.find(1), 10);
+  EXPECT_EQ(*cache.find(2), 20);
+  EXPECT_LE(cache.size(), 8u);
+}
+
+TEST(TwoQCache, MainQueueEvictsItsLruWhenFull) {
+  TwoQCache<int, int> cache(8);  // Am capacity 6
+  // Promote 7 keys into Am (each via its ghost); the first promoted key
+  // is the Am LRU and must fall out on the seventh promotion.
+  for (int key = 1; key <= 7; ++key) {
+    cache.insert(key, key);
+    cache.insert(100 + key, 0);  // push `key` through A1in...
+    cache.insert(200 + key, 0);  // ...into the ghost queue
+    cache.insert(key, key * 10);  // ghost hit → Am
+    ASSERT_TRUE(cache.contains(key));
+  }
+  EXPECT_FALSE(cache.contains(1));
+  for (int key = 2; key <= 7; ++key) EXPECT_TRUE(cache.contains(key));
+}
+
+TEST(TwoQCache, CountsHitsAndMisses) {
+  TwoQCache<int, int> cache(4);
   cache.insert(1, 1);
   cache.find(1);
   cache.find(1);
@@ -96,8 +139,28 @@ TEST(LruCache, CountsHitsAndMisses) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
-TEST(LruCache, NeverExceedsCapacityUnderChurn) {
-  LruCache<int, int> cache(8);
+TEST(TwoQCache, ClearDropsResidentsAndGhostsButKeepsTallies) {
+  TwoQCache<int, int> cache(8);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  cache.insert(3, 30);  // 1 ghosted
+  cache.find(2);
+  const auto hits = cache.hits();
+  const auto misses = cache.misses();
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_FALSE(cache.remembers(1));  // epoch invalidation kills ghosts too
+  EXPECT_EQ(cache.hits(), hits);
+  EXPECT_EQ(cache.misses(), misses);
+  // Post-clear, a re-inserted key is a first-timer again (A1in, not Am).
+  cache.insert(1, 11);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(*cache.find(1), 11);
+}
+
+TEST(TwoQCache, NeverExceedsCapacityUnderChurn) {
+  TwoQCache<int, int> cache(8);
   Rng rng(3);
   for (int i = 0; i < 1000; ++i) {
     const int key = static_cast<int>(rng.uniform(64));
@@ -105,6 +168,19 @@ TEST(LruCache, NeverExceedsCapacityUnderChurn) {
     ASSERT_LE(cache.size(), 8u);
   }
   EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.ghost_hits(), 0u);
+}
+
+TEST(TwoQCache, CapacityOneDegeneratesToASingleSlot) {
+  TwoQCache<int, int> cache(1);
+  cache.insert(1, 10);
+  EXPECT_EQ(*cache.find(1), 10);
+  cache.insert(2, 20);  // evicts 1 (whole capacity is the A1in slot)
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.contains(1));
+  cache.insert(1, 11);  // ghost hit falls back to the FIFO slot
+  EXPECT_EQ(*cache.find(1), 11);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 // --- admission policy ----------------------------------------------------
@@ -133,6 +209,7 @@ TEST(Admission, OutcomeNamesAreStable) {
   EXPECT_STREQ(to_string(QueryOutcome::kServed), "served");
   EXPECT_STREQ(to_string(QueryOutcome::kShedAdmission), "shed-admission");
   EXPECT_STREQ(to_string(QueryOutcome::kShedDeadline), "shed-deadline");
+  EXPECT_STREQ(to_string(QueryOutcome::kShedDegraded), "shed-degraded");
 }
 
 // --- batch-coalescing equivalence ----------------------------------------
@@ -271,6 +348,198 @@ TEST(QueryEngine, TinyCacheEvictsButStaysCorrect) {
   }
   EXPECT_LE(engine.cached_rows(), 4u);
   EXPECT_GT(engine.stats().cache_evictions, 0u);
+}
+
+// --- snapshot store lifecycle ---------------------------------------------
+
+TEST(SnapshotStore, PublishPinRetireLifecycle) {
+  const Graph g = test_graph(32, 4, 91);
+  SnapshotStore store(g, g);
+  EXPECT_EQ(store.current_epoch(), 1u);
+  EXPECT_EQ(store.published(), 1u);
+  EXPECT_EQ(store.live(), 1u);
+
+  SnapshotRef pin = store.pin();
+  EXPECT_EQ(pin->epoch, 1u);
+  EXPECT_EQ(store.publish(g, g, {}), 2u);
+  EXPECT_EQ(store.current_epoch(), 2u);
+  // The in-flight reader keeps epoch 1 alive and unchanged.
+  EXPECT_EQ(pin->epoch, 1u);
+  EXPECT_EQ(store.live(), 2u);
+  EXPECT_EQ(store.retired(), 0u);
+  pin.reset();  // last reader drains → epoch 1 retires
+  EXPECT_EQ(store.retired(), 1u);
+  EXPECT_EQ(store.live(), 1u);
+  EXPECT_GE(store.pins(), 1u);
+}
+
+TEST(SnapshotStore, UnpinnedSnapshotsRetireOnPublish) {
+  const Graph g = test_graph(16, 4, 93);
+  SnapshotStore store(g, g);
+  for (int i = 0; i < 3; ++i) store.publish(g, g, {});
+  EXPECT_EQ(store.published(), 4u);
+  EXPECT_EQ(store.retired(), 3u);
+  EXPECT_EQ(store.live(), 1u);
+  EXPECT_EQ(store.current_epoch(), 4u);
+}
+
+TEST(SnapshotStore, RejectsVertexCountMismatch) {
+  const Graph small = test_graph(16, 4, 95);
+  const Graph big = test_graph(32, 4, 95);
+  EXPECT_THROW(SnapshotStore(small, big), std::invalid_argument);
+  SnapshotStore store(big, big);
+  EXPECT_THROW(store.publish(small, small, {}), std::invalid_argument);
+}
+
+TEST(SnapshotStore, PinnedSnapshotOutlivesTheStore) {
+  SnapshotRef pin;
+  {
+    const Graph g = test_graph(24, 4, 97);
+    SnapshotStore store(g, g);
+    pin = store.pin();
+  }
+  // The store is gone; the snapshot (and its retirement tally) survive.
+  EXPECT_EQ(pin->epoch, 1u);
+  EXPECT_EQ(pin->spanner.num_vertices(), 24u);
+  pin.reset();  // retires without a store — must not crash
+}
+
+// --- epoch adoption and cache invalidation --------------------------------
+
+TEST(QueryEngine, AdoptsNewEpochAndInvalidatesDistanceRows) {
+  const Graph h1 = test_graph(96, 6, 71);
+  const Graph h2 = test_graph(96, 6, 72);
+  SnapshotStore store(h1, h1);
+  QueryEngine engine(store);
+  const auto queries = random_queries(h1, 200, 23, 0.0, 8);
+
+  const auto r1 = engine.serve_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r1[i].epoch, 1u);
+    EXPECT_EQ(r1[i].distance, bfs_distances(h1, queries[i].u)[queries[i].v]);
+  }
+  EXPECT_GT(engine.cached_rows(), 0u);
+
+  store.publish(h2, h2, {});
+  const auto r2 = engine.serve_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r2[i].epoch, 2u);
+    EXPECT_EQ(r2[i].distance, bfs_distances(h2, queries[i].u)[queries[i].v])
+        << "stale row answered " << queries[i].u << "->" << queries[i].v;
+  }
+  EXPECT_EQ(engine.stats().epochs_adopted, 2u);
+  EXPECT_EQ(engine.serving_epoch(), 2u);
+}
+
+TEST(QueryEngine, AdoptionResetsLazyRouteRows) {
+  const Graph h1 = test_graph(80, 6, 73);
+  const Graph h2 = test_graph(80, 6, 74);
+  SnapshotStore store(h1, h1);
+  QueryEngine engine(store);
+  const auto queries = random_queries(h1, 120, 27, 1.0);
+
+  const auto r1 = engine.serve_batch(queries);
+  store.publish(h2, h2, {});
+  const auto r2 = engine.serve_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const Dist d2 = bfs_distances(h2, q.u)[q.v];
+    EXPECT_EQ(r2[i].distance, d2);
+    if (d2 == kUnreachable) continue;
+    ASSERT_FALSE(r2[i].path.empty());
+    for (std::size_t k = 0; k + 1 < r2[i].path.size(); ++k) {
+      // Post-swap paths must be walkable on the *new* spanner.
+      EXPECT_TRUE(h2.has_edge(r2[i].path[k], r2[i].path[k + 1]));
+    }
+  }
+}
+
+TEST(QueryEngine, StaleCacheBugHookKeepsPreEpochRows) {
+  const Graph h1 = test_graph(64, 4, 81);
+  const Graph h2 = test_graph(64, 4, 82);
+  // A pair whose distance genuinely changes across the swap.
+  Vertex u = 0, v = 0;
+  bool found = false;
+  for (u = 0; u < 64 && !found; ++u) {
+    const auto d1 = bfs_distances(h1, u);
+    const auto d2 = bfs_distances(h2, u);
+    for (v = 0; v < 64; ++v) {
+      if (d1[v] != d2[v] && d1[v] != kUnreachable && d2[v] != kUnreachable) {
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  ASSERT_TRUE(found) << "test graphs are distance-identical";
+
+  SnapshotStore store(h1, h1);
+  QueryEngine engine(store);
+  engine.inject_stale_cache_bug();
+  const Dist before = engine.serve_one({QueryKind::kDistance, u, v, 0}).distance;
+  EXPECT_EQ(before, bfs_distances(h1, u)[v]);
+  store.publish(h2, h2, {});
+  const QueryResult after = engine.serve_one({QueryKind::kDistance, u, v, 0});
+  // The bug: the row cached under epoch 1 answers an epoch-2 query.
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_EQ(after.distance, before);
+  EXPECT_NE(after.distance, bfs_distances(h2, u)[v]);
+}
+
+// --- degradation → shed mapping -------------------------------------------
+
+TEST(QueryEngine, ShedsWholeBatchWhenCertificateLost) {
+  const Graph h = test_graph(48, 4, 83);
+  SpannerCertificate lost;
+  lost.status = GuaranteeStatus::kLost;
+  SnapshotStore store(h, h, lost);
+  QueryEngine engine(store);
+  const auto queries = random_queries(h, 50, 31, 0.5);
+  const auto results = engine.serve_batch(queries);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kShedDegraded);
+    EXPECT_EQ(r.distance, kUnreachable);
+    EXPECT_TRUE(r.path.empty());
+    EXPECT_EQ(r.epoch, 1u);
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 50u);
+  EXPECT_EQ(s.served, 0u);
+  EXPECT_EQ(s.shed_degraded, 50u);  // conservation via the structured shed
+}
+
+TEST(QueryEngine, ShedAtLadderThresholdIsConfigurable) {
+  const Graph h = test_graph(48, 4, 85);
+  SpannerCertificate repairing;  // certificate held, mid-repair ladder
+  repairing.ladder = SupervisorState::kRepairing;
+  SnapshotStore store(h, h, repairing);
+
+  QueryEngine lenient(store);  // default policy sheds only at kLost
+  EXPECT_EQ(lenient.serve_one({QueryKind::kDistance, 1, 2, 0}).outcome,
+            QueryOutcome::kServed);
+
+  ServeOptions strict;
+  strict.shed_at = SupervisorState::kRepairing;
+  QueryEngine engine(store, strict);
+  EXPECT_EQ(engine.serve_one({QueryKind::kDistance, 1, 2, 0}).outcome,
+            QueryOutcome::kShedDegraded);
+}
+
+TEST(QueryEngine, RequireFreshCertificateShedsStaleOnes) {
+  const Graph h = test_graph(48, 4, 87);
+  SpannerCertificate stale;
+  stale.fresh = false;
+  SnapshotStore store(h, h, stale);
+
+  QueryEngine lenient(store);
+  EXPECT_EQ(lenient.serve_one({QueryKind::kDistance, 1, 2, 0}).outcome,
+            QueryOutcome::kServed);
+
+  ServeOptions strict;
+  strict.require_fresh_certificate = true;
+  QueryEngine engine(store, strict);
+  EXPECT_EQ(engine.serve_one({QueryKind::kDistance, 1, 2, 0}).outcome,
+            QueryOutcome::kShedDegraded);
 }
 
 // --- concurrent path ------------------------------------------------------
@@ -424,6 +693,123 @@ TEST(QueryEngine, ServeBatchInsideParallelRegionStaysCorrect) {
   EXPECT_EQ(wrong.load(), 0u);
 }
 
+TEST(QueryEngine, EdfDrainsDeadlineQueriesBeforeOlderBacklog) {
+  // A heavy substrate (big graph, cache defeated, one-window batches) so
+  // every dispatch pays a real MS-BFS sweep and a backlog builds up.
+  const Graph h = test_graph(20000, 8, 101);
+  ServeOptions options;
+  options.cache_rows = 1;
+  options.batch_window = 64;
+  options.admission.queue_capacity = 0;  // unbounded: nothing shed here
+  QueryEngine engine(h, options);
+  engine.start();
+
+  // Plug: one full window of distinct sources occupies the dispatcher
+  // while everything below enqueues behind it.
+  std::vector<std::future<QueryResult>> plug;
+  for (Vertex u = 0; u < 64; ++u) {
+    plug.push_back(engine.submit({QueryKind::kDistance, u, 0, 0}));
+  }
+  // Backlog: seven windows of no-deadline queries (EDF sorts them last)...
+  std::vector<std::future<QueryResult>> backlog;
+  for (Vertex u = 64; u < 512; ++u) {
+    backlog.push_back(engine.submit({QueryKind::kDistance, u, 1, 0}));
+  }
+  // ...then a late burst that *does* carry deadlines. FIFO would serve it
+  // dead last; EDF must pull it ahead of the whole no-deadline backlog.
+  std::vector<std::future<QueryResult>> tagged;
+  for (Vertex u = 512; u < 528; ++u) {
+    tagged.push_back(
+        engine.submit({QueryKind::kDistance, u, 2, 60'000'000}));
+  }
+
+  double tagged_mean = 0.0, backlog_mean = 0.0;
+  for (auto& f : tagged) {
+    const QueryResult r = f.get();
+    EXPECT_EQ(r.outcome, QueryOutcome::kServed);  // 60 s budget: never shed
+    tagged_mean += r.latency_us;
+  }
+  tagged_mean /= static_cast<double>(tagged.size());
+  for (auto& f : backlog) backlog_mean += f.get().latency_us;
+  backlog_mean /= static_cast<double>(backlog.size());
+  for (auto& f : plug) f.get();
+  engine.stop();
+
+  // Submitted last, served early: the deadline class overtook the backlog.
+  EXPECT_LT(tagged_mean, backlog_mean);
+  EXPECT_EQ(engine.stats().shed_deadline, 0u);
+}
+
+TEST(QueryEngine, SnapshotSwapHammerStaysExactPerEpoch) {
+  // The TSan target: four reader threads serve batches while a writer
+  // publishes >= 120 epochs alternating two substrates. Every served
+  // answer must be exact on the substrate of the epoch it reports —
+  // a torn read (answering epoch e with epoch e±1 rows) is caught by the
+  // per-variant ground truth; a use-after-retire crashes outright.
+  constexpr std::size_t kN = 64;
+  const Graph a = test_graph(kN, 4, 111);
+  const Graph b = test_graph(kN, 4, 112);
+  std::vector<std::vector<Dist>> truth_a(kN), truth_b(kN);
+  for (Vertex u = 0; u < kN; ++u) {
+    truth_a[u] = bfs_distances(a, u);
+    truth_b[u] = bfs_distances(b, u);
+  }
+
+  SnapshotStore store(a, a);  // epoch 1 = variant a; parity keys the truth
+  ServeOptions options;
+  options.cache_rows = 16;
+  QueryEngine engine(store, options);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> wrong{0}, served{0}, shed{0}, submitted{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(500 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        std::vector<Query> batch(8);
+        for (Query& q : batch) {
+          q.u = static_cast<Vertex>(rng.uniform(kN));
+          q.v = static_cast<Vertex>(rng.uniform(kN));
+        }
+        const auto results = engine.serve_batch(batch);
+        submitted.fetch_add(batch.size(), std::memory_order_relaxed);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          const QueryResult& r = results[i];
+          if (r.outcome != QueryOutcome::kServed) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          served.fetch_add(1, std::memory_order_relaxed);
+          const auto& truth = (r.epoch % 2 == 1) ? truth_a : truth_b;
+          if (r.distance != truth[batch[i].u][batch[i].v]) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (int e = 0; e < 120; ++e) {
+    const bool next_odd = (store.current_epoch() + 1) % 2 == 1;
+    const Graph& g = next_odd ? a : b;
+    store.publish(g, g, {});
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(shed.load(), 0u);  // healthy certificates throughout
+  // Conservation across every epoch boundary the hammer crossed.
+  EXPECT_EQ(served.load() + shed.load(), submitted.load());
+  EXPECT_GE(store.published(), 121u);
+  // No leak: everything retired except the store's current snapshot and
+  // (at most) the engine's still-pinned older one.
+  EXPECT_LE(store.live(), 2u);
+  EXPECT_GE(engine.stats().epochs_adopted, 2u);
+}
+
 // --- lazy routing tables --------------------------------------------------
 
 TEST(LazyRoutingTables, MatchesEagerBuildWithSameSeed) {
@@ -457,6 +843,23 @@ TEST(LazyRoutingTables, FillRowsDeduplicatesAndParallelizes) {
   EXPECT_EQ(path.back(), 27u);
   EXPECT_EQ(path_length(path), static_cast<std::size_t>(
                                    bfs_distances(g, 0)[27]));
+}
+
+TEST(LazyRoutingTables, ResetRebindsTheGraphAndDropsEveryRow) {
+  const Graph g1 = test_graph(64, 4, 67);
+  const Graph g2 = test_graph(64, 4, 68);
+  LazyRoutingTables lazy(g1, 5);
+  lazy.fill_rows(std::vector<Vertex>{3, 9});
+  EXPECT_EQ(lazy.rows_filled(), 2u);
+
+  lazy.reset(g2);  // the epoch-adoption path: same n, new topology
+  EXPECT_EQ(lazy.rows_filled(), 0u);
+  EXPECT_FALSE(lazy.has_row(3));
+  // Rows refilled after the reset answer for g2, not g1.
+  const auto eager = RoutingTables::build(g2, 5);
+  for (Vertex from = 0; from < 64; ++from) {
+    ASSERT_EQ(lazy.next_hop(from, 9), eager.next_hop(from, 9)) << from;
+  }
 }
 
 }  // namespace

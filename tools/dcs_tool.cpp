@@ -19,8 +19,12 @@
 //       continuous-churn soak: supervised repair + traffic bursts checked
 //       against invariants; violations are ddmin-minimized.
 //       soak flags: --replay=SCHEDULE (re-run a recorded schedule),
-//       --inject-repair-bug (harness self-test: the supervisor silently
-//       drops a repaired edge, the soak must catch it)
+//       --qps=N (serve N closed-loop queries per wave through the
+//       snapshot-backed live oracle, checked by the query-certified
+//       invariant), --inject-repair-bug (harness self-test: the
+//       supervisor silently drops a repaired edge, the soak must catch
+//       it), --inject-stale-cache-bug (harness self-test: the engine's
+//       distance rows survive epoch swaps; needs --qps)
 //   dcs_tool pipeline <n> [delta] [seed]
 //       end-to-end: generate, build Theorem 3 spanner, verify, simulate
 //   dcs_tool info <in.graph>
@@ -87,6 +91,8 @@ using namespace dcs;
 std::string g_artifacts_dir;
 std::string g_replay_path;
 bool g_inject_repair_bug = false;
+bool g_inject_stale_cache_bug = false;
+std::uint64_t g_qps = 0;
 
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
@@ -106,7 +112,8 @@ bool g_inject_repair_bug = false;
       "  dcs_tool resilience <in.graph> <spanner.graph> "
       "[edge-fraction] [vertex-faults] [seed]\n"
       "  dcs_tool soak <in.graph> <spanner.graph> [waves] [seed] "
-      "[--replay=SCHEDULE] [--inject-repair-bug]\n"
+      "[--qps=N] [--replay=SCHEDULE] [--inject-repair-bug] "
+      "[--inject-stale-cache-bug]\n"
       "  dcs_tool pipeline <n> [delta] [seed]\n"
       "  dcs_tool info <in.graph>\n"
       "flags (any subcommand): --log-level=SPEC --log-json "
@@ -451,6 +458,11 @@ int cmd_soak(const std::vector<std::string>& args) {
   o.churn.flap_duration = 2;
   o.artifacts_dir = g_artifacts_dir;
   o.inject_repair_bug = g_inject_repair_bug;
+  o.qps = g_qps;
+  o.inject_stale_cache_bug = g_inject_stale_cache_bug;
+  if (o.inject_stale_cache_bug && o.qps == 0) {
+    usage("--inject-stale-cache-bug needs query traffic (--qps=N)");
+  }
 
   SoakResult result;
   if (!g_replay_path.empty()) {
@@ -476,6 +488,14 @@ int cmd_soak(const std::vector<std::string>& args) {
   t.add("packets injected", result.packets_injected);
   t.add("packets delivered", result.packets_delivered);
   t.add("packets shed", result.packets_shed);
+  if (o.qps > 0) {
+    t.add("query batches", result.query_batches);
+    t.add("queries submitted", result.queries_submitted);
+    t.add("queries served", result.queries_served);
+    t.add("queries shed", result.queries_shed);
+    t.add("epochs published", result.epochs_published);
+    t.add("epochs adopted", result.epochs_adopted);
+  }
   t.print(std::cout);
   std::cout << result.summary() << "\n";
   if (!g_artifacts_dir.empty()) {
@@ -576,6 +596,10 @@ int main(int argc, char** argv) {
       g_replay_path = a.substr(9);
     } else if (a == "--inject-repair-bug") {
       g_inject_repair_bug = true;
+    } else if (a == "--inject-stale-cache-bug") {
+      g_inject_stale_cache_bug = true;
+    } else if (a.rfind("--qps=", 0) == 0) {
+      g_qps = std::strtoull(std::string(a.substr(6)).c_str(), nullptr, 10);
     } else if (a.rfind("--", 0) == 0) {
       usage("unknown flag: " + std::string(a));
     } else {

@@ -68,6 +68,15 @@ class PerfRecord {
         "bench." + name_ + "." + phase_name + ".ms");
   }
 
+  /// Attaches a pre-rendered JSON document as an extra top-level key of
+  /// BENCH_<name>.json (e.g. the request tracer's tail exemplars). The
+  /// regression gate (tools/bench_compare) only reads wall_s and the
+  /// baseline's listed gauges, so new sections never force a baseline
+  /// update. `json` must be a complete JSON value.
+  void add_json_section(const std::string& key, std::string json) {
+    sections_.emplace_back(key, std::move(json));
+  }
+
   ~PerfRecord() {
     const char* dir = std::getenv("DCS_BENCH_JSON_DIR");
     std::string path = dir != nullptr && *dir != '\0'
@@ -80,12 +89,16 @@ class PerfRecord {
     }
     out << "{\"bench\":" << obs::json_quote(name_)
         << ",\"wall_s\":" << obs::json_number(wall_.seconds())
-        << ",\"metrics\":" << obs::MetricsRegistry::instance().to_json()
-        << "}\n";
+        << ",\"metrics\":" << obs::MetricsRegistry::instance().to_json();
+    for (const auto& [key, json] : sections_) {
+      out << "," << obs::json_quote(key) << ":" << json;
+    }
+    out << "}\n";
   }
 
  private:
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> sections_;
   Timer wall_;
 };
 

@@ -1,0 +1,308 @@
+#include "obs/flight_recorder.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace dcs::obs {
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kEpochPublish: return "epoch-publish";
+    case FlightEventKind::kEpochAdopt: return "epoch-adopt";
+    case FlightEventKind::kLadder: return "ladder";
+    case FlightEventKind::kShed: return "shed";
+    case FlightEventKind::kRepair: return "repair";
+    case FlightEventKind::kCheckFail: return "check-fail";
+    case FlightEventKind::kInvariant: return "invariant";
+    case FlightEventKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 1024;
+
+// One event slot. The writer publishes via `seq`: it stores the odd value
+// 2*index+1 before touching the payload and the even value 2*(index+1)
+// after, so a reader accepting only matching even values before *and* after
+// the payload reads either sees a fully written event or rejects the slot.
+// Payload fields are relaxed atomics purely so concurrent reads of a slot
+// being rewritten are well-defined (the seq check then discards them).
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<double> ts_us{0.0};
+  std::atomic<std::uint32_t> tid{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<const char*> detail{nullptr};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+};
+
+struct Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> head{0};   ///< events ever written to this ring
+  std::atomic<std::uint64_t> floor{0};  ///< events below this are cleared
+};
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::size_t> g_capacity{kDefaultCapacity};
+
+// Ring registry. Rings are leaked deliberately: a thread may exit while its
+// events are still the interesting part of the story, and the crash-dump
+// path walks this vector with no lock, so entries must stay valid forever.
+std::mutex& rings_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<Ring*>& rings() {
+  static std::vector<Ring*>* r = new std::vector<Ring*>;
+  return *r;
+}
+
+// Lock-free view of the registry for the crash path: rings are only ever
+// appended, and g_ring_count is bumped (release) after the slot is written.
+constexpr std::size_t kMaxRings = 4096;
+Ring* g_ring_table[kMaxRings] = {};
+std::atomic<std::size_t> g_ring_count{0};
+
+Ring& local_ring() {
+  thread_local Ring* ring = [] {
+    auto* r = new Ring(std::max<std::size_t>(
+        1, g_capacity.load(std::memory_order_relaxed)));
+    std::lock_guard lock(rings_mutex());
+    rings().push_back(r);
+    const std::size_t n = g_ring_count.load(std::memory_order_relaxed);
+    if (n < kMaxRings) {
+      g_ring_table[n] = r;
+      g_ring_count.store(n + 1, std::memory_order_release);
+    }
+    return r;
+  }();
+  return *ring;
+}
+
+// Reads event `index` out of `ring` if it is still intact. Returns false
+// when the slot was overwritten (or is being overwritten) by a newer event.
+bool read_slot(const Ring& ring, std::uint64_t index, FlightEvent& out) {
+  const Slot& s = ring.slots[index % ring.slots.size()];
+  const std::uint64_t want = 2 * (index + 1);
+  if (s.seq.load(std::memory_order_acquire) != want) return false;
+  out.ts_us = s.ts_us.load(std::memory_order_relaxed);
+  out.tid = s.tid.load(std::memory_order_relaxed);
+  out.kind = static_cast<FlightEventKind>(s.kind.load(std::memory_order_relaxed));
+  const char* detail = s.detail.load(std::memory_order_relaxed);
+  out.detail = detail == nullptr ? "" : detail;
+  out.a = s.a.load(std::memory_order_relaxed);
+  out.b = s.b.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return s.seq.load(std::memory_order_relaxed) == want;
+}
+
+void collect_ring(const Ring& ring, std::vector<FlightEvent>& out) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t floor = ring.floor.load(std::memory_order_acquire);
+  const std::uint64_t cap = ring.slots.size();
+  std::uint64_t begin = head > cap ? head - cap : 0;
+  begin = std::max(begin, floor);
+  for (std::uint64_t i = begin; i < head; ++i) {
+    FlightEvent e;
+    if (read_slot(ring, i, e)) out.push_back(e);
+  }
+}
+
+// ---- crash dump -----------------------------------------------------------
+
+constexpr std::size_t kCrashPathMax = 512;
+char g_crash_path[kCrashPathMax] = {};
+std::atomic<bool> g_crash_armed{false};
+std::atomic<bool> g_crash_dumped{false};
+
+extern "C" void dcs_flight_signal_handler(int signo) {
+  FlightRecorder::instance().record(FlightEventKind::kCheckFail,
+                                    "fatal-signal",
+                                    static_cast<std::uint64_t>(signo));
+  FlightRecorder::crash_dump_now();
+  // Restore default disposition and re-raise so the process still dies with
+  // the original signal (core dump, wait status) after the dump.
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+void check_failure_hook() noexcept {
+  FlightRecorder::instance().record(FlightEventKind::kCheckFail, "check-abort");
+  FlightRecorder::crash_dump_now();
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* detail,
+                            std::uint64_t a, std::uint64_t b) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  Ring& ring = local_ring();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Slot& s = ring.slots[h % ring.slots.size()];
+  s.seq.store(2 * h + 1, std::memory_order_release);
+  s.ts_us.store(Trace::now_us(), std::memory_order_relaxed);
+  s.tid.store(Trace::thread_id(), std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  s.detail.store(detail, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.seq.store(2 * (h + 1), std::memory_order_release);
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+void FlightRecorder::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() const {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_capacity(std::size_t events_per_thread) {
+  DCS_REQUIRE(events_per_thread > 0,
+              "flight recorder capacity must be positive");
+  g_capacity.store(events_per_thread, std::memory_order_relaxed);
+}
+
+std::size_t FlightRecorder::capacity() const {
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard lock(rings_mutex());
+    for (const Ring* ring : rings()) collect_ring(*ring, out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.ts_us < y.ts_us;
+                   });
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::tail(std::size_t max_events) const {
+  std::vector<FlightEvent> all = snapshot();
+  if (max_events != 0 && all.size() > max_events)
+    all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(max_events));
+  return all;
+}
+
+std::string FlightRecorder::to_json(std::size_t max_events) const {
+  const std::vector<FlightEvent> events = tail(max_events);
+  std::ostringstream os;
+  os << "{\"flight\":[";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ts_us\":" << json_number(e.ts_us) << ",\"tid\":" << e.tid
+       << ",\"kind\":" << json_quote(to_string(e.kind))
+       << ",\"detail\":" << json_quote(e.detail) << ",\"a\":" << e.a
+       << ",\"b\":" << e.b << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard lock(rings_mutex());
+  for (Ring* ring : rings())
+    ring->floor.store(ring->head.load(std::memory_order_acquire),
+                      std::memory_order_release);
+}
+
+void FlightRecorder::arm_crash_dump(const std::string& path,
+                                    bool install_signal_handlers) {
+  DCS_REQUIRE(!path.empty() && path.size() < kCrashPathMax,
+              "crash dump path must be non-empty and short");
+  std::snprintf(g_crash_path, kCrashPathMax, "%s", path.c_str());
+  g_crash_dumped.store(false, std::memory_order_relaxed);
+  g_crash_armed.store(true, std::memory_order_release);
+  dcs::detail::set_check_failure_hook(&check_failure_hook);
+  if (install_signal_handlers) {
+    for (int signo : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL})
+      std::signal(signo, &dcs_flight_signal_handler);
+  }
+}
+
+void FlightRecorder::crash_dump_now() noexcept {
+  if (!g_crash_armed.load(std::memory_order_acquire)) return;
+  // Dump once: the SIGABRT raised by std::abort after the check hook already
+  // dumped would otherwise truncate-and-rewrite the file mid-death.
+  if (g_crash_dumped.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  // Walk the lock-free ring table (never the mutexed vector: the crashing
+  // thread may hold that mutex). Fixed-size line buffer, write(2) only.
+  char buf[384];
+  auto emit = [&](const char* s, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ::ssize_t w = ::write(fd, s + off, n - off);
+      if (w <= 0) return;
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  emit("{\"flight\":[", 11);
+  bool first = true;
+  const std::size_t count = g_ring_count.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < count; ++r) {
+    const Ring* ring = g_ring_table[r];
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t floor = ring->floor.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    std::uint64_t begin = head > cap ? head - cap : 0;
+    begin = std::max(begin, floor);
+    for (std::uint64_t i = begin; i < head; ++i) {
+      FlightEvent e;
+      if (!read_slot(*ring, i, e)) continue;
+      const int n = std::snprintf(
+          buf, sizeof buf,
+          "%s{\"ts_us\":%.3f,\"tid\":%u,\"kind\":\"%s\",\"detail\":\"%s\","
+          "\"a\":%llu,\"b\":%llu}",
+          first ? "" : ",", e.ts_us, e.tid, to_string(e.kind), e.detail,
+          static_cast<unsigned long long>(e.a),
+          static_cast<unsigned long long>(e.b));
+      first = false;
+      if (n > 0) emit(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                 sizeof buf - 1));
+    }
+  }
+  emit("]}\n", 3);
+  ::close(fd);
+}
+
+}  // namespace dcs::obs

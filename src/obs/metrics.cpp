@@ -21,6 +21,15 @@ std::vector<double> HistogramMetric::default_bounds() {
   return bounds;
 }
 
+std::vector<double> HistogramMetric::latency_bounds_us() {
+  std::vector<double> bounds;
+  bounds.reserve(22);
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (double factor : {1.0, 2.0, 5.0}) bounds.push_back(factor * decade);
+  bounds.push_back(1e7);
+  return bounds;
+}
+
 HistogramMetric::HistogramMetric(std::vector<double> bounds,
                                  std::uint64_t reservoir_seed)
     : bounds_(std::move(bounds)),
@@ -135,6 +144,73 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 HistogramMetric& MetricsRegistry::histogram(std::string_view name,
                                             std::span<const double> bounds) {
   return *find_or_create(name, Kind::kHistogram, bounds).histogram;
+}
+
+MetricsValueSnapshot MetricsRegistry::value_snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsValueSnapshot s;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.counters.emplace_back(name, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        s.gauges.emplace_back(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        break;
+    }
+  }
+  return s;
+}
+
+MetricsValueSnapshot snapshot_delta(const MetricsValueSnapshot& before,
+                                    const MetricsValueSnapshot& after) {
+  MetricsValueSnapshot delta;
+  // Both sides are sorted by name; a merge walk finds what changed. A
+  // counter missing from `before` (registered mid-interval) contributes its
+  // full value, which is also its delta from zero.
+  std::size_t i = 0;
+  for (const auto& [name, value] : after.counters) {
+    while (i < before.counters.size() && before.counters[i].first < name) ++i;
+    const std::uint64_t base =
+        (i < before.counters.size() && before.counters[i].first == name)
+            ? before.counters[i].second
+            : 0;
+    // Counters are monotone except across reset(); a shrink reports the
+    // post-reset value rather than wrapping around.
+    const std::uint64_t d = value >= base ? value - base : value;
+    if (d != 0) delta.counters.emplace_back(name, d);
+  }
+  i = 0;
+  for (const auto& [name, value] : after.gauges) {
+    while (i < before.gauges.size() && before.gauges[i].first < name) ++i;
+    const bool known =
+        i < before.gauges.size() && before.gauges[i].first == name;
+    if (!known || before.gauges[i].second != value)
+      delta.gauges.emplace_back(name, value);
+  }
+  return delta;
+}
+
+std::string to_json(const MetricsValueSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << json_number(value);
+  }
+  os << "}}";
+  return os.str();
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -108,6 +108,14 @@ class HistogramMetric {
 
   static std::vector<double> default_bounds();
 
+  /// Log-spaced preset for latency histograms in microseconds: a 1–2–5
+  /// decade ladder from 1 µs to 10 s (1, 2, 5, 10, …, 5e6, 1e7). The
+  /// power-of-two default squashes the microsecond tail for latency data;
+  /// this preset keeps sub-millisecond resolution while still covering
+  /// multi-second stalls. Used by serve.latency.us (see the compat note in
+  /// docs/observability.md — bucket edges changed when it migrated).
+  static std::vector<double> latency_bounds_us();
+
   /// Percentiles in the snapshot are exact over a bounded reservoir of the
   /// recorded values (uniform sample once the reservoir overflows).
   static constexpr std::size_t kReservoirSize = 4096;
@@ -124,6 +132,25 @@ class HistogramMetric {
   Rng rng_;
 };
 
+/// Flat name→value view of the scalar metrics (counters and gauges) at one
+/// instant, for diffing two points in time. Histograms are excluded: their
+/// deltas are not meaningful bucket-by-bucket under reservoir sampling.
+struct MetricsValueSnapshot {
+  /// Sorted by name (registry order).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+/// `after` minus `before`: counters keep after−before (entries whose delta
+/// is 0 are dropped; counters absent from `before` contribute their full
+/// value), gauges keep `after`'s value when it changed. Both inputs must
+/// come from value_snapshot() (sorted by name).
+MetricsValueSnapshot snapshot_delta(const MetricsValueSnapshot& before,
+                                    const MetricsValueSnapshot& after);
+
+/// {"counters":{...},"gauges":{...}} of a value snapshot (or delta).
+std::string to_json(const MetricsValueSnapshot& snapshot);
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
@@ -135,6 +162,9 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   HistogramMetric& histogram(std::string_view name,
                              std::span<const double> bounds = {});
+
+  /// Point-in-time values of every counter and gauge, for snapshot_delta().
+  MetricsValueSnapshot value_snapshot() const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;

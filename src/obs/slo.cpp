@@ -1,0 +1,144 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace dcs::obs {
+
+SloTracker::SloTracker(SloOptions options)
+    : options_(options),
+      bucket_s_(options.window_s / static_cast<double>(
+                                       std::max<std::size_t>(1, options.buckets))),
+      buckets_(std::max<std::size_t>(1, options.buckets)) {
+  DCS_REQUIRE(options.threshold_us > 0.0, "SLO threshold must be positive");
+  DCS_REQUIRE(options.objective > 0.0 && options.objective < 1.0,
+              "SLO objective must be in (0,1)");
+  DCS_REQUIRE(options.window_s > 0.0, "SLO window must be positive");
+}
+
+void SloTracker::record(double latency_us) {
+  const double now_s = Trace::now_us() / 1e6;
+  const auto period = static_cast<std::uint64_t>(now_s / bucket_s_);
+  Bucket& b = buckets_[period % buckets_.size()];
+  std::uint64_t seen = b.period.load(std::memory_order_acquire);
+  if (seen != period) {
+    // Recycle a stale bucket: the CAS winner zeroes the counts. Increments
+    // racing the zeroing can be dropped — see header.
+    if (b.period.compare_exchange_strong(seen, period,
+                                         std::memory_order_acq_rel)) {
+      b.total.store(0, std::memory_order_relaxed);
+      b.breaching.store(0, std::memory_order_relaxed);
+    }
+  }
+  b.total.fetch_add(1, std::memory_order_relaxed);
+  if (latency_us >= options_.threshold_us)
+    b.breaching.fetch_add(1, std::memory_order_relaxed);
+}
+
+SloTracker::Window SloTracker::sum_windows(std::size_t bucket_count) const {
+  const double now_s = Trace::now_us() / 1e6;
+  const auto now_period = static_cast<std::uint64_t>(now_s / bucket_s_);
+  Window w;
+  w.seconds = bucket_s_ * static_cast<double>(bucket_count);
+  for (const Bucket& b : buckets_) {
+    const std::uint64_t period = b.period.load(std::memory_order_acquire);
+    if (period == kIdle) continue;
+    if (period > now_period || now_period - period >= bucket_count) continue;
+    w.total += b.total.load(std::memory_order_relaxed);
+    w.breaching += b.breaching.load(std::memory_order_relaxed);
+  }
+  if (w.total > 0) {
+    w.bad_fraction =
+        static_cast<double>(w.breaching) / static_cast<double>(w.total);
+    w.burn_rate = w.bad_fraction / (1.0 - options_.objective);
+  }
+  return w;
+}
+
+std::vector<SloTracker::Window> SloTracker::windows() const {
+  const std::size_t n = buckets_.size();
+  return {sum_windows(n), sum_windows(std::max<std::size_t>(1, n / 6))};
+}
+
+std::string SloTracker::to_json() const {
+  std::ostringstream os;
+  os << "{\"threshold_us\":" << json_number(options_.threshold_us)
+     << ",\"objective\":" << json_number(options_.objective) << ",\"windows\":[";
+  bool first = true;
+  for (const Window& w : windows()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"seconds\":" << json_number(w.seconds) << ",\"total\":" << w.total
+       << ",\"breaching\":" << w.breaching
+       << ",\"bad_fraction\":" << json_number(w.bad_fraction)
+       << ",\"burn_rate\":" << json_number(w.burn_rate) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void SloTracker::reset() {
+  for (Bucket& b : buckets_) {
+    b.period.store(kIdle, std::memory_order_relaxed);
+    b.total.store(0, std::memory_order_relaxed);
+    b.breaching.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+struct SloRegistry {
+  std::mutex mutex;
+  // Stable addresses: trackers are handed out by reference and recorded into
+  // concurrently, so they live behind unique_ptr and are never erased until
+  // reset_slo_registry().
+  std::vector<std::pair<std::string, std::unique_ptr<SloTracker>>> entries;
+};
+
+SloRegistry& slo_registry() {
+  static SloRegistry* r = new SloRegistry;
+  return *r;
+}
+
+}  // namespace
+
+SloTracker& slo_tracker(std::string_view name, SloOptions options) {
+  DCS_REQUIRE(!name.empty(), "SLO tracker name must be non-empty");
+  SloRegistry& r = slo_registry();
+  std::lock_guard lock(r.mutex);
+  for (auto& [entry_name, tracker] : r.entries)
+    if (entry_name == name) return *tracker;
+  r.entries.emplace_back(std::string(name),
+                         std::make_unique<SloTracker>(options));
+  return *r.entries.back().second;
+}
+
+std::string slo_registry_to_json() {
+  SloRegistry& r = slo_registry();
+  std::lock_guard lock(r.mutex);
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [name, tracker] : r.entries) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << tracker->to_json();
+  }
+  os << '}';
+  return os.str();
+}
+
+void reset_slo_registry() {
+  SloRegistry& r = slo_registry();
+  std::lock_guard lock(r.mutex);
+  r.entries.clear();
+}
+
+}  // namespace dcs::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+// Rolling SLO burn-rate windows over serve latencies.
+//
+// An SLO is "objective fraction of requests finish under threshold_us". The
+// tracker time-buckets request outcomes into a fixed ring of atomic
+// counters and reports, over a long (full-window) and a short (most recent
+// sixth) horizon:
+//
+//   bad_fraction = breaching / total
+//   burn_rate    = bad_fraction / (1 - objective)
+//
+// burn_rate 1.0 means the error budget is being spent exactly as fast as
+// the objective allows; >1 means the budget is burning down (the classic
+// multi-window alert pairs the long and short windows so a real regression
+// trips both while a blip only trips the short one). record() is a few
+// relaxed atomic ops and is called by the query engine only when metrics
+// are enabled, preserving the obs layer's disabled-cost discipline.
+//
+// Bucket recycling is approximate by design: when a bucket's time period
+// goes stale the first recorder to notice CAS-claims it and zeroes the
+// counts; a concurrent increment can be lost at the boundary. This is
+// metrics-grade accounting, not billing.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcs::obs {
+
+struct SloOptions {
+  double threshold_us = 10'000.0;  ///< good = latency < threshold
+  double objective = 0.99;         ///< required good fraction, in (0,1)
+  double window_s = 60.0;          ///< long-window horizon
+  std::size_t buckets = 60;        ///< ring granularity (window_s / buckets)
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {});
+
+  /// Records one finished request with the given end-to-end latency.
+  void record(double latency_us);
+
+  struct Window {
+    double seconds = 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t breaching = 0;
+    double bad_fraction = 0.0;  ///< 0 when total == 0
+    double burn_rate = 0.0;     ///< bad_fraction / (1 - objective)
+  };
+
+  /// [long window, short window]: the full horizon and its most recent
+  /// sixth (at least one bucket).
+  std::vector<Window> windows() const;
+
+  /// {"threshold_us":..,"objective":..,"windows":[{"seconds":..,...},..]}
+  std::string to_json() const;
+
+  void reset();
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    std::atomic<std::uint64_t> period{kIdle};
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> breaching{0};
+  };
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  Window sum_windows(std::size_t bucket_count) const;
+
+  SloOptions options_;
+  double bucket_s_;
+  std::vector<Bucket> buckets_;
+};
+
+/// Process-wide named tracker registry: returns the tracker for `name`,
+/// creating it with `options` on first use (later calls ignore options,
+/// mirroring MetricsRegistry::find_or_create semantics). Unlike the
+/// metrics registry, reset_slo_registry() *destroys* trackers — do not
+/// cache the reference across test boundaries; re-look-up instead.
+SloTracker& slo_tracker(std::string_view name, SloOptions options = {});
+
+/// {"<name>":<tracker json>,...} over every registered tracker.
+std::string slo_registry_to_json();
+
+/// Drops all registered trackers (test hook).
+void reset_slo_registry();
+
+}  // namespace dcs::obs

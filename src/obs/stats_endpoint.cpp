@@ -1,0 +1,171 @@
+#include "obs/stats_endpoint.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "util/check.hpp"
+
+namespace dcs::obs {
+
+struct StatsEndpoint::Impl {
+  Options options;
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections;
+  int listen_fd = -1;
+  std::thread server;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> running{false};
+
+  std::string dispatch(const std::string& request) const {
+    if (request == "all") {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [name, provider] : sections) {
+        if (!first) out += ',';
+        first = false;
+        out += json_quote(name);
+        out += ':';
+        out += provider();
+      }
+      out += '}';
+      return out;
+    }
+    for (const auto& [name, provider] : sections)
+      if (name == request) return provider();
+    return "{\"error\":" + json_quote("unknown section '" + request + "'") +
+           "}";
+  }
+
+  // One client connection: read '\n'-terminated section names, answer each
+  // with one JSON line. Returns when the client closes or misbehaves.
+  void serve_client(int fd) const {
+    std::string pending;
+    char buf[512];
+    while (!stop.load(std::memory_order_relaxed)) {
+      pollfd p{fd, POLLIN, 0};
+      const int rc = ::poll(&p, 1, 100);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0 || (p.revents & (POLLIN | POLLHUP)) == 0) continue;
+      const ::ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      pending.append(buf, static_cast<std::size_t>(n));
+      if (pending.size() > 4096) break;  // no section name is that long
+      std::size_t eol;
+      while ((eol = pending.find('\n')) != std::string::npos) {
+        std::string request = pending.substr(0, eol);
+        pending.erase(0, eol + 1);
+        if (!request.empty() && request.back() == '\r') request.pop_back();
+        std::string reply = dispatch(request);
+        reply += '\n';
+        std::size_t off = 0;
+        while (off < reply.size()) {
+          const ::ssize_t w =
+              ::write(fd, reply.data() + off, reply.size() - off);
+          if (w <= 0) return;
+          off += static_cast<std::size_t>(w);
+        }
+      }
+    }
+  }
+
+  void run() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      pollfd p{listen_fd, POLLIN, 0};
+      const int rc = ::poll(&p, 1, 100);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0 || (p.revents & POLLIN) == 0) continue;
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client < 0) continue;
+      serve_client(client);
+      ::close(client);
+    }
+  }
+};
+
+StatsEndpoint::StatsEndpoint(Options options) : impl_(new Impl) {
+  impl_->options = std::move(options);
+  const std::size_t tail = impl_->options.flight_tail;
+  impl_->sections = {
+      {"metrics", [] { return MetricsRegistry::instance().to_json(); }},
+      {"flight", [tail] { return FlightRecorder::instance().to_json(tail); }},
+      {"slo", [] { return slo_registry_to_json(); }},
+  };
+}
+
+StatsEndpoint::~StatsEndpoint() {
+  stop();
+  delete impl_;
+}
+
+void StatsEndpoint::add_section(const std::string& name,
+                                std::function<std::string()> provider) {
+  DCS_REQUIRE(!impl_->running.load(std::memory_order_acquire),
+              "add_section must be called before start()");
+  DCS_REQUIRE(!name.empty() && name != "all",
+              "section name must be non-empty and not 'all'");
+  for (auto& [existing, fn] : impl_->sections)
+    if (existing == name) {
+      fn = std::move(provider);
+      return;
+    }
+  impl_->sections.emplace_back(name, std::move(provider));
+}
+
+void StatsEndpoint::start() {
+  DCS_REQUIRE(!impl_->running.load(std::memory_order_acquire),
+              "stats endpoint already running");
+  const std::string& path = impl_->options.socket_path;
+  sockaddr_un addr{};
+  DCS_REQUIRE(!path.empty() && path.size() < sizeof addr.sun_path,
+              "stats socket path must be non-empty and fit sockaddr_un");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  DCS_REQUIRE(fd >= 0, "cannot create stats socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 8) != 0) {
+    const int err = errno;
+    ::close(fd);
+    DCS_REQUIRE(false, "cannot bind/listen stats socket '" + path +
+                           "': " + std::strerror(err));
+  }
+  impl_->listen_fd = fd;
+  impl_->stop.store(false, std::memory_order_relaxed);
+  impl_->running.store(true, std::memory_order_release);
+  impl_->server = std::thread([this] { impl_->run(); });
+}
+
+void StatsEndpoint::stop() {
+  if (!impl_->running.load(std::memory_order_acquire)) return;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  if (impl_->server.joinable()) impl_->server.join();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  ::unlink(impl_->options.socket_path.c_str());
+  impl_->running.store(false, std::memory_order_release);
+}
+
+bool StatsEndpoint::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+const std::string& StatsEndpoint::socket_path() const {
+  return impl_->options.socket_path;
+}
+
+}  // namespace dcs::obs

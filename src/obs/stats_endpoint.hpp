@@ -1,0 +1,67 @@
+#pragma once
+
+// Live introspection endpoint: a unix-socket, newline-delimited-JSON server.
+//
+// A client connects to the socket, writes a section name terminated by '\n'
+// ("metrics", "flight", "slo", or "all"), and receives exactly one JSON
+// document on a single line in response; the connection stays open for
+// further requests until the client closes it. `dcs_tool top` is the
+// reference client, but the protocol is deliberately shell-friendly:
+//
+//   printf 'all\n' | socat - UNIX-CONNECT:/tmp/dcs.sock
+//
+// Built-in sections:
+//   metrics  — MetricsRegistry::instance().to_json()
+//   flight   — FlightRecorder tail (most recent 64 events)
+//   slo      — slo_registry_to_json()
+//   all      — {"metrics":...,"flight":...,"slo":...} over every section
+//
+// add_section() registers (or overrides) a provider before start(); the
+// ROADMAP's daemon architecture will reuse this server as its control
+// socket, which is why providers are generic string thunks rather than a
+// fixed enum.
+//
+// The server runs one background thread; start() binds and listens (and
+// throws via DCS_REQUIRE if the path is unusable), stop() — also run by the
+// destructor — shuts the thread down and unlinks the socket path.
+
+#include <functional>
+#include <string>
+
+namespace dcs::obs {
+
+class StatsEndpoint {
+ public:
+  struct Options {
+    std::string socket_path;       ///< filesystem path for the AF_UNIX socket
+    std::size_t flight_tail = 64;  ///< events served by the "flight" section
+  };
+
+  explicit StatsEndpoint(Options options);
+  ~StatsEndpoint();
+
+  StatsEndpoint(const StatsEndpoint&) = delete;
+  StatsEndpoint& operator=(const StatsEndpoint&) = delete;
+
+  /// Registers `provider` under `name` (replacing any existing section).
+  /// Must be called before start(); providers run on the server thread and
+  /// must return a complete JSON document.
+  void add_section(const std::string& name,
+                   std::function<std::string()> provider);
+
+  /// Binds, listens, and starts the server thread. A stale socket file at
+  /// the path is removed first.
+  void start();
+
+  /// Stops the server thread and unlinks the socket. Idempotent.
+  void stop();
+
+  bool running() const;
+  const std::string& socket_path() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace dcs::obs

@@ -80,7 +80,9 @@ std::string Trace::to_json() {
        << ",\"cat\":\"dcs\",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
        << ",\"dur\":" << json_number(e.dur_us)
        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":"
-       << e.depth << "}}";
+       << e.depth;
+    if (e.trace_id != 0) os << ",\"trace\":" << e.trace_id;
+    os << "}}";
   }
   os << "]}";
   return os.str();

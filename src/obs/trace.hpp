@@ -34,6 +34,10 @@ struct TraceEvent {
   double dur_us;   ///< duration in microseconds
   std::uint32_t tid;    ///< small sequential id assigned per thread
   std::uint32_t depth;  ///< span nesting depth on that thread (0 = root)
+  /// Request trace id (obs/request_trace); 0 = not tied to a request.
+  /// Non-zero ids are exported as args.trace so a Perfetto query can pull
+  /// every span of one request's causal chain.
+  std::uint64_t trace_id = 0;
 };
 
 class Trace {

@@ -9,8 +9,10 @@
 
 #define DCS_LOG_COMPONENT "soak"
 #include "graph/bfs.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/matching.hpp"
 #include "serve/query_engine.hpp"
@@ -142,14 +144,36 @@ std::optional<std::string> check_query_answer(
   return std::nullopt;
 }
 
+/// Metrics are force-enabled for the soak's duration so the per-wave
+/// counter deltas in soak.json exist even under a metrics-off caller; the
+/// caller's switch is restored on exit.
+struct MetricsEnableGuard {
+  const bool prev = obs::metrics_enabled();
+  MetricsEnableGuard() { obs::set_metrics_enabled(true); }
+  ~MetricsEnableGuard() { obs::set_metrics_enabled(prev); }
+};
+
 struct SoakDriver {
   const Graph& g;
   const Graph& h0;
   const SoakOptions& options;
   const FailureSchedule* replay = nullptr;  ///< null = generate churn
 
+  /// Flags a violation: one flight-recorder event (so the flight.json tail
+  /// names the invariant and wave next to the epoch/shed events that led
+  /// up to it), then the structured SoakViolation. `invariant` must be a
+  /// string literal.
+  static void flag(SoakResult& result, std::size_t wave,
+                   const char* invariant, std::string detail) {
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kInvariant,
+                                           invariant, wave);
+    result.violations.push_back({wave, invariant, std::move(detail)});
+  }
+
   SoakResult run() {
     DCS_TRACE_SPAN("soak");
+    MetricsEnableGuard metrics_guard;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
     SoakResult result;
     ChurnEngineOptions churn = options.churn;
     churn.seed = mix64(options.seed, kChurnSalt);
@@ -173,6 +197,10 @@ struct SoakDriver {
       serve::ServeOptions serve_options;
       serve_options.shed_at = SupervisorState::kRebuilding;
       serve_options.require_fresh_certificate = true;
+      // Request tracing rides along: soak queries carry TraceContexts and
+      // feed tail exemplars, so the concurrent-tracing machinery soaks
+      // under churn too (and under the sanitizers in CI).
+      serve_options.trace.exemplars = true;
       query_engine.emplace(*store, serve_options);
       if (options.inject_stale_cache_bug) {
         query_engine->inject_stale_cache_bug();
@@ -180,10 +208,21 @@ struct SoakDriver {
     }
 
     for (std::size_t w = 0; w < options.waves; ++w) {
+      const obs::MetricsValueSnapshot wave_before = registry.value_snapshot();
+      result.wave_metrics_wave = w;
       std::span<const FaultEvent> events =
           replay != nullptr ? replay->wave(w) : engine.advance();
       const std::size_t prev_debt = supervisor.repair_debt();
       const auto report = supervisor.step(events);
+      // Per-wave counter deltas: recomputed every wave so the last one
+      // standing describes the final (or violating) wave. The early-break
+      // violation paths below leave the delta covering everything the wave
+      // did before it died.
+      const auto delta_here = [&] {
+        result.wave_metrics_delta =
+            obs::snapshot_delta(wave_before, registry.value_snapshot());
+      };
+      delta_here();
 
       result.waves_run = w + 1;
       result.max_debt = std::max(result.max_debt, report.debt);
@@ -193,20 +232,18 @@ struct SoakDriver {
 
       // Invariant: the ladder never bottoms out.
       if (report.state == SupervisorState::kLost) {
-        result.violations.push_back(
-            {w, "supervisor-lost",
-             "degradation ladder reached kLost: " + report.summary()});
+        flag(result, w, "supervisor-lost",
+             "degradation ladder reached kLost: " + report.summary());
         break;
       }
       // Invariant: a recertification with no outstanding debt certifies α —
       // the repair engine's deterministic guarantee, observed end to end.
       if (report.checked && report.debt == 0 &&
           report.certificate != GuaranteeStatus::kHeld) {
-        result.violations.push_back(
-            {w, "certificate-after-repair",
+        flag(result, w, "certificate-after-repair",
              "zero debt but certificate " +
                  std::string(to_string(report.certificate)) + ": " +
-                 supervisor.last_check().summary()});
+                 supervisor.last_check().summary());
         break;
       }
       // Invariant: debt only grows by this wave's endangered edges.
@@ -214,7 +251,7 @@ struct SoakDriver {
         std::ostringstream os;
         os << "debt " << prev_debt << " -> " << report.debt << " with only "
            << report.new_candidates << " new candidates";
-        result.violations.push_back({w, "repair-debt-monotone", os.str()});
+        flag(result, w, "repair-debt-monotone", os.str());
         break;
       }
 
@@ -244,7 +281,8 @@ struct SoakDriver {
             os << sr.delivered << " delivered + " << sr.shed << " shed + "
                << in_flight << " in flight != " << routing.paths.size()
                << " injected";
-            result.violations.push_back({w, "packet-leak", os.str()});
+            flag(result, w, "packet-leak", os.str());
+            delta_here();
             break;
           }
         }
@@ -279,12 +317,13 @@ struct SoakDriver {
           }
         }
         if (fail) {
-          result.violations.push_back(
-              {w, "query-certified",
-               "epoch " + std::to_string(snap->epoch) + ": " + *fail});
+          flag(result, w, "query-certified",
+               "epoch " + std::to_string(snap->epoch) + ": " + *fail);
+          delta_here();
           break;
         }
       }
+      delta_here();
     }
 
     if (query_engine) {
@@ -460,6 +499,10 @@ void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
        << ", \"epochs_published\": " << result.epochs_published
        << ", \"epochs_adopted\": " << result.epochs_adopted << "}"
        << ",\n  \"schedule_events\": " << result.schedule.events.size();
+    // Per-wave counter deltas (not cumulative totals): what moved during
+    // the last executed wave — the violating one when the run died.
+    os << ",\n  \"wave_metrics\": {\"wave\": " << result.wave_metrics_wave
+       << ", \"delta\": " << obs::to_json(result.wave_metrics_delta) << "}";
     os << ",\n  \"violations\": [";
     for (std::size_t i = 0; i < result.violations.size(); ++i) {
       const auto& v = result.violations[i];
@@ -477,6 +520,15 @@ void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
     }
     os << "\n}\n";
   });
+
+  // The flight recorder is a first-class soak artifact next to
+  // minimized.txt: on a violation its tail holds the epoch-publish / shed /
+  // invariant event sequence that causally explains it. Dumped on clean
+  // runs too — "what did the last waves do" is a question for those as
+  // well.
+  const std::string flight_path = (fs::path(dir) / "flight.json").string();
+  DCS_REQUIRE(obs::FlightRecorder::instance().dump(flight_path),
+              "cannot write flight recorder artifact: " + flight_path);
 }
 
 }  // namespace dcs

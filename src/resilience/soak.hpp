@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "resilience/churn_engine.hpp"
 #include "resilience/minimizer.hpp"
 #include "resilience/supervisor.hpp"
@@ -130,6 +131,14 @@ struct SoakResult {
   /// Every event the run consumed — replaying it reproduces the run.
   FailureSchedule schedule;
 
+  /// Scalar metric deltas over the last executed wave (the violating wave
+  /// when a violation stopped the run): the obs counters that moved during
+  /// that wave alone, not the cumulative totals. Metrics are force-enabled
+  /// for the soak's duration (and restored after) so the deltas exist even
+  /// when the caller runs with metrics off. Exported into soak.json.
+  obs::MetricsValueSnapshot wave_metrics_delta;
+  std::size_t wave_metrics_wave = 0;
+
   /// Filled when a violation was minimized.
   bool minimized_available = false;
   FailureSchedule minimized;
@@ -152,7 +161,10 @@ SoakResult replay_soak(const Graph& g, const Graph& h,
                        const SoakOptions& options);
 
 /// Writes the artifact files for `result` into `dir` (created if
-/// missing): schedule.txt, minimized.txt (when available), soak.json.
+/// missing): schedule.txt, minimized.txt (when available), soak.json, and
+/// flight.json (the flight recorder's event tail — on a violation its
+/// last events are the epoch-publish / shed / invariant sequence that
+/// explains it).
 void write_soak_artifacts(const std::string& dir, const SoakResult& result);
 
 }  // namespace dcs

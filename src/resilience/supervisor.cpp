@@ -5,6 +5,7 @@
 #include <vector>
 
 #define DCS_LOG_COMPONENT "supervisor"
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -116,7 +117,10 @@ std::uint64_t SpannerSupervisor::publish_snapshot(const Graph& g_surv) {
   cert.ladder = ladder_;
   cert.fresh = !cert_dirty_;
   last_published_state_ = ladder_;
-  return snapshots_->publish(g_surv, h_, cert);
+  const std::uint64_t epoch = snapshots_->publish(g_surv, h_, cert);
+  obs::FlightRecorder::instance().record(obs::FlightEventKind::kEpochPublish,
+                                         to_string(ladder_), epoch, wave_);
+  return epoch;
 }
 
 SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
@@ -221,6 +225,7 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
   report.certified_alpha = last_check_.certified_alpha;
 
   // 4. Advance the degradation ladder.
+  const SupervisorState ladder_before = ladder_;
   if (debt_.empty() && report.checked &&
       last_check_.distance == GuaranteeStatus::kLost) {
     // Nothing left to repair yet the certificate is gone: the maintenance
@@ -240,6 +245,13 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
     ladder_ = SupervisorState::kDegraded;
   }
 
+  if (ladder_ != ladder_before) {
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::kLadder, to_string(ladder_),
+        static_cast<std::uint64_t>(ladder_before),
+        static_cast<std::uint64_t>(ladder_));
+  }
+
   report.state = ladder_;
   report.debt = debt_.size();
 
@@ -251,6 +263,12 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
       (report.events_applied > 0 || report.repaired ||
        ladder_ != last_published_state_)) {
     report.epoch = publish_snapshot(g_surv);
+  }
+
+  if (report.repaired) {
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::kRepair, to_string(report.repair),
+        report.repaired_candidates, report.debt);
   }
 
   report.seconds = timer.seconds();

@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "graph/traversal.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -16,6 +18,16 @@
 namespace dcs::serve {
 
 namespace {
+
+/// serve.latency.us uses the log-spaced latency preset (1–2–5 µs decades)
+/// instead of the power-of-two default, which squashed the sub-millisecond
+/// tail. Compat note: bucket edges in exported histograms changed when this
+/// migrated (docs/observability.md).
+std::span<const double> latency_bounds() {
+  static const std::vector<double> bounds =
+      obs::HistogramMetric::latency_bounds_us();
+  return bounds;
+}
 
 /// Cached references into the process-wide registry (references stay valid
 /// for the process lifetime, so the hot path never re-hashes a name).
@@ -55,7 +67,8 @@ struct ServeMetrics {
   obs::HistogramMetric& batch_queries =
       obs::MetricsRegistry::instance().histogram("serve.batch.queries");
   obs::HistogramMetric& latency_us =
-      obs::MetricsRegistry::instance().histogram("serve.latency.us");
+      obs::MetricsRegistry::instance().histogram("serve.latency.us",
+                                                 latency_bounds());
 };
 
 ServeMetrics& metrics() {
@@ -115,7 +128,54 @@ std::vector<QueryResult> QueryEngine::serve_batch(
   metrics().queries.inc(queries.size());
   metrics().distance_queries.inc(distance);
   metrics().route_queries.inc(queries.size() - distance);
-  return execute(queries);
+  if (!options_.trace.exemplars) return execute(queries);
+
+  // Traced synchronous path: the batch-call latency is the whole story (no
+  // queue/dispatch phases), so the whole batch shares one total_us. Ids come
+  // from one block reservation and exemplars go through one offer_batch —
+  // per-query cost stays a couple of stores, not an atomic plus a mutex
+  // (the ≤3% tracing-overhead gate in bench_serve holds the line).
+  obs::RequestTracer& tracer = obs::RequestTracer::instance();
+  BatchMeta meta;
+  std::vector<QueryResult> results = execute(queries, &meta);
+  const double done_obs = obs::Trace::now_us();
+  const double total_us = done_obs - meta.start_obs_us;
+  const std::uint64_t first_id = tracer.next_trace_id_block(
+      std::max<std::uint64_t>(1, results.size()));
+  for (std::size_t i = 0; i < results.size(); ++i)
+    results[i].trace_id = first_id + i;
+  if (total_us >= tracer.threshold_us()) {
+    // Every result shares total_us here, so once the ring is full only the
+    // newest `capacity` of this batch can survive it — skip building the
+    // rest. A live Trace session is the exception: span chains are emitted
+    // per offered exemplar, so it gets the whole batch.
+    std::size_t first = 0;
+    if (!obs::Trace::active()) {
+      const std::size_t cap = tracer.capacity();
+      if (results.size() > cap) first = results.size() - cap;
+    }
+    // Scratch reused across batches: the exemplar block runs on every
+    // above-threshold batch, and a fresh allocation per batch shows up in
+    // the overhead gate.
+    static thread_local std::vector<obs::RequestExemplar> batch;
+    batch.assign(results.size() - first, obs::RequestExemplar{});
+    for (std::size_t i = first; i < results.size(); ++i) {
+      const QueryResult& r = results[i];
+      obs::RequestExemplar& ex = batch[i - first];
+      ex.trace_id = r.trace_id;
+      ex.batch_id = meta.batch_id;
+      ex.epoch = r.epoch;
+      ex.kind = static_cast<std::uint32_t>(queries[i].kind);
+      ex.outcome = static_cast<std::uint32_t>(r.outcome);
+      ex.cache_hit = r.cache_hit;
+      ex.start_us = meta.start_obs_us;
+      ex.execute_us = r.breakdown.execute_us;
+      ex.row_fill_us = r.breakdown.row_fill_us;
+      ex.total_us = total_us;
+    }
+    tracer.offer_batch(batch);
+  }
+  return results;
 }
 
 void QueryEngine::adopt_current_snapshot() {
@@ -134,6 +194,9 @@ void QueryEngine::adopt_current_snapshot() {
   ServeMetrics& m = metrics();
   m.epoch_invalidations.inc();
   m.epoch_rows_dropped.inc(dropped);
+  obs::FlightRecorder::instance().record(obs::FlightEventKind::kEpochAdopt,
+                                         "query-engine", serving_->epoch,
+                                         dropped);
 }
 
 bool QueryEngine::should_shed_degraded() const {
@@ -143,11 +206,12 @@ bool QueryEngine::should_shed_degraded() const {
   return static_cast<int>(cert.ladder) >= static_cast<int>(options_.shed_at);
 }
 
-std::vector<QueryResult> QueryEngine::execute(
-    std::span<const Query> queries) {
+std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
+                                              BatchMeta* meta) {
   std::lock_guard lock(serve_mutex_);
   DCS_TRACE_SPAN("serve_batch");
   Timer batch_timer;
+  const double start_obs_us = obs::Trace::now_us();
   ServeMetrics& m = metrics();
   n_batches_.fetch_add(1, std::memory_order_relaxed);
   m.batches.inc();
@@ -155,6 +219,13 @@ std::vector<QueryResult> QueryEngine::execute(
 
   adopt_current_snapshot();
   const std::uint64_t epoch = serving_->epoch;
+  if (meta != nullptr) {
+    meta->batch_id = options_.trace.exemplars
+                         ? obs::RequestTracer::instance().next_batch_id()
+                         : 0;
+    meta->epoch = epoch;
+    meta->start_obs_us = start_obs_us;
+  }
   std::vector<QueryResult> results(queries.size());
 
   // Graceful degradation: the pinned certificate is below the serving
@@ -169,6 +240,8 @@ std::vector<QueryResult> QueryEngine::execute(
     }
     n_shed_degraded_.fetch_add(queries.size(), std::memory_order_relaxed);
     m.shed_degraded.inc(queries.size());
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
+                                           "degraded", queries.size(), epoch);
     const double elapsed_us = batch_timer.seconds() * 1e6;
     for (QueryResult& r : results) r.latency_us = elapsed_us;
     return results;
@@ -193,6 +266,7 @@ std::vector<QueryResult> QueryEngine::execute(
     DCS_REQUIRE(q.u < n_ && q.v < n_, "query vertex out of range");
     if (q.kind == QueryKind::kDistance) {
       if (const std::vector<Dist>* row = rows_.find(q.u)) {
+        results[i].cache_hit = true;
         answer_distance(results[i], (*row)[q.v]);
       } else {
         const auto [it, fresh] = miss_by_source.try_emplace(q.u);
@@ -243,6 +317,11 @@ std::vector<QueryResult> QueryEngine::execute(
     }
   }
 
+  // The sweep (phases 1–2) is done; everything after this stamp is route
+  // row fill. Batch phases are attributed whole to each query — see
+  // QueryLatencyBreakdown.
+  const double sweep_done_us = batch_timer.seconds() * 1e6;
+
   // Phase 3: routes. Lazily fill the next-hop rows for this batch's
   // distinct destinations (parallel, disjoint rows), then walk each path.
   if (!route_indices.empty()) {
@@ -285,9 +364,14 @@ std::vector<QueryResult> QueryEngine::execute(
   }
 
   const double elapsed_us = batch_timer.seconds() * 1e6;
-  for (QueryResult& r : results) {
+  const double row_fill_us = elapsed_us - sweep_done_us;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    QueryResult& r = results[i];
     r.epoch = epoch;
     r.latency_us = elapsed_us;
+    r.breakdown.execute_us = sweep_done_us;
+    if (queries[i].kind == QueryKind::kRoute)
+      r.breakdown.row_fill_us = row_fill_us;
   }
   return results;
 }
@@ -318,6 +402,14 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
   std::promise<QueryResult> promise;
   std::future<QueryResult> future = promise.get_future();
   const std::uint64_t now = now_us();
+  // The TraceContext is allocated here, before admission, so even a shed
+  // request has an identity its caller can correlate.
+  obs::TraceContext ctx;
+  double enqueue_obs_us = 0.0;
+  if (options_.trace.exemplars) {
+    ctx.trace_id = obs::RequestTracer::instance().next_trace_id();
+    enqueue_obs_us = obs::Trace::now_us();
+  }
   bool admitted = false;
   {
     std::lock_guard lock(queue_mutex_);
@@ -334,6 +426,8 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
       pending.query = query;
       pending.enqueue_us = now;
       pending.deadline_us = admission_.deadline_for(now, query.deadline_us);
+      pending.ctx = ctx;
+      pending.enqueue_obs_us = enqueue_obs_us;
       pending.promise = std::move(promise);
       queue_.push_back(std::move(pending));
       admitted = true;
@@ -352,8 +446,11 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
     queue_cv_.notify_one();
   } else {
     m.shed_admission.inc();
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
+                                           "admission", 1, ctx.trace_id);
     QueryResult shed;
     shed.outcome = QueryOutcome::kShedAdmission;
+    shed.trace_id = ctx.trace_id;
     promise.set_value(std::move(shed));
   }
   return future;
@@ -398,33 +495,77 @@ void QueryEngine::dispatcher_loop() {
     // Deadline shedding: a query whose budget elapsed while queued gets a
     // terminal outcome now instead of consuming a sweep it cannot use.
     const std::uint64_t drain_time = now_us();
+    const double drain_obs_us = obs::Trace::now_us();
+    obs::RequestTracer& tracer = obs::RequestTracer::instance();
     std::vector<Query> live;
     std::vector<std::size_t> live_index;
     live.reserve(drained.size());
+    std::uint64_t deadline_sheds = 0;
     for (std::size_t i = 0; i < drained.size(); ++i) {
       if (AdmissionController::expired(drain_time, drained[i].deadline_us)) {
         n_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
         m.shed_deadline.inc();
+        ++deadline_sheds;
         QueryResult shed;
         shed.outcome = QueryOutcome::kShedDeadline;
         shed.latency_us =
             static_cast<double>(drain_time - drained[i].enqueue_us);
+        shed.trace_id = drained[i].ctx.trace_id;
+        if (shed.trace_id != 0) {
+          shed.breakdown.queue_us = drain_obs_us - drained[i].enqueue_obs_us;
+          obs::RequestExemplar ex;
+          ex.trace_id = shed.trace_id;
+          ex.kind = static_cast<std::uint32_t>(drained[i].query.kind);
+          ex.outcome = static_cast<std::uint32_t>(shed.outcome);
+          ex.start_us = drained[i].enqueue_obs_us;
+          ex.queue_us = shed.breakdown.queue_us;
+          ex.total_us = shed.breakdown.queue_us;
+          tracer.offer(ex);
+        }
         drained[i].promise.set_value(std::move(shed));
       } else {
         live.push_back(drained[i].query);
         live_index.push_back(i);
       }
     }
+    if (deadline_sheds > 0)
+      obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
+                                             "deadline", deadline_sheds);
     if (live.empty()) continue;
 
     try {
-      std::vector<QueryResult> results = execute(live);
+      BatchMeta meta;
+      std::vector<QueryResult> results = execute(live, &meta);
       const std::uint64_t done = now_us();
+      const double done_obs_us = obs::Trace::now_us();
+      const bool slo_on = obs::metrics_enabled();
       for (std::size_t j = 0; j < results.size(); ++j) {
         Pending& pending = drained[live_index[j]];
         results[j].latency_us =
             static_cast<double>(done - pending.enqueue_us);
         m.latency_us.record(results[j].latency_us);
+        if (slo_on)
+          obs::slo_tracker("serve.latency").record(results[j].latency_us);
+        if (pending.ctx.trace_id != 0) {
+          QueryResult& r = results[j];
+          r.trace_id = pending.ctx.trace_id;
+          r.breakdown.queue_us = drain_obs_us - pending.enqueue_obs_us;
+          r.breakdown.dispatch_us = meta.start_obs_us - drain_obs_us;
+          obs::RequestExemplar ex;
+          ex.trace_id = r.trace_id;
+          ex.batch_id = meta.batch_id;
+          ex.epoch = r.epoch;
+          ex.kind = static_cast<std::uint32_t>(pending.query.kind);
+          ex.outcome = static_cast<std::uint32_t>(r.outcome);
+          ex.cache_hit = r.cache_hit;
+          ex.start_us = pending.enqueue_obs_us;
+          ex.queue_us = r.breakdown.queue_us;
+          ex.dispatch_us = r.breakdown.dispatch_us;
+          ex.execute_us = r.breakdown.execute_us;
+          ex.row_fill_us = r.breakdown.row_fill_us;
+          ex.total_us = done_obs_us - pending.enqueue_obs_us;
+          tracer.offer(ex);
+        }
         pending.promise.set_value(std::move(results[j]));
       }
     } catch (...) {

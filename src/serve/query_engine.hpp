@@ -65,6 +65,7 @@
 
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
+#include "obs/request_trace.hpp"
 #include "routing/routing.hpp"
 #include "routing/tables.hpp"
 #include "serve/admission.hpp"
@@ -88,6 +89,23 @@ struct Query {
   std::uint64_t deadline_us = 0;
 };
 
+/// Per-query latency decomposition, microseconds. The phases partition the
+/// end-to-end latency: queue_us (submit → dispatcher drain) + dispatch_us
+/// (drain → sweep start) + execute_us (coalesce + MS-BFS sweep) +
+/// row_fill_us (route next-hop fill). Batch-level phases (execute,
+/// row_fill) are attributed whole to every query in the batch — the
+/// question they answer is "what was this query waiting on", not "what
+/// share of the sweep did it consume" — and are filled on every path;
+/// queue_us/dispatch_us need a TraceContext, so they are 0 unless
+/// ServeOptions::trace.exemplars is on (and always 0 on the synchronous
+/// serve_batch() path, which has no queue).
+struct QueryLatencyBreakdown {
+  double queue_us = 0.0;
+  double dispatch_us = 0.0;
+  double execute_us = 0.0;
+  double row_fill_us = 0.0;
+};
+
 struct QueryResult {
   QueryOutcome outcome = QueryOutcome::kServed;
   /// Hop distance u → v (route queries: the served path's length);
@@ -101,6 +119,11 @@ struct QueryResult {
   /// Submit-to-completion latency (concurrent path) or batch-call latency
   /// (synchronous path), microseconds.
   double latency_us = 0.0;
+  /// Request trace id (obs/request_trace); 0 when tracing is off.
+  std::uint64_t trace_id = 0;
+  /// Distance query answered from the 2Q row cache without a sweep.
+  bool cache_hit = false;
+  QueryLatencyBreakdown breakdown;
 };
 
 struct ServeOptions {
@@ -125,6 +148,16 @@ struct ServeOptions {
   /// Also shed when the published certificate was not re-measured against
   /// the published topology (SpannerCertificate::fresh == false).
   bool require_fresh_certificate = false;
+  /// Request tracing. Off by default: untraced requests skip id allocation
+  /// and exemplar offers entirely (the obs layer's disabled-cost
+  /// discipline). When on, every request gets a TraceContext at submit()
+  /// and completed requests at/above RequestTracer's threshold are kept as
+  /// tail exemplars (configure the threshold via
+  /// obs::RequestTracer::instance().configure()).
+  struct RequestTraceOptions {
+    bool exemplars = false;
+  };
+  RequestTraceOptions trace;
 };
 
 /// Monotonic tallies, readable concurrently with serving. Conservation:
@@ -211,13 +244,25 @@ class QueryEngine {
     Query query;
     std::uint64_t enqueue_us = 0;
     std::uint64_t deadline_us = 0;  // absolute; 0 = none
+    obs::TraceContext ctx;          // trace_id 0 = untraced
+    double enqueue_obs_us = 0.0;    // obs clock, for the queue_wait phase
     std::promise<QueryResult> promise;
+  };
+
+  /// Causal coordinates of one execute() call, for exemplar assembly.
+  struct BatchMeta {
+    std::uint64_t batch_id = 0;    // 0 when tracing is off
+    std::uint64_t epoch = 0;
+    double start_obs_us = 0.0;     // obs clock at sweep start
   };
 
   void dispatcher_loop();
   /// The coalesced serving core (takes serve_mutex_); counts everything
-  /// except query intake, which submit()/serve_batch() tally.
-  std::vector<QueryResult> execute(std::span<const Query> queries);
+  /// except query intake, which submit()/serve_batch() tally. Fills each
+  /// result's execute/row_fill breakdown and, when `meta` is non-null, the
+  /// batch's causal coordinates.
+  std::vector<QueryResult> execute(std::span<const Query> queries,
+                                   BatchMeta* meta = nullptr);
   /// Pins the store's current snapshot and, on an epoch change, drops the
   /// caches keyed to the previous epoch. Caller holds serve_mutex_.
   void adopt_current_snapshot();

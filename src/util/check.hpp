@@ -23,6 +23,7 @@
 // the terminate handler. (The library itself contains no bare `assert`
 // calls; this header is the single checking facility.)
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -30,6 +31,29 @@
 #include <string>
 
 namespace dcs::detail {
+
+/// Hook invoked (once, before std::abort) when DCS_CHECK_ABORT fails. The
+/// observability layer arms this to dump the flight recorder; the default is
+/// none. Must be noexcept and async-termination-tolerant: the process is
+/// already dying when it runs.
+using CheckFailureHook = void (*)() noexcept;
+
+inline std::atomic<CheckFailureHook>& check_failure_hook() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
+inline void set_check_failure_hook(CheckFailureHook hook) noexcept {
+  check_failure_hook().store(hook, std::memory_order_release);
+}
+
+/// Fires the armed hook, if any (also a test seam: lets tests exercise the
+/// dump path without actually aborting).
+inline void notify_check_failure() noexcept {
+  if (CheckFailureHook hook =
+          check_failure_hook().load(std::memory_order_acquire))
+    hook();
+}
 
 [[noreturn]] inline void throw_require(const char* expr, const char* file,
                                        int line, const std::string& msg) {
@@ -55,6 +79,7 @@ namespace dcs::detail {
   std::fprintf(stderr, "invariant violated: %s at %s:%d%s%s\n", expr, file,
                line, msg.empty() ? "" : " — ", msg.c_str());
   std::fflush(stderr);
+  notify_check_failure();
   std::abort();
 }
 

@@ -7,6 +7,8 @@
 
 #include "core/regular_spanner.hpp"
 #include "graph/generators.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "resilience/churn_engine.hpp"
 #include "resilience/minimizer.hpp"
 #include "resilience/soak.hpp"
@@ -543,6 +545,95 @@ TEST(Soak, WritesArtifacts) {
   std::ifstream is(dir + "/schedule.txt");
   const auto schedule = read_schedule(is);
   EXPECT_EQ(schedule, result.schedule);
+
+  // The flight recorder's tail is a first-class artifact too.
+  EXPECT_TRUE(fs::exists(dir + "/flight.json"));
+}
+
+TEST(Soak, RecordsPerWaveMetricsDeltas) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  SoakOptions o;
+  o.waves = 20;
+  o.traffic_interval = 5;
+  const auto result = run_soak(g, built.spanner.h, o);
+  ASSERT_TRUE(result.ok());
+  // The delta covers the last executed wave alone: exactly one supervisor
+  // step moved the counters (metrics are force-enabled by the soak even
+  // though this test never enabled them).
+  EXPECT_EQ(result.wave_metrics_wave, result.waves_run - 1);
+  bool found = false;
+  for (const auto& [name, value] : result.wave_metrics_delta.counters) {
+    if (name == "supervisor.waves") {
+      found = true;
+      EXPECT_EQ(value, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Soak, FlightRecorderTailCausallyExplainsTheViolation) {
+  namespace fs = std::filesystem;
+  obs::FlightRecorder::instance().set_enabled(true);
+  obs::FlightRecorder::instance().clear();
+
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  const std::string dir = ::testing::TempDir() + "/dcs_soak_flight";
+  fs::remove_all(dir);
+
+  auto o = small_soak_options();
+  o.qps = 8;
+  o.inject_stale_cache_bug = true;
+  o.minimize_on_violation = false;  // artifacts only, keep the test fast
+  o.artifacts_dir = dir;
+  const auto caught = run_soak(g, built.spanner.h, o);
+  ASSERT_FALSE(caught.ok());
+  const auto& violation = caught.violations.front();
+  EXPECT_EQ(violation.invariant, "query-certified");
+
+  // soak.json carries the violating wave's metric deltas.
+  std::ifstream soak_is(dir + "/soak.json");
+  std::stringstream soak_buf;
+  soak_buf << soak_is.rdbuf();
+  const auto soak_json = obs::parse_json(soak_buf.str());
+  ASSERT_TRUE(soak_json.has("wave_metrics"));
+  EXPECT_EQ(soak_json.at("wave_metrics").at("wave").as_number(),
+            static_cast<double>(violation.wave));
+  EXPECT_FALSE(soak_json.at("wave_metrics")
+                   .at("delta")
+                   .at("counters")
+                   .as_object()
+                   .empty());
+
+  // flight.json's event tail explains the violation causally: the epoch
+  // publishes and adoptions that preceded the stale read, then the
+  // invariant event itself, stamped with the violating wave.
+  ASSERT_TRUE(fs::exists(dir + "/flight.json"));
+  std::ifstream flight_is(dir + "/flight.json");
+  std::stringstream flight_buf;
+  flight_buf << flight_is.rdbuf();
+  const auto flight = obs::parse_json(flight_buf.str());
+  const auto& events = flight.at("flight").as_array();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_publish = false;
+  bool saw_adopt = false;
+  std::ptrdiff_t last_invariant = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& kind = events[i].at("kind").as_string();
+    if (kind == "invariant") last_invariant = static_cast<std::ptrdiff_t>(i);
+    if (last_invariant < 0) {
+      saw_publish |= kind == "epoch-publish";
+      saw_adopt |= kind == "epoch-adopt";
+    }
+  }
+  ASSERT_GE(last_invariant, 0);
+  EXPECT_TRUE(saw_publish);
+  EXPECT_TRUE(saw_adopt);
+  const auto& inv = events[static_cast<std::size_t>(last_invariant)];
+  EXPECT_EQ(inv.at("detail").as_string(), "query-certified");
+  EXPECT_EQ(inv.at("a").as_number(), static_cast<double>(violation.wave));
 }
 
 }  // namespace

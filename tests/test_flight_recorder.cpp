@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/stats_endpoint.hpp"
+#include "util/check.hpp"
+
+namespace dcs::obs {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// The recorder is process-global; every test starts from a hidden history
+// and restores the always-on defaults on the way out.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::instance().set_enabled(true);
+    FlightRecorder::instance().clear();
+  }
+  void TearDown() override {
+    FlightRecorder::instance().set_enabled(true);
+    FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, RecordedEventsComeBackInTimestampOrder) {
+  auto& rec = FlightRecorder::instance();
+  rec.record(FlightEventKind::kEpochPublish, "healthy", 1, 10);
+  rec.record(FlightEventKind::kShed, "admission", 3, 1);
+  rec.record(FlightEventKind::kRepair, "repaired", 7, 0);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kEpochPublish);
+  EXPECT_STREQ(events[0].detail, "healthy");
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 10u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kShed);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kRepair);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  const auto tail = rec.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].kind, FlightEventKind::kShed);
+  EXPECT_EQ(tail[1].kind, FlightEventKind::kRepair);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  auto& rec = FlightRecorder::instance();
+  rec.set_enabled(false);
+  rec.record(FlightEventKind::kCustom, "dropped");
+  EXPECT_TRUE(rec.snapshot().empty());
+  rec.set_enabled(true);
+  rec.record(FlightEventKind::kCustom, "kept");
+  ASSERT_EQ(rec.snapshot().size(), 1u);
+  EXPECT_STREQ(rec.snapshot()[0].detail, "kept");
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsOnlyTheNewestEvents) {
+  auto& rec = FlightRecorder::instance();
+  const std::size_t prev = rec.capacity();
+  rec.set_capacity(16);
+  // Capacity applies to rings created after the call, so record from a
+  // fresh thread whose ring does not exist yet.
+  std::thread writer([&rec] {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      rec.record(FlightEventKind::kCustom, "wrap", i, 0);
+    }
+  });
+  writer.join();
+  rec.set_capacity(prev);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 84u + i);  // the last 16 of 0..99
+  }
+}
+
+TEST_F(FlightRecorderTest, SetCapacityRejectsZero) {
+  EXPECT_THROW(FlightRecorder::instance().set_capacity(0),
+               std::exception);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersLoseNothingAndJsonParses) {
+  auto& rec = FlightRecorder::instance();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kEventsPer = 200;  // well under the ring capacity
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (std::uint64_t i = 0; i < kEventsPer; ++i) {
+        rec.record(FlightEventKind::kShed, "hammer", i, t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto events = rec.snapshot();
+  EXPECT_EQ(events.size(), kThreads * kEventsPer);
+  for (const auto& e : events) ASSERT_LT(e.b, kThreads);
+  const auto v = parse_json(rec.to_json());
+  EXPECT_EQ(v.at("flight").as_array().size(), kThreads * kEventsPer);
+  for (const auto& e : v.at("flight").as_array()) {
+    EXPECT_EQ(e.at("kind").as_string(), "shed");
+    EXPECT_EQ(e.at("detail").as_string(), "hammer");
+  }
+}
+
+TEST_F(FlightRecorderTest, SnapshotWhileRecordingNeverTearsEvents) {
+  auto& rec = FlightRecorder::instance();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      rec.record(FlightEventKind::kEpochAdopt, "spin", i, i + 1);
+      ++i;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& e : rec.snapshot()) {
+      // A torn slot would mix payloads from different events; the seqlock
+      // must discard it instead.
+      EXPECT_EQ(e.b, e.a + 1);
+      EXPECT_STREQ(e.detail, "spin");
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST_F(FlightRecorderTest, ClearHidesOldEventsButNotNewOnes) {
+  auto& rec = FlightRecorder::instance();
+  rec.record(FlightEventKind::kCustom, "old");
+  rec.clear();
+  EXPECT_TRUE(rec.snapshot().empty());
+  rec.record(FlightEventKind::kCustom, "new");
+  ASSERT_EQ(rec.snapshot().size(), 1u);
+  EXPECT_STREQ(rec.snapshot()[0].detail, "new");
+}
+
+TEST_F(FlightRecorderTest, DumpWritesParseableJson) {
+  auto& rec = FlightRecorder::instance();
+  rec.record(FlightEventKind::kInvariant, "packet-leak", 42, 0);
+  const std::string path = temp_path("flight_dump.json");
+  ASSERT_TRUE(rec.dump(path));
+  const auto v = parse_json(read_file(path));
+  ASSERT_EQ(v.at("flight").as_array().size(), 1u);
+  const auto& e = v.at("flight").as_array()[0];
+  EXPECT_EQ(e.at("kind").as_string(), "invariant");
+  EXPECT_EQ(e.at("detail").as_string(), "packet-leak");
+  EXPECT_EQ(e.at("a").as_number(), 42.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DumpToUnwritablePathReturnsFalse) {
+  EXPECT_FALSE(FlightRecorder::instance().dump("/nonexistent-dir/f.json"));
+}
+
+TEST_F(FlightRecorderTest, CheckFailureHookDumpsTheArmedPath) {
+  auto& rec = FlightRecorder::instance();
+  rec.record(FlightEventKind::kEpochPublish, "healthy", 9, 3);
+  const std::string path = temp_path("flight_crash.json");
+  // No signal handlers: this test only exercises the DCS_CHECK hook, and
+  // process-global handlers would outlive the test.
+  rec.arm_crash_dump(path, /*install_signal_handlers=*/false);
+  dcs::detail::notify_check_failure();  // what abort_check runs before abort
+  const auto v = parse_json(read_file(path));
+  const auto& events = v.at("flight").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("kind").as_string(), "epoch-publish");
+  EXPECT_EQ(events[1].at("kind").as_string(), "check-fail");
+  EXPECT_EQ(events[1].at("detail").as_string(), "check-abort");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- stats endpoint ----
+
+// Minimal blocking client for the newline-delimited JSON protocol.
+class StatsClient {
+ public:
+  explicit StatsClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~StatsClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  std::string request(const std::string& section) {
+    const std::string line = section + "\n";
+    EXPECT_EQ(::write(fd_, line.data(), line.size()),
+              static_cast<ssize_t>(line.size()));
+    std::string reply;
+    char c = 0;
+    while (::read(fd_, &c, 1) == 1 && c != '\n') reply.push_back(c);
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class StatsEndpointTest : public FlightRecorderTest {
+ protected:
+  void SetUp() override {
+    FlightRecorderTest::SetUp();
+    set_metrics_enabled(true);
+    MetricsRegistry::instance().reset();
+    reset_slo_registry();
+  }
+  void TearDown() override {
+    reset_slo_registry();
+    set_metrics_enabled(false);
+    FlightRecorderTest::TearDown();
+  }
+};
+
+TEST_F(StatsEndpointTest, ServesBuiltinSectionsOverOneConnection) {
+  MetricsRegistry::instance().counter("endpoint_test.requests").inc(5);
+  slo_tracker("endpoint_test").record(1.0);
+  FlightRecorder::instance().record(FlightEventKind::kLadder, "degraded", 0,
+                                    1);
+
+  StatsEndpoint endpoint({.socket_path = temp_path("dcs_stats.sock")});
+  endpoint.start();
+  ASSERT_TRUE(endpoint.running());
+
+  StatsClient client(endpoint.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  const auto metrics = parse_json(client.request("metrics"));
+  EXPECT_EQ(metrics.at("counters").at("endpoint_test.requests").as_number(),
+            5.0);
+
+  const auto flight = parse_json(client.request("flight"));
+  ASSERT_EQ(flight.at("flight").as_array().size(), 1u);
+  EXPECT_EQ(flight.at("flight").as_array()[0].at("kind").as_string(),
+            "ladder");
+
+  const auto all = parse_json(client.request("all"));
+  EXPECT_TRUE(all.has("metrics"));
+  EXPECT_TRUE(all.has("flight"));
+  EXPECT_TRUE(all.has("slo"));
+  EXPECT_TRUE(all.at("slo").has("endpoint_test"));
+
+  const auto bogus = parse_json(client.request("bogus"));
+  EXPECT_NE(bogus.at("error").as_string().find("bogus"), std::string::npos);
+
+  endpoint.stop();
+  EXPECT_FALSE(endpoint.running());
+}
+
+TEST_F(StatsEndpointTest, CustomSectionsAndSocketCleanup) {
+  const std::string path = temp_path("dcs_stats2.sock");
+  {
+    StatsEndpoint endpoint({.socket_path = path});
+    endpoint.add_section("build", [] { return R"({"rev":"test"})"; });
+    endpoint.start();
+    StatsClient client(path);
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(parse_json(client.request("build")).at("rev").as_string(),
+              "test");
+    const auto all = parse_json(client.request("all"));
+    EXPECT_EQ(all.at("build").at("rev").as_string(), "test");
+  }
+  // The destructor stops the server and unlinks the socket path.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace dcs::obs

@@ -1,16 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -361,6 +365,276 @@ TEST_F(TraceTest, SpansFromPoolWorkersCarryDistinctThreadIds) {
     EXPECT_STREQ(e.name, "worker");
     EXPECT_EQ(e.depth, 0u);
   }
+}
+
+TEST_F(TraceTest, ConcurrentSpanHammerLosesNothingAndParsesBack) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPer = 400;
+  Trace::start();
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::size_t i = 0; i < kSpansPer; ++i) {
+        DCS_TRACE_SPAN("hammer");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Trace::stop();
+  EXPECT_EQ(Trace::events().size(), kThreads * kSpansPer);
+  const auto v = parse_json(Trace::to_json());
+  const auto& events = v.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), kThreads * kSpansPer);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("name").as_string(), "hammer");
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+  }
+}
+
+// --------------------------------------------------- metrics snapshots ----
+
+namespace {
+
+template <typename Pairs>
+const typename Pairs::value_type::second_type* find_value(
+    const Pairs& pairs, const std::string& name) {
+  for (const auto& [key, value] : pairs)
+    if (key == name) return &value;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST_F(MetricsTest, SnapshotDeltaReportsOnlyMovement) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("obs_test.delta_moving").inc(2);
+  reg.counter("obs_test.delta_static").inc(9);
+  reg.gauge("obs_test.delta_gauge").set(1.0);
+  const auto before = reg.value_snapshot();
+
+  reg.counter("obs_test.delta_moving").inc(3);
+  reg.counter("obs_test.delta_new").inc(7);
+  reg.gauge("obs_test.delta_gauge").set(4.5);
+  const auto after = reg.value_snapshot();
+
+  const auto delta = snapshot_delta(before, after);
+  const auto* moving = find_value(delta.counters, "obs_test.delta_moving");
+  ASSERT_NE(moving, nullptr);
+  EXPECT_EQ(*moving, 3u);
+  const auto* fresh = find_value(delta.counters, "obs_test.delta_new");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(*fresh, 7u);
+  // Untouched counters are dropped from the delta entirely.
+  EXPECT_EQ(find_value(delta.counters, "obs_test.delta_static"), nullptr);
+  const auto* gauge = find_value(delta.gauges, "obs_test.delta_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(*gauge, 4.5);
+
+  const auto v = parse_json(to_json(delta));
+  EXPECT_EQ(v.at("counters").at("obs_test.delta_moving").as_number(), 3.0);
+  EXPECT_EQ(v.at("gauges").at("obs_test.delta_gauge").as_number(), 4.5);
+  EXPECT_FALSE(v.at("counters").has("obs_test.delta_static"));
+}
+
+TEST_F(MetricsTest, LatencyBucketPresetIsThe125Ladder) {
+  const auto bounds = HistogramMetric::latency_bounds_us();
+  ASSERT_EQ(bounds.size(), 22u);  // 7 decades x {1,2,5} + the 10s cap
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 5.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 10.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e7);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+  // Bounds apply at creation: a fresh histogram on the preset buckets the
+  // microsecond axis as documented.
+  auto& h = MetricsRegistry::instance().histogram("obs_test.latency_preset",
+                                                  bounds);
+  h.record(3.0);      // lands in (2, 5]
+  h.record(2e7);      // overflow bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), bounds.size() + 1);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets.back(), 1u);
+}
+
+// ------------------------------------------------------ request tracing ----
+
+class RequestTracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RequestTracer::instance().configure(0.0, 4); }
+  void TearDown() override {
+    RequestTracer::instance().configure(0.0, 256);
+    RequestTracer::instance().clear();
+    Trace::stop();
+  }
+};
+
+TEST_F(RequestTracerTest, IdsAreUniqueAndNeverZero) {
+  auto& tracer = RequestTracer::instance();
+  const auto t1 = tracer.next_trace_id();
+  const auto t2 = tracer.next_trace_id();
+  const auto b1 = tracer.next_batch_id();
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(b1, 0u);
+  EXPECT_LT(t1, t2);
+}
+
+TEST_F(RequestTracerTest, ThresholdGatesWhichExemplarsAreKept) {
+  auto& tracer = RequestTracer::instance();
+  tracer.configure(100.0, 8);
+  RequestExemplar fast;
+  fast.trace_id = 1;
+  fast.total_us = 50.0;
+  tracer.offer(fast);
+  EXPECT_EQ(tracer.size(), 0u);
+  RequestExemplar slow;
+  slow.trace_id = 2;
+  slow.total_us = 150.0;
+  tracer.offer(slow);
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.exemplars()[0].trace_id, 2u);
+}
+
+TEST_F(RequestTracerTest, RingKeepsTheNewestExemplarsOldestFirst) {
+  auto& tracer = RequestTracer::instance();  // capacity 4 from SetUp
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    RequestExemplar e;
+    e.trace_id = id;
+    e.total_us = 10.0;
+    tracer.offer(e);
+  }
+  const auto kept = tracer.exemplars();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].trace_id, 3u + i);
+  }
+}
+
+TEST_F(RequestTracerTest, ToJsonCarriesTheFullDecomposition) {
+  auto& tracer = RequestTracer::instance();
+  RequestExemplar e;
+  e.trace_id = 11;
+  e.batch_id = 3;
+  e.epoch = 9;
+  e.cache_hit = true;
+  e.queue_us = 5.0;
+  e.dispatch_us = 1.0;
+  e.execute_us = 20.0;
+  e.row_fill_us = 4.0;
+  e.total_us = 30.0;
+  tracer.offer(e);
+  const auto v = parse_json(tracer.to_json());
+  EXPECT_EQ(v.at("threshold_us").as_number(), 0.0);
+  const auto& kept = v.at("exemplars").as_array();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].at("trace_id").as_number(), 11.0);
+  EXPECT_EQ(kept[0].at("batch_id").as_number(), 3.0);
+  EXPECT_EQ(kept[0].at("epoch").as_number(), 9.0);
+  EXPECT_TRUE(kept[0].at("cache_hit").as_bool());
+  EXPECT_EQ(kept[0].at("queue_us").as_number(), 5.0);
+  EXPECT_EQ(kept[0].at("total_us").as_number(), 30.0);
+}
+
+TEST_F(RequestTracerTest, ActiveTraceSessionGetsTheSpanChain) {
+  Trace::start();
+  RequestExemplar e;
+  e.trace_id = 42;
+  e.start_us = Trace::now_us();
+  e.queue_us = 5.0;
+  e.dispatch_us = 1.0;
+  e.execute_us = 20.0;
+  e.row_fill_us = 0.0;  // distance query: no row-fill span
+  e.total_us = 26.0;
+  RequestTracer::instance().offer(e);
+  Trace::stop();
+
+  const auto events = Trace::events();
+  std::vector<std::string> names;
+  for (const auto& ev : events) {
+    names.emplace_back(ev.name);
+    EXPECT_EQ(ev.trace_id, 42u);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "req"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "req.queue_wait"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "req.dispatch"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "req.execute"),
+            names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "req.row_fill"),
+            names.end());
+
+  // The Chrome trace carries the request id as args.trace.
+  const auto v = parse_json(Trace::to_json());
+  for (const auto& ev : v.at("traceEvents").as_array()) {
+    EXPECT_EQ(ev.at("args").at("trace").as_number(), 42.0);
+  }
+}
+
+// ------------------------------------------------------------------ slo ----
+
+TEST(Slo, BurnRateArithmeticMatchesTheDefinition) {
+  SloOptions o;
+  o.threshold_us = 1000.0;
+  o.objective = 0.9;
+  o.window_s = 60.0;
+  o.buckets = 60;
+  SloTracker tracker(o);
+  for (int i = 0; i < 8; ++i) tracker.record(10.0);
+  for (int i = 0; i < 2; ++i) tracker.record(5000.0);
+  const auto windows = tracker.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  // Long window: 10 requests, 2 over threshold, objective 0.9 → the error
+  // budget is burning at exactly 2x.
+  EXPECT_EQ(windows[0].total, 10u);
+  EXPECT_EQ(windows[0].breaching, 2u);
+  EXPECT_DOUBLE_EQ(windows[0].bad_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(windows[0].burn_rate, 2.0);
+  // All traffic just happened, so the short window sees it too.
+  EXPECT_EQ(windows[1].total, 10u);
+  EXPECT_GT(windows[0].seconds, windows[1].seconds);
+
+  const auto v = parse_json(tracker.to_json());
+  EXPECT_EQ(v.at("objective").as_number(), 0.9);
+  ASSERT_EQ(v.at("windows").as_array().size(), 2u);
+  // 0.2 / (1 - 0.9) is 2 + 4e-16 in binary floating point; the JSON
+  // round-trip preserves it exactly, so compare with ULP tolerance.
+  EXPECT_DOUBLE_EQ(v.at("windows").as_array()[0].at("burn_rate").as_number(),
+                   2.0);
+
+  tracker.reset();
+  EXPECT_EQ(tracker.windows()[0].total, 0u);
+}
+
+TEST(Slo, RegistryHandsOutNamedTrackersAndExportsThem) {
+  reset_slo_registry();
+  slo_tracker("slo_test.a").record(1.0);
+  slo_tracker("slo_test.a").record(2.0);
+  slo_tracker("slo_test.b", {.threshold_us = 5.0}).record(100.0);
+  const auto v = parse_json(slo_registry_to_json());
+  EXPECT_EQ(v.at("slo_test.a")
+                .at("windows")
+                .as_array()[0]
+                .at("total")
+                .as_number(),
+            2.0);
+  EXPECT_EQ(v.at("slo_test.b")
+                .at("windows")
+                .as_array()[0]
+                .at("breaching")
+                .as_number(),
+            1.0);
+  EXPECT_THROW(slo_tracker(""), std::exception);
+  reset_slo_registry();
+  EXPECT_EQ(parse_json(slo_registry_to_json()).as_object().size(), 0u);
+}
+
+TEST(Slo, RejectsDegenerateOptions) {
+  EXPECT_THROW(SloTracker({.threshold_us = 0.0}), std::exception);
+  EXPECT_THROW(SloTracker({.objective = 1.0}), std::exception);
+  EXPECT_THROW(SloTracker({.window_s = 0.0}), std::exception);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "graph/bfs.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/slo.hpp"
 #include "routing/tables.hpp"
 #include "serve/admission.hpp"
 #include "serve/lru_cache.hpp"
@@ -860,6 +865,151 @@ TEST(LazyRoutingTables, ResetRebindsTheGraphAndDropsEveryRow) {
   for (Vertex from = 0; from < 64; ++from) {
     ASSERT_EQ(lazy.next_hop(from, 9), eager.next_hop(from, 9)) << from;
   }
+}
+
+// ------------------------------------------------------ request tracing ----
+
+class RequestTracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Threshold 0: keep every completed request as an exemplar.
+    obs::RequestTracer::instance().configure(0.0, 256);
+  }
+  void TearDown() override {
+    obs::RequestTracer::instance().configure(0.0, 256);
+    obs::RequestTracer::instance().clear();
+    obs::reset_slo_registry();
+    obs::set_metrics_enabled(false);
+  }
+};
+
+TEST_F(RequestTracingTest, DisabledTracingLeavesResultsUntraced) {
+  const Graph h = test_graph();
+  QueryEngine engine(h);  // ServeOptions::trace.exemplars defaults to off
+  const auto results = engine.serve_batch(random_queries(h, 32, 1, 0.25));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.trace_id, 0u);
+    EXPECT_EQ(r.breakdown.queue_us, 0.0);
+    EXPECT_EQ(r.breakdown.dispatch_us, 0.0);
+    // Batch phases are filled on every path, traced or not.
+    EXPECT_GT(r.breakdown.execute_us, 0.0);
+  }
+  EXPECT_EQ(obs::RequestTracer::instance().size(), 0u);
+}
+
+TEST_F(RequestTracingTest, SyncBatchAssignsIdsAndOffersExemplars) {
+  const Graph h = test_graph();
+  ServeOptions options;
+  options.trace.exemplars = true;
+  QueryEngine engine(h, options);
+  const auto queries = random_queries(h, 24, 2, 0.25);
+  const auto results = engine.serve_batch(queries);
+
+  std::set<std::uint64_t> ids;
+  for (const auto& r : results) {
+    EXPECT_NE(r.trace_id, 0u);
+    ids.insert(r.trace_id);
+    EXPECT_GT(r.breakdown.execute_us, 0.0);
+  }
+  EXPECT_EQ(ids.size(), results.size());  // ids are per-request unique
+
+  const auto exemplars = obs::RequestTracer::instance().exemplars();
+  ASSERT_EQ(exemplars.size(), queries.size());
+  for (std::size_t i = 0; i < exemplars.size(); ++i) {
+    EXPECT_EQ(exemplars[i].kind, static_cast<std::uint32_t>(queries[i].kind));
+    EXPECT_EQ(exemplars[i].epoch, 1u);  // single-snapshot store
+    EXPECT_GT(exemplars[i].total_us, 0.0);
+    EXPECT_EQ(exemplars[i].queue_us, 0.0);  // no queue on the sync path
+  }
+}
+
+TEST_F(RequestTracingTest, CacheHitsAreVisibleInResultsAndExemplars) {
+  const Graph h = test_graph();
+  ServeOptions options;
+  options.trace.exemplars = true;
+  QueryEngine engine(h, options);
+  std::vector<Query> queries;
+  for (Vertex v = 0; v < 8; ++v) queries.push_back({QueryKind::kDistance, 3, v});
+
+  for (const auto& r : engine.serve_batch(queries)) {
+    EXPECT_FALSE(r.cache_hit);  // cold cache: the row had to be swept
+  }
+  for (const auto& r : engine.serve_batch(queries)) {
+    EXPECT_TRUE(r.cache_hit);  // same source again: 2Q row hit
+  }
+  const auto exemplars = obs::RequestTracer::instance().exemplars();
+  ASSERT_EQ(exemplars.size(), 2 * queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_FALSE(exemplars[i].cache_hit);
+    EXPECT_TRUE(exemplars[queries.size() + i].cache_hit);
+  }
+}
+
+TEST_F(RequestTracingTest, ConcurrentPathDecomposesLatencyAndKeepsIds) {
+  const Graph h = test_graph();
+  ServeOptions options;
+  options.trace.exemplars = true;
+  QueryEngine engine(h, options);
+  engine.start();
+  constexpr std::size_t kQueries = 48;
+  std::vector<std::future<QueryResult>> futures;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    Query q;
+    q.kind = i % 4 == 0 ? QueryKind::kRoute : QueryKind::kDistance;
+    q.u = static_cast<Vertex>(i % h.num_vertices());
+    q.v = static_cast<Vertex>((i * 7) % h.num_vertices());
+    futures.push_back(engine.submit(q));
+  }
+  std::size_t served = 0;
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    EXPECT_NE(r.trace_id, 0u);  // sheds carry an identity too
+    if (r.outcome != QueryOutcome::kServed) continue;
+    ++served;
+    EXPECT_GE(r.breakdown.queue_us, 0.0);
+    EXPECT_GE(r.breakdown.dispatch_us, 0.0);
+    EXPECT_GT(r.breakdown.execute_us, 0.0);
+    if (r.cache_hit) {
+      EXPECT_EQ(r.breakdown.row_fill_us, 0.0);
+    }
+  }
+  engine.stop();
+  EXPECT_GT(served, 0u);
+  // Every completed request (served or deadline-shed) left an exemplar;
+  // admission sheds resolve before dispatch and do not.
+  const auto& tracer = obs::RequestTracer::instance();
+  EXPECT_GE(tracer.size(), served);
+  for (const auto& ex : tracer.exemplars()) {
+    EXPECT_NE(ex.trace_id, 0u);
+    EXPECT_GE(ex.total_us, ex.execute_us);
+  }
+}
+
+TEST_F(RequestTracingTest, ServeLatencySloRecordsOnlyWhenMetricsAreOn) {
+  const Graph h = test_graph();
+  ServeOptions options;
+  QueryEngine engine(h, options);
+  engine.start();
+
+  // Metrics off: the dispatcher skips the SLO tracker entirely.
+  engine.submit({QueryKind::kDistance, 0, 5}).get();
+  EXPECT_FALSE(
+      obs::parse_json(obs::slo_registry_to_json()).has("serve.latency"));
+
+  obs::set_metrics_enabled(true);
+  constexpr std::size_t kQueries = 16;
+  std::vector<std::future<QueryResult>> futures;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    futures.push_back(
+        engine.submit({QueryKind::kDistance, static_cast<Vertex>(i), 9}));
+  }
+  for (auto& f : futures) f.get();
+  engine.stop();
+
+  const auto v = obs::parse_json(obs::slo_registry_to_json());
+  ASSERT_TRUE(v.has("serve.latency"));
+  const auto& window = v.at("serve.latency").at("windows").as_array()[0];
+  EXPECT_GE(window.at("total").as_number(), static_cast<double>(kQueries));
 }
 
 }  // namespace

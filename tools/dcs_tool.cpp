@@ -28,6 +28,10 @@
 //   dcs_tool pipeline <n> [delta] [seed]
 //       end-to-end: generate, build Theorem 3 spanner, verify, simulate
 //   dcs_tool info <in.graph>
+//   dcs_tool top <socket> [--once] [--interval-ms=N]
+//       live view of another process's --stats-socket endpoint: serving
+//       counters, SLO burn-rate windows, and the flight-recorder tail,
+//       re-polled every interval (or exactly once with --once)
 //
 // Observability flags (valid before or after the subcommand):
 //   --log-level=SPEC     e.g. --log-level=debug or --log-level=info,spanner=trace
@@ -36,23 +40,44 @@
 //   --trace-out=PATH     record spans; write Chrome trace-event JSON on exit
 //   --artifacts-dir=DIR  subcommands that produce artifacts (soak: schedule,
 //                        minimized reproducer, JSON report) write them here
+//   --flight-buffer=N    flight-recorder ring capacity per thread; 0 turns
+//                        the recorder off entirely
+//   --stats-socket=PATH  serve the live-introspection endpoint on a unix
+//                        socket for the subcommand's duration (the server
+//                        `dcs_tool top` connects to)
+//
+// Every invocation arms the flight recorder's crash dump: a failed
+// DCS_CHECK or a fatal signal writes flight.json (into --artifacts-dir
+// when set, the working directory otherwise) before the process dies.
 //
 // Exit codes are uniform across subcommands: 0 on success; 1 when a check
 // fails (verification, resilience recertification, soak invariant, pipeline
 // stretch/simulation); 2 on usage errors or malformed input.
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/baseline_spanners.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_endpoint.hpp"
 #include "obs/trace.hpp"
 #include "core/expander_spanner.hpp"
 #include "core/general_spanner.hpp"
@@ -78,6 +103,7 @@
 #include "routing/tables.hpp"
 #include "routing/workloads.hpp"
 #include "spectral/expansion.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -93,6 +119,9 @@ std::string g_replay_path;
 bool g_inject_repair_bug = false;
 bool g_inject_stale_cache_bug = false;
 std::uint64_t g_qps = 0;
+std::string g_stats_socket;
+bool g_top_once = false;
+std::uint64_t g_top_interval_ms = 1000;
 
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
@@ -116,8 +145,10 @@ std::uint64_t g_qps = 0;
       "[--inject-stale-cache-bug]\n"
       "  dcs_tool pipeline <n> [delta] [seed]\n"
       "  dcs_tool info <in.graph>\n"
+      "  dcs_tool top <socket> [--once] [--interval-ms=N]\n"
       "flags (any subcommand): --log-level=SPEC --log-json "
-      "--metrics-out=PATH --trace-out=PATH --artifacts-dir=DIR\n";
+      "--metrics-out=PATH --trace-out=PATH --artifacts-dir=DIR "
+      "--flight-buffer=N --stats-socket=PATH\n";
   std::exit(2);
 }
 
@@ -570,6 +601,150 @@ int cmd_info(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- `top`: client side of obs::StatsEndpoint ------------------------------
+
+bool write_all_bytes(int fd, std::string_view s) {
+  while (!s.empty()) {
+    const ssize_t n = ::write(fd, s.data(), s.size());
+    if (n <= 0) return false;
+    s.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+// Pulls one '\n'-terminated reply off the socket; `pending` buffers any
+// bytes read past the newline for the next call.
+bool read_reply_line(int fd, std::string& pending, std::string& line) {
+  for (;;) {
+    const auto nl = pending.find('\n');
+    if (nl != std::string::npos) {
+      line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return false;
+    pending.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+// Renders one "all" reply: serving-plane counters/gauges, SLO burn-rate
+// windows, and the flight-recorder tail.
+void render_top(const obs::JsonValue& all) {
+  static constexpr std::string_view kPrefixes[] = {"serve.", "supervisor.",
+                                                   "snapshot."};
+  const auto serving_plane = [&](const std::string& name) {
+    for (const auto prefix : kPrefixes) {
+      if (name.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+
+  const auto& metrics = all.at("metrics");
+  Table counters({"metric", "value"});
+  std::size_t shown = 0;
+  for (const auto& [name, value] : metrics.at("counters").as_object()) {
+    if (!serving_plane(name)) continue;
+    counters.add(name, static_cast<std::uint64_t>(value.as_number()));
+    ++shown;
+  }
+  for (const auto& [name, value] : metrics.at("gauges").as_object()) {
+    if (!serving_plane(name)) continue;
+    counters.add(name, value.as_number());
+    ++shown;
+  }
+  if (shown == 0) {
+    std::cout << "(no serving-plane metrics yet — is --metrics-out / "
+                 "metrics enablement on in the serving process?)\n";
+  } else {
+    counters.print(std::cout);
+  }
+
+  // SLO windows read better as plain lines (one per window, long then
+  // short) than squeezed into the two-column table helper.
+  const auto& slo = all.at("slo").as_object();
+  for (const auto& [name, tracker] : slo) {
+    for (const auto& window : tracker.at("windows").as_array()) {
+      std::cout << "slo " << name << ": " << window.at("seconds").as_number()
+                << "s window, total "
+                << static_cast<std::uint64_t>(window.at("total").as_number())
+                << ", breaching "
+                << static_cast<std::uint64_t>(
+                       window.at("breaching").as_number())
+                << ", burn rate " << window.at("burn_rate").as_number()
+                << "\n";
+    }
+  }
+
+  const auto& events = all.at("flight").at("flight").as_array();
+  const std::size_t show = std::min<std::size_t>(events.size(), 8);
+  std::cout << "flight tail (" << show << " of " << events.size() << "):\n";
+  for (std::size_t i = events.size() - show; i < events.size(); ++i) {
+    const auto& e = events[i];
+    std::cout << "  " << e.at("kind").as_string() << " "
+              << e.at("detail").as_string() << " a="
+              << static_cast<std::uint64_t>(e.at("a").as_number()) << " b="
+              << static_cast<std::uint64_t>(e.at("b").as_number()) << "\n";
+  }
+}
+
+// Live introspection client: connects to a --stats-socket endpoint, asks
+// for the "all" section, and renders it every --interval-ms (or once).
+// Exit 0 after a successful render, 2 on connect/protocol problems —
+// there is no "check failed" outcome, so 1 is never returned.
+int cmd_top(const std::vector<std::string>& args) {
+  if (args.empty()) usage("top needs <socket-path>");
+  const std::string& path = args[0];
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    usage("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "error: socket(): " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::cerr << "error: cannot connect to " << path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 2;
+  }
+
+  std::string pending;
+  std::uint64_t polls = 0;
+  for (;;) {
+    std::string line;
+    if (!write_all_bytes(fd, "all\n") || !read_reply_line(fd, pending, line)) {
+      std::cerr << "error: stats endpoint at " << path
+                << " closed the connection\n";
+      ::close(fd);
+      return 2;
+    }
+    obs::JsonValue all;
+    try {
+      all = obs::parse_json(line);
+    } catch (const std::exception& e) {
+      std::cerr << "error: malformed stats reply: " << e.what() << "\n";
+      ::close(fd);
+      return 2;
+    }
+    if (polls > 0) std::cout << "\n";
+    std::cout << "== " << path << " poll " << ++polls << " ==\n";
+    render_top(all);
+    if (g_top_once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(g_top_interval_ms));
+  }
+  ::close(fd);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -600,6 +775,23 @@ int main(int argc, char** argv) {
       g_inject_stale_cache_bug = true;
     } else if (a.rfind("--qps=", 0) == 0) {
       g_qps = std::strtoull(std::string(a.substr(6)).c_str(), nullptr, 10);
+    } else if (a.rfind("--flight-buffer=", 0) == 0) {
+      const auto n = parse_u64_strict(a.substr(16));
+      if (!n) usage("--flight-buffer needs an event count: " + std::string(a));
+      if (*n == 0) {
+        obs::FlightRecorder::instance().set_enabled(false);
+      } else {
+        obs::FlightRecorder::instance().set_capacity(
+            static_cast<std::size_t>(*n));
+      }
+    } else if (a.rfind("--stats-socket=", 0) == 0) {
+      g_stats_socket = a.substr(15);
+    } else if (a == "--once") {
+      g_top_once = true;
+    } else if (a.rfind("--interval-ms=", 0) == 0) {
+      const auto n = parse_u64_strict(a.substr(14));
+      if (!n) usage("--interval-ms needs a number: " + std::string(a));
+      g_top_interval_ms = *n;
     } else if (a.rfind("--", 0) == 0) {
       usage("unknown flag: " + std::string(a));
     } else {
@@ -614,6 +806,12 @@ int main(int argc, char** argv) {
   if (!log_spec.empty()) obs::Logger::instance().configure(log_spec);
   if (!metrics_out.empty()) obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::Trace::start();
+  // Black-box contract: any abort or fatal signal leaves the flight
+  // recorder's tail behind, next to the other artifacts when a directory
+  // is set.
+  obs::FlightRecorder::instance().arm_crash_dump(
+      g_artifacts_dir.empty() ? "flight.json"
+                              : g_artifacts_dir + "/flight.json");
   // Flush on every exit path (including errors) so a failed run still
   // leaves its telemetry behind for diagnosis.
   const auto flush_obs = [&] {
@@ -626,7 +824,13 @@ int main(int argc, char** argv) {
   const std::string command = words.front();
   const std::vector<std::string> args(words.begin() + 1, words.end());
   int rc = 2;
+  std::unique_ptr<obs::StatsEndpoint> stats;
   try {
+    if (!g_stats_socket.empty()) {
+      stats = std::make_unique<obs::StatsEndpoint>(
+          obs::StatsEndpoint::Options{.socket_path = g_stats_socket});
+      stats->start();
+    }
     if (command == "gen") rc = cmd_gen(args);
     else if (command == "spanner") rc = cmd_spanner(args);
     else if (command == "verify") rc = cmd_verify(args);
@@ -639,6 +843,7 @@ int main(int argc, char** argv) {
     else if (command == "soak") rc = cmd_soak(args);
     else if (command == "pipeline") rc = cmd_pipeline(args);
     else if (command == "info") rc = cmd_info(args);
+    else if (command == "top") rc = cmd_top(args);
     else usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -18,7 +18,36 @@
 #include "obs/slo.hpp"
 #include "util/check.hpp"
 
+// SIGPIPE guard: send(MSG_NOSIGNAL) turns a write to a half-closed client
+// socket into an EPIPE error instead of a process-killing signal. (Linux
+// always has MSG_NOSIGNAL; the fallback keeps other POSIX systems
+// compiling, at the cost of relying on the caller ignoring SIGPIPE.)
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace dcs::obs {
+
+namespace {
+
+/// Writes the whole buffer with EINTR retries, short-write looping, and no
+/// SIGPIPE. Returns false when the peer is gone or the write truly failed —
+/// a disconnecting `top` client must drop its own reply, not the server.
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t w = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
 
 struct StatsEndpoint::Impl {
   Options options;
@@ -59,6 +88,7 @@ struct StatsEndpoint::Impl {
       if (rc < 0 && errno != EINTR) break;
       if (rc <= 0 || (p.revents & (POLLIN | POLLHUP)) == 0) continue;
       const ::ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       pending.append(buf, static_cast<std::size_t>(n));
       if (pending.size() > 4096) break;  // no section name is that long
@@ -69,13 +99,7 @@ struct StatsEndpoint::Impl {
         if (!request.empty() && request.back() == '\r') request.pop_back();
         std::string reply = dispatch(request);
         reply += '\n';
-        std::size_t off = 0;
-        while (off < reply.size()) {
-          const ::ssize_t w =
-              ::write(fd, reply.data() + off, reply.size() - off);
-          if (w <= 0) return;
-          off += static_cast<std::size_t>(w);
-        }
+        if (!send_all(fd, reply.data(), reply.size())) return;
       }
     }
   }

@@ -1,0 +1,222 @@
+#include "persist/checkpoint.hpp"
+
+#include <sstream>
+
+namespace dcs::persist {
+
+namespace {
+
+void encode_edges(Encoder& enc, const std::vector<Edge>& edges) {
+  enc.u64(edges.size());
+  for (Edge e : edges) {
+    enc.u32(e.u);
+    enc.u32(e.v);
+  }
+}
+
+bool decode_edges(Decoder& dec, std::size_t n, std::vector<Edge>& out,
+                  std::string* error, const char* what) {
+  const std::uint64_t count = dec.u64();
+  // A flipped count cannot force a huge allocation: the payload itself
+  // bounds how many edges can actually be present.
+  if (!dec.ok() || count > dec.remaining() / 8) {
+    if (error != nullptr) *error = std::string(what) + ": bad edge count";
+    return false;
+  }
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Vertex u = dec.u32();
+    const Vertex v = dec.u32();
+    if (!dec.ok() || u >= n || v >= n) {
+      if (error != nullptr) {
+        *error = std::string(what) + ": edge endpoint out of range";
+      }
+      return false;
+    }
+    out.push_back(Edge{u, v});
+  }
+  return true;
+}
+
+std::string graph_payload(const Graph& g) {
+  Encoder enc;
+  enc.u64(g.num_vertices());
+  encode_edges(enc, g.edges());
+  return enc.take();
+}
+
+std::optional<Graph> decode_graph(std::string_view payload,
+                                  std::string* error, const char* what) {
+  Decoder dec(payload);
+  const std::uint64_t n = dec.u64();
+  // Cap n well above any real deployment but low enough that a miraculous
+  // CRC collision cannot demand a pathological allocation.
+  if (!dec.ok() || n > (std::uint64_t{1} << 27)) {
+    if (error != nullptr) *error = std::string(what) + ": bad vertex count";
+    return std::nullopt;
+  }
+  std::vector<Edge> edges;
+  if (!decode_edges(dec, static_cast<std::size_t>(n), edges, error, what)) {
+    return std::nullopt;
+  }
+  if (!dec.done()) {
+    if (error != nullptr) *error = std::string(what) + ": trailing bytes";
+    return std::nullopt;
+  }
+  return Graph::from_edges(static_cast<std::size_t>(n), edges);
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const CheckpointData& data) {
+  std::string out;
+
+  Encoder header;
+  header.u32(kCheckpointVersion);
+  header.u64(data.graph.num_vertices());
+  header.u64(data.wave);
+  header.u64(data.epoch);
+  append_frame(out, static_cast<std::uint8_t>(CheckpointRecord::kHeader),
+               header.str());
+
+  append_frame(out, static_cast<std::uint8_t>(CheckpointRecord::kGraph),
+               graph_payload(data.graph));
+  append_frame(out, static_cast<std::uint8_t>(CheckpointRecord::kSpanner),
+               graph_payload(data.spanner));
+
+  Encoder faults;
+  faults.u64(data.down_vertices.size());
+  for (Vertex v : data.down_vertices) faults.u32(v);
+  encode_edges(faults, data.down_edges);
+  append_frame(out, static_cast<std::uint8_t>(CheckpointRecord::kFaults),
+               faults.str());
+
+  Encoder sup;
+  encode_edges(sup, data.debt);
+  sup.u64(data.debt_oldest_wave);
+  sup.u64(data.repairs);
+  sup.u64(data.rebuilds);
+  sup.u64(data.last_rebuild_wave);
+  sup.u64(data.last_check_wave);
+  sup.u64(data.held_streak);
+  sup.u8(data.emergency_rebuild ? 1 : 0);
+  sup.u8(data.cert_dirty ? 1 : 0);
+  append_frame(out, static_cast<std::uint8_t>(CheckpointRecord::kSupervisor),
+               sup.str());
+
+  Encoder footer;
+  footer.u32(5);  // records before the footer
+  append_frame(out, static_cast<std::uint8_t>(CheckpointRecord::kFooter),
+               footer.str());
+  return out;
+}
+
+std::optional<CheckpointData> decode_checkpoint(std::string_view bytes,
+                                                std::string* error_out) {
+  const auto fail = [error_out](const std::string& why) {
+    if (error_out != nullptr) *error_out = why;
+    return std::nullopt;
+  };
+
+  const ParsedRecords parsed = parse_records(bytes);
+  if (parsed.tail != TailStatus::kClean) {
+    return fail("checkpoint " + std::string(to_string(parsed.tail)) + ": " +
+                parsed.detail);
+  }
+  if (parsed.records.size() != 6) {
+    return fail("checkpoint has " + std::to_string(parsed.records.size()) +
+                " records, expected 6");
+  }
+  const auto expect = [&](std::size_t i, CheckpointRecord kind) {
+    return parsed.records[i].kind == static_cast<std::uint8_t>(kind);
+  };
+  if (!expect(0, CheckpointRecord::kHeader) ||
+      !expect(1, CheckpointRecord::kGraph) ||
+      !expect(2, CheckpointRecord::kSpanner) ||
+      !expect(3, CheckpointRecord::kFaults) ||
+      !expect(4, CheckpointRecord::kSupervisor) ||
+      !expect(5, CheckpointRecord::kFooter)) {
+    return fail("checkpoint record sequence out of order");
+  }
+
+  CheckpointData data;
+
+  {
+    Decoder dec(parsed.records[0].payload);
+    const std::uint32_t version = dec.u32();
+    const std::uint64_t n = dec.u64();
+    data.wave = dec.u64();
+    data.epoch = dec.u64();
+    if (!dec.done()) return fail("checkpoint header malformed");
+    if (version != kCheckpointVersion) {
+      return fail("checkpoint version " + std::to_string(version) +
+                  " unsupported");
+    }
+    auto g = decode_graph(parsed.records[1].payload, error_out, "graph");
+    if (!g.has_value()) return std::nullopt;
+    auto h = decode_graph(parsed.records[2].payload, error_out, "spanner");
+    if (!h.has_value()) return std::nullopt;
+    if (g->num_vertices() != n || h->num_vertices() != n) {
+      return fail("checkpoint graph vertex counts disagree with header");
+    }
+    data.graph = std::move(*g);
+    data.spanner = std::move(*h);
+  }
+  const std::size_t n = data.graph.num_vertices();
+
+  {
+    Decoder dec(parsed.records[3].payload);
+    const std::uint64_t vcount = dec.u64();
+    if (!dec.ok() || vcount > n) return fail("faults: bad vertex count");
+    data.down_vertices.reserve(static_cast<std::size_t>(vcount));
+    for (std::uint64_t i = 0; i < vcount; ++i) {
+      const Vertex v = dec.u32();
+      if (!dec.ok() || v >= n) return fail("faults: vertex out of range");
+      if (i > 0 && v <= data.down_vertices.back()) {
+        return fail("faults: vertices not strictly ascending");
+      }
+      data.down_vertices.push_back(v);
+    }
+    std::string err;
+    if (!decode_edges(dec, n, data.down_edges, &err, "faults")) {
+      return fail(err);
+    }
+    if (!dec.done()) return fail("faults: trailing bytes");
+  }
+
+  {
+    Decoder dec(parsed.records[4].payload);
+    std::string err;
+    if (!decode_edges(dec, n, data.debt, &err, "debt")) return fail(err);
+    data.debt_oldest_wave = dec.u64();
+    data.repairs = dec.u64();
+    data.rebuilds = dec.u64();
+    data.last_rebuild_wave = dec.u64();
+    data.last_check_wave = dec.u64();
+    data.held_streak = dec.u64();
+    data.emergency_rebuild = dec.u8() != 0;
+    data.cert_dirty = dec.u8() != 0;
+    if (!dec.done()) return fail("supervisor record malformed");
+  }
+
+  {
+    Decoder dec(parsed.records[5].payload);
+    const std::uint32_t count = dec.u32();
+    if (!dec.done() || count != 5) return fail("checkpoint footer malformed");
+  }
+
+  // Semantic validation — the structural checks above guarantee the bytes
+  // parse; these guarantee the *state* is one the supervisor could actually
+  // have been in. A checkpoint that fails here is as corrupt as a CRC miss.
+  if (!data.graph.contains_subgraph(data.spanner)) {
+    return fail("checkpoint spanner is not a subgraph of its network");
+  }
+  for (Edge e : data.debt) {
+    if (!data.graph.has_edge(e.u, e.v)) {
+      return fail("checkpoint debt edge absent from the network");
+    }
+  }
+  return data;
+}
+
+}  // namespace dcs::persist

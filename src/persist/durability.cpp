@@ -1,0 +1,242 @@
+#include "persist/durability.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#define DCS_LOG_COMPONENT "persist"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace dcs::persist {
+
+namespace {
+
+std::string gen_name(const char* prefix, std::uint64_t gen,
+                     const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s-%06llu%s", prefix,
+                static_cast<unsigned long long>(gen), suffix);
+  return buf;
+}
+
+/// Parses "checkpoint-NNNNNN.ckpt" → NNNNNN; nullopt for anything else.
+std::optional<std::uint64_t> parse_gen(const std::string& name) {
+  const std::string prefix = "checkpoint-";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t gen = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return gen;
+}
+
+/// Generations present on disk, descending (newest first).
+std::vector<std::uint64_t> list_generations(const std::string& dir) {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const auto gen = parse_gen(entry.path().filename().string());
+    if (gen.has_value()) gens.push_back(*gen);
+  }
+  std::sort(gens.rbegin(), gens.rend());
+  return gens;
+}
+
+void count_metric(const char* name, std::uint64_t delta = 1) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::instance().counter(name).inc(delta);
+}
+
+void gauge_metric(const char* name, double value) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::instance().gauge(name).set(value);
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(std::string dir,
+                                     DurabilityOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const auto gens = list_generations(dir_);
+  if (!gens.empty()) generation_ = gens.front();
+}
+
+std::string DurabilityManager::checkpoint_path(std::uint64_t gen) const {
+  return dir_ + "/" + gen_name("checkpoint", gen, ".ckpt");
+}
+
+std::string DurabilityManager::wal_path(std::uint64_t gen) const {
+  return dir_ + "/" + gen_name("wal", gen, ".log");
+}
+
+bool DurabilityManager::checkpoint(const CheckpointData& data) {
+  Timer timer;
+  const std::uint64_t gen = generation_ + 1;
+  const std::string bytes = encode_checkpoint(data);
+  std::string err;
+  if (!atomic_write_file(checkpoint_path(gen), bytes, &err)) {
+    last_error_ = "checkpoint generation " + std::to_string(gen) +
+                  " failed: " + err;
+    count_metric("persist.checkpoint.failed");
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                           "checkpoint-failed", gen,
+                                           data.wave);
+    DCS_LOG(Warn) << last_error_;
+    // The previous generation and its WAL remain current; keep appending.
+    return false;
+  }
+  // Rotate the WAL only after the checkpoint is durable: events logged to
+  // the old WAL remain replayable against the old checkpoint until then.
+  if (wal_.has_value()) wal_->finish();
+  wal_.reset();
+  std::string wal_err;
+  auto writer = WalWriter::open(wal_path(gen), options_.fsync_wal, &wal_err);
+  if (writer.has_value()) {
+    wal_ = std::move(*writer);
+  } else {
+    // The checkpoint itself is durable; only forward progress is
+    // unprotected until the next rotation. Surfaced, not fatal.
+    last_error_ = "wal for generation " + std::to_string(gen) +
+                  " failed to open: " + wal_err;
+    count_metric("persist.wal.failed");
+    DCS_LOG(Warn) << last_error_;
+  }
+  generation_ = gen;
+  ++checkpoints_written_;
+  prune_generations();
+  count_metric("persist.checkpoint.written");
+  count_metric("persist.checkpoint.bytes", bytes.size());
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::instance()
+        .histogram("persist.checkpoint.ms")
+        .record(timer.seconds() * 1e3);
+  }
+  gauge_metric("persist.generation", static_cast<double>(gen));
+  obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                         "checkpoint", gen, data.wave);
+  DCS_LOG(Debug) << "checkpoint generation " << gen << " at wave "
+                 << data.wave << " (" << bytes.size() << " bytes)";
+  return true;
+}
+
+bool DurabilityManager::log_wave(std::uint64_t wave,
+                                 std::span<const FaultEvent> events) {
+  if (!wal_.has_value()) {
+    last_error_ = "no wal open (checkpoint first)";
+    return false;
+  }
+  const bool was_healthy = wal_->healthy();
+  if (!wal_->append(wave, events)) {
+    if (was_healthy) {
+      last_error_ = "wal append failed at wave " + std::to_string(wave) +
+                    ": " + wal_->error();
+      count_metric("persist.wal.failed");
+      obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                             "wal-unhealthy", generation_,
+                                             wave);
+      DCS_LOG(Warn) << last_error_;
+    }
+    return false;
+  }
+  count_metric("persist.wal.records");
+  return true;
+}
+
+void DurabilityManager::prune_generations() {
+  if (generation_ <= options_.keep_generations) return;
+  const std::uint64_t keep_from = generation_ - options_.keep_generations;
+  for (std::uint64_t gen : list_generations(dir_)) {
+    if (gen >= keep_from) continue;
+    // Best effort: a stale generation that will not unlink is harmless.
+    ::unlink(checkpoint_path(gen).c_str());
+    ::unlink(wal_path(gen).c_str());
+  }
+}
+
+std::optional<RecoveryOutcome> DurabilityManager::recover() {
+  Timer timer;
+  count_metric("persist.recovery.attempts");
+  const auto gens = list_generations(dir_);
+  std::ostringstream trail;
+  std::size_t skipped = 0;
+  for (std::uint64_t gen : gens) {
+    std::string bytes;
+    std::string err;
+    if (!read_file(checkpoint_path(gen), bytes, &err)) {
+      trail << "generation " << gen << ": " << err << "; ";
+      ++skipped;
+      continue;
+    }
+    auto ckpt = decode_checkpoint(bytes, &err);
+    if (!ckpt.has_value()) {
+      trail << "generation " << gen << ": " << err << "; ";
+      ++skipped;
+      count_metric("persist.recovery.generations_skipped");
+      obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                             "ckpt-fallback", gen, 0);
+      DCS_LOG(Warn) << "checkpoint generation " << gen
+                    << " invalid, falling back: " << err;
+      continue;
+    }
+
+    WalContents wal =
+        read_wal(wal_path(gen), ckpt->wave, ckpt->graph.num_vertices());
+    RecoveryOutcome out;
+    out.checkpoint = std::move(*ckpt);
+    out.wal = std::move(wal.waves);
+    out.generation = gen;
+    out.generations_skipped = skipped;
+    out.wal_truncated = wal.tail != TailStatus::kClean;
+    if (out.wal_truncated) {
+      trail << "wal " << to_string(wal.tail) << " after "
+            << out.wal.size() << " waves (" << wal.detail << "); ";
+      count_metric("persist.recovery.torn_tails");
+      obs::FlightRecorder::instance().record(
+          obs::FlightEventKind::kCustom, "wal-truncated", gen,
+          out.wal.size());
+      DCS_LOG(Warn) << "wal generation " << gen << " " << to_string(wal.tail)
+                    << ", truncated to " << out.wal.size() << " waves";
+    }
+    trail << "recovered generation " << gen << " (wave "
+          << out.checkpoint.wave << " + " << out.wal.size()
+          << " wal waves)";
+    out.detail = trail.str();
+    gauge_metric("persist.recovery.generation", static_cast<double>(gen));
+    gauge_metric("persist.recovery.generations_skipped",
+                 static_cast<double>(skipped));
+    gauge_metric("persist.recovery.wal_waves",
+                 static_cast<double>(out.wal.size()));
+    gauge_metric("persist.recovery.ms", timer.seconds() * 1e3);
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                           "recovery-loaded", gen,
+                                           out.checkpoint.wave);
+    return out;
+  }
+  last_error_ = gens.empty()
+                    ? "no checkpoint generations in " + dir_
+                    : "no valid checkpoint generation: " + trail.str();
+  count_metric("persist.recovery.failed");
+  obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                         "recovery-failed", gens.size(), 0);
+  DCS_LOG(Error) << "recovery failed closed: " << last_error_;
+  return std::nullopt;
+}
+
+}  // namespace dcs::persist

@@ -1,0 +1,99 @@
+#pragma once
+
+// DurabilityManager — generation-numbered checkpoints plus a per-generation
+// WAL, with fallback recovery.
+//
+// Directory layout (one directory per supervised oracle):
+//
+//     checkpoint-000007.ckpt   newest generation (atomic-renamed into place)
+//     wal-000007.log           churn waves since checkpoint 7 was cut
+//     checkpoint-000006.ckpt   previous generation (kept for fallback)
+//     wal-000006.log
+//
+// Write path: `checkpoint()` publishes a new generation with the full
+// temp → fsync → rename → fsync-dir discipline, then opens a fresh WAL and
+// prunes generations beyond `keep_generations`. A failed checkpoint (real
+// ENOSPC or injected fault) leaves the previous generation — and its still-
+// growing WAL — fully intact: durability degrades, it never regresses.
+// `log_wave()` appends one record per wave; a failed append marks the WAL
+// unhealthy (surfaced via metrics) rather than aborting the maintenance
+// loop, and the next successful checkpoint rotates past the damage.
+//
+// Read path: `recover()` scans generations newest-first, taking the first
+// checkpoint that fully validates, then replays its WAL (truncating a torn
+// tail). Corrupt newer generations are skipped with a flight-recorder
+// breadcrumb. If nothing validates, recovery fails *closed* — nullopt, an
+// error string, and no partially-trusted state.
+//
+// Everything is exported under `persist.*` metrics:
+//   persist.checkpoint.{written,failed,bytes,ms}
+//   persist.wal.{records,bytes,failed}
+//   persist.recovery.{attempts,failed,generations_skipped,torn_tails,
+//                     wal_waves,ms}
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "persist/checkpoint.hpp"
+#include "persist/wal.hpp"
+
+namespace dcs::persist {
+
+struct DurabilityOptions {
+  /// Validated generations kept *besides* the newest (fallback depth).
+  std::size_t keep_generations = 2;
+  /// fsync the WAL after every wave. Turning this off trades the last few
+  /// waves for throughput; recovery still truncates cleanly.
+  bool fsync_wal = true;
+};
+
+struct RecoveryOutcome {
+  CheckpointData checkpoint;
+  std::vector<WalWave> wal;  ///< waves to replay, consecutive from checkpoint
+  std::uint64_t generation = 0;
+  std::size_t generations_skipped = 0;  ///< newer-but-invalid generations
+  bool wal_truncated = false;  ///< a torn/corrupt WAL tail was dropped
+  std::string detail;          ///< human-readable recovery trail
+};
+
+class DurabilityManager {
+ public:
+  /// Creates the directory if needed. The manager starts at the newest
+  /// generation already present (0 when the directory is fresh).
+  explicit DurabilityManager(std::string dir, DurabilityOptions options = {});
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t generation() const { return generation_; }
+  std::size_t checkpoints_written() const { return checkpoints_written_; }
+  bool wal_healthy() const { return wal_.has_value() && wal_->healthy(); }
+  const std::string& last_error() const { return last_error_; }
+
+  /// Publishes `data` as the next generation and rotates the WAL. False on
+  /// any failure (the previous generation stays current and intact).
+  bool checkpoint(const CheckpointData& data);
+
+  /// Appends one churn wave to the current WAL. False when no WAL is open
+  /// or the append failed (WAL goes unhealthy until the next checkpoint).
+  bool log_wave(std::uint64_t wave, std::span<const FaultEvent> events);
+
+  /// Loads the newest valid (checkpoint, WAL) pair, falling back across
+  /// corrupt generations. nullopt = fail closed (reason in last_error()).
+  /// Read-only: the on-disk state is never modified by recovery.
+  std::optional<RecoveryOutcome> recover();
+
+  std::string checkpoint_path(std::uint64_t gen) const;
+  std::string wal_path(std::uint64_t gen) const;
+
+ private:
+  void prune_generations();
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::uint64_t generation_ = 0;  ///< newest published generation (0 = none)
+  std::size_t checkpoints_written_ = 0;
+  std::optional<WalWriter> wal_;
+  std::string last_error_;
+};
+
+}  // namespace dcs::persist

@@ -1,0 +1,343 @@
+#include "persist/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace dcs::persist {
+
+const char* to_string(FsFaultKind kind) {
+  switch (kind) {
+    case FsFaultKind::kShortWrite: return "short-write";
+    case FsFaultKind::kEnospc: return "enospc";
+    case FsFaultKind::kTornWrite: return "torn-write";
+    case FsFaultKind::kFsyncFail: return "fsync-fail";
+    case FsFaultKind::kBitFlip: return "bit-flip";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string errno_message(const std::string& what, int err) {
+  std::ostringstream os;
+  os << what << ": " << std::strerror(err);
+  return os.str();
+}
+
+// Injector state behind one mutex; the armed flag is read lock-free so the
+// production path (never armed) pays one relaxed atomic load per operation.
+struct InjectorState {
+  std::mutex mu;
+  std::vector<FsFault> plan;
+  std::uint64_t op = 0;
+  std::uint64_t fired = 0;
+};
+
+InjectorState& injector_state() {
+  static InjectorState state;
+  return state;
+}
+
+std::atomic<bool>& injector_armed_flag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+// One EINTR-retrying write(2).
+ssize_t write_retry(int fd, const void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+// Physically writes the whole buffer (short-write + EINTR loop), no faults.
+bool write_full(int fd, const unsigned char* data, std::size_t size,
+                std::string* error) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = write_retry(fd, data + done, size - done);
+    if (n < 0) {
+      if (error != nullptr) *error = errno_message("write", errno);
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FsFaultInjector& FsFaultInjector::instance() {
+  static FsFaultInjector injector;
+  return injector;
+}
+
+void FsFaultInjector::arm(std::vector<FsFault> plan) {
+  auto& state = injector_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.plan = std::move(plan);
+  state.op = 0;
+  state.fired = 0;
+  injector_armed_flag().store(true, std::memory_order_release);
+}
+
+void FsFaultInjector::arm_one(std::uint64_t op, FsFaultKind kind) {
+  arm({FsFault{op, kind}});
+}
+
+void FsFaultInjector::disarm() {
+  auto& state = injector_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  injector_armed_flag().store(false, std::memory_order_release);
+  state.plan.clear();
+  state.op = 0;
+  state.fired = 0;
+}
+
+bool FsFaultInjector::armed() const {
+  return injector_armed_flag().load(std::memory_order_acquire);
+}
+
+std::uint64_t FsFaultInjector::ops() const {
+  auto& state = injector_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.op;
+}
+
+std::uint64_t FsFaultInjector::fired() const {
+  auto& state = injector_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.fired;
+}
+
+std::optional<FsFaultKind> FsFaultInjector::next_fault() {
+  if (!injector_armed_flag().load(std::memory_order_acquire)) {
+    return std::nullopt;
+  }
+  auto& state = injector_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const std::uint64_t op = state.op++;
+  for (const FsFault& f : state.plan) {
+    if (f.op == op) {
+      ++state.fired;
+      return f.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), error_(std::move(other.error_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    error_ = std::move(other.error_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File File::create(const std::string& path, std::string* error_out) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error_out != nullptr) {
+      *error_out = errno_message("open " + path, errno);
+    }
+    return File();
+  }
+  return File(fd);
+}
+
+File File::append(const std::string& path, std::string* error_out) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_APPEND | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error_out != nullptr) {
+      *error_out = errno_message("open " + path, errno);
+    }
+    return File();
+  }
+  return File(fd);
+}
+
+void File::fail(const std::string& what) {
+  if (error_.empty()) error_ = what;
+}
+
+bool File::write_all(const void* data, std::size_t size) {
+  if (fd_ < 0) {
+    fail("write on closed file");
+    return false;
+  }
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto fault = FsFaultInjector::instance().next_fault();
+  if (fault.has_value()) {
+    switch (*fault) {
+      case FsFaultKind::kShortWrite: {
+        // The kernel consumed only half; callers that loop (as write_all
+        // does) complete the buffer, callers that do not would tear it.
+        const std::size_t half = size / 2;
+        std::string err;
+        if (!write_full(fd_, bytes, half, &err) ||
+            !write_full(fd_, bytes + half, size - half, &err)) {
+          fail(err);
+          return false;
+        }
+        return true;
+      }
+      case FsFaultKind::kEnospc:
+        fail(errno_message("write (injected)", ENOSPC));
+        return false;
+      case FsFaultKind::kTornWrite: {
+        // A crash mid-append: a prefix lands, then the process "dies".
+        const std::size_t prefix = size / 3;
+        std::string err;
+        write_full(fd_, bytes, prefix, &err);
+        fail("injected torn write after " + std::to_string(prefix) +
+             " of " + std::to_string(size) + " bytes");
+        return false;
+      }
+      case FsFaultKind::kFsyncFail:
+        // Scheduled against a write op: treat as generic I/O failure.
+        fail(errno_message("write (injected)", EIO));
+        return false;
+      case FsFaultKind::kBitFlip: {
+        // Silent media corruption: the write "succeeds" but one bit in the
+        // middle of the buffer lands flipped. Only CRCs can catch this.
+        std::vector<unsigned char> copy(bytes, bytes + size);
+        if (!copy.empty()) copy[copy.size() / 2] ^= 0x10;
+        std::string err;
+        if (!write_full(fd_, copy.data(), copy.size(), &err)) {
+          fail(err);
+          return false;
+        }
+        return true;
+      }
+    }
+  }
+  std::string err;
+  if (!write_full(fd_, bytes, size, &err)) {
+    fail(err);
+    return false;
+  }
+  return true;
+}
+
+bool File::sync() {
+  if (fd_ < 0) {
+    fail("fsync on closed file");
+    return false;
+  }
+  const auto fault = FsFaultInjector::instance().next_fault();
+  if (fault.has_value() && *fault == FsFaultKind::kFsyncFail) {
+    fail(errno_message("fsync (injected)", EIO));
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    fail(errno_message("fsync", errno));
+    return false;
+  }
+  return true;
+}
+
+bool File::close() {
+  if (fd_ < 0) return true;
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    fail(errno_message("close", errno));
+    return false;
+  }
+  return true;
+}
+
+bool sync_dir(const std::string& dir, std::string* error_out) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error_out != nullptr) {
+      *error_out = errno_message("open dir " + dir, errno);
+    }
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  if (rc != 0) {
+    if (error_out != nullptr) {
+      *error_out = errno_message("fsync dir " + dir, errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error_out) {
+  const std::string tmp = path + ".tmp";
+  std::string err;
+  File file = File::create(tmp, &err);
+  const bool written = file.valid() && file.write_all(contents) &&
+                       file.sync() && file.close();
+  if (!written) {
+    if (err.empty()) err = file.error();
+    if (error_out != nullptr) *error_out = err;
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error_out != nullptr) {
+      *error_out = errno_message("rename " + tmp + " -> " + path, errno);
+    }
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Durability of the rename itself: fsync the containing directory.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return sync_dir(dir, error_out);
+}
+
+bool read_file(const std::string& path, std::string& out,
+               std::string* error_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error_out != nullptr) *error_out = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) {
+    if (error_out != nullptr) *error_out = "read failed on " + path;
+    return false;
+  }
+  out = os.str();
+  return true;
+}
+
+}  // namespace dcs::persist

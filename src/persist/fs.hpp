@@ -1,0 +1,151 @@
+#pragma once
+
+// Filesystem seam for the durability subsystem.
+//
+// Everything persist/ writes to disk goes through persist::File rather than
+// iostreams, for two reasons:
+//
+//  * correctness — durable writes need the POSIX discipline iostreams hide:
+//    short-write and EINTR retry loops, explicit fsync before rename,
+//    fsync of the parent directory after rename (a rename is not durable
+//    until the directory entry is), and error reporting that distinguishes
+//    "nothing landed" from "a prefix landed" (a torn tail);
+//
+//  * testability — every write and sync consults the process-global
+//    FsFaultInjector, a deterministic failpoint layer in the spirit of
+//    resilience/FailureInjector: a test arms an explicit operation-indexed
+//    fault plan, runs the write path, and observes exactly the failure it
+//    scheduled — a short write completed by the retry loop, an ENOSPC that
+//    persists nothing, a torn write that leaves a prefix on disk, a failed
+//    fsync, or a silent bit flip for the CRC layer to catch. Same
+//    replayable-schedule discipline as the churn harness: the plan is the
+//    ground truth, the run is a pure function of it.
+//
+// Reads deliberately bypass the seam (plain buffered reads of whole files):
+// read-side corruption is modeled by corrupting the bytes on disk, which the
+// record layer's CRCs must catch regardless of how the bytes are read.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcs::persist {
+
+enum class FsFaultKind : std::uint8_t {
+  kShortWrite,  ///< first write(2) consumes only half; the retry loop must
+                ///< finish the rest (net effect: success, full bytes)
+  kEnospc,      ///< write persists nothing and fails with ENOSPC
+  kTornWrite,   ///< write persists a prefix, then fails (crash mid-append)
+  kFsyncFail,   ///< fsync fails with EIO; nothing is guaranteed durable
+  kBitFlip,     ///< write succeeds but one bit is flipped on the way down
+};
+
+const char* to_string(FsFaultKind kind);
+
+/// One planned fault: fires when the global write/sync operation counter
+/// reaches `op` (operations are counted from 0 at arm()).
+struct FsFault {
+  std::uint64_t op = 0;
+  FsFaultKind kind = FsFaultKind::kEnospc;
+};
+
+/// Process-global failpoint registry. Disabled (no overhead beyond one
+/// atomic load) until a test arms a plan. Every File::write_all and
+/// File::sync consumes one operation index; the injector returns the fault
+/// scheduled for that index, if any. Deterministic: the same plan against
+/// the same operation sequence fires the same faults.
+class FsFaultInjector {
+ public:
+  static FsFaultInjector& instance();
+
+  /// Replaces the plan and resets the operation counter to 0.
+  void arm(std::vector<FsFault> plan);
+  /// Convenience: a single fault at operation `op`.
+  void arm_one(std::uint64_t op, FsFaultKind kind);
+  void disarm();
+  bool armed() const;
+
+  /// Operations observed since arm() (0 when disarmed).
+  std::uint64_t ops() const;
+  /// Faults actually fired since arm().
+  std::uint64_t fired() const;
+
+  // Seam consumed by File (one call = one operation index).
+  std::optional<FsFaultKind> next_fault();
+
+ private:
+  FsFaultInjector() = default;
+};
+
+/// Thin RAII wrapper over a POSIX fd opened for writing. All errors are
+/// reported by return value (never thrown): durability code must be able to
+/// fail closed and fall back, not unwind.
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// O_CREAT|O_TRUNC|O_WRONLY|O_CLOEXEC. Invalid File (+ errno message in
+  /// error_out when given) on failure.
+  static File create(const std::string& path, std::string* error_out = nullptr);
+  /// O_CREAT|O_APPEND|O_WRONLY|O_CLOEXEC.
+  static File append(const std::string& path, std::string* error_out = nullptr);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes all `size` bytes, looping over short writes and EINTR, applying
+  /// one injected fault if scheduled for this operation. On failure a
+  /// *prefix* of the buffer may have landed (torn write) — the caller must
+  /// treat the file as suspect, which is exactly what the record layer's
+  /// CRC framing exists for.
+  bool write_all(const void* data, std::size_t size);
+  bool write_all(std::string_view bytes) {
+    return write_all(bytes.data(), bytes.size());
+  }
+
+  /// fsync(2) (one injectable operation).
+  bool sync();
+
+  /// close(2); returns false if the close itself reports an error. Safe to
+  /// call twice. The destructor closes silently.
+  bool close();
+
+  /// Description of the first failure observed ("" if none).
+  const std::string& error() const { return error_; }
+
+ private:
+  explicit File(int fd) : fd_(fd) {}
+  void fail(const std::string& what);
+
+  int fd_ = -1;
+  std::string error_;
+};
+
+/// fsync on a directory, making renames within it durable. Returns false on
+/// any failure (including open).
+bool sync_dir(const std::string& dir, std::string* error_out = nullptr);
+
+/// The atomic-publish discipline in one call: write `contents` to
+/// `path + ".tmp"`, fsync, close, rename over `path`, fsync the parent
+/// directory. On any failure (real or injected) the temp file is unlinked,
+/// `path` is untouched, and false is returned with a diagnostic in
+/// `error_out`. This is the helper every artifact writer (soak.json,
+/// flight.json, schedule.txt, checkpoints) routes through so a crash
+/// mid-dump can never leave a truncated artifact under the final name.
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error_out = nullptr);
+
+/// Reads a whole file into `out`. Returns false (with diagnostic) when the
+/// file cannot be opened or read; a missing file is a failure here — callers
+/// that treat absence as empty check existence first.
+bool read_file(const std::string& path, std::string& out,
+               std::string* error_out = nullptr);
+
+}  // namespace dcs::persist

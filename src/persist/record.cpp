@@ -1,0 +1,162 @@
+#include "persist/record.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace dcs::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
+
+std::uint32_t read_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Encoder::u32(std::uint32_t v) {
+  out_.push_back(static_cast<char>(v & 0xFF));
+  out_.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out_.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out_.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+const unsigned char* Decoder::take(std::size_t n) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(bytes_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Decoder::u8() {
+  const unsigned char* p = take(1);
+  return p != nullptr ? *p : 0;
+}
+
+std::uint32_t Decoder::u32() {
+  const unsigned char* p = take(4);
+  return p != nullptr ? read_u32le(p) : 0;
+}
+
+std::uint64_t Decoder::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+void append_frame(std::string& out, std::uint8_t kind,
+                  std::string_view payload) {
+  Encoder header;
+  header.u32(kRecordMagic);
+  header.u8(kind);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc32(payload));
+  out.append(header.str());
+  out.append(payload);
+}
+
+bool write_record(File& file, std::uint8_t kind, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(frame, kind, payload);
+  return file.write_all(frame);
+}
+
+const char* to_string(TailStatus status) {
+  switch (status) {
+    case TailStatus::kClean: return "clean";
+    case TailStatus::kTorn: return "torn";
+    case TailStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+ParsedRecords parse_records(std::string_view bytes) {
+  ParsedRecords out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t left = bytes.size() - pos;
+    if (left < kFrameHeaderBytes) {
+      out.tail = TailStatus::kTorn;
+      out.detail = "partial frame header (" + std::to_string(left) +
+                   " trailing bytes)";
+      break;
+    }
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(bytes.data()) + pos;
+    const std::uint32_t magic = read_u32le(p);
+    if (magic != kRecordMagic) {
+      // A wrong magic on a *complete* header is corruption, not a torn
+      // append: appends write the header before the payload, so a crash
+      // cannot leave garbage where the magic belongs.
+      out.tail = TailStatus::kCorrupt;
+      {
+        std::ostringstream os;
+        os << "bad magic 0x" << std::hex << magic << " at offset "
+           << std::dec << pos;
+        out.detail = os.str();
+      }
+      break;
+    }
+    const std::uint8_t kind = p[4];
+    const std::uint32_t len = read_u32le(p + 5);
+    const std::uint32_t crc = read_u32le(p + 9);
+    if (left - kFrameHeaderBytes < len) {
+      out.tail = TailStatus::kTorn;
+      out.detail = "payload truncated at offset " + std::to_string(pos) +
+                   " (" + std::to_string(left - kFrameHeaderBytes) + " of " +
+                   std::to_string(len) + " bytes)";
+      break;
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kFrameHeaderBytes, len);
+    if (crc32(payload) != crc) {
+      out.tail = TailStatus::kCorrupt;
+      out.detail = "crc mismatch in record " +
+                   std::to_string(out.records.size()) + " at offset " +
+                   std::to_string(pos);
+      break;
+    }
+    out.records.push_back(Record{kind, std::string(payload)});
+    pos += kFrameHeaderBytes + len;
+  }
+  out.valid_bytes = pos;
+  return out;
+}
+
+}  // namespace dcs::persist

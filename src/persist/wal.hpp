@@ -1,0 +1,88 @@
+#pragma once
+
+// Write-ahead log of churn waves between checkpoints.
+//
+// One record per wave — *including empty waves*. The supervisor's
+// maintenance decisions (recheck cadence, rebuild debounce, repair
+// hysteresis) depend on wave indices, not just events, so replay must
+// re-step every wave the crashed process stepped or the recovered state
+// would drift from the pre-crash one. Each record:
+//
+//     u64 wave | u32 event_count | event_count × (u8 kind, u32 u, u32 v)
+//
+// framed and CRC-guarded by the record layer. The log is append-only and
+// (optionally) fsynced per wave; a crash mid-append leaves a torn tail
+// that read_wal truncates at the last valid record — losing at most the
+// wave being logged when the process died, which the WAL-before-apply
+// ordering makes the only wave whose effects were not yet visible anyway.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "persist/fs.hpp"
+#include "persist/record.hpp"
+#include "resilience/fault_state.hpp"
+
+namespace dcs::persist {
+
+inline constexpr std::uint8_t kWalWaveRecord = 16;
+
+struct WalWave {
+  std::uint64_t wave = 0;
+  std::vector<FaultEvent> events;
+};
+
+/// Append-side handle. Never throws; after the first failed append the
+/// writer is `!healthy()` and further appends are rejected (the caller's
+/// durability manager surfaces the outage and rotates to a fresh log at
+/// the next successful checkpoint).
+class WalWriter {
+ public:
+  WalWriter() = default;
+
+  /// Opens (creating or truncating) `path` for appending.
+  static std::optional<WalWriter> open(const std::string& path,
+                                       bool fsync_each_wave,
+                                       std::string* error_out = nullptr);
+
+  bool append(std::uint64_t wave, std::span<const FaultEvent> events);
+
+  bool healthy() const { return healthy_; }
+  const std::string& error() const { return error_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Flush + close; returns false if the final sync/close failed.
+  bool finish();
+
+ private:
+  File file_;
+  bool fsync_each_wave_ = true;
+  bool healthy_ = false;
+  std::string error_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+struct WalContents {
+  std::vector<WalWave> waves;
+  TailStatus tail = TailStatus::kClean;
+  std::size_t valid_bytes = 0;
+  std::string detail;
+};
+
+/// Reads and validates a WAL. A missing file is a valid empty log (the
+/// process may have died between publishing a checkpoint and creating its
+/// WAL). A torn or corrupt tail truncates: only the valid prefix is
+/// returned, with the tail status reporting what was dropped. Waves must
+/// be consecutive ascending starting at `first_wave` — a gap means the
+/// file is not the log it claims to be, and everything from the gap on is
+/// discarded as corrupt. Event payloads are bounds-checked against
+/// `num_vertices`.
+WalContents read_wal(const std::string& path, std::uint64_t first_wave,
+                     std::size_t num_vertices);
+
+}  // namespace dcs::persist

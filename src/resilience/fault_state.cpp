@@ -1,5 +1,7 @@
 #include "resilience/fault_state.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace dcs {
@@ -39,6 +41,21 @@ void FaultState::apply(const FaultEvent& event) {
 
 void FaultState::apply(std::span<const FaultEvent> events) {
   for (const FaultEvent& e : events) apply(e);
+}
+
+std::vector<Vertex> FaultState::down_vertices() const {
+  std::vector<Vertex> out;
+  out.reserve(failed_vertex_count_);
+  for (std::size_t v = 0; v < vertex_down_.size(); ++v) {
+    if (vertex_down_[v] != 0) out.push_back(static_cast<Vertex>(v));
+  }
+  return out;
+}
+
+std::vector<Edge> FaultState::down_edges() const {
+  std::vector<Edge> out = edge_down_.to_vector();
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Graph FaultState::surviving(const Graph& g) const {

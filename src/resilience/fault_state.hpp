@@ -77,6 +77,13 @@ class FaultState {
   std::size_t failed_edges() const { return edge_down_.size(); }
   bool clean() const { return failed_vertex_count_ == 0 && edge_down_.empty(); }
 
+  /// Deterministic enumeration of the overlay for checkpointing: crashed
+  /// vertices ascending, individually-crashed edges sorted canonically.
+  /// (EdgeSet iteration order is hash-dependent; persisted bytes must not
+  /// be, or checkpoint CRCs would differ between identical states.)
+  std::vector<Vertex> down_vertices() const;
+  std::vector<Edge> down_edges() const;
+
   /// The surviving subgraph of `g` on the same vertex set: keeps exactly
   /// the edges that are alive under this state. Dead vertices remain as
   /// isolated vertices so vertex ids stay stable across the fleet of

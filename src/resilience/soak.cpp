@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -14,6 +14,8 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "persist/durability.hpp"
+#include "persist/fs.hpp"
 #include "routing/matching.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/snapshot.hpp"
@@ -28,6 +30,7 @@ namespace {
 constexpr std::uint64_t kChurnSalt = 0x5eedc0ffee01ULL;
 constexpr std::uint64_t kTrafficSalt = 0x5eedc0ffee02ULL;
 constexpr std::uint64_t kQuerySalt = 0x5eedc0ffee03ULL;
+constexpr std::uint64_t kRecoverySalt = 0x5eedc0ffee04ULL;
 
 /// A traffic burst at `wave`: a maximal matching of the surviving network
 /// routed over the live spanner. Pairs the spanner cannot currently reach
@@ -170,6 +173,95 @@ struct SoakDriver {
     result.violations.push_back({wave, invariant, std::move(detail)});
   }
 
+  /// Crash-recovery mode's simulated kill -9 at wave `w` (before the wave
+  /// is consumed): destroy the serving plane and the supervisor with no
+  /// flush, recover from disk, and check the recovery-certified invariant —
+  /// state equality with the pre-crash supervisor (WAL replay is
+  /// deterministic), a non-lost certificate, and a probe query batch that
+  /// passes the query-certified checks. Returns false when the soak cannot
+  /// continue (recovery failed closed or the invariant flagged).
+  template <class Wire, class Fold>
+  bool run_crash_recovery(SoakResult& result, std::size_t w,
+                          const SupervisorOptions& sup_options,
+                          persist::DurabilityManager& durability,
+                          std::unique_ptr<SpannerSupervisor>& supervisor,
+                          std::optional<serve::SnapshotStore>& store,
+                          std::optional<serve::QueryEngine>& query_engine,
+                          const Wire& wire_serving,
+                          const Fold& fold_serving) {
+    result.crash_recovery_ran = true;
+    const std::size_t pre_waves = supervisor->waves();
+    const std::size_t pre_debt = supervisor->repair_debt();
+    const Graph pre_spanner = supervisor->spanner();
+    const Graph pre_surviving = supervisor->fault_state().surviving(g);
+
+    // kill -9: nothing below gets to flush, checkpoint, or say goodbye.
+    fold_serving();
+    query_engine.reset();
+    store.reset();
+    supervisor.reset();
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                           "soak-crash", w, 0);
+
+    SupervisorRecovery recovery;
+    supervisor =
+        SpannerSupervisor::recover(g, durability, sup_options, recovery);
+    result.recovery_wal_replayed = recovery.wal_waves_replayed;
+    result.recovery_seconds = recovery.seconds;
+    result.recovery_generation = recovery.generation;
+    if (supervisor == nullptr) {
+      flag(result, w, "recovery-certified",
+           "recovery failed closed: " + recovery.error);
+      return false;
+    }
+    DCS_LOG(Info) << "crash at wave " << w << ": " << recovery.summary();
+
+    std::ostringstream why;
+    if (supervisor->waves() != pre_waves) {
+      why << "recovered to wave " << supervisor->waves() << ", crashed at "
+          << pre_waves;
+    } else if (!(supervisor->spanner() == pre_spanner)) {
+      why << "recovered spanner differs from the pre-crash spanner ("
+          << supervisor->spanner().num_edges() << " vs "
+          << pre_spanner.num_edges() << " edges)";
+    } else if (!(supervisor->fault_state().surviving(g) == pre_surviving)) {
+      why << "recovered fault overlay differs from the pre-crash overlay";
+    } else if (supervisor->repair_debt() != pre_debt) {
+      why << "recovered debt " << supervisor->repair_debt()
+          << " != pre-crash debt " << pre_debt;
+    } else if (recovery.certificate == GuaranteeStatus::kLost) {
+      why << "recovered oracle recertified to kLost (alpha "
+          << recovery.certified_alpha << ") — must not serve";
+    }
+    if (!why.str().empty()) {
+      flag(result, w, "recovery-certified", why.str());
+      return false;
+    }
+
+    // Publish the recovered epoch and prove the oracle serves certified
+    // answers *now*, before churn resumes.
+    wire_serving();
+    if (query_engine) {
+      const std::vector<serve::Query> batch = wave_queries(
+          mix64(options.seed, kRecoverySalt), w, options.qps,
+          g.num_vertices());
+      const serve::SnapshotRef snap = store->pin();
+      const auto answers = query_engine->serve_batch(batch);
+      result.queries_submitted += batch.size();
+      ++result.query_batches;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto fail = check_query_answer(*snap, batch[i], answers[i]);
+        if (fail.has_value()) {
+          flag(result, w, "recovery-certified",
+               "post-recovery probe, epoch " + std::to_string(snap->epoch) +
+                   ": " + *fail);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
   SoakResult run() {
     DCS_TRACE_SPAN("soak");
     MetricsEnableGuard metrics_guard;
@@ -179,21 +271,40 @@ struct SoakDriver {
     churn.seed = mix64(options.seed, kChurnSalt);
     ChurnEngine engine(g, churn);
 
-    SpannerSupervisor supervisor(g, h0, options.supervisor);
-    if (options.inject_repair_bug) supervisor.inject_repair_bug();
+    SupervisorOptions sup_options = options.supervisor;
+    if (!options.persist_dir.empty()) {
+      sup_options.checkpoint_interval = options.checkpoint_interval;
+    }
+    // unique_ptr, not a stack value: crash-recovery mode destroys the
+    // supervisor mid-run (the simulated kill -9) and replaces it with the
+    // one SpannerSupervisor::recover() rebuilds from disk.
+    auto supervisor = std::make_unique<SpannerSupervisor>(g, h0, sup_options);
+    if (options.inject_repair_bug) supervisor->inject_repair_bug();
+
+    std::optional<persist::DurabilityManager> durability;
+    if (!options.persist_dir.empty()) {
+      durability.emplace(options.persist_dir);
+      supervisor->attach_durability(&*durability);
+      // Genesis generation: the WAL needs a base checkpoint to replay
+      // against before the first cadence-driven cut.
+      supervisor->checkpoint_now();
+    }
 
     // Live-oracle wiring: the supervisor publishes epochs into the store,
     // the engine serves from pinned snapshots under the strict policy
     // (shed at kRebuilding, certificate must be fresh) so every answer it
-    // does serve is certifiable against its own epoch.
+    // does serve is certifiable against its own epoch. A lambda because
+    // crash-recovery mode tears the serving plane down with the supervisor
+    // and re-wires it around the recovered one.
     std::optional<serve::SnapshotStore> store;
     std::optional<serve::QueryEngine> query_engine;
-    if (options.qps > 0) {
+    const auto wire_serving = [&]() {
+      if (options.qps == 0) return;
       serve::SpannerCertificate cert;
       cert.alpha = options.supervisor.health.alpha;
       cert.beta = options.supervisor.health.beta;
-      store.emplace(g, h0, cert);
-      supervisor.attach_snapshots(&*store);
+      store.emplace(g, supervisor->spanner(), cert);
+      supervisor->attach_snapshots(&*store);
       serve::ServeOptions serve_options;
       serve_options.shed_at = SupervisorState::kRebuilding;
       serve_options.require_fresh_certificate = true;
@@ -205,15 +316,48 @@ struct SoakDriver {
       if (options.inject_stale_cache_bug) {
         query_engine->inject_stale_cache_bug();
       }
-    }
+    };
+    // Serving stats accumulate per engine incarnation; fold them into the
+    // result before an incarnation dies (crash) and at the end.
+    const auto fold_serving = [&]() {
+      if (!query_engine) return;
+      const serve::ServeStats es = query_engine->stats();
+      result.queries_served += es.served;
+      result.queries_shed +=
+          es.shed_admission + es.shed_deadline + es.shed_degraded;
+      result.epochs_published += store->published();
+      result.epochs_adopted += es.epochs_adopted;
+    };
+    wire_serving();
 
+    bool crashed = false;
     for (std::size_t w = 0; w < options.waves; ++w) {
+      // Graceful shutdown (SIGTERM/SIGINT in dcs_tool): stop at a wave
+      // boundary with the result — and so the artifacts — intact.
+      if (options.stop_flag != nullptr &&
+          options.stop_flag->load(std::memory_order_relaxed)) {
+        result.stopped_early = true;
+        DCS_LOG(Info) << "stop flag set; ending soak after " << w
+                      << " waves";
+        break;
+      }
+
+      if (durability && !crashed && options.crash_at_wave > 0 &&
+          w == options.crash_at_wave) {
+        crashed = true;
+        if (!run_crash_recovery(result, w, sup_options, *durability,
+                                supervisor, store, query_engine,
+                                wire_serving, fold_serving)) {
+          result.waves_run = w;
+          break;
+        }
+      }
       const obs::MetricsValueSnapshot wave_before = registry.value_snapshot();
       result.wave_metrics_wave = w;
       std::span<const FaultEvent> events =
           replay != nullptr ? replay->wave(w) : engine.advance();
-      const std::size_t prev_debt = supervisor.repair_debt();
-      const auto report = supervisor.step(events);
+      const std::size_t prev_debt = supervisor->repair_debt();
+      const auto report = supervisor->step(events);
       // Per-wave counter deltas: recomputed every wave so the last one
       // standing describes the final (or violating) wave. The early-break
       // violation paths below leave the delta covering everything the wave
@@ -243,7 +387,7 @@ struct SoakDriver {
         flag(result, w, "certificate-after-repair",
              "zero debt but certificate " +
                  std::string(to_string(report.certificate)) + ": " +
-                 supervisor.last_check().summary());
+                 supervisor->last_check().summary());
         break;
       }
       // Invariant: debt only grows by this wave's endangered edges.
@@ -257,16 +401,16 @@ struct SoakDriver {
 
       if (options.traffic_interval > 0 &&
           (w + 1) % options.traffic_interval == 0) {
-        const Graph g_surv = supervisor.fault_state().surviving(g);
+        const Graph g_surv = supervisor->fault_state().surviving(g);
         const std::uint64_t burst_seed =
             mix64(mix64(options.seed, kTrafficSalt), w);
         const Routing routing =
-            burst_routing(g_surv, supervisor.spanner(), burst_seed);
+            burst_routing(g_surv, supervisor->spanner(), burst_seed);
         if (!routing.paths.empty()) {
           PacketSimOptions sim = options.sim;
           sim.seed = burst_seed + 1;
           const auto sr =
-              simulate_store_and_forward(supervisor.spanner(), routing, sim);
+              simulate_store_and_forward(supervisor->spanner(), routing, sim);
           ++result.sims_run;
           result.packets_injected += routing.paths.size();
           result.packets_delivered += sr.delivered;
@@ -326,16 +470,17 @@ struct SoakDriver {
       delta_here();
     }
 
-    if (query_engine) {
-      const serve::ServeStats es = query_engine->stats();
-      result.queries_served = es.served;
-      result.queries_shed =
-          es.shed_admission + es.shed_deadline + es.shed_degraded;
-      result.epochs_published = store->published();
-      result.epochs_adopted = es.epochs_adopted;
+    fold_serving();
+    if (supervisor != nullptr) {
+      // (nullptr only when a failed recovery ended the run: the counters
+      // died with the process and the violation record tells the story.)
+      result.repairs = supervisor->repairs();
+      result.rebuilds = supervisor->rebuilds();
     }
-    result.repairs = supervisor.repairs();
-    result.rebuilds = supervisor.rebuilds();
+    if (durability) {
+      result.checkpoints_written = durability->checkpoints_written();
+      result.final_generation = durability->generation();
+    }
     result.schedule =
         replay != nullptr ? *replay : engine.history();
     if (replay == nullptr) {
@@ -367,6 +512,16 @@ std::string SoakResult::summary() const {
        << epochs_published << " epochs published, " << epochs_adopted
        << " adopted";
   }
+  if (checkpoints_written > 0 || final_generation > 0) {
+    os << "; durability: " << checkpoints_written
+       << " checkpoints, generation " << final_generation;
+  }
+  if (crash_recovery_ran) {
+    os << "; crash recovery: generation " << recovery_generation << ", "
+       << recovery_wal_replayed << " wal waves replayed in "
+       << recovery_seconds * 1e3 << " ms";
+  }
+  if (stopped_early) os << "; stopped early (shutdown requested)";
   if (ok()) {
     os << "; all invariants held";
   } else {
@@ -454,12 +609,17 @@ void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
   namespace fs = std::filesystem;
   fs::create_directories(dir);
 
+  // Artifacts are rendered in memory and published with the persist
+  // layer's temp → fsync → rename discipline: CI greps these files, and a
+  // crash (or kill) mid-dump must leave either the previous artifact or
+  // none — never a truncated JSON that parses as something else.
   const auto write_text = [&](const std::string& name, const auto& fn) {
     const std::string path = (fs::path(dir) / name).string();
-    std::ofstream os(path);
-    DCS_REQUIRE(os.good(), "cannot open artifact for writing: " + path);
+    std::ostringstream os;
     fn(os);
-    DCS_REQUIRE(os.good(), "artifact write failed: " + path);
+    std::string err;
+    DCS_REQUIRE(persist::atomic_write_file(path, os.str(), &err),
+                "artifact write failed: " + path + " (" + err + ")");
   };
 
   write_text("schedule.txt", [&](std::ostream& os) {
@@ -498,6 +658,16 @@ void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
        << ", \"shed\": " << result.queries_shed
        << ", \"epochs_published\": " << result.epochs_published
        << ", \"epochs_adopted\": " << result.epochs_adopted << "}"
+       << ",\n  \"durability\": {\"checkpoints_written\": "
+       << result.checkpoints_written
+       << ", \"final_generation\": " << result.final_generation
+       << ", \"crash_recovery_ran\": "
+       << (result.crash_recovery_ran ? "true" : "false")
+       << ", \"recovery_generation\": " << result.recovery_generation
+       << ", \"recovery_wal_replayed\": " << result.recovery_wal_replayed
+       << ", \"recovery_ms\": " << result.recovery_seconds * 1e3 << "}"
+       << ",\n  \"stopped_early\": "
+       << (result.stopped_early ? "true" : "false")
        << ",\n  \"schedule_events\": " << result.schedule.events.size();
     // Per-wave counter deltas (not cumulative totals): what moved during
     // the last executed wave — the violating one when the run died.
@@ -527,8 +697,13 @@ void write_soak_artifacts(const std::string& dir, const SoakResult& result) {
   // runs too — "what did the last waves do" is a question for those as
   // well.
   const std::string flight_path = (fs::path(dir) / "flight.json").string();
-  DCS_REQUIRE(obs::FlightRecorder::instance().dump(flight_path),
-              "cannot write flight recorder artifact: " + flight_path);
+  std::string flight_err;
+  DCS_REQUIRE(
+      persist::atomic_write_file(
+          flight_path, obs::FlightRecorder::instance().to_json(),
+          &flight_err),
+      "cannot write flight recorder artifact: " + flight_path + " (" +
+          flight_err + ")");
 }
 
 }  // namespace dcs

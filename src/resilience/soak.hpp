@@ -31,7 +31,15 @@
 //         snapshot it was pinned to AND inside the published (α,β)
 //         envelope (d_H ≤ α_cert·d_G via per-edge subdivision), every
 //         shed carries a valid structured reason, and conservation
-//         (served + shed == submitted) holds across epoch boundaries.
+//         (served + shed == submitted) holds across epoch boundaries;
+//       * recovery-certified     — in crash-recovery mode (persist_dir +
+//         crash_at_wave) the supervisor is destroyed mid-run without any
+//         flush and rebuilt via SpannerSupervisor::recover(): the
+//         recovered state must equal the pre-crash state exactly (wave
+//         count, spanner topology, surviving network, repair debt — WAL
+//         replay is deterministic), recertify to a non-lost certificate,
+//         and serve a probe query batch whose every answer passes the
+//         query-certified checks.
 //
 // On the first violation the harness stops, re-runs the recorded schedule
 // through the delta-debugging minimizer (replays are deterministic, so
@@ -39,6 +47,7 @@
 // writes the full schedule, the minimized schedule, and a JSON report
 // next to each other, ready for `dcs_tool soak --replay`.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -91,6 +100,25 @@ struct SoakOptions {
   /// distance-row cache that survives epoch swaps proves the
   /// query-certified invariant catches stale reads (requires qps > 0).
   bool inject_stale_cache_bug = false;
+
+  /// When non-empty: attach a persist::DurabilityManager on this
+  /// directory, checkpoint every `checkpoint_interval` waves, and
+  /// write-ahead log every wave between checkpoints.
+  std::string persist_dir;
+  std::size_t checkpoint_interval = 16;
+
+  /// Crash-recovery mode (requires persist_dir): immediately before
+  /// consuming this wave, simulate a kill -9 — the supervisor and serving
+  /// plane are destroyed with no flush — then recover from disk and check
+  /// the recovery-certified invariant before the soak continues. 0 = no
+  /// crash. The churn engine deliberately survives: it models the
+  /// environment, which does not crash with the process.
+  std::size_t crash_at_wave = 0;
+
+  /// Graceful-shutdown hook: when non-null and set (e.g. from a SIGTERM
+  /// handler), the soak stops at the next wave boundary with its result —
+  /// and therefore its artifacts — intact.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 struct SoakViolation {
@@ -127,6 +155,17 @@ struct SoakResult {
   std::size_t query_batches = 0;     ///< one per wave with qps > 0
   std::uint64_t epochs_published = 0;
   std::uint64_t epochs_adopted = 0;
+
+  // Durability aggregates (persist_dir set).
+  std::size_t checkpoints_written = 0;
+  std::uint64_t final_generation = 0;
+  bool crash_recovery_ran = false;   ///< the crash wave was reached
+  std::size_t recovery_wal_replayed = 0;
+  double recovery_seconds = 0.0;
+  std::uint64_t recovery_generation = 0;
+
+  /// True when a stop_flag shutdown ended the run early (not a failure).
+  bool stopped_early = false;
 
   /// Every event the run consumed — replaying it reproduces the run.
   FailureSchedule schedule;

@@ -9,6 +9,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "persist/durability.hpp"
 #include "serve/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -118,9 +119,62 @@ std::uint64_t SpannerSupervisor::publish_snapshot(const Graph& g_surv) {
   cert.fresh = !cert_dirty_;
   last_published_state_ = ladder_;
   const std::uint64_t epoch = snapshots_->publish(g_surv, h_, cert);
+  last_epoch_ = epoch;
   obs::FlightRecorder::instance().record(obs::FlightEventKind::kEpochPublish,
                                          to_string(ladder_), epoch, wave_);
   return epoch;
+}
+
+void SpannerSupervisor::attach_durability(
+    persist::DurabilityManager* durability) {
+  durability_ = durability;
+}
+
+persist::CheckpointData SpannerSupervisor::make_checkpoint() const {
+  persist::CheckpointData data;
+  data.wave = wave_;
+  data.epoch = last_epoch_;
+  data.graph = g_;
+  data.spanner = h_;
+  data.down_vertices = state_.down_vertices();
+  data.down_edges = state_.down_edges();
+  data.debt.assign(debt_.begin(), debt_.end());
+  data.debt_oldest_wave = debt_oldest_wave_;
+  data.repairs = repairs_;
+  data.rebuilds = rebuilds_;
+  data.last_rebuild_wave = last_rebuild_wave_;
+  data.last_check_wave = last_check_wave_;
+  data.held_streak = held_streak_;
+  data.emergency_rebuild = emergency_rebuild_;
+  data.cert_dirty = cert_dirty_;
+  return data;
+}
+
+bool SpannerSupervisor::checkpoint_now() {
+  if (durability_ == nullptr) return false;
+  return durability_->checkpoint(make_checkpoint());
+}
+
+void SpannerSupervisor::force_recertify() {
+  const HealthMonitor monitor(g_, options_.health);
+  const Graph g_surv = state_.surviving(g_);
+  last_check_ = monitor.check_surviving(g_surv, h_, state_);
+  last_check_wave_ = wave_;
+  cert_dirty_ = false;
+  // Conservative streak: one held check is evidence, not a track record —
+  // the recovered supervisor re-earns kHealthy through normal hysteresis.
+  held_streak_ = last_check_.distance == GuaranteeStatus::kHeld ? 1 : 0;
+  if (debt_.empty() && last_check_.distance == GuaranteeStatus::kLost) {
+    ladder_ = SupervisorState::kLost;
+    emergency_rebuild_ = true;
+  } else if (!debt_.empty()) {
+    ladder_ = SupervisorState::kRepairing;
+  } else if (last_check_.distance == GuaranteeStatus::kHeld &&
+             held_streak_ >= options_.hysteresis) {
+    ladder_ = SupervisorState::kHealthy;
+  } else {
+    ladder_ = SupervisorState::kDegraded;
+  }
 }
 
 SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
@@ -128,6 +182,13 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
   Timer timer;
   SupervisorReport report;
   report.wave = wave_;
+
+  // 0. Write-ahead: the wave's events hit the log before any derived state
+  //    changes, so a crash anywhere in this step replays the whole wave.
+  //    A WAL failure degrades durability, never the maintenance loop.
+  if (durability_ != nullptr) {
+    durability_->log_wave(wave_, events);
+  }
 
   // 1. Land the wave: update the overlay, drop dead spanner edges, and
   //    queue the endangered edges as repair debt.
@@ -275,7 +336,141 @@ SupervisorReport SpannerSupervisor::step(std::span<const FaultEvent> events) {
   export_metrics(report);
   DCS_LOG(Debug) << report.summary();
   ++wave_;
+
+  // 6. Checkpoint cadence: after the wave is fully consumed (wave_ already
+  //    advanced, so the stored wave is "waves consumed" and WAL replay
+  //    resumes exactly here). A failed cut leaves the previous generation
+  //    and its WAL authoritative.
+  if (durability_ != nullptr && options_.checkpoint_interval > 0 &&
+      wave_ % options_.checkpoint_interval == 0) {
+    checkpoint_now();
+  }
   return report;
+}
+
+std::string SupervisorRecovery::summary() const {
+  std::ostringstream os;
+  if (!ok) {
+    os << "recovery failed closed: " << error;
+    return os.str();
+  }
+  os << "recovered generation " << generation << " (wave " << checkpoint_wave
+     << " + " << wal_waves_replayed << " wal waves, "
+     << wal_events_replayed << " events)";
+  if (generations_skipped > 0) {
+    os << ", " << generations_skipped << " corrupt generation(s) skipped";
+  }
+  if (wal_truncated) os << ", torn wal tail truncated";
+  os << ", certificate " << to_string(certificate) << " (alpha "
+     << certified_alpha << ")";
+  if (!recheckpointed) os << ", re-checkpoint failed";
+  os << ", " << seconds * 1e3 << " ms";
+  return os.str();
+}
+
+std::unique_ptr<SpannerSupervisor> SpannerSupervisor::recover(
+    const Graph& g, persist::DurabilityManager& durability,
+    SupervisorOptions options, SupervisorRecovery& report) {
+  Timer total;
+  report = SupervisorRecovery{};
+
+  Timer load_timer;
+  auto loaded = durability.recover();
+  if (!loaded.has_value()) {
+    report.error = durability.last_error();
+    return nullptr;
+  }
+  persist::CheckpointData& ckpt = loaded->checkpoint;
+  report.generation = loaded->generation;
+  report.checkpoint_wave = ckpt.wave;
+  report.generations_skipped = loaded->generations_skipped;
+  report.wal_truncated = loaded->wal_truncated;
+  report.pre_crash_epoch = ckpt.epoch;
+
+  // The checkpoint is self-contained; the caller's graph must be the same
+  // network or the spanner/debt/overlay are meaningless against it.
+  if (!(ckpt.graph == g)) {
+    report.error = "checkpoint network differs from the provided graph";
+    DCS_LOG(Error) << "recovery failed closed: " << report.error;
+    return nullptr;
+  }
+  report.load_seconds = load_timer.seconds();
+
+  // Reconstruct the supervisor at the checkpoint wave. The constructor
+  // re-verifies H ⊆ G; private state is restored field by field (recover is
+  // a member, so it may).
+  auto sup = std::unique_ptr<SpannerSupervisor>(
+      new SpannerSupervisor(g, std::move(ckpt.spanner), options));
+  for (Vertex v : ckpt.down_vertices) {
+    sup->state_.apply(FaultEvent::vertex_down(ckpt.wave, v));
+  }
+  for (Edge e : ckpt.down_edges) {
+    sup->state_.apply(FaultEvent::edge_down(ckpt.wave, e));
+  }
+  sup->wave_ = static_cast<std::size_t>(ckpt.wave);
+  sup->repairs_ = static_cast<std::size_t>(ckpt.repairs);
+  sup->rebuilds_ = static_cast<std::size_t>(ckpt.rebuilds);
+  sup->last_rebuild_wave_ = static_cast<std::size_t>(ckpt.last_rebuild_wave);
+  sup->last_check_wave_ = static_cast<std::size_t>(ckpt.last_check_wave);
+  sup->held_streak_ = static_cast<std::size_t>(ckpt.held_streak);
+  sup->emergency_rebuild_ = ckpt.emergency_rebuild;
+  sup->cert_dirty_ = ckpt.cert_dirty;
+  sup->debt_oldest_wave_ = static_cast<std::size_t>(ckpt.debt_oldest_wave);
+  for (Edge e : ckpt.debt) {
+    if (sup->debt_set_.insert(e)) sup->debt_.push_back(e);
+  }
+  // A checkpoint that passed decoding but whose spanner contradicts its
+  // own fault overlay could still smuggle in dead edges; reject it here
+  // rather than serve paths through crashed elements.
+  for (Edge e : sup->h_.edges()) {
+    if (!sup->state_.edge_alive(e)) {
+      report.error = "checkpoint spanner contains a crashed edge";
+      DCS_LOG(Error) << "recovery failed closed: " << report.error;
+      return nullptr;
+    }
+  }
+
+  // Replay the WAL through the normal maintenance path. Every stage is
+  // seeded/deterministic, so this reproduces the pre-crash state exactly.
+  Timer replay_timer;
+  for (const persist::WalWave& wave : loaded->wal) {
+    report.wal_events_replayed += wave.events.size();
+    sup->step(std::span<const FaultEvent>(wave.events));
+    ++report.wal_waves_replayed;
+  }
+  report.replay_seconds = replay_timer.seconds();
+
+  // Never trust a certificate that was in memory when the process died:
+  // recertify against the live topology before anything gets served.
+  Timer recheck_timer;
+  sup->force_recertify();
+  report.recheck_seconds = recheck_timer.seconds();
+  report.certificate = sup->last_check_.distance;
+  report.certified_alpha = sup->last_check_.certified_alpha;
+
+  // End recovery on a fresh durable generation: the replayed WAL is now
+  // baked into a checkpoint and new waves log against it.
+  sup->attach_durability(&durability);
+  report.recheckpointed = sup->checkpoint_now();
+
+  report.ok = true;
+  report.seconds = total.seconds();
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.gauge("persist.recovery.total_ms").set(report.seconds * 1e3);
+    reg.gauge("persist.recovery.replay_ms").set(report.replay_seconds * 1e3);
+    reg.gauge("persist.recovery.recheck_ms")
+        .set(report.recheck_seconds * 1e3);
+    reg.gauge("persist.recovery.certificate")
+        .set(static_cast<double>(
+            static_cast<std::uint8_t>(report.certificate)));
+    reg.counter("persist.recovery.completed").inc();
+  }
+  obs::FlightRecorder::instance().record(
+      obs::FlightEventKind::kCustom, "recovery-complete", loaded->generation,
+      sup->wave_);
+  DCS_LOG(Info) << report.summary();
+  return sup;
 }
 
 }  // namespace dcs

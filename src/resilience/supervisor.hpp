@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -47,6 +48,11 @@
 namespace dcs::serve {
 class SnapshotStore;  // serve/snapshot.hpp — serving-plane epoch store
 }  // namespace dcs::serve
+
+namespace dcs::persist {
+class DurabilityManager;  // persist/durability.hpp — checkpoint + WAL
+struct CheckpointData;    // persist/checkpoint.hpp — serialized state
+}  // namespace dcs::persist
 
 namespace dcs {
 
@@ -88,6 +94,38 @@ struct SupervisorOptions {
   /// Consecutive held certificates required to climb back to kHealthy
   /// after any repair/rebuild/degradation.
   std::size_t hysteresis = 2;
+
+  /// Cut a durable checkpoint every this many waves when a
+  /// DurabilityManager is attached (0 = only explicit checkpoint_now()
+  /// calls). Between checkpoints every wave's events are write-ahead
+  /// logged, so the exposure window is bounded by WAL fsync cadence, not
+  /// by this interval.
+  std::size_t checkpoint_interval = 0;
+};
+
+/// What SpannerSupervisor::recover() reconstructed and how long it took.
+struct SupervisorRecovery {
+  bool ok = false;
+  std::string error;  ///< set when !ok (recovery failed closed)
+
+  std::uint64_t generation = 0;        ///< checkpoint generation loaded
+  std::uint64_t checkpoint_wave = 0;   ///< wave the checkpoint was cut at
+  std::size_t generations_skipped = 0; ///< corrupt newer generations
+  std::size_t wal_waves_replayed = 0;
+  std::size_t wal_events_replayed = 0;
+  bool wal_truncated = false;          ///< torn/corrupt WAL tail dropped
+  std::uint64_t pre_crash_epoch = 0;   ///< last epoch the crashed run served
+
+  GuaranteeStatus certificate = GuaranteeStatus::kLost;  ///< post-recovery
+  double certified_alpha = 0.0;
+  bool recheckpointed = false;  ///< fresh generation cut after recovery
+
+  double seconds = 0.0;  ///< total recovery wall time
+  double load_seconds = 0.0;
+  double replay_seconds = 0.0;
+  double recheck_seconds = 0.0;
+
+  std::string summary() const;
 };
 
 /// One wave's maintenance outcome.
@@ -133,11 +171,39 @@ class SpannerSupervisor {
   /// moved. The store's vertex count must match the network's.
   void attach_snapshots(serve::SnapshotStore* store);
 
+  /// Attaches the durability plane (borrowed; nullptr detaches). Once
+  /// attached, step() write-ahead logs every wave *before* applying it and
+  /// cuts a checkpoint every `checkpoint_interval` waves. Call
+  /// checkpoint_now() right after attaching so the WAL has a base
+  /// generation to replay against.
+  void attach_durability(persist::DurabilityManager* durability);
+
+  /// Cuts a durable checkpoint of the current state (and rotates the WAL).
+  /// False when no durability manager is attached or the write failed —
+  /// in which case the previous generation remains authoritative.
+  bool checkpoint_now();
+
+  /// Rebuilds a supervisor from the newest valid generation in `durability`:
+  /// loads the checkpoint, re-applies the fault overlay, replays the WAL
+  /// wave by wave through the normal step()/repair path (deterministic, so
+  /// the replayed state matches the pre-crash one), recertifies against a
+  /// live HealthMonitor, attaches `durability`, and cuts a fresh
+  /// checkpoint. `g` must equal the checkpointed network — recovery fails
+  /// closed on mismatch rather than serve a spanner of the wrong graph.
+  /// Returns nullptr (with report.error set) when recovery fails closed;
+  /// the on-disk generations are left untouched either way. Attach a
+  /// SnapshotStore afterwards to publish the recovered epoch.
+  static std::unique_ptr<SpannerSupervisor> recover(
+      const Graph& g, persist::DurabilityManager& durability,
+      SupervisorOptions options, SupervisorRecovery& report);
+
   /// The current spanner (a subgraph of the current surviving network).
   const Graph& spanner() const { return h_; }
   const FaultState& fault_state() const { return state_; }
 
   SupervisorState ladder_state() const { return ladder_; }
+  /// Last serving epoch published (0 = none yet).
+  std::uint64_t last_epoch() const { return last_epoch_; }
   std::size_t repair_debt() const { return debt_.size(); }
   std::size_t waves() const { return wave_; }
   std::size_t repairs() const { return repairs_; }
@@ -159,6 +225,11 @@ class SpannerSupervisor {
   /// Publishes {g_surv, h_, certificate-from-last_check_} to the attached
   /// store and returns the new epoch. Requires snapshots_ != nullptr.
   std::uint64_t publish_snapshot(const Graph& g_surv);
+  /// Serializes the full maintenance state for the durability plane.
+  persist::CheckpointData make_checkpoint() const;
+  /// Recertifies immediately against the current topology (used by
+  /// recovery; step() has its own cadence-driven version).
+  void force_recertify();
 
   const Graph& g_;
   Graph h_;
@@ -180,6 +251,10 @@ class SpannerSupervisor {
   // the certificate still describes the published topology.
   serve::SnapshotStore* snapshots_ = nullptr;
   SupervisorState last_published_state_ = SupervisorState::kHealthy;
+  std::uint64_t last_epoch_ = 0;
+
+  // Durability plane (borrowed): WAL target + checkpoint sink.
+  persist::DurabilityManager* durability_ = nullptr;
   /// Set when faults or maintenance touch the topology, cleared by
   /// recertification: a published certificate is `fresh` iff clear.
   bool cert_dirty_ = false;

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "core/regular_spanner.hpp"
+#include "persist/durability.hpp"
 #include "graph/generators.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
@@ -634,6 +636,78 @@ TEST(Soak, FlightRecorderTailCausallyExplainsTheViolation) {
   const auto& inv = events[static_cast<std::size_t>(last_invariant)];
   EXPECT_EQ(inv.at("detail").as_string(), "query-certified");
   EXPECT_EQ(inv.at("a").as_number(), static_cast<double>(violation.wave));
+}
+
+// -------------------------------------------------- crash-recovery mode
+
+TEST(Soak, CrashRecoveryInvariantHoldsAcrossAKillMidRun) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/dcs_soak_crash";
+  fs::remove_all(dir);
+
+  auto o = small_soak_options();
+  o.qps = 8;
+  o.persist_dir = dir;
+  o.checkpoint_interval = 8;
+  o.crash_at_wave = 30;
+  const auto result = run_soak(g, built.spanner.h, o);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().detail);
+  EXPECT_TRUE(result.crash_recovery_ran);
+  EXPECT_GT(result.checkpoints_written, 0u);
+  EXPECT_GT(result.recovery_generation, 0u);
+  EXPECT_GT(result.recovery_seconds, 0.0);
+  // The soak continued past the crash: recovery is a detour, not an end.
+  EXPECT_EQ(result.waves_run, o.waves);
+  EXPECT_EQ(result.final_generation,
+            persist::DurabilityManager(dir).generation());
+}
+
+TEST(Soak, CrashRecoveryIsDeterministicAcrossReplays) {
+  // The recovery-certified invariant asserts recovered state == pre-crash
+  // state inside one run; this asserts the *whole run* (including the
+  // crash/recover detour) is reproducible from its seed, which the
+  // minimizer relies on.
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  auto o = small_soak_options();
+  o.qps = 4;
+  o.checkpoint_interval = 8;
+  o.crash_at_wave = 20;
+  o.waves = 40;
+
+  namespace fs = std::filesystem;
+  const std::string dir_a = ::testing::TempDir() + "/dcs_soak_det_a";
+  const std::string dir_b = ::testing::TempDir() + "/dcs_soak_det_b";
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+  o.persist_dir = dir_a;
+  const auto a = run_soak(g, built.spanner.h, o);
+  o.persist_dir = dir_b;
+  const auto b = run_soak(g, built.spanner.h, o);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(a.waves_run, b.waves_run);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.recovery_generation, b.recovery_generation);
+  EXPECT_EQ(a.recovery_wal_replayed, b.recovery_wal_replayed);
+  EXPECT_EQ(a.queries_served, b.queries_served);
+  EXPECT_EQ(a.schedule.events.size(), b.schedule.events.size());
+}
+
+TEST(Soak, StopFlagEndsTheRunEarlyWithoutViolations) {
+  const Graph g = test_network();
+  const auto built = build_regular_spanner(g, {.seed = 5});
+  auto o = small_soak_options();
+  const std::atomic<bool> stop{true};  // already requested: stop at wave 0
+  o.stop_flag = &stop;
+  const auto result = run_soak(g, built.spanner.h, o);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_EQ(result.waves_run, 0u);
 }
 
 }  // namespace

@@ -24,7 +24,22 @@
 //       invariant), --inject-repair-bug (harness self-test: the
 //       supervisor silently drops a repaired edge, the soak must catch
 //       it), --inject-stale-cache-bug (harness self-test: the engine's
-//       distance rows survive epoch swaps; needs --qps)
+//       distance rows survive epoch swaps; needs --qps),
+//       --persist-dir=DIR (attach the durability plane: checkpoint +
+//       write-ahead log into DIR), --checkpoint-interval=N (checkpoint
+//       cadence in waves, default 16), --crash-at-wave=N (simulate a
+//       kill -9 before wave N, recover from DIR, and check the
+//       recovery-certified invariant; needs --persist-dir)
+//   dcs_tool checkpoint <in.graph> <spanner.graph> <dir>
+//       cut generation 1 of a durable checkpoint directory from a
+//       certified (graph, spanner) pair — the state a crashed process
+//       recovers from
+//   dcs_tool recover <in.graph> <dir>
+//       rebuild the supervised oracle from the newest valid generation
+//       in <dir> (checkpoint load + WAL replay + recertification), print
+//       the recovery report, and spot-check the recovered spanner's
+//       stretch against the certificate. Exit 0 when recovery lands a
+//       non-lost certificate, 1 when it fails closed.
 //   dcs_tool pipeline <n> [delta] [seed]
 //       end-to-end: generate, build Theorem 3 spanner, verify, simulate
 //   dcs_tool info <in.graph>
@@ -50,6 +65,12 @@
 // DCS_CHECK or a fatal signal writes flight.json (into --artifacts-dir
 // when set, the working directory otherwise) before the process dies.
 //
+// SIGTERM/SIGINT are handled gracefully in the long-running modes: a soak
+// stops at the next wave boundary with its artifacts intact, `top` exits
+// its poll loop, and a --stats-socket endpoint is shut down and its socket
+// unlinked — then metrics/trace artifacts are flushed exactly as on a
+// normal exit.
+//
 // Exit codes are uniform across subcommands: 0 on success; 1 when a check
 // fails (verification, resilience recertification, soak invariant, pipeline
 // stretch/simulation); 2 on usage errors or malformed input.
@@ -59,9 +80,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -72,6 +95,14 @@
 #include <thread>
 #include <vector>
 
+// SIGPIPE guard for the `top` client: send(MSG_NOSIGNAL) turns a write to
+// a vanished stats endpoint into an error return instead of killing the
+// process. (Always present on Linux; the fallback keeps other POSIX
+// systems compiling.)
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 #include "core/baseline_spanners.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
@@ -79,6 +110,7 @@
 #include "obs/metrics.hpp"
 #include "obs/stats_endpoint.hpp"
 #include "obs/trace.hpp"
+#include "persist/durability.hpp"
 #include "core/expander_spanner.hpp"
 #include "core/general_spanner.hpp"
 #include "core/regular_spanner.hpp"
@@ -122,6 +154,20 @@ std::uint64_t g_qps = 0;
 std::string g_stats_socket;
 bool g_top_once = false;
 std::uint64_t g_top_interval_ms = 1000;
+std::string g_persist_dir;
+std::uint64_t g_checkpoint_interval = 16;
+std::uint64_t g_crash_at_wave = 0;
+
+// Graceful-shutdown flag, set (and only set) by the SIGTERM/SIGINT
+// handler. The long-running modes poll it: the soak stops at the next
+// wave boundary, `top` exits its poll loop. Everything downstream of the
+// subcommand's return — artifact flush, stats-socket unlink — then runs
+// exactly as on a normal exit.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_shutdown_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
 
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
@@ -142,7 +188,10 @@ std::uint64_t g_top_interval_ms = 1000;
       "[edge-fraction] [vertex-faults] [seed]\n"
       "  dcs_tool soak <in.graph> <spanner.graph> [waves] [seed] "
       "[--qps=N] [--replay=SCHEDULE] [--inject-repair-bug] "
-      "[--inject-stale-cache-bug]\n"
+      "[--inject-stale-cache-bug] [--persist-dir=DIR] "
+      "[--checkpoint-interval=N] [--crash-at-wave=N]\n"
+      "  dcs_tool checkpoint <in.graph> <spanner.graph> <dir>\n"
+      "  dcs_tool recover <in.graph> <dir>\n"
       "  dcs_tool pipeline <n> [delta] [seed]\n"
       "  dcs_tool info <in.graph>\n"
       "  dcs_tool top <socket> [--once] [--interval-ms=N]\n"
@@ -388,10 +437,17 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   const auto results = engine.serve_batch(queries);
   const double elapsed_ms = timer.millis();
 
-  // Spot-check a deterministic sample against the scalar oracle.
+  // Spot-check a deterministic sample against the scalar oracle. A
+  // shutdown signal ends the (BFS-heavy) sweep early; the checks done so
+  // far still count.
   std::size_t mismatches = 0;
+  bool spot_check_complete = true;
   const std::size_t stride = std::max<std::size_t>(1, num_queries / 64);
   for (std::size_t i = 0; i < queries.size(); i += stride) {
+    if (g_stop.load(std::memory_order_relaxed)) {
+      spot_check_complete = false;
+      break;
+    }
     const auto truth = bfs_distances(h, queries[i].u);
     if (results[i].distance != truth[queries[i].v]) ++mismatches;
     if (queries[i].kind == serve::QueryKind::kRoute &&
@@ -421,7 +477,10 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
               << " spot-checked answers disagree with scalar BFS\n";
     return 1;
   }
-  std::cout << "OK: all spot-checked answers match scalar BFS\n";
+  std::cout << (spot_check_complete
+                    ? "OK: all spot-checked answers match scalar BFS\n"
+                    : "OK (interrupted): spot checks done before shutdown "
+                      "all match scalar BFS\n");
   return 0;
 }
 
@@ -494,6 +553,13 @@ int cmd_soak(const std::vector<std::string>& args) {
   if (o.inject_stale_cache_bug && o.qps == 0) {
     usage("--inject-stale-cache-bug needs query traffic (--qps=N)");
   }
+  o.persist_dir = g_persist_dir;
+  o.checkpoint_interval = static_cast<std::size_t>(g_checkpoint_interval);
+  o.crash_at_wave = static_cast<std::size_t>(g_crash_at_wave);
+  if (o.crash_at_wave > 0 && o.persist_dir.empty()) {
+    usage("--crash-at-wave needs a durable directory (--persist-dir=DIR)");
+  }
+  o.stop_flag = &g_stop;
 
   SoakResult result;
   if (!g_replay_path.empty()) {
@@ -527,12 +593,140 @@ int cmd_soak(const std::vector<std::string>& args) {
     t.add("epochs published", result.epochs_published);
     t.add("epochs adopted", result.epochs_adopted);
   }
+  if (!o.persist_dir.empty()) {
+    t.add("checkpoints written", result.checkpoints_written);
+    t.add("final generation", result.final_generation);
+    if (result.crash_recovery_ran) {
+      t.add("recovery generation", result.recovery_generation);
+      t.add("recovery WAL waves", result.recovery_wal_replayed);
+      t.add("recovery [ms]", result.recovery_seconds * 1e3);
+    }
+  }
   t.print(std::cout);
   std::cout << result.summary() << "\n";
+  if (result.stopped_early) {
+    std::cout << "stopped early by signal; artifacts are complete up to "
+                 "wave " << result.waves_run << "\n";
+  }
   if (!g_artifacts_dir.empty()) {
     std::cout << "artifacts written to " << g_artifacts_dir << "\n";
   }
   return result.ok() ? 0 : 1;
+}
+
+// Cuts generation 1 of a durable checkpoint directory from a certified
+// (graph, spanner) pair: the state `dcs_tool recover` — or a restarted
+// daemon — rebuilds the live oracle from.
+int cmd_checkpoint(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("checkpoint needs <in> <spanner> <dir>");
+  const Graph g = read_graph_file(args[0]);
+  const Graph h = read_graph_file(args[1]);
+  if (h.num_vertices() != g.num_vertices() || !g.contains_subgraph(h)) {
+    std::cout << "FAIL: spanner is not a subgraph of the input\n";
+    return 1;
+  }
+
+  SpannerSupervisor supervisor(g, h);
+  persist::DurabilityManager durability(args[2]);
+  supervisor.attach_durability(&durability);
+  if (!supervisor.checkpoint_now()) {
+    std::cout << "FAIL: checkpoint write failed: " << durability.last_error()
+              << "\n";
+    return 1;
+  }
+
+  Table t({"quantity", "value"});
+  t.add("directory", durability.dir());
+  t.add("generation", durability.generation());
+  t.add("checkpoint",
+        durability.checkpoint_path(durability.generation()));
+  t.add("vertices", g.num_vertices());
+  t.add("graph edges", g.num_edges());
+  t.add("spanner edges", h.num_edges());
+  t.add("WAL healthy", std::string(durability.wal_healthy() ? "yes" : "no"));
+  t.print(std::cout);
+  std::cout << "OK: generation " << durability.generation()
+            << " published\n";
+  return 0;
+}
+
+// Rebuilds the supervised oracle from the newest valid generation on
+// disk, prints the recovery report, and spot-checks the recovered
+// spanner's stretch on the surviving network against the recertified
+// bound. Exit 0 when recovery lands a non-lost certificate, 1 when it
+// fails closed (or the spot checks disagree with the certificate).
+int cmd_recover(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("recover needs <in.graph> <dir>");
+  const Graph g = read_graph_file(args[0]);
+
+  persist::DurabilityManager durability(args[1]);
+  SupervisorRecovery recovery;
+  const auto supervisor =
+      SpannerSupervisor::recover(g, durability, {}, recovery);
+  if (supervisor == nullptr) {
+    std::cout << "FAIL: " << recovery.error << "\n";
+    return 1;
+  }
+
+  Table t({"quantity", "value"});
+  t.add("generation loaded", recovery.generation);
+  t.add("checkpoint wave", recovery.checkpoint_wave);
+  t.add("generations skipped", recovery.generations_skipped);
+  t.add("WAL waves replayed", recovery.wal_waves_replayed);
+  t.add("WAL events replayed", recovery.wal_events_replayed);
+  t.add("WAL tail truncated",
+        std::string(recovery.wal_truncated ? "yes" : "no"));
+  t.add("certificate", std::string(to_string(recovery.certificate)));
+  t.add("certified alpha", recovery.certified_alpha);
+  t.add("recheckpointed", std::string(recovery.recheckpointed ? "yes" : "no"));
+  t.add("spanner edges", supervisor->spanner().num_edges());
+  t.add("repair debt", supervisor->repair_debt());
+  t.add("ladder state", std::string(to_string(supervisor->ladder_state())));
+  t.add("recovery [ms]", recovery.seconds * 1e3);
+  t.add("  load [ms]", recovery.load_seconds * 1e3);
+  t.add("  replay [ms]", recovery.replay_seconds * 1e3);
+  t.add("  recheck [ms]", recovery.recheck_seconds * 1e3);
+  t.print(std::cout);
+  std::cout << recovery.summary() << "\n";
+
+  if (recovery.certificate == GuaranteeStatus::kLost) {
+    std::cout << "FAIL: recovered state does not recertify\n";
+    return 1;
+  }
+
+  // Spot-check: the recertified bound must actually hold on a BFS sample
+  // of the surviving network — a recovery that loaded the wrong spanner
+  // would pass the certificate gauge but fail here.
+  const Graph g_surv = supervisor->fault_state().surviving(g);
+  const Graph& h = supervisor->spanner();
+  const std::size_t n = g_surv.num_vertices();
+  std::size_t checked = 0;
+  std::size_t violations = 0;
+  const std::size_t sources = std::min<std::size_t>(n, 16);
+  for (std::size_t i = 0; i < sources; ++i) {
+    const auto s = static_cast<Vertex>(i * (n / sources));
+    const auto dg = bfs_distances(g_surv, s);
+    const auto dh = bfs_distances(h, s);
+    for (Vertex v = 0; v < n; ++v) {
+      if (dg[v] == kUnreachable) continue;
+      ++checked;
+      if (dh[v] == kUnreachable ||
+          static_cast<double>(dh[v]) >
+              recovery.certified_alpha * static_cast<double>(dg[v])) {
+        ++violations;
+      }
+    }
+  }
+  if (violations != 0) {
+    std::cout << "FAIL: " << violations << " of " << checked
+              << " spot-checked pairs exceed the certified stretch\n";
+    return 1;
+  }
+  std::cout << "OK: recovered, recertified ("
+            << to_string(recovery.certificate) << ", alpha "
+            << recovery.certified_alpha << "), " << checked
+            << " spot-checked pairs inside the bound\n";
+  return 0;
 }
 
 // End-to-end driver: one invocation that exercises generation, the Theorem 3
@@ -603,10 +797,17 @@ int cmd_info(const std::vector<std::string>& args) {
 
 // --- `top`: client side of obs::StatsEndpoint ------------------------------
 
+// Writes the whole request with EINTR retries, short-write looping, and
+// no SIGPIPE — a stats endpoint that went away mid-poll must surface as a
+// clean error, not kill the client.
 bool write_all_bytes(int fd, std::string_view s) {
   while (!s.empty()) {
-    const ssize_t n = ::write(fd, s.data(), s.size());
-    if (n <= 0) return false;
+    const ssize_t n = ::send(fd, s.data(), s.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
     s.remove_prefix(static_cast<std::size_t>(n));
   }
   return true;
@@ -624,6 +825,7 @@ bool read_reply_line(int fd, std::string& pending, std::string& line) {
     }
     char buf[4096];
     const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     pending.append(buf, static_cast<std::size_t>(n));
   }
@@ -739,7 +941,16 @@ int cmd_top(const std::vector<std::string>& args) {
     std::cout << "== " << path << " poll " << ++polls << " ==\n";
     render_top(all);
     if (g_top_once) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(g_top_interval_ms));
+    // Sleep in short slices so SIGTERM/SIGINT ends the poll loop promptly
+    // instead of after a full interval.
+    for (std::uint64_t slept = 0;
+         slept < g_top_interval_ms &&
+         !g_stop.load(std::memory_order_relaxed);
+         slept += 50) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::uint64_t>(50, g_top_interval_ms - slept)));
+    }
+    if (g_stop.load(std::memory_order_relaxed)) break;
   }
   ::close(fd);
   return 0;
@@ -775,6 +986,19 @@ int main(int argc, char** argv) {
       g_inject_stale_cache_bug = true;
     } else if (a.rfind("--qps=", 0) == 0) {
       g_qps = std::strtoull(std::string(a.substr(6)).c_str(), nullptr, 10);
+    } else if (a.rfind("--persist-dir=", 0) == 0) {
+      g_persist_dir = a.substr(14);
+    } else if (a.rfind("--checkpoint-interval=", 0) == 0) {
+      const auto n = parse_u64_strict(a.substr(22));
+      if (!n || *n == 0) {
+        usage("--checkpoint-interval needs a positive wave count: " +
+              std::string(a));
+      }
+      g_checkpoint_interval = *n;
+    } else if (a.rfind("--crash-at-wave=", 0) == 0) {
+      const auto n = parse_u64_strict(a.substr(16));
+      if (!n) usage("--crash-at-wave needs a wave number: " + std::string(a));
+      g_crash_at_wave = *n;
     } else if (a.rfind("--flight-buffer=", 0) == 0) {
       const auto n = parse_u64_strict(a.substr(16));
       if (!n) usage("--flight-buffer needs an event count: " + std::string(a));
@@ -812,6 +1036,14 @@ int main(int argc, char** argv) {
   obs::FlightRecorder::instance().arm_crash_dump(
       g_artifacts_dir.empty() ? "flight.json"
                               : g_artifacts_dir + "/flight.json");
+  // Graceful shutdown: SIGTERM/SIGINT set a flag the long-running modes
+  // poll, so a terminated soak still writes its artifacts and a
+  // --stats-socket endpoint still unlinks its socket (both run on the
+  // normal return path below). SIGPIPE is ignored outright — socket
+  // writes use MSG_NOSIGNAL and handle the error return instead.
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGPIPE, SIG_IGN);
   // Flush on every exit path (including errors) so a failed run still
   // leaves its telemetry behind for diagnosis.
   const auto flush_obs = [&] {
@@ -841,6 +1073,8 @@ int main(int argc, char** argv) {
     else if (command == "serve-bench") rc = cmd_serve_bench(args);
     else if (command == "resilience") rc = cmd_resilience(args);
     else if (command == "soak") rc = cmd_soak(args);
+    else if (command == "checkpoint") rc = cmd_checkpoint(args);
+    else if (command == "recover") rc = cmd_recover(args);
     else if (command == "pipeline") rc = cmd_pipeline(args);
     else if (command == "info") rc = cmd_info(args);
     else if (command == "top") rc = cmd_top(args);

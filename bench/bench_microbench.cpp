@@ -20,6 +20,8 @@
 
 #include "bench_common.hpp"
 #include "core/expander_spanner.hpp"
+#include "graph/renumber.hpp"
+#include "util/simd.hpp"
 #include "core/matching_decomposition.hpp"
 #include "core/regular_spanner.hpp"
 #include "core/router.hpp"
@@ -331,11 +333,111 @@ void kernel_bitmap_support(bench::PerfRecord& rec) {
                 scalar_ms, bitmap_ms);
 }
 
+/// Re-times `fn` on the forced-scalar tier and checks the checksum is
+/// bit-identical to `expected` — the dispatch layer's contract, verified
+/// in-process on every bench run. Exports the checksum as a gauge so CI
+/// can also diff it across separate SIMD and DCS_FORCE_SCALAR=1 runs.
+/// Restores (rather than clears) the override so a forced-scalar process
+/// stays forced-scalar.
+template <typename Fn>
+void check_tier_invariance(const char* gauge, std::uint64_t expected,
+                           Fn&& fn) {
+  const bool prev = simd::force_scalar();
+  simd::set_force_scalar(true);
+  std::uint64_t scalar_tier = 0;
+  best_of(1, scalar_tier, fn);
+  simd::set_force_scalar(prev);
+  DCS_CHECK(scalar_tier == expected,
+            "SIMD and forced-scalar tiers disagree");
+  obs::MetricsRegistry::instance()
+      .gauge(std::string("bench.microbench.checksum.") + gauge)
+      .set(static_cast<double>(expected));
+}
+
+/// Bottom-up BFS step at n=4096: scalar reference BFS on the original
+/// labeling vs the full hardware story — BFS cache-order renumbering plus
+/// the direction-optimizing engine's SIMD bottom-up probes and software
+/// prefetch. The sum-of-distances checksum is permutation-invariant, so
+/// it certifies the relabeled run computes the same metric space.
+void kernel_bottomup_4096(bench::PerfRecord& rec) {
+  const std::size_t n = 4096;
+  const Graph& g = shared_graph(n, 64);
+  constexpr std::size_t kSources = 48;
+
+  std::uint64_t scalar_sum = 0;
+  const double scalar_ms = best_of(3, scalar_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const auto src = static_cast<Vertex>((s * 131) % n);
+      for (Dist d : bfs_distances(g, src)) sum += d;
+    }
+    return sum;
+  });
+
+  // Renumbering is a one-time index build (measured by BM_Renumber), so it
+  // stays outside the timed region like any other preprocessing.
+  const RenumberedGraph rg = g.renumber(VertexOrder::kBfs);
+  const auto fast_pass = [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const auto src = static_cast<Vertex>((s * 131) % n);
+      const SsBfsView view = bfs_hybrid(rg.graph, rg.map.internal(src));
+      for (Vertex v = 0; v < n; ++v) sum += view.at(v);
+    }
+    return sum;
+  };
+  std::uint64_t fast_sum = 0;
+  const double fast_ms = best_of(3, fast_sum, fast_pass);
+  DCS_CHECK(scalar_sum == fast_sum, "bottom-up 4096 checksum mismatch");
+  check_tier_invariance("bottomup4096", fast_sum, fast_pass);
+  report_kernel(rec, "bottom-up BFS (n=4096)", "bottomup4096", scalar_ms,
+                fast_ms);
+}
+
+/// Support counting at n=4096 in the paper's dense regime: sorted-merge
+/// reference vs the bitmap oracle's AND+popcount kernel.
+void kernel_bitmap_support_4096(bench::PerfRecord& rec) {
+  const std::size_t n = 4096;
+  const Graph& g = shared_graph(n, bench::degree_for(n, 2.0 / 3.0));
+  const auto edges = g.edges();
+  const std::size_t kEdges = std::min<std::size_t>(edges.size(), 1500);
+
+  std::uint64_t scalar_sum = 0;
+  const double scalar_ms = best_of(3, scalar_sum, [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kEdges; ++i) {
+      sum += count_supported_extensions(g, edges[i].u, edges[i].v, 2);
+    }
+    return sum;
+  });
+
+  const SupportOracle oracle(g);
+  DCS_CHECK(oracle.bitmapped(),
+            "dense 4096 benchmark graph should trigger the bitmap");
+  const auto fast_pass = [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kEdges; ++i) {
+      sum += oracle.count_supported_extensions(edges[i].u, edges[i].v, 2);
+    }
+    return sum;
+  };
+  std::uint64_t bitmap_sum = 0;
+  const double bitmap_ms = best_of(3, bitmap_sum, fast_pass);
+  DCS_CHECK(scalar_sum == bitmap_sum,
+            "bitmap support 4096 checksum mismatch");
+  check_tier_invariance("bitmap_support4096", bitmap_sum, fast_pass);
+  report_kernel(rec, "support counting (n=4096)", "bitmap_support4096",
+                scalar_ms, bitmap_ms);
+}
+
 void run_kernel_comparisons() {
   bench::PerfRecord rec("microbench");
   bench::print_header("Traversal-engine kernel comparisons",
                       "Scalar reference vs batched engine on identical "
                       "inputs; outputs checksum-verified equal.");
+  std::printf("SIMD dispatch tier: %s (hardware: %s)\n\n",
+              simd::tier_name(simd::active_tier()),
+              simd::tier_name(simd::hardware_tier()));
   {
     ScopedTimer t(rec.phase("msbfs"));
     kernel_msbfs(rec);
@@ -347,6 +449,14 @@ void run_kernel_comparisons() {
   {
     ScopedTimer t(rec.phase("bitmap_support"));
     kernel_bitmap_support(rec);
+  }
+  {
+    ScopedTimer t(rec.phase("bottomup4096"));
+    kernel_bottomup_4096(rec);
+  }
+  {
+    ScopedTimer t(rec.phase("bitmap_support4096"));
+    kernel_bitmap_support_4096(rec);
   }
 }
 
@@ -393,6 +503,53 @@ void BM_BitmapSupportTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitmapSupportTest);
+
+void BM_Renumber(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 16);
+  const auto order = static_cast<VertexOrder>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.renumber(order));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(vertex_order_name(order));
+}
+BENCHMARK(BM_Renumber)
+    ->Args({4096, static_cast<int>(VertexOrder::kDegreeDescending)})
+    ->Args({4096, static_cast<int>(VertexOrder::kBfs)});
+
+void BM_BottomUpPrefetch(benchmark::State& state) {
+  // Direction-optimizing BFS on the BFS-renumbered graph: the bottom-up
+  // steps (prefetched adjacency scans + SIMD frontier probes) dominate on
+  // this degree-64 graph, so this gauges the prefetch + renumber combo.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RenumberedGraph rg = shared_graph(n, 64).renumber(VertexOrder::kBfs);
+  Vertex source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_hybrid(rg.graph, source));
+    source = static_cast<Vertex>((source + 1) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rg.graph.num_edges()));
+}
+BENCHMARK(BM_BottomUpPrefetch)->Arg(1024)->Arg(4096);
+
+void BM_HasEdge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = shared_graph(n, 64);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // xorshift query stream
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto u = static_cast<Vertex>(x % n);
+    const auto v = static_cast<Vertex>((x >> 32) % n);
+    benchmark::DoNotOptimize(g.has_edge(u, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HasEdge)->Arg(1024)->Arg(4096);
 
 }  // namespace
 

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "obs/metrics.hpp"
+#include "util/simd.hpp"
 
 namespace dcs {
 
@@ -51,10 +52,11 @@ AdjacencyBitmap AdjacencyBitmap::build_if_worthwhile(const Graph& g) {
 std::size_t AdjacencyBitmap::common_count(Vertex u, Vertex v) const {
   const std::uint64_t* a = bits_.data() + u * words_;
   const std::uint64_t* b = bits_.data() + v * words_;
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    count += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
-  }
+  // The whole row is always consumed, so this is the pure and-popcount
+  // kernel — runtime-dispatched (AVX2 when available). has_common and
+  // common_into stay scalar: the former early-exits (its words_scanned
+  // accounting depends on where it stopped), the latter materializes.
+  const std::size_t count = simd::and_popcount(a, b, words_);
   words_counter().inc(words_);
   return count;
 }

@@ -50,7 +50,21 @@ bool Graph::has_edge(Vertex u, Vertex v) const {
     nb = neighbors(v);
     std::swap(u, v);
   }
-  return std::binary_search(nb.begin(), nb.end(), v);
+  // Branchless binary search: the conditional advance compiles to a cmov,
+  // so the only data-dependent branch left is the loop itself, and both
+  // possible next midpoints are prefetched while the current probe's load
+  // is still in flight.
+  const Vertex* base = nb.data();
+  std::size_t len = nb.size();
+  if (len == 0) return false;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    __builtin_prefetch(base + half / 2);
+    __builtin_prefetch(base + half + (len - half) / 2);
+    base += (base[half - 1] < v) ? half : 0;
+    len -= half;
+  }
+  return *base == v;
 }
 
 std::vector<Edge> Graph::edges() const {

@@ -1,0 +1,137 @@
+#include "graph/renumber.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace dcs {
+
+const char* vertex_order_name(VertexOrder order) {
+  switch (order) {
+    case VertexOrder::kOriginal:
+      return "original";
+    case VertexOrder::kDegreeDescending:
+      return "degree_descending";
+    case VertexOrder::kBfs:
+      return "bfs";
+  }
+  return "unknown";
+}
+
+Renumbering Renumbering::identity(std::size_t n) {
+  Renumbering r;
+  r.to_internal.resize(n);
+  r.to_external.resize(n);
+  std::iota(r.to_internal.begin(), r.to_internal.end(), Vertex{0});
+  std::iota(r.to_external.begin(), r.to_external.end(), Vertex{0});
+  return r;
+}
+
+bool Renumbering::is_valid() const {
+  const std::size_t n = to_internal.size();
+  if (to_external.size() != n) return false;
+  for (std::size_t ext = 0; ext < n; ++ext) {
+    const Vertex i = to_internal[ext];
+    if (i >= n || to_external[i] != ext) return false;
+  }
+  return true;
+}
+
+Graph Renumbering::apply_to(const Graph& g) const {
+  DCS_REQUIRE(g.num_vertices() == size(),
+              "renumbering size does not match graph");
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v) {
+        edges.push_back(canonical(to_internal[u], to_internal[v]));
+      }
+    }
+  }
+  return Graph::from_edges(size(), edges);
+}
+
+namespace {
+
+// Hubs first: stable sort by descending degree so equal-degree runs keep
+// their original relative order (deterministic across platforms).
+Renumbering degree_descending(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  Renumbering r;
+  r.to_external.resize(n);
+  std::iota(r.to_external.begin(), r.to_external.end(), Vertex{0});
+  std::stable_sort(r.to_external.begin(), r.to_external.end(),
+                   [&g](Vertex a, Vertex b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  r.to_internal.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.to_internal[r.to_external[i]] = static_cast<Vertex>(i);
+  }
+  return r;
+}
+
+// BFS visitation order. Components are processed hubs-first (each seeded
+// at its highest-degree unvisited vertex), so the largest neighborhoods
+// land at the front of the address space and each component's vertices
+// are contiguous.
+Renumbering bfs_order(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<Vertex> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), Vertex{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](Vertex a, Vertex b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+
+  Renumbering r;
+  r.to_external.reserve(n);
+  r.to_internal.assign(n, static_cast<Vertex>(n));  // n == "unvisited"
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  for (Vertex seed : by_degree) {
+    if (r.to_internal[seed] != static_cast<Vertex>(n)) continue;
+    r.to_internal[seed] = static_cast<Vertex>(r.to_external.size());
+    r.to_external.push_back(seed);
+    queue.clear();
+    queue.push_back(seed);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      for (Vertex w : g.neighbors(u)) {
+        if (r.to_internal[w] != static_cast<Vertex>(n)) continue;
+        r.to_internal[w] = static_cast<Vertex>(r.to_external.size());
+        r.to_external.push_back(w);
+        queue.push_back(w);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Renumbering compute_renumbering(const Graph& g, VertexOrder order) {
+  switch (order) {
+    case VertexOrder::kOriginal:
+      return Renumbering::identity(g.num_vertices());
+    case VertexOrder::kDegreeDescending:
+      return degree_descending(g);
+    case VertexOrder::kBfs:
+      return bfs_order(g);
+  }
+  DCS_REQUIRE(false, "unknown vertex order");
+  return Renumbering::identity(g.num_vertices());
+}
+
+RenumberedGraph Graph::renumber(VertexOrder order) const {
+  Renumbering map = compute_renumbering(*this, order);
+  if (order == VertexOrder::kOriginal) {
+    return RenumberedGraph{*this, std::move(map)};
+  }
+  Graph relabeled = map.apply_to(*this);
+  return RenumberedGraph{std::move(relabeled), std::move(map)};
+}
+
+}  // namespace dcs

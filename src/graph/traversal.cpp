@@ -4,7 +4,10 @@
 #include <bit>
 
 #include "obs/metrics.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcs {
 
@@ -18,6 +21,16 @@ constexpr std::size_t kBottomUpAlpha = 14;
 constexpr std::size_t kTopDownBeta = 24;
 // Below this the bitmap machinery costs more than it saves.
 constexpr std::size_t kMinBottomUpVertices = 256;
+
+// Adjacency rows prefetched ahead of the bottom-up candidate scan: deep
+// enough to cover a DRAM miss at the scan's consumption rate, shallow
+// enough not to thrash L1.
+constexpr std::size_t kBottomUpPrefetchAhead = 4;
+
+// MS-BFS merge: neighbors gathered per simd::ms_propagate call, and the
+// degree below which the call overhead beats the gather win.
+constexpr std::size_t kMsPropagateChunk = 64;
+constexpr std::size_t kMsPropagateMinDegree = 16;
 
 obs::Counter& bottom_up_counter() {
   static obs::Counter& c =
@@ -46,14 +59,18 @@ obs::Counter& ms_source_counter() {
 }  // namespace
 
 struct TraversalScratch::Impl {
+  // All O(n)+ arrays live in ArenaBuffers: growth first-touches the pages
+  // on the owning thread (NUMA placement), and the epoch stamps make the
+  // "contents unspecified after growth" contract safe.
+
   // --- single-source arena -------------------------------------------------
   struct SsState {
     std::size_t n = 0;
     std::uint32_t epoch = 0;
-    std::vector<Dist> dist;
-    std::vector<std::uint32_t> stamp;  // dist[v] valid iff stamp[v] == epoch
+    ArenaBuffer<Dist> dist;
+    ArenaBuffer<std::uint32_t> stamp;  // dist[v] valid iff stamp[v] == epoch
     std::vector<Vertex> frontier, next;
-    std::vector<std::uint64_t> visited_bits, frontier_bits;
+    ArenaBuffer<std::uint64_t> visited_bits, frontier_bits;
 
     std::uint32_t begin(std::size_t want_n) {
       if (want_n != n) {
@@ -65,7 +82,7 @@ struct TraversalScratch::Impl {
         arena_reuse_counter().inc();
       }
       if (++epoch == 0) {  // stamp wrap: old stamps become ambiguous
-        std::fill(stamp.begin(), stamp.end(), 0u);
+        stamp.fill(0u);
         epoch = 1;
       }
       return epoch;
@@ -76,12 +93,12 @@ struct TraversalScratch::Impl {
   struct MsState {
     std::size_t n = 0;
     std::uint32_t epoch = 0;
-    std::vector<Dist> dist;  // n * kMsBfsBatch, vertex-major
-    std::vector<std::uint64_t> seen;
-    std::vector<std::uint32_t> seen_stamp;
+    ArenaBuffer<Dist> dist;  // n * kMsBfsBatch, vertex-major
+    ArenaBuffer<std::uint64_t> seen;
+    ArenaBuffer<std::uint32_t> seen_stamp;
     // Invariant between calls and between levels: cur_mask[v] != 0 only
     // for v in `frontier`, nxt_mask[v] != 0 only for v in `next`.
-    std::vector<std::uint64_t> cur_mask, nxt_mask;
+    ArenaBuffer<std::uint64_t> cur_mask, nxt_mask;
     std::vector<Vertex> frontier, next;
 
     std::uint32_t begin(std::size_t want_n) {
@@ -97,7 +114,7 @@ struct TraversalScratch::Impl {
         arena_reuse_counter().inc();
       }
       if (++epoch == 0) {
-        std::fill(seen_stamp.begin(), seen_stamp.end(), 0u);
+        seen_stamp.fill(0u);
         epoch = 1;
       }
       return epoch;
@@ -111,6 +128,14 @@ TraversalScratch::~TraversalScratch() = default;
 TraversalScratch& traversal_scratch() {
   thread_local TraversalScratch scratch;
   return scratch;
+}
+
+void warm_traversal_scratch(std::size_t n) {
+  ThreadPool::shared().warm([n](std::size_t) {
+    auto& impl = traversal_scratch().impl();
+    impl.ss.begin(n);
+    impl.ms.begin(n);
+  });
 }
 
 void SsBfsView::export_distances(std::vector<Dist>& out) const {
@@ -178,24 +203,39 @@ SsBfsView bfs_hybrid(const Graph& g, Vertex source, Dist max_depth,
       for (Vertex u : s.frontier) {
         s.frontier_bits[u >> 6] |= 1ull << (u & 63);
       }
+      // Per 64-vertex word: extract the unvisited candidates, then scan
+      // each candidate's adjacency with the SIMD membership kernel while
+      // prefetching the adjacency rows a few candidates ahead — the row
+      // starts are data-dependent, so the hardware prefetcher misses them.
+      Vertex cand[64];
       for (std::size_t w = 0; w < words; ++w) {
         std::uint64_t unvisited = ~s.visited_bits[w];
         if (w == words - 1 && (n & 63) != 0) {
           unvisited &= (1ull << (n & 63)) - 1;  // mask tail past n
         }
+        std::size_t cand_count = 0;
         while (unvisited != 0) {
-          const auto v = static_cast<Vertex>(
+          cand[cand_count++] = static_cast<Vertex>(
               w * 64 + static_cast<std::size_t>(std::countr_zero(unvisited)));
           unvisited &= unvisited - 1;
-          for (Vertex u : g.neighbors(v)) {
-            if ((s.frontier_bits[u >> 6] >> (u & 63)) & 1) {
-              s.stamp[v] = epoch;
-              s.dist[v] = level + 1;
-              s.visited_bits[w] |= 1ull << (v & 63);
-              s.next.push_back(v);
-              next_edges += g.degree(v);
-              break;
-            }
+        }
+        for (std::size_t i = 0;
+             i < std::min(cand_count, kBottomUpPrefetchAhead); ++i) {
+          __builtin_prefetch(g.neighbors(cand[i]).data());
+        }
+        for (std::size_t i = 0; i < cand_count; ++i) {
+          if (i + kBottomUpPrefetchAhead < cand_count) {
+            __builtin_prefetch(
+                g.neighbors(cand[i + kBottomUpPrefetchAhead]).data());
+          }
+          const Vertex v = cand[i];
+          const auto nb = g.neighbors(v);
+          if (simd::any_bit_of(nb.data(), nb.size(), s.frontier_bits.data())) {
+            s.stamp[v] = epoch;
+            s.dist[v] = level + 1;
+            s.visited_bits[w] |= 1ull << (v & 63);
+            s.next.push_back(v);
+            next_edges += nb.size();
           }
         }
       }
@@ -253,16 +293,40 @@ MsBfsView multi_source_bfs(const Graph& g, std::span<const Vertex> sources,
     s.dist[src * kMsBfsBatch + i] = 0;
   }
 
+  // `seen` is static during a level's expansion, so the per-neighbor
+  // propagate masks are pure gathers — exactly what simd::ms_propagate
+  // vectorizes. Scratch for one chunk of gathered masks:
+  std::uint64_t prop[kMsPropagateChunk];
+
   Dist level = 0;
   while (!s.frontier.empty() && level < max_depth) {
     s.next.clear();
     for (Vertex v : s.frontier) {
       const std::uint64_t fmask = s.cur_mask[v];
-      for (Vertex w : g.neighbors(v)) {
-        const std::uint64_t propagate = fmask & ~seen_at(w);
-        if (propagate != 0) {
-          if (s.nxt_mask[w] == 0) s.next.push_back(w);
-          s.nxt_mask[w] |= propagate;
+      const auto nb = g.neighbors(v);
+      if (nb.size() < kMsPropagateMinDegree) {
+        for (Vertex w : nb) {
+          const std::uint64_t propagate = fmask & ~seen_at(w);
+          if (propagate != 0) {
+            if (s.nxt_mask[w] == 0) s.next.push_back(w);
+            s.nxt_mask[w] |= propagate;
+          }
+        }
+      } else {
+        const Vertex* ws = nb.data();
+        const std::size_t deg = nb.size();
+        for (std::size_t off = 0; off < deg; off += kMsPropagateChunk) {
+          const std::size_t cnt = std::min(kMsPropagateChunk, deg - off);
+          simd::ms_propagate(ws + off, cnt, fmask, s.seen.data(),
+                             s.seen_stamp.data(), epoch, prop);
+          for (std::size_t j = 0; j < cnt; ++j) {
+            const std::uint64_t propagate = prop[j];
+            if (propagate != 0) {
+              const Vertex w = ws[off + j];
+              if (s.nxt_mask[w] == 0) s.next.push_back(w);
+              s.nxt_mask[w] |= propagate;
+            }
+          }
         }
       }
     }
@@ -282,7 +346,7 @@ MsBfsView multi_source_bfs(const Graph& g, std::span<const Vertex> sources,
     // Restore the mask invariants before the role swap.
     for (Vertex v : s.frontier) s.cur_mask[v] = 0;
     s.frontier.swap(s.next);
-    s.cur_mask.swap(s.nxt_mask);
+    std::swap(s.cur_mask, s.nxt_mask);
     ++level;
   }
   // Depth-capped exit can leave a live frontier; re-zero its masks.

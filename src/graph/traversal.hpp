@@ -19,6 +19,13 @@
 //    calls do zero allocation and zero O(n) clearing — a bounded BFS that
 //    touches k vertices costs O(k), not O(n).
 //
+// The hot loops (bottom-up parent search, MS-BFS frontier merge) run on
+// the runtime-dispatched kernels in util/simd.hpp — AVX2 when available,
+// bit-identical scalar otherwise — with software prefetch covering the
+// bottom-up adjacency scans; scratch arrays live in first-touch
+// ArenaBuffers (util/arena.hpp) so each worker's scratch stays on its
+// NUMA node. Pair with Graph::renumber for the cache-order layout.
+//
 // The scalar implementations in graph/bfs.hpp remain the reference; the
 // equivalence property tests in tests/test_traversal.cpp pin this engine
 // to them bit-for-bit. Obs counters: traversal.bottom_up_switches,
@@ -57,6 +64,13 @@ class TraversalScratch {
 /// The calling thread's scratch arena (created on first use, reused for
 /// the lifetime of the thread).
 TraversalScratch& traversal_scratch();
+
+/// Pre-size every ThreadPool worker's thread-local scratch (and the
+/// caller's) for graphs of `n` vertices. Each worker first-touches its
+/// own arena pages, so on NUMA machines the scratch lands on the
+/// worker's local node before the first timed sweep (see util/arena.hpp
+/// and docs/performance.md). Idempotent and cheap when already sized.
+void warm_traversal_scratch(std::size_t n);
 
 /// Borrowed view of one single-source traversal. Entries live in the
 /// scratch arena: the view is valid until the next single-source call on

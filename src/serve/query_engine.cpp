@@ -95,6 +95,7 @@ QueryEngine::QueryEngine(SnapshotStore& store, ServeOptions options)
       tables_(serving_->spanner, options.seed) {
   serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
   n_epochs_adopted_.store(1, std::memory_order_relaxed);
+  rebind_serving_graph();
 }
 
 QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
@@ -108,9 +109,22 @@ QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
       tables_(serving_->spanner, options.seed) {
   serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
   n_epochs_adopted_.store(1, std::memory_order_relaxed);
+  rebind_serving_graph();
 }
 
 QueryEngine::~QueryEngine() { stop(); }
+
+void QueryEngine::rebind_serving_graph() {
+  renumbered_ = options_.renumber != VertexOrder::kOriginal;
+  if (renumbered_) {
+    RenumberedGraph rg = serving_->spanner.renumber(options_.renumber);
+    internal_spanner_ = std::move(rg.graph);
+    renum_ = std::move(rg.map);
+    tables_.reset(internal_spanner_);
+  } else {
+    tables_.reset(serving_->spanner);
+  }
+}
 
 QueryResult QueryEngine::serve_one(const Query& query) {
   return serve_batch({&query, 1}).front();
@@ -187,8 +201,8 @@ void QueryEngine::adopt_current_snapshot() {
   // query-certified invariant exists to catch it.)
   const std::size_t dropped = rows_.size();
   if (!stale_cache_bug_.load(std::memory_order_relaxed)) rows_.clear();
-  tables_.reset(latest->spanner);
   serving_ = std::move(latest);
+  rebind_serving_graph();
   serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
   n_epochs_adopted_.fetch_add(1, std::memory_order_relaxed);
   ServeMetrics& m = metrics();
@@ -247,7 +261,14 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
     return results;
   }
 
-  const Graph& h = serving_->spanner;
+  // Sweeps run on the internal (cache-ordered) substrate when renumbering
+  // is on; queries and answers cross the boundary through to_int/to_ext.
+  // Cached rows are keyed and indexed in internal IDs so a row survives
+  // exactly as long as its substrate does.
+  const Graph& h = renumbered_ ? internal_spanner_ : serving_->spanner;
+  const auto to_int = [this](Vertex x) {
+    return renumbered_ ? renum_.internal(x) : x;
+  };
   std::uint64_t unreachable = 0;
   const auto answer_distance = [&](QueryResult& r, Dist d) {
     r.distance = d;
@@ -265,17 +286,18 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
     const Query& q = queries[i];
     DCS_REQUIRE(q.u < n_ && q.v < n_, "query vertex out of range");
     if (q.kind == QueryKind::kDistance) {
-      if (const std::vector<Dist>* row = rows_.find(q.u)) {
+      const Vertex iu = to_int(q.u);
+      if (const std::vector<Dist>* row = rows_.find(iu)) {
         results[i].cache_hit = true;
-        answer_distance(results[i], (*row)[q.v]);
+        answer_distance(results[i], (*row)[to_int(q.v)]);
       } else {
-        const auto [it, fresh] = miss_by_source.try_emplace(q.u);
-        if (fresh) missing_sources.push_back(q.u);
+        const auto [it, fresh] = miss_by_source.try_emplace(iu);
+        if (fresh) missing_sources.push_back(iu);
         it->second.push_back(i);
       }
     } else {
       route_indices.push_back(i);
-      route_dests.push_back(q.v);
+      route_dests.push_back(to_int(q.v));
     }
   }
 
@@ -311,7 +333,7 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
     for (std::size_t s = 0; s < missing_sources.size(); ++s) {
       const Vertex u = missing_sources[s];
       for (const std::size_t qi : miss_by_source[u]) {
-        answer_distance(results[qi], fresh_rows[s][queries[qi].v]);
+        answer_distance(results[qi], fresh_rows[s][to_int(queries[qi].v)]);
       }
       rows_.insert(u, std::move(fresh_rows[s]));
     }
@@ -333,11 +355,16 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
     for (const std::size_t qi : route_indices) {
       const Query& q = queries[qi];
       QueryResult& r = results[qi];
-      r.path = tables_.route(q.u, q.v);
+      r.path = tables_.route(to_int(q.u), to_int(q.v));
       if (r.path.empty()) {
         ++unreachable;
         r.distance = kUnreachable;
       } else {
+        // The walk happened in internal IDs; the answer leaves the engine
+        // in the caller's (original) ID space.
+        if (renumbered_) {
+          for (Vertex& p : r.path) p = renum_.external(p);
+        }
         r.distance = static_cast<Dist>(path_length(r.path));
       }
     }

@@ -65,6 +65,7 @@
 
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
+#include "graph/renumber.hpp"
 #include "obs/request_trace.hpp"
 #include "routing/routing.hpp"
 #include "routing/tables.hpp"
@@ -158,6 +159,12 @@ struct ServeOptions {
     bool exemplars = false;
   };
   RequestTraceOptions trace;
+  /// Cache-order vertex renumbering for the serving substrate (see
+  /// graph/renumber.hpp). The engine sweeps a relabeled copy of each
+  /// pinned spanner and translates at its boundary, so queries, answers,
+  /// paths, epochs, and everything upstream (snapshots, certificates,
+  /// checkpoints) stay in original-ID space. kOriginal is zero-overhead.
+  VertexOrder renumber = VertexOrder::kOriginal;
 };
 
 /// Monotonic tallies, readable concurrently with serving. Conservation:
@@ -266,6 +273,10 @@ class QueryEngine {
   /// Pins the store's current snapshot and, on an epoch change, drops the
   /// caches keyed to the previous epoch. Caller holds serve_mutex_.
   void adopt_current_snapshot();
+  /// Recomputes the internal (possibly renumbered) serving graph from the
+  /// pinned snapshot and rebinds the route tables to it. Caller holds
+  /// serve_mutex_ (or is the constructor).
+  void rebind_serving_graph();
   /// True when the pinned certificate is below the serving policy.
   bool should_shed_degraded() const;
 
@@ -278,6 +289,15 @@ class QueryEngine {
   // Serving state, guarded by serve_mutex_.
   mutable std::mutex serve_mutex_;
   SnapshotRef serving_;  ///< snapshot the caches are keyed to
+  // Cache-order serving substrate: when options_.renumber != kOriginal the
+  // sweeps and route tables run on internal_spanner_ (a relabeled copy of
+  // serving_->spanner) and renum_ translates external <-> internal at the
+  // query boundary. Cached rows are keyed and indexed by internal IDs.
+  // Declared before tables_, which holds a reference to the graph it
+  // routes on.
+  Renumbering renum_;
+  Graph internal_spanner_;
+  bool renumbered_ = false;
   TwoQCache<Vertex, std::vector<Dist>> rows_;
   LazyRoutingTables tables_;
   std::atomic<bool> stale_cache_bug_{false};

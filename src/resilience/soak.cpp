@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <future>
 #include <memory>
 #include <optional>
 #include <span>
@@ -312,10 +313,15 @@ struct SoakDriver {
       // feed tail exemplars, so the concurrent-tracing machinery soaks
       // under churn too (and under the sanitizers in CI).
       serve_options.trace.exemplars = true;
+      serve_options.dispatchers = options.dispatchers;
       query_engine.emplace(*store, serve_options);
       if (options.inject_stale_cache_bug) {
         query_engine->inject_stale_cache_bug();
       }
+      // Sharded mode serves through submit() futures, which need the
+      // dispatcher threads running. (The engine's destructor stops them,
+      // so crash-recovery teardown needs no extra handling.)
+      if (options.dispatchers > 1) query_engine->start();
     };
     // Serving stats accumulate per engine incarnation; fold them into the
     // result before an incarnation dies (crash) and at the end.
@@ -323,8 +329,8 @@ struct SoakDriver {
       if (!query_engine) return;
       const serve::ServeStats es = query_engine->stats();
       result.queries_served += es.served;
-      result.queries_shed +=
-          es.shed_admission + es.shed_deadline + es.shed_degraded;
+      result.queries_shed += es.shed_admission + es.shed_deadline +
+                             es.shed_degraded + es.shed_shutdown;
       result.epochs_published += store->published();
       result.epochs_adopted += es.epochs_adopted;
     };
@@ -438,7 +444,21 @@ struct SoakDriver {
         const std::vector<serve::Query> batch =
             wave_queries(options.seed, w, options.qps, g.num_vertices());
         const serve::SnapshotRef snap = store->pin();
-        const auto answers = query_engine->serve_batch(batch);
+        // The soak loop is single-threaded, so no publish races this wave:
+        // sharded dispatchers adopt exactly snap's epoch, and the answers
+        // stay checkable against the pinned snapshot either way.
+        std::vector<serve::QueryResult> answers;
+        if (options.dispatchers > 1) {
+          std::vector<std::future<serve::QueryResult>> futures;
+          futures.reserve(batch.size());
+          for (const serve::Query& q : batch) {
+            futures.push_back(query_engine->submit(q));
+          }
+          answers.reserve(batch.size());
+          for (auto& f : futures) answers.push_back(f.get());
+        } else {
+          answers = query_engine->serve_batch(batch);
+        }
         result.queries_submitted += batch.size();
         ++result.query_batches;
 
@@ -451,8 +471,8 @@ struct SoakDriver {
           // submitted may vanish without a served answer or a structured
           // shed (the synchronous path never sheds on admission/deadline).
           const serve::ServeStats es = query_engine->stats();
-          const std::uint64_t shed =
-              es.shed_admission + es.shed_deadline + es.shed_degraded;
+          const std::uint64_t shed = es.shed_admission + es.shed_deadline +
+                                     es.shed_degraded + es.shed_shutdown;
           if (es.served + shed != es.queries) {
             std::ostringstream os;
             os << "conservation: " << es.served << " served + " << shed

@@ -8,6 +8,7 @@ const char* to_string(QueryOutcome outcome) {
     case QueryOutcome::kShedAdmission: return "shed-admission";
     case QueryOutcome::kShedDeadline: return "shed-deadline";
     case QueryOutcome::kShedDegraded: return "shed-degraded";
+    case QueryOutcome::kShedShutdown: return "shed-shutdown";
   }
   return "?";
 }

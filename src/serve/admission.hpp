@@ -24,6 +24,9 @@ enum class QueryOutcome : std::uint8_t {
                    ///< certificate, or guarantees lost) — the engine sheds
                    ///< with this structured reason instead of serving an
                    ///< answer it cannot certify
+  kShedShutdown,   ///< refused at submit: the engine is not accepting
+                   ///< (never started, stopping, or stopped) — a producer
+                   ///< racing stop() gets a resolved future, not a crash
 };
 
 const char* to_string(QueryOutcome outcome);

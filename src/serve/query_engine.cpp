@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "graph/traversal.hpp"
 #include "obs/flight_recorder.hpp"
-#include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -58,12 +58,18 @@ struct ServeMetrics {
       obs::MetricsRegistry::instance().counter("serve.shed.deadline");
   obs::Counter& shed_degraded =
       obs::MetricsRegistry::instance().counter("serve.shed.degraded");
+  obs::Counter& shed_shutdown =
+      obs::MetricsRegistry::instance().counter("serve.shed.shutdown");
   obs::Counter& unreachable =
       obs::MetricsRegistry::instance().counter("serve.unreachable");
   obs::Counter& epoch_invalidations =
       obs::MetricsRegistry::instance().counter("serve.epoch.invalidations");
   obs::Counter& epoch_rows_dropped =
       obs::MetricsRegistry::instance().counter("serve.epoch.rows_dropped");
+  obs::Counter& steals =
+      obs::MetricsRegistry::instance().counter("serve.steals");
+  obs::Counter& stolen_queries =
+      obs::MetricsRegistry::instance().counter("serve.stolen_queries");
   obs::HistogramMetric& batch_queries =
       obs::MetricsRegistry::instance().histogram("serve.batch.queries");
   obs::HistogramMetric& latency_us =
@@ -83,7 +89,37 @@ std::uint64_t now_us() {
           .count());
 }
 
+/// How long an idle dispatcher naps between steal-victim probes. Producers
+/// notify their own shard's cv directly, so this only bounds how fast an
+/// idle shard notices a *sibling's* backlog.
+constexpr std::chrono::milliseconds kStealPollInterval{1};
+
+constexpr std::uint64_t kNoDeadline =
+    std::numeric_limits<std::uint64_t>::max();
+
 }  // namespace
+
+std::vector<std::uint32_t> edf_select(std::span<const std::uint64_t> deadlines,
+                                      std::size_t take) {
+  const std::size_t n = deadlines.size();
+  take = std::min(take, n);
+  // Lexicographic (effective deadline, arrival index) keys: nth_element
+  // partitions deterministically and the final sort's tie-break is the
+  // arrival index — exactly stable_sort's FIFO-within-deadline order.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = {deadlines[i] == 0 ? kNoDeadline : deadlines[i],
+               static_cast<std::uint32_t>(i)};
+  }
+  if (take < n) {
+    std::nth_element(keys.begin(), keys.begin() + static_cast<long>(take),
+                     keys.end());
+  }
+  std::sort(keys.begin(), keys.begin() + static_cast<long>(take));
+  std::vector<std::uint32_t> out(take);
+  for (std::size_t i = 0; i < take; ++i) out[i] = keys[i].second;
+  return out;
+}
 
 QueryEngine::QueryEngine(SnapshotStore& store, ServeOptions options)
     : store_(&store),
@@ -91,11 +127,9 @@ QueryEngine::QueryEngine(SnapshotStore& store, ServeOptions options)
       admission_(options.admission),
       n_(store.num_vertices()),
       serving_(store.pin()),
-      rows_(std::max<std::size_t>(1, options.cache_rows)),
-      tables_(serving_->spanner, options.seed) {
-  serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
-  n_epochs_adopted_.store(1, std::memory_order_relaxed);
-  rebind_serving_graph();
+      tables_(serving_->spanner, options.seed),
+      sync_context_(std::max<std::size_t>(1, options.cache_rows)) {
+  init_engine();
 }
 
 QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
@@ -105,11 +139,27 @@ QueryEngine::QueryEngine(const Graph& h, ServeOptions options)
       admission_(options.admission),
       n_(h.num_vertices()),
       serving_(store_->pin()),
-      rows_(std::max<std::size_t>(1, options.cache_rows)),
-      tables_(serving_->spanner, options.seed) {
+      tables_(serving_->spanner, options.seed),
+      sync_context_(std::max<std::size_t>(1, options.cache_rows)) {
+  init_engine();
+}
+
+void QueryEngine::init_engine() {
   serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
   n_epochs_adopted_.store(1, std::memory_order_relaxed);
   rebind_serving_graph();
+  const std::size_t count = std::max<std::size_t>(1, options_.dispatchers);
+  const std::size_t cap = std::max<std::size_t>(1, options_.cache_rows);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>(cap);
+    const std::string prefix = "serve.shard." + std::to_string(i) + ".";
+    shard->c_queries = &reg.counter(prefix + "queries");
+    shard->c_batches = &reg.counter(prefix + "batches");
+    shard->c_steals = &reg.counter(prefix + "steals");
+    shard->c_stolen = &reg.counter(prefix + "stolen_queries");
+    shards_.push_back(std::move(shard));
+  }
 }
 
 QueryEngine::~QueryEngine() { stop(); }
@@ -142,7 +192,10 @@ std::vector<QueryResult> QueryEngine::serve_batch(
   metrics().queries.inc(queries.size());
   metrics().distance_queries.inc(distance);
   metrics().route_queries.inc(queries.size() - distance);
-  if (!options_.trace.exemplars) return execute(queries);
+  // Sync callers share one context; dispatcher shards keep running on
+  // theirs concurrently.
+  std::lock_guard sync(sync_mutex_);
+  if (!options_.trace.exemplars) return execute(queries, sync_context_, 0);
 
   // Traced synchronous path: the batch-call latency is the whole story (no
   // queue/dispatch phases), so the whole batch shares one total_us. Ids come
@@ -151,7 +204,7 @@ std::vector<QueryResult> QueryEngine::serve_batch(
   // (the ≤3% tracing-overhead gate in bench_serve holds the line).
   obs::RequestTracer& tracer = obs::RequestTracer::instance();
   BatchMeta meta;
-  std::vector<QueryResult> results = execute(queries, &meta);
+  std::vector<QueryResult> results = execute(queries, sync_context_, 0, &meta);
   const double done_obs = obs::Trace::now_us();
   const double total_us = done_obs - meta.start_obs_us;
   const std::uint64_t first_id = tracer.next_trace_id_block(
@@ -181,6 +234,7 @@ std::vector<QueryResult> QueryEngine::serve_batch(
       ex.epoch = r.epoch;
       ex.kind = static_cast<std::uint32_t>(queries[i].kind);
       ex.outcome = static_cast<std::uint32_t>(r.outcome);
+      ex.dispatcher = r.dispatcher;
       ex.cache_hit = r.cache_hit;
       ex.start_us = meta.start_obs_us;
       ex.execute_us = r.breakdown.execute_us;
@@ -192,18 +246,40 @@ std::vector<QueryResult> QueryEngine::serve_batch(
   return results;
 }
 
-void QueryEngine::adopt_current_snapshot() {
-  SnapshotRef latest = store_->pin();
-  if (latest->epoch == serving_->epoch) return;
+void QueryEngine::maybe_adopt(std::shared_lock<std::shared_mutex>& lock) {
+  // Fast path: two atomic loads per batch, no store mutex, no writer lock.
+  // N dispatchers at steady epoch cost nothing here.
+  if (store_->current_epoch() ==
+      serving_epoch_.load(std::memory_order_acquire)) {
+    return;
+  }
+  lock.unlock();
+  {
+    std::unique_lock exclusive(substrate_mutex_);
+    adopt_locked();
+  }
+  lock.lock();
+}
+
+void QueryEngine::adopt_locked() {
+  // pin_if_newer is the once-per-epoch guarantee: of the dispatchers that
+  // raced to this exclusive section, the first pins and adopts; the rest
+  // see their epoch already current and return without re-pinning,
+  // re-dropping, or re-binding (the store counts their skips).
+  SnapshotRef latest = store_->pin_if_newer(serving_->epoch);
+  if (latest == nullptr) return;
   // The caches were materialized against the previous epoch's topology;
   // none of their contents may answer queries on this one. (The injected
   // stale-cache bug skips exactly this drop — the soak harness's
   // query-certified invariant exists to catch it.)
-  const std::size_t dropped = rows_.size();
-  if (!stale_cache_bug_.load(std::memory_order_relaxed)) rows_.clear();
+  const std::size_t dropped = cached_rows_locked();
+  if (!stale_cache_bug_.load(std::memory_order_relaxed)) {
+    sync_context_.rows.clear();
+    for (auto& shard : shards_) shard->context.rows.clear();
+  }
   serving_ = std::move(latest);
   rebind_serving_graph();
-  serving_epoch_.store(serving_->epoch, std::memory_order_relaxed);
+  serving_epoch_.store(serving_->epoch, std::memory_order_release);
   n_epochs_adopted_.fetch_add(1, std::memory_order_relaxed);
   ServeMetrics& m = metrics();
   m.epoch_invalidations.inc();
@@ -221,8 +297,10 @@ bool QueryEngine::should_shed_degraded() const {
 }
 
 std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
+                                              ServeContext& ctx,
+                                              std::uint32_t dispatcher_id,
                                               BatchMeta* meta) {
-  std::lock_guard lock(serve_mutex_);
+  std::shared_lock lock(substrate_mutex_);
   DCS_TRACE_SPAN("serve_batch");
   Timer batch_timer;
   const double start_obs_us = obs::Trace::now_us();
@@ -231,7 +309,7 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
   m.batches.inc();
   m.batch_queries.record(static_cast<double>(queries.size()));
 
-  adopt_current_snapshot();
+  maybe_adopt(lock);
   const std::uint64_t epoch = serving_->epoch;
   if (meta != nullptr) {
     meta->batch_id = options_.trace.exemplars
@@ -241,6 +319,7 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
     meta->start_obs_us = start_obs_us;
   }
   std::vector<QueryResult> results(queries.size());
+  for (QueryResult& r : results) r.dispatcher = dispatcher_id;
 
   // Graceful degradation: the pinned certificate is below the serving
   // policy, so the whole batch sheds with a structured reason instead of
@@ -287,7 +366,7 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
     DCS_REQUIRE(q.u < n_ && q.v < n_, "query vertex out of range");
     if (q.kind == QueryKind::kDistance) {
       const Vertex iu = to_int(q.u);
-      if (const std::vector<Dist>* row = rows_.find(iu)) {
+      if (const std::vector<Dist>* row = ctx.rows.find(iu)) {
         results[i].cache_hit = true;
         answer_distance(results[i], (*row)[to_int(q.v)]);
       } else {
@@ -302,40 +381,49 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
   }
 
   // Phase 2: one 64-wide MS-BFS sweep per chunk of distinct missing
-  // sources — a whole word of concurrent queries amortizes each pass over
-  // the adjacency of H. Chunks run on the shared pool; materialized rows
-  // land in locals first so eviction order cannot snatch a row before its
-  // queries are answered.
+  // sources. A single-chunk batch (the common closed-loop shape) sweeps
+  // inline on this thread: the shared pool admits one top-level batch at a
+  // time, so routing every sweep through it would serialize the dispatcher
+  // shards right back into one lane. Multi-chunk batches still fan out on
+  // the pool. Materialized rows land in locals first so eviction order
+  // cannot snatch a row before its queries are answered.
   if (!missing_sources.empty()) {
     n_sources_.fetch_add(missing_sources.size(), std::memory_order_relaxed);
     m.coalesced_sources.inc(missing_sources.size());
     const std::size_t num_chunks =
         (missing_sources.size() + kMsBfsBatch - 1) / kMsBfsBatch;
     std::vector<std::vector<Dist>> fresh_rows(missing_sources.size());
-    parallel_chunks(
-        0, num_chunks, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          auto& scratch = traversal_scratch();
-          for (std::size_t c = lo; c < hi; ++c) {
-            const std::size_t first = c * kMsBfsBatch;
-            const std::size_t count =
-                std::min(kMsBfsBatch, missing_sources.size() - first);
-            const std::span<const Vertex> sweep(
-                missing_sources.data() + first, count);
-            const MsBfsView view =
-                multi_source_bfs(h, sweep, kUnreachable, &scratch);
-            for (std::size_t i = 0; i < count; ++i) {
-              std::vector<Dist>& row = fresh_rows[first + i];
-              row.resize(n_);
-              for (Vertex v = 0; v < n_; ++v) row[v] = view.at(i, v);
-            }
-          }
-        });
+    const auto sweep_chunks = [&](std::size_t lo, std::size_t hi) {
+      auto& scratch = traversal_scratch();
+      for (std::size_t c = lo; c < hi; ++c) {
+        const std::size_t first = c * kMsBfsBatch;
+        const std::size_t count =
+            std::min(kMsBfsBatch, missing_sources.size() - first);
+        const std::span<const Vertex> sweep(missing_sources.data() + first,
+                                            count);
+        const MsBfsView view =
+            multi_source_bfs(h, sweep, kUnreachable, &scratch);
+        for (std::size_t i = 0; i < count; ++i) {
+          std::vector<Dist>& row = fresh_rows[first + i];
+          row.resize(n_);
+          for (Vertex v = 0; v < n_; ++v) row[v] = view.at(i, v);
+        }
+      }
+    };
+    if (num_chunks == 1) {
+      sweep_chunks(0, 1);
+    } else {
+      parallel_chunks(0, num_chunks,
+                      [&](std::size_t lo, std::size_t hi, std::size_t) {
+                        sweep_chunks(lo, hi);
+                      });
+    }
     for (std::size_t s = 0; s < missing_sources.size(); ++s) {
       const Vertex u = missing_sources[s];
       for (const std::size_t qi : miss_by_source[u]) {
         answer_distance(results[qi], fresh_rows[s][to_int(queries[qi].v)]);
       }
-      rows_.insert(u, std::move(fresh_rows[s]));
+      ctx.rows.insert(u, std::move(fresh_rows[s]));
     }
   }
 
@@ -345,8 +433,11 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
   const double sweep_done_us = batch_timer.seconds() * 1e6;
 
   // Phase 3: routes. Lazily fill the next-hop rows for this batch's
-  // distinct destinations (parallel, disjoint rows), then walk each path.
+  // distinct destinations, then walk each path. tables_ is shared across
+  // contexts (rows are substrate-keyed, not context-keyed) and not
+  // internally synchronized, so the fill+walk serializes on route_mutex_.
   if (!route_indices.empty()) {
+    std::lock_guard route_lock(route_mutex_);
     const std::size_t before = tables_.rows_filled();
     tables_.fill_rows(route_dests);
     const std::size_t filled = tables_.rows_filled() - before;
@@ -374,19 +465,28 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
   m.unreachable.inc(unreachable);
   n_served_.fetch_add(queries.size(), std::memory_order_relaxed);
 
-  // Mirror the cache tallies (rows_ is only touched under serve_mutex_;
-  // the atomics make stats() safe from any thread).
-  m.cache_hits.inc(rows_.hits() - n_hits_.load(std::memory_order_relaxed));
-  m.cache_misses.inc(rows_.misses() -
-                     n_misses_.load(std::memory_order_relaxed));
-  m.cache_evictions.inc(rows_.evictions() -
-                        n_evictions_.load(std::memory_order_relaxed));
-  n_hits_.store(rows_.hits(), std::memory_order_relaxed);
-  n_misses_.store(rows_.misses(), std::memory_order_relaxed);
-  n_evictions_.store(rows_.evictions(), std::memory_order_relaxed);
-  const std::uint64_t lookups = rows_.hits() + rows_.misses();
+  // Export this context's cache-tally deltas. The watermarks live in the
+  // context and only its owner writes them, so concurrent executors each
+  // export exactly their own delta — the shared-counter read-modify-write
+  // this replaces double-counted under concurrency.
+  const std::uint64_t d_hits = ctx.rows.hits() - ctx.hits_exported;
+  const std::uint64_t d_misses = ctx.rows.misses() - ctx.misses_exported;
+  const std::uint64_t d_evictions =
+      ctx.rows.evictions() - ctx.evictions_exported;
+  ctx.hits_exported = ctx.rows.hits();
+  ctx.misses_exported = ctx.rows.misses();
+  ctx.evictions_exported = ctx.rows.evictions();
+  m.cache_hits.inc(d_hits);
+  m.cache_misses.inc(d_misses);
+  m.cache_evictions.inc(d_evictions);
+  const std::uint64_t hits_total =
+      n_hits_.fetch_add(d_hits, std::memory_order_relaxed) + d_hits;
+  const std::uint64_t misses_total =
+      n_misses_.fetch_add(d_misses, std::memory_order_relaxed) + d_misses;
+  n_evictions_.fetch_add(d_evictions, std::memory_order_relaxed);
+  const std::uint64_t lookups = hits_total + misses_total;
   if (lookups > 0) {
-    m.cache_hit_ratio.set(static_cast<double>(rows_.hits()) /
+    m.cache_hit_ratio.set(static_cast<double>(hits_total) /
                           static_cast<double>(lookups));
   }
 
@@ -404,24 +504,69 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
 }
 
 void QueryEngine::start() {
-  std::lock_guard lock(queue_mutex_);
-  if (running_) return;
-  stopping_ = false;
-  running_ = true;
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  if (running_.load()) return;
+  stopping_.store(false);
+  running_.store(true);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->dispatcher = std::thread([this, i] { dispatcher_loop(i); });
+  }
+  accepting_.store(true);
 }
 
 void QueryEngine::stop() {
-  {
-    std::lock_guard lock(queue_mutex_);
-    if (!running_) return;
-    stopping_ = true;
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  if (!running_.load()) return;
+  // Order matters for the shed-safety argument (see the file header):
+  // accepting_ falls before stopping_ rises, so a producer that observes
+  // the engine still accepting enqueued before any dispatcher could have
+  // seen the stop.
+  accepting_.store(false);
+  stopping_.store(true);
+  for (auto& shard : shards_) shard->cv.notify_all();
+  for (auto& shard : shards_) {
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
   }
-  queue_cv_.notify_all();
-  dispatcher_.join();
-  std::lock_guard lock(queue_mutex_);
-  running_ = false;
-  stopping_ = false;
+  stopping_.store(false);
+  running_.store(false);
+}
+
+bool QueryEngine::reserve_pending() {
+  const std::size_t cap = options_.admission.queue_capacity;
+  if (cap == 0) {
+    pending_total_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  std::size_t cur = pending_total_.load(std::memory_order_relaxed);
+  while (admission_.admit(cur)) {
+    if (pending_total_.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+QueryEngine::Shard& QueryEngine::route_shard(const Query& query) {
+  const std::size_t count = shards_.size();
+  if (count == 1) return *shards_[0];
+  if (options_.routing == ShardRouting::kHash) {
+    // Source-affine: mix the query's BFS endpoint (splitmix64 finalizer)
+    // so a repeat endpoint lands on the shard whose cache holds its row.
+    std::uint64_t h = query.kind == QueryKind::kDistance ? query.u : query.v;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return *shards_[h % count];
+  }
+  // Two-choice least-loaded over a rotating pair of shards.
+  const std::uint64_t r = rotor_.fetch_add(1, std::memory_order_relaxed);
+  Shard& a = *shards_[r % count];
+  Shard& b = *shards_[(r + 1) % count];
+  return a.depth.load(std::memory_order_relaxed) <=
+                 b.depth.load(std::memory_order_relaxed)
+             ? a
+             : b;
 }
 
 std::future<QueryResult> QueryEngine::submit(const Query& query) {
@@ -438,17 +583,17 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
     enqueue_obs_us = obs::Trace::now_us();
   }
   bool admitted = false;
+  bool shutdown = false;
+  Shard& shard = route_shard(query);
   {
-    std::lock_guard lock(queue_mutex_);
-    DCS_REQUIRE(running_ && !stopping_,
-                "submit() requires a started engine (call start())");
-    n_queries_.fetch_add(1, std::memory_order_relaxed);
-    if (query.kind == QueryKind::kDistance) {
-      n_distance_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      n_route_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (admission_.admit(queue_.size())) {
+    std::lock_guard lock(shard.mutex);
+    if (!accepting_.load()) {
+      // The engine is not accepting (never started, stopping, or
+      // stopped): shed with a terminal outcome instead of aborting the
+      // producer. See the header for why this check under the shard mutex
+      // cannot strand an enqueued query behind an exiting dispatcher.
+      shutdown = true;
+    } else if (reserve_pending()) {
       Pending pending;
       pending.query = query;
       pending.enqueue_us = now;
@@ -456,22 +601,36 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
       pending.ctx = ctx;
       pending.enqueue_obs_us = enqueue_obs_us;
       pending.promise = std::move(promise);
-      queue_.push_back(std::move(pending));
+      shard.queue.push_back(std::move(pending));
+      shard.depth.store(shard.queue.size(), std::memory_order_relaxed);
       admitted = true;
-    } else {
-      n_shed_admission_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // Intake tallies are atomics/registry counters; keeping them outside the
+  // shard mutex keeps producers from serializing on bookkeeping.
+  n_queries_.fetch_add(1, std::memory_order_relaxed);
   ServeMetrics& m = metrics();
   m.queries.inc();
   if (query.kind == QueryKind::kDistance) {
+    n_distance_.fetch_add(1, std::memory_order_relaxed);
     m.distance_queries.inc();
   } else {
+    n_route_.fetch_add(1, std::memory_order_relaxed);
     m.route_queries.inc();
   }
   if (admitted) {
-    queue_cv_.notify_one();
+    shard.cv.notify_one();
+  } else if (shutdown) {
+    n_shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    m.shed_shutdown.inc();
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
+                                           "shutdown", 1, ctx.trace_id);
+    QueryResult shed;
+    shed.outcome = QueryOutcome::kShedShutdown;
+    shed.trace_id = ctx.trace_id;
+    promise.set_value(std::move(shed));
   } else {
+    n_shed_admission_.fetch_add(1, std::memory_order_relaxed);
     m.shed_admission.inc();
     obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
                                            "admission", 1, ctx.trace_id);
@@ -483,124 +642,235 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
   return future;
 }
 
-void QueryEngine::dispatcher_loop() {
+void QueryEngine::drain_window(Shard& shard, std::vector<Pending>& out) {
+  const std::size_t window =
+      options_.batch_window == 0 ? shard.queue.size() : options_.batch_window;
+  const std::size_t take = std::min(shard.queue.size(), window);
+  out.reserve(out.size() + take);
+  // EDF: when the backlog exceeds one window, drain the most deadline-
+  // pressed queries first so they are not shed behind fresh arrivals that
+  // could afford to wait. edf_select keeps this O(Q) under the shard
+  // mutex instead of stable_sorting the whole backlog.
+  if (options_.edf_dispatch && take < shard.queue.size()) {
+    std::vector<std::uint64_t> deadlines;
+    deadlines.reserve(shard.queue.size());
+    for (const Pending& p : shard.queue) deadlines.push_back(p.deadline_us);
+    const std::vector<std::uint32_t> selected = edf_select(deadlines, take);
+    std::vector<char> taken(shard.queue.size(), 0);
+    for (const std::uint32_t idx : selected) {
+      out.push_back(std::move(shard.queue[idx]));
+      taken[idx] = 1;
+    }
+    // Compact the survivors in place; their relative (arrival) order is
+    // preserved, which is what keeps the FIFO tie-break stable across
+    // successive drains.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < shard.queue.size(); ++r) {
+      if (taken[r]) continue;
+      if (w != r) shard.queue[w] = std::move(shard.queue[r]);
+      ++w;
+    }
+    shard.queue.resize(w);
+  } else {
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
+    }
+  }
+  shard.depth.store(shard.queue.size(), std::memory_order_relaxed);
+  pending_total_.fetch_sub(take, std::memory_order_relaxed);
+}
+
+bool QueryEngine::steal_batch(std::size_t thief_index,
+                              std::vector<Pending>& out) {
+  // Deepest-victim probe over the lock-free depth mirrors (racy reads are
+  // fine: this is a heuristic, correctness is re-checked under the
+  // victim's mutex).
+  std::size_t victim_index = thief_index;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == thief_index) continue;
+    const std::size_t d = shards_[i]->depth.load(std::memory_order_relaxed);
+    if (d > best) {
+      best = d;
+      victim_index = i;
+    }
+  }
+  if (victim_index == thief_index) return false;
+  Shard& victim = *shards_[victim_index];
+  std::size_t take = 0;
+  {
+    // Only the victim's mutex is held — never two shard mutexes at once,
+    // so thieves cannot deadlock with each other or with producers.
+    std::lock_guard lock(victim.mutex);
+    if (victim.queue.empty()) return false;
+    const std::size_t window = options_.batch_window == 0
+                                   ? victim.queue.size()
+                                   : options_.batch_window;
+    take = std::min((victim.queue.size() + 1) / 2, window);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(victim.queue.back()));
+      victim.queue.pop_back();
+    }
+    victim.depth.store(victim.queue.size(), std::memory_order_relaxed);
+  }
+  // The back of the deque is the newest work: the victim keeps the oldest
+  // entries (which it drains next anyway) and the thief's batch stays in
+  // FIFO order after the reversal. Stolen work skips EDF selection — it
+  // executes immediately, which is sooner than any EDF position.
+  std::reverse(out.end() - static_cast<long>(take), out.end());
+  pending_total_.fetch_sub(take, std::memory_order_relaxed);
+  n_steals_.fetch_add(1, std::memory_order_relaxed);
+  n_stolen_.fetch_add(take, std::memory_order_relaxed);
   ServeMetrics& m = metrics();
+  m.steals.inc();
+  m.stolen_queries.inc(take);
+  Shard& thief = *shards_[thief_index];
+  thief.c_steals->inc();
+  thief.c_stolen->inc(take);
+  obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
+                                         "work-steal", take, victim_index);
+  return true;
+}
+
+void QueryEngine::dispatcher_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   std::vector<Pending> drained;
   for (;;) {
+    drained.clear();
     {
-      std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      const std::size_t window =
-          options_.batch_window == 0 ? queue_.size() : options_.batch_window;
-      const std::size_t take = std::min(queue_.size(), window);
-      // EDF: when the backlog exceeds one window, drain the most deadline-
-      // pressed queries first so they are not shed behind fresh arrivals
-      // that could afford to wait. No-deadline queries sort last; stable
-      // sort keeps FIFO order inside each deadline class.
-      if (options_.edf_dispatch && take < queue_.size()) {
-        std::stable_sort(
-            queue_.begin(), queue_.end(),
-            [](const Pending& a, const Pending& b) {
-              constexpr std::uint64_t kNone =
-                  std::numeric_limits<std::uint64_t>::max();
-              const std::uint64_t da = a.deadline_us == 0 ? kNone
-                                                          : a.deadline_us;
-              const std::uint64_t db = b.deadline_us == 0 ? kNone
-                                                          : b.deadline_us;
-              return da < db;
-            });
+      std::unique_lock lock(shard.mutex);
+      while (shard.queue.empty() && !stopping_.load()) {
+        if (shards_.size() > 1) {
+          // Idle: nap briefly, then look for a sibling to steal from. A
+          // producer landing on *this* shard still wakes the cv
+          // immediately; the interval only bounds steal latency.
+          bool sibling_backlog = false;
+          for (std::size_t i = 0; i < shards_.size(); ++i) {
+            if (i != shard_index &&
+                shards_[i]->depth.load(std::memory_order_relaxed) > 0) {
+              sibling_backlog = true;
+              break;
+            }
+          }
+          if (sibling_backlog) break;
+          shard.cv.wait_for(lock, kStealPollInterval);
+        } else {
+          shard.cv.wait(lock);
+        }
       }
-      drained.clear();
-      drained.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        drained.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (!shard.queue.empty()) {
+        drain_window(shard, drained);
+      } else if (stopping_.load()) {
+        // Own queue drained and the engine is stopping. Siblings drain
+        // their own queues before exiting, so no backlog is stranded.
+        return;
       }
     }
-
-    // Deadline shedding: a query whose budget elapsed while queued gets a
-    // terminal outcome now instead of consuming a sweep it cannot use.
-    const std::uint64_t drain_time = now_us();
-    const double drain_obs_us = obs::Trace::now_us();
-    obs::RequestTracer& tracer = obs::RequestTracer::instance();
-    std::vector<Query> live;
-    std::vector<std::size_t> live_index;
-    live.reserve(drained.size());
-    std::uint64_t deadline_sheds = 0;
-    for (std::size_t i = 0; i < drained.size(); ++i) {
-      if (AdmissionController::expired(drain_time, drained[i].deadline_us)) {
-        n_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
-        m.shed_deadline.inc();
-        ++deadline_sheds;
-        QueryResult shed;
-        shed.outcome = QueryOutcome::kShedDeadline;
-        shed.latency_us =
-            static_cast<double>(drain_time - drained[i].enqueue_us);
-        shed.trace_id = drained[i].ctx.trace_id;
-        if (shed.trace_id != 0) {
-          shed.breakdown.queue_us = drain_obs_us - drained[i].enqueue_obs_us;
-          obs::RequestExemplar ex;
-          ex.trace_id = shed.trace_id;
-          ex.kind = static_cast<std::uint32_t>(drained[i].query.kind);
-          ex.outcome = static_cast<std::uint32_t>(shed.outcome);
-          ex.start_us = drained[i].enqueue_obs_us;
-          ex.queue_us = shed.breakdown.queue_us;
-          ex.total_us = shed.breakdown.queue_us;
-          tracer.offer(ex);
-        }
-        drained[i].promise.set_value(std::move(shed));
-      } else {
-        live.push_back(drained[i].query);
-        live_index.push_back(i);
-      }
+    if (drained.empty()) {
+      // Broke out of the wait on a sibling's backlog: steal outside our
+      // own mutex.
+      if (!steal_batch(shard_index, drained)) continue;
     }
-    if (deadline_sheds > 0)
-      obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
-                                             "deadline", deadline_sheds);
-    if (live.empty()) continue;
+    process_batch(shard_index, drained);
+  }
+}
 
-    try {
-      BatchMeta meta;
-      std::vector<QueryResult> results = execute(live, &meta);
-      const std::uint64_t done = now_us();
-      const double done_obs_us = obs::Trace::now_us();
-      const bool slo_on = obs::metrics_enabled();
-      for (std::size_t j = 0; j < results.size(); ++j) {
-        Pending& pending = drained[live_index[j]];
-        results[j].latency_us =
-            static_cast<double>(done - pending.enqueue_us);
-        m.latency_us.record(results[j].latency_us);
-        if (slo_on)
-          obs::slo_tracker("serve.latency").record(results[j].latency_us);
-        if (pending.ctx.trace_id != 0) {
-          QueryResult& r = results[j];
-          r.trace_id = pending.ctx.trace_id;
-          r.breakdown.queue_us = drain_obs_us - pending.enqueue_obs_us;
-          r.breakdown.dispatch_us = meta.start_obs_us - drain_obs_us;
-          obs::RequestExemplar ex;
-          ex.trace_id = r.trace_id;
-          ex.batch_id = meta.batch_id;
-          ex.epoch = r.epoch;
-          ex.kind = static_cast<std::uint32_t>(pending.query.kind);
-          ex.outcome = static_cast<std::uint32_t>(r.outcome);
-          ex.cache_hit = r.cache_hit;
-          ex.start_us = pending.enqueue_obs_us;
-          ex.queue_us = r.breakdown.queue_us;
-          ex.dispatch_us = r.breakdown.dispatch_us;
-          ex.execute_us = r.breakdown.execute_us;
-          ex.row_fill_us = r.breakdown.row_fill_us;
-          ex.total_us = done_obs_us - pending.enqueue_obs_us;
-          tracer.offer(ex);
-        }
-        pending.promise.set_value(std::move(results[j]));
+void QueryEngine::process_batch(std::size_t shard_index,
+                                std::vector<Pending>& drained) {
+  Shard& shard = *shards_[shard_index];
+  const std::uint32_t dispatcher_id =
+      static_cast<std::uint32_t>(shard_index) + 1;
+  ServeMetrics& m = metrics();
+  shard.c_queries->inc(drained.size());
+
+  // Deadline shedding: a query whose budget elapsed while queued gets a
+  // terminal outcome now instead of consuming a sweep it cannot use.
+  const std::uint64_t drain_time = now_us();
+  const double drain_obs_us = obs::Trace::now_us();
+  obs::RequestTracer& tracer = obs::RequestTracer::instance();
+  std::vector<Query> live;
+  std::vector<std::size_t> live_index;
+  live.reserve(drained.size());
+  std::uint64_t deadline_sheds = 0;
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    if (AdmissionController::expired(drain_time, drained[i].deadline_us)) {
+      n_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      m.shed_deadline.inc();
+      ++deadline_sheds;
+      QueryResult shed;
+      shed.outcome = QueryOutcome::kShedDeadline;
+      shed.latency_us =
+          static_cast<double>(drain_time - drained[i].enqueue_us);
+      shed.trace_id = drained[i].ctx.trace_id;
+      shed.dispatcher = dispatcher_id;
+      if (shed.trace_id != 0) {
+        shed.breakdown.queue_us = drain_obs_us - drained[i].enqueue_obs_us;
+        obs::RequestExemplar ex;
+        ex.trace_id = shed.trace_id;
+        ex.kind = static_cast<std::uint32_t>(drained[i].query.kind);
+        ex.outcome = static_cast<std::uint32_t>(shed.outcome);
+        ex.dispatcher = dispatcher_id;
+        ex.start_us = drained[i].enqueue_obs_us;
+        ex.queue_us = shed.breakdown.queue_us;
+        ex.total_us = shed.breakdown.queue_us;
+        tracer.offer(ex);
       }
-    } catch (...) {
-      // Defensive: queries are validated at submit(), but a failure here
-      // must reach the waiters, not kill the dispatcher.
-      for (const std::size_t idx : live_index) {
-        drained[idx].promise.set_exception(std::current_exception());
+      drained[i].promise.set_value(std::move(shed));
+    } else {
+      live.push_back(drained[i].query);
+      live_index.push_back(i);
+    }
+  }
+  if (deadline_sheds > 0) {
+    obs::FlightRecorder::instance().record(obs::FlightEventKind::kShed,
+                                           "deadline", deadline_sheds,
+                                           dispatcher_id);
+  }
+  if (live.empty()) return;
+
+  try {
+    shard.c_batches->inc();
+    BatchMeta meta;
+    std::vector<QueryResult> results =
+        execute(live, shard.context, dispatcher_id, &meta);
+    const std::uint64_t done = now_us();
+    const double done_obs_us = obs::Trace::now_us();
+    const bool slo_on = obs::metrics_enabled();
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      Pending& pending = drained[live_index[j]];
+      results[j].latency_us = static_cast<double>(done - pending.enqueue_us);
+      m.latency_us.record(results[j].latency_us);
+      if (slo_on)
+        obs::slo_tracker("serve.latency").record(results[j].latency_us);
+      if (pending.ctx.trace_id != 0) {
+        QueryResult& r = results[j];
+        r.trace_id = pending.ctx.trace_id;
+        r.breakdown.queue_us = drain_obs_us - pending.enqueue_obs_us;
+        r.breakdown.dispatch_us = meta.start_obs_us - drain_obs_us;
+        obs::RequestExemplar ex;
+        ex.trace_id = r.trace_id;
+        ex.batch_id = meta.batch_id;
+        ex.epoch = r.epoch;
+        ex.kind = static_cast<std::uint32_t>(pending.query.kind);
+        ex.outcome = static_cast<std::uint32_t>(r.outcome);
+        ex.dispatcher = dispatcher_id;
+        ex.cache_hit = r.cache_hit;
+        ex.start_us = pending.enqueue_obs_us;
+        ex.queue_us = r.breakdown.queue_us;
+        ex.dispatch_us = r.breakdown.dispatch_us;
+        ex.execute_us = r.breakdown.execute_us;
+        ex.row_fill_us = r.breakdown.row_fill_us;
+        ex.total_us = done_obs_us - pending.enqueue_obs_us;
+        tracer.offer(ex);
       }
+      pending.promise.set_value(std::move(results[j]));
+    }
+  } catch (...) {
+    // Defensive: queries are validated at submit(), but a failure here
+    // must reach the waiters, not kill the dispatcher.
+    for (const std::size_t idx : live_index) {
+      drained[idx].promise.set_exception(std::current_exception());
     }
   }
 }
@@ -620,14 +890,25 @@ ServeStats QueryEngine::stats() const {
   s.shed_admission = n_shed_admission_.load(std::memory_order_relaxed);
   s.shed_deadline = n_shed_deadline_.load(std::memory_order_relaxed);
   s.shed_degraded = n_shed_degraded_.load(std::memory_order_relaxed);
+  s.shed_shutdown = n_shed_shutdown_.load(std::memory_order_relaxed);
   s.unreachable = n_unreachable_.load(std::memory_order_relaxed);
   s.epochs_adopted = n_epochs_adopted_.load(std::memory_order_relaxed);
+  s.steals = n_steals_.load(std::memory_order_relaxed);
+  s.stolen_queries = n_stolen_.load(std::memory_order_relaxed);
   return s;
 }
 
+std::size_t QueryEngine::cached_rows_locked() const {
+  std::size_t total = sync_context_.rows.size();
+  for (const auto& shard : shards_) total += shard->context.rows.size();
+  return total;
+}
+
 std::size_t QueryEngine::cached_rows() const {
-  std::lock_guard lock(serve_mutex_);
-  return rows_.size();
+  // Exclusive lock: every executor mutates its context under the shared
+  // lock, so holding the writer side gives a consistent sum.
+  std::unique_lock lock(substrate_mutex_);
+  return cached_rows_locked();
 }
 
 }  // namespace dcs::serve

@@ -18,18 +18,19 @@
 //    concurrent queries, which is where the ≥3× over one-BFS-per-query
 //    comes from.
 //
-//  * Bounded everything.  Materialized distance rows live in a bounded
-//    scan-resistant 2Q cache (serve/lru_cache.hpp) so repeat sources are
-//    cache hits; route rows fill lazily (routing/tables
-//    LazyRoutingTables); admission control (serve/admission.hpp) bounds
-//    the pending queue and sheds deadline-expired queries with
-//    packet_sim-style terminal outcomes, so overload degrades throughput,
-//    never accounting: served + shed == submitted, always.
+//  * Bounded everything.  Materialized distance rows live in bounded
+//    scan-resistant 2Q caches (serve/lru_cache.hpp), one per execution
+//    context, so repeat sources are cache hits; route rows fill lazily
+//    (routing/tables LazyRoutingTables); admission control
+//    (serve/admission.hpp) bounds the pending queue globally and sheds
+//    deadline-expired queries with packet_sim-style terminal outcomes, so
+//    overload degrades throughput, never accounting: served + shed ==
+//    submitted, always — across every shard.
 //
 //  * Epoch snapshots.  The engine never reads a mutable graph: it serves
-//    from immutable ServeSnapshots pinned per batch out of a
-//    SnapshotStore (serve/snapshot.hpp). When the maintenance plane (the
-//    SpannerSupervisor) publishes a new epoch, the first batch to pin it
+//    from immutable ServeSnapshots pinned out of a SnapshotStore
+//    (serve/snapshot.hpp). When the maintenance plane (the
+//    SpannerSupervisor) publishes a new epoch, the first batch to notice
 //    *adopts* it — dropping every cached distance row and lazy route row,
 //    because both were materialized against the previous topology — and
 //    in-flight batches finish on the epoch they pinned. Every result
@@ -39,18 +40,48 @@
 //    required), the batch is shed with the structured kShedDegraded
 //    outcome instead of stalling or serving uncertified answers.
 //
-// Instrumentation: a trace span per dispatched batch, serve.* counters
-// (queries, batches, coalesced sources, cache hits/misses/evictions,
-// sheds, epoch adoptions/invalidations), the serve.cache.hit_ratio gauge,
-// and serve.latency.us / serve.batch.queries histograms — see
-// docs/serving.md and docs/observability.md.
+// Thread model — the N-way sharded dispatcher:
 //
-// Thread model: submit()/wait is many-producer safe; one internal
-// dispatcher thread drains the queue and executes batches. serve_batch()
-// is the synchronous core (also used directly by benches and tests); it
-// serializes on an internal mutex, and its parallel phases run on the
-// shared thread pool, safely nesting if the caller is already inside a
-// parallel region (see ThreadPool::parallel_ranges).
+//   producers ──route──▶ shard 0 deque ──▶ dispatcher 0 ─┐
+//              (hash or  shard 1 deque ──▶ dispatcher 1 ─┼─▶ shared pinned
+//          least-loaded)        …                 …      │    snapshot
+//                        shard N-1     ──▶ dispatcher N-1┘   (one pin/epoch)
+//
+//  * submit() routes each query to a shard (ServeOptions::routing):
+//    two-choice least-loaded balances skewed producers; hash routing is
+//    source-affine so a repeat endpoint hits the shard whose cache holds
+//    its row. Admission is reserved against one global atomic, so the
+//    queue bound and conservation hold engine-wide, not per shard.
+//  * Each dispatcher drains its own deque earliest-deadline-first and
+//    executes batches concurrently with its siblings. An idle dispatcher
+//    steals the newest half of the deepest sibling backlog, so one hot
+//    shard cannot stall the others' capacity.
+//  * All dispatchers serve under ONE pinned snapshot. Per batch, epoch
+//    currency costs two atomic loads (store epoch vs adopted epoch); only
+//    when they differ does a dispatcher take the exclusive substrate lock
+//    and adopt — pinning once, dropping every context's row cache once,
+//    and rebinding the route tables once per epoch, no matter how many
+//    dispatchers are in flight (SnapshotStore::pin_if_newer makes the
+//    race-losing adopters free).
+//  * stop() is shed-safe: producers racing it get futures resolved with
+//    kShedShutdown (counted in conservation) instead of a crash, and every
+//    query enqueued before the shard's dispatcher observed the stop is
+//    drained. A submit that enqueues does so under its shard mutex after
+//    reading accepting_ == true; stop() clears accepting_ before raising
+//    stopping_, and a dispatcher exits only after seeing stopping_ with an
+//    empty deque under that same mutex — so an enqueue either precedes the
+//    dispatcher's final check (and is drained) or observes accepting_ ==
+//    false (and sheds). All three flags are seq_cst.
+//
+// serve_batch() remains the synchronous core (benches, tests, and the
+// soak's lockstep mode use it directly); sync callers serialize on their
+// own context and run concurrently with the dispatcher shards.
+//
+// Instrumentation: a trace span per dispatched batch, serve.* counters,
+// per-shard serve.shard.<i>.{queries,batches,steals,stolen_queries}
+// counters, the dispatcher id on every result/exemplar, and
+// serve.latency.us / serve.batch.queries histograms — see docs/serving.md
+// and docs/observability.md.
 
 #include <atomic>
 #include <condition_variable>
@@ -59,6 +90,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -66,6 +98,7 @@
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
 #include "graph/renumber.hpp"
+#include "obs/metrics.hpp"
 #include "obs/request_trace.hpp"
 #include "routing/routing.hpp"
 #include "routing/tables.hpp"
@@ -115,20 +148,36 @@ struct QueryResult {
   /// Route queries only: the path, empty if unreachable or shed.
   Path path;
   /// Snapshot epoch the batch was pinned to. 0 only for queries shed
-  /// before reaching a snapshot (admission/deadline sheds).
+  /// before reaching a snapshot (admission/deadline/shutdown sheds).
   std::uint64_t epoch = 0;
   /// Submit-to-completion latency (concurrent path) or batch-call latency
   /// (synchronous path), microseconds.
   double latency_us = 0.0;
   /// Request trace id (obs/request_trace); 0 when tracing is off.
   std::uint64_t trace_id = 0;
+  /// Dispatcher shard that executed (or deadline-shed) this query,
+  /// 1-based; 0 = synchronous serve_batch() path or shed before reaching
+  /// a dispatcher (admission/shutdown).
+  std::uint32_t dispatcher = 0;
   /// Distance query answered from the 2Q row cache without a sweep.
   bool cache_hit = false;
   QueryLatencyBreakdown breakdown;
 };
 
+/// How submit() picks a shard when ServeOptions::dispatchers > 1.
+enum class ShardRouting : std::uint8_t {
+  /// Two-choice least-loaded: probe two rotating shards, enqueue on the
+  /// shallower. Balances skewed producers; the default.
+  kLeastLoaded,
+  /// Source-affine hash of the query's BFS endpoint (distance: u, route:
+  /// v): a repeat endpoint always lands on the shard whose 2Q cache holds
+  /// its row. Work stealing backstops the skew this can create.
+  kHash,
+};
+
 struct ServeOptions {
-  /// Distance rows kept in the 2Q cache.
+  /// Distance rows kept in each execution context's 2Q cache (one context
+  /// per dispatcher shard, plus one for the synchronous path).
   std::size_t cache_rows = 256;
   /// Queries drained per dispatch; larger windows coalesce better but add
   /// queueing latency under saturation.
@@ -136,9 +185,15 @@ struct ServeOptions {
   AdmissionOptions admission;
   /// Tie-break seed for lazily built route tables.
   std::uint64_t seed = 1;
-  /// Drain the pending queue earliest-deadline-first, so near-deadline
-  /// queries are not shed behind fresh no-deadline arrivals when the
-  /// backlog exceeds one batch window.
+  /// Dispatcher threads draining the submit queue. 1 (the default)
+  /// preserves single-dispatcher behavior; N > 1 shards the pending queue
+  /// N ways — see the thread-model diagram above.
+  std::size_t dispatchers = 1;
+  /// Shard-routing policy for submit() (ignored when dispatchers == 1).
+  ShardRouting routing = ShardRouting::kLeastLoaded;
+  /// Drain each shard's pending queue earliest-deadline-first, so
+  /// near-deadline queries are not shed behind fresh no-deadline arrivals
+  /// when the backlog exceeds one batch window.
   bool edf_dispatch = true;
   /// Ladder threshold for graceful degradation: a batch pinned to a
   /// snapshot whose ladder state is >= this sheds with kShedDegraded.
@@ -167,9 +222,10 @@ struct ServeOptions {
   VertexOrder renumber = VertexOrder::kOriginal;
 };
 
-/// Monotonic tallies, readable concurrently with serving. Conservation:
+/// Monotonic tallies, readable concurrently with serving. Conservation
+/// holds globally across shards once the engine is drained:
 /// queries == served + shed_admission + shed_deadline + shed_degraded
-/// once the engine is drained.
+///            + shed_shutdown.
 struct ServeStats {
   std::uint64_t queries = 0;
   std::uint64_t distance_queries = 0;
@@ -184,15 +240,29 @@ struct ServeStats {
   std::uint64_t shed_admission = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_degraded = 0;
+  std::uint64_t shed_shutdown = 0;
   std::uint64_t unreachable = 0;
   std::uint64_t epochs_adopted = 0;  ///< snapshot swaps observed (≥ 1)
+  std::uint64_t steals = 0;          ///< work-steal operations between shards
+  std::uint64_t stolen_queries = 0;  ///< queries moved by those steals
 };
+
+/// Indices of the `take` most deadline-pressed entries of `deadlines`, in
+/// dispatch order. A deadline of 0 means none and sorts last; equal
+/// deadlines dispatch FIFO (by index). Equivalent to a stable_sort of the
+/// whole backlog by effective deadline truncated to `take`, but via an
+/// O(Q) nth_element partition plus an O(take log take) sort of the window
+/// only — this runs under a shard's queue mutex, squarely in the
+/// producers' critical section, so the full-backlog O(Q log Q) sort it
+/// replaces was a submit-side stall. Exposed for the equivalence test.
+std::vector<std::uint32_t> edf_select(std::span<const std::uint64_t> deadlines,
+                                      std::size_t take);
 
 class QueryEngine {
  public:
   /// Serves from `store` (borrowed; must outlive the engine). Every batch
-  /// pins the store's current snapshot; epoch changes invalidate the
-  /// distance-row cache and lazy route tables.
+  /// checks the store's epoch; changes invalidate the distance-row caches
+  /// and lazy route tables exactly once per epoch.
   explicit QueryEngine(SnapshotStore& store, ServeOptions options = {});
 
   /// Static-substrate convenience: copies `h` into an internal single-
@@ -209,8 +279,9 @@ class QueryEngine {
   /// Serves every query (no admission control, no deadlines): coalesces by
   /// BFS endpoint, sweeps cache misses through 64-wide MS-BFS batches,
   /// fills route rows lazily, and returns results in input order. Safe to
-  /// call from any thread (internally serialized). Sheds the whole batch
-  /// with kShedDegraded when the pinned certificate is below the serving
+  /// call from any thread (sync callers serialize on a dedicated context;
+  /// dispatcher shards keep running). Sheds the whole batch with
+  /// kShedDegraded when the pinned certificate is below the serving
   /// policy (see ServeOptions::shed_at).
   std::vector<QueryResult> serve_batch(std::span<const Query> queries);
 
@@ -218,16 +289,20 @@ class QueryEngine {
   QueryResult serve_one(const Query& query);
 
   // --- concurrent path ----------------------------------------------------
-  /// Starts the dispatcher thread. Idempotent.
+  /// Starts the dispatcher shards (ServeOptions::dispatchers threads).
+  /// Idempotent.
   void start();
-  /// Drains the pending queue, then stops the dispatcher. Idempotent;
-  /// also run by the destructor.
+  /// Drains every shard's pending queue, then stops the dispatchers.
+  /// Idempotent; also run by the destructor.
   void stop();
 
-  /// Enqueues a query for batched dispatch. If the pending queue is full
-  /// the returned future is already resolved with kShedAdmission; if the
-  /// query's deadline passes before its batch is drained it resolves with
-  /// kShedDeadline. Requires start().
+  /// Enqueues a query for batched dispatch on one of the shards. The
+  /// returned future is already resolved with kShedAdmission when the
+  /// global pending bound is full, and with kShedShutdown when the engine
+  /// is not accepting (never started, stopping, or stopped — a producer
+  /// racing stop() sheds cleanly instead of crashing). If the query's
+  /// deadline passes before its batch is drained it resolves with
+  /// kShedDeadline.
   std::future<QueryResult> submit(const Query& query);
 
   ServeStats stats() const;
@@ -238,7 +313,9 @@ class QueryEngine {
     return serving_epoch_.load(std::memory_order_relaxed);
   }
   std::size_t num_vertices() const { return n_; }
+  /// Total distance rows cached across every execution context.
   std::size_t cached_rows() const;
+  std::size_t num_dispatchers() const { return shards_.size(); }
 
   /// Fault injection for the chaos-soak harness: skip the distance-row
   /// cache drop on epoch adoption, so rows materialized under a pre-
@@ -263,22 +340,86 @@ class QueryEngine {
     double start_obs_us = 0.0;     // obs clock at sweep start
   };
 
-  void dispatcher_loop();
-  /// The coalesced serving core (takes serve_mutex_); counts everything
-  /// except query intake, which submit()/serve_batch() tally. Fills each
-  /// result's execute/row_fill breakdown and, when `meta` is non-null, the
-  /// batch's causal coordinates.
+  /// Per-executor serving state: the 2Q distance-row cache plus the
+  /// exported-tally watermarks for it. Each dispatcher shard owns one and
+  /// the synchronous path owns one; only the owner touches it (under the
+  /// shared substrate lock), except epoch adoption, which clears every
+  /// cache under the exclusive lock. Owner-only watermarks are what make
+  /// the cache-metric delta export race-free: the old engine re-read
+  /// shared counters read-modify-write, which double-counts the moment
+  /// two executors export concurrently.
+  struct ServeContext {
+    TwoQCache<Vertex, std::vector<Dist>> rows;
+    std::uint64_t hits_exported = 0;
+    std::uint64_t misses_exported = 0;
+    std::uint64_t evictions_exported = 0;
+    explicit ServeContext(std::size_t capacity) : rows(capacity) {}
+  };
+
+  /// One dispatcher shard: its slice of the pending queue plus its
+  /// execution context and obs counters.
+  struct Shard {
+    std::mutex mutex;  ///< guards queue (and the accepting_ check+enqueue)
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    /// queue.size() mirror for lock-free routing/steal-victim probes
+    /// (approximate reads are fine: both are load-balance heuristics).
+    std::atomic<std::size_t> depth{0};
+    std::thread dispatcher;
+    ServeContext context;
+    obs::Counter* c_queries = nullptr;  // serve.shard.<i>.*
+    obs::Counter* c_batches = nullptr;
+    obs::Counter* c_steals = nullptr;
+    obs::Counter* c_stolen = nullptr;
+    explicit Shard(std::size_t cache_rows) : context(cache_rows) {}
+  };
+
+  /// Shared constructor tail: epoch bookkeeping, substrate bind, shard +
+  /// per-shard counter creation.
+  void init_engine();
+
+  void dispatcher_loop(std::size_t shard_index);
+  /// Deadline-sheds then executes one drained batch and resolves its
+  /// futures; `dispatcher_id` is 1-based (stamped on results/exemplars).
+  void process_batch(std::size_t shard_index, std::vector<Pending>& drained);
+  /// Drains up to one batch window from `shard.queue` (EDF selection when
+  /// the backlog exceeds the window). Caller holds shard.mutex.
+  void drain_window(Shard& shard, std::vector<Pending>& out);
+  /// Steals the newest half of the deepest sibling backlog into `out`.
+  /// Returns false when no sibling has queued work. Takes only the
+  /// victim's mutex (never two shard mutexes at once).
+  bool steal_batch(std::size_t thief_index, std::vector<Pending>& out);
+  Shard& route_shard(const Query& query);
+  /// Reserves one slot against the global pending bound (CAS, exact across
+  /// shards). Drains/steals release with fetch_sub.
+  bool reserve_pending();
+
+  /// The coalesced serving core: runs under the shared substrate lock with
+  /// the caller-owned `ctx` caches; counts everything except query intake,
+  /// which submit()/serve_batch() tally. Fills each result's
+  /// execute/row_fill breakdown and, when `meta` is non-null, the batch's
+  /// causal coordinates.
   std::vector<QueryResult> execute(std::span<const Query> queries,
+                                   ServeContext& ctx,
+                                   std::uint32_t dispatcher_id,
                                    BatchMeta* meta = nullptr);
-  /// Pins the store's current snapshot and, on an epoch change, drops the
-  /// caches keyed to the previous epoch. Caller holds serve_mutex_.
-  void adopt_current_snapshot();
+  /// Epoch-currency check: two atomic loads on the fast path; on a change,
+  /// upgrades to the exclusive substrate lock and adopts (exactly one
+  /// adopter per epoch wins; see adopt_locked()). May release and
+  /// reacquire `lock`.
+  void maybe_adopt(std::shared_lock<std::shared_mutex>& lock);
+  /// Pins the newer snapshot (if still newer — the adoption race loser
+  /// returns without touching anything) and drops every context's cached
+  /// rows + rebinds the route tables, once. Caller holds the exclusive
+  /// substrate lock.
+  void adopt_locked();
   /// Recomputes the internal (possibly renumbered) serving graph from the
-  /// pinned snapshot and rebinds the route tables to it. Caller holds
-  /// serve_mutex_ (or is the constructor).
+  /// pinned snapshot and rebinds the route tables to it. Caller holds the
+  /// exclusive substrate lock (or is the constructor).
   void rebind_serving_graph();
   /// True when the pinned certificate is below the serving policy.
   bool should_shed_degraded() const;
+  std::size_t cached_rows_locked() const;
 
   std::unique_ptr<SnapshotStore> owned_store_;  ///< Graph-ctor compat only
   SnapshotStore* store_;
@@ -286,8 +427,12 @@ class QueryEngine {
   AdmissionController admission_;
   std::size_t n_;  ///< vertex count (fixed across epochs)
 
-  // Serving state, guarded by serve_mutex_.
-  mutable std::mutex serve_mutex_;
+  // The serving substrate, guarded by substrate_mutex_: executors hold it
+  // shared (batches on distinct contexts proceed concurrently); epoch
+  // adoption holds it exclusive. tables_ additionally serializes its
+  // fill/walk phase on route_mutex_ (LazyRoutingTables is not internally
+  // synchronized), taken while already holding the shared lock.
+  mutable std::shared_mutex substrate_mutex_;
   SnapshotRef serving_;  ///< snapshot the caches are keyed to
   // Cache-order serving substrate: when options_.renumber != kOriginal the
   // sweeps and route tables run on internal_spanner_ (a relabeled copy of
@@ -298,24 +443,36 @@ class QueryEngine {
   Renumbering renum_;
   Graph internal_spanner_;
   bool renumbered_ = false;
-  TwoQCache<Vertex, std::vector<Dist>> rows_;
   LazyRoutingTables tables_;
+  std::mutex route_mutex_;
   std::atomic<bool> stale_cache_bug_{false};
 
-  // Pending queue, guarded by queue_mutex_.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool running_ = false;
-  bool stopping_ = false;
-  std::thread dispatcher_;
+  // Dispatcher shards (fixed at construction) and the synchronous path's
+  // context. sync_mutex_ serializes concurrent serve_batch() callers.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ServeContext sync_context_;
+  std::mutex sync_mutex_;
 
-  // Stats mirrors (relaxed atomics so stats() never takes serve_mutex_).
+  // Lifecycle. All seq_cst: the shutdown-shed safety argument in the file
+  // header leans on the single total order of accepting_/stopping_ stores
+  // and loads. lifecycle_mutex_ serializes start()/stop() themselves.
+  std::mutex lifecycle_mutex_;
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Queries queued across all shards, bounded by the admission policy.
+  std::atomic<std::size_t> pending_total_{0};
+  /// Rotor for two-choice least-loaded routing.
+  std::atomic<std::uint64_t> rotor_{0};
+
+  // Stats mirrors (relaxed atomics so stats() never takes a lock). Cache
+  // tallies accumulate owner-computed deltas from each context.
   std::atomic<std::uint64_t> n_queries_{0}, n_distance_{0}, n_route_{0},
       n_served_{0}, n_batches_{0}, n_sources_{0}, n_hits_{0}, n_misses_{0},
       n_evictions_{0}, n_rows_filled_{0}, n_shed_admission_{0},
-      n_shed_deadline_{0}, n_shed_degraded_{0}, n_unreachable_{0},
-      n_epochs_adopted_{0}, serving_epoch_{0};
+      n_shed_deadline_{0}, n_shed_degraded_{0}, n_shed_shutdown_{0},
+      n_unreachable_{0}, n_epochs_adopted_{0}, n_steals_{0}, n_stolen_{0},
+      serving_epoch_{0};
 };
 
 }  // namespace dcs::serve

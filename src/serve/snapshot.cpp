@@ -71,6 +71,17 @@ SnapshotRef SnapshotStore::pin() const {
   return current_;
 }
 
+SnapshotRef SnapshotStore::pin_if_newer(std::uint64_t epoch) const {
+  if (epoch_.load(std::memory_order_acquire) <= epoch) {
+    pin_skips_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // The epoch may advance again between the check and the pin; the caller
+  // gets the newest snapshot either way, which is still strictly newer
+  // than `epoch` (epochs are monotone and swapped under mutex_).
+  return pin();
+}
+
 SnapshotRef SnapshotStore::wrap(ServeSnapshot&& snapshot) {
   // The deleter owns the tally (not `this`): snapshots pinned by readers
   // may legitimately outlive the store, and retirement must still count.

@@ -91,6 +91,15 @@ class SnapshotStore {
   /// beyond the swap itself; never returns null.
   SnapshotRef pin() const;
 
+  /// Pins only when the published epoch is newer than `epoch`; returns
+  /// null (and counts a skipped pin) when it is not. This is the
+  /// multi-dispatcher serving fast path: dispatchers compare epochs with
+  /// one atomic load per batch, and after a publish only the first
+  /// adopter pays the store mutex — one pin per epoch, not one per batch
+  /// per dispatcher. The returned snapshot's epoch is always > `epoch`
+  /// (the published epoch never moves backwards).
+  SnapshotRef pin_if_newer(std::uint64_t epoch) const;
+
   std::uint64_t current_epoch() const {
     return epoch_.load(std::memory_order_acquire);
   }
@@ -108,6 +117,12 @@ class SnapshotStore {
   /// Published and not yet retired (≥ 1: the current snapshot).
   std::uint64_t live() const { return published() - retired(); }
   std::uint64_t pins() const { return pins_.load(std::memory_order_relaxed); }
+  /// pin_if_newer() calls answered without pinning (epoch unchanged) —
+  /// the per-dispatcher accounting that shows N dispatchers sharing one
+  /// pin per epoch instead of re-pinning per batch.
+  std::uint64_t pin_skips() const {
+    return pin_skips_.load(std::memory_order_relaxed);
+  }
 
  private:
   SnapshotRef wrap(ServeSnapshot&& snapshot);
@@ -118,6 +133,7 @@ class SnapshotStore {
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> published_{0};
   mutable std::atomic<std::uint64_t> pins_{0};
+  mutable std::atomic<std::uint64_t> pin_skips_{0};
   /// Shared with every snapshot's deleter so retirement is counted even
   /// for snapshots outliving the store.
   std::shared_ptr<std::atomic<std::uint64_t>> retired_;

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -215,6 +217,7 @@ TEST(Admission, OutcomeNamesAreStable) {
   EXPECT_STREQ(to_string(QueryOutcome::kShedAdmission), "shed-admission");
   EXPECT_STREQ(to_string(QueryOutcome::kShedDeadline), "shed-deadline");
   EXPECT_STREQ(to_string(QueryOutcome::kShedDegraded), "shed-degraded");
+  EXPECT_STREQ(to_string(QueryOutcome::kShedShutdown), "shed-shutdown");
 }
 
 // --- batch-coalescing equivalence ----------------------------------------
@@ -812,6 +815,346 @@ TEST(QueryEngine, SnapshotSwapHammerStaysExactPerEpoch) {
   // No leak: everything retired except the store's current snapshot and
   // (at most) the engine's still-pinned older one.
   EXPECT_LE(store.live(), 2u);
+  EXPECT_GE(engine.stats().epochs_adopted, 2u);
+}
+
+// --- sharded dispatcher ----------------------------------------------------
+
+TEST(Admission, EdfSelectMatchesStableSortReference) {
+  // edf_select replaces a full stable_sort of the backlog; the contract is
+  // bit-identical selection: the `take` most deadline-pressed indices, 0 =
+  // no deadline sorting last, FIFO within equal deadlines.
+  Rng rng(7);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t n = 1 + rng.uniform(200);
+    std::vector<std::uint64_t> deadlines(n);
+    for (std::uint64_t& d : deadlines) {
+      // Zeros and heavy duplication, so the stable tie-break is exercised.
+      d = rng.uniform(10) < 3 ? 0 : 1 + rng.uniform(8);
+    }
+    const std::size_t take = rng.uniform(n + 1);
+    std::vector<std::uint32_t> reference(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      reference[i] = static_cast<std::uint32_t>(i);
+    }
+    constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
+    std::stable_sort(reference.begin(), reference.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       const std::uint64_t da =
+                           deadlines[a] == 0 ? kNone : deadlines[a];
+                       const std::uint64_t db =
+                           deadlines[b] == 0 ? kNone : deadlines[b];
+                       return da < db;
+                     });
+    reference.resize(take);
+    EXPECT_EQ(serve::edf_select(deadlines, take), reference)
+        << "trial " << trial << " n=" << n << " take=" << take;
+  }
+}
+
+TEST(QueryEngine, SubmitOnUnstartedEngineShedsShutdown) {
+  // The old engine aborted the whole process here (DCS_REQUIRE on
+  // running_); the contract now is a resolved future with a structured
+  // terminal outcome.
+  const Graph h = test_graph(64, 4, 83);
+  QueryEngine engine(h);
+  QueryResult r = engine.submit({QueryKind::kDistance, 1, 2, 0}).get();
+  EXPECT_EQ(r.outcome, QueryOutcome::kShedShutdown);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 1u);
+  EXPECT_EQ(s.shed_shutdown, 1u);
+}
+
+TEST(QueryEngine, ShutdownRaceShedsInsteadOfAborting) {
+  // Producers hammer submit() while the main thread cycles start()/stop().
+  // Every future must resolve (served with a correct answer, or shed with
+  // a structured outcome) and conservation must hold — the pre-fix engine
+  // aborted the process the first time a submit lost the race.
+  const Graph h = test_graph(256, 6, 71);
+  std::vector<std::vector<Dist>> truth(h.num_vertices());
+  for (Vertex u = 0; u < h.num_vertices(); ++u) {
+    truth[u] = bfs_distances(h, u);
+  }
+  ServeOptions options;
+  options.dispatchers = 2;
+  options.cache_rows = 8;
+  QueryEngine engine(h, options);
+
+  constexpr std::size_t kThreads = 8, kPerThread = 400;
+  std::atomic<std::uint64_t> served{0}, shed_shutdown{0}, shed_other{0},
+      wrong{0};
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(7000 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        Query q;
+        q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        const QueryResult r = engine.submit(q).get();
+        switch (r.outcome) {
+          case QueryOutcome::kServed:
+            served.fetch_add(1, std::memory_order_relaxed);
+            if (r.distance != truth[q.u][q.v]) {
+              wrong.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case QueryOutcome::kShedShutdown:
+            shed_shutdown.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            shed_other.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  // Start/stop churn while the producers run: each cycle opens a fresh
+  // race window between accepting_ falling and the dispatchers exiting.
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    engine.start();
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    engine.stop();
+  }
+  engine.start();
+  for (auto& t : producers) t.join();
+  engine.stop();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, kThreads * kPerThread);
+  EXPECT_EQ(s.served + s.shed_admission + s.shed_deadline + s.shed_degraded +
+                s.shed_shutdown,
+            kThreads * kPerThread);
+  EXPECT_EQ(s.served, served.load());
+  EXPECT_EQ(s.shed_shutdown, shed_shutdown.load());
+  EXPECT_EQ(s.served + s.shed_shutdown + s.shed_admission + s.shed_deadline,
+            served.load() + shed_shutdown.load() + shed_other.load());
+}
+
+namespace {
+
+/// Drives `clients` seeded producer threads through an engine configured
+/// with `dispatchers` shards and returns one order-sensitive answer
+/// checksum per client (distance and route answers folded in submission
+/// order). Identical streams must produce identical checksums regardless
+/// of the dispatcher count.
+std::vector<std::uint64_t> run_dispatcher_corpus(const Graph& h,
+                                                 std::size_t dispatchers,
+                                                 std::size_t clients,
+                                                 std::size_t per_client) {
+  ServeOptions options;
+  options.dispatchers = dispatchers;
+  options.cache_rows = 32;
+  options.admission.queue_capacity = 0;  // unbounded: everything serves
+  QueryEngine engine(h, options);
+  engine.start();
+  std::vector<std::uint64_t> checksums(clients, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(42 * (c + 1));
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        Query q;
+        q.kind = i % 4 == 3 ? QueryKind::kRoute : QueryKind::kDistance;
+        q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        const QueryResult r = engine.submit(q).get();
+        EXPECT_EQ(r.outcome, QueryOutcome::kServed);
+        sum = sum * 1099511628211ull +
+              (r.distance == kUnreachable ? 0xdead : r.distance + 1);
+        if (q.kind == QueryKind::kRoute) {
+          sum = sum * 1099511628211ull + r.path.size();
+        }
+      }
+      checksums[c] = sum;
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.stop();
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, clients * per_client);
+  EXPECT_EQ(s.served, clients * per_client);
+  EXPECT_EQ(s.served + s.shed_admission + s.shed_deadline + s.shed_degraded +
+                s.shed_shutdown,
+            s.queries);
+  return checksums;
+}
+
+}  // namespace
+
+TEST(QueryEngine, MultiDispatcherMatchesSingleDispatcherChecksums) {
+  // Answer-equivalence across the sharding refactor: the same seeded
+  // client streams produce checksum-identical answers at dispatchers=1
+  // and dispatchers=4, with exact conservation at both.
+  const Graph h = test_graph(512, 6, 73);
+  const auto single = run_dispatcher_corpus(h, 1, 4, 150);
+  const auto sharded = run_dispatcher_corpus(h, 4, 4, 150);
+  EXPECT_EQ(single, sharded);
+}
+
+TEST(QueryEngine, MultiDispatcherSaturationKeepsGlobalConservation) {
+  // The admission bound is one global reservation across shards: four
+  // dispatchers against a 4-deep queue must still shed at admission and
+  // account every query exactly once.
+  const Graph h = test_graph(512, 8, 41);
+  ServeOptions options;
+  options.dispatchers = 4;
+  options.cache_rows = 1;  // defeat the cache: every batch pays BFS work
+  options.admission.queue_capacity = 4;
+  options.batch_window = 4;
+  QueryEngine engine(h, options);
+  engine.start();
+  constexpr std::size_t kThreads = 4, kPerThread = 300;
+  std::atomic<std::uint64_t> served{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(99 + t);
+      std::vector<std::future<QueryResult>> futures;
+      futures.reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        Query q;
+        q.u = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        q.v = static_cast<Vertex>(rng.uniform(h.num_vertices()));
+        futures.push_back(engine.submit(q));
+      }
+      for (auto& f : futures) {
+        if (f.get().outcome == QueryOutcome::kServed) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.stop();
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, kThreads * kPerThread);
+  EXPECT_EQ(s.served + s.shed_admission + s.shed_deadline + s.shed_shutdown,
+            kThreads * kPerThread);
+  EXPECT_EQ(served.load(), s.served);
+  EXPECT_EQ(shed.load(), s.shed_admission + s.shed_deadline);
+  EXPECT_GT(s.shed_admission, 0u);
+}
+
+TEST(QueryEngine, HashRoutedSkewIsRebalancedByStealing) {
+  // Source-affine hash routing concentrates a single-source flood on one
+  // shard; the other shard must steal from it instead of idling. The test
+  // replicates the engine's documented splitmix64 endpoint hash to build
+  // a stream that provably lands on one shard.
+  const auto mix = [](std::uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  const Graph h = test_graph(20000, 8, 103);
+  ServeOptions options;
+  options.dispatchers = 2;
+  options.routing = serve::ShardRouting::kHash;
+  options.cache_rows = 1;  // every source pays a real sweep
+  options.batch_window = 16;
+  options.admission.queue_capacity = 0;
+  QueryEngine engine(h, options);
+  engine.start();
+  std::vector<std::future<QueryResult>> futures;
+  Vertex u = 0;
+  for (std::size_t i = 0; i < 600; ++i) {
+    // Distinct sources, all hashing to shard 0 of 2.
+    while (mix(u) % 2 != 0) ++u;
+    futures.push_back(engine.submit(
+        {QueryKind::kDistance, u, static_cast<Vertex>(i % 100), 0}));
+    ++u;
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().outcome, QueryOutcome::kServed);
+  }
+  engine.stop();
+  const auto s = engine.stats();
+  EXPECT_EQ(s.served, 600u);
+  EXPECT_GT(s.steals, 0u);
+  EXPECT_GT(s.stolen_queries, 0u);
+}
+
+TEST(QueryEngine, SnapshotSwapHammerMultiDispatcher) {
+  // The dispatchers=4 rerun of the snapshot-swap hammer, driven through
+  // submit() so all four shards race epoch adoption: answers must stay
+  // exact on the epoch they report, conservation exact, and — the
+  // shared-pin guarantee — the store pinned at most once per published
+  // epoch, not once per batch per dispatcher.
+  constexpr std::size_t kN = 64;
+  const Graph a = test_graph(kN, 4, 121);
+  const Graph b = test_graph(kN, 4, 122);
+  std::vector<std::vector<Dist>> truth_a(kN), truth_b(kN);
+  for (Vertex u = 0; u < kN; ++u) {
+    truth_a[u] = bfs_distances(a, u);
+    truth_b[u] = bfs_distances(b, u);
+  }
+
+  SnapshotStore store(a, a);  // epoch 1 = variant a; parity keys the truth
+  ServeOptions options;
+  options.dispatchers = 4;
+  options.cache_rows = 16;
+  options.admission.queue_capacity = 0;
+  QueryEngine engine(store, options);
+  engine.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> wrong{0}, served{0}, shed{0}, submitted{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(900 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        std::vector<Query> batch(8);
+        std::vector<std::future<QueryResult>> futures;
+        for (Query& q : batch) {
+          q.u = static_cast<Vertex>(rng.uniform(kN));
+          q.v = static_cast<Vertex>(rng.uniform(kN));
+          futures.push_back(engine.submit(q));
+        }
+        submitted.fetch_add(batch.size(), std::memory_order_relaxed);
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          const QueryResult r = futures[i].get();
+          if (r.outcome != QueryOutcome::kServed) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          served.fetch_add(1, std::memory_order_relaxed);
+          const auto& truth = (r.epoch % 2 == 1) ? truth_a : truth_b;
+          if (r.distance != truth[batch[i].u][batch[i].v]) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (int e = 0; e < 120; ++e) {
+    const bool next_odd = (store.current_epoch() + 1) % 2 == 1;
+    const Graph& g = next_odd ? a : b;
+    store.publish(g, g, {});
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : producers) t.join();
+  engine.stop();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(shed.load(), 0u);  // healthy certificates throughout
+  EXPECT_EQ(served.load() + shed.load(), submitted.load());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, submitted.load());
+  EXPECT_EQ(s.served + s.shed_admission + s.shed_deadline + s.shed_degraded +
+                s.shed_shutdown,
+            submitted.load());
+  EXPECT_GE(store.published(), 121u);
+  EXPECT_LE(store.live(), 2u);
+  // One pin per adopted epoch (plus the constructor's), regardless of how
+  // many dispatcher batches ran: the pre-refactor engine pinned per batch.
+  EXPECT_LE(store.pins(), 1 + store.published());
   EXPECT_GE(engine.stats().epochs_adopted, 2u);
 }
 

@@ -90,9 +90,14 @@ std::uint64_t now_us() {
 }
 
 /// How long an idle dispatcher naps between steal-victim probes. Producers
-/// notify their own shard's cv directly, so this only bounds how fast an
-/// idle shard notices a *sibling's* backlog.
+/// notify their own shard's cv directly — and nudge one sibling's cv when
+/// their shard's backlog is building — so this only backstops how fast an
+/// idle shard notices a sibling backlog whose nudge was lost. The interval
+/// doubles up to the max while the whole engine stays quiescent (a 1 ms
+/// poll forever is ~1000 wakeups/sec/shard of idle CPU) and resets the
+/// moment any work is seen.
 constexpr std::chrono::milliseconds kStealPollInterval{1};
+constexpr std::chrono::milliseconds kStealPollIntervalMax{64};
 
 constexpr std::uint64_t kNoDeadline =
     std::numeric_limits<std::uint64_t>::max();
@@ -277,6 +282,15 @@ void QueryEngine::adopt_locked() {
     sync_context_.rows.clear();
     for (auto& shard : shards_) shard->context.rows.clear();
   }
+  // Re-sync the lock-free row-count mirror and the owner watermarks: every
+  // executor is quiescent under this exclusive lock, so the recomputed sum
+  // is exact (and nonzero on the injected stale-cache path, which keeps
+  // its rows).
+  sync_context_.rows_exported = sync_context_.rows.size();
+  for (auto& shard : shards_)
+    shard->context.rows_exported = shard->context.rows.size();
+  n_cached_rows_.store(static_cast<std::int64_t>(cached_rows_locked()),
+                       std::memory_order_relaxed);
   serving_ = std::move(latest);
   rebind_serving_graph();
   serving_epoch_.store(serving_->epoch, std::memory_order_release);
@@ -476,6 +490,11 @@ std::vector<QueryResult> QueryEngine::execute(std::span<const Query> queries,
   ctx.hits_exported = ctx.rows.hits();
   ctx.misses_exported = ctx.rows.misses();
   ctx.evictions_exported = ctx.rows.evictions();
+  const std::size_t rows_now = ctx.rows.size();
+  n_cached_rows_.fetch_add(static_cast<std::int64_t>(rows_now) -
+                               static_cast<std::int64_t>(ctx.rows_exported),
+                           std::memory_order_relaxed);
+  ctx.rows_exported = rows_now;
   m.cache_hits.inc(d_hits);
   m.cache_misses.inc(d_misses);
   m.cache_evictions.inc(d_evictions);
@@ -523,7 +542,17 @@ void QueryEngine::stop() {
   // seen the stop.
   accepting_.store(false);
   stopping_.store(true);
-  for (auto& shard : shards_) shard->cv.notify_all();
+  // Publish the stop under each shard's mutex before notifying. A bare
+  // store+notify can land between a dispatcher's predicate check
+  // (queue.empty() && !stopping_) and its cv.wait() — the notify is lost
+  // and a single-shard dispatcher, which waits unbounded, sleeps forever
+  // with this join() deadlocked behind it. Passing through the mutex
+  // guarantees the dispatcher is either before its predicate check (and
+  // will see stopping_) or already waiting (and receives the notify).
+  for (auto& shard : shards_) {
+    { std::lock_guard publish(shard->mutex); }
+    shard->cv.notify_all();
+  }
   for (auto& shard : shards_) {
     if (shard->dispatcher.joinable()) shard->dispatcher.join();
   }
@@ -547,9 +576,9 @@ bool QueryEngine::reserve_pending() {
   return false;
 }
 
-QueryEngine::Shard& QueryEngine::route_shard(const Query& query) {
+std::size_t QueryEngine::route_shard(const Query& query) {
   const std::size_t count = shards_.size();
-  if (count == 1) return *shards_[0];
+  if (count == 1) return 0;
   if (options_.routing == ShardRouting::kHash) {
     // Source-affine: mix the query's BFS endpoint (splitmix64 finalizer)
     // so a repeat endpoint lands on the shard whose cache holds its row.
@@ -557,14 +586,14 @@ QueryEngine::Shard& QueryEngine::route_shard(const Query& query) {
     h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
     h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
     h ^= h >> 31;
-    return *shards_[h % count];
+    return h % count;
   }
   // Two-choice least-loaded over a rotating pair of shards.
   const std::uint64_t r = rotor_.fetch_add(1, std::memory_order_relaxed);
-  Shard& a = *shards_[r % count];
-  Shard& b = *shards_[(r + 1) % count];
-  return a.depth.load(std::memory_order_relaxed) <=
-                 b.depth.load(std::memory_order_relaxed)
+  const std::size_t a = r % count;
+  const std::size_t b = (r + 1) % count;
+  return shards_[a]->depth.load(std::memory_order_relaxed) <=
+                 shards_[b]->depth.load(std::memory_order_relaxed)
              ? a
              : b;
 }
@@ -584,7 +613,9 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
   }
   bool admitted = false;
   bool shutdown = false;
-  Shard& shard = route_shard(query);
+  std::size_t depth_after = 0;
+  const std::size_t shard_index = route_shard(query);
+  Shard& shard = *shards_[shard_index];
   {
     std::lock_guard lock(shard.mutex);
     if (!accepting_.load()) {
@@ -602,7 +633,8 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
       pending.enqueue_obs_us = enqueue_obs_us;
       pending.promise = std::move(promise);
       shard.queue.push_back(std::move(pending));
-      shard.depth.store(shard.queue.size(), std::memory_order_relaxed);
+      depth_after = shard.queue.size();
+      shard.depth.store(depth_after, std::memory_order_relaxed);
       admitted = true;
     }
   }
@@ -620,6 +652,17 @@ std::future<QueryResult> QueryEngine::submit(const Query& query) {
   }
   if (admitted) {
     shard.cv.notify_one();
+    if (depth_after > 1 && shards_.size() > 1) {
+      // Backlog building behind a busy dispatcher: nudge one sibling so an
+      // idle (possibly backed-off) dispatcher steals now rather than on
+      // its next poll. Lossy by design — no sibling mutex is taken, so a
+      // nudge landing between a sibling's predicate check and its wait can
+      // vanish; the backed-off steal poll is the backstop.
+      const std::size_t count = shards_.size();
+      const std::uint64_t r =
+          nudge_rotor_.fetch_add(1, std::memory_order_relaxed);
+      shards_[(shard_index + 1 + r % (count - 1)) % count]->cv.notify_one();
+    }
   } else if (shutdown) {
     n_shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
     m.shed_shutdown.inc();
@@ -728,23 +771,29 @@ bool QueryEngine::steal_batch(std::size_t thief_index,
   Shard& thief = *shards_[thief_index];
   thief.c_steals->inc();
   thief.c_stolen->inc(take);
+  // The victim id is 1-based like every other serve-plane dispatcher id
+  // (results, exemplars, deadline-shed events; 0 = the sync path).
   obs::FlightRecorder::instance().record(obs::FlightEventKind::kCustom,
-                                         "work-steal", take, victim_index);
+                                         "work-steal", take, victim_index + 1);
   return true;
 }
 
 void QueryEngine::dispatcher_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::vector<Pending> drained;
+  std::chrono::milliseconds idle_wait = kStealPollInterval;
   for (;;) {
     drained.clear();
     {
       std::unique_lock lock(shard.mutex);
       while (shard.queue.empty() && !stopping_.load()) {
         if (shards_.size() > 1) {
-          // Idle: nap briefly, then look for a sibling to steal from. A
-          // producer landing on *this* shard still wakes the cv
-          // immediately; the interval only bounds steal latency.
+          // Idle: nap, then look for a sibling to steal from. A producer
+          // landing on *this* shard wakes the cv immediately, and one
+          // whose shard is backing up nudges a sibling's cv, so the nap
+          // only backstops a lost nudge. While nothing turns up the nap
+          // doubles toward the max — a quiescent engine converges to a
+          // handful of wakeups per second instead of a 1 ms busy-poll.
           bool sibling_backlog = false;
           for (std::size_t i = 0; i < shards_.size(); ++i) {
             if (i != shard_index &&
@@ -754,7 +803,8 @@ void QueryEngine::dispatcher_loop(std::size_t shard_index) {
             }
           }
           if (sibling_backlog) break;
-          shard.cv.wait_for(lock, kStealPollInterval);
+          shard.cv.wait_for(lock, idle_wait);
+          idle_wait = std::min(idle_wait * 2, kStealPollIntervalMax);
         } else {
           shard.cv.wait(lock);
         }
@@ -772,6 +822,7 @@ void QueryEngine::dispatcher_loop(std::size_t shard_index) {
       // own mutex.
       if (!steal_batch(shard_index, drained)) continue;
     }
+    idle_wait = kStealPollInterval;  // work seen: restore steal latency
     process_batch(shard_index, drained);
   }
 }
@@ -905,10 +956,13 @@ std::size_t QueryEngine::cached_rows_locked() const {
 }
 
 std::size_t QueryEngine::cached_rows() const {
-  // Exclusive lock: every executor mutates its context under the shared
-  // lock, so holding the writer side gives a consistent sum.
-  std::unique_lock lock(substrate_mutex_);
-  return cached_rows_locked();
+  // Lock-free mirror, like the other stats: each executor folds its row-
+  // count delta in at batch end (owner-only watermark) and adoption
+  // re-syncs it under the exclusive lock. Taking the exclusive substrate
+  // lock here instead would turn every introspection poll into a barrier
+  // that stalls all dispatcher shards and sync callers.
+  const std::int64_t v = n_cached_rows_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
 }
 
 }  // namespace dcs::serve

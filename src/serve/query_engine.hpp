@@ -313,7 +313,9 @@ class QueryEngine {
     return serving_epoch_.load(std::memory_order_relaxed);
   }
   std::size_t num_vertices() const { return n_; }
-  /// Total distance rows cached across every execution context.
+  /// Total distance rows cached across every execution context. Served by
+  /// a lock-free mirror (safe to poll while serving; never a barrier);
+  /// exact whenever no batch is mid-execution.
   std::size_t cached_rows() const;
   std::size_t num_dispatchers() const { return shards_.size(); }
 
@@ -353,6 +355,8 @@ class QueryEngine {
     std::uint64_t hits_exported = 0;
     std::uint64_t misses_exported = 0;
     std::uint64_t evictions_exported = 0;
+    /// rows.size() at the last delta export, for the n_cached_rows_ mirror.
+    std::size_t rows_exported = 0;
     explicit ServeContext(std::size_t capacity) : rows(capacity) {}
   };
 
@@ -389,7 +393,8 @@ class QueryEngine {
   /// Returns false when no sibling has queued work. Takes only the
   /// victim's mutex (never two shard mutexes at once).
   bool steal_batch(std::size_t thief_index, std::vector<Pending>& out);
-  Shard& route_shard(const Query& query);
+  /// Picks the shard index for one submitted query (ServeOptions::routing).
+  std::size_t route_shard(const Query& query);
   /// Reserves one slot against the global pending bound (CAS, exact across
   /// shards). Drains/steals release with fetch_sub.
   bool reserve_pending();
@@ -464,6 +469,8 @@ class QueryEngine {
   std::atomic<std::size_t> pending_total_{0};
   /// Rotor for two-choice least-loaded routing.
   std::atomic<std::uint64_t> rotor_{0};
+  /// Rotor spreading submit()'s steal nudges across sibling shards.
+  std::atomic<std::uint64_t> nudge_rotor_{0};
 
   // Stats mirrors (relaxed atomics so stats() never takes a lock). Cache
   // tallies accumulate owner-computed deltas from each context.
@@ -473,6 +480,10 @@ class QueryEngine {
       n_shed_deadline_{0}, n_shed_degraded_{0}, n_shed_shutdown_{0},
       n_unreachable_{0}, n_epochs_adopted_{0}, n_steals_{0}, n_stolen_{0},
       serving_epoch_{0};
+  /// Lock-free cached_rows() mirror: owners fold their context's row-count
+  /// delta in at batch end; adoption re-syncs it under the exclusive lock.
+  /// Signed because an executor can net-shrink its cache (evictions).
+  std::atomic<std::int64_t> n_cached_rows_{0};
 };
 
 }  // namespace dcs::serve

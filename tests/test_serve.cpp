@@ -932,6 +932,22 @@ TEST(QueryEngine, ShutdownRaceShedsInsteadOfAborting) {
             served.load() + shed_shutdown.load() + shed_other.load());
 }
 
+TEST(QueryEngine, IdleSingleDispatcherStartStopCyclesDoNotHang) {
+  // Regression: stop() used to store stopping_ and notify without passing
+  // through the shard mutex, so the notify could land between the single
+  // dispatcher's predicate check and its unbounded cv.wait() and be lost —
+  // the dispatcher slept forever and stop() deadlocked in join(). Idle
+  // cycles (no producers ever wake the cv) keep the dispatcher in the
+  // predicate-check/wait entry window stop() has to race.
+  const Graph h = test_graph(64, 4, 83);
+  QueryEngine engine(h);  // dispatchers = 1: the unbounded-wait path
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    engine.start();
+    engine.stop();
+  }
+  SUCCEED();
+}
+
 namespace {
 
 /// Drives `clients` seeded producer threads through an engine configured
